@@ -1,0 +1,84 @@
+package dphist
+
+import (
+	"github.com/dphist/dphist/internal/workload"
+)
+
+// Workload is a weighted set of range queries an analyst plans to ask.
+// Before spending any privacy budget, the workload can predict each
+// strategy's expected error analytically and recommend the best release
+// — the paper's Section 7 direction of choosing strategies per workload.
+type Workload struct {
+	inner *workload.Workload
+}
+
+// NewWorkload returns an empty workload over the domain [0, domain).
+func NewWorkload(domain int) (*Workload, error) {
+	w, err := workload.New(domain)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}
+
+// Add appends a weighted half-open range query [lo, hi).
+func (w *Workload) Add(lo, hi int, weight float64) error {
+	return w.inner.Add(lo, hi, weight)
+}
+
+// Len returns the number of queries.
+func (w *Workload) Len() int { return w.inner.Len() }
+
+// PredictLaplace returns the expected weighted total squared error of
+// answering the workload from a LaplaceHistogram at the given epsilon.
+func (w *Workload) PredictLaplace(eps float64) float64 {
+	return w.inner.ErrorLaplace(eps)
+}
+
+// PredictHierarchical returns the expected weighted total squared error
+// of answering the workload from a UniversalHistogram with branching k:
+// the noisy-tree cost when inferred is false, the exact post-inference
+// cost when true (exact prediction requires a padded domain of at most
+// 2048 leaves).
+func (w *Workload) PredictHierarchical(k int, eps float64, inferred bool) (float64, error) {
+	if inferred {
+		return w.inner.ErrorHBar(k, eps)
+	}
+	return w.inner.ErrorHTilde(k, eps)
+}
+
+// Recommendation is the advisor's verdict.
+type Recommendation struct {
+	// Strategy is "laplace", "htilde", or "hbar".
+	Strategy string
+	// Branching is the tree fan-out for the hierarchical strategies
+	// (0 for laplace).
+	Branching int
+	// PredictedError is the expected weighted total squared error.
+	PredictedError float64
+	// Alternatives lists every evaluated option including the winner.
+	Alternatives []Recommendation
+}
+
+// Recommend evaluates the flat strategy and the hierarchical strategies
+// at each candidate branching factor (default 2) and returns the
+// predicted-best release strategy for this workload at this epsilon.
+func (w *Workload) Recommend(eps float64, branchings ...int) (Recommendation, error) {
+	best, all, err := w.inner.Recommend(eps, branchings...)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rec := Recommendation{
+		Strategy:       string(best.Strategy),
+		Branching:      best.Branching,
+		PredictedError: best.Error,
+	}
+	for _, p := range all {
+		rec.Alternatives = append(rec.Alternatives, Recommendation{
+			Strategy:       string(p.Strategy),
+			Branching:      p.Branching,
+			PredictedError: p.Error,
+		})
+	}
+	return rec, nil
+}

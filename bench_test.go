@@ -1,0 +1,229 @@
+package dphist
+
+// One benchmark per table/figure of the paper, plus benches for the
+// closed-form inference algorithms whose efficiency the paper highlights
+// (Theorems 1 and 3 give linear-time solutions; the benches document
+// that). Full paper-scale sweeps live in cmd/dphist-bench; each bench
+// here runs one trial of the corresponding experiment pipeline at test
+// scale so `go test -bench=.` stays fast while still exercising the
+// exact code paths that regenerate the figures.
+
+import (
+	"testing"
+
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/experiments"
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/laplace"
+	"github.com/dphist/dphist/internal/wavelet"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Seed:          42,
+		Scale:         experiments.ScaleSmall,
+		Trials:        3,
+		RangesPerSize: 50,
+	}
+}
+
+// Figure 2(b): the running example, all three query pipelines.
+func BenchmarkFig2Example(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunFig2(cfg, 1.0)
+	}
+}
+
+// Figure 3: one sample on the mostly-uniform 25-sequence.
+func BenchmarkFig3Sample(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunFig3(cfg)
+	}
+}
+
+// Figure 5: the unattributed-histogram sweep (3 datasets x 3 epsilons).
+func BenchmarkFig5Unattributed(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunFig5(cfg)
+	}
+}
+
+// Figure 6: the universal-histogram range sweep (2 datasets x 3 epsilons).
+func BenchmarkFig6Universal(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunFig6(cfg)
+	}
+}
+
+// Figure 7: the positional error profile on NetTrace.
+func BenchmarkFig7Profile(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 5
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunFig7(cfg)
+	}
+}
+
+// Theorem 2: the d-scaling study for S-bar.
+func BenchmarkTheorem2Scaling(b *testing.B) {
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunTheorem2(cfg)
+	}
+}
+
+// Theorem 4(iv): the all-but-endpoints gap experiment.
+func BenchmarkTheorem4Gap(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 5
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunTheorem4(cfg)
+	}
+}
+
+// Appendix E: the usefulness-bound table and the database-size growth
+// comparison against the equi-depth baseline.
+func BenchmarkBlumComparison(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.BlumBounds(0.05, 0.01)
+		_ = experiments.RunBlumEmpirical(cfg)
+	}
+}
+
+// Ablation: branching-factor sweep for the H tree.
+func BenchmarkBranchingFactor(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunBranching(cfg)
+	}
+}
+
+// Ablation: Section 4.2 non-negativity heuristic.
+func BenchmarkNonNegativityAblation(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunNonNegativity(cfg)
+	}
+}
+
+// Ablation: wavelet mechanism vs the H strategies.
+func BenchmarkWaveletVsHTree(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunWaveletComparison(cfg)
+	}
+}
+
+// Extension: 2D universal histograms (Appendix B future work).
+func Benchmark2DExtension(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunExt2D(cfg)
+	}
+}
+
+// Theorem 1's solution via PAVA is linear time: full 65536-element
+// isotonic inference per iteration.
+func BenchmarkInferSorted64K(b *testing.B) {
+	truth := make([]float64, 1<<16)
+	for i := range truth {
+		truth[i] = float64(i / 64)
+	}
+	noisy := core.Perturb(truth, 1, 0.1, laplace.NewRand(1, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.InferSorted(noisy)
+	}
+}
+
+// Theorem 3's two-pass inference is linear time: a height-17 binary tree
+// (131071 nodes) per iteration.
+func BenchmarkInferTree64K(b *testing.B) {
+	tree := htree.MustNew(2, 1<<16)
+	unit := make([]float64, 1<<16)
+	noisy := core.ReleaseTree(tree, unit, 0.1, laplace.NewRand(2, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.InferTree(tree, noisy)
+	}
+}
+
+// The Laplace mechanism itself at figure scale.
+func BenchmarkRelease64K(b *testing.B) {
+	unit := make([]float64, 1<<16)
+	src := laplace.NewRand(3, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = core.ReleaseL(unit, 1.0, src)
+	}
+}
+
+// The Haar decomposition at figure scale.
+func BenchmarkWaveletDecompose64K(b *testing.B) {
+	unit := make([]float64, 1<<16)
+	for i := range unit {
+		unit[i] = float64(i % 31)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wavelet.Decompose(unit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end public API: one universal release over a 16K domain.
+func BenchmarkUniversalHistogram16K(b *testing.B) {
+	counts := make([]float64, 1<<14)
+	for i := range counts {
+		counts[i] = float64(i % 7)
+	}
+	m := MustNew(WithSeed(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.UniversalHistogram(counts, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end public API: one unattributed release over a 16K multiset.
+func BenchmarkUnattributedHistogram16K(b *testing.B) {
+	counts := make([]float64, 1<<14)
+	for i := range counts {
+		counts[i] = float64(i % 100)
+	}
+	m := MustNew(WithSeed(10))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.UnattributedHistogram(counts, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Command dphist-bench regenerates every table and figure of the paper's
+// evaluation (Hay et al., PVLDB 2010) on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	dphist-bench [flags] <experiment>
+//
+// Experiments:
+//
+//	fig2      the Figure 2(b) running example (queries L, H, S)
+//	fig3      one noisy/inferred sample on the Figure 3 sequence
+//	fig5      unattributed histogram error (S~, S~r, S-bar)
+//	fig6      universal histogram error vs range size (L~, H~, H-bar)
+//	fig7      positional error profile of S-bar on NetTrace
+//	theorem2  error(S-bar) scaling with the number of distinct counts
+//	theorem4  the Theorem 4(iv) error-ratio experiment
+//	blum      Appendix E bounds and the database-size growth experiment
+//	branching branching-factor ablation for the H tree
+//	nonneg    Section 4.2 non-negativity heuristic ablation
+//	wavelet   Haar wavelet (Xiao et al.) vs H~ and H-bar
+//	2d        2D universal histograms (Appendix B extension)
+//	verify    live scorecard of every reproducible paper claim
+//	all       run everything above in order
+//
+// Flags:
+//
+//	-seed N      random seed (default 42)
+//	-trials N    mechanism samples per measurement (default: paper's value)
+//	-ranges N    random ranges per size for fig6 (default 1000)
+//	-eps LIST    comma-separated epsilons (default 1.0,0.1,0.01)
+//	-scale S     "paper" or "small" workload sizes (default paper)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/dphist/dphist/internal/experiments"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 42, "random seed")
+		trials = flag.Int("trials", 0, "mechanism samples per measurement (0 = paper default)")
+		ranges = flag.Int("ranges", 0, "random ranges per size in fig6 (0 = 1000)")
+		epsArg = flag.String("eps", "", "comma-separated epsilon list (default 1.0,0.1,0.01)")
+		scale  = flag.String("scale", "paper", `workload scale: "paper" or "small"`)
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, RangesPerSize: *ranges}
+	switch *scale {
+	case "paper":
+		cfg.Scale = experiments.ScalePaper
+	case "small":
+		cfg.Scale = experiments.ScaleSmall
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+	if *epsArg != "" {
+		for _, tok := range strings.Split(*epsArg, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil || v <= 0 {
+				fatalf("bad epsilon %q", tok)
+			}
+			cfg.Epsilons = append(cfg.Epsilons, v)
+		}
+	}
+
+	runners := map[string]func(experiments.Config){
+		"fig2":      runFig2,
+		"fig3":      runFig3,
+		"fig5":      runFig5,
+		"fig6":      runFig6,
+		"fig7":      runFig7,
+		"theorem2":  runTheorem2,
+		"theorem4":  runTheorem4,
+		"blum":      runBlum,
+		"branching": runBranching,
+		"nonneg":    runNonNeg,
+		"wavelet":   runWavelet,
+		"2d":        run2D,
+		"verify":    runVerify,
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"fig2", "fig3", "fig5", "fig6", "fig7",
+			"theorem2", "theorem4", "blum", "branching", "nonneg", "wavelet", "2d"} {
+			runners[n](cfg)
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[name]
+	if !ok {
+		fatalf("unknown experiment %q", name)
+	}
+	run(cfg)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: dphist-bench [flags] <experiment>\n\n")
+	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d all\n\n")
+	flag.PrintDefaults()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dphist-bench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func vec(x []float64) string {
+	parts := make([]string, len(x))
+	for i, v := range x {
+		if v < 1e-9 && v > -1e-9 { // suppress float dust in displays
+			v = 0
+		}
+		parts[i] = strconv.FormatFloat(v, 'g', 4, 64)
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+func runFig2(cfg experiments.Config) {
+	fmt.Println("== Figure 2(b): query variations on the running example ==")
+	res := experiments.RunFig2(cfg, 1.0)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "query\ttrue answer\tprivate output\tinferred answer\n")
+	fmt.Fprintf(w, "L\t%s\t%s\t-\n", vec(res.TrueL), vec(res.NoisyL))
+	fmt.Fprintf(w, "H\t%s\t%s\t%s\n", vec(res.TrueH), vec(res.NoisyH), vec(res.InferredH))
+	fmt.Fprintf(w, "S\t%s\t%s\t%s\n", vec(res.TrueS), vec(res.NoisyS), vec(res.InferredS))
+	w.Flush()
+	hbar, sbar := experiments.PaperFig2Inference()
+	fmt.Printf("\npaper's printed noisy draws re-inferred:\n")
+	fmt.Printf("  H~=<13,3,11,4,1,12,1> -> H-bar=%s (paper: <14,3,11,3,0,11,0>)\n", vec(hbar))
+	fmt.Printf("  S~=<1,2,0,11>         -> S-bar=%s (paper: <1,1,1,11>)\n", vec(sbar))
+}
+
+func runFig3(cfg experiments.Config) {
+	fmt.Println("== Figure 3: one sample on a mostly-uniform sequence (eps=1.0) ==")
+	res := experiments.RunFig3(cfg)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "index\tS(I)\ts~\ts-bar\t\n")
+	for i := range res.Truth {
+		fmt.Fprintf(w, "%d\t%.0f\t%.2f\t%.2f\t\n", i+1, res.Truth[i], res.Noisy[i], res.Inferred[i])
+	}
+	w.Flush()
+}
+
+func runFig5(cfg experiments.Config) {
+	fmt.Println("== Figure 5: unattributed histogram error (mean squared error per position) ==")
+	rows := experiments.RunFig5(cfg)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "dataset\teps\terror(S~)\terror(S~r)\terror(S-bar)\timprovement\t\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%g\t%.4g\t%.4g\t%.4g\t%.1fx\t\n",
+			r.Dataset, r.Epsilon, r.ErrSTilde, r.ErrSr, r.ErrSBar, r.ErrSTilde/r.ErrSBar)
+	}
+	w.Flush()
+}
+
+func runFig6(cfg experiments.Config) {
+	fmt.Println("== Figure 6: range query error vs range size ==")
+	rows := experiments.RunFig6(cfg)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "dataset\teps\trange size\terror(L~)\terror(H~)\terror(H-bar)\t\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%g\t%d\t%.4g\t%.4g\t%.4g\t\n",
+			r.Dataset, r.Epsilon, r.RangeSize, r.ErrL, r.ErrH, r.ErrHBar)
+	}
+	w.Flush()
+}
+
+func runFig7(cfg experiments.Config) {
+	fmt.Println("== Figure 7: positional error of S-bar on NetTrace (descending order) ==")
+	res := experiments.RunFig7(cfg)
+	sum := res.Summarize()
+	fmt.Printf("eps=%g trials=%d positions=%d\n", res.Epsilon, res.Trials, len(res.Truth))
+	fmt.Printf("error(S~) at every position: %.4g\n", sum.ErrSTilde)
+	fmt.Printf("error(S-bar): overall %.4g | interior of uniform runs %.4g | run boundaries %.4g\n",
+		sum.MeanOverall, sum.MeanInterior, sum.MeanBoundary)
+	// Downsampled profile: 32 evenly spaced positions.
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "position\ttrue count\terror(S-bar)\t\n")
+	step := len(res.Truth) / 32
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(res.Truth); i += step {
+		fmt.Fprintf(w, "%d\t%.0f\t%.4g\t\n", i+1, res.Truth[i], res.ErrSBar[i])
+	}
+	w.Flush()
+}
+
+func runTheorem2(cfg experiments.Config) {
+	fmt.Println("== Theorem 2: error(S-bar) scaling with distinct counts d (eps=1.0) ==")
+	rows := experiments.RunTheorem2(cfg)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "n\td\terror(S-bar)\terror(S~)\tsum log^3(n_i)\t\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%.4g\t%.4g\t%.4g\t\n", r.N, r.D, r.ErrSBar, r.ErrSTilde, r.Bound)
+	}
+	w.Flush()
+}
+
+func runTheorem4(cfg experiments.Config) {
+	fmt.Println("== Theorem 4(iv): all-but-endpoints query, H~ vs H-bar ==")
+	res := experiments.RunTheorem4(cfg)
+	fmt.Printf("tree: height %d, k=%d\n", res.Height, res.K)
+	fmt.Printf("error(H~_q)    = %.4g\n", res.ErrHTilde)
+	fmt.Printf("error(H-bar_q) = %.4g\n", res.ErrHBar)
+	fmt.Printf("measured ratio  = %.2f (theorem predicts >= %.2f)\n", res.MeasuredRatio, res.PredictedRatio)
+}
+
+func runBlum(cfg experiments.Config) {
+	fmt.Println("== Appendix E: comparison with Blum et al. ==")
+	fmt.Println("-- (eps,delta)-usefulness bounds: minimum database size N (usefulness=0.05, delta=0.01) --")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "domain n\talpha\tmin N (H~)\tmin N (Blum et al.)\t\n")
+	for _, r := range experiments.BlumBounds(0.05, 0.01) {
+		fmt.Fprintf(w, "%d\t%g\t%.4g\t%.4g\t\n", r.DomainN, r.Alpha, r.MinNHTree, r.MinNBlum)
+	}
+	w.Flush()
+	fmt.Println("-- absolute range error vs database size (alpha=1.0) --")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "records N\tmean |err| H~\tmean |err| equi-depth\t\n")
+	for _, r := range experiments.RunBlumEmpirical(cfg) {
+		fmt.Fprintf(w, "%d\t%.4g\t%.4g\t\n", r.Records, r.AbsErrHTree, r.AbsErrEquiDF)
+	}
+	w.Flush()
+}
+
+func runBranching(cfg experiments.Config) {
+	fmt.Println("== Ablation: branching factor k (eps=0.1, mixed random ranges) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "k\theight\terror(H~)\terror(H-bar)\t\n")
+	for _, r := range experiments.RunBranching(cfg) {
+		fmt.Fprintf(w, "%d\t%d\t%.4g\t%.4g\t\n", r.K, r.Height, r.ErrHTilde, r.ErrHBar)
+	}
+	w.Flush()
+}
+
+func runNonNeg(cfg experiments.Config) {
+	fmt.Println("== Ablation: Section 4.2 non-negativity heuristic (unit counts) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "eps\terror(L~)\terror(H-bar plain)\terror(H-bar nonneg)\tsparse frac\t\n")
+	for _, r := range experiments.RunNonNegativity(cfg) {
+		fmt.Fprintf(w, "%g\t%.4g\t%.4g\t%.4g\t%.2f\t\n",
+			r.Epsilon, r.ErrLTilde, r.ErrHBarPlain, r.ErrHBarNonNeg, r.SparseFraction)
+	}
+	w.Flush()
+}
+
+func runVerify(cfg experiments.Config) {
+	fmt.Println("== Reproduction scorecard (small-scale, live) ==")
+	claims := experiments.Verify(cfg)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	failures := 0
+	for _, c := range claims {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", mark, c.ID, c.Text, c.Detail)
+	}
+	w.Flush()
+	if failures > 0 {
+		fmt.Printf("\n%d of %d claims FAILED\n", failures, len(claims))
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d claims reproduced\n", len(claims))
+}
+
+func run2D(cfg experiments.Config) {
+	fmt.Println("== Extension: 2D universal histograms (Appendix B future work) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "eps\terror(flat 2D L~)\terror(quadtree H~)\terror(H-bar)\terror(H-bar+nonneg)\t\n")
+	for _, r := range experiments.RunExt2D(cfg) {
+		fmt.Fprintf(w, "%g\t%.4g\t%.4g\t%.4g\t%.4g\t\n",
+			r.Epsilon, r.ErrFlat, r.ErrQuadTree, r.ErrInferred, r.ErrInferredNN)
+	}
+	w.Flush()
+}
+
+func runWavelet(cfg experiments.Config) {
+	fmt.Println("== Ablation: Haar wavelet (Xiao et al.) vs H~ and H-bar ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "eps\terror(wavelet)\terror(H~)\terror(H-bar)\t\n")
+	for _, r := range experiments.RunWaveletComparison(cfg) {
+		fmt.Fprintf(w, "%g\t%.4g\t%.4g\t%.4g\t\n", r.Epsilon, r.ErrWavelet, r.ErrHTilde, r.ErrHBar)
+	}
+	w.Flush()
+}

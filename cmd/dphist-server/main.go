@@ -1,0 +1,86 @@
+// Command dphist-server runs the private histogram interface of Appendix
+// B: it loads a sensitive dataset once, holds a fixed epsilon budget, and
+// answers HTTP release requests until the budget is exhausted.
+//
+// Usage:
+//
+//	dphist-server -domain 1024 -budget 2.0 [flags] < records.csv
+//
+// Flags:
+//
+//	-addr A      listen address (default :8080)
+//	-domain N    domain size (required)
+//	-col N       0-based CSV column holding the position (default 0)
+//	-budget F    total epsilon budget (default 1.0)
+//	-cap F       per-request epsilon cap (0 = none)
+//	-k N         universal tree branching factor (default 2)
+//	-seed N      noise seed (0 = derive from current time)
+//
+// API:
+//
+//	GET  /v1/budget   -> {"total":..,"spent":..,"remaining":..}
+//	POST /v1/release  {"task":"universal|unattributed|laplace","epsilon":0.1}
+//	                  -> {"task":..,"release":{..},"budget_remaining":..}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/dphist/dphist/internal/server"
+	"github.com/dphist/dphist/internal/table"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		domainSize = flag.Int("domain", 0, "domain size (required)")
+		col        = flag.Int("col", 0, "0-based CSV column holding the position")
+		budget     = flag.Float64("budget", 1.0, "total epsilon budget")
+		cap        = flag.Float64("cap", 0, "per-request epsilon cap (0 = none)")
+		branching  = flag.Int("k", 2, "universal tree branching factor")
+		seed       = flag.Uint64("seed", 0, "noise seed (0 = derive from current time)")
+	)
+	flag.Parse()
+	if *domainSize < 1 {
+		fmt.Fprintln(os.Stderr, "dphist-server: -domain is required and must be positive")
+		os.Exit(2)
+	}
+	tab, err := table.New(*domainSize)
+	if err != nil {
+		fatal(err)
+	}
+	index := func(s string) (int, error) { return strconv.Atoi(s) }
+	loaded, skipped, err := table.ReadCSV(os.Stdin, *col, index, tab)
+	if err != nil {
+		fatal(err)
+	}
+	s := *seed
+	if s == 0 {
+		s = uint64(time.Now().UnixNano())
+	}
+	srv, err := server.New(server.Config{
+		Counts:               tab.Histogram(),
+		Budget:               *budget,
+		Seed:                 s,
+		Branching:            *branching,
+		MaxEpsilonPerRequest: *cap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dphist-server: protecting %d records over domain %d (skipped %d rows), budget eps=%g, listening on %s\n",
+		loaded, *domainSize, skipped, *budget, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dphist-server: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package dphist
+
+import (
+	"sync"
+	"testing"
+)
+
+// A Mechanism is documented as safe for concurrent use: parallel releases
+// must neither race (run with -race) nor reuse noise streams.
+func TestMechanismConcurrentReleases(t *testing.T) {
+	m := MustNew(WithSeed(1))
+	counts := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	const workers = 16
+	results := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rel, err := m.LaplaceHistogram(counts, 1.0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = rel.Noisy
+		}(w)
+	}
+	wg.Wait()
+	// No two releases share a noise stream: all noisy vectors distinct.
+	for i := 0; i < workers; i++ {
+		for j := i + 1; j < workers; j++ {
+			if results[i] == nil || results[j] == nil {
+				t.Fatal("missing result")
+			}
+			same := true
+			for p := range results[i] {
+				if results[i][p] != results[j][p] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("workers %d and %d produced identical noise", i, j)
+			}
+		}
+	}
+}
+
+// Concurrent mixed-task usage exercises every release path under -race.
+func TestMechanismConcurrentMixedTasks(t *testing.T) {
+	m := MustNew(WithSeed(2))
+	counts := make([]float64, 64)
+	for i := range counts {
+		counts[i] = float64(i % 5)
+	}
+	cells := [][]float64{{1, 2}, {3, 4}}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.UniversalHistogram(counts, 0.5); err != nil {
+				t.Error(err)
+			}
+			if _, err := m.UnattributedHistogram(counts, 0.5); err != nil {
+				t.Error(err)
+			}
+			if _, err := m.WaveletHistogram(counts, 0.5); err != nil {
+				t.Error(err)
+			}
+			if _, err := m.Universal2DHistogram(cells, 0.5); err != nil {
+				t.Error(err)
+			}
+			if _, err := m.DegreeSequence(counts, 0.5); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,35 @@
+// Package dphist releases differentially private histograms whose
+// accuracy is boosted by constrained inference, implementing
+//
+//	Michael Hay, Vibhor Rastogi, Gerome Miklau, Dan Suciu.
+//	Boosting the Accuracy of Differentially Private Histograms Through
+//	Consistency. PVLDB 3(1), 2010.
+//
+// The core idea: instead of adding Laplace noise to the plain histogram,
+// ask a query whose true answer satisfies known constraints — the counts
+// in sorted order (constraints: non-decreasing) or a hierarchy of range
+// counts (constraints: parent equals sum of children) — and then project
+// the noisy answer onto the constraint set. The projection is pure
+// post-processing, so the differential privacy guarantee is untouched,
+// yet the result is often dramatically more accurate.
+//
+// Two histogram tasks are supported end to end:
+//
+//   - Unattributed histograms (Mechanism.UnattributedHistogram): the
+//     multiset of counts, e.g. the degree sequence of a graph. Error
+//     drops from Theta(n/eps^2) to O(d log^3 n / eps^2) where d is the
+//     number of distinct counts.
+//   - Universal histograms (Mechanism.UniversalHistogram): a release
+//     that answers arbitrary range-count queries, with poly-logarithmic
+//     error in the domain size instead of linear.
+//
+// Baselines from the paper are included for comparison: the flat Laplace
+// histogram L~ (Mechanism.LaplaceHistogram), the sort-and-round estimator
+// S~r (UnattributedRelease.SortRoundBaseline), the no-inference tree H~
+// (UniversalRelease.RangeNoisy), and the Haar-wavelet mechanism of Xiao
+// et al. (Mechanism.WaveletHistogram).
+//
+// All randomness is deterministic given the Mechanism seed, which makes
+// experiments reproducible; distinct releases from one Mechanism use
+// independent noise streams.
+package dphist

@@ -1,0 +1,212 @@
+package dphist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+// Mechanism issues differentially private histogram releases. The zero
+// value is not usable; construct with New. A Mechanism is safe for
+// concurrent use; each release consumes an independent, deterministic
+// noise stream derived from the seed.
+type Mechanism struct {
+	seed      uint64
+	branching int
+	nonNeg    bool
+	round     bool
+
+	mu    sync.Mutex
+	trial int
+}
+
+// Option configures a Mechanism.
+type Option func(*Mechanism) error
+
+// WithSeed fixes the noise-stream seed; releases become a reproducible
+// function of the call order. The default seed is 0.
+func WithSeed(seed uint64) Option {
+	return func(m *Mechanism) error {
+		m.seed = seed
+		return nil
+	}
+}
+
+// WithBranching sets the fan-out k of the hierarchical query tree used by
+// UniversalHistogram (default 2, the paper's experimental setting).
+func WithBranching(k int) Option {
+	return func(m *Mechanism) error {
+		if k < 2 {
+			return fmt.Errorf("dphist: branching factor %d < 2", k)
+		}
+		m.branching = k
+		return nil
+	}
+}
+
+// WithoutNonNegativity disables the Section 4.2 heuristic that zeroes
+// subtrees with non-positive inferred counts. Useful for ablations; the
+// default keeps it on, as in the paper's experiments.
+func WithoutNonNegativity() Option {
+	return func(m *Mechanism) error {
+		m.nonNeg = false
+		return nil
+	}
+}
+
+// WithoutRounding disables the final rounding of estimates to
+// non-negative integers. The default rounds, matching the paper's
+// measurement protocol.
+func WithoutRounding() Option {
+	return func(m *Mechanism) error {
+		m.round = false
+		return nil
+	}
+}
+
+// New returns a Mechanism with the given options applied.
+func New(opts ...Option) (*Mechanism, error) {
+	m := &Mechanism{branching: 2, nonNeg: true, round: true}
+	for _, opt := range opts {
+		if err := opt(m); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on option errors; convenient in examples and
+// tests where options are literals.
+func MustNew(opts ...Option) *Mechanism {
+	m, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// nextStream returns the next deterministic noise stream.
+func (m *Mechanism) nextStream() *rand.Rand {
+	m.mu.Lock()
+	t := m.trial
+	m.trial++
+	m.mu.Unlock()
+	return laplace.Stream(m.seed, t)
+}
+
+var (
+	errEmptyCounts = errors.New("dphist: empty count vector")
+	errBadEpsilon  = errors.New("dphist: epsilon must be positive and finite")
+)
+
+func validate(counts []float64, eps float64) error {
+	if len(counts) == 0 {
+		return errEmptyCounts
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return fmt.Errorf("%w, got %v", errBadEpsilon, eps)
+	}
+	for i, v := range counts {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dphist: count %d is %v", i, v)
+		}
+	}
+	return nil
+}
+
+// LaplaceHistogram releases the flat noisy histogram L~ of the paper:
+// independent Lap(1/eps) noise on every unit count (sensitivity 1). This
+// is the conventional baseline; it is most accurate for point queries but
+// its range-query error grows linearly with range size.
+func (m *Mechanism) LaplaceHistogram(counts []float64, eps float64) (*LaplaceRelease, error) {
+	if err := validate(counts, eps); err != nil {
+		return nil, err
+	}
+	noisy := core.ReleaseL(counts, eps, m.nextStream())
+	return newLaplaceRelease(noisy, m.round), nil
+}
+
+// UnattributedHistogram releases the multiset of counts (the paper's
+// sorted query S with constrained inference S-bar): the positions of the
+// input are irrelevant, only the sorted count vector is estimated.
+// Sensitivity stays 1, and isotonic regression on the noisy sorted
+// answer boosts accuracy by up to orders of magnitude when many counts
+// repeat (Theorem 2) — degree sequences and rank-frequency data are the
+// motivating cases.
+func (m *Mechanism) UnattributedHistogram(counts []float64, eps float64) (*UnattributedRelease, error) {
+	if err := validate(counts, eps); err != nil {
+		return nil, err
+	}
+	noisy := core.ReleaseSorted(counts, eps, m.nextStream())
+	inferred := core.InferSorted(noisy)
+	final := append([]float64(nil), inferred...)
+	if m.round {
+		core.RoundNonNegInt(final)
+	}
+	return &UnattributedRelease{Noisy: noisy, Inferred: inferred, Counts: final}, nil
+}
+
+// UniversalHistogram releases a hierarchical histogram (the paper's H
+// query with constrained inference H-bar) able to answer arbitrary
+// range-count queries with poly-logarithmic error. The Laplace noise is
+// scaled to the tree height (sensitivity ell); Theorem 3's closed form
+// projects the noisy tree onto consistency, which by Theorem 4 is the
+// minimum-variance linear unbiased estimate.
+func (m *Mechanism) UniversalHistogram(counts []float64, eps float64) (*UniversalRelease, error) {
+	if err := validate(counts, eps); err != nil {
+		return nil, err
+	}
+	tree, err := htree.New(m.branching, len(counts))
+	if err != nil {
+		return nil, fmt.Errorf("dphist: %w", err)
+	}
+	noisy := core.ReleaseTree(tree, counts, eps, m.nextStream())
+	inferred := core.InferTree(tree, noisy)
+	post := append([]float64(nil), inferred...)
+	if m.nonNeg {
+		core.ZeroNegativeSubtrees(tree, post)
+	}
+	if m.round {
+		core.RoundNonNegInt(post)
+	}
+	return newUniversalRelease(tree, noisy, inferred, post), nil
+}
+
+// WaveletHistogram releases the Haar-wavelet mechanism of Xiao et al.
+// (Privelet), the related-work comparator whose range-query error is
+// order-equivalent to a binary UniversalHistogram without inference.
+func (m *Mechanism) WaveletHistogram(counts []float64, eps float64) (*WaveletRelease, error) {
+	if err := validate(counts, eps); err != nil {
+		return nil, err
+	}
+	return newWaveletRelease(counts, eps, m.round, m.nextStream())
+}
+
+// HierarchyRelease answers a custom constrained query set, such as the
+// introduction's student-grades example, under eps-differential privacy:
+// the true answers are perturbed with noise scaled to the hierarchy's
+// sensitivity and then projected onto the constraints by least squares.
+func (m *Mechanism) HierarchyRelease(h *Hierarchy, leafCounts []float64, eps float64) (*HierarchyReleaseResult, error) {
+	if err := validate(leafCounts, eps); err != nil {
+		return nil, err
+	}
+	if h == nil || h.inner == nil {
+		return nil, errors.New("dphist: nil hierarchy")
+	}
+	if len(leafCounts) != len(h.inner.Leaves()) {
+		return nil, fmt.Errorf("dphist: %d leaf counts for %d leaves", len(leafCounts), len(h.inner.Leaves()))
+	}
+	truth := h.inner.FromLeaves(leafCounts)
+	noisy := core.Perturb(truth, h.inner.Sensitivity(), eps, m.nextStream())
+	inferred, err := h.inner.Infer(noisy)
+	if err != nil {
+		return nil, err
+	}
+	return &HierarchyReleaseResult{Noisy: noisy, Inferred: inferred}, nil
+}

@@ -1,0 +1,399 @@
+package dphist
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestNewOptionErrors(t *testing.T) {
+	if _, err := New(WithBranching(1)); err == nil {
+		t.Fatal("branching 1 accepted")
+	}
+	if _, err := New(WithBranching(4), WithSeed(9)); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(WithBranching(0))
+}
+
+func TestValidateErrors(t *testing.T) {
+	m := MustNew()
+	if _, err := m.LaplaceHistogram(nil, 1); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := m.LaplaceHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := m.LaplaceHistogram([]float64{math.NaN()}, 1); err == nil {
+		t.Error("NaN count accepted")
+	}
+	if _, err := m.UnattributedHistogram([]float64{1}, math.Inf(1)); err == nil {
+		t.Error("infinite epsilon accepted")
+	}
+	if _, err := m.UniversalHistogram([]float64{math.Inf(1)}, 1); err == nil {
+		t.Error("infinite count accepted")
+	}
+	if _, err := m.WaveletHistogram(nil, 1); err == nil {
+		t.Error("empty wavelet counts accepted")
+	}
+}
+
+func TestDeterminismAcrossMechanisms(t *testing.T) {
+	counts := []float64{2, 0, 10, 2}
+	a, err := MustNew(WithSeed(11)).UnattributedHistogram(counts, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MustNew(WithSeed(11)).UnattributedHistogram(counts, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Noisy {
+		if a.Noisy[i] != b.Noisy[i] {
+			t.Fatal("same seed, different release")
+		}
+	}
+	c, err := MustNew(WithSeed(12)).UnattributedHistogram(counts, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Noisy {
+		if a.Noisy[i] != c.Noisy[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds, identical release")
+	}
+}
+
+func TestSuccessiveReleasesIndependent(t *testing.T) {
+	m := MustNew(WithSeed(5))
+	counts := []float64{3, 3, 3, 3}
+	r1, _ := m.LaplaceHistogram(counts, 1.0)
+	r2, _ := m.LaplaceHistogram(counts, 1.0)
+	same := true
+	for i := range r1.Noisy {
+		if r1.Noisy[i] != r2.Noisy[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two releases reused the same noise stream")
+	}
+}
+
+func TestLaplaceRelease(t *testing.T) {
+	m := MustNew(WithSeed(1))
+	counts := []float64{5, 0, 7, 1}
+	r, err := m.LaplaceHistogram(counts, 10) // tiny noise
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Counts) != 4 {
+		t.Fatal("length wrong")
+	}
+	for _, v := range r.Counts {
+		if v < 0 || v != math.Trunc(v) {
+			t.Fatalf("rounded count %v not a non-negative integer", v)
+		}
+	}
+	got, err := r.Range(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r.Total() {
+		t.Fatal("Range(0,n) != Total")
+	}
+	if _, err := r.Range(2, 2); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	// At eps=10 the rounded answer should equal the truth.
+	for i, v := range r.Counts {
+		if math.Abs(v-counts[i]) > 1 {
+			t.Fatalf("eps=10 estimate too far: %v vs %v", v, counts[i])
+		}
+	}
+}
+
+func TestLaplaceWithoutRounding(t *testing.T) {
+	m := MustNew(WithSeed(1), WithoutRounding())
+	r, err := m.LaplaceHistogram([]float64{5, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounded := 0
+	for _, v := range r.Counts {
+		if v == math.Trunc(v) {
+			rounded++
+		}
+	}
+	if rounded == len(r.Counts) {
+		t.Fatal("WithoutRounding still produced all-integer counts")
+	}
+}
+
+func TestUnattributedRelease(t *testing.T) {
+	m := MustNew(WithSeed(2))
+	counts := []float64{2, 0, 10, 2}
+	r, err := m.UnattributedHistogram(counts, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(r.Inferred) {
+		t.Fatal("inferred answer not sorted")
+	}
+	if !sort.Float64sAreSorted(r.Counts) {
+		t.Fatal("published answer not sorted")
+	}
+	for _, v := range r.Counts {
+		if v < 0 || v != math.Trunc(v) {
+			t.Fatal("published counts must be non-negative integers")
+		}
+	}
+	base := r.SortRoundBaseline()
+	if !sort.Float64sAreSorted(base) {
+		t.Fatal("baseline not sorted")
+	}
+	if len(base) != len(counts) {
+		t.Fatal("baseline length wrong")
+	}
+}
+
+func TestUniversalReleaseConsistencyAndRanges(t *testing.T) {
+	m := MustNew(WithSeed(3), WithoutNonNegativity(), WithoutRounding())
+	counts := make([]float64, 100)
+	for i := range counts {
+		counts[i] = float64(i % 11)
+	}
+	r, err := m.UniversalHistogram(counts, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Domain() != 100 {
+		t.Fatalf("domain = %d", r.Domain())
+	}
+	if r.Branching() != 2 {
+		t.Fatalf("branching = %d", r.Branching())
+	}
+	if r.TreeHeight() != 8 { // 128 leaves
+		t.Fatalf("height = %d", r.TreeHeight())
+	}
+	// Range must equal the sum of unit estimates (consistency).
+	leaves := r.Counts()
+	want := 0.0
+	for i := 20; i < 77; i++ {
+		want += leaves[i]
+	}
+	got, err := r.Range(20, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Range = %v, leaf sum = %v", got, want)
+	}
+	// Inferred tree is internally consistent: the root equals the sum of
+	// all 128 leaves (padding included; padding leaves carry noise too).
+	tree := r.InferredTree()
+	allLeaves := 0.0
+	for _, v := range tree[127:] {
+		allLeaves += v
+	}
+	if math.Abs(tree[0]-allLeaves) > 1e-6 {
+		t.Fatalf("root %v != sum of all leaves %v", tree[0], allLeaves)
+	}
+	// Total() covers only the real domain, matching Range(0, 100).
+	full, _ := r.Range(0, 100)
+	if math.Abs(full-r.Total()) > 1e-9 {
+		t.Fatalf("Range(0,100) %v != Total %v", full, r.Total())
+	}
+	if _, err := r.Range(0, 101); err == nil {
+		t.Fatal("overlong range accepted")
+	}
+	if _, err := r.RangeNoisy(-1, 5); err == nil {
+		t.Fatal("negative range accepted")
+	}
+	// Noisy tree has the right size: 255 nodes for 128 leaves.
+	if len(r.NoisyTree()) != 255 {
+		t.Fatalf("noisy tree nodes = %d", len(r.NoisyTree()))
+	}
+}
+
+func TestUniversalNonNegativityZeroesEmptyRegions(t *testing.T) {
+	// Sparse domain: all mass in one narrow block. With the heuristic on
+	// and eps small, faraway empty regions should publish exact zeros.
+	counts := make([]float64, 1024)
+	for i := 100; i < 110; i++ {
+		counts[i] = 5000
+	}
+	m := MustNew(WithSeed(4))
+	r, err := m.UniversalHistogram(counts, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := r.Counts()
+	zeros := 0
+	for i := 512; i < 1024; i++ {
+		if leaves[i] == 0 {
+			zeros++
+		}
+	}
+	if zeros < 400 {
+		t.Fatalf("only %d of 512 far-empty positions zeroed", zeros)
+	}
+}
+
+func TestUniversalBranchingOption(t *testing.T) {
+	m := MustNew(WithSeed(6), WithBranching(4))
+	r, err := m.UniversalHistogram(make([]float64, 64), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Branching() != 4 || r.TreeHeight() != 4 {
+		t.Fatalf("k=%d height=%d, want 4/4", r.Branching(), r.TreeHeight())
+	}
+}
+
+func TestWaveletRelease(t *testing.T) {
+	m := MustNew(WithSeed(7))
+	counts := []float64{10, 0, 3, 8, 2, 2, 2, 2}
+	r, err := m.WaveletHistogram(counts, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Counts()
+	if len(got) != 8 {
+		t.Fatal("length wrong")
+	}
+	s, err := r.Range(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range got {
+		sum += v
+	}
+	if math.Abs(s-sum) > 1e-9 {
+		t.Fatal("Range(0,n) != sum of counts")
+	}
+	if _, err := r.Range(5, 3); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestHierarchyReleaseGrades(t *testing.T) {
+	m := MustNew(WithSeed(8))
+	h := Grades()
+	if h.Sensitivity() != 3 || h.Len() != 7 {
+		t.Fatalf("grades hierarchy wrong: sens=%v len=%d", h.Sensitivity(), h.Len())
+	}
+	leaves := h.Leaves()
+	if len(leaves) != 5 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	r, err := m.HierarchyRelease(h, []float64{120, 180, 90, 40, 25}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistency of the inferred answers: xt = xp + xF, xp = sum grades.
+	inf := r.Inferred
+	if math.Abs(inf[0]-(inf[1]+inf[6])) > 1e-6 {
+		t.Fatalf("xt constraint violated: %v", inf)
+	}
+	if math.Abs(inf[1]-(inf[2]+inf[3]+inf[4]+inf[5])) > 1e-6 {
+		t.Fatalf("xp constraint violated: %v", inf)
+	}
+}
+
+func TestHierarchyReleaseErrors(t *testing.T) {
+	m := MustNew()
+	if _, err := m.HierarchyRelease(nil, []float64{1}, 1); err == nil {
+		t.Error("nil hierarchy accepted")
+	}
+	if _, err := m.HierarchyRelease(Grades(), []float64{1, 2}, 1); err == nil {
+		t.Error("wrong leaf count accepted")
+	}
+	if _, err := NewHierarchy([]int{0}); err == nil {
+		t.Error("self-parent accepted")
+	}
+	if h, err := NewHierarchy([]int{-1, 0, 0}); err != nil || h.Len() != 3 {
+		t.Errorf("valid hierarchy rejected: %v", err)
+	}
+}
+
+func TestAccountantPublicAPI(t *testing.T) {
+	a := NewAccountant(1.0)
+	if err := a.Spend("histogram", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Spent() != 0.5 || a.Total() != 1.0 {
+		t.Fatal("bookkeeping wrong")
+	}
+	if a.Remaining() != 0.5 {
+		t.Fatal("remaining wrong")
+	}
+	if err := a.Spend("too much", 0.6); err == nil {
+		t.Fatal("overdraw accepted")
+	}
+}
+
+// End-to-end accuracy smoke test: on a heavily duplicated sequence, the
+// unattributed release must beat the raw noisy answer by a wide margin.
+func TestEndToEndUnattributedAccuracy(t *testing.T) {
+	n := 512
+	counts := make([]float64, n)
+	for i := range counts {
+		counts[i] = float64((i / 128) * 7) // 4 distinct values
+	}
+	truth := append([]float64(nil), counts...)
+	sort.Float64s(truth)
+	m := MustNew(WithSeed(99), WithoutRounding())
+	var errNoisy, errInferred float64
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		r, err := m.UnattributedHistogram(counts, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range truth {
+			dn := r.Noisy[i] - truth[i]
+			di := r.Inferred[i] - truth[i]
+			errNoisy += dn * dn
+			errInferred += di * di
+		}
+	}
+	if errInferred*10 > errNoisy {
+		t.Fatalf("inference gain too small: noisy %v vs inferred %v", errNoisy/trials, errInferred/trials)
+	}
+}
+
+func TestCountsReturnsCopies(t *testing.T) {
+	m := MustNew(WithSeed(13))
+	r, err := m.UniversalHistogram(make([]float64, 16), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Counts()
+	c[0] = 12345
+	if r.Counts()[0] == 12345 {
+		t.Fatal("Counts aliases internal state")
+	}
+	w, err := m.WaveletHistogram(make([]float64, 16), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := w.Counts()
+	wc[0] = 54321
+	if w.Counts()[0] == 54321 {
+		t.Fatal("wavelet Counts aliases internal state")
+	}
+}

@@ -1,0 +1,142 @@
+// Package dphistio wires the dphist mechanisms to CSV input, serving as
+// the testable engine behind cmd/dphist. Records are read from CSV, each
+// contributing one count at the position given by the selected column;
+// the chosen task's private release is returned as a count vector.
+package dphistio
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/dphist/dphist"
+	"github.com/dphist/dphist/internal/domain"
+	"github.com/dphist/dphist/internal/table"
+)
+
+// Request describes one private histogram computation over CSV records.
+type Request struct {
+	// DomainSize is the size of the position domain [0, n). Ignored when
+	// IPPrefix or TimeStart is set (those imply the domain size).
+	DomainSize int
+	// Column is the 0-based CSV column holding the range attribute.
+	Column int
+	// Epsilon is the differential privacy budget for the release.
+	Epsilon float64
+	// Task selects the release: "universal", "unattributed", or
+	// "laplace".
+	Task string
+	// Branching is the universal tree fan-out; 0 means 2.
+	Branching int
+	// Seed drives the noise stream.
+	Seed uint64
+
+	// IPPrefix, when non-empty, interprets the column as IPv4 addresses
+	// inside this CIDR prefix (e.g. "128.119.0.0/16"), the NetTrace
+	// shape; the domain is the prefix's address space.
+	IPPrefix string
+	// TimeStart, when non-zero, interprets the column as RFC 3339
+	// timestamps binned at TimeBinWidth from TimeStart over TimeBins
+	// bins, the Search Logs shape.
+	TimeStart    time.Time
+	TimeBinWidth time.Duration
+	TimeBins     int
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	// Counts is the released histogram: position -> private count for
+	// the universal and laplace tasks, rank -> private count for the
+	// unattributed task.
+	Counts []float64
+	// Loaded and Skipped count input rows accepted and rejected.
+	Loaded, Skipped int
+}
+
+// Run loads CSV records from r and produces the requested private
+// release.
+func Run(req Request, r io.Reader) (*Result, error) {
+	if req.Column < 0 {
+		return nil, fmt.Errorf("dphistio: negative column %d", req.Column)
+	}
+	index, domainSize, err := req.indexer()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := table.New(domainSize)
+	if err != nil {
+		return nil, err
+	}
+	loaded, skipped, err := table.ReadCSV(r, req.Column, index, tab)
+	if err != nil {
+		return nil, err
+	}
+	counts := tab.Histogram()
+
+	k := req.Branching
+	if k == 0 {
+		k = 2
+	}
+	m, err := dphist.New(dphist.WithSeed(req.Seed), dphist.WithBranching(k))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Loaded: loaded, Skipped: skipped}
+	switch req.Task {
+	case "universal", "":
+		rel, err := m.UniversalHistogram(counts, req.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		res.Counts = rel.Counts()
+	case "unattributed":
+		rel, err := m.UnattributedHistogram(counts, req.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		res.Counts = rel.Counts
+	case "laplace":
+		rel, err := m.LaplaceHistogram(counts, req.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		res.Counts = rel.Counts
+	default:
+		return nil, fmt.Errorf("dphistio: unknown task %q", req.Task)
+	}
+	return res, nil
+}
+
+// indexer returns the value-to-position mapping implied by the request,
+// together with the domain size.
+func (req Request) indexer() (func(string) (int, error), int, error) {
+	switch {
+	case req.IPPrefix != "":
+		d, err := domain.NewIPv4(req.IPPrefix)
+		if err != nil {
+			return nil, 0, err
+		}
+		return d.Index, d.Size(), nil
+	case !req.TimeStart.IsZero():
+		if req.TimeBins < 1 || req.TimeBinWidth <= 0 {
+			return nil, 0, fmt.Errorf("dphistio: time domain needs positive TimeBins and TimeBinWidth")
+		}
+		d, err := domain.NewTimeBins(req.TimeStart, req.TimeBinWidth, req.TimeBins)
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(s string) (int, error) {
+			ts, err := time.Parse(time.RFC3339, s)
+			if err != nil {
+				return 0, err
+			}
+			return d.Index(ts)
+		}, d.Size(), nil
+	default:
+		if req.DomainSize < 1 {
+			return nil, 0, fmt.Errorf("dphistio: domain size %d < 1", req.DomainSize)
+		}
+		return func(s string) (int, error) { return strconv.Atoi(s) }, req.DomainSize, nil
+	}
+}

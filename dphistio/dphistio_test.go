@@ -1,0 +1,154 @@
+package dphistio
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleCSV = "3,a\n3,b\n1,c\n9,d\nbad,e\n2,f\n"
+
+func TestRunUniversal(t *testing.T) {
+	res, err := Run(Request{DomainSize: 8, Epsilon: 100, Task: "universal", Seed: 7}, strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row "9,d" is outside the domain and "bad,e" unparseable: skipped.
+	if res.Loaded != 4 || res.Skipped != 2 {
+		t.Fatalf("loaded=%d skipped=%d", res.Loaded, res.Skipped)
+	}
+	if len(res.Counts) != 8 {
+		t.Fatalf("counts len %d", len(res.Counts))
+	}
+	// eps=100: the release should be exact after rounding.
+	want := []float64{0, 1, 1, 2, 0, 0, 0, 0}
+	for i := range want {
+		if res.Counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", res.Counts, want)
+		}
+	}
+}
+
+func TestRunUnattributed(t *testing.T) {
+	res, err := Run(Request{DomainSize: 8, Epsilon: 100, Task: "unattributed", Seed: 7}, strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(res.Counts) {
+		t.Fatalf("unattributed output not sorted: %v", res.Counts)
+	}
+	total := 0.0
+	for _, v := range res.Counts {
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("total = %v, want 4 at eps=100", total)
+	}
+}
+
+func TestRunLaplace(t *testing.T) {
+	res, err := Run(Request{DomainSize: 8, Epsilon: 100, Task: "laplace", Seed: 7}, strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[3] != 2 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Request{DomainSize: 0, Epsilon: 1}, strings.NewReader("")); err == nil {
+		t.Error("zero domain accepted")
+	}
+	if _, err := Run(Request{DomainSize: 4, Column: -1, Epsilon: 1}, strings.NewReader("")); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, err := Run(Request{DomainSize: 4, Epsilon: 1, Task: "nope"}, strings.NewReader("1\n")); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if _, err := Run(Request{DomainSize: 4, Epsilon: 0, Task: "laplace"}, strings.NewReader("1\n")); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	a, err := Run(Request{DomainSize: 16, Epsilon: 0.5, Task: "universal", Seed: 42}, strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Request{DomainSize: 16, Epsilon: 0.5, Task: "universal", Seed: 42}, strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatal("same seed, different output")
+		}
+	}
+}
+
+func TestRunIPv4Domain(t *testing.T) {
+	csv := "10.0.0.3,x\n10.0.0.3,y\n10.0.0.250,z\n192.168.0.1,w\nnot-an-ip,v\n"
+	res, err := Run(Request{
+		IPPrefix: "10.0.0.0/24",
+		Epsilon:  100,
+		Task:     "laplace",
+		Seed:     9,
+	}, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loaded != 3 || res.Skipped != 2 {
+		t.Fatalf("loaded=%d skipped=%d", res.Loaded, res.Skipped)
+	}
+	if len(res.Counts) != 256 {
+		t.Fatalf("domain size %d, want 256", len(res.Counts))
+	}
+	if res.Counts[3] != 2 || res.Counts[250] != 1 {
+		t.Fatalf("counts wrong: pos3=%v pos250=%v", res.Counts[3], res.Counts[250])
+	}
+}
+
+func TestRunTimeDomain(t *testing.T) {
+	start := time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC)
+	csv := "2004-01-01T00:30:00Z,a\n2004-01-01T02:00:00Z,b\n2003-12-31T23:00:00Z,c\nbad-time,d\n"
+	res, err := Run(Request{
+		TimeStart:    start,
+		TimeBinWidth: 90 * time.Minute,
+		TimeBins:     16,
+		Epsilon:      100,
+		Task:         "laplace",
+		Seed:         9,
+	}, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loaded != 2 || res.Skipped != 2 {
+		t.Fatalf("loaded=%d skipped=%d", res.Loaded, res.Skipped)
+	}
+	if res.Counts[0] != 1 || res.Counts[1] != 1 {
+		t.Fatalf("bins wrong: %v", res.Counts[:4])
+	}
+}
+
+func TestRunTimeDomainValidation(t *testing.T) {
+	start := time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := Run(Request{TimeStart: start, TimeBins: 0, TimeBinWidth: time.Hour, Epsilon: 1},
+		strings.NewReader("")); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := Run(Request{IPPrefix: "garbage", Epsilon: 1}, strings.NewReader("")); err == nil {
+		t.Error("garbage prefix accepted")
+	}
+}
+
+func TestRunDefaultTaskIsUniversal(t *testing.T) {
+	res, err := Run(Request{DomainSize: 8, Epsilon: 100, Seed: 7}, strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) != 8 {
+		t.Fatal("default task failed")
+	}
+}

@@ -1,0 +1,137 @@
+package dphist
+
+// JSON serialization for releases. A data owner computes a release once
+// and ships it to analysts (Appendix B: "the server can implement the
+// post-processing step"); the wire form carries everything needed to
+// answer queries offline, and decoding validates shape invariants so a
+// corrupted payload fails loudly rather than answering garbage.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/dphist/dphist/internal/htree"
+)
+
+// universalWire is the serialized form of a UniversalRelease.
+type universalWire struct {
+	Version  int       `json:"version"`
+	K        int       `json:"k"`
+	Domain   int       `json:"domain"`
+	Noisy    []float64 `json:"noisy"`
+	Inferred []float64 `json:"inferred"`
+	Post     []float64 `json:"post"`
+}
+
+const wireVersion = 1
+
+// MarshalJSON encodes the release, including the raw noisy tree so
+// baseline comparisons survive the round trip.
+func (r *UniversalRelease) MarshalJSON() ([]byte, error) {
+	return json.Marshal(universalWire{
+		Version:  wireVersion,
+		K:        r.tree.K(),
+		Domain:   r.tree.Domain(),
+		Noisy:    r.noisy,
+		Inferred: r.inferred,
+		Post:     r.post,
+	})
+}
+
+// UnmarshalJSON decodes a release produced by MarshalJSON, validating
+// the tree shape against the payload.
+func (r *UniversalRelease) UnmarshalJSON(data []byte) error {
+	var w universalWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("dphist: decode universal release: %w", err)
+	}
+	if w.Version != wireVersion {
+		return fmt.Errorf("dphist: unsupported release version %d", w.Version)
+	}
+	tree, err := htree.New(w.K, w.Domain)
+	if err != nil {
+		return fmt.Errorf("dphist: decode universal release: %w", err)
+	}
+	n := tree.NumNodes()
+	if len(w.Noisy) != n || len(w.Inferred) != n || len(w.Post) != n {
+		return fmt.Errorf("dphist: release payload has %d/%d/%d node values, tree has %d",
+			len(w.Noisy), len(w.Inferred), len(w.Post), n)
+	}
+	*r = *newUniversalRelease(tree, w.Noisy, w.Inferred, w.Post)
+	return nil
+}
+
+// unattributedWire is the serialized form of an UnattributedRelease.
+type unattributedWire struct {
+	Version  int       `json:"version"`
+	Noisy    []float64 `json:"noisy"`
+	Inferred []float64 `json:"inferred"`
+	Counts   []float64 `json:"counts"`
+}
+
+// MarshalJSON encodes the release.
+func (r *UnattributedRelease) MarshalJSON() ([]byte, error) {
+	return json.Marshal(unattributedWire{
+		Version:  wireVersion,
+		Noisy:    r.Noisy,
+		Inferred: r.Inferred,
+		Counts:   r.Counts,
+	})
+}
+
+// UnmarshalJSON decodes a release produced by MarshalJSON.
+func (r *UnattributedRelease) UnmarshalJSON(data []byte) error {
+	var w unattributedWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("dphist: decode unattributed release: %w", err)
+	}
+	if w.Version != wireVersion {
+		return fmt.Errorf("dphist: unsupported release version %d", w.Version)
+	}
+	if len(w.Noisy) != len(w.Counts) || len(w.Inferred) != len(w.Counts) {
+		return fmt.Errorf("dphist: release payload lengths disagree: %d/%d/%d",
+			len(w.Noisy), len(w.Inferred), len(w.Counts))
+	}
+	if len(w.Counts) == 0 {
+		return fmt.Errorf("dphist: empty release payload")
+	}
+	r.Noisy = w.Noisy
+	r.Inferred = w.Inferred
+	r.Counts = w.Counts
+	return nil
+}
+
+// laplaceWire is the serialized form of a LaplaceRelease.
+type laplaceWire struct {
+	Version int       `json:"version"`
+	Noisy   []float64 `json:"noisy"`
+	Counts  []float64 `json:"counts"`
+}
+
+// MarshalJSON encodes the release.
+func (r *LaplaceRelease) MarshalJSON() ([]byte, error) {
+	return json.Marshal(laplaceWire{Version: wireVersion, Noisy: r.Noisy, Counts: r.Counts})
+}
+
+// UnmarshalJSON decodes a release produced by MarshalJSON.
+func (r *LaplaceRelease) UnmarshalJSON(data []byte) error {
+	var w laplaceWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("dphist: decode laplace release: %w", err)
+	}
+	if w.Version != wireVersion {
+		return fmt.Errorf("dphist: unsupported release version %d", w.Version)
+	}
+	if len(w.Counts) == 0 || len(w.Noisy) != len(w.Counts) {
+		return fmt.Errorf("dphist: release payload lengths disagree: %d/%d",
+			len(w.Noisy), len(w.Counts))
+	}
+	prefix := make([]float64, len(w.Counts)+1)
+	for i, v := range w.Counts {
+		prefix[i+1] = prefix[i] + v
+	}
+	r.Noisy = w.Noisy
+	r.Counts = w.Counts
+	r.prefix = prefix
+	return nil
+}

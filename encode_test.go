@@ -1,0 +1,129 @@
+package dphist
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestUniversalReleaseRoundTrip(t *testing.T) {
+	m := MustNew(WithSeed(61))
+	counts := make([]float64, 50)
+	for i := range counts {
+		counts[i] = float64(i % 9)
+	}
+	orig, err := m.UniversalHistogram(counts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UniversalRelease
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Domain() != orig.Domain() || back.Branching() != orig.Branching() ||
+		back.TreeHeight() != orig.TreeHeight() {
+		t.Fatal("shape lost in round trip")
+	}
+	for _, q := range [][2]int{{0, 50}, {3, 17}, {49, 50}} {
+		a, err1 := orig.Range(q[0], q[1])
+		b, err2 := back.Range(q[0], q[1])
+		if err1 != nil || err2 != nil || math.Abs(a-b) > 1e-12 {
+			t.Fatalf("range [%d,%d) changed: %v vs %v", q[0], q[1], a, b)
+		}
+	}
+	ra, _ := orig.RangeNoisy(5, 40)
+	rb, _ := back.RangeNoisy(5, 40)
+	if math.Abs(ra-rb) > 1e-12 {
+		t.Fatal("noisy baseline lost in round trip")
+	}
+	if back.Total() != orig.Total() {
+		t.Fatal("total changed")
+	}
+}
+
+func TestUniversalReleaseDecodeRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"bad version":  `{"version":9,"k":2,"domain":4,"noisy":[],"inferred":[],"post":[]}`,
+		"bad k":        `{"version":1,"k":1,"domain":4,"noisy":[],"inferred":[],"post":[]}`,
+		"short counts": `{"version":1,"k":2,"domain":4,"noisy":[1,2],"inferred":[1,2],"post":[1,2]}`,
+		"not json":     `{{{`,
+	}
+	for name, payload := range cases {
+		var r UniversalRelease
+		if err := json.Unmarshal([]byte(payload), &r); err == nil {
+			t.Errorf("%s: corrupt payload accepted", name)
+		}
+	}
+}
+
+func TestUnattributedReleaseRoundTrip(t *testing.T) {
+	m := MustNew(WithSeed(62))
+	orig, err := m.UnattributedHistogram([]float64{4, 4, 1, 9}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UnattributedRelease
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Counts {
+		if back.Counts[i] != orig.Counts[i] || back.Noisy[i] != orig.Noisy[i] ||
+			back.Inferred[i] != orig.Inferred[i] {
+			t.Fatal("values changed in round trip")
+		}
+	}
+	// The baseline remains computable from the decoded release.
+	if len(back.SortRoundBaseline()) != 4 {
+		t.Fatal("baseline broken after decode")
+	}
+}
+
+func TestUnattributedDecodeRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{"version":2,"noisy":[1],"inferred":[1],"counts":[1]}`,
+		`{"version":1,"noisy":[1,2],"inferred":[1],"counts":[1]}`,
+		`{"version":1,"noisy":[],"inferred":[],"counts":[]}`,
+	}
+	for _, payload := range cases {
+		var r UnattributedRelease
+		if err := json.Unmarshal([]byte(payload), &r); err == nil {
+			t.Errorf("corrupt payload accepted: %s", payload)
+		}
+	}
+}
+
+func TestLaplaceReleaseRoundTrip(t *testing.T) {
+	m := MustNew(WithSeed(63))
+	orig, err := m.LaplaceHistogram([]float64{7, 0, 2}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LaplaceRelease
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := orig.Range(0, 3)
+	b, _ := back.Range(0, 3)
+	if a != b || back.Total() != orig.Total() {
+		t.Fatal("range answers changed in round trip")
+	}
+}
+
+func TestLaplaceDecodeRejectsCorrupt(t *testing.T) {
+	var r LaplaceRelease
+	if err := json.Unmarshal([]byte(`{"version":1,"noisy":[1],"counts":[]}`), &r); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+}

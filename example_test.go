@@ -1,0 +1,121 @@
+package dphist_test
+
+import (
+	"fmt"
+
+	"github.com/dphist/dphist"
+)
+
+// The paper's running example: release the 4-address trace histogram
+// three ways and answer the prefix query "01*".
+func Example() {
+	counts := []float64{2, 0, 10, 2}
+	m := dphist.MustNew(dphist.WithSeed(2010))
+
+	r, err := m.UniversalHistogram(counts, 100) // huge eps: near-exact
+	if err != nil {
+		panic(err)
+	}
+	total, _ := r.Range(0, 4)
+	prefix01, _ := r.Range(2, 4)
+	fmt.Printf("total=%.0f prefix01=%.0f\n", total, prefix01)
+	// Output: total=14 prefix01=12
+}
+
+func ExampleMechanism_UnattributedHistogram() {
+	degrees := []float64{2, 0, 10, 2}
+	m := dphist.MustNew(dphist.WithSeed(1))
+	r, err := m.UnattributedHistogram(degrees, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Counts)
+	// Output: [0 2 2 10]
+}
+
+func ExampleMechanism_HierarchyRelease() {
+	m := dphist.MustNew(dphist.WithSeed(3))
+	rel, err := m.HierarchyRelease(dphist.Grades(), []float64{120, 180, 90, 40, 25}, 100)
+	if err != nil {
+		panic(err)
+	}
+	// The inferred answers satisfy xt = xp + xF exactly.
+	gap := rel.Inferred[0] - (rel.Inferred[1] + rel.Inferred[6])
+	fmt.Printf("consistent=%v sensitivity=%.0f\n", gap < 1e-9 && gap > -1e-9, dphist.Grades().Sensitivity())
+	// Output: consistent=true sensitivity=3
+}
+
+func ExampleNewAccountant() {
+	budget := dphist.NewAccountant(1.0)
+	_ = budget.Spend("histogram", 0.6)
+	err := budget.Spend("second histogram", 0.6)
+	fmt.Printf("remaining=%.1f overdraft refused=%v\n", budget.Remaining(), err != nil)
+	// Output: remaining=0.4 overdraft refused=true
+}
+
+func ExampleMechanism_DegreeSequence() {
+	m := dphist.MustNew(dphist.WithSeed(77))
+	// A 6-regular graph's degree sequence, released privately.
+	degrees := make([]float64, 64)
+	for i := range degrees {
+		degrees[i] = 6
+	}
+	rel, err := m.DegreeSequence(degrees, 50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("graphical=%v first=%v last=%v\n",
+		rel.IsGraphical(), rel.Counts[0], rel.Counts[63])
+	// Output: graphical=true first=6 last=6
+}
+
+func ExampleMechanism_NewCounter() {
+	m := dphist.MustNew(dphist.WithSeed(9))
+	c, err := m.NewCounter(100, 8) // huge eps: near-exact
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Feed(1); err != nil {
+			panic(err)
+		}
+	}
+	smooth, _ := c.SmoothedEstimates()
+	fmt.Printf("final=%.0f\n", smooth[7])
+	// Output: final=8
+}
+
+func ExampleWorkload_Recommend() {
+	// An analyst planning only point queries should use the flat
+	// histogram; planning wide scans should use the hierarchy.
+	points, _ := dphist.NewWorkload(256)
+	for i := 0; i < 256; i++ {
+		_ = points.Add(i, i+1, 1)
+	}
+	p, _ := points.Recommend(1.0, 2)
+
+	scans, _ := dphist.NewWorkload(1024)
+	for i := 0; i < 8; i++ {
+		_ = scans.Add(i*16, i*16+768, 1)
+	}
+	s, _ := scans.Recommend(1.0, 2)
+	fmt.Printf("points=%s scans=%s\n", p.Strategy, s.Strategy)
+	// Output: points=laplace scans=hbar
+}
+
+func ExampleMechanism_Universal2DHistogram() {
+	cells := [][]float64{
+		{5, 0, 0, 0},
+		{0, 5, 0, 0},
+		{0, 0, 5, 0},
+		{0, 0, 0, 5},
+	}
+	m := dphist.MustNew(dphist.WithSeed(4))
+	rel, err := m.Universal2DHistogram(cells, 100)
+	if err != nil {
+		panic(err)
+	}
+	diag, _ := rel.Range(0, 0, 2, 2)
+	fmt.Printf("total=%.0f topleft=%.0f\n", rel.Total(), diag)
+	// Output: total=20 topleft=10
+}

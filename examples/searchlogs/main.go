@@ -1,0 +1,88 @@
+// Search-log time series: the paper's second universal-histogram
+// workload (Section 5.2). The temporal frequency of one query term
+// ("Obama", Jan 2004 onward at 16 bins/day) is released once; analysts
+// can then ask for any time window — a day, a month, the campaign season
+// — without further privacy cost. A privacy budget accountant tracks the
+// total epsilon spent across the releases.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/dphist/dphist"
+)
+
+func main() {
+	const bins = 1 << 13 // ~1.4 years at 16 bins/day
+	series := syntheticTermSeries(bins, rand.New(rand.NewPCG(8, 2)))
+
+	budget := dphist.NewAccountant(1.0)
+	m := dphist.MustNew(dphist.WithSeed(123))
+
+	// Spend part of the budget on the term's series.
+	const eps = 0.5
+	if err := budget.Spend("term=obama", eps); err != nil {
+		panic(err)
+	}
+	rel, err := m.UniversalHistogram(series, eps)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("released %d-bin series at eps=%g (budget left %.2f)\n\n",
+		bins, eps, budget.Remaining())
+
+	truthPrefix := make([]float64, bins+1)
+	for i, v := range series {
+		truthPrefix[i+1] = truthPrefix[i] + v
+	}
+	day := 16
+	windows := []struct {
+		name   string
+		lo, hi int
+	}{
+		{"one day (early, quiet)", 100 * day, 101 * day},
+		{"one week (early)", 100 * day, 107 * day},
+		{"one day (campaign peak)", 450 * day, 451 * day},
+		{"campaign month", 440 * day, 470 * day},
+		{"entire series", 0, bins},
+	}
+	fmt.Printf("%-26s %12s %12s %10s\n", "window", "true", "estimate", "|error|")
+	for _, w := range windows {
+		truth := truthPrefix[w.hi] - truthPrefix[w.lo]
+		got, _ := rel.Range(w.lo, w.hi)
+		fmt.Printf("%-26s %12.0f %12.0f %10.0f\n", w.name, truth, got, math.Abs(got-truth))
+	}
+
+	// A second, unrelated release must fit in the remaining budget.
+	if err := budget.Spend("term=election", 0.5); err != nil {
+		panic(err)
+	}
+	if err := budget.Spend("term=overdraft", 0.1); err != nil {
+		fmt.Printf("\nbudget enforcement: %v\n", err)
+	}
+}
+
+// syntheticTermSeries fabricates a bursty interest curve: silence, an
+// exponential ramp, a spiky peak, and a decaying tail, with Poisson-ish
+// integer counts.
+func syntheticTermSeries(bins int, rng *rand.Rand) []float64 {
+	out := make([]float64, bins)
+	for i := range out {
+		frac := float64(i) / float64(bins)
+		var rate float64
+		switch {
+		case frac < 0.5:
+			rate = 0.1
+		case frac < 0.85:
+			rate = 0.1 * math.Pow(2000, (frac-0.5)/0.35)
+		default:
+			rate = 200 * math.Exp(-8*(frac-0.85))
+		}
+		// Diurnal modulation at 16 bins/day.
+		rate *= 1 + 0.5*math.Sin(2*math.Pi*float64(i%16)/16)
+		out[i] = math.Round(math.Max(0, rate+rng.NormFloat64()*math.Sqrt(rate+0.01)))
+	}
+	return out
+}

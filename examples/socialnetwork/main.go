@@ -1,0 +1,82 @@
+// Social network degree sequences: the paper's headline application of
+// unattributed histograms (Section 5.1). The degree sequence of a
+// friendship graph is released under differential privacy; because real
+// degree sequences contain long runs of duplicate values (power laws!),
+// constrained inference slashes the error by an order of magnitude
+// compared to the raw noisy release.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/dphist/dphist"
+)
+
+func main() {
+	degrees := preferentialAttachmentDegrees(5000, 4, rand.New(rand.NewPCG(11, 13)))
+	truth := append([]float64(nil), degrees...)
+	sort.Float64s(truth)
+
+	m := dphist.MustNew(dphist.WithSeed(5))
+	for _, eps := range []float64{1.0, 0.1, 0.01} {
+		rel, err := m.UnattributedHistogram(degrees, eps)
+		if err != nil {
+			panic(err)
+		}
+		var errNoisy, errInferred float64
+		for i := range truth {
+			dn := rel.Noisy[i] - truth[i]
+			di := rel.Inferred[i] - truth[i]
+			errNoisy += dn * dn
+			errInferred += di * di
+		}
+		n := float64(len(truth))
+		fmt.Printf("eps=%-5g  error/position: noisy %.3g, inferred %.3g  (%.0fx better)\n",
+			eps, errNoisy/n, errInferred/n, errNoisy/errInferred)
+	}
+
+	// The published sequence preserves shape statistics of the graph.
+	rel, err := m.UnattributedHistogram(degrees, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ntrue median degree %v, private median %v\n",
+		truth[len(truth)/2], rel.Counts[len(rel.Counts)/2])
+	fmt.Printf("true max degree %v, private max %v\n",
+		truth[len(truth)-1], rel.Counts[len(rel.Counts)-1])
+}
+
+// preferentialAttachmentDegrees grows a Barabasi-Albert graph and returns
+// its degree sequence. Inline here so the example depends only on the
+// public dphist API.
+func preferentialAttachmentDegrees(n, m int, rng *rand.Rand) []float64 {
+	deg := make([]float64, n)
+	var pool []int // vertex ids, one entry per incident edge end
+	for v := 1; v <= m; v++ {
+		deg[0]++
+		deg[v]++
+		pool = append(pool, 0, v)
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			t := pool[rng.IntN(len(pool))]
+			if t != v {
+				chosen[t] = true
+			}
+		}
+		targets := make([]int, 0, m)
+		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
+			deg[v]++
+			deg[t]++
+			pool = append(pool, v, t)
+		}
+	}
+	return deg
+}

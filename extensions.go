@@ -1,0 +1,113 @@
+package dphist
+
+// Extensions beyond the paper's core contribution, each one flagged by
+// the paper itself: graphical degree sequences (Appendix B future work)
+// and private continual counting (the Chan et al. streaming counter of
+// Section 6, with the paper's inference idea applied retrospectively).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/graph"
+	"github.com/dphist/dphist/internal/stream"
+)
+
+// DegreeSequence releases the degree sequence of a private graph: the
+// unattributed-histogram pipeline (sorted query, isotonic inference)
+// followed by projection onto graphical sequences — integer degrees in
+// [0, n-1] with even total satisfying the Erdős–Gallai condition — so
+// the published sequence is realizable by an actual simple graph.
+// Appendix B of the paper poses the graphical constraint as future work.
+func (m *Mechanism) DegreeSequence(degrees []float64, eps float64) (*DegreeSequenceRelease, error) {
+	if err := validate(degrees, eps); err != nil {
+		return nil, err
+	}
+	noisy := core.ReleaseSorted(degrees, eps, m.nextStream())
+	inferred := core.InferSorted(noisy)
+	rounded := make([]int, len(inferred))
+	for i, v := range inferred {
+		rounded[i] = int(math.Round(v))
+	}
+	graphical := graph.NearestGraphical(rounded)
+	counts := make([]float64, len(graphical))
+	for i, v := range graphical {
+		counts[i] = float64(v)
+	}
+	return &DegreeSequenceRelease{Noisy: noisy, Inferred: inferred, Counts: counts}, nil
+}
+
+// DegreeSequenceRelease is a private degree sequence.
+type DegreeSequenceRelease struct {
+	// Noisy is the raw noisy sorted query answer s~.
+	Noisy []float64
+	// Inferred is the isotonic-regression estimate S-bar.
+	Inferred []float64
+	// Counts is the published sequence: non-decreasing integer degrees
+	// forming a graphical sequence.
+	Counts []float64
+}
+
+// IsGraphical reports whether the published sequence passes the
+// Erdős–Gallai test (it always should; exposed for auditability).
+func (r *DegreeSequenceRelease) IsGraphical() bool {
+	deg := make([]int, len(r.Counts))
+	for i, v := range r.Counts {
+		deg[i] = int(v)
+	}
+	return graph.IsGraphical(deg)
+}
+
+// Counter continually releases a private running count: after every
+// arrival it publishes an estimate of the total so far, with error
+// poly-logarithmic in the stream length (the binary mechanism of Chan et
+// al., the streaming relative of the paper's H query). The whole stream
+// of releases is eps-differentially private at the event level.
+type Counter struct {
+	inner *stream.Counter
+}
+
+// NewCounter returns a counter for at most horizon arrivals. Noise draws
+// come from the mechanism's next deterministic stream.
+func (m *Mechanism) NewCounter(eps float64, horizon int) (*Counter, error) {
+	c, err := stream.NewCounter(eps, horizon, m.nextStream())
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{inner: c}, nil
+}
+
+// Feed consumes the next arrival's increment (1 for event counting) and
+// returns the private running-total estimate.
+func (c *Counter) Feed(increment float64) (float64, error) {
+	return c.inner.Feed(increment)
+}
+
+// Step returns the number of arrivals consumed.
+func (c *Counter) Step() int { return c.inner.Step() }
+
+// Horizon returns the maximum number of arrivals.
+func (c *Counter) Horizon() int { return c.inner.Horizon() }
+
+// Estimates returns the history of released estimates, one per arrival.
+func (c *Counter) Estimates() []float64 { return c.inner.Estimates() }
+
+// SmoothedEstimates returns the release history projected onto
+// non-decreasing sequences by isotonic regression — valid when
+// increments are non-negative, free of privacy cost, and never less
+// accurate (the paper's constrained-inference argument applied to
+// cumulative counts). It fails if nothing has been fed yet.
+func (c *Counter) SmoothedEstimates() ([]float64, error) {
+	est := c.inner.Estimates()
+	if len(est) == 0 {
+		return nil, errors.New("dphist: no estimates released yet")
+	}
+	return stream.SmoothNonDecreasing(est), nil
+}
+
+// String describes the counter state.
+func (c *Counter) String() string {
+	return fmt.Sprintf("dphist.Counter{step %d of %d}", c.inner.Step(), c.inner.Horizon())
+}

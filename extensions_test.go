@@ -1,0 +1,218 @@
+package dphist
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestDegreeSequenceRelease(t *testing.T) {
+	// Degree sequence of a star K_{1,5} plus an extra edge pair.
+	degrees := []float64{5, 1, 1, 1, 1, 1, 2, 2}
+	m := MustNew(WithSeed(21))
+	rel, err := m.DegreeSequence(degrees, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.IsGraphical() {
+		t.Fatalf("published sequence not graphical: %v", rel.Counts)
+	}
+	if !sort.Float64sAreSorted(rel.Counts) {
+		t.Fatalf("published sequence not sorted: %v", rel.Counts)
+	}
+	for _, v := range rel.Counts {
+		if v != math.Trunc(v) || v < 0 || v > float64(len(degrees)-1) {
+			t.Fatalf("degree %v outside [0, n-1] integers", v)
+		}
+	}
+	if len(rel.Noisy) != len(degrees) || len(rel.Inferred) != len(degrees) {
+		t.Fatal("lengths wrong")
+	}
+}
+
+func TestDegreeSequenceValidation(t *testing.T) {
+	m := MustNew()
+	if _, err := m.DegreeSequence(nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := m.DegreeSequence([]float64{1}, -1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestDegreeSequenceAccurateAtHighEps(t *testing.T) {
+	// A clean regular graph: at eps=50 the release should be exact.
+	degrees := make([]float64, 64)
+	for i := range degrees {
+		degrees[i] = 6
+	}
+	m := MustNew(WithSeed(77))
+	rel, err := m.DegreeSequence(degrees, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rel.Counts {
+		if v != 6 {
+			t.Fatalf("expected exact recovery, got %v", rel.Counts)
+		}
+	}
+}
+
+func TestCounterPublicAPI(t *testing.T) {
+	m := MustNew(WithSeed(31))
+	c, err := m.NewCounter(2.0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Horizon() != 128 {
+		t.Fatal("horizon wrong")
+	}
+	truth := 0.0
+	for i := 0; i < 128; i++ {
+		truth++
+		if _, err := c.Feed(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Step() != 128 {
+		t.Fatal("step wrong")
+	}
+	est := c.Estimates()
+	if len(est) != 128 {
+		t.Fatal("estimate history wrong length")
+	}
+	if math.Abs(est[127]-truth) > 60 {
+		t.Fatalf("final estimate %v too far from %v", est[127], truth)
+	}
+	smooth, err := c.SmoothedEstimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(smooth) {
+		t.Fatal("smoothed estimates not monotone")
+	}
+	if got := c.String(); got != "dphist.Counter{step 128 of 128}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCounterValidationPublic(t *testing.T) {
+	m := MustNew()
+	if _, err := m.NewCounter(0, 8); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	c, err := m.NewCounter(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SmoothedEstimates(); err == nil {
+		t.Error("SmoothedEstimates on empty counter accepted")
+	}
+}
+
+func TestUniversal2DRelease(t *testing.T) {
+	cells := [][]float64{
+		{10, 0, 0, 0},
+		{0, 20, 0, 0},
+		{0, 0, 30, 0},
+		{0, 0, 0, 40},
+	}
+	m := MustNew(WithSeed(41))
+	rel, err := m.Universal2DHistogram(cells, 20) // low noise
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Width() != 4 || rel.Height() != 4 {
+		t.Fatalf("domain %dx%d", rel.Width(), rel.Height())
+	}
+	if rel.TreeHeight() != 3 { // 16 cells: 1+4+16 nodes
+		t.Fatalf("tree height %d", rel.TreeHeight())
+	}
+	total := rel.Total()
+	if math.Abs(total-100) > 10 {
+		t.Fatalf("total %v, want about 100", total)
+	}
+	diag, err := rel.Range(0, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(diag-30) > 10 {
+		t.Fatalf("top-left quadrant %v, want about 30", diag)
+	}
+	got := rel.Counts()
+	if len(got) != 4 || len(got[0]) != 4 {
+		t.Fatal("Counts shape wrong")
+	}
+	if v, err := rel.Cell(2, 2); err != nil || math.Abs(v-30) > 10 {
+		t.Fatalf("Cell(2,2) = %v, %v", v, err)
+	}
+	if _, err := rel.Range(0, 0, 5, 1); err == nil {
+		t.Fatal("oversized rect accepted")
+	}
+	if _, err := rel.Cell(4, 0); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+}
+
+func TestUniversal2DValidation(t *testing.T) {
+	m := MustNew()
+	if _, err := m.Universal2DHistogram(nil, 1); err == nil {
+		t.Error("nil cells accepted")
+	}
+	if _, err := m.Universal2DHistogram([][]float64{{}}, 1); err == nil {
+		t.Error("empty rows accepted")
+	}
+	if _, err := m.Universal2DHistogram([][]float64{{1}}, 0); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := m.Universal2DHistogram([][]float64{{math.NaN()}}, 1); err == nil {
+		t.Error("NaN cell accepted")
+	}
+}
+
+func TestUniversal2DRaggedRowsZeroPad(t *testing.T) {
+	m := MustNew(WithSeed(43))
+	rel, err := m.Universal2DHistogram([][]float64{{5}, {1, 2, 3}}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Width() != 3 || rel.Height() != 2 {
+		t.Fatalf("domain %dx%d, want 3x2", rel.Width(), rel.Height())
+	}
+	if v, _ := rel.Cell(2, 0); math.Abs(v) > 2 {
+		t.Fatalf("padded cell (2,0) = %v, want about 0", v)
+	}
+}
+
+// Statistical: the 2D release recovers a sparse hotspot grid far better
+// than independent cell noise would at matched epsilon.
+func TestUniversal2DSparsityWin(t *testing.T) {
+	const side = 32
+	cells := make([][]float64, side)
+	for y := range cells {
+		cells[y] = make([]float64, side)
+	}
+	cells[5][5] = 4000
+	cells[20][20] = 6000
+	m := MustNew(WithSeed(47))
+	rel, err := m.Universal2DHistogram(cells, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large empty quadrant should release ~0; naive per-cell Laplace at
+	// matched epsilon would carry ~(clipping bias) * 256 cells of mass.
+	empty, err := rel.Range(0, 16, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(empty) > 500 {
+		t.Fatalf("empty quadrant estimate %v, want near 0", empty)
+	}
+	hot, err := rel.Range(16, 16, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hot-6000) > 1500 {
+		t.Fatalf("hot quadrant estimate %v, want about 6000", hot)
+	}
+}

@@ -1,0 +1,72 @@
+package dphist
+
+import (
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/privacy"
+)
+
+// Hierarchy is a custom constraint forest over a query set: query i's
+// true answer equals the sum of its children's answers. Build one with
+// NewHierarchy from parent pointers, then answer it privately with
+// Mechanism.HierarchyRelease.
+type Hierarchy struct {
+	inner *core.Hierarchy
+}
+
+// NewHierarchy builds a Hierarchy from parent pointers: parent[i] is the
+// index of query i's parent, or -1 for a root. The structure must be a
+// forest.
+func NewHierarchy(parent []int) (*Hierarchy, error) {
+	h, err := core.NewHierarchy(parent)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{inner: h}, nil
+}
+
+// Grades returns the paper's introductory student-grades query set
+// (xt, xp, xA, xB, xC, xD, xF) with constraints xt = xp + xF and
+// xp = xA + xB + xC + xD.
+func Grades() *Hierarchy {
+	return &Hierarchy{inner: core.GradesHierarchy()}
+}
+
+// Sensitivity returns the L1 sensitivity of the query set: the longest
+// leaf-to-root path measured in nodes (3 for Grades, matching the paper).
+func (h *Hierarchy) Sensitivity() float64 { return h.inner.Sensitivity() }
+
+// Len returns the number of queries in the set.
+func (h *Hierarchy) Len() int { return h.inner.Len() }
+
+// Leaves returns the indices of the leaf queries in ascending order; leaf
+// counts passed to HierarchyRelease follow this order.
+func (h *Hierarchy) Leaves() []int {
+	return append([]int(nil), h.inner.Leaves()...)
+}
+
+// Accountant tracks consumption of a total epsilon budget under
+// sequential composition: answering one query sequence per Spend call,
+// the overall protocol is Total()-differentially private.
+type Accountant struct {
+	inner *privacy.Accountant
+}
+
+// NewAccountant returns an accountant with the given total budget; it
+// panics unless the budget is positive and finite.
+func NewAccountant(total float64) *Accountant {
+	return &Accountant{inner: privacy.NewAccountant(total)}
+}
+
+// Spend records an expenditure, failing if it would exceed the budget.
+func (a *Accountant) Spend(label string, eps float64) error {
+	return a.inner.Spend(label, eps)
+}
+
+// Remaining returns the unspent budget.
+func (a *Accountant) Remaining() float64 { return a.inner.Remaining() }
+
+// Spent returns the consumed budget.
+func (a *Accountant) Spent() float64 { return a.inner.Spent() }
+
+// Total returns the full budget.
+func (a *Accountant) Total() float64 { return a.inner.Total() }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dphist/dphist/internal/linalg"
+)
+
+// Hierarchy is an arbitrary constraint forest over a query sequence: node
+// i's true answer equals the sum of its children's true answers. This
+// generalizes the complete k-ary tree of Section 4 to irregular shapes
+// such as the student-grades example of the introduction, where
+// xt = xp + xF and xp = xA + xB + xC + xD.
+//
+// Inference on a Hierarchy solves the least-squares problem explicitly
+// via the normal equations (O(leaves^3)), so it is intended for small,
+// hand-built query sets; use htree + InferTree for large domains.
+type Hierarchy struct {
+	parent   []int
+	children [][]int
+	leaves   []int // indices of nodes without children, ascending
+}
+
+// NewHierarchy builds a Hierarchy from parent pointers: parent[i] is the
+// index of node i's parent, or -1 for a root. The structure must be a
+// forest: parents must be valid indices and acyclic.
+func NewHierarchy(parent []int) (*Hierarchy, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty hierarchy")
+	}
+	children := make([][]int, n)
+	for i, p := range parent {
+		if p == i || p < -1 || p >= n {
+			return nil, fmt.Errorf("core: node %d has invalid parent %d", i, p)
+		}
+		if p >= 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	// Cycle check: walking up from every node must terminate.
+	for i := range parent {
+		seen := 0
+		for v := i; v != -1; v = parent[v] {
+			seen++
+			if seen > n {
+				return nil, fmt.Errorf("core: cycle through node %d", i)
+			}
+		}
+	}
+	h := &Hierarchy{parent: parent, children: children}
+	for i := range parent {
+		if len(children[i]) == 0 {
+			h.leaves = append(h.leaves, i)
+		}
+	}
+	return h, nil
+}
+
+// MustHierarchy is NewHierarchy but panics on error.
+func MustHierarchy(parent []int) *Hierarchy {
+	h, err := NewHierarchy(parent)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Len returns the number of queries (nodes) in the hierarchy.
+func (h *Hierarchy) Len() int { return len(h.parent) }
+
+// Leaves returns the indices of the leaf queries in ascending order. The
+// returned slice is shared; callers must not modify it.
+func (h *Hierarchy) Leaves() []int { return h.leaves }
+
+// Sensitivity returns the L1 sensitivity of the query sequence: a record
+// contributes to exactly one leaf, changing that leaf and all of its
+// ancestors by one, so the sensitivity is the longest leaf-to-root path
+// measured in nodes. For the grades example this is 3, matching the
+// introduction.
+func (h *Hierarchy) Sensitivity() float64 {
+	maxDepth := 0
+	for _, leaf := range h.leaves {
+		d := 0
+		for v := leaf; v != -1; v = h.parent[v] {
+			d++
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return float64(maxDepth)
+}
+
+// FromLeaves builds the full true answer vector from the values of the
+// leaf queries, given in the order reported by Leaves. Internal answers
+// are sums over their subtrees.
+func (h *Hierarchy) FromLeaves(leafValues []float64) []float64 {
+	if len(leafValues) != len(h.leaves) {
+		panic(fmt.Sprintf("core: %d leaf values for %d leaves", len(leafValues), len(h.leaves)))
+	}
+	out := make([]float64, h.Len())
+	for i, leaf := range h.leaves {
+		for v := leaf; v != -1; v = h.parent[v] {
+			out[v] += leafValues[i]
+		}
+	}
+	return out
+}
+
+// DesignMatrix returns the 0/1 matrix A with one row per query and one
+// column per leaf, where A[v][j] = 1 iff leaf j lies in v's subtree; the
+// true answers satisfy q = A * leafValues.
+func (h *Hierarchy) DesignMatrix() *linalg.Matrix {
+	a := linalg.NewMatrix(h.Len(), len(h.leaves))
+	for j, leaf := range h.leaves {
+		for v := leaf; v != -1; v = h.parent[v] {
+			a.Set(v, j, 1)
+		}
+	}
+	return a
+}
+
+// Infer returns the minimum-L2 vector consistent with the hierarchy
+// constraints, i.e. the ordinary-least-squares fit of the leaf unknowns
+// to the noisy answers followed by re-aggregation. Pure post-processing.
+func (h *Hierarchy) Infer(noisy []float64) ([]float64, error) {
+	if len(noisy) != h.Len() {
+		return nil, fmt.Errorf("core: %d noisy answers for %d queries", len(noisy), h.Len())
+	}
+	a := h.DesignMatrix()
+	leafFit, err := linalg.LeastSquares(a, noisy)
+	if err != nil {
+		return nil, fmt.Errorf("core: hierarchy inference: %w", err)
+	}
+	return a.MulVec(leafFit), nil
+}
+
+// IsConsistent reports whether every internal answer equals the sum of
+// its children up to tol.
+func (h *Hierarchy) IsConsistent(values []float64, tol float64) bool {
+	if len(values) != h.Len() {
+		return false
+	}
+	for v, kids := range h.children {
+		if len(kids) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, c := range kids {
+			sum += values[c]
+		}
+		if diff := values[v] - sum; diff > tol || diff < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// GradesHierarchy returns the introduction's student-grades query set
+// (xt, xp, xA, xB, xC, xD, xF): the total, the passing count, and the five
+// letter-grade counts, with constraints xt = xp + xF, xp = xA+xB+xC+xD.
+// Index order matches the paper's presentation.
+func GradesHierarchy() *Hierarchy {
+	// 0:xt 1:xp 2:xA 3:xB 4:xC 5:xD 6:xF
+	return MustHierarchy([]int{-1, 0, 1, 1, 1, 1, 0})
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+func TestPerturbDeterministicPerStream(t *testing.T) {
+	truth := []float64{1, 2, 3, 4}
+	a := Perturb(truth, 1, 0.5, laplace.Stream(9, 0))
+	b := Perturb(truth, 1, 0.5, laplace.Stream(9, 0))
+	c := Perturb(truth, 1, 0.5, laplace.Stream(9, 1))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same stream, different outputs")
+		}
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different trials produced identical noise")
+	}
+}
+
+func TestPerturbDoesNotModifyInput(t *testing.T) {
+	truth := []float64{5, 6}
+	Perturb(truth, 1, 1, laplace.Stream(1, 1))
+	if truth[0] != 5 || truth[1] != 6 {
+		t.Fatal("input modified")
+	}
+}
+
+func TestPerturbNoiseVariance(t *testing.T) {
+	const eps, sens = 0.5, 2.0
+	want := NoiseVariance(sens, eps) // 2*(4)^2 = 32
+	if math.Abs(want-32) > 1e-12 {
+		t.Fatalf("NoiseVariance = %v, want 32", want)
+	}
+	src := laplace.Stream(77, 0)
+	truth := make([]float64, 200000)
+	noisy := Perturb(truth, sens, eps, src)
+	var sumSq float64
+	for _, v := range noisy {
+		sumSq += v * v
+	}
+	got := sumSq / float64(len(noisy))
+	if rel := math.Abs(got-want) / want; rel > 0.03 {
+		t.Fatalf("empirical variance %v, want %v", got, want)
+	}
+}
+
+func TestNoiseScalePanics(t *testing.T) {
+	cases := []struct{ sens, eps float64 }{
+		{1, 0}, {1, -1}, {1, math.Inf(1)},
+		{0, 1}, {-2, 1}, {math.Inf(1), 1},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NoiseScale(%v,%v) did not panic", c.sens, c.eps)
+				}
+			}()
+			NoiseScale(c.sens, c.eps)
+		}()
+	}
+}
+
+func TestRoundNonNegInt(t *testing.T) {
+	in := []float64{-3.2, -0.4, -0.0, 0.49, 0.51, 2.5, 7}
+	got := RoundNonNegInt(append([]float64(nil), in...))
+	want := []float64{0, 0, 0, 0, 1, 3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RoundNonNegInt(%v) = %v, want %v", in, got, want)
+		}
+		if math.Signbit(got[i]) {
+			t.Fatalf("negative zero at %d", i)
+		}
+	}
+}
+
+func TestRoundNonNegIntInPlace(t *testing.T) {
+	x := []float64{1.4}
+	if got := RoundNonNegInt(x); &got[0] != &x[0] {
+		t.Fatal("RoundNonNegInt did not round in place")
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dphist/dphist/internal/htree"
+)
+
+// These tests verify the paper's sensitivity propositions directly: for
+// random neighboring databases (one record added), the L1 distance
+// between true query answers equals the claimed sensitivity. The Laplace
+// mechanism's privacy guarantee rests entirely on these numbers.
+
+func l1(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+func randomCounts(n int, rng *rand.Rand) []float64 {
+	counts := make([]float64, n)
+	for i := range counts {
+		// Skewed counts with duplicates: the interesting regime for S.
+		counts[i] = float64(rng.IntN(6) * rng.IntN(4))
+	}
+	return counts
+}
+
+// Example 2: the sensitivity of L is 1.
+func TestSensitivityLEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.IntN(40)
+		counts := randomCounts(n, rng)
+		neighbor := append([]float64(nil), counts...)
+		neighbor[rng.IntN(n)]++ // add one record
+		if got := l1(counts, neighbor); got != SensitivityL {
+			t.Fatalf("||L(I)-L(I')||_1 = %v, want 1", got)
+		}
+	}
+}
+
+// Proposition 3: the sensitivity of S is 1 — sorting does not amplify a
+// one-record change, because the new record shifts exactly one rank.
+func TestSensitivitySEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 2))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.IntN(40)
+		counts := randomCounts(n, rng)
+		neighbor := append([]float64(nil), counts...)
+		neighbor[rng.IntN(n)]++
+		got := l1(SortedQuery(counts), SortedQuery(neighbor))
+		if got != 1 {
+			t.Fatalf("||S(I)-S(I')||_1 = %v, want 1 (I=%v)", got, counts)
+		}
+	}
+}
+
+// Proposition 4: the sensitivity of H equals the tree height ell — the
+// added record changes exactly the counts on one leaf-to-root path.
+func TestSensitivityHEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 3))
+	for _, k := range []int{2, 3, 4} {
+		for trial := 0; trial < 100; trial++ {
+			n := 2 + rng.IntN(60)
+			tree := htree.MustNew(k, n)
+			counts := randomCounts(n, rng)
+			neighbor := append([]float64(nil), counts...)
+			neighbor[rng.IntN(n)]++
+			got := l1(tree.FromLeaves(counts), tree.FromLeaves(neighbor))
+			if got != SensitivityH(tree) {
+				t.Fatalf("k=%d n=%d: ||H(I)-H(I')||_1 = %v, want %v",
+					k, n, got, SensitivityH(tree))
+			}
+		}
+	}
+}
+
+// The introduction's claim: the grades query set has sensitivity 3, and
+// one added student changes at most 3 answers by 1 each (exactly 3 when
+// the student passes, 2 when the grade is F).
+func TestSensitivityGradesEmpirical(t *testing.T) {
+	h := GradesHierarchy()
+	rng := rand.New(rand.NewPCG(100, 4))
+	sawMax := false
+	for trial := 0; trial < 200; trial++ {
+		leaves := make([]float64, 5)
+		for i := range leaves {
+			leaves[i] = float64(rng.IntN(50))
+		}
+		neighbor := append([]float64(nil), leaves...)
+		grade := rng.IntN(5)
+		neighbor[grade]++
+		got := l1(h.FromLeaves(leaves), h.FromLeaves(neighbor))
+		want := 3.0
+		if grade == 4 { // xF: path is xF -> xt only
+			want = 2.0
+		}
+		if got != want {
+			t.Fatalf("grade %d: L1 change %v, want %v", grade, got, want)
+		}
+		if got == h.Sensitivity() {
+			sawMax = true
+		}
+	}
+	if !sawMax {
+		t.Fatal("never observed the worst case; sensitivity untested")
+	}
+}
+
+// Correlated queries add up: repeating the same counting query q times
+// has sensitivity q (the Section 2.1 remark). Modeled as a flat
+// hierarchy where every "query" is the root's only child chain.
+func TestSensitivityRepeatedQueryRemark(t *testing.T) {
+	// Chain hierarchy: node i's parent is i-1; the single leaf is the
+	// count itself, every ancestor repeats it.
+	const q = 5
+	parents := make([]int, q)
+	parents[0] = -1
+	for i := 1; i < q; i++ {
+		parents[i] = i - 1
+	}
+	h := MustHierarchy(parents)
+	if got := h.Sensitivity(); got != q {
+		t.Fatalf("chain sensitivity %v, want %v", got, q)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"github.com/dphist/dphist/internal/isotonic"
+)
+
+// Sensitivities of the paper's query sequences. L changes one count by one
+// when a record is added or removed (Example 2); S keeps sensitivity 1
+// because sorting happens before perturbation and an added record shifts
+// exactly one rank position (Proposition 3).
+const (
+	SensitivityL = 1.0
+	SensitivityS = 1.0
+)
+
+// SortedQuery evaluates S(I): the unit-length counts of the histogram in
+// non-decreasing order. The input is not modified.
+func SortedQuery(unit []float64) []float64 {
+	s := append([]float64(nil), unit...)
+	sort.Float64s(s)
+	return s
+}
+
+// ReleaseL answers the conventional query sequence L under
+// eps-differential privacy: l~ = L(I) + Lap(1/eps)^n.
+func ReleaseL(unit []float64, eps float64, src *rand.Rand) []float64 {
+	return Perturb(unit, SensitivityL, eps, src)
+}
+
+// ReleaseSorted answers the sorted query sequence S under
+// eps-differential privacy: s~ = S(I) + Lap(1/eps)^n. The returned noisy
+// answer is generally out of order; the true rank order is known to hold
+// before noise, which is exactly the constraint InferSorted exploits.
+func ReleaseSorted(unit []float64, eps float64, src *rand.Rand) []float64 {
+	return Perturb(SortedQuery(unit), SensitivityS, eps, src)
+}
+
+// InferSorted computes S-bar: the minimum-L2 vector satisfying the order
+// constraints gammaS given the noisy answer s~ (Theorem 1). This is
+// isotonic regression, computed in linear time by PAVA. Pure
+// post-processing: no privacy cost (Proposition 2).
+func InferSorted(stilde []float64) []float64 {
+	return isotonic.Regress(stilde)
+}
+
+// SortRound computes the S~r baseline of Section 5.1: enforce consistency
+// naively by sorting the noisy answer and rounding each count to the
+// nearest non-negative integer. The input is not modified.
+func SortRound(stilde []float64) []float64 {
+	s := append([]float64(nil), stilde...)
+	sort.Float64s(s)
+	return RoundNonNegInt(s)
+}
+
+// TheoreticalErrorSTilde returns error(S~) = 2n/eps^2 (Theorem 2
+// discussion): the total expected squared error of the plain noisy sorted
+// query over n positions.
+func TheoreticalErrorSTilde(n int, eps float64) float64 {
+	return float64(n) * NoiseVariance(SensitivityS, eps)
+}
+
+// DistinctRuns returns the multiplicities n_1..n_d of the d distinct
+// values in the sorted sequence s, the quantity driving Theorem 2's bound
+// error(S-bar) <= sum_i (c1 log^3 n_i + c2)/eps^2.
+func DistinctRuns(sorted []float64) []int {
+	var runs []int
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		runs = append(runs, j-i)
+		i = j
+	}
+	return runs
+}

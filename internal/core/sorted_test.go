@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/dphist/dphist/internal/isotonic"
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+// Fig 2(b): L(I) = <2, 0, 10, 2>, S(I) = <0, 2, 2, 10>.
+func TestSortedQueryPaperExample(t *testing.T) {
+	got := SortedQuery([]float64{2, 0, 10, 2})
+	want := []float64{0, 2, 2, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("S(I) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortedQueryDoesNotModifyInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	SortedQuery(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input modified")
+	}
+}
+
+func TestReleaseSortedAddsNoiseToSortedTruth(t *testing.T) {
+	unit := []float64{5, 1, 9, 3}
+	// Same stream: release minus identical noise recovers sorted truth.
+	noisy := ReleaseSorted(unit, 1.0, laplace.Stream(3, 0))
+	noise := Perturb(make([]float64, 4), SensitivityS, 1.0, laplace.Stream(3, 0))
+	want := SortedQuery(unit)
+	for i := range noisy {
+		if math.Abs((noisy[i]-noise[i])-want[i]) > 1e-12 {
+			t.Fatal("ReleaseSorted did not perturb the sorted truth")
+		}
+	}
+}
+
+func TestInferSortedIsIsotonicRegression(t *testing.T) {
+	in := []float64{14, 9, 10, 15}
+	got := InferSorted(in)
+	want := isotonic.Regress(in)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("InferSorted disagrees with isotonic.Regress")
+		}
+	}
+}
+
+func TestSortRound(t *testing.T) {
+	in := []float64{2.7, -1.2, 0.4}
+	got := SortRound(in)
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("SortRound output unsorted: %v", got)
+	}
+	want := []float64{0, 0, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortRound(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if in[0] != 2.7 {
+		t.Fatal("input modified")
+	}
+}
+
+func TestDistinctRuns(t *testing.T) {
+	runs := DistinctRuns([]float64{0, 0, 0, 2, 2, 10})
+	want := []int{3, 2, 1}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", runs, want)
+		}
+	}
+	if got := DistinctRuns(nil); len(got) != 0 {
+		t.Fatal("empty sequence should have no runs")
+	}
+}
+
+// Inference never hurts (Section 3.2 cites Hwang & Peddada): averaged over
+// many trials, total squared error of S-bar stays at or below S~.
+func TestInferenceNeverHurtsOnAverage(t *testing.T) {
+	sequences := [][]float64{
+		makeConstant(64, 10),
+		makeRamp(64),
+		makeSteps(64, 4),
+	}
+	const eps = 0.1
+	const trials = 120
+	for si, truth := range sequences {
+		sorted := SortedQuery(truth)
+		var errTilde, errBar float64
+		for trial := 0; trial < trials; trial++ {
+			src := laplace.Stream(uint64(1000+si), trial)
+			stilde := Perturb(sorted, SensitivityS, eps, src)
+			sbar := InferSorted(stilde)
+			errTilde += isotonic.SquaredDistance(stilde, sorted)
+			errBar += isotonic.SquaredDistance(sbar, sorted)
+		}
+		if errBar > errTilde*1.02 {
+			t.Errorf("sequence %d: inference hurt: %v > %v", si, errBar/trials, errTilde/trials)
+		}
+	}
+}
+
+// Theorem 2's headline: on a constant sequence (d=1) the error of S-bar is
+// polylogarithmic while S~ stays linear in n; at n=256 the gap must be
+// large.
+func TestConstantSequenceLargeGain(t *testing.T) {
+	truth := makeConstant(256, 25)
+	const eps, trials = 1.0, 60
+	var errTilde, errBar float64
+	for trial := 0; trial < trials; trial++ {
+		src := laplace.Stream(2024, trial)
+		stilde := Perturb(truth, SensitivityS, eps, src)
+		errTilde += isotonic.SquaredDistance(stilde, truth)
+		errBar += isotonic.SquaredDistance(InferSorted(stilde), truth)
+	}
+	if errBar*10 > errTilde {
+		t.Fatalf("expected >=10x improvement on constant sequence: S~ %v vs S-bar %v",
+			errTilde/trials, errBar/trials)
+	}
+}
+
+func TestTheoreticalErrorSTildeMatchesEmpirical(t *testing.T) {
+	const n, eps, trials = 128, 0.5, 400
+	truth := makeSteps(n, 8)
+	want := TheoreticalErrorSTilde(n, eps)
+	var total float64
+	for trial := 0; trial < trials; trial++ {
+		stilde := Perturb(truth, SensitivityS, eps, laplace.Stream(7, trial))
+		total += isotonic.SquaredDistance(stilde, truth)
+	}
+	got := total / trials
+	if rel := math.Abs(got-want) / want; rel > 0.1 {
+		t.Fatalf("empirical error(S~) = %v, theory %v", got, want)
+	}
+}
+
+func makeConstant(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func makeRamp(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+func makeSteps(n, steps int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64((i * steps / n) * 10)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+// Deep trees stress the bottom-up weight recurrence: the alpha weights
+// approach (k-1)/k and must stay numerically sane, and the result must
+// remain exactly consistent after 21 levels of accumulation.
+func TestInferTreeDeepBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2M-node tree")
+	}
+	tr := htree.MustNew(2, 1<<20) // height 21, ~2M nodes
+	unit := make([]float64, 1<<20)
+	for i := range unit {
+		unit[i] = float64(i % 3)
+	}
+	noisy := ReleaseTree(tr, unit, 0.1, laplace.Stream(123, 0))
+	h := InferTree(tr, noisy)
+	for _, v := range h {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite value in deep inference")
+		}
+	}
+	if !tr.IsConsistent(h, 1e-5) {
+		t.Fatal("deep inferred tree inconsistent")
+	}
+	// Root variance sanity: the inferred root must be closer to the true
+	// total than ten raw noise scales.
+	truth := tr.FromLeaves(unit)
+	scale := NoiseScale(SensitivityH(tr), 0.1)
+	if math.Abs(h[0]-truth[0]) > 10*scale {
+		t.Fatalf("deep root estimate off by %v (scale %v)", h[0]-truth[0], scale)
+	}
+}
+
+// Wide flat trees (large k) exercise the other extreme of the weight
+// table.
+func TestInferTreeWideFanout(t *testing.T) {
+	tr := htree.MustNew(64, 64*64) // height 3
+	unit := make([]float64, 64*64)
+	for i := range unit {
+		unit[i] = 1
+	}
+	noisy := ReleaseTree(tr, unit, 1.0, laplace.Stream(124, 0))
+	h := InferTree(tr, noisy)
+	if !tr.IsConsistent(h, 1e-6) {
+		t.Fatal("wide inferred tree inconsistent")
+	}
+}
+
+// Extreme counts must not overflow the two-pass arithmetic.
+func TestInferTreeLargeMagnitudes(t *testing.T) {
+	tr := htree.MustNew(2, 64)
+	unit := make([]float64, 64)
+	for i := range unit {
+		unit[i] = 1e12
+	}
+	noisy := ReleaseTree(tr, unit, 1.0, laplace.Stream(125, 0))
+	h := InferTree(tr, noisy)
+	if !tr.IsConsistent(h, 1e-2) {
+		t.Fatal("large-magnitude inference inconsistent")
+	}
+	if math.Abs(h[0]-64e12) > 1e9 {
+		t.Fatalf("root %v far from 6.4e13", h[0])
+	}
+}

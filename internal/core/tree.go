@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/linalg"
+)
+
+// SensitivityH returns the L1 sensitivity of the hierarchical query H on
+// the given tree: the height ell, since one record changes exactly the
+// counts on the leaf-to-root path (Proposition 4).
+func SensitivityH(t *htree.Tree) float64 {
+	return float64(t.Height())
+}
+
+// ReleaseTree answers the hierarchical query sequence H under
+// eps-differential privacy: h~ = H(I) + Lap(ell/eps)^m, where m is the
+// number of nodes (Propositions 1 and 4). unit holds the true unit-length
+// counts of the real domain; padding leaves count zero.
+func ReleaseTree(t *htree.Tree, unit []float64, eps float64, src *rand.Rand) []float64 {
+	return Perturb(t.FromLeaves(unit), SensitivityH(t), eps, src)
+}
+
+// InferTree computes H-bar, the minimum-L2 solution satisfying the
+// parent-equals-sum-of-children constraints gammaH given the noisy tree
+// h~ (Theorem 3). Two linear passes:
+//
+//  1. Bottom-up: z[v] is the variance-optimal weighted average of the
+//     node's own noisy count and the sum of its children's z-estimates,
+//     with weights (k^l - k^(l-1))/(k^l - 1) and (k^(l-1) - 1)/(k^l - 1)
+//     for a node of height l (leaves have height 1 and z = h~).
+//  2. Top-down: h[root] = z[root]; descending, each child receives an
+//     equal 1/k share of the parent's residual h[u] - sum(z[children]).
+//
+// The result is exactly consistent and is the ordinary-least-squares
+// estimate of the leaf counts (Theorem 4 via Gauss-Markov). The input is
+// not modified.
+func InferTree(t *htree.Tree, htilde []float64) []float64 {
+	if len(htilde) != t.NumNodes() {
+		panic("core: noisy tree length does not match tree shape")
+	}
+	k := float64(t.K())
+	z := make([]float64, t.NumNodes())
+	// Bottom-up pass. BFS layout means iterating indices in reverse
+	// visits every child before its parent.
+	leafStart := t.LeafStart()
+	copy(z[leafStart:], htilde[leafStart:])
+	// Precompute per-depth weights: all nodes at one depth share a height.
+	alpha := make([]float64, t.Height()+1) // indexed by paper height l
+	for l := 2; l <= t.Height(); l++ {
+		kl := math.Pow(k, float64(l))
+		klm1 := math.Pow(k, float64(l-1))
+		alpha[l] = (kl - klm1) / (kl - 1)
+	}
+	for v := leafStart - 1; v >= 0; v-- {
+		lo, hi := t.Children(v)
+		sum := 0.0
+		for c := lo; c < hi; c++ {
+			sum += z[c]
+		}
+		a := alpha[t.HeightOf(v)]
+		z[v] = a*htilde[v] + (1-a)*sum
+	}
+	// Top-down pass.
+	h := make([]float64, t.NumNodes())
+	h[0] = z[0]
+	for v := 0; v < leafStart; v++ {
+		lo, hi := t.Children(v)
+		sum := 0.0
+		for c := lo; c < hi; c++ {
+			sum += z[c]
+		}
+		share := (h[v] - sum) / k
+		for c := lo; c < hi; c++ {
+			h[c] = z[c] + share
+		}
+	}
+	return h
+}
+
+// ZeroNegativeSubtrees applies the Section 4.2 sparsity heuristic in
+// place: walking from the root, any subtree whose root estimate is <= 0
+// has all of its counts (the root and every descendant) set to zero. On
+// sparse domains this removes most of the noise mass in empty regions.
+// Returns its argument.
+func ZeroNegativeSubtrees(t *htree.Tree, counts []float64) []float64 {
+	if len(counts) != t.NumNodes() {
+		panic("core: count vector length does not match tree shape")
+	}
+	zero := make([]bool, t.NumNodes())
+	for v := 0; v < t.NumNodes(); v++ {
+		if v > 0 && zero[t.Parent(v)] {
+			zero[v] = true
+		} else if counts[v] <= 0 {
+			zero[v] = true
+		}
+		if zero[v] {
+			counts[v] = 0
+		}
+	}
+	return counts
+}
+
+// TreeRangeHTilde answers range [lo, hi) from the plain noisy tree h~ by
+// summing the minimal subtree decomposition — the paper's H~ strategy.
+func TreeRangeHTilde(t *htree.Tree, htilde []float64, lo, hi int) float64 {
+	return t.RangeSum(htilde, lo, hi)
+}
+
+// TheoreticalErrorHTildeRange bounds the expected squared error of the H~
+// strategy for a range answered from c subtrees: c * 2*(ell/eps)^2.
+func TheoreticalErrorHTildeRange(t *htree.Tree, eps float64, subtrees int) float64 {
+	return float64(subtrees) * NoiseVariance(SensitivityH(t), eps)
+}
+
+// TreeDesignMatrix returns the design matrix A of the linear-regression
+// view of Section 4.1: row v has ones over the leaves in v's subtree, so
+// H(I) = A * (leaf counts). Tests use it to verify InferTree against
+// explicit ordinary least squares. Only sensible for small trees (the
+// matrix is NumNodes x NumLeaves).
+func TreeDesignMatrix(t *htree.Tree) *linalg.Matrix {
+	a := linalg.NewMatrix(t.NumNodes(), t.NumLeaves())
+	for v := 0; v < t.NumNodes(); v++ {
+		lo, hi := t.Interval(v)
+		for j := lo; j < hi; j++ {
+			a.Set(v, j, 1)
+		}
+	}
+	return a
+}

@@ -1,0 +1,103 @@
+// Package datagen synthesizes stand-ins for the paper's three private
+// evaluation datasets (Section 5, Appendix C), which cannot be
+// redistributed. Each generator reproduces the *distributional* property
+// that drives the corresponding experiment — heavy-tailed counts with
+// massive duplication for the unattributed task (Theorem 2 depends only
+// on run lengths), and sparse clustered domains for the universal task
+// (which drives the Section 4.2 non-negativity win). See DESIGN.md
+// section 4 for the substitution rationale.
+package datagen
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Poisson samples a Poisson random variate with the given mean. Knuth's
+// product method is used for small means and a clamped normal
+// approximation for large ones.
+func Poisson(mean float64, rng *rand.Rand) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := math.Round(mean + math.Sqrt(mean)*rng.NormFloat64())
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return float64(k)
+		}
+		k++
+	}
+}
+
+// ParetoDegree samples a discrete power-law value: floor of a continuous
+// Pareto with minimum xmin and tail exponent alpha, capped at max.
+// P(X >= x) ~ (x/xmin)^(1-alpha), so smaller alpha means heavier tails.
+// Requires alpha > 1, xmin >= 1, max >= xmin.
+func ParetoDegree(alpha float64, xmin, max int, rng *rand.Rand) int {
+	if alpha <= 1 || xmin < 1 || max < xmin {
+		panic("datagen: ParetoDegree requires alpha > 1, 1 <= xmin <= max")
+	}
+	for {
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		v := int(math.Floor(float64(xmin) * math.Pow(u, -1/(alpha-1))))
+		if v <= max {
+			return v
+		}
+		// Resample rather than clamp so the cap does not pile mass at max.
+	}
+}
+
+// HillAlpha estimates the power-law tail exponent alpha of a sample by
+// the Hill maximum-likelihood estimator over values >= xmin:
+//
+//	alpha = 1 + n / sum_i ln(x_i / xmin).
+//
+// It lets experiments confirm that generated degree data actually has
+// the heavy tail the paper's datasets exhibit. Returns 0 when fewer than
+// two observations reach xmin.
+func HillAlpha(xs []float64, xmin float64) float64 {
+	if xmin <= 0 {
+		panic("datagen: HillAlpha requires xmin > 0")
+	}
+	n := 0
+	logSum := 0.0
+	for _, x := range xs {
+		if x >= xmin {
+			n++
+			logSum += math.Log(x / xmin)
+		}
+	}
+	if n < 2 || logSum == 0 {
+		return 0
+	}
+	return 1 + float64(n)/logSum
+}
+
+// ZipfFrequencies returns the deterministic rank-frequency vector
+// f[i] = round(top / (i+1)^s) for i = 0..n-1: the classic shape of
+// search-query popularity. The result is non-increasing; the tail
+// contains long runs of equal small values, exactly the duplication
+// structure the unattributed histogram exploits.
+func ZipfFrequencies(n int, s, top float64) []float64 {
+	if n < 1 || s <= 0 || top <= 0 {
+		panic("datagen: ZipfFrequencies requires n >= 1, s > 0, top > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Round(top / math.Pow(float64(i+1), s))
+	}
+	return out
+}

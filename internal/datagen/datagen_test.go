@@ -1,0 +1,307 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	rng := laplace.NewRand(1, 2)
+	for _, mean := range []float64{0.3, 3, 25, 400} {
+		const n = 60000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := Poisson(mean, rng)
+			if v < 0 || v != math.Trunc(v) {
+				t.Fatalf("Poisson(%v) produced %v", mean, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		variance := sumSq/n - m*m
+		if math.Abs(m-mean)/mean > 0.05 {
+			t.Errorf("Poisson(%v) mean %v", mean, m)
+		}
+		if math.Abs(variance-mean)/mean > 0.1 {
+			t.Errorf("Poisson(%v) variance %v", mean, variance)
+		}
+	}
+}
+
+func TestPoissonZeroAndNegative(t *testing.T) {
+	rng := laplace.NewRand(3, 3)
+	if Poisson(0, rng) != 0 || Poisson(-5, rng) != 0 {
+		t.Fatal("non-positive mean should give 0")
+	}
+}
+
+func TestParetoDegreeBoundsAndTail(t *testing.T) {
+	rng := laplace.NewRand(4, 4)
+	const n = 50000
+	ones := 0
+	big := 0
+	for i := 0; i < n; i++ {
+		v := ParetoDegree(2.0, 1, 10000, rng)
+		if v < 1 || v > 10000 {
+			t.Fatalf("out of bounds: %d", v)
+		}
+		if v == 1 {
+			ones++
+		}
+		if v >= 100 {
+			big++
+		}
+	}
+	// For alpha=2: P(X=1) = 1 - 1/2 = 0.5; P(X >= 100) = 1/100.
+	if f := float64(ones) / n; math.Abs(f-0.5) > 0.02 {
+		t.Errorf("P(deg=1) = %v, want about 0.5", f)
+	}
+	if f := float64(big) / n; math.Abs(f-0.01) > 0.005 {
+		t.Errorf("P(deg>=100) = %v, want about 0.01", f)
+	}
+}
+
+func TestParetoDegreePanics(t *testing.T) {
+	rng := laplace.NewRand(5, 5)
+	for _, c := range []struct {
+		alpha      float64
+		xmin, xmax int
+	}{{1.0, 1, 10}, {2, 0, 10}, {2, 5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ParetoDegree(%v,%d,%d) did not panic", c.alpha, c.xmin, c.xmax)
+				}
+			}()
+			ParetoDegree(c.alpha, c.xmin, c.xmax, rng)
+		}()
+	}
+}
+
+func TestHillAlphaRecoversExponent(t *testing.T) {
+	rng := laplace.NewRand(21, 4)
+	const want = 2.5
+	xs := make([]float64, 40000)
+	for i := range xs {
+		xs[i] = float64(ParetoDegree(want, 1, 1<<30, rng))
+	}
+	// The discrete floor biases the raw estimate; measuring on the tail
+	// (xmin=10) keeps the continuous approximation accurate.
+	got := HillAlpha(xs, 10)
+	if math.Abs(got-want) > 0.2 {
+		t.Fatalf("Hill alpha = %v, want about %v", got, want)
+	}
+}
+
+func TestHillAlphaEdgeCases(t *testing.T) {
+	if got := HillAlpha([]float64{5}, 1); got != 0 {
+		t.Errorf("single observation gave %v", got)
+	}
+	if got := HillAlpha([]float64{1, 1, 1}, 1); got != 0 {
+		t.Errorf("all-xmin sample gave %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("xmin=0 did not panic")
+			}
+		}()
+		HillAlpha([]float64{1}, 0)
+	}()
+}
+
+func TestNetTraceTailIsHeavy(t *testing.T) {
+	counts := NetTraceCounts(NetTraceConfig{DomainSize: 32768, ActiveHosts: 12000}, laplace.NewRand(22, 5))
+	var active []float64
+	for _, c := range counts {
+		if c > 0 {
+			active = append(active, c)
+		}
+	}
+	alpha := HillAlpha(active, 5)
+	// Generated with alpha=2.0; accept the discretization bias band.
+	if alpha < 1.6 || alpha > 2.6 {
+		t.Fatalf("NetTrace degree tail exponent %v, want near 2", alpha)
+	}
+}
+
+func TestZipfFrequencies(t *testing.T) {
+	f := ZipfFrequencies(1000, 1.0, 1e6)
+	if f[0] != 1e6 {
+		t.Fatalf("top frequency %v", f[0])
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(f))) {
+		t.Fatal("frequencies not non-increasing")
+	}
+	if f[999] != math.Round(1e6/1000) {
+		t.Fatalf("tail frequency %v", f[999])
+	}
+	// Duplication emerges once consecutive ranks round to the same value
+	// (i > sqrt(top)): with top=1e4, ranks 500..999 span values 20..10.
+	small := ZipfFrequencies(1000, 1.0, 1e4)
+	distinct := map[float64]bool{}
+	for _, v := range small[500:] {
+		distinct[v] = true
+	}
+	if len(distinct) > 15 {
+		t.Fatalf("tail not duplicated enough: %d distinct values", len(distinct))
+	}
+}
+
+func TestZipfFrequenciesPanics(t *testing.T) {
+	for _, c := range []struct {
+		n   int
+		s   float64
+		top float64
+	}{{0, 1, 1}, {5, 0, 1}, {5, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ZipfFrequencies(%d,%v,%v) did not panic", c.n, c.s, c.top)
+				}
+			}()
+			ZipfFrequencies(c.n, c.s, c.top)
+		}()
+	}
+}
+
+func TestNetTraceCountsShape(t *testing.T) {
+	cfg := NetTraceConfig{DomainSize: 16384, ActiveHosts: 5000}
+	counts := NetTraceCounts(cfg, laplace.NewRand(6, 6))
+	if len(counts) != 16384 {
+		t.Fatalf("len = %d", len(counts))
+	}
+	active := 0
+	maxv := 0.0
+	for _, c := range counts {
+		if c < 0 || c != math.Trunc(c) {
+			t.Fatalf("count %v not a non-negative integer", c)
+		}
+		if c > 0 {
+			active++
+		}
+		if c > maxv {
+			maxv = c
+		}
+	}
+	if active != 5000 {
+		t.Fatalf("active hosts = %d, want 5000", active)
+	}
+	if maxv < 50 {
+		t.Fatalf("max degree %v: tail not heavy", maxv)
+	}
+	// Sparsity with clustering: many long empty stretches. Count empty
+	// positions; at least half the domain must be empty.
+	if empty := len(counts) - active; empty < len(counts)/2 {
+		t.Fatal("domain not sparse")
+	}
+}
+
+func TestNetTraceCountsDeterministic(t *testing.T) {
+	cfg := NetTraceConfig{DomainSize: 4096, ActiveHosts: 1000}
+	a := NetTraceCounts(cfg, laplace.NewRand(7, 9))
+	b := NetTraceCounts(cfg, laplace.NewRand(7, 9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different data")
+		}
+	}
+}
+
+func TestNetTraceCountsDuplicationForTheorem2(t *testing.T) {
+	counts := NetTraceCounts(NetTraceConfig{DomainSize: 16384, ActiveHosts: 8000}, laplace.NewRand(8, 8))
+	sorted := append([]float64(nil), counts...)
+	sort.Float64s(sorted)
+	distinct := map[float64]bool{}
+	for _, v := range sorted {
+		distinct[v] = true
+	}
+	// d << n is the regime where S-bar wins (Theorem 2).
+	if len(distinct) > len(sorted)/20 {
+		t.Fatalf("d = %d not << n = %d", len(distinct), len(sorted))
+	}
+}
+
+func TestNetTraceGraphDegreesMatchCounts(t *testing.T) {
+	counts := []float64{2, 0, 5, 1}
+	g, err := NetTraceGraph(counts, 64, laplace.NewRand(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := g.LeftDegrees()
+	for i := range counts {
+		if left[i] != counts[i] {
+			t.Fatalf("left degrees %v, want %v", left, counts)
+		}
+	}
+}
+
+func TestSocialNetworkDegrees(t *testing.T) {
+	ds, err := SocialNetworkDegrees(1100, 5, laplace.NewRand(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1100 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	if _, err := SocialNetworkDegrees(5, 5, laplace.NewRand(1, 1)); err == nil {
+		t.Fatal("n <= m accepted")
+	}
+}
+
+func TestSearchLogKeywordCounts(t *testing.T) {
+	counts := SearchLogKeywordCounts(2000, laplace.NewRand(11, 11))
+	if len(counts) != 2000 {
+		t.Fatalf("len = %d", len(counts))
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(counts))) {
+		t.Fatal("keyword counts not rank-ordered")
+	}
+	if counts[0] < 1e5 {
+		t.Fatalf("head count %v too small", counts[0])
+	}
+}
+
+func TestQueryTermSeriesShape(t *testing.T) {
+	cfg := SeriesConfig{Bins: 8192}
+	s := QueryTermSeries(cfg, laplace.NewRand(12, 12))
+	if len(s) != 8192 {
+		t.Fatalf("len = %d", len(s))
+	}
+	// Early era nearly silent, campaign era loud.
+	var early, peak float64
+	for _, v := range s[:2048] {
+		early += v
+	}
+	peakStart := 8192 * 80 / 100
+	for _, v := range s[peakStart : peakStart+1024] {
+		peak += v
+	}
+	if early/2048 > 1 {
+		t.Fatalf("early era mean %v too high", early/2048)
+	}
+	if peak/1024 < 50 {
+		t.Fatalf("peak era mean %v too low", peak/1024)
+	}
+	for _, v := range s {
+		if v < 0 || v != math.Trunc(v) {
+			t.Fatal("series values must be non-negative integers")
+		}
+	}
+}
+
+func TestQueryTermSeriesDefaultsValid(t *testing.T) {
+	cfg := SeriesConfig{}.withDefaults()
+	if cfg.Bins != 32768 || cfg.PeakBin <= cfg.RampStart {
+		t.Fatalf("defaults invalid: %+v", cfg)
+	}
+	// Degenerate override: PeakBin before RampStart gets repaired.
+	c2 := SeriesConfig{Bins: 100, RampStart: 90, PeakBin: 10}.withDefaults()
+	if c2.PeakBin <= c2.RampStart {
+		t.Fatal("PeakBin not repaired")
+	}
+}

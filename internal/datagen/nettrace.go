@@ -1,0 +1,130 @@
+package datagen
+
+import (
+	"math/rand/v2"
+
+	"github.com/dphist/dphist/internal/graph"
+)
+
+// NetTraceConfig shapes the synthetic IP-trace dataset standing in for
+// the paper's NetTrace (a gateway-level bipartite connection graph with
+// about 65K external hosts). Zero fields take the defaults below, which
+// mirror the paper's scale.
+type NetTraceConfig struct {
+	// DomainSize is the size of the external address space (the range
+	// attribute's domain). Default 65536 (a /16, padding-free for a
+	// binary tree of height 17).
+	DomainSize int
+	// ActiveHosts is the number of external hosts with at least one
+	// connection. Default 20000; the rest of the domain is empty, making
+	// the unit-count histogram sparse as in real gateway traces.
+	ActiveHosts int
+	// Alpha is the power-law tail exponent of the per-host connection
+	// count. Default 2.0: most hosts touch one or two internal hosts, a
+	// few touch thousands.
+	Alpha float64
+	// MaxDegree caps per-host connection counts. Default 8192.
+	MaxDegree int
+	// ClusterBlocks is the number of contiguous address blocks the
+	// active hosts concentrate in, emulating allocated subnets. Default
+	// 64. Clustering leaves large empty regions, the case where the
+	// Section 4.2 heuristic shines.
+	ClusterBlocks int
+}
+
+func (c NetTraceConfig) withDefaults() NetTraceConfig {
+	if c.DomainSize == 0 {
+		c.DomainSize = 65536
+	}
+	if c.ActiveHosts == 0 {
+		c.ActiveHosts = 20000
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 2.0
+	}
+	if c.MaxDegree == 0 {
+		c.MaxDegree = 8192
+	}
+	if c.ClusterBlocks == 0 {
+		c.ClusterBlocks = 64
+	}
+	if c.ActiveHosts > c.DomainSize {
+		c.ActiveHosts = c.DomainSize
+	}
+	if c.ClusterBlocks > c.ActiveHosts {
+		c.ClusterBlocks = c.ActiveHosts
+	}
+	return c
+}
+
+// NetTraceCounts synthesizes the unit-count histogram of the NetTrace
+// task: position i holds the number of distinct internal hosts external
+// host i connected to (its degree in the bipartite connection graph), or
+// zero for inactive addresses.
+func NetTraceCounts(cfg NetTraceConfig, rng *rand.Rand) []float64 {
+	cfg = cfg.withDefaults()
+	counts := make([]float64, cfg.DomainSize)
+	placed := 0
+	// Carve the domain into equal block slots; fill ClusterBlocks of
+	// them (chosen at random) with contiguous runs of active hosts.
+	perBlock := (cfg.ActiveHosts + cfg.ClusterBlocks - 1) / cfg.ClusterBlocks
+	blockSlots := cfg.DomainSize / perBlock
+	if blockSlots < 1 {
+		blockSlots = 1
+	}
+	order := rng.Perm(blockSlots)
+	for _, slot := range order {
+		if placed >= cfg.ActiveHosts {
+			break
+		}
+		start := slot * perBlock
+		for i := 0; i < perBlock && placed < cfg.ActiveHosts; i++ {
+			pos := start + i
+			if pos >= cfg.DomainSize || counts[pos] != 0 {
+				continue
+			}
+			counts[pos] = float64(ParetoDegree(cfg.Alpha, 1, cfg.MaxDegree, rng))
+			placed++
+		}
+	}
+	return counts
+}
+
+// NetTraceGraph materializes the bipartite connection graph behind a
+// NetTrace count vector: external host i gains counts[i] distinct
+// internal neighbors chosen uniformly from [0, nInternal). The left
+// degree sequence of the result equals the count vector (clamped at
+// nInternal).
+func NetTraceGraph(counts []float64, nInternal int, rng *rand.Rand) (*graph.Bipartite, error) {
+	g, err := graph.NewBipartite(len(counts), nInternal)
+	if err != nil {
+		return nil, err
+	}
+	for l, c := range counts {
+		want := int(c)
+		if want > nInternal {
+			want = nInternal
+		}
+		have := 0
+		for have < want {
+			if added, err := g.AddEdge(l, rng.IntN(nInternal)); err != nil {
+				return nil, err
+			} else if added {
+				have++
+			}
+		}
+	}
+	return g, nil
+}
+
+// SocialNetworkDegrees synthesizes the Social Network task's degree
+// sequence: a preferential-attachment friendship graph on n vertices
+// (default scale in the paper: about 11000 students) with m edges per
+// arriving vertex.
+func SocialNetworkDegrees(n, m int, rng *rand.Rand) ([]float64, error) {
+	g, err := graph.PreferentialAttachment(n, m, rng)
+	if err != nil {
+		return nil, err
+	}
+	return g.DegreeSequence(), nil
+}

@@ -1,0 +1,106 @@
+package datagen
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// SearchLogKeywordCounts synthesizes the Search Logs unattributed task:
+// the 3-month search frequencies of the top n keywords, rank-ordered
+// descending (position i is the count of the i-th most popular keyword).
+// A Zipf backbone with multiplicative Poisson jitter gives a smooth head
+// and a long tail with heavy count duplication. The top frequency scales
+// with n (100n, i.e. 2e6 at the paper's 20K keywords) so that the
+// duplicated tail — which starts around rank sqrt(top) — covers a
+// comparable fraction of the vector at every scale.
+func SearchLogKeywordCounts(n int, rng *rand.Rand) []float64 {
+	base := ZipfFrequencies(n, 1.05, 100*float64(n))
+	out := make([]float64, n)
+	for i, f := range base {
+		out[i] = Poisson(f, rng)
+	}
+	// Restore the rank ordering the task reports (jitter may swap
+	// neighbors).
+	for i := 1; i < n; i++ {
+		if out[i] > out[i-1] {
+			out[i] = out[i-1]
+		}
+	}
+	return out
+}
+
+// SeriesConfig shapes the synthetic temporal frequency of one query term,
+// standing in for the paper's "Obama" series from Jan 1, 2004 at 16 bins
+// per day. Zero fields take defaults mirroring that shape: a near-zero
+// baseline for the first years, a steep ramp through the 2008 campaign, a
+// spike at the election, and a decaying but elevated tail.
+type SeriesConfig struct {
+	Bins      int     // number of time bins; default 32768 (about 5.6 years)
+	BaseRate  float64 // expected searches/bin before the ramp; default 0.2
+	RampStart int     // bin where interest starts growing; default 60% of Bins
+	PeakBin   int     // bin of maximum interest; default 85% of Bins
+	PeakRate  float64 // expected searches/bin at the peak; default 400
+	TailRate  float64 // steady rate after the peak decays; default 60
+	DailyAmp  float64 // relative amplitude of the diurnal cycle; default 0.5
+}
+
+func (c SeriesConfig) withDefaults() SeriesConfig {
+	if c.Bins == 0 {
+		c.Bins = 32768
+	}
+	if c.BaseRate == 0 {
+		c.BaseRate = 0.2
+	}
+	if c.RampStart == 0 {
+		c.RampStart = c.Bins * 60 / 100
+	}
+	if c.PeakBin == 0 {
+		c.PeakBin = c.Bins * 85 / 100
+	}
+	if c.PeakRate == 0 {
+		c.PeakRate = 400
+	}
+	if c.TailRate == 0 {
+		c.TailRate = 60
+	}
+	if c.DailyAmp == 0 {
+		c.DailyAmp = 0.5
+	}
+	if c.PeakBin <= c.RampStart {
+		c.PeakBin = c.RampStart + 1
+	}
+	return c
+}
+
+// QueryTermSeries synthesizes the per-bin search counts of a query term
+// under cfg. Counts are Poisson draws around a deterministic intensity
+// curve with a 16-bin diurnal cycle, so early bins are mostly zeros
+// (sparse) and campaign-era bins are in the hundreds.
+func QueryTermSeries(cfg SeriesConfig, rng *rand.Rand) []float64 {
+	cfg = cfg.withDefaults()
+	out := make([]float64, cfg.Bins)
+	for i := range out {
+		out[i] = Poisson(seriesIntensity(cfg, i), rng)
+	}
+	return out
+}
+
+// seriesIntensity is the deterministic expected rate for bin i.
+func seriesIntensity(cfg SeriesConfig, i int) float64 {
+	var level float64
+	switch {
+	case i < cfg.RampStart:
+		level = cfg.BaseRate
+	case i <= cfg.PeakBin:
+		// Exponential ramp from BaseRate to PeakRate.
+		frac := float64(i-cfg.RampStart) / float64(cfg.PeakBin-cfg.RampStart)
+		level = cfg.BaseRate * math.Pow(cfg.PeakRate/cfg.BaseRate, frac)
+	default:
+		// Exponential decay from PeakRate toward TailRate.
+		decay := float64(i-cfg.PeakBin) / float64(cfg.Bins)
+		level = cfg.TailRate + (cfg.PeakRate-cfg.TailRate)*math.Exp(-12*decay)
+	}
+	// Diurnal cycle over the paper's 16 bins/day.
+	phase := 2 * math.Pi * float64(i%16) / 16
+	return level * (1 + cfg.DailyAmp*math.Sin(phase))
+}

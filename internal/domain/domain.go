@@ -1,0 +1,117 @@
+// Package domain maps range-attribute values onto the contiguous integer
+// domain [0, n) that the histogram queries operate over. The paper's
+// tasks use three attribute kinds: IP addresses whose natural hierarchy
+// matches the H query's tree (NetTrace), timestamps binned at 16 units
+// per day (Search Logs), and arbitrary ordered values (generic
+// histograms).
+package domain
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ordinal maps values of any ordered type onto [0, n) by rank within a
+// fixed sorted universe.
+type Ordinal[T comparable] struct {
+	values []T
+	index  map[T]int
+}
+
+// NewOrdinal builds an Ordinal domain over the given values in the given
+// order. Values must be distinct.
+func NewOrdinal[T comparable](values []T) (*Ordinal[T], error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("domain: empty ordinal universe")
+	}
+	idx := make(map[T]int, len(values))
+	for i, v := range values {
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("domain: duplicate value %v", v)
+		}
+		idx[v] = i
+	}
+	return &Ordinal[T]{values: append([]T(nil), values...), index: idx}, nil
+}
+
+// Size returns the number of values in the universe.
+func (d *Ordinal[T]) Size() int { return len(d.values) }
+
+// Index returns the position of v in the universe.
+func (d *Ordinal[T]) Index(v T) (int, error) {
+	i, ok := d.index[v]
+	if !ok {
+		return 0, fmt.Errorf("domain: value %v not in universe", v)
+	}
+	return i, nil
+}
+
+// Value returns the universe element at position i.
+func (d *Ordinal[T]) Value(i int) (T, error) {
+	var zero T
+	if i < 0 || i >= len(d.values) {
+		return zero, fmt.Errorf("domain: index %d out of range [0,%d)", i, len(d.values))
+	}
+	return d.values[i], nil
+}
+
+// IntRange is an integer interval domain [Lo, Hi) mapping the value v to
+// v-Lo. It is the natural domain for pre-binned data.
+type IntRange struct {
+	Lo, Hi int
+}
+
+// NewIntRange returns the integer domain [lo, hi).
+func NewIntRange(lo, hi int) (*IntRange, error) {
+	if hi <= lo {
+		return nil, fmt.Errorf("domain: empty range [%d,%d)", lo, hi)
+	}
+	return &IntRange{Lo: lo, Hi: hi}, nil
+}
+
+// Size returns hi-lo.
+func (d *IntRange) Size() int { return d.Hi - d.Lo }
+
+// Index maps v to its offset.
+func (d *IntRange) Index(v int) (int, error) {
+	if v < d.Lo || v >= d.Hi {
+		return 0, fmt.Errorf("domain: %d outside [%d,%d)", v, d.Lo, d.Hi)
+	}
+	return v - d.Lo, nil
+}
+
+// Buckets maps continuous float values to [0, n) given ascending bucket
+// boundaries: value v falls in bucket i when bounds[i] <= v < bounds[i+1].
+type Buckets struct {
+	bounds []float64
+}
+
+// NewBuckets builds a bucket domain from strictly ascending boundaries;
+// len(bounds) must be at least 2, giving len(bounds)-1 buckets.
+func NewBuckets(bounds []float64) (*Buckets, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("domain: need at least 2 boundaries")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("domain: boundaries not strictly ascending at %d", i)
+		}
+	}
+	return &Buckets{bounds: append([]float64(nil), bounds...)}, nil
+}
+
+// Size returns the number of buckets.
+func (d *Buckets) Size() int { return len(d.bounds) - 1 }
+
+// Index returns the bucket holding v.
+func (d *Buckets) Index(v float64) (int, error) {
+	if v < d.bounds[0] || v >= d.bounds[len(d.bounds)-1] {
+		return 0, fmt.Errorf("domain: %v outside [%v,%v)", v, d.bounds[0], d.bounds[len(d.bounds)-1])
+	}
+	// First boundary strictly greater than v, minus one.
+	i := sort.SearchFloat64s(d.bounds, v)
+	if i < len(d.bounds) && d.bounds[i] == v {
+		return i, nil
+	}
+	return i - 1, nil
+}

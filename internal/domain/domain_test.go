@@ -1,0 +1,210 @@
+package domain
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrdinal(t *testing.T) {
+	d, err := NewOrdinal([]string{"A", "B", "C", "D", "F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 5 {
+		t.Fatal("size wrong")
+	}
+	i, err := d.Index("C")
+	if err != nil || i != 2 {
+		t.Fatalf("Index(C) = %d, %v", i, err)
+	}
+	if _, err := d.Index("E"); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	v, err := d.Value(4)
+	if err != nil || v != "F" {
+		t.Fatalf("Value(4) = %q, %v", v, err)
+	}
+	if _, err := d.Value(5); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestOrdinalRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewOrdinal([]string{"x", "x"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := NewOrdinal([]string{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	d, err := NewIntRange(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 10 {
+		t.Fatal("size wrong")
+	}
+	if i, err := d.Index(15); err != nil || i != 5 {
+		t.Fatalf("Index(15) = %d, %v", i, err)
+	}
+	if _, err := d.Index(20); err == nil {
+		t.Fatal("hi bound accepted")
+	}
+	if _, err := NewIntRange(5, 5); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	d, err := NewBuckets([]float64{0, 1, 2.5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 {
+		t.Fatal("size wrong")
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {0.99, 0}, {1, 1}, {2.49, 1}, {2.5, 2}, {9.999, 2}}
+	for _, c := range cases {
+		if got, err := d.Index(c.v); err != nil || got != c.want {
+			t.Errorf("Index(%v) = %d, %v; want %d", c.v, got, err, c.want)
+		}
+	}
+	for _, v := range []float64{-0.1, 10, 11} {
+		if _, err := d.Index(v); err == nil {
+			t.Errorf("Index(%v) accepted", v)
+		}
+	}
+	if _, err := NewBuckets([]float64{1, 1}); err == nil {
+		t.Fatal("non-ascending boundaries accepted")
+	}
+	if _, err := NewBuckets([]float64{1}); err == nil {
+		t.Fatal("single boundary accepted")
+	}
+}
+
+func TestIPv4(t *testing.T) {
+	d, err := NewIPv4("128.119.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 65536 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if d.Bits() != 16 {
+		t.Fatalf("bits = %d", d.Bits())
+	}
+	i, err := d.Index("128.119.1.2")
+	if err != nil || i != 258 {
+		t.Fatalf("Index = %d, %v; want 258", i, err)
+	}
+	if _, err := d.Index("10.0.0.1"); err == nil {
+		t.Fatal("outside address accepted")
+	}
+	if _, err := d.Index("not-an-ip"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	addr, err := d.Addr(258)
+	if err != nil || addr != "128.119.1.2" {
+		t.Fatalf("Addr(258) = %q, %v", addr, err)
+	}
+	if _, err := d.Addr(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestIPv4SubPrefixRange(t *testing.T) {
+	d, err := NewIPv4("128.119.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := d.SubPrefixRange("128.119.4.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 4*256 || hi != 5*256 {
+		t.Fatalf("range = [%d,%d)", lo, hi)
+	}
+	// A sub-prefix range is power-of-two sized and aligned: it matches an
+	// H-tree node exactly.
+	if size := hi - lo; size&(size-1) != 0 || lo%size != 0 {
+		t.Fatal("sub-prefix range not aligned")
+	}
+	if _, _, err := d.SubPrefixRange("10.0.0.0/24"); err == nil {
+		t.Fatal("foreign prefix accepted")
+	}
+	if _, _, err := d.SubPrefixRange("128.0.0.0/8"); err == nil {
+		t.Fatal("super-prefix accepted")
+	}
+}
+
+func TestIPv4RejectsNonV4(t *testing.T) {
+	if _, err := NewIPv4("2001:db8::/32"); err == nil {
+		t.Fatal("IPv6 prefix accepted")
+	}
+	if _, err := NewIPv4("garbage"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTimeBins(t *testing.T) {
+	start := time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC)
+	d, err := NewTimeBins(start, 90*time.Minute, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 32 {
+		t.Fatal("size wrong")
+	}
+	if i, err := d.Index(start); err != nil || i != 0 {
+		t.Fatalf("Index(start) = %d, %v", i, err)
+	}
+	if i, err := d.Index(start.Add(89 * time.Minute)); err != nil || i != 0 {
+		t.Fatalf("Index(+89m) = %d, %v", i, err)
+	}
+	if i, err := d.Index(start.Add(90 * time.Minute)); err != nil || i != 1 {
+		t.Fatalf("Index(+90m) = %d, %v", i, err)
+	}
+	if _, err := d.Index(start.Add(-time.Second)); err == nil {
+		t.Fatal("pre-start accepted")
+	}
+	if _, err := d.Index(start.Add(32 * 90 * time.Minute)); err == nil {
+		t.Fatal("post-end accepted")
+	}
+	bs, err := d.BinStart(2)
+	if err != nil || !bs.Equal(start.Add(180*time.Minute)) {
+		t.Fatalf("BinStart(2) = %v, %v", bs, err)
+	}
+	if _, err := d.BinStart(32); err == nil {
+		t.Fatal("out-of-range bin accepted")
+	}
+}
+
+func TestSearchLogsBins(t *testing.T) {
+	d := SearchLogsBins(16 * 10)
+	if d.Width() != 90*time.Minute {
+		t.Fatalf("width = %v, want 90m (16 units/day)", d.Width())
+	}
+	if !d.Start().Equal(time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Fatalf("start = %v", d.Start())
+	}
+	// Exactly 16 bins per day.
+	day2 := time.Date(2004, 1, 2, 0, 0, 0, 0, time.UTC)
+	if i, err := d.Index(day2); err != nil || i != 16 {
+		t.Fatalf("Index(Jan 2) = %d, %v; want 16", i, err)
+	}
+}
+
+func TestNewTimeBinsRejectsBadArgs(t *testing.T) {
+	start := time.Now()
+	if _, err := NewTimeBins(start, 0, 4); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := NewTimeBins(start, time.Hour, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package domain
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// IPv4 maps addresses inside a fixed IPv4 prefix onto [0, 2^(32-bits)).
+// The mapping preserves the address hierarchy: any sub-prefix corresponds
+// to a contiguous, power-of-two aligned index range, which is exactly the
+// structure the H query's tree exploits (the paper's source addresses
+// 000, 001, 01*, ... in Figure 2).
+type IPv4 struct {
+	prefix netip.Prefix
+	base   uint32
+}
+
+// NewIPv4 builds the domain of all addresses inside the CIDR prefix,
+// e.g. "128.119.0.0/16" for a /16 gateway. Only IPv4 prefixes up to /32
+// are supported.
+func NewIPv4(cidr string) (*IPv4, error) {
+	p, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return nil, fmt.Errorf("domain: %w", err)
+	}
+	p = p.Masked()
+	if !p.Addr().Is4() {
+		return nil, fmt.Errorf("domain: %s is not an IPv4 prefix", cidr)
+	}
+	return &IPv4{prefix: p, base: ipv4ToUint(p.Addr())}, nil
+}
+
+// Size returns the number of addresses in the prefix.
+func (d *IPv4) Size() int {
+	return 1 << (32 - d.prefix.Bits())
+}
+
+// Bits returns the prefix length.
+func (d *IPv4) Bits() int { return d.prefix.Bits() }
+
+// Index maps a dotted-quad address inside the prefix to its offset.
+func (d *IPv4) Index(addr string) (int, error) {
+	a, err := netip.ParseAddr(addr)
+	if err != nil {
+		return 0, fmt.Errorf("domain: %w", err)
+	}
+	if !a.Is4() || !d.prefix.Contains(a) {
+		return 0, fmt.Errorf("domain: %s outside prefix %s", addr, d.prefix)
+	}
+	return int(ipv4ToUint(a) - d.base), nil
+}
+
+// Addr returns the address at offset i.
+func (d *IPv4) Addr(i int) (string, error) {
+	if i < 0 || i >= d.Size() {
+		return "", fmt.Errorf("domain: index %d out of range [0,%d)", i, d.Size())
+	}
+	v := d.base + uint32(i)
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}).String(), nil
+}
+
+// SubPrefixRange returns the half-open index range [lo, hi) covered by a
+// sub-prefix of the domain, e.g. the range for "128.119.4.0/24" inside a
+// /16 domain. Such ranges align exactly with H-tree nodes when the
+// branching factor is a power of two.
+func (d *IPv4) SubPrefixRange(cidr string) (lo, hi int, err error) {
+	p, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("domain: %w", err)
+	}
+	p = p.Masked()
+	if !p.Addr().Is4() || p.Bits() < d.prefix.Bits() || !d.prefix.Contains(p.Addr()) {
+		return 0, 0, fmt.Errorf("domain: %s is not a sub-prefix of %s", cidr, d.prefix)
+	}
+	lo = int(ipv4ToUint(p.Addr()) - d.base)
+	return lo, lo + 1<<(32-p.Bits()), nil
+}
+
+func ipv4ToUint(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

@@ -1,0 +1,67 @@
+package domain
+
+import (
+	"fmt"
+	"time"
+)
+
+// TimeBins maps timestamps to [0, n) by fixed-width binning from a start
+// instant. The paper's Search Logs task divides each day into 16 units of
+// time from Jan 1, 2004; SearchLogsBins constructs exactly that domain.
+type TimeBins struct {
+	start time.Time
+	width time.Duration
+	n     int
+}
+
+// NewTimeBins returns a domain of n bins of the given width starting at
+// start.
+func NewTimeBins(start time.Time, width time.Duration, n int) (*TimeBins, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("domain: non-positive bin width %v", width)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("domain: need at least one bin")
+	}
+	return &TimeBins{start: start, width: width, n: n}, nil
+}
+
+// SearchLogsBins returns the paper's Search Logs domain: 16 bins per day
+// (90 minutes each) from Jan 1, 2004 UTC, for the given number of bins.
+func SearchLogsBins(n int) *TimeBins {
+	start := time.Date(2004, time.January, 1, 0, 0, 0, 0, time.UTC)
+	d, err := NewTimeBins(start, 24*time.Hour/16, n)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return d
+}
+
+// Size returns the number of bins.
+func (d *TimeBins) Size() int { return d.n }
+
+// Start returns the first instant of the domain.
+func (d *TimeBins) Start() time.Time { return d.start }
+
+// Width returns the bin width.
+func (d *TimeBins) Width() time.Duration { return d.width }
+
+// Index returns the bin holding ts.
+func (d *TimeBins) Index(ts time.Time) (int, error) {
+	if ts.Before(d.start) {
+		return 0, fmt.Errorf("domain: %v before domain start %v", ts, d.start)
+	}
+	i := int(ts.Sub(d.start) / d.width)
+	if i >= d.n {
+		return 0, fmt.Errorf("domain: %v beyond bin %d", ts, d.n-1)
+	}
+	return i, nil
+}
+
+// BinStart returns the first instant of bin i.
+func (d *TimeBins) BinStart(i int) (time.Time, error) {
+	if i < 0 || i >= d.n {
+		return time.Time{}, fmt.Errorf("domain: bin %d out of range [0,%d)", i, d.n)
+	}
+	return d.start.Add(time.Duration(i) * d.width), nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/laplace"
+	"github.com/dphist/dphist/internal/stats"
+	"github.com/dphist/dphist/internal/wavelet"
+)
+
+// BranchingRow is one point of the branching-factor ablation (Appendix B
+// flags higher branching factors as an open optimization): range-query
+// error of H~ and H-bar for one fan-out k.
+type BranchingRow struct {
+	K         int
+	Height    int
+	ErrHTilde float64
+	ErrHBar   float64
+}
+
+// RunBranching sweeps the tree fan-out k on the NetTrace universal
+// workload at epsilon 0.1 with mixed-size random ranges. Larger k gives a
+// shorter tree (lower sensitivity, fewer levels) but more subtrees per
+// range; the sweep exposes the trade-off the paper leaves open. H-bar is
+// measured as pure inference (no non-negativity/rounding) so that the
+// sweep isolates the branching effect; Theorem 4(ii) then guarantees
+// H-bar is at least as accurate as H~ on every range at every k.
+func RunBranching(cfg Config) []BranchingRow {
+	cfg = cfg.withDefaults(30)
+	const eps = 0.1
+	data := cfg.netTrace()
+	truthPrefix := prefixSums(data)
+	var rows []BranchingRow
+	for _, k := range []int{2, 4, 8, 16} {
+		tree := htree.MustNew(k, len(data))
+		var accH, accB stats.Accumulator
+		for trial := 0; trial < cfg.Trials; trial++ {
+			src := laplace.Stream(cfg.Seed^uint64(0xAB10+k), trial)
+			rsrc := laplace.Stream(cfg.Seed^uint64(0xAB60+k), trial)
+			htilde := core.ReleaseTree(tree, data, eps, src)
+			hbar := core.InferTree(tree, htilde)
+			for q := 0; q < 200; q++ {
+				size := 2 << rsrc.IntN(log2int(len(data))-1)
+				if size >= len(data) {
+					size = len(data) / 2
+				}
+				lo := rsrc.IntN(len(data) - size)
+				hi := lo + size
+				truth := truthPrefix[hi] - truthPrefix[lo]
+				dh := core.TreeRangeHTilde(tree, htilde, lo, hi) - truth
+				db := tree.RangeSum(hbar, lo, hi) - truth
+				accH.Add(dh * dh)
+				accB.Add(db * db)
+			}
+		}
+		rows = append(rows, BranchingRow{
+			K: k, Height: tree.Height(),
+			ErrHTilde: accH.Mean(), ErrHBar: accB.Mean(),
+		})
+	}
+	return rows
+}
+
+// NonNegRow is one point of the non-negativity ablation: unit-length
+// range error of H-bar with and without the Section 4.2 subtree-zeroing
+// heuristic, against the L~ baseline, on the sparse NetTrace domain.
+type NonNegRow struct {
+	Epsilon        float64
+	ErrLTilde      float64 // flat Laplace histogram (rounded)
+	ErrHBarPlain   float64 // inference only
+	ErrHBarNonNeg  float64 // inference + subtree zeroing + rounding
+	SparseFraction float64 // fraction of truly-empty unit positions
+}
+
+// RunNonNegativity quantifies the Section 4.2 claim that zeroing
+// non-positive subtrees "can greatly reduce error in sparse regions and
+// can lead to H-bar being more accurate than L~ even at small ranges".
+// Unit-length queries are the adversarial case for H (higher sensitivity,
+// no aggregation), so this is where the heuristic must earn its keep.
+func RunNonNegativity(cfg Config) []NonNegRow {
+	cfg = cfg.withDefaults(30)
+	data := cfg.netTrace()
+	empty := 0
+	for _, v := range data {
+		if v == 0 {
+			empty++
+		}
+	}
+	sparse := float64(empty) / float64(len(data))
+	tree := htree.MustNew(2, len(data))
+	var rows []NonNegRow
+	for ei, eps := range cfg.Epsilons {
+		var accL, accPlain, accNN stats.Accumulator
+		for trial := 0; trial < cfg.Trials; trial++ {
+			src := laplace.Stream(cfg.Seed^uint64(0xAB90+ei), trial)
+			ltilde := core.ReleaseL(data, eps, src)
+			core.RoundNonNegInt(ltilde)
+			htilde := core.ReleaseTree(tree, data, eps, src)
+			hbar := core.InferTree(tree, htilde)
+			plain := tree.Leaves(hbar)
+			accL.Add(stats.MeanSquaredError(ltilde, data))
+			accPlain.Add(stats.MeanSquaredError(plain, data))
+			nn := append([]float64(nil), hbar...)
+			core.ZeroNegativeSubtrees(tree, nn)
+			nnLeaves := append([]float64(nil), tree.Leaves(nn)...)
+			core.RoundNonNegInt(nnLeaves)
+			accNN.Add(stats.MeanSquaredError(nnLeaves, data))
+		}
+		rows = append(rows, NonNegRow{
+			Epsilon:        eps,
+			ErrLTilde:      accL.Mean(),
+			ErrHBarPlain:   accPlain.Mean(),
+			ErrHBarNonNeg:  accNN.Mean(),
+			SparseFraction: sparse,
+		})
+	}
+	return rows
+}
+
+// WaveletRow compares the Haar-wavelet mechanism (Xiao et al.) with the
+// binary H~ and H-bar on one workload — the Section 6 relationship.
+type WaveletRow struct {
+	Epsilon    float64
+	ErrWavelet float64
+	ErrHTilde  float64
+	ErrHBar    float64
+}
+
+// RunWaveletComparison measures mixed-size random range error for the
+// wavelet release versus H~ and H-bar on the NetTrace workload. Expected
+// shape: wavelet and H~ are the same order (Li et al. equivalence);
+// H-bar beats both since neither competitor exploits consistency.
+func RunWaveletComparison(cfg Config) []WaveletRow {
+	cfg = cfg.withDefaults(30)
+	data := cfg.netTrace()
+	truthPrefix := prefixSums(data)
+	tree := htree.MustNew(2, len(data))
+	var rows []WaveletRow
+	for ei, eps := range cfg.Epsilons {
+		var accW, accH, accB stats.Accumulator
+		for trial := 0; trial < cfg.Trials; trial++ {
+			src := laplace.Stream(cfg.Seed^uint64(0xABC0+ei), trial)
+			rsrc := laplace.Stream(cfg.Seed^uint64(0xABF0+ei), trial)
+			wrelease, err := wavelet.Release(data, eps, src)
+			if err != nil {
+				panic(err) // inputs are internally generated and valid
+			}
+			wPrefix := prefixSums(wrelease)
+			htilde := core.ReleaseTree(tree, data, eps, src)
+			hbar := core.InferTree(tree, htilde)
+			core.ZeroNegativeSubtrees(tree, hbar)
+			core.RoundNonNegInt(hbar)
+			for q := 0; q < 200; q++ {
+				size := 2 << rsrc.IntN(log2int(len(data))-1)
+				if size >= len(data) {
+					size = len(data) / 2
+				}
+				lo := rsrc.IntN(len(data) - size)
+				hi := lo + size
+				truth := truthPrefix[hi] - truthPrefix[lo]
+				dw := (wPrefix[hi] - wPrefix[lo]) - truth
+				dh := core.TreeRangeHTilde(tree, htilde, lo, hi) - truth
+				db := tree.RangeSum(hbar, lo, hi) - truth
+				accW.Add(dw * dw)
+				accH.Add(dh * dh)
+				accB.Add(db * db)
+			}
+		}
+		rows = append(rows, WaveletRow{
+			Epsilon:    eps,
+			ErrWavelet: accW.Mean(),
+			ErrHTilde:  accH.Mean(),
+			ErrHBar:    accB.Mean(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,142 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5, Appendices C and E). Each Run* function builds
+// the workload, sweeps the parameters the paper sweeps, and returns
+// structured rows that cmd/dphist-bench formats exactly like the paper
+// reports them. Absolute values depend on the synthetic datasets (the
+// originals are private; see DESIGN.md section 4) but the comparisons —
+// who wins, by what order, where crossovers fall — reproduce the paper.
+package experiments
+
+import (
+	"math"
+
+	"github.com/dphist/dphist/internal/datagen"
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+// Scale selects the workload size.
+type Scale int
+
+const (
+	// ScalePaper matches the paper's dataset sizes (NetTrace ~65K hosts,
+	// Social Network ~11K nodes, Search Logs 20K keywords / 32K bins).
+	ScalePaper Scale = iota
+	// ScaleSmall shrinks domains ~16x for fast test runs; all
+	// qualitative comparisons still hold.
+	ScaleSmall
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives every random stream in the run; equal configs produce
+	// identical outputs.
+	Seed uint64
+	// Trials is the number of samples of the private mechanism averaged
+	// per measurement. The paper uses 50 (200 for Figure 7). Zero means
+	// the paper's value.
+	Trials int
+	// RangesPerSize is the number of random range queries per range size
+	// in Figure 6. The paper uses 1000. Zero means 1000.
+	RangesPerSize int
+	// Epsilons are the privacy levels swept. Nil means the paper's
+	// {1.0, 0.1, 0.01}.
+	Epsilons []float64
+	// Scale selects paper-sized or test-sized workloads.
+	Scale Scale
+}
+
+func (c Config) withDefaults(defaultTrials int) Config {
+	if c.Trials == 0 {
+		c.Trials = defaultTrials
+	}
+	if c.RangesPerSize == 0 {
+		c.RangesPerSize = 1000
+	}
+	if len(c.Epsilons) == 0 {
+		c.Epsilons = []float64{1.0, 0.1, 0.01}
+	}
+	return c
+}
+
+// Dataset sizes per scale.
+type sizes struct {
+	netTraceDomain  int
+	netTraceActive  int
+	socialNodes     int
+	socialEdgesPer  int
+	searchKeywords  int
+	searchSeriesLen int
+}
+
+func (c Config) sizes() sizes {
+	if c.Scale == ScaleSmall {
+		return sizes{
+			netTraceDomain:  4096,
+			netTraceActive:  1200,
+			socialNodes:     1200,
+			socialEdgesPer:  5,
+			searchKeywords:  2000,
+			searchSeriesLen: 2048,
+		}
+	}
+	return sizes{
+		netTraceDomain:  65536,
+		netTraceActive:  20000,
+		socialNodes:     11000,
+		socialEdgesPer:  5,
+		searchKeywords:  20000,
+		searchSeriesLen: 32768,
+	}
+}
+
+// netTrace returns the synthetic NetTrace unit counts (per-host
+// connection counts over the external address domain).
+func (c Config) netTrace() []float64 {
+	s := c.sizes()
+	return datagen.NetTraceCounts(datagen.NetTraceConfig{
+		DomainSize:  s.netTraceDomain,
+		ActiveHosts: s.netTraceActive,
+	}, laplace.NewRand(c.Seed, 0xda7a1))
+}
+
+// socialNetwork returns the synthetic Social Network degree sequence.
+func (c Config) socialNetwork() []float64 {
+	s := c.sizes()
+	ds, err := datagen.SocialNetworkDegrees(s.socialNodes, s.socialEdgesPer, laplace.NewRand(c.Seed, 0xda7a2))
+	if err != nil {
+		panic(err) // sizes are hardcoded valid
+	}
+	return ds
+}
+
+// searchKeywords returns the synthetic top-keyword frequency vector.
+func (c Config) searchKeywords() []float64 {
+	return datagen.SearchLogKeywordCounts(c.sizes().searchKeywords, laplace.NewRand(c.Seed, 0xda7a3))
+}
+
+// searchSeries returns the synthetic "Obama" temporal series.
+func (c Config) searchSeries() []float64 {
+	return datagen.QueryTermSeries(datagen.SeriesConfig{Bins: c.sizes().searchSeriesLen},
+		laplace.NewRand(c.Seed, 0xda7a4))
+}
+
+// prefixSums returns p with p[i] = sum of x[:i].
+func prefixSums(x []float64) []float64 {
+	p := make([]float64, len(x)+1)
+	for i, v := range x {
+		p[i+1] = p[i] + v
+	}
+	return p
+}
+
+// log2int returns floor(log2(n)).
+func log2int(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+var _ = math.Abs // keep math imported for helpers added below

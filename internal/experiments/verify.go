@@ -1,0 +1,147 @@
+package experiments
+
+import "fmt"
+
+// Claim is one paper claim checked live against this implementation.
+type Claim struct {
+	ID     string // paper locus, e.g. "Fig5", "Thm4(iv)"
+	Text   string // what the paper asserts
+	Detail string // measured evidence
+	Pass   bool
+}
+
+// Verify runs a fast (small-scale) end-to-end check of every
+// reproducible claim in the paper and reports a scorecard. It is the
+// live counterpart of EXPERIMENTS.md: if the implementation drifts, the
+// scorecard catches it without consulting stored numbers.
+func Verify(cfg Config) []Claim {
+	cfg.Scale = ScaleSmall
+	if cfg.Trials == 0 {
+		cfg.Trials = 20
+	}
+	if cfg.RangesPerSize == 0 {
+		cfg.RangesPerSize = 200
+	}
+	var claims []Claim
+	add := func(id, text string, pass bool, detail string) {
+		claims = append(claims, Claim{ID: id, Text: text, Pass: pass, Detail: detail})
+	}
+
+	// Figure 2(b): exact inference on the paper's printed draws.
+	hbar, sbar := PaperFig2Inference()
+	fig2OK := len(hbar) == 7 && len(sbar) == 4
+	wantH := []float64{14, 3, 11, 3, 0, 11, 0}
+	wantS := []float64{1, 1, 1, 11}
+	for i, v := range wantH {
+		if diff := hbar[i] - v; diff > 1e-9 || diff < -1e-9 {
+			fig2OK = false
+		}
+	}
+	for i, v := range wantS {
+		if diff := sbar[i] - v; diff > 1e-9 || diff < -1e-9 {
+			fig2OK = false
+		}
+	}
+	add("Fig2", "inference reproduces the worked example exactly", fig2OK,
+		fmt.Sprintf("H-bar=%.0f S-bar=%.0f", hbar, sbar))
+
+	// Figure 5: at least an order of magnitude on every dataset and eps.
+	// This claim depends on the datasets' duplication structure, which
+	// only fully develops at the paper's scale (the shrunk keyword set's
+	// head is mostly distinct values), so it alone runs paper-sized data
+	// with the reduced trial count.
+	fig5Cfg := cfg
+	fig5Cfg.Scale = ScalePaper
+	worst := 1e18
+	for _, r := range RunFig5(fig5Cfg) {
+		if ratio := r.ErrSTilde / r.ErrSBar; ratio < worst {
+			worst = ratio
+		}
+	}
+	add("Fig5", "S-bar beats S~ by >=10x across datasets and eps", worst >= 10,
+		fmt.Sprintf("worst improvement %.1fx", worst))
+
+	// Figure 6: linear L~, converging L~/H~ ratio, H-bar uniformly <= H~.
+	rows := RunFig6(cfg)
+	type key struct {
+		ds  string
+		eps float64
+	}
+	series := map[key][]Fig6Row{}
+	for _, r := range rows {
+		k := key{r.Dataset, r.Epsilon}
+		series[k] = append(series[k], r)
+	}
+	linear, converging, uniform := true, true, true
+	var worstHBar float64
+	for _, s := range series {
+		first, last := s[0], s[len(s)-1]
+		if last.ErrL < first.ErrL*20 {
+			linear = false
+		}
+		if (last.ErrL/last.ErrH)/(first.ErrL/first.ErrH) < 20 {
+			converging = false
+		}
+		for _, r := range s {
+			if ratio := r.ErrHBar / r.ErrH; ratio > 1.15 {
+				uniform = false
+				if ratio > worstHBar {
+					worstHBar = ratio
+				}
+			}
+		}
+	}
+	add("Fig6-L", "L~ range error grows linearly with range size", linear, "")
+	add("Fig6-X", "L~/H~ ratio converges toward the ~2000-unit crossover", converging, "")
+	add("Fig6-H", "H-bar uniformly at least as accurate as H~", uniform,
+		fmt.Sprintf("worst H-bar/H~ ratio %.2f", worstHBar))
+
+	// Figure 7: interior of uniform runs nearly free, boundaries pay.
+	f7 := RunFig7(cfg).Summarize()
+	add("Fig7", "S-bar error concentrates at run boundaries",
+		f7.MeanInterior < f7.MeanBoundary && f7.MeanOverall*5 < f7.ErrSTilde,
+		fmt.Sprintf("interior %.3g boundary %.3g flat %.3g", f7.MeanInterior, f7.MeanBoundary, f7.ErrSTilde))
+
+	// Theorem 2: error grows with d; d=1 is polylog.
+	t2 := RunTheorem2(cfg)
+	t2OK := t2[0].ErrSBar*20 < t2[0].ErrSTilde &&
+		t2[len(t2)-1].ErrSBar > t2[0].ErrSBar*10
+	add("Thm2", "error(S-bar) scales with distinct counts d", t2OK,
+		fmt.Sprintf("d=1: %.3g vs d=%d: %.3g (S~ %.3g)",
+			t2[0].ErrSBar, t2[len(t2)-1].D, t2[len(t2)-1].ErrSBar, t2[0].ErrSTilde))
+
+	// Theorem 4(iv): measured ratio at least the predicted bound.
+	t4 := RunTheorem4(cfg)
+	add("Thm4(iv)", "all-but-endpoints query gains at least the predicted factor",
+		t4.MeasuredRatio >= 0.7*t4.PredictedRatio,
+		fmt.Sprintf("measured %.1fx, bound %.2fx", t4.MeasuredRatio, t4.PredictedRatio))
+
+	// Appendix E: H~ error flat in N; equi-depth grows.
+	be := RunBlumEmpirical(cfg)
+	minH, maxH := be[0].AbsErrHTree, be[0].AbsErrHTree
+	for _, r := range be {
+		if r.AbsErrHTree < minH {
+			minH = r.AbsErrHTree
+		}
+		if r.AbsErrHTree > maxH {
+			maxH = r.AbsErrHTree
+		}
+	}
+	add("AppE", "H~ absolute error independent of database size; equi-depth grows",
+		maxH/minH < 2 && be[len(be)-1].AbsErrEquiDF > be[0].AbsErrEquiDF*4,
+		fmt.Sprintf("H~ %.3g..%.3g, equi-depth %.3g -> %.3g",
+			minH, maxH, be[0].AbsErrEquiDF, be[len(be)-1].AbsErrEquiDF))
+
+	// Section 4.2: the non-negativity heuristic helps on sparse data.
+	nnOK := true
+	var nnDetail string
+	for _, r := range RunNonNegativity(cfg) {
+		if r.ErrHBarNonNeg*2 > r.ErrHBarPlain {
+			nnOK = false
+		}
+		nnDetail = fmt.Sprintf("eps=%g: %.3g -> %.3g", r.Epsilon, r.ErrHBarPlain, r.ErrHBarNonNeg)
+	}
+	add("Sec4.2", "subtree zeroing cuts sparse-domain error >=2x", nnOK, nnDetail)
+
+	return claims
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestVerifyAllClaimsPass(t *testing.T) {
+	cfg := Config{Seed: 42, Trials: 15, RangesPerSize: 120}
+	claims := Verify(cfg)
+	if len(claims) < 9 {
+		t.Fatalf("only %d claims checked", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("%s FAILED: %s (%s)", c.ID, c.Text, c.Detail)
+		}
+	}
+}
+
+func TestVerifyDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Trials: 5, RangesPerSize: 50}
+	a := Verify(cfg)
+	b := Verify(cfg)
+	if len(a) != len(b) {
+		t.Fatal("claim counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("claim %s not deterministic", a[i].ID)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package graph is the graph substrate behind the paper's two
+// network-shaped datasets: NetTrace (a bipartite connection graph between
+// internal and external hosts) and Social Network (a friendship graph).
+// The quantity the histogram tasks consume is the degree sequence, "a
+// crucial measure that is widely studied" (Section 1).
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Undirected is a simple undirected graph on vertices [0, n).
+type Undirected struct {
+	n   int
+	adj []map[int]struct{}
+	m   int
+}
+
+// NewUndirected returns an empty graph on n vertices.
+func NewUndirected(n int) (*Undirected, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: need at least one vertex")
+	}
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &Undirected{n: n, adj: adj}, nil
+}
+
+// N returns the number of vertices.
+func (g *Undirected) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Undirected) M() int { return g.m }
+
+// AddEdge inserts edge {u, v}, reporting whether it was new. Self-loops
+// and out-of-range endpoints return an error.
+func (g *Undirected) AddEdge(u, v int) (bool, error) {
+	if u == v {
+		return false, fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false, fmt.Errorf("graph: edge (%d,%d) outside [0,%d)", u, v, g.n)
+	}
+	if _, dup := g.adj[u][v]; dup {
+		return false, nil
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.m++
+	return true, nil
+}
+
+// HasEdge reports whether {u, v} is present.
+func (g *Undirected) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the degree of vertex v.
+func (g *Undirected) Degree(v int) int { return len(g.adj[v]) }
+
+// DegreeSequence returns all vertex degrees in vertex order.
+func (g *Undirected) DegreeSequence() []float64 {
+	out := make([]float64, g.n)
+	for v := range g.adj {
+		out[v] = float64(len(g.adj[v]))
+	}
+	return out
+}
+
+// SortedDegreeSequence returns the degree sequence in non-decreasing
+// order — the true answer S(I) of the unattributed histogram task.
+func (g *Undirected) SortedDegreeSequence() []float64 {
+	out := g.DegreeSequence()
+	sort.Float64s(out)
+	return out
+}
+
+// Bipartite is a bipartite graph between left vertices [0, nLeft) and
+// right vertices [0, nRight), the shape of the NetTrace gateway data.
+type Bipartite struct {
+	nLeft, nRight int
+	adj           []map[int]struct{} // left vertex -> set of right vertices
+	m             int
+}
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite(nLeft, nRight int) (*Bipartite, error) {
+	if nLeft < 1 || nRight < 1 {
+		return nil, fmt.Errorf("graph: bipartite sides must be non-empty")
+	}
+	adj := make([]map[int]struct{}, nLeft)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &Bipartite{nLeft: nLeft, nRight: nRight, adj: adj}, nil
+}
+
+// NLeft returns the number of left vertices.
+func (g *Bipartite) NLeft() int { return g.nLeft }
+
+// NRight returns the number of right vertices.
+func (g *Bipartite) NRight() int { return g.nRight }
+
+// M returns the number of edges.
+func (g *Bipartite) M() int { return g.m }
+
+// AddEdge inserts edge (l, r), reporting whether it was new.
+func (g *Bipartite) AddEdge(l, r int) (bool, error) {
+	if l < 0 || l >= g.nLeft || r < 0 || r >= g.nRight {
+		return false, fmt.Errorf("graph: edge (%d,%d) outside %dx%d", l, r, g.nLeft, g.nRight)
+	}
+	if _, dup := g.adj[l][r]; dup {
+		return false, nil
+	}
+	g.adj[l][r] = struct{}{}
+	g.m++
+	return true, nil
+}
+
+// LeftDegrees returns the degree of every left vertex.
+func (g *Bipartite) LeftDegrees() []float64 {
+	out := make([]float64, g.nLeft)
+	for l := range g.adj {
+		out[l] = float64(len(g.adj[l]))
+	}
+	return out
+}
+
+// RightDegrees returns the degree of every right vertex.
+func (g *Bipartite) RightDegrees() []float64 {
+	out := make([]float64, g.nRight)
+	for _, set := range g.adj {
+		for r := range set {
+			out[r]++
+		}
+	}
+	return out
+}
+
+// PreferentialAttachment grows a Barabasi-Albert graph: n vertices, each
+// new vertex attaching m edges to existing vertices with probability
+// proportional to their degree. The resulting degree sequence is
+// power-law with exponent about 3, matching degree distributions of
+// online social networks. Requires n > m >= 1.
+func PreferentialAttachment(n, m int, rng *rand.Rand) (*Undirected, error) {
+	if m < 1 || n <= m {
+		return nil, fmt.Errorf("graph: need n > m >= 1, got n=%d m=%d", n, m)
+	}
+	g, err := NewUndirected(n)
+	if err != nil {
+		return nil, err
+	}
+	// repeated holds every edge endpoint once per incidence; sampling a
+	// uniform element is degree-proportional sampling.
+	repeated := make([]int, 0, 2*m*n)
+	// Seed: a star on the first m+1 vertices.
+	for v := 1; v <= m; v++ {
+		if _, err := g.AddEdge(0, v); err != nil {
+			return nil, err
+		}
+		repeated = append(repeated, 0, v)
+	}
+	for v := m + 1; v < n; v++ {
+		attached := make(map[int]struct{}, m)
+		for len(attached) < m {
+			t := repeated[rng.IntN(len(repeated))]
+			if t == v {
+				continue
+			}
+			if _, dup := attached[t]; dup {
+				continue
+			}
+			attached[t] = struct{}{}
+		}
+		// Sort targets before inserting: map iteration order is random
+		// and would leak into the sampling pool, breaking determinism.
+		targets := make([]int, 0, m)
+		for t := range attached {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
+			if _, err := g.AddEdge(v, t); err != nil {
+				return nil, err
+			}
+			repeated = append(repeated, v, t)
+		}
+	}
+	return g, nil
+}
+
+// ErdosRenyi samples a G(n, p) random graph. Each of the n(n-1)/2
+// possible edges appears independently with probability p. Intended for
+// test baselines with small n; runtime is O(n^2).
+func ErdosRenyi(n int, p float64, rng *rand.Rand) (*Undirected, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: probability %v outside [0,1]", p)
+	}
+	g, err := NewUndirected(n)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if _, err := g.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestUndirectedBasics(t *testing.T) {
+	g, err := NewUndirected(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := g.AddEdge(0, 1)
+	if err != nil || !added {
+		t.Fatal("first edge rejected")
+	}
+	added, err = g.AddEdge(1, 0)
+	if err != nil || added {
+		t.Fatal("duplicate edge (reversed) not detected")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge not symmetric")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestUndirectedErrors(t *testing.T) {
+	g, _ := NewUndirected(3)
+	if _, err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := NewUndirected(0); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if g.HasEdge(-1, 0) {
+		t.Error("HasEdge out of range true")
+	}
+}
+
+func TestDegreeSequence(t *testing.T) {
+	g, _ := NewUndirected(4)
+	_, _ = g.AddEdge(0, 1)
+	_, _ = g.AddEdge(0, 2)
+	_, _ = g.AddEdge(0, 3)
+	ds := g.DegreeSequence()
+	want := []float64{3, 1, 1, 1}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("degree sequence %v, want %v", ds, want)
+		}
+	}
+	sorted := g.SortedDegreeSequence()
+	if !sort.Float64sAreSorted(sorted) {
+		t.Fatal("sorted degree sequence unsorted")
+	}
+	// Handshake: sum of degrees = 2m.
+	sum := 0.0
+	for _, d := range ds {
+		sum += d
+	}
+	if int(sum) != 2*g.M() {
+		t.Fatal("handshake lemma violated")
+	}
+}
+
+func TestBipartiteBasics(t *testing.T) {
+	g, err := NewBipartite(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NLeft() != 3 || g.NRight() != 2 {
+		t.Fatal("sides wrong")
+	}
+	added, err := g.AddEdge(0, 1)
+	if err != nil || !added {
+		t.Fatal("edge rejected")
+	}
+	if added, _ := g.AddEdge(0, 1); added {
+		t.Fatal("duplicate accepted")
+	}
+	_, _ = g.AddEdge(2, 1)
+	_, _ = g.AddEdge(2, 0)
+	left := g.LeftDegrees()
+	right := g.RightDegrees()
+	if left[0] != 1 || left[1] != 0 || left[2] != 2 {
+		t.Fatalf("left degrees %v", left)
+	}
+	if right[0] != 1 || right[1] != 2 {
+		t.Fatalf("right degrees %v", right)
+	}
+	if g.M() != 3 {
+		t.Fatalf("M = %d", g.M())
+	}
+	// Degree sums on both sides equal the edge count.
+	var ls, rs float64
+	for _, d := range left {
+		ls += d
+	}
+	for _, d := range right {
+		rs += d
+	}
+	if int(ls) != g.M() || int(rs) != g.M() {
+		t.Fatal("bipartite handshake violated")
+	}
+}
+
+func TestBipartiteErrors(t *testing.T) {
+	if _, err := NewBipartite(0, 1); err == nil {
+		t.Error("empty side accepted")
+	}
+	g, _ := NewBipartite(2, 2)
+	if _, err := g.AddEdge(2, 0); err == nil {
+		t.Error("left out of range accepted")
+	}
+	if _, err := g.AddEdge(0, 2); err == nil {
+		t.Error("right out of range accepted")
+	}
+}
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	const n, m = 2000, 3
+	g, err := PreferentialAttachment(n, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Every arriving vertex adds exactly m edges: total = m (star seed)
+	// + (n-m-1)*m.
+	wantM := m + (n-m-1)*m
+	if g.M() != wantM {
+		t.Fatalf("M = %d, want %d", g.M(), wantM)
+	}
+	ds := g.SortedDegreeSequence()
+	// Heavy tail: the max degree dwarfs the median; min degree >= m for
+	// arriving vertices (all but the seed star's leaves).
+	median := ds[n/2]
+	max := ds[n-1]
+	if max < 5*median {
+		t.Fatalf("degree distribution not heavy-tailed: max %v median %v", max, median)
+	}
+	// Massive duplication at low degrees: the property Theorem 2 needs.
+	distinct := map[float64]bool{}
+	for _, d := range ds {
+		distinct[d] = true
+	}
+	if len(distinct) > n/4 {
+		t.Fatalf("too many distinct degrees: %d of %d", len(distinct), n)
+	}
+}
+
+func TestPreferentialAttachmentDeterministic(t *testing.T) {
+	a, _ := PreferentialAttachment(300, 2, rand.New(rand.NewPCG(7, 7)))
+	b, _ := PreferentialAttachment(300, 2, rand.New(rand.NewPCG(7, 7)))
+	da, db := a.DegreeSequence(), b.DegreeSequence()
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestPreferentialAttachmentErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := PreferentialAttachment(3, 3, rng); err == nil {
+		t.Error("n <= m accepted")
+	}
+	if _, err := PreferentialAttachment(10, 0, rng); err == nil {
+		t.Error("m = 0 accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	g, err := ErdosRenyi(200, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected edges: C(200,2)*0.1 = 1990; allow 5 sigma.
+	want := 19900.0 * 0.1
+	sigma := 42.3 // sqrt(19900*0.1*0.9)
+	if diff := float64(g.M()) - want; diff > 5*sigma || diff < -5*sigma {
+		t.Fatalf("M = %d, expected about %v", g.M(), want)
+	}
+	if _, err := ErdosRenyi(10, 1.5, rng); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	full, _ := ErdosRenyi(10, 1, rng)
+	if full.M() != 45 {
+		t.Fatalf("p=1 gave %d edges, want 45", full.M())
+	}
+}

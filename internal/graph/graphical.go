@@ -1,0 +1,129 @@
+package graph
+
+import "sort"
+
+// IsGraphical reports whether the non-negative integer sequence deg is
+// the degree sequence of some simple graph, by the Erdős–Gallai
+// criterion: with d_1 >= ... >= d_n,
+//
+//	sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k)  for every k,
+//
+// and the total degree must be even. The input may be in any order and
+// is not modified.
+func IsGraphical(deg []int) bool {
+	n := len(deg)
+	if n == 0 {
+		return true
+	}
+	d := append([]int(nil), deg...)
+	sort.Sort(sort.Reverse(sort.IntSlice(d)))
+	total := 0
+	for _, v := range d {
+		if v < 0 || v > n-1 {
+			return false
+		}
+		total += v
+	}
+	if total%2 != 0 {
+		return false
+	}
+	// Erdős–Gallai with a running prefix and a pointer for min(d_i, k).
+	prefix := 0
+	for k := 1; k <= n; k++ {
+		prefix += d[k-1]
+		rhs := k * (k - 1)
+		for i := k; i < n; i++ {
+			if d[i] < k {
+				rhs += d[i]
+			} else {
+				rhs += k
+			}
+		}
+		if prefix > rhs {
+			return false
+		}
+	}
+	return true
+}
+
+// NearestGraphical repairs a rounded private degree-sequence estimate
+// into a graphical sequence — the constraint the paper's Appendix B
+// poses as future work ("a constraint enforcing that the output sequence
+// is graphical"). The repair is a greedy heuristic, not an exact L2
+// projection (exact projection onto the graphical cone is substantially
+// harder): clamp into [0, n-1], fix total-degree parity, then while the
+// Erdős–Gallai condition fails decrement the largest degrees, which
+// strictly reduces the violated prefix sums. The result is graphical and
+// close to the input; all-zeros is the worst-case fixed point, so the
+// loop always terminates.
+//
+// The input may be in any order; the result is sorted non-decreasing
+// (the order S-bar publishes). The input is not modified.
+func NearestGraphical(deg []int) []int {
+	n := len(deg)
+	if n == 0 {
+		return nil
+	}
+	d := append([]int(nil), deg...)
+	sort.Sort(sort.Reverse(sort.IntSlice(d))) // work in non-increasing order
+	total := 0
+	for i, v := range d {
+		if v < 0 {
+			v = 0
+		}
+		if v > n-1 {
+			v = n - 1
+		}
+		d[i] = v
+		total += v
+	}
+	if total%2 != 0 {
+		// Drop one unit from the largest positive degree (there is one,
+		// otherwise total would be zero and even).
+		for i := 0; i < n; i++ {
+			if d[i] > 0 {
+				d[i]--
+				break
+			}
+		}
+	}
+	for !IsGraphical(d) {
+		// Decrementing the two largest positive degrees preserves parity
+		// and relaxes every violated Erdős–Gallai prefix constraint.
+		idx := largestTwoPositive(d)
+		switch len(idx) {
+		case 2:
+			d[idx[0]]--
+			d[idx[1]]--
+		case 1:
+			// A lone positive degree is even (parity invariant) and can
+			// only be non-graphical because no neighbor exists; shrink it.
+			d[idx[0]] -= 2
+			if d[idx[0]] < 0 {
+				d[idx[0]] = 0
+			}
+		default:
+			// All zeros is graphical; unreachable, but guard anyway.
+			sort.Ints(d)
+			return d
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(d)))
+	}
+	sort.Ints(d)
+	return d
+}
+
+// largestTwoPositive returns the indices of up to two largest strictly
+// positive entries of the non-increasing slice d.
+func largestTwoPositive(d []int) []int {
+	var idx []int
+	for i, v := range d {
+		if v > 0 {
+			idx = append(idx, i)
+			if len(idx) == 2 {
+				break
+			}
+		}
+	}
+	return idx
+}

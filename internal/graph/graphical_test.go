@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsGraphicalKnownCases(t *testing.T) {
+	cases := []struct {
+		deg  []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0}, true},
+		{[]int{1}, false},          // no partner
+		{[]int{1, 1}, true},        // one edge
+		{[]int{2, 1, 1}, true},     // path
+		{[]int{3, 3, 3, 3}, true},  // K4
+		{[]int{3, 1, 1, 1}, true},  // star
+		{[]int{4, 1, 1, 1}, false}, // degree exceeds n-1
+		{[]int{2, 2, 1}, false},    // odd total
+		{[]int{3, 3, 1, 1}, false}, // Erdős–Gallai violation at k=2
+		{[]int{-1, 1}, false},      // negative degree
+		{[]int{5, 5, 4, 4, 2, 2, 2}, true},
+		{[]int{6, 5, 5, 4, 3, 2, 1}, false}, // EG fails at k=3
+		{[]int{7, 7, 4, 3, 3, 3, 2, 1}, false},
+	}
+	for _, c := range cases {
+		if got := IsGraphical(c.deg); got != c.want {
+			t.Errorf("IsGraphical(%v) = %v, want %v", c.deg, got, c.want)
+		}
+	}
+}
+
+func TestIsGraphicalMatchesHavelHakimi(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 3))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(12)
+		deg := make([]int, n)
+		for i := range deg {
+			deg[i] = rng.IntN(n)
+		}
+		if got, want := IsGraphical(deg), havelHakimi(deg); got != want {
+			t.Fatalf("IsGraphical(%v) = %v, Havel-Hakimi says %v", deg, got, want)
+		}
+	}
+}
+
+// havelHakimi is the classical constructive test, used as an independent
+// oracle for Erdős–Gallai.
+func havelHakimi(deg []int) bool {
+	d := append([]int(nil), deg...)
+	for {
+		sort.Sort(sort.Reverse(sort.IntSlice(d)))
+		if d[0] < 0 {
+			return false
+		}
+		if d[0] == 0 {
+			return true
+		}
+		k := d[0]
+		if k >= len(d) {
+			return false
+		}
+		d = d[1:]
+		for i := 0; i < k; i++ {
+			d[i]--
+			if d[i] < 0 {
+				return false
+			}
+		}
+	}
+}
+
+func TestRealGraphDegreesAreGraphical(t *testing.T) {
+	g, err := PreferentialAttachment(500, 4, rand.New(rand.NewPCG(8, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := make([]int, g.N())
+	for i, v := range g.DegreeSequence() {
+		deg[i] = int(v)
+	}
+	if !IsGraphical(deg) {
+		t.Fatal("degree sequence of an actual graph rejected")
+	}
+}
+
+func TestNearestGraphicalFixedPoint(t *testing.T) {
+	// A graphical input must come back unchanged (up to sort order).
+	in := []int{3, 3, 3, 3}
+	got := NearestGraphical(in)
+	want := []int{3, 3, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NearestGraphical(%v) = %v", in, got)
+		}
+	}
+}
+
+func TestNearestGraphicalRepairs(t *testing.T) {
+	cases := [][]int{
+		{1},                // lone stub
+		{5, 1, 1, 1},       // over-degree
+		{2, 2, 1},          // odd sum
+		{3, 3, 1, 1},       // EG violation
+		{-2, 7, 100},       // garbage
+		{9, 9, 9, 1, 1, 1}, // heavy head
+	}
+	for _, in := range cases {
+		got := NearestGraphical(in)
+		asInt := append([]int(nil), got...)
+		if !IsGraphical(asInt) {
+			t.Errorf("NearestGraphical(%v) = %v is not graphical", in, got)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Errorf("NearestGraphical(%v) = %v not sorted ascending", in, got)
+		}
+		if len(got) != len(in) {
+			t.Errorf("length changed: %v -> %v", in, got)
+		}
+	}
+}
+
+func TestNearestGraphicalEmpty(t *testing.T) {
+	if got := NearestGraphical(nil); got != nil {
+		t.Fatalf("NearestGraphical(nil) = %v", got)
+	}
+}
+
+func TestQuickNearestGraphicalAlwaysGraphical(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		in := make([]int, len(raw))
+		for i, v := range raw {
+			in[i] = int(v)
+		}
+		out := NearestGraphical(in)
+		return IsGraphical(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNearestGraphicalStaysClose(t *testing.T) {
+	// Repairing an already-graphical sequence must not move it at all;
+	// generate graphical sequences from random graphs.
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 50; trial++ {
+		g, err := ErdosRenyi(3+rng.IntN(20), 0.4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg := make([]int, g.N())
+		for i, v := range g.DegreeSequence() {
+			deg[i] = int(v)
+		}
+		got := NearestGraphical(deg)
+		sort.Ints(deg)
+		for i := range deg {
+			if got[i] != deg[i] {
+				t.Fatalf("graphical input moved: %v -> %v", deg, got)
+			}
+		}
+	}
+}

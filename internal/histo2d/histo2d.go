@@ -1,0 +1,202 @@
+// Package histo2d extends the paper's universal histograms to
+// two-dimensional range queries — the extension Appendix B flags as
+// future work ("we hope to extend the technique for universal histograms
+// to multi-dimensional range queries").
+//
+// The construction reuses the one-dimensional machinery wholesale: a
+// quadtree over a 2^s x 2^s grid is exactly a complete 4-ary interval
+// tree over the cells in Morton (Z-curve) order, because the four Morton
+// quadrants of a square are contiguous intervals. The hierarchical query
+// H, its sensitivity argument (one record changes one leaf-to-root path),
+// and the Theorem 3 inference therefore apply unchanged with k = 4;
+// only range decomposition needs 2D geometry.
+package histo2d
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/htree"
+)
+
+// Grid is the quadtree shape over a 2D domain [0, W) x [0, H). The
+// domain is padded to the smallest enclosing power-of-two square.
+type Grid struct {
+	w, h int // real domain
+	side int // padded side, a power of two
+	tree *htree.Tree
+}
+
+// New returns the grid for a W x H domain.
+func New(w, h int) (*Grid, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("histo2d: domain %dx%d must be positive", w, h)
+	}
+	side := 1
+	for side < w || side < h {
+		if side > 1<<20 {
+			return nil, fmt.Errorf("histo2d: domain %dx%d too large", w, h)
+		}
+		side *= 2
+	}
+	tree, err := htree.New(4, side*side)
+	if err != nil {
+		return nil, err
+	}
+	if tree.NumLeaves() != side*side {
+		return nil, fmt.Errorf("histo2d: internal error: %d leaves for side %d", tree.NumLeaves(), side)
+	}
+	return &Grid{w: w, h: h, side: side, tree: tree}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(w, h int) *Grid {
+	g, err := New(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Width returns the real domain width.
+func (g *Grid) Width() int { return g.w }
+
+// Height returns the real domain height.
+func (g *Grid) Height() int { return g.h }
+
+// Side returns the padded square side.
+func (g *Grid) Side() int { return g.side }
+
+// TreeHeight returns the quadtree height (the query's sensitivity).
+func (g *Grid) TreeHeight() int { return g.tree.Height() }
+
+// Sensitivity returns the L1 sensitivity of the 2D hierarchical query:
+// the tree height, by the same path argument as Proposition 4.
+func (g *Grid) Sensitivity() float64 { return float64(g.tree.Height()) }
+
+// NumNodes returns the number of quadtree nodes.
+func (g *Grid) NumNodes() int { return g.tree.NumNodes() }
+
+// mortonEncode interleaves the bits of x and y (x in even positions).
+func mortonEncode(x, y int) int {
+	return spread(x) | spread(y)<<1
+}
+
+// mortonDecode inverts mortonEncode.
+func mortonDecode(m int) (x, y int) {
+	return compact(m), compact(m >> 1)
+}
+
+func spread(v int) int {
+	x := uint64(v) & 0xFFFFF // 20 bits is plenty for side <= 2^20
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return int(x)
+}
+
+func compact(v int) int {
+	x := uint64(v) & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return int(x)
+}
+
+// FromCells builds the true BFS quadtree counts from cells[y][x]. Rows
+// may be ragged short; missing cells count zero. It panics if any row or
+// the row count exceeds the real domain.
+func (g *Grid) FromCells(cells [][]float64) []float64 {
+	if len(cells) > g.h {
+		panic(fmt.Sprintf("histo2d: %d rows exceed height %d", len(cells), g.h))
+	}
+	unit := make([]float64, g.side*g.side)
+	for y, row := range cells {
+		if len(row) > g.w {
+			panic(fmt.Sprintf("histo2d: row %d has %d cells, width is %d", y, len(row), g.w))
+		}
+		for x, v := range row {
+			unit[mortonEncode(x, y)] = v
+		}
+	}
+	return g.tree.FromLeaves(unit)
+}
+
+// Release answers the 2D hierarchical query under eps-differential
+// privacy: true quadtree counts plus Lap(height/eps) noise per node.
+func (g *Grid) Release(cells [][]float64, eps float64, src *rand.Rand) []float64 {
+	return core.Perturb(g.FromCells(cells), g.Sensitivity(), eps, src)
+}
+
+// Infer computes the minimum-L2 consistent quadtree (Theorem 3 with
+// k = 4).
+func (g *Grid) Infer(noisy []float64) []float64 {
+	return core.InferTree(g.tree, noisy)
+}
+
+// ZeroNegativeSubtrees applies the Section 4.2 sparsity heuristic to a
+// quadtree count vector in place and returns it.
+func (g *Grid) ZeroNegativeSubtrees(counts []float64) []float64 {
+	return core.ZeroNegativeSubtrees(g.tree, counts)
+}
+
+// Cell returns the released count of cell (x, y) from a BFS count
+// vector.
+func (g *Grid) Cell(counts []float64, x, y int) (float64, error) {
+	if x < 0 || x >= g.w || y < 0 || y >= g.h {
+		return 0, fmt.Errorf("histo2d: cell (%d,%d) outside %dx%d", x, y, g.w, g.h)
+	}
+	return counts[g.tree.LeafIndex(mortonEncode(x, y))], nil
+}
+
+// RangeSum answers the half-open rectangle query [x0, x1) x [y0, y1)
+// from a BFS count vector by quadtree decomposition: nodes fully inside
+// the rectangle contribute their count; partially covered nodes recurse.
+func (g *Grid) RangeSum(counts []float64, x0, y0, x1, y1 int) (float64, error) {
+	if x0 < 0 || y0 < 0 || x1 > g.w || y1 > g.h || x0 >= x1 || y0 >= y1 {
+		return 0, fmt.Errorf("histo2d: bad rectangle [%d,%d)x[%d,%d) for %dx%d",
+			x0, x1, y0, y1, g.w, g.h)
+	}
+	if len(counts) != g.tree.NumNodes() {
+		return 0, fmt.Errorf("histo2d: count vector has %d entries, want %d", len(counts), g.tree.NumNodes())
+	}
+	return g.rangeSum(counts, 0, x0, y0, x1, y1), nil
+}
+
+// rangeSum recursively descends node v. The node's square is recovered
+// from its Morton leaf interval.
+func (g *Grid) rangeSum(counts []float64, v, x0, y0, x1, y1 int) float64 {
+	lo, hi := g.tree.Interval(v)
+	side := isqrt(hi - lo) // node squares have power-of-four cell counts
+	nx, ny := mortonDecode(lo)
+	// Intersection with the query rectangle.
+	ix0, iy0 := max(nx, x0), max(ny, y0)
+	ix1, iy1 := min(nx+side, x1), min(ny+side, y1)
+	if ix0 >= ix1 || iy0 >= iy1 {
+		return 0
+	}
+	if ix0 == nx && iy0 == ny && ix1 == nx+side && iy1 == ny+side {
+		return counts[v]
+	}
+	sum := 0.0
+	clo, chi := g.tree.Children(v)
+	for c := clo; c < chi; c++ {
+		sum += g.rangeSum(counts, c, x0, y0, x1, y1)
+	}
+	return sum
+}
+
+// isqrt returns the integer square root of a perfect square power of 4
+// (or 1).
+func isqrt(n int) int {
+	s := 1
+	for s*s < n {
+		s *= 2
+	}
+	return s
+}

@@ -1,0 +1,279 @@
+package histo2d
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/dphist/dphist/internal/laplace"
+	"github.com/dphist/dphist/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(4, -1); err == nil {
+		t.Error("negative height accepted")
+	}
+	g, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Side() != 8 || g.Width() != 5 || g.Height() != 3 {
+		t.Fatalf("padding wrong: side=%d", g.Side())
+	}
+	// 8x8 grid: 64 leaves of a 4-ary tree, height 4 (1,4,16,64).
+	if g.TreeHeight() != 4 {
+		t.Fatalf("height = %d, want 4", g.TreeHeight())
+	}
+	if g.Sensitivity() != 4 {
+		t.Fatalf("sensitivity = %v", g.Sensitivity())
+	}
+}
+
+func TestMortonRoundTrip(t *testing.T) {
+	for x := 0; x < 64; x++ {
+		for y := 0; y < 64; y++ {
+			gx, gy := mortonDecode(mortonEncode(x, y))
+			if gx != x || gy != y {
+				t.Fatalf("morton round trip failed at (%d,%d)", x, y)
+			}
+		}
+	}
+	// Quadrant contiguity: the four quadrants of a 4x4 block occupy
+	// contiguous Morton intervals of length 4.
+	if mortonEncode(0, 0) != 0 || mortonEncode(1, 1) != 3 {
+		t.Fatal("Morton order not Z-curve")
+	}
+}
+
+func TestMortonQuadrantsAreTreeChildren(t *testing.T) {
+	g := MustNew(8, 8)
+	// Every tree node's Morton interval must be a square: decode the
+	// interval ends and check the node covers exactly a side x side box.
+	for v := 0; v < g.NumNodes(); v++ {
+		lo, hi := g.tree.Interval(v)
+		side := isqrt(hi - lo)
+		if side*side != hi-lo {
+			t.Fatalf("node %d covers %d cells, not a square", v, hi-lo)
+		}
+		x0, y0 := mortonDecode(lo)
+		if x0%side != 0 || y0%side != 0 {
+			t.Fatalf("node %d box (%d,%d) not aligned to side %d", v, x0, y0, side)
+		}
+		// Every cell in the box maps into [lo, hi).
+		for dx := 0; dx < side; dx++ {
+			for dy := 0; dy < side; dy++ {
+				m := mortonEncode(x0+dx, y0+dy)
+				if m < lo || m >= hi {
+					t.Fatalf("cell (%d,%d) outside node %d interval", x0+dx, y0+dy, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFromCellsAndCell(t *testing.T) {
+	g := MustNew(4, 4)
+	cells := [][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+		{13, 14, 15, 16},
+	}
+	counts := g.FromCells(cells)
+	if counts[0] != 136 { // total
+		t.Fatalf("root = %v, want 136", counts[0])
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			got, err := g.Cell(counts, x, y)
+			if err != nil || got != cells[y][x] {
+				t.Fatalf("Cell(%d,%d) = %v, %v", x, y, got, err)
+			}
+		}
+	}
+	if _, err := g.Cell(counts, 4, 0); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+}
+
+func TestFromCellsPanics(t *testing.T) {
+	g := MustNew(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized rows accepted")
+		}
+	}()
+	g.FromCells([][]float64{{1, 2, 3}})
+}
+
+func TestRangeSumMatchesBruteForce(t *testing.T) {
+	g := MustNew(13, 9) // non-power-of-two on purpose
+	rng := rand.New(rand.NewPCG(5, 5))
+	cells := make([][]float64, 9)
+	for y := range cells {
+		cells[y] = make([]float64, 13)
+		for x := range cells[y] {
+			cells[y][x] = float64(rng.IntN(20))
+		}
+	}
+	counts := g.FromCells(cells)
+	for trial := 0; trial < 500; trial++ {
+		x0 := rng.IntN(13)
+		x1 := x0 + 1 + rng.IntN(13-x0)
+		y0 := rng.IntN(9)
+		y1 := y0 + 1 + rng.IntN(9-y0)
+		want := 0.0
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				want += cells[y][x]
+			}
+		}
+		got, err := g.RangeSum(counts, x0, y0, x1, y1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("RangeSum [%d,%d)x[%d,%d) = %v, want %v", x0, x1, y0, y1, got, want)
+		}
+	}
+}
+
+func TestRangeSumErrors(t *testing.T) {
+	g := MustNew(4, 4)
+	counts := g.FromCells(nil)
+	for _, r := range [][4]int{{-1, 0, 2, 2}, {0, 0, 5, 2}, {2, 0, 2, 2}, {0, 3, 2, 2}} {
+		if _, err := g.RangeSum(counts, r[0], r[1], r[2], r[3]); err == nil {
+			t.Errorf("rect %v accepted", r)
+		}
+	}
+	if _, err := g.RangeSum(make([]float64, 3), 0, 0, 1, 1); err == nil {
+		t.Error("short count vector accepted")
+	}
+}
+
+func TestReleaseInferConsistent(t *testing.T) {
+	g := MustNew(16, 16)
+	cells := make([][]float64, 16)
+	for y := range cells {
+		cells[y] = make([]float64, 16)
+		cells[y][y] = 100 // diagonal mass
+	}
+	noisy := g.Release(cells, 1.0, laplace.Stream(9, 0))
+	inferred := g.Infer(noisy)
+	// Consistency: every node equals the sum of its 4 children.
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.tree.IsLeaf(v) {
+			continue
+		}
+		lo, hi := g.tree.Children(v)
+		sum := 0.0
+		for c := lo; c < hi; c++ {
+			sum += inferred[c]
+		}
+		if math.Abs(inferred[v]-sum) > 1e-6 {
+			t.Fatalf("node %d inconsistent", v)
+		}
+	}
+}
+
+func TestInferenceImprovesRectQueries(t *testing.T) {
+	g := MustNew(32, 32)
+	rng := rand.New(rand.NewPCG(6, 6))
+	cells := make([][]float64, 32)
+	for y := range cells {
+		cells[y] = make([]float64, 32)
+		for x := range cells[y] {
+			cells[y][x] = float64(rng.IntN(10))
+		}
+	}
+	truth := g.FromCells(cells)
+	const eps, trials = 0.5, 60
+	var errNoisy, errInferred stats.Accumulator
+	for trial := 0; trial < trials; trial++ {
+		noisy := g.Release(cells, eps, laplace.Stream(31, trial))
+		inferred := g.Infer(noisy)
+		qr := laplace.Stream(32, trial)
+		for q := 0; q < 30; q++ {
+			x0 := qr.IntN(31)
+			x1 := x0 + 1 + qr.IntN(32-x0)
+			y0 := qr.IntN(31)
+			y1 := y0 + 1 + qr.IntN(32-y0)
+			want, _ := g.RangeSum(truth, x0, y0, x1, y1)
+			ns, _ := g.RangeSum(noisy, x0, y0, x1, y1)
+			is, _ := g.RangeSum(inferred, x0, y0, x1, y1)
+			errNoisy.Add((ns - want) * (ns - want))
+			errInferred.Add((is - want) * (is - want))
+		}
+	}
+	if errInferred.Mean() >= errNoisy.Mean() {
+		t.Fatalf("2D inference did not improve rect queries: %v vs %v",
+			errInferred.Mean(), errNoisy.Mean())
+	}
+}
+
+func TestZeroNegativeSubtrees2D(t *testing.T) {
+	g := MustNew(4, 4)
+	counts := g.FromCells([][]float64{{1, 1}, {1, 1}})
+	counts[1] = -5 // first quadrant node forced negative
+	g.ZeroNegativeSubtrees(counts)
+	if counts[1] != 0 {
+		t.Fatal("negative node survived")
+	}
+	lo, hi := g.tree.Children(1)
+	for c := lo; c < hi; c++ {
+		if counts[c] != 0 {
+			t.Fatal("descendant of zeroed node survived")
+		}
+	}
+}
+
+func TestQuickMortonInverse(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a)%1024, int(b)%1024
+		gx, gy := mortonDecode(mortonEncode(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRangeSumNonNegativeOnTruth(t *testing.T) {
+	g := MustNew(8, 8)
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 1))
+		cells := make([][]float64, 8)
+		for y := range cells {
+			cells[y] = make([]float64, 8)
+			for x := range cells[y] {
+				cells[y][x] = float64(rng.IntN(5))
+			}
+		}
+		counts := g.FromCells(cells)
+		got, err := g.RangeSum(counts, 0, 0, 8, 8)
+		return err == nil && got == counts[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRangeSum2D(b *testing.B) {
+	g := MustNew(256, 256)
+	cells := make([][]float64, 256)
+	for y := range cells {
+		cells[y] = make([]float64, 256)
+	}
+	counts := g.FromCells(cells)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.RangeSum(counts, 10, 20, 200, 240); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package htree
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the tree with the given count vector as a Graphviz
+// DOT graph, for debugging and documentation. Each node shows its
+// interval (in real-domain coordinates, clipped to the domain) and its
+// count. Counts may be nil, in which case only the structure is drawn.
+func (t *Tree) WriteDOT(w io.Writer, counts []float64) error {
+	if counts != nil && len(counts) != t.nodes {
+		return fmt.Errorf("htree: count vector has %d entries, tree has %d nodes", len(counts), t.nodes)
+	}
+	if _, err := fmt.Fprintln(w, "digraph htree {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];"); err != nil {
+		return err
+	}
+	for v := 0; v < t.nodes; v++ {
+		lo, hi := t.Interval(v)
+		if lo >= t.domain {
+			continue // pure padding subtree
+		}
+		if hi > t.domain {
+			hi = t.domain
+		}
+		label := fmt.Sprintf("[%d,%d)", lo, hi)
+		if counts != nil {
+			label += fmt.Sprintf("\\n%.6g", counts[v])
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"];\n", v, label); err != nil {
+			return err
+		}
+		if v > 0 {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", t.Parent(v), v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,64 @@
+package htree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTStructure(t *testing.T) {
+	tr := MustNew(2, 4)
+	counts := tr.FromLeaves([]float64{2, 0, 10, 2})
+	var sb strings.Builder
+	if err := tr.WriteDOT(&sb, counts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph htree {",
+		`n0 [label="[0,4)\n14"]`,
+		`n1 [label="[0,2)\n2"]`,
+		`n6 [label="[3,4)\n2"]`,
+		"n0 -> n1;",
+		"n2 -> n6;",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTWithoutCounts(t *testing.T) {
+	tr := MustNew(2, 2)
+	var sb strings.Builder
+	if err := tr.WriteDOT(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "\\n") {
+		t.Fatal("structure-only DOT should not embed counts")
+	}
+}
+
+func TestWriteDOTSkipsPadding(t *testing.T) {
+	tr := MustNew(2, 3) // 4 leaves, leaf 3 is padding
+	var sb strings.Builder
+	if err := tr.WriteDOT(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "n6 ") {
+		t.Fatal("padding leaf rendered")
+	}
+	// The node straddling the domain boundary is clipped.
+	if !strings.Contains(out, `n2 [label="[2,3)"]`) {
+		t.Fatalf("straddling node not clipped:\n%s", out)
+	}
+}
+
+func TestWriteDOTLengthMismatch(t *testing.T) {
+	tr := MustNew(2, 4)
+	var sb strings.Builder
+	if err := tr.WriteDOT(&sb, make([]float64, 3)); err == nil {
+		t.Fatal("bad count vector accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package isotonic implements least-squares regression under ordering
+// constraints (isotonic regression). It is the computational core of the
+// paper's unattributed-histogram estimator S-bar: given the noisy sorted
+// query answer s~, the minimum-L2 consistent answer is the isotonic
+// regression of s~ (Hay et al., Theorem 1).
+//
+// Two independent algorithms are provided:
+//
+//   - Regress: the classical pool-adjacent-violators algorithm (PAVA),
+//     which runs in linear time (Barlow et al., 1972).
+//   - MinMax: the closed-form min-max characterization stated in
+//     Theorem 1 of the paper, in O(n^2) time. It exists to cross-check
+//     PAVA in tests and to mirror the paper's presentation.
+package isotonic
+
+// Regress returns the non-decreasing vector closest to y in L2, computed
+// by the pool-adjacent-violators algorithm in O(n) time. The input is not
+// modified. Regress of an already sorted vector returns a copy of it.
+func Regress(y []float64) []float64 {
+	w := make([]float64, len(y))
+	for i := range w {
+		w[i] = 1
+	}
+	return RegressWeighted(y, w)
+}
+
+// RegressWeighted returns the non-decreasing vector minimizing
+// sum_i w[i]*(x[i]-y[i])^2 over non-decreasing x. All weights must be
+// strictly positive. It panics if len(w) != len(y) or any weight is not
+// positive.
+func RegressWeighted(y, w []float64) []float64 {
+	if len(w) != len(y) {
+		panic("isotonic: weight and value lengths differ")
+	}
+	n := len(y)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	// Stack of merged blocks. Each block stores its weighted mean, total
+	// weight, and the number of original elements it covers.
+	type block struct {
+		mean   float64
+		weight float64
+		count  int
+	}
+	blocks := make([]block, 0, n)
+	for i := 0; i < n; i++ {
+		if !(w[i] > 0) {
+			panic("isotonic: weights must be strictly positive")
+		}
+		cur := block{mean: y[i], weight: w[i], count: 1}
+		// Merge while the order constraint is violated against the block
+		// below. Pooling replaces both blocks by their weighted mean,
+		// which is the L2-optimal constant on the pooled stretch.
+		for len(blocks) > 0 && blocks[len(blocks)-1].mean > cur.mean {
+			prev := blocks[len(blocks)-1]
+			blocks = blocks[:len(blocks)-1]
+			totalW := prev.weight + cur.weight
+			cur = block{
+				mean:   (prev.mean*prev.weight + cur.mean*cur.weight) / totalW,
+				weight: totalW,
+				count:  prev.count + cur.count,
+			}
+		}
+		blocks = append(blocks, cur)
+	}
+	i := 0
+	for _, b := range blocks {
+		for j := 0; j < b.count; j++ {
+			out[i] = b.mean
+			i++
+		}
+	}
+	return out
+}
+
+// RegressDescending returns the non-increasing vector closest to y in L2.
+// Figure 7 of the paper presents the NetTrace unattributed histogram in
+// descending order; this is the matching projection.
+func RegressDescending(y []float64) []float64 {
+	neg := make([]float64, len(y))
+	for i, v := range y {
+		neg[i] = -v
+	}
+	out := Regress(neg)
+	for i := range out {
+		out[i] = -out[i]
+	}
+	return out
+}
+
+// MinMax evaluates the Theorem 1 closed form directly:
+//
+//	s[k] = L_k = min_{j in [k,n]} max_{i in [1,j]} mean(y[i..j])
+//
+// in O(n^2) time and O(n) space. The theorem also states s[k] = U_k with
+// U_k = max_{i in [1,k]} min_{j in [i,n]} mean(y[i..j]); MinMaxUpper
+// computes that form. Production code should use Regress; these exist as
+// independent oracles for tests.
+func MinMax(y []float64) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	prefix := prefixSums(y)
+	// A[j] = max_{i<=j} mean(y[i..j]) for each j, then suffix-minimize.
+	// The inner max is independent of k, so the whole table is O(n^2).
+	a := make([]float64, n)
+	for j := 0; j < n; j++ {
+		best := mean(prefix, 0, j)
+		for i := 1; i <= j; i++ {
+			if m := mean(prefix, i, j); m > best {
+				best = m
+			}
+		}
+		a[j] = best
+	}
+	suffixMin := a[n-1]
+	out[n-1] = suffixMin
+	for k := n - 2; k >= 0; k-- {
+		if a[k] < suffixMin {
+			suffixMin = a[k]
+		}
+		out[k] = suffixMin
+	}
+	return out
+}
+
+// MinMaxUpper evaluates the U_k form of Theorem 1:
+//
+//	s[k] = U_k = max_{i in [1,k]} min_{j in [i,n]} mean(y[i..j]).
+func MinMaxUpper(y []float64) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	prefix := prefixSums(y)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		best := mean(prefix, i, n-1)
+		for j := i; j < n; j++ {
+			if m := mean(prefix, i, j); m < best {
+				best = m
+			}
+		}
+		b[i] = best
+	}
+	prefixMax := b[0]
+	out[0] = prefixMax
+	for k := 1; k < n; k++ {
+		if b[k] > prefixMax {
+			prefixMax = b[k]
+		}
+		out[k] = prefixMax
+	}
+	return out
+}
+
+// IsNonDecreasing reports whether x is sorted in non-decreasing order.
+func IsNonDecreasing(x []float64) bool {
+	for i := 1; i < len(x); i++ {
+		if x[i] < x[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// SquaredDistance returns ||a-b||_2^2. It panics if the lengths differ.
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("isotonic: length mismatch")
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+func prefixSums(y []float64) []float64 {
+	prefix := make([]float64, len(y)+1)
+	for i, v := range y {
+		prefix[i+1] = prefix[i] + v
+	}
+	return prefix
+}
+
+// mean returns the average of y[i..j] inclusive given prefix sums.
+func mean(prefix []float64, i, j int) float64 {
+	return (prefix[j+1] - prefix[i]) / float64(j-i+1)
+}

@@ -1,0 +1,346 @@
+package isotonic
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// The three worked examples from Example 4 of the paper.
+func TestPaperExample4(t *testing.T) {
+	cases := []struct {
+		in, want []float64
+	}{
+		{[]float64{9, 10, 14}, []float64{9, 10, 14}},
+		{[]float64{9, 14, 10}, []float64{9, 12, 12}},
+		{[]float64{14, 9, 10, 15}, []float64{11, 11, 11, 15}},
+	}
+	for _, c := range cases {
+		got := Regress(c.in)
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Regress(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPaperExample4Distance(t *testing.T) {
+	// The paper notes ||s~ - s||^2 = 14 for the third example.
+	in := []float64{14, 9, 10, 15}
+	if d := SquaredDistance(in, Regress(in)); math.Abs(d-14) > 1e-12 {
+		t.Fatalf("squared distance %v, want 14", d)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if got := Regress(nil); len(got) != 0 {
+		t.Fatal("Regress(nil) not empty")
+	}
+	if got := Regress([]float64{3.5}); got[0] != 3.5 {
+		t.Fatal("single element changed")
+	}
+	if got := MinMax(nil); len(got) != 0 {
+		t.Fatal("MinMax(nil) not empty")
+	}
+}
+
+func TestSortedInputUnchanged(t *testing.T) {
+	in := []float64{-3, -1, 0, 0, 2, 7, 7, 9}
+	if got := Regress(in); !almostEqual(got, in, 0) {
+		t.Fatalf("sorted input changed: %v", got)
+	}
+}
+
+func TestReverseSortedPoolsToMean(t *testing.T) {
+	in := []float64{5, 4, 3, 2, 1}
+	got := Regress(in)
+	for _, v := range got {
+		if math.Abs(v-3) > 1e-12 {
+			t.Fatalf("reverse-sorted input should pool to global mean 3, got %v", got)
+		}
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	in := []float64{3, 1, 2}
+	cp := append([]float64(nil), in...)
+	Regress(in)
+	MinMax(in)
+	MinMaxUpper(in)
+	RegressDescending(in)
+	if !almostEqual(in, cp, 0) {
+		t.Fatal("input slice was modified")
+	}
+}
+
+func TestWeightedSimple(t *testing.T) {
+	// Heavier weight on the first element pulls the pooled mean toward it.
+	got := RegressWeighted([]float64{4, 0}, []float64{3, 1})
+	want := (4*3.0 + 0*1.0) / 4.0
+	if math.Abs(got[0]-want) > 1e-12 || math.Abs(got[1]-want) > 1e-12 {
+		t.Fatalf("weighted pooling got %v, want %v", got, want)
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch did not panic")
+			}
+		}()
+		RegressWeighted([]float64{1, 2}, []float64{1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero weight did not panic")
+			}
+		}()
+		RegressWeighted([]float64{1, 2}, []float64{1, 0})
+	}()
+}
+
+func TestDescending(t *testing.T) {
+	in := []float64{10, 2, 3, 1}
+	got := RegressDescending(in)
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1]+1e-12 {
+			t.Fatalf("descending output not non-increasing: %v", got)
+		}
+	}
+	// Mirror image of the ascending solution on the reversed input.
+	rev := []float64{1, 3, 2, 10}
+	asc := Regress(rev)
+	for i := range got {
+		if math.Abs(got[i]-asc[len(asc)-1-i]) > 1e-12 {
+			t.Fatalf("descending %v is not the mirror of ascending %v", got, asc)
+		}
+	}
+}
+
+func TestMinMaxAgreesWithPAVA(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 17))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(40)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = math.Round(rng.NormFloat64()*10) / 2
+		}
+		pava := Regress(y)
+		lower := MinMax(y)
+		upper := MinMaxUpper(y)
+		if !almostEqual(pava, lower, 1e-9) {
+			t.Fatalf("PAVA %v != MinMax L_k %v for input %v", pava, lower, y)
+		}
+		if !almostEqual(lower, upper, 1e-9) {
+			t.Fatalf("Theorem 1 violated: L_k %v != U_k %v for input %v", lower, upper, y)
+		}
+	}
+}
+
+func TestOutputIsNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 23))
+	for trial := 0; trial < 100; trial++ {
+		y := make([]float64, 1+rng.IntN(100))
+		for i := range y {
+			y[i] = rng.NormFloat64() * 100
+		}
+		if got := Regress(y); !IsNonDecreasing(got) {
+			t.Fatalf("output not sorted: %v", got)
+		}
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 9))
+	for trial := 0; trial < 50; trial++ {
+		y := make([]float64, 1+rng.IntN(50))
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		once := Regress(y)
+		twice := Regress(once)
+		if !almostEqual(once, twice, 1e-12) {
+			t.Fatal("projection is not idempotent")
+		}
+	}
+}
+
+// The projection must beat every other sorted candidate in L2. We verify
+// against random sorted candidates and against local perturbations of the
+// solution that keep it sorted.
+func TestOptimalityAgainstCandidates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 31))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.IntN(20)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 5
+		}
+		sol := Regress(y)
+		base := SquaredDistance(y, sol)
+		for cand := 0; cand < 30; cand++ {
+			c := make([]float64, n)
+			c[0] = rng.NormFloat64() * 5
+			for i := 1; i < n; i++ {
+				c[i] = c[i-1] + math.Abs(rng.NormFloat64())
+			}
+			if d := SquaredDistance(y, c); d < base-1e-9 {
+				t.Fatalf("random sorted candidate beats projection: %v < %v", d, base)
+			}
+		}
+		// Structured perturbations: nudge one coordinate while staying sorted.
+		for i := 0; i < n; i++ {
+			for _, delta := range []float64{-1e-3, 1e-3} {
+				c := append([]float64(nil), sol...)
+				c[i] += delta
+				if !IsNonDecreasing(c) {
+					continue
+				}
+				if d := SquaredDistance(y, c); d < base-1e-12 {
+					t.Fatalf("perturbation at %d improves objective", i)
+				}
+			}
+		}
+	}
+}
+
+func TestTranslationEquivariance(t *testing.T) {
+	// Lemma 2 of the paper: shifting the input shifts the solution.
+	rng := rand.New(rand.NewPCG(3, 77))
+	y := make([]float64, 30)
+	for i := range y {
+		y[i] = rng.NormFloat64() * 4
+	}
+	const delta = 12.75
+	shifted := make([]float64, len(y))
+	for i := range y {
+		shifted[i] = y[i] + delta
+	}
+	a := Regress(y)
+	b := Regress(shifted)
+	for i := range a {
+		if math.Abs(a[i]+delta-b[i]) > 1e-9 {
+			t.Fatal("projection is not translation-equivariant")
+		}
+	}
+}
+
+func TestMeanPreservation(t *testing.T) {
+	// Pooling preserves the global sum (projection onto a set containing
+	// all constant shifts of the solution preserves the mean).
+	rng := rand.New(rand.NewPCG(19, 4))
+	y := make([]float64, 64)
+	for i := range y {
+		y[i] = rng.NormFloat64() * 3
+	}
+	sol := Regress(y)
+	var sy, ss float64
+	for i := range y {
+		sy += y[i]
+		ss += sol[i]
+	}
+	if math.Abs(sy-ss) > 1e-9 {
+		t.Fatalf("sum changed: %v -> %v", sy, ss)
+	}
+}
+
+func TestQuickSortedFixedPoint(t *testing.T) {
+	f := func(raw []float64) bool {
+		y := sanitize(raw, 30)
+		sorted := Regress(y) // sorted by construction
+		again := Regress(sorted)
+		return almostEqual(sorted, again, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinMaxEqualsPAVA(t *testing.T) {
+	f := func(raw []float64) bool {
+		y := sanitize(raw, 25)
+		return almostEqual(Regress(y), MinMax(y), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickContraction(t *testing.T) {
+	// Projection onto a convex set is a contraction:
+	// ||P(a)-P(b)|| <= ||a-b||.
+	f := func(rawA, rawB []float64) bool {
+		n := 20
+		a := sanitize(rawA, n)
+		b := sanitize(rawB, n)
+		if len(a) < len(b) {
+			b = b[:len(a)]
+		} else {
+			a = a[:len(b)]
+		}
+		if len(a) == 0 {
+			return true
+		}
+		pa, pb := Regress(a), Regress(b)
+		return SquaredDistance(pa, pb) <= SquaredDistance(a, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitize converts arbitrary quick-generated floats into a bounded,
+// finite vector with at most maxN entries.
+func sanitize(raw []float64, maxN int) []float64 {
+	if len(raw) > maxN {
+		raw = raw[:maxN]
+	}
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		out[i] = 100 * math.Tanh(v/100)
+	}
+	return out
+}
+
+func BenchmarkRegress(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	y := make([]float64, 65536)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Regress(y)
+	}
+}
+
+func BenchmarkMinMax4096(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	y := make([]float64, 4096)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinMax(y)
+	}
+}

@@ -1,0 +1,160 @@
+package isotonic
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// Brute-force oracle for weighted isotonic regression on tiny inputs:
+// project by cyclic coordinate descent with feasibility projection,
+// which converges to the unique minimizer of this strictly convex
+// problem over the closed convex cone of sorted vectors.
+func bruteForceWeighted(y, w []float64) []float64 {
+	x := append([]float64(nil), y...)
+	// Start from the sorted feasible point closest in order.
+	x = Regress(y)
+	for iter := 0; iter < 200000; iter++ {
+		maxMove := 0.0
+		for i := range x {
+			// Optimal unconstrained coordinate is y[i]; clamp to the
+			// feasible interval defined by the neighbors.
+			lo := math.Inf(-1)
+			hi := math.Inf(1)
+			if i > 0 {
+				lo = x[i-1]
+			}
+			if i < len(x)-1 {
+				hi = x[i+1]
+			}
+			target := math.Min(math.Max(y[i], lo), hi)
+			if move := math.Abs(target - x[i]); move > maxMove {
+				maxMove = move
+			}
+			x[i] = target
+		}
+		if maxMove < 1e-12 {
+			break
+		}
+	}
+	return x
+}
+
+// weightedObjective is sum w_i (x_i - y_i)^2.
+func weightedObjective(x, y, w []float64) float64 {
+	s := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		s += w[i] * d * d
+	}
+	return s
+}
+
+// For unit weights, coordinate descent and PAVA must agree.
+func TestUnitWeightsAgainstCoordinateDescent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 2))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(6)
+		y := make([]float64, n)
+		w := make([]float64, n)
+		for i := range y {
+			y[i] = math.Round(rng.NormFloat64() * 8)
+			w[i] = 1
+		}
+		pava := Regress(y)
+		brute := bruteForceWeighted(y, w)
+		// Coordinate descent can stall on flat directions; compare
+		// objective values, which must match at the optimum.
+		op := weightedObjective(pava, y, w)
+		ob := weightedObjective(brute, y, w)
+		if op > ob+1e-6 {
+			t.Fatalf("PAVA objective %v worse than coordinate descent %v for %v", op, ob, y)
+		}
+	}
+}
+
+// Weighted PAVA beats (or ties) any sorted candidate under the weighted
+// objective.
+func TestWeightedOptimalityAgainstCandidates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 3))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.IntN(10)
+		y := make([]float64, n)
+		w := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 5
+			w[i] = 0.25 + 4*rng.Float64()
+		}
+		sol := RegressWeighted(y, w)
+		if !IsNonDecreasing(sol) {
+			t.Fatalf("weighted output unsorted: %v", sol)
+		}
+		base := weightedObjective(sol, y, w)
+		for cand := 0; cand < 50; cand++ {
+			c := make([]float64, n)
+			c[0] = rng.NormFloat64() * 5
+			for i := 1; i < n; i++ {
+				c[i] = c[i-1] + math.Abs(rng.NormFloat64())
+			}
+			if d := weightedObjective(c, y, w); d < base-1e-9 {
+				t.Fatalf("candidate beats weighted PAVA: %v < %v", d, base)
+			}
+		}
+		// Perturbations of the solution that stay sorted cannot improve.
+		for i := 0; i < n; i++ {
+			for _, delta := range []float64{-1e-4, 1e-4} {
+				c := append([]float64(nil), sol...)
+				c[i] += delta
+				if !IsNonDecreasing(c) {
+					continue
+				}
+				if d := weightedObjective(c, y, w); d < base-1e-12 {
+					t.Fatalf("perturbation improves weighted objective at %d", i)
+				}
+			}
+		}
+	}
+}
+
+// Weighted pooling preserves the weighted mean of each pooled block, so
+// the weighted sum is invariant.
+func TestWeightedSumPreservation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 4))
+	y := make([]float64, 48)
+	w := make([]float64, 48)
+	for i := range y {
+		y[i] = rng.NormFloat64() * 3
+		w[i] = 0.5 + rng.Float64()
+	}
+	sol := RegressWeighted(y, w)
+	var sy, ss float64
+	for i := range y {
+		sy += w[i] * y[i]
+		ss += w[i] * sol[i]
+	}
+	if math.Abs(sy-ss) > 1e-9 {
+		t.Fatalf("weighted sum changed: %v -> %v", sy, ss)
+	}
+}
+
+// Scaling all weights by a constant does not change the solution.
+func TestWeightScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(44, 5))
+	y := make([]float64, 20)
+	w := make([]float64, 20)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+		w[i] = 0.5 + rng.Float64()
+	}
+	a := RegressWeighted(y, w)
+	scaled := make([]float64, len(w))
+	for i := range w {
+		scaled[i] = w[i] * 7.5
+	}
+	b := RegressWeighted(y, scaled)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("solution changed under weight scaling")
+		}
+	}
+}

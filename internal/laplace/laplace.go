@@ -1,0 +1,113 @@
+// Package laplace implements the Laplace (double-exponential) distribution
+// used by the Laplace mechanism of differential privacy (Dwork et al.,
+// "Calibrating Noise to Sensitivity in Private Data Analysis", TCC 2006).
+//
+// The package provides deterministic, seedable sampling so that every
+// experiment in this repository is reproducible, together with the usual
+// distribution functions (PDF, CDF, quantile) and moments.
+package laplace
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+)
+
+// Dist is a zero-or-nonzero-mean Laplace distribution with scale b > 0.
+// Its density is f(x) = exp(-|x-mu|/b) / (2b).
+type Dist struct {
+	Mu    float64 // location (mean)
+	Scale float64 // scale b; variance is 2*b^2
+}
+
+// New returns the Laplace distribution with location mu and scale b.
+// It panics if scale is not strictly positive or not finite; callers that
+// need error handling should validate the scale themselves (see Valid).
+func New(mu, scale float64) Dist {
+	d := Dist{Mu: mu, Scale: scale}
+	if err := d.Valid(); err != nil {
+		panic("laplace: " + err.Error())
+	}
+	return d
+}
+
+// ErrBadScale reports a non-positive or non-finite scale parameter.
+var ErrBadScale = errors.New("scale must be positive and finite")
+
+// Valid reports whether the distribution parameters are usable.
+func (d Dist) Valid() error {
+	if !(d.Scale > 0) || math.IsInf(d.Scale, 0) || math.IsNaN(d.Mu) {
+		return ErrBadScale
+	}
+	return nil
+}
+
+// PDF returns the probability density at x.
+func (d Dist) PDF(x float64) float64 {
+	return math.Exp(-math.Abs(x-d.Mu)/d.Scale) / (2 * d.Scale)
+}
+
+// LogPDF returns the natural logarithm of the density at x.
+func (d Dist) LogPDF(x float64) float64 {
+	return -math.Abs(x-d.Mu)/d.Scale - math.Log(2*d.Scale)
+}
+
+// CDF returns P(X <= x).
+func (d Dist) CDF(x float64) float64 {
+	z := (x - d.Mu) / d.Scale
+	if z < 0 {
+		return 0.5 * math.Exp(z)
+	}
+	return 1 - 0.5*math.Exp(-z)
+}
+
+// Quantile returns the value x such that CDF(x) = p. It panics unless
+// 0 < p < 1.
+func (d Dist) Quantile(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic("laplace: quantile requires 0 < p < 1")
+	}
+	if p < 0.5 {
+		return d.Mu + d.Scale*math.Log(2*p)
+	}
+	return d.Mu - d.Scale*math.Log(2*(1-p))
+}
+
+// Mean returns the distribution mean.
+func (d Dist) Mean() float64 { return d.Mu }
+
+// Variance returns the distribution variance, 2*Scale^2.
+func (d Dist) Variance() float64 { return 2 * d.Scale * d.Scale }
+
+// Rand draws one sample using src. Sampling uses the standard inverse-CDF
+// construction: with U uniform on (-1/2, 1/2],
+//
+//	X = mu - b * sign(U) * ln(1 - 2|U|).
+func (d Dist) Rand(src *rand.Rand) float64 {
+	// Draw u in (-0.5, 0.5]. Float64 returns [0,1); shifting gives
+	// [-0.5, 0.5). Rejecting -0.5 keeps log's argument positive.
+	for {
+		u := src.Float64() - 0.5
+		if u == -0.5 {
+			continue
+		}
+		if u < 0 {
+			return d.Mu + d.Scale*math.Log1p(2*u)
+		}
+		return d.Mu - d.Scale*math.Log1p(-2*u)
+	}
+}
+
+// Fill overwrites dst with independent samples drawn using src.
+func (d Dist) Fill(dst []float64, src *rand.Rand) {
+	for i := range dst {
+		dst[i] = d.Rand(src)
+	}
+}
+
+// Sample returns n fresh independent samples drawn using src.
+func (d Dist) Sample(n int, src *rand.Rand) []float64 {
+	out := make([]float64, n)
+	d.Fill(out, src)
+	return out
+}

@@ -1,0 +1,228 @@
+package laplace
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadScale(t *testing.T) {
+	for _, scale := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(0, %v) did not panic", scale)
+				}
+			}()
+			New(0, scale)
+		}()
+	}
+}
+
+func TestValid(t *testing.T) {
+	if err := (Dist{Mu: 0, Scale: 1}).Valid(); err != nil {
+		t.Fatalf("valid dist reported error: %v", err)
+	}
+	if err := (Dist{Mu: 0, Scale: 0}).Valid(); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := (Dist{Mu: math.NaN(), Scale: 1}).Valid(); err == nil {
+		t.Fatal("NaN mean accepted")
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	d := New(1.5, 2.0)
+	const step = 1e-3
+	sum := 0.0
+	for x := -40.0; x < 40.0; x += step {
+		sum += d.PDF(x) * step
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("PDF integrates to %v, want 1", sum)
+	}
+}
+
+func TestCDFMatchesNumericIntegral(t *testing.T) {
+	d := New(-0.5, 1.3)
+	const step = 1e-3
+	sum := 0.0
+	for x := -30.0; x < 5.0; x += step {
+		sum += d.PDF(x) * step
+		if got := d.CDF(x + step); math.Abs(got-sum) > 2e-3 {
+			t.Fatalf("CDF(%v) = %v, numeric integral %v", x+step, got, sum)
+		}
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	d := New(2, 0.7)
+	if got := d.CDF(2); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("CDF at mean = %v, want 0.5", got)
+	}
+	if d.CDF(-1e9) > 1e-12 || d.CDF(1e9) < 1-1e-12 {
+		t.Error("CDF tails do not approach 0/1")
+	}
+	prev := -1.0
+	for x := -10.0; x <= 10; x += 0.25 {
+		if c := d.CDF(x); c < prev {
+			t.Fatalf("CDF not monotone at %v", x)
+		} else {
+			prev = c
+		}
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	d := New(0.3, 2.2)
+	for _, p := range []float64{1e-6, 0.01, 0.25, 0.5, 0.75, 0.99, 1 - 1e-6} {
+		x := d.Quantile(p)
+		if got := d.CDF(x); math.Abs(got-p) > 1e-12 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestQuantilePanicsOutsideOpenInterval(t *testing.T) {
+	d := New(0, 1)
+	for _, p := range []float64{0, 1, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", p)
+				}
+			}()
+			d.Quantile(p)
+		}()
+	}
+}
+
+func TestLogPDFConsistent(t *testing.T) {
+	d := New(0, 3)
+	for x := -20.0; x <= 20; x += 0.5 {
+		if got, want := d.LogPDF(x), math.Log(d.PDF(x)); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("LogPDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestSampleMomentsAndSymmetry(t *testing.T) {
+	d := New(0, 1.0/0.1) // the eps=0.1 regime used in the experiments
+	src := NewRand(7, 11)
+	const n = 400000
+	var sum, sumSq float64
+	neg := 0
+	for i := 0; i < n; i++ {
+		x := d.Rand(src)
+		sum += x
+		sumSq += x * x
+		if x < 0 {
+			neg++
+		}
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.15 {
+		t.Errorf("sample mean %v too far from 0", mean)
+	}
+	if rel := math.Abs(variance-d.Variance()) / d.Variance(); rel > 0.02 {
+		t.Errorf("sample variance %v, want %v (rel err %v)", variance, d.Variance(), rel)
+	}
+	if frac := float64(neg) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("negative fraction %v, want 0.5", frac)
+	}
+}
+
+func TestSampleQuantilesMatchCDF(t *testing.T) {
+	d := New(0, 2)
+	src := NewRand(3, 5)
+	const n = 200000
+	count := 0
+	threshold := d.Quantile(0.9)
+	for i := 0; i < n; i++ {
+		if d.Rand(src) <= threshold {
+			count++
+		}
+	}
+	if frac := float64(count) / n; math.Abs(frac-0.9) > 0.01 {
+		t.Errorf("empirical CDF at q90 = %v", frac)
+	}
+}
+
+func TestDeterminismAcrossStreams(t *testing.T) {
+	d := New(0, 1)
+	a := d.Sample(64, Stream(42, 3))
+	b := d.Sample(64, Stream(42, 3))
+	c := d.Sample(64, Stream(42, 4))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same stream produced different samples")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct trials produced identical streams")
+	}
+}
+
+func TestFillMatchesSample(t *testing.T) {
+	d := New(1, 2)
+	got := make([]float64, 16)
+	d.Fill(got, NewRand(1, 2))
+	want := d.Sample(16, NewRand(1, 2))
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("Fill and Sample disagree for identical sources")
+		}
+	}
+}
+
+func TestQuickCDFQuantileRoundTrip(t *testing.T) {
+	f := func(rawP, rawMu, rawScale float64) bool {
+		p := 0.001 + 0.998*frac(rawP)
+		mu := 10 * math.Tanh(rawMu)
+		scale := 0.1 + 5*frac(rawScale)
+		d := New(mu, scale)
+		return math.Abs(d.CDF(d.Quantile(p))-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPDFPositiveAndPeakAtMean(t *testing.T) {
+	f := func(rawX, rawMu float64) bool {
+		x := 50 * math.Tanh(rawX)
+		mu := 50 * math.Tanh(rawMu)
+		d := New(mu, 1.5)
+		return d.PDF(x) > 0 && d.PDF(x) <= d.PDF(mu)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// frac maps an arbitrary float64 into [0,1) safely.
+func frac(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Abs(x)
+	return x - math.Floor(x)
+}
+
+func BenchmarkRand(b *testing.B) {
+	d := New(0, 1)
+	src := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.Rand(src)
+	}
+}

@@ -1,0 +1,239 @@
+// Package linalg provides the small dense linear algebra needed to verify
+// the paper's closed-form estimators against brute-force least squares.
+// Theorem 3's two-pass recurrence is, by the Gauss-Markov argument of
+// Theorem 4, the ordinary-least-squares estimate of the leaf counts from
+// the noisy tree observations; tests in internal/core solve that OLS
+// problem explicitly through this package and compare.
+//
+// The implementation favors clarity and numerical robustness (partial
+// pivoting, symmetric solves via Cholesky) over speed: matrices here are
+// tiny (hundreds of rows at most, in tests only).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix of the given shape. It panics on
+// non-positive dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be non-empty and
+// of equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows requires a non-empty rectangle")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m*b. It panics on a shape mismatch.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for l := 0; l < m.Cols; l++ {
+			a := m.At(i, l)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(l, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic("linalg: MulVec shape mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		sum := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// ErrSingular reports that a solve encountered a (numerically) singular
+// system.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// SolveGaussian solves a*x = b by Gaussian elimination with partial
+// pivoting. a must be square; a and b are not modified.
+func SolveGaussian(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: solve requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: rhs length %d != %d", len(b), a.Rows)
+	}
+	n := a.Rows
+	aug := a.Clone()
+	rhs := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				aug.Data[col*n+j], aug.Data[pivot*n+j] = aug.Data[pivot*n+j], aug.Data[col*n+j]
+			}
+			rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		}
+		inv := 1 / aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				aug.Data[r*n+j] -= f * aug.Data[col*n+j]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := rhs[i]
+		for j := i + 1; j < n; j++ {
+			sum -= aug.At(i, j) * x[j]
+		}
+		x[i] = sum / aug.At(i, i)
+	}
+	return x, nil
+}
+
+// Cholesky computes the lower-triangular factor L with a = L*L^T for a
+// symmetric positive-definite matrix a.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky requires square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for s := 0; s < j; s++ {
+				sum -= l.At(i, s) * l.At(j, s)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves a*x = b for symmetric positive-definite a.
+func SolveCholesky(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	// Forward substitution: L*y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for j := 0; j < i; j++ {
+			sum -= l.At(i, j) * y[j]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	// Back substitution: L^T*x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for j := i + 1; j < n; j++ {
+			sum -= l.At(j, i) * x[j]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares returns argmin_x ||A*x - b||_2 via the normal equations
+// A^T A x = A^T b, solved by Cholesky (A must have full column rank).
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: rhs length %d != rows %d", len(b), a.Rows)
+	}
+	at := a.T()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	x, err := SolveCholesky(ata, atb)
+	if err != nil {
+		// Fall back to pivoted Gaussian elimination for borderline
+		// conditioning.
+		return SolveGaussian(ata, atb)
+	}
+	return x, nil
+}

@@ -1,0 +1,257 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtSetClone(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("At/Set broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestFromRowsPanics(t *testing.T) {
+	for _, rows := range [][][]float64{{}, {{}}, {{1, 2}, {3}}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromRows(%v) did not panic", rows)
+				}
+			}()
+			FromRows(rows)
+		}()
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatal("transpose shape wrong")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatal("transpose values wrong")
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v, want %v", got.Data, want.Data)
+		}
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestSolveGaussianKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := SolveGaussian(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveGaussianSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveGaussian(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system solved")
+	}
+}
+
+func TestSolveGaussianDoesNotModifyInputs(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	ac := a.Clone()
+	bc := append([]float64(nil), b...)
+	if _, err := SolveGaussian(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != ac.Data[i] {
+			t.Fatal("matrix modified")
+		}
+	}
+	for i := range b {
+		if b[i] != bc[i] {
+			t.Fatal("rhs modified")
+		}
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	a := FromRows([][]float64{{4, 12, -16}, {12, 37, -43}, {-16, -43, 98}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := l.Mul(l.T())
+	for i := range a.Data {
+		if math.Abs(recon.Data[i]-a.Data[i]) > 1e-9 {
+			t.Fatalf("LL^T = %v, want %v", recon.Data, a.Data)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("indefinite matrix factored")
+	}
+}
+
+func TestSolveCholeskyMatchesGaussian(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(8)
+		// Random SPD matrix: B^T B + n*I.
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := b.T().Mul(b)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x1, err1 := SolveCholesky(a, rhs)
+		x2, err2 := SolveGaussian(a, rhs)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-8 {
+				t.Fatalf("solvers disagree: %v vs %v", x1, x2)
+			}
+		}
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// Square invertible system: least squares must reproduce the solve.
+	a := FromRows([][]float64{{3, 1}, {1, 2}})
+	x, err := LeastSquares(a, []float64{9, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = c0 + c1*t to points on the line y = 1 + 2t plus symmetric
+	// perturbation; the residual must be orthogonal to the column space.
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := []float64{1.1, 2.9, 5.1, 6.9}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted := a.MulVec(x)
+	resid := make([]float64, len(b))
+	for i := range b {
+		resid[i] = b[i] - fitted[i]
+	}
+	at := a.T()
+	ortho := at.MulVec(resid)
+	for _, v := range ortho {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("normal equations violated: A^T r = %v", ortho)
+		}
+	}
+}
+
+func TestQuickSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 19))
+	f := func(seed uint32) bool {
+		n := 1 + int(seed)%6
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+5) // diagonally dominant-ish
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := SolveGaussian(a, b)
+		if err != nil {
+			return true // singular draw; skip
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLeastSquares64(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := NewMatrix(127, 64)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	rhs := make([]float64, 127)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package privacy provides the epsilon-budget accounting the paper relies
+// on when an analyst issues several query sequences: answering sequence i
+// with an eps_i-differentially private mechanism yields (sum_i eps_i)
+// overall (sequential composition, Section 2.1).
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ErrBudgetExceeded reports an attempt to spend more privacy budget than
+// remains.
+var ErrBudgetExceeded = errors.New("privacy: budget exceeded")
+
+// Accountant tracks consumption of a fixed epsilon budget under
+// sequential composition. It is safe for concurrent use.
+type Accountant struct {
+	mu    sync.Mutex
+	total float64
+	spent float64
+	log   []Charge
+}
+
+// Charge is one recorded expenditure.
+type Charge struct {
+	Label   string
+	Epsilon float64
+}
+
+// NewAccountant returns an accountant with the given total epsilon
+// budget. It panics unless the budget is positive and finite.
+func NewAccountant(total float64) *Accountant {
+	if !(total > 0) || math.IsInf(total, 0) {
+		panic(fmt.Sprintf("privacy: total budget must be positive and finite, got %v", total))
+	}
+	return &Accountant{total: total}
+}
+
+// Spend records an eps expenditure under the given label, failing with
+// ErrBudgetExceeded (and recording nothing) if it would overdraw the
+// budget. eps must be positive and finite.
+func (a *Accountant) Spend(label string, eps float64) error {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return fmt.Errorf("privacy: spend of %v is not a positive finite epsilon", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Tiny tolerance so that exact splits like 3 x (total/3) cannot fail
+	// on the last installment through float rounding.
+	if a.spent+eps > a.total*(1+1e-12) {
+		return fmt.Errorf("%w: spent %v of %v, cannot add %v", ErrBudgetExceeded, a.spent, a.total, eps)
+	}
+	a.spent += eps
+	a.log = append(a.log, Charge{Label: label, Epsilon: eps})
+	return nil
+}
+
+// Remaining returns the unspent budget (never negative).
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r := a.total - a.spent; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Spent returns the total consumed so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Total returns the full budget.
+func (a *Accountant) Total() float64 { return a.total }
+
+// Log returns a copy of the expenditure history in order.
+func (a *Accountant) Log() []Charge {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Charge(nil), a.log...)
+}
+
+// Split divides eps into n equal shares for answering n query sequences
+// under sequential composition. It panics unless n >= 1.
+func Split(eps float64, n int) []float64 {
+	if n < 1 {
+		panic("privacy: Split requires n >= 1")
+	}
+	out := make([]float64, n)
+	share := eps / float64(n)
+	for i := range out {
+		out[i] = share
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewAccountantPanics(t *testing.T) {
+	for _, total := range []float64{0, -1, math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAccountant(%v) did not panic", total)
+				}
+			}()
+			NewAccountant(total)
+		}()
+	}
+}
+
+func TestSpendAndRemaining(t *testing.T) {
+	a := NewAccountant(1.0)
+	if err := a.Spend("first", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("second", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Remaining(); got > 1e-12 {
+		t.Fatalf("remaining = %v, want 0", got)
+	}
+	if got := a.Spent(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("spent = %v", got)
+	}
+	if err := a.Spend("over", 0.01); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("overdraw error = %v", err)
+	}
+}
+
+func TestSpendRejectsBadEpsilon(t *testing.T) {
+	a := NewAccountant(1)
+	for _, eps := range []float64{0, -0.5, math.Inf(1), math.NaN()} {
+		if err := a.Spend("bad", eps); err == nil {
+			t.Errorf("Spend(%v) accepted", eps)
+		}
+	}
+	if a.Spent() != 0 {
+		t.Fatal("failed spends were recorded")
+	}
+}
+
+func TestExactSplitDoesNotOverdraw(t *testing.T) {
+	a := NewAccountant(1.0)
+	for i, share := range Split(1.0, 3) {
+		if err := a.Spend("share", share); err != nil {
+			t.Fatalf("installment %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestLogOrderAndCopy(t *testing.T) {
+	a := NewAccountant(2)
+	_ = a.Spend("x", 0.5)
+	_ = a.Spend("y", 0.25)
+	log := a.Log()
+	if len(log) != 2 || log[0].Label != "x" || log[1].Label != "y" {
+		t.Fatalf("log = %v", log)
+	}
+	log[0].Label = "mutated"
+	if a.Log()[0].Label != "x" {
+		t.Fatal("Log returned aliasing slice")
+	}
+}
+
+func TestConcurrentSpends(t *testing.T) {
+	a := NewAccountant(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Spend("c", 1)
+		}()
+	}
+	wg.Wait()
+	if got := a.Spent(); got != 64 {
+		t.Fatalf("spent = %v, want 64", got)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	shares := Split(0.9, 3)
+	if len(shares) != 3 {
+		t.Fatal("wrong share count")
+	}
+	for _, s := range shares {
+		if math.Abs(s-0.3) > 1e-12 {
+			t.Fatalf("share = %v, want 0.3", s)
+		}
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split(_, 0) did not panic")
+		}
+	}()
+	Split(1, 0)
+}

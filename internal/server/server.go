@@ -1,0 +1,180 @@
+// Package server exposes a private histogram interface over HTTP — the
+// deployment the paper sketches in Appendix B ("the server can implement
+// the post-processing step. In that case it would appear to the analyst
+// as if the server was sampling from the improved distribution"), in the
+// spirit of the emerging private query interfaces it cites (PINQ).
+//
+// The data owner holds one sensitive count vector and a total epsilon
+// budget. Analysts POST release requests; the server runs the mechanism
+// plus constrained inference, charges the budget under sequential
+// composition, and returns the serialized release. Once the budget is
+// exhausted every further request is refused — permanently.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/dphist/dphist"
+	"github.com/dphist/dphist/internal/privacy"
+)
+
+// Config describes the protected dataset and policy.
+type Config struct {
+	// Counts is the sensitive unit-count histogram being protected.
+	Counts []float64
+	// Budget is the total epsilon available across all releases.
+	Budget float64
+	// Seed drives the noise streams.
+	Seed uint64
+	// Branching is the universal-histogram tree fan-out; 0 means 2.
+	Branching int
+	// MaxEpsilonPerRequest caps single requests; 0 means no cap beyond
+	// the remaining budget.
+	MaxEpsilonPerRequest float64
+}
+
+// Server is the HTTP-facing privacy mechanism. Safe for concurrent use.
+type Server struct {
+	cfg        Config
+	mechanism  *dphist.Mechanism
+	accountant *privacy.Accountant
+}
+
+// New validates the configuration and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Counts) == 0 {
+		return nil, errors.New("server: empty count vector")
+	}
+	if !(cfg.Budget > 0) {
+		return nil, fmt.Errorf("server: budget %v must be positive", cfg.Budget)
+	}
+	k := cfg.Branching
+	if k == 0 {
+		k = 2
+	}
+	m, err := dphist.New(dphist.WithSeed(cfg.Seed), dphist.WithBranching(k))
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:        cfg,
+		mechanism:  m,
+		accountant: privacy.NewAccountant(cfg.Budget),
+	}, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/budget", s.handleBudget)
+	mux.HandleFunc("POST /v1/release", s.handleRelease)
+	return mux
+}
+
+// budgetResponse is the GET /v1/budget payload.
+type budgetResponse struct {
+	Total     float64 `json:"total"`
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"`
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, budgetResponse{
+		Total:     s.accountant.Total(),
+		Spent:     s.accountant.Spent(),
+		Remaining: s.accountant.Remaining(),
+	})
+}
+
+// releaseRequest is the POST /v1/release payload.
+type releaseRequest struct {
+	Task    string  `json:"task"`    // universal | unattributed | laplace
+	Epsilon float64 `json:"epsilon"` // privacy cost of this release
+}
+
+// releaseResponse wraps a serialized release with accounting info.
+type releaseResponse struct {
+	Task            string          `json:"task"`
+	Epsilon         float64         `json:"epsilon"`
+	Domain          int             `json:"domain"`
+	Release         json.RawMessage `json:"release"`
+	BudgetRemaining float64         `json:"budget_remaining"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if !(req.Epsilon > 0) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "epsilon must be positive"})
+		return
+	}
+	if s.cfg.MaxEpsilonPerRequest > 0 && req.Epsilon > s.cfg.MaxEpsilonPerRequest {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("epsilon %v exceeds per-request cap %v", req.Epsilon, s.cfg.MaxEpsilonPerRequest)})
+		return
+	}
+	if req.Task == "" {
+		req.Task = "universal"
+	}
+	switch req.Task {
+	case "universal", "unattributed", "laplace":
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "unknown task " + req.Task})
+		return
+	}
+	// Charge the budget after request validation but BEFORE computing:
+	// malformed requests cost nothing, and a refused charge leaks nothing
+	// beyond the refusal itself.
+	if err := s.accountant.Spend("release:"+req.Task, req.Epsilon); err != nil {
+		if errors.Is(err, privacy.ErrBudgetExceeded) {
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	var (
+		payload any
+		err     error
+	)
+	switch req.Task {
+	case "universal":
+		payload, err = s.mechanism.UniversalHistogram(s.cfg.Counts, req.Epsilon)
+	case "unattributed":
+		payload, err = s.mechanism.UnattributedHistogram(s.cfg.Counts, req.Epsilon)
+	case "laplace":
+		payload, err = s.mechanism.LaplaceHistogram(s.cfg.Counts, req.Epsilon)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, releaseResponse{
+		Task:            req.Task,
+		Epsilon:         req.Epsilon,
+		Domain:          len(s.cfg.Counts),
+		Release:         raw,
+		BudgetRemaining: s.accountant.Remaining(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

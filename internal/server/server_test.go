@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/dphist/dphist"
+)
+
+func newTestServer(t *testing.T, budget float64) *httptest.Server {
+	t.Helper()
+	s, err := New(Config{
+		Counts: []float64{2, 0, 10, 2, 5, 5, 5, 5},
+		Budget: budget,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postRelease(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/release", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Counts: nil, Budget: 1}); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := New(Config{Counts: []float64{1}, Budget: 0}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := New(Config{Counts: []float64{1}, Budget: 1, Branching: 1}); err == nil {
+		t.Error("branching 1 accepted")
+	}
+}
+
+func TestBudgetEndpoint(t *testing.T) {
+	ts := newTestServer(t, 2.0)
+	resp, err := http.Get(ts.URL + "/v1/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b budgetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != 2.0 || b.Spent != 0 || b.Remaining != 2.0 {
+		t.Fatalf("budget = %+v", b)
+	}
+}
+
+func TestUniversalReleaseOverHTTP(t *testing.T) {
+	ts := newTestServer(t, 2.0)
+	resp, body := postRelease(t, ts, `{"task":"universal","epsilon":0.5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr releaseResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Task != "universal" || rr.Domain != 8 {
+		t.Fatalf("response meta wrong: %+v", rr)
+	}
+	if rr.BudgetRemaining != 1.5 {
+		t.Fatalf("budget remaining %v, want 1.5", rr.BudgetRemaining)
+	}
+	// The embedded release decodes into a queryable object client-side.
+	var rel dphist.UniversalRelease
+	if err := json.Unmarshal(rr.Release, &rel); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Domain() != 8 {
+		t.Fatalf("decoded release domain %d", rel.Domain())
+	}
+	if _, err := rel.Range(0, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnattributedAndLaplaceTasks(t *testing.T) {
+	ts := newTestServer(t, 2.0)
+	resp, body := postRelease(t, ts, `{"task":"unattributed","epsilon":0.25}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unattributed status %d: %s", resp.StatusCode, body)
+	}
+	var rr releaseResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	var unat dphist.UnattributedRelease
+	if err := json.Unmarshal(rr.Release, &unat); err != nil {
+		t.Fatal(err)
+	}
+	if len(unat.Counts) != 8 {
+		t.Fatal("unattributed release wrong length")
+	}
+
+	resp, body = postRelease(t, ts, `{"task":"laplace","epsilon":0.25}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("laplace status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	ts := newTestServer(t, 1.0)
+	if resp, _ := postRelease(t, ts, `{"task":"laplace","epsilon":0.8}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first release refused: %d", resp.StatusCode)
+	}
+	resp, body := postRelease(t, ts, `{"task":"laplace","epsilon":0.5}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overdraw status %d: %s", resp.StatusCode, body)
+	}
+	// The failed request must not have charged the budget.
+	if resp, _ := postRelease(t, ts, `{"task":"laplace","epsilon":0.2}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("within-budget release refused after failed overdraw: %d", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, 1.0)
+	cases := []string{
+		`{"task":"universal","epsilon":0}`,
+		`{"task":"universal","epsilon":-1}`,
+		`{"task":"nope","epsilon":0.1}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		resp, _ := postRelease(t, ts, c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("request %q: status %d, want 400", c, resp.StatusCode)
+		}
+	}
+	// Bad requests cost nothing.
+	resp, err := http.Get(ts.URL + "/v1/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b budgetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent != 0 {
+		t.Fatalf("bad requests charged the budget: %+v", b)
+	}
+}
+
+func TestPerRequestCap(t *testing.T) {
+	s, err := New(Config{
+		Counts:               []float64{1, 2},
+		Budget:               10,
+		MaxEpsilonPerRequest: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/release", "application/json",
+		bytes.NewBufferString(`{"task":"laplace","epsilon":1.0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("capped request status %d", resp.StatusCode)
+	}
+}
+
+func TestDefaultTaskIsUniversal(t *testing.T) {
+	ts := newTestServer(t, 1.0)
+	resp, body := postRelease(t, ts, `{"epsilon":0.1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr releaseResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Task != "universal" {
+		t.Fatalf("default task %q", rr.Task)
+	}
+}
+
+func TestConcurrentReleases(t *testing.T) {
+	ts := newTestServer(t, 100)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/release", "application/json",
+				bytes.NewBufferString(`{"task":"laplace","epsilon":1}`))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- resp.Status
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	// All 32 charges accounted for.
+	resp, err := http.Get(ts.URL + "/v1/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b budgetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent != 32 {
+		t.Fatalf("spent %v, want 32", b.Spent)
+	}
+}

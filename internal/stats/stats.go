@@ -1,0 +1,159 @@
+// Package stats provides the error metrics and trial aggregation used by
+// the paper's evaluation (Section 5): squared error between query answers
+// (Definition 2.3), per-position profiles (Figure 7), and running
+// mean/variance accumulators for averaging over repeated samples of the
+// differentially private mechanisms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SquaredError returns sum_i (a[i]-b[i])^2, the total squared error of
+// Definition 2.3 for one sample. It panics if the lengths differ.
+func SquaredError(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(a), len(b)))
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// MeanSquaredError returns SquaredError(a, b) / len(a), the per-position
+// average used on the Figure 5 axis. It panics on empty input.
+func MeanSquaredError(a, b []float64) float64 {
+	if len(a) == 0 {
+		panic("stats: MeanSquaredError of empty vectors")
+	}
+	return SquaredError(a, b) / float64(len(a))
+}
+
+// AbsoluteError returns sum_i |a[i]-b[i]|.
+func AbsoluteError(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(a), len(b)))
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean. It panics on empty input.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// Variance returns the population variance. It panics on empty input.
+func Variance(x []float64) float64 {
+	m := Mean(x)
+	sum := 0.0
+	for _, v := range x {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(x))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of x by linear
+// interpolation on the sorted copy. It panics on empty input or q outside
+// [0, 1].
+func Quantile(x []float64, q float64) float64 {
+	if len(x) == 0 || q < 0 || q > 1 {
+		panic("stats: bad Quantile arguments")
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Accumulator tracks a running mean and variance (Welford's algorithm)
+// of a scalar across trials.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 before any observation).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the running population variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.Variance() / float64(a.n))
+}
+
+// VectorAccumulator tracks per-position running means across trials, for
+// positional error profiles like Figure 7.
+type VectorAccumulator struct {
+	n     int
+	means []float64
+}
+
+// NewVectorAccumulator returns an accumulator for vectors of length n.
+func NewVectorAccumulator(n int) *VectorAccumulator {
+	return &VectorAccumulator{means: make([]float64, n)}
+}
+
+// Add incorporates one vector observation. It panics on length mismatch.
+func (va *VectorAccumulator) Add(x []float64) {
+	if len(x) != len(va.means) {
+		panic("stats: VectorAccumulator length mismatch")
+	}
+	va.n++
+	inv := 1 / float64(va.n)
+	for i, v := range x {
+		va.means[i] += (v - va.means[i]) * inv
+	}
+}
+
+// N returns the number of observations.
+func (va *VectorAccumulator) N() int { return va.n }
+
+// Means returns a copy of the per-position running means.
+func (va *VectorAccumulator) Means() []float64 {
+	return append([]float64(nil), va.means...)
+}

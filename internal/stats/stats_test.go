@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSquaredError(t *testing.T) {
+	if got := SquaredError([]float64{1, 2, 3}, []float64{1, 4, 0}); got != 13 {
+		t.Fatalf("SquaredError = %v, want 13", got)
+	}
+	if got := SquaredError(nil, nil); got != 0 {
+		t.Fatalf("empty SquaredError = %v", got)
+	}
+}
+
+func TestSquaredErrorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatch")
+		}
+	}()
+	SquaredError([]float64{1}, []float64{1, 2})
+}
+
+func TestMeanSquaredError(t *testing.T) {
+	if got := MeanSquaredError([]float64{0, 0}, []float64{3, 4}); got != 12.5 {
+		t.Fatalf("MSE = %v, want 12.5", got)
+	}
+}
+
+func TestAbsoluteError(t *testing.T) {
+	if got := AbsoluteError([]float64{1, -2}, []float64{-1, 2}); got != 6 {
+		t.Fatalf("AbsoluteError = %v, want 6", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(x); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(x); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{3, 1, 2, 4}
+	if got := Quantile(x, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(x, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(x, 0.5); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	// Input untouched.
+	if x[0] != 3 {
+		t.Error("Quantile sorted the input in place")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile q=%v did not panic", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 2))
+	xs := make([]float64, 1000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		acc.Add(xs[i])
+	}
+	if acc.N() != len(xs) {
+		t.Fatal("N wrong")
+	}
+	if math.Abs(acc.Mean()-Mean(xs)) > 1e-10 {
+		t.Fatalf("running mean %v != batch %v", acc.Mean(), Mean(xs))
+	}
+	if math.Abs(acc.Variance()-Variance(xs)) > 1e-9 {
+		t.Fatalf("running variance %v != batch %v", acc.Variance(), Variance(xs))
+	}
+	if acc.StdErr() <= 0 {
+		t.Fatal("stderr not positive")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if acc.Mean() != 0 || acc.Variance() != 0 || acc.StdErr() != 0 {
+		t.Fatal("empty accumulator not zeroed")
+	}
+}
+
+func TestVectorAccumulator(t *testing.T) {
+	va := NewVectorAccumulator(3)
+	va.Add([]float64{1, 2, 3})
+	va.Add([]float64{3, 2, 1})
+	means := va.Means()
+	want := []float64{2, 2, 2}
+	for i := range want {
+		if math.Abs(means[i]-want[i]) > 1e-12 {
+			t.Fatalf("means = %v, want %v", means, want)
+		}
+	}
+	if va.N() != 2 {
+		t.Fatal("N wrong")
+	}
+	// Means returns a copy.
+	means[0] = 99
+	if va.Means()[0] == 99 {
+		t.Fatal("Means aliases internal state")
+	}
+}
+
+func TestVectorAccumulatorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewVectorAccumulator(2).Add([]float64{1})
+}
+
+func TestQuickQuantileWithinRange(t *testing.T) {
+	f := func(raw []float64, rawQ float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		q := math.Abs(math.Mod(rawQ, 1))
+		if math.IsNaN(q) {
+			q = 0.5
+		}
+		got := Quantile(x, q)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package stream implements private continual counting — the streaming
+// relative of the paper's H query discussed in Section 6 (Chan, Shi,
+// Song: "Private and Continual Release of Statistics", ICALP 2010). A
+// counter releases an estimate of the running total after every arrival;
+// hierarchical (dyadic) aggregation by arrival time keeps the per-step
+// error poly-logarithmic in the stream length, exactly as H does over a
+// static domain.
+//
+// The package also ports the paper's constrained-inference idea to the
+// stream: running counts of non-negative increments are non-decreasing,
+// so the released estimate sequence can be projected onto monotonicity
+// by isotonic regression (SmoothNonDecreasing) once the analysis is
+// retrospective — the same Theorem 1 machinery as S-bar, applied to
+// cumulative counts.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"github.com/dphist/dphist/internal/isotonic"
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+// Counter continually releases a differentially private running count
+// over a stream of at most Horizon arrivals. Each dyadic block of
+// arrivals carries one Laplace-noised partial sum; an arrival
+// contributes to at most log2(Horizon)+1 blocks, so scaling the noise by
+// that factor yields eps-differential privacy for the whole stream
+// (event-level: neighboring streams differ by 1 in one arrival).
+type Counter struct {
+	eps     float64
+	horizon int
+	levels  int
+	src     *rand.Rand
+	noise   laplace.Dist
+
+	t         int       // arrivals consumed so far
+	acc       []float64 // accumulating true partial sum per level
+	active    []float64 // finalized noisy block sum per level (for set bits of t)
+	estimates []float64 // released estimate after each arrival
+}
+
+// NewCounter returns a counter for at most horizon arrivals at privacy
+// level eps, drawing noise from src.
+func NewCounter(eps float64, horizon int, src *rand.Rand) (*Counter, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("stream: epsilon must be positive and finite, got %v", eps)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("stream: horizon %d < 1", horizon)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("stream: nil randomness source")
+	}
+	levels := bits.Len(uint(horizon)) // log2(horizon)+1 block levels
+	return &Counter{
+		eps:     eps,
+		horizon: horizon,
+		levels:  levels,
+		src:     src,
+		noise:   laplace.New(0, float64(levels)/eps),
+		acc:     make([]float64, levels+1),
+		active:  make([]float64, levels+1),
+	}, nil
+}
+
+// Horizon returns the maximum number of arrivals.
+func (c *Counter) Horizon() int { return c.horizon }
+
+// Step returns the number of arrivals consumed so far.
+func (c *Counter) Step() int { return c.t }
+
+// NoiseScale returns the Laplace scale applied to each block sum.
+func (c *Counter) NoiseScale() float64 { return float64(c.levels) / c.eps }
+
+// Feed consumes the next arrival's contribution (how much the tracked
+// count grows at this time step; 1 for simple event counting) and
+// returns the private estimate of the running total. It fails once the
+// horizon is exhausted.
+func (c *Counter) Feed(increment float64) (float64, error) {
+	if c.t >= c.horizon {
+		return 0, fmt.Errorf("stream: horizon %d exhausted", c.horizon)
+	}
+	if math.IsNaN(increment) || math.IsInf(increment, 0) {
+		return 0, fmt.Errorf("stream: increment is %v", increment)
+	}
+	c.t++
+	// The new arrival completes the level-i block ending at t, where i
+	// is the number of trailing zero bits of t; that block's true sum is
+	// the increment plus all lower completed blocks.
+	i := bits.TrailingZeros(uint(c.t))
+	sum := increment
+	for j := 0; j < i; j++ {
+		sum += c.acc[j]
+		c.acc[j] = 0
+		c.active[j] = 0
+	}
+	c.acc[i] = sum
+	c.active[i] = sum + c.noise.Rand(c.src)
+	// Estimate: sum the active noisy blocks for every set bit of t.
+	est := 0.0
+	for j := 0; j <= c.levels; j++ {
+		if c.t&(1<<j) != 0 {
+			est += c.active[j]
+		}
+	}
+	c.estimates = append(c.estimates, est)
+	return est, nil
+}
+
+// Estimates returns a copy of the released running-count estimates, one
+// per arrival so far.
+func (c *Counter) Estimates() []float64 {
+	return append([]float64(nil), c.estimates...)
+}
+
+// SmoothNonDecreasing projects a sequence of running-count estimates
+// onto the non-decreasing cone by isotonic regression — valid whenever
+// increments are known to be non-negative (counts only grow). This is
+// pure post-processing of already-released values: no privacy cost, and
+// like the paper's S-bar it never increases the L2 error.
+func SmoothNonDecreasing(estimates []float64) []float64 {
+	return isotonic.Regress(estimates)
+}

@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+func TestNewCounterValidation(t *testing.T) {
+	src := laplace.NewRand(1, 1)
+	if _, err := NewCounter(0, 8, src); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := NewCounter(1, 0, src); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := NewCounter(1, 8, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := NewCounter(math.Inf(1), 8, src); err == nil {
+		t.Error("infinite epsilon accepted")
+	}
+}
+
+func TestNoiseScale(t *testing.T) {
+	c, err := NewCounter(0.5, 1024, laplace.NewRand(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bits.Len(1024) = 11 levels; scale = 11/0.5 = 22.
+	if got := c.NoiseScale(); got != 22 {
+		t.Fatalf("noise scale %v, want 22", got)
+	}
+}
+
+func TestFeedTracksRunningCount(t *testing.T) {
+	const horizon = 4096
+	// Big epsilon: estimates should hug the truth.
+	c, err := NewCounter(200, horizon, laplace.NewRand(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0.0
+	for i := 0; i < horizon; i++ {
+		inc := float64(i % 3)
+		truth += inc
+		got, err := c.Feed(inc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-truth) > 5 {
+			t.Fatalf("step %d: estimate %v, truth %v", i+1, got, truth)
+		}
+	}
+	if c.Step() != horizon {
+		t.Fatalf("step = %d", c.Step())
+	}
+}
+
+func TestFeedHorizonExhausted(t *testing.T) {
+	c, _ := NewCounter(1, 2, laplace.NewRand(3, 3))
+	if _, err := c.Feed(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Feed(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Feed(1); err == nil {
+		t.Fatal("feed past horizon accepted")
+	}
+}
+
+func TestFeedRejectsBadIncrement(t *testing.T) {
+	c, _ := NewCounter(1, 8, laplace.NewRand(4, 4))
+	if _, err := c.Feed(math.NaN()); err == nil {
+		t.Fatal("NaN increment accepted")
+	}
+	if _, err := c.Feed(math.Inf(-1)); err == nil {
+		t.Fatal("infinite increment accepted")
+	}
+	if c.Step() != 0 {
+		t.Fatal("failed feeds consumed steps")
+	}
+}
+
+func TestDeterministicGivenSource(t *testing.T) {
+	run := func() []float64 {
+		c, _ := NewCounter(1, 64, laplace.Stream(9, 4))
+		for i := 0; i < 64; i++ {
+			if _, err := c.Feed(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Estimates()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same source, different estimates")
+		}
+	}
+}
+
+func TestErrorStaysPolyLogarithmic(t *testing.T) {
+	// The per-step error uses at most popcount(t) <= log2(horizon)
+	// blocks, each Lap(levels/eps): the late-stream error must not grow
+	// linearly like a naive running sum of noisy increments would.
+	const horizon, eps, trials = 1 << 12, 1.0, 40
+	levels := 13.0 // bits.Len(4096)
+	var lateSq float64
+	for trial := 0; trial < trials; trial++ {
+		c, err := NewCounter(eps, horizon, laplace.Stream(77, trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := 0.0
+		var last float64
+		for i := 0; i < horizon; i++ {
+			truth++
+			got, err := c.Feed(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = got - truth
+		}
+		lateSq += last * last
+	}
+	meanSq := lateSq / trials
+	// At t = horizon (one block), variance is 2*(levels/eps)^2 = 338.
+	// Allow generous slack; a linear-error mechanism would be ~2*4096.
+	want := 2 * levels * levels / (eps * eps)
+	if meanSq > want*3 {
+		t.Fatalf("final-step squared error %v, want about %v", meanSq, want)
+	}
+}
+
+func TestSmoothNonDecreasingHelps(t *testing.T) {
+	const horizon, eps, trials = 1024, 0.5, 30
+	var rawSq, smoothSq float64
+	for trial := 0; trial < trials; trial++ {
+		c, err := NewCounter(eps, horizon, laplace.Stream(55, trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		truths := make([]float64, horizon)
+		truth := 0.0
+		for i := 0; i < horizon; i++ {
+			truth += float64(i % 2)
+			truths[i] = truth
+			if _, err := c.Feed(float64(i % 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		raw := c.Estimates()
+		smooth := SmoothNonDecreasing(raw)
+		for i := range truths {
+			rawSq += (raw[i] - truths[i]) * (raw[i] - truths[i])
+			smoothSq += (smooth[i] - truths[i]) * (smooth[i] - truths[i])
+		}
+		// Smoothed output is monotone.
+		for i := 1; i < len(smooth); i++ {
+			if smooth[i] < smooth[i-1] {
+				t.Fatal("smoothed estimates not non-decreasing")
+			}
+		}
+	}
+	if smoothSq >= rawSq {
+		t.Fatalf("isotonic smoothing did not help: %v vs %v", smoothSq/trials, rawSq/trials)
+	}
+}
+
+func TestEstimatesCopy(t *testing.T) {
+	c, _ := NewCounter(1, 4, laplace.NewRand(5, 5))
+	_, _ = c.Feed(1)
+	e := c.Estimates()
+	e[0] = 1e9
+	if c.Estimates()[0] == 1e9 {
+		t.Fatal("Estimates aliases internal state")
+	}
+}
+
+func BenchmarkCounterFeed(b *testing.B) {
+	c, err := NewCounter(1.0, 1<<30, laplace.NewRand(6, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Feed(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

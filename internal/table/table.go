@@ -1,0 +1,178 @@
+// Package table is the relational substrate the paper's counting queries
+// run against: an in-memory multiset of records positioned on an ordered
+// domain [0, n), supporting the range-count query
+//
+//	c([x, y]) = Select count(*) From R Where x <= R.A <= y
+//
+// of Section 2. A frozen table answers any range count in O(1) through
+// prefix sums; histograms (the true answers L(I)) fall out directly.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Table is a mutable multiset of records over the domain [0, n).
+type Table struct {
+	n      int
+	counts []int64
+	total  int64
+}
+
+// New returns an empty table over a domain of the given size.
+func New(domainSize int) (*Table, error) {
+	if domainSize < 1 {
+		return nil, fmt.Errorf("table: domain size %d < 1", domainSize)
+	}
+	return &Table{n: domainSize, counts: make([]int64, domainSize)}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(domainSize int) *Table {
+	t, err := New(domainSize)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DomainSize returns n.
+func (t *Table) DomainSize() int { return t.n }
+
+// Len returns the number of records.
+func (t *Table) Len() int { return int(t.total) }
+
+// Add inserts one record at position pos.
+func (t *Table) Add(pos int) error { return t.AddN(pos, 1) }
+
+// AddN inserts count records at position pos.
+func (t *Table) AddN(pos int, count int) error {
+	if pos < 0 || pos >= t.n {
+		return fmt.Errorf("table: position %d outside [0,%d)", pos, t.n)
+	}
+	if count < 0 {
+		return fmt.Errorf("table: negative count %d", count)
+	}
+	t.counts[pos] += int64(count)
+	t.total += int64(count)
+	return nil
+}
+
+// Histogram returns the unit-length counts L(I) as float64s.
+func (t *Table) Histogram() []float64 {
+	out := make([]float64, t.n)
+	for i, c := range t.counts {
+		out[i] = float64(c)
+	}
+	return out
+}
+
+// Count answers the inclusive range-count query c([x, y]).
+func (t *Table) Count(x, y int) (int, error) {
+	if x < 0 || y >= t.n || x > y {
+		return 0, fmt.Errorf("table: bad range [%d,%d] for domain %d", x, y, t.n)
+	}
+	var sum int64
+	for i := x; i <= y; i++ {
+		sum += t.counts[i]
+	}
+	return int(sum), nil
+}
+
+// Freeze returns an immutable index over the current contents with O(1)
+// range counts.
+func (t *Table) Freeze() *Index {
+	prefix := make([]int64, t.n+1)
+	for i, c := range t.counts {
+		prefix[i+1] = prefix[i] + c
+	}
+	return &Index{prefix: prefix}
+}
+
+// FromCounts builds a table whose histogram equals the given non-negative
+// integer-valued counts.
+func FromCounts(counts []float64) (*Table, error) {
+	t, err := New(len(counts))
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range counts {
+		if c < 0 || c != float64(int64(c)) {
+			return nil, fmt.Errorf("table: count at %d is %v, want non-negative integer", i, c)
+		}
+		if err := t.AddN(i, int(c)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Index answers range counts over a frozen table in O(1).
+type Index struct {
+	prefix []int64
+}
+
+// DomainSize returns n.
+func (ix *Index) DomainSize() int { return len(ix.prefix) - 1 }
+
+// Len returns the number of records.
+func (ix *Index) Len() int { return int(ix.prefix[len(ix.prefix)-1]) }
+
+// Count answers the inclusive range-count query c([x, y]).
+func (ix *Index) Count(x, y int) (int, error) {
+	if x < 0 || y >= ix.DomainSize() || x > y {
+		return 0, fmt.Errorf("table: bad range [%d,%d] for domain %d", x, y, ix.DomainSize())
+	}
+	return int(ix.prefix[y+1] - ix.prefix[x]), nil
+}
+
+// ReadCSV loads records from CSV data. Column col (0-based) of each row
+// is mapped to a domain position by index; rows whose mapping fails are
+// counted in skipped rather than aborting the load, since real trace data
+// routinely contains out-of-domain values.
+func ReadCSV(r io.Reader, col int, index func(string) (int, error), t *Table) (loaded, skipped int, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return loaded, skipped, nil
+		}
+		if err != nil {
+			return loaded, skipped, fmt.Errorf("table: %w", err)
+		}
+		if col >= len(rec) {
+			skipped++
+			continue
+		}
+		pos, err := index(rec[col])
+		if err != nil {
+			skipped++
+			continue
+		}
+		if err := t.Add(pos); err != nil {
+			skipped++
+			continue
+		}
+		loaded++
+	}
+}
+
+// WriteCSV writes the table's histogram as "position,count" rows,
+// omitting zero counts.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	for i, c := range t.counts {
+		if c == 0 {
+			continue
+		}
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatInt(c, 10)}); err != nil {
+			return fmt.Errorf("table: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

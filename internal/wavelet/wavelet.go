@@ -1,0 +1,150 @@
+// Package wavelet implements the Haar-wavelet mechanism for range-count
+// queries (Privelet; Xiao, Wang, Gehrke: "Differential Privacy via
+// Wavelet Transforms", ICDE 2010). Section 6 of Hay et al. notes this
+// technique is "conceptually similar to the H query" and Li et al. (PODS
+// 2010) showed its error is equivalent to a binary H query; the package
+// exists as the independent comparator for that claim.
+//
+// Coefficient layout for a domain padded to n = 2^h leaves:
+//
+//	c[0]        the base coefficient, the mean of all unit counts
+//	c[1..n-1]   detail coefficients of the implicit complete binary tree
+//	            in heap order: node i has children 2i and 2i+1, covers
+//	            size(i) = n/2^depth(i) leaves, and
+//	            c[i] = (sum(left half) - sum(right half)) / size(i).
+//
+// Adding one record changes c[0] by 1/n and each of the log2(n) ancestor
+// details by 1/size; weighting coefficient i by W(i) = size(i) (and W(0)
+// = n) gives generalized sensitivity rho = 1 + log2(n), so coefficient i
+// receives Lap(rho/(eps*W(i))) noise.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+// Transform is a Haar decomposition of a unit-count vector over a
+// power-of-two domain.
+type Transform struct {
+	n      int       // padded domain size, power of two
+	domain int       // real domain size before padding
+	coeffs []float64 // layout described in the package comment
+}
+
+// Decompose computes the Haar transform of the unit counts, padding the
+// domain with zeros to the next power of two. It returns an error on an
+// empty input.
+func Decompose(unit []float64) (*Transform, error) {
+	if len(unit) == 0 {
+		return nil, fmt.Errorf("wavelet: empty input")
+	}
+	n := 1
+	for n < len(unit) {
+		n *= 2
+	}
+	// Segment-tree sums: leaves at [n, 2n), internal nodes at [1, n).
+	sums := make([]float64, 2*n)
+	copy(sums[n:], unit)
+	for i := n - 1; i >= 1; i-- {
+		sums[i] = sums[2*i] + sums[2*i+1]
+	}
+	coeffs := make([]float64, n)
+	coeffs[0] = sums[1] / float64(n)
+	for i := 1; i < n; i++ {
+		coeffs[i] = (sums[2*i] - sums[2*i+1]) / float64(size(n, i))
+	}
+	return &Transform{n: n, domain: len(unit), coeffs: coeffs}, nil
+}
+
+// size returns the number of leaves under heap node i in a tree with n
+// leaves.
+func size(n, i int) int {
+	s := n
+	for i > 1 {
+		i /= 2
+		s /= 2
+	}
+	return s
+}
+
+// N returns the padded domain size.
+func (t *Transform) N() int { return t.n }
+
+// Domain returns the real (unpadded) domain size.
+func (t *Transform) Domain() int { return t.domain }
+
+// Coefficients returns a copy of the coefficient vector.
+func (t *Transform) Coefficients() []float64 {
+	return append([]float64(nil), t.coeffs...)
+}
+
+// GeneralizedSensitivity returns rho = 1 + log2(n), the weighted L1
+// sensitivity of the Haar coefficients under the weights W(i) = size(i).
+func (t *Transform) GeneralizedSensitivity() float64 {
+	return 1 + math.Log2(float64(t.n))
+}
+
+// Perturb returns a new Transform whose coefficients carry the
+// level-weighted Laplace noise making the release eps-differentially
+// private: coefficient i gains Lap(rho/(eps*W(i))).
+func (t *Transform) Perturb(eps float64, src *rand.Rand) (*Transform, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("wavelet: epsilon must be positive and finite, got %v", eps)
+	}
+	rho := t.GeneralizedSensitivity()
+	out := &Transform{n: t.n, domain: t.domain, coeffs: make([]float64, t.n)}
+	base := laplace.New(0, rho/(eps*float64(t.n)))
+	out.coeffs[0] = t.coeffs[0] + base.Rand(src)
+	for i := 1; i < t.n; i++ {
+		d := laplace.New(0, rho/(eps*float64(size(t.n, i))))
+		out.coeffs[i] = t.coeffs[i] + d.Rand(src)
+	}
+	return out, nil
+}
+
+// Reconstruct inverts the transform, returning unit counts over the real
+// domain (padding removed).
+func (t *Transform) Reconstruct() []float64 {
+	// Top-down averages: avg(left) = avg(v) + c[v], avg(right) = avg(v) - c[v].
+	avg := make([]float64, 2*t.n)
+	avg[1] = t.coeffs[0]
+	for i := 1; i < t.n; i++ {
+		avg[2*i] = avg[i] + t.coeffs[i]
+		avg[2*i+1] = avg[i] - t.coeffs[i]
+	}
+	return append([]float64(nil), avg[t.n:t.n+t.domain]...)
+}
+
+// RangeSum answers the half-open range [lo, hi) from the reconstructed
+// counts. For repeated queries over one release, reconstruct once and
+// keep prefix sums instead.
+func (t *Transform) RangeSum(lo, hi int) (float64, error) {
+	if lo < 0 || hi > t.domain || lo >= hi {
+		return 0, fmt.Errorf("wavelet: bad range [%d,%d) for domain %d", lo, hi, t.domain)
+	}
+	unit := t.Reconstruct()
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += unit[i]
+	}
+	return sum, nil
+}
+
+// Release is the end-to-end mechanism: decompose the unit counts, add
+// level-weighted noise for eps-differential privacy, and return the
+// reconstructed noisy counts over the real domain.
+func Release(unit []float64, eps float64, src *rand.Rand) ([]float64, error) {
+	t, err := Decompose(unit)
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := t.Perturb(eps, src)
+	if err != nil {
+		return nil, err
+	}
+	return noisy.Reconstruct(), nil
+}

@@ -1,0 +1,245 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+func TestDecomposeRejectsEmpty(t *testing.T) {
+	if _, err := Decompose(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 9))
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 100} {
+		unit := make([]float64, n)
+		for i := range unit {
+			unit[i] = math.Round(rng.NormFloat64() * 50)
+		}
+		tr, err := Decompose(unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := tr.Reconstruct()
+		if len(back) != n {
+			t.Fatalf("n=%d: reconstructed length %d", n, len(back))
+		}
+		for i := range unit {
+			if math.Abs(back[i]-unit[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip lost data at %d: %v vs %v", n, i, back[i], unit[i])
+			}
+		}
+	}
+}
+
+func TestKnownTransform(t *testing.T) {
+	// unit = [3, 1]: base = mean = 2, detail = (3-1)/2 = 1.
+	tr, err := Decompose([]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Coefficients()
+	if c[0] != 2 || c[1] != 1 {
+		t.Fatalf("coefficients = %v, want [2 1]", c)
+	}
+}
+
+func TestPadding(t *testing.T) {
+	tr, err := Decompose([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 4 || tr.Domain() != 3 {
+		t.Fatalf("n=%d domain=%d", tr.N(), tr.Domain())
+	}
+}
+
+func TestGeneralizedSensitivity(t *testing.T) {
+	tr, _ := Decompose(make([]float64, 1024))
+	if got := tr.GeneralizedSensitivity(); got != 11 {
+		t.Fatalf("rho = %v, want 11 for n=1024", got)
+	}
+}
+
+func TestPerturbRejectsBadEpsilon(t *testing.T) {
+	tr, _ := Decompose([]float64{1, 2})
+	for _, eps := range []float64{0, -1, math.Inf(1)} {
+		if _, err := tr.Perturb(eps, laplace.NewRand(1, 1)); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+}
+
+func TestPerturbDeterministicAndUnbiased(t *testing.T) {
+	unit := []float64{10, 0, 0, 30, 2, 2, 2, 2}
+	tr, _ := Decompose(unit)
+	a, _ := tr.Perturb(1.0, laplace.Stream(5, 3))
+	b, _ := tr.Perturb(1.0, laplace.Stream(5, 3))
+	for i := range a.coeffs {
+		if a.coeffs[i] != b.coeffs[i] {
+			t.Fatal("same stream, different noise")
+		}
+	}
+	// Unbiasedness of reconstructed counts.
+	const trials = 4000
+	mean := make([]float64, len(unit))
+	for trial := 0; trial < trials; trial++ {
+		noisy, err := tr.Perturb(1.0, laplace.Stream(17, trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range noisy.Reconstruct() {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= trials
+		if math.Abs(mean[i]-unit[i]) > 1.5 {
+			t.Fatalf("position %d biased: %v vs %v", i, mean[i], unit[i])
+		}
+	}
+}
+
+func TestRangeSumMatchesTruthWithoutNoise(t *testing.T) {
+	unit := []float64{1, 2, 3, 4, 5}
+	tr, _ := Decompose(unit)
+	got, err := tr.RangeSum(1, 4)
+	if err != nil || math.Abs(got-9) > 1e-9 {
+		t.Fatalf("RangeSum = %v, %v; want 9", got, err)
+	}
+	for _, r := range [][2]int{{-1, 2}, {0, 6}, {3, 3}} {
+		if _, err := tr.RangeSum(r[0], r[1]); err == nil {
+			t.Errorf("range [%d,%d) accepted", r[0], r[1])
+		}
+	}
+}
+
+func TestReleaseEndToEnd(t *testing.T) {
+	unit := make([]float64, 64)
+	unit[10] = 100
+	got, err := Release(unit, 1.0, laplace.Stream(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("length %d", len(got))
+	}
+	if _, err := Release(nil, 1.0, laplace.Stream(2, 0)); err == nil {
+		t.Fatal("empty release accepted")
+	}
+}
+
+// Li et al. (PODS 2010): the wavelet technique's error is equivalent to a
+// binary H query. Check the orders match: mean squared range-query error
+// of the wavelet release stays within a small constant factor of the
+// noisy binary tree H~ on the same workload.
+func TestErrorEquivalentToBinaryHTree(t *testing.T) {
+	const n, eps, trials = 256, 1.0, 120
+	rngData := rand.New(rand.NewPCG(3, 1))
+	unit := make([]float64, n)
+	for i := range unit {
+		unit[i] = float64(rngData.IntN(20))
+	}
+	tree := htree.MustNew(2, n)
+	tr, _ := Decompose(unit)
+
+	type query struct{ lo, hi int }
+	queries := make([]query, 50)
+	qr := rand.New(rand.NewPCG(4, 4))
+	for i := range queries {
+		lo := qr.IntN(n - 1)
+		hi := lo + 1 + qr.IntN(n-lo-1)
+		queries[i] = query{lo, hi}
+	}
+	truth := func(q query) float64 {
+		s := 0.0
+		for i := q.lo; i < q.hi; i++ {
+			s += unit[i]
+		}
+		return s
+	}
+	var errWavelet, errTree float64
+	for trial := 0; trial < trials; trial++ {
+		noisyW, err := tr.Perturb(eps, laplace.Stream(100, trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon := noisyW.Reconstruct()
+		prefix := make([]float64, n+1)
+		for i, v := range recon {
+			prefix[i+1] = prefix[i] + v
+		}
+		htilde := core.ReleaseTree(tree, unit, eps, laplace.Stream(200, trial))
+		for _, q := range queries {
+			tw := prefix[q.hi] - prefix[q.lo]
+			th := core.TreeRangeHTilde(tree, htilde, q.lo, q.hi)
+			want := truth(q)
+			errWavelet += (tw - want) * (tw - want)
+			errTree += (th - want) * (th - want)
+		}
+	}
+
+	// Same poly-logarithmic order as the binary tree (constants differ:
+	// the wavelet's boundary coefficients carry less variance than two
+	// full-noise tree nodes per level, so it lands a small factor below
+	// on random ranges; Li et al.'s exact equivalence is for the total
+	// error over the complete range workload).
+	ratio := errWavelet / errTree
+	if ratio > 4 || ratio < 0.05 {
+		t.Fatalf("wavelet/tree error ratio %v outside [0.05, 4]", ratio)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		unit := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			unit[i] = 1000 * math.Tanh(v/1000)
+		}
+		tr, err := Decompose(unit)
+		if err != nil {
+			return false
+		}
+		back := tr.Reconstruct()
+		for i := range unit {
+			if math.Abs(back[i]-unit[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	unit := make([]float64, 1<<15)
+	for i := range unit {
+		unit[i] = float64(i % 17)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(unit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package workload predicts the accuracy of the paper's release
+// strategies on a concrete set of range queries before any privacy
+// budget is spent, and recommends the best one — a step toward the
+// paper's closing question of "finding optimal strategies for query
+// answering under differential privacy" (Section 7).
+//
+// All predictions are analytic expectations over the mechanism's
+// randomness; no sensitive data is touched:
+//
+//   - L~: a range of width s costs s * 2/eps^2.
+//   - H~: a range decomposing into c subtrees costs c * 2*(ell/eps)^2.
+//   - H-bar: the exact OLS variance. With A the 0/1 tree design matrix
+//     and q the query's leaf indicator, the inferred answer's variance
+//     is sigma^2 * q^T (A^T A)^{-1} q with sigma^2 = 2*(ell/eps)^2
+//     (Gauss-Markov; Theorem 4). One Cholesky factorization per tree is
+//     shared across all queries, so prediction is exact but limited to
+//     modest domains (leaves <= ~2048).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/linalg"
+)
+
+// Query is one weighted half-open range query [Lo, Hi).
+type Query struct {
+	Lo, Hi int
+	Weight float64
+}
+
+// Workload is a weighted set of range queries over the domain [0, n).
+type Workload struct {
+	n       int
+	queries []Query
+}
+
+// New returns an empty workload over a domain of the given size.
+func New(domain int) (*Workload, error) {
+	if domain < 1 {
+		return nil, fmt.Errorf("workload: domain %d < 1", domain)
+	}
+	return &Workload{n: domain}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(domain int) *Workload {
+	w, err := New(domain)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Domain returns the domain size.
+func (w *Workload) Domain() int { return w.n }
+
+// Len returns the number of queries.
+func (w *Workload) Len() int { return len(w.queries) }
+
+// Add appends a weighted range query. Weight must be positive.
+func (w *Workload) Add(lo, hi int, weight float64) error {
+	if lo < 0 || hi > w.n || lo >= hi {
+		return fmt.Errorf("workload: bad range [%d,%d) for domain %d", lo, hi, w.n)
+	}
+	if !(weight > 0) || math.IsInf(weight, 0) {
+		return fmt.Errorf("workload: weight %v must be positive and finite", weight)
+	}
+	w.queries = append(w.queries, Query{Lo: lo, Hi: hi, Weight: weight})
+	return nil
+}
+
+// Queries returns a copy of the query set.
+func (w *Workload) Queries() []Query {
+	return append([]Query(nil), w.queries...)
+}
+
+// AllRanges returns the workload of every non-empty range over [0, n)
+// with unit weights — the "universal histogram" target. Quadratic in n;
+// intended for analysis at modest domains.
+func AllRanges(domain int) (*Workload, error) {
+	w, err := New(domain)
+	if err != nil {
+		return nil, err
+	}
+	for lo := 0; lo < domain; lo++ {
+		for hi := lo + 1; hi <= domain; hi++ {
+			if err := w.Add(lo, hi, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}
+
+// Prefixes returns the workload of all prefix ranges [0, hi) — the CDF
+// workload — with unit weights.
+func Prefixes(domain int) (*Workload, error) {
+	w, err := New(domain)
+	if err != nil {
+		return nil, err
+	}
+	for hi := 1; hi <= domain; hi++ {
+		if err := w.Add(0, hi, 1); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// ErrorLaplace returns the expected weighted total squared error of the
+// flat Laplace strategy L~ at the given epsilon.
+func (w *Workload) ErrorLaplace(eps float64) float64 {
+	perUnit := core.NoiseVariance(core.SensitivityL, eps)
+	total := 0.0
+	for _, q := range w.queries {
+		total += q.Weight * float64(q.Hi-q.Lo) * perUnit
+	}
+	return total
+}
+
+// ErrorHTilde returns the expected weighted total squared error of the
+// noisy hierarchy H~ with branching factor k (no inference).
+func (w *Workload) ErrorHTilde(k int, eps float64) (float64, error) {
+	tree, err := htree.New(k, w.n)
+	if err != nil {
+		return 0, err
+	}
+	perNode := core.NoiseVariance(core.SensitivityH(tree), eps)
+	total := 0.0
+	for _, q := range w.queries {
+		total += q.Weight * float64(len(tree.Decompose(q.Lo, q.Hi))) * perNode
+	}
+	return total, nil
+}
+
+// maxExactLeaves bounds the tree size for exact H-bar prediction; the
+// Cholesky factorization is O(leaves^3).
+const maxExactLeaves = 2048
+
+// ErrorHBar returns the exact expected weighted total squared error of
+// the inferred hierarchy H-bar with branching factor k: the OLS variance
+// of each query under homoscedastic node noise. Limited to domains whose
+// padded tree has at most 2048 leaves.
+func (w *Workload) ErrorHBar(k int, eps float64) (float64, error) {
+	tree, err := htree.New(k, w.n)
+	if err != nil {
+		return 0, err
+	}
+	if tree.NumLeaves() > maxExactLeaves {
+		return 0, fmt.Errorf("workload: exact H-bar prediction limited to %d leaves, tree has %d",
+			maxExactLeaves, tree.NumLeaves())
+	}
+	sigma2 := core.NoiseVariance(core.SensitivityH(tree), eps)
+	a := core.TreeDesignMatrix(tree)
+	ata := a.T().Mul(a)
+	chol, err := linalg.Cholesky(ata)
+	if err != nil {
+		return 0, fmt.Errorf("workload: %w", err)
+	}
+	total := 0.0
+	leaves := tree.NumLeaves()
+	for _, q := range w.queries {
+		// Query indicator over leaves.
+		c := make([]float64, leaves)
+		for i := q.Lo; i < q.Hi; i++ {
+			c[i] = 1
+		}
+		// Var = sigma^2 * c^T (A^T A)^{-1} c = sigma^2 * ||L^{-1} c||^2
+		// with A^T A = L L^T.
+		y := forwardSolve(chol, c)
+		norm2 := 0.0
+		for _, v := range y {
+			norm2 += v * v
+		}
+		total += q.Weight * sigma2 * norm2
+	}
+	return total, nil
+}
+
+// forwardSolve solves L*y = b for lower-triangular L.
+func forwardSolve(l *linalg.Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for j := 0; j < i; j++ {
+			sum -= l.At(i, j) * y[j]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	return y
+}
+
+// Strategy identifies a release strategy.
+type Strategy string
+
+// The strategies the advisor chooses between.
+const (
+	StrategyLaplace Strategy = "laplace" // flat L~
+	StrategyHTilde  Strategy = "htilde"  // hierarchy without inference
+	StrategyHBar    Strategy = "hbar"    // hierarchy with inference
+)
+
+// Prediction is one strategy's predicted weighted total squared error.
+type Prediction struct {
+	Strategy  Strategy
+	Branching int // 0 for laplace
+	Error     float64
+}
+
+// Recommend evaluates L~, and H~/H-bar at each candidate branching
+// factor, returning all predictions sorted by the caller's inspection
+// plus the best one. H-bar predictions fall back to H~'s upper bound
+// when the domain exceeds the exact-computation limit (H-bar is never
+// worse than H~, so the recommendation stays sound).
+func (w *Workload) Recommend(eps float64, branchings ...int) (best Prediction, all []Prediction, err error) {
+	if len(w.queries) == 0 {
+		return Prediction{}, nil, fmt.Errorf("workload: empty workload")
+	}
+	if len(branchings) == 0 {
+		branchings = []int{2}
+	}
+	all = append(all, Prediction{Strategy: StrategyLaplace, Error: w.ErrorLaplace(eps)})
+	for _, k := range branchings {
+		ht, err := w.ErrorHTilde(k, eps)
+		if err != nil {
+			return Prediction{}, nil, err
+		}
+		all = append(all, Prediction{Strategy: StrategyHTilde, Branching: k, Error: ht})
+		hb, err := w.ErrorHBar(k, eps)
+		if err != nil {
+			// Domain too large for the exact computation: H~'s error is a
+			// valid upper bound for H-bar (Theorem 4(ii)).
+			hb = ht
+		}
+		all = append(all, Prediction{Strategy: StrategyHBar, Branching: k, Error: hb})
+	}
+	best = all[0]
+	for _, p := range all[1:] {
+		if p.Error < best.Error {
+			best = p
+		}
+	}
+	return best, all, nil
+}

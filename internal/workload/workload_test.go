@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/laplace"
+	"github.com/dphist/dphist/internal/stats"
+)
+
+func TestNewAndAddValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero domain accepted")
+	}
+	w := MustNew(8)
+	if err := w.Add(-1, 4, 1); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if err := w.Add(0, 9, 1); err == nil {
+		t.Error("hi beyond domain accepted")
+	}
+	if err := w.Add(3, 3, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+	if err := w.Add(0, 4, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := w.Add(0, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 || w.Domain() != 8 {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestAllRangesAndPrefixes(t *testing.T) {
+	w, err := AllRanges(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 10 { // C(4,2)+4 = 10 non-empty ranges
+		t.Fatalf("AllRanges(4) has %d queries, want 10", w.Len())
+	}
+	p, err := Prefixes(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Prefixes(5) has %d queries", p.Len())
+	}
+	for _, q := range p.Queries() {
+		if q.Lo != 0 {
+			t.Fatal("prefix query does not start at 0")
+		}
+	}
+}
+
+func TestErrorLaplaceFormula(t *testing.T) {
+	w := MustNew(16)
+	_ = w.Add(0, 4, 1)  // width 4
+	_ = w.Add(2, 10, 3) // width 8, weight 3
+	const eps = 0.5
+	want := (4*1.0 + 8*3.0) * 2 / (eps * eps)
+	if got := w.ErrorLaplace(eps); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ErrorLaplace = %v, want %v", got, want)
+	}
+}
+
+func TestErrorHTildeCountsSubtrees(t *testing.T) {
+	w := MustNew(8)
+	_ = w.Add(0, 8, 1) // the root: one subtree
+	const eps = 1.0
+	tree := htree.MustNew(2, 8)
+	want := core.NoiseVariance(core.SensitivityH(tree), eps)
+	got, err := w.ErrorHTilde(2, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("root query H~ error %v, want one node's variance %v", got, want)
+	}
+}
+
+// The exact H-bar prediction must match Monte Carlo measurement.
+func TestErrorHBarMatchesMonteCarlo(t *testing.T) {
+	const n, eps, trials = 32, 1.0, 3000
+	w := MustNew(n)
+	ranges := [][2]int{{0, 32}, {5, 9}, {0, 16}, {17, 31}, {12, 13}}
+	for _, r := range ranges {
+		_ = w.Add(r[0], r[1], 1)
+	}
+	predicted, err := w.ErrorHBar(2, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := htree.MustNew(2, n)
+	unit := make([]float64, n) // zero data: error is pure noise, truth 0
+	var acc stats.Accumulator
+	for trial := 0; trial < trials; trial++ {
+		htilde := core.ReleaseTree(tree, unit, eps, laplace.Stream(3, trial))
+		hbar := core.InferTree(tree, htilde)
+		sum := 0.0
+		for _, r := range ranges {
+			v := tree.RangeSum(hbar, r[0], r[1])
+			sum += v * v
+		}
+		acc.Add(sum)
+	}
+	measured := acc.Mean()
+	if rel := math.Abs(measured-predicted) / predicted; rel > 0.1 {
+		t.Fatalf("H-bar prediction %v vs Monte Carlo %v (rel %v)", predicted, measured, rel)
+	}
+}
+
+func TestErrorHBarNeverWorseThanHTilde(t *testing.T) {
+	w, err := AllRanges(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4} {
+		ht, err := w.ErrorHTilde(k, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := w.ErrorHBar(k, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hb > ht {
+			t.Fatalf("k=%d: H-bar prediction %v exceeds H~ %v", k, hb, ht)
+		}
+	}
+}
+
+func TestErrorHBarDomainLimit(t *testing.T) {
+	w := MustNew(4096)
+	_ = w.Add(0, 4096, 1)
+	if _, err := w.ErrorHBar(2, 1.0); err == nil {
+		t.Fatal("oversized exact computation accepted")
+	}
+}
+
+// The advisor reproduces the Figure 6 crossover: point queries favor L~,
+// wide queries favor the hierarchy.
+func TestRecommendCrossover(t *testing.T) {
+	const n = 256
+	points := MustNew(n)
+	for i := 0; i < n; i++ {
+		_ = points.Add(i, i+1, 1)
+	}
+	best, _, err := points.Recommend(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Strategy != StrategyLaplace {
+		t.Fatalf("point workload recommended %v, want laplace", best.Strategy)
+	}
+
+	// Wide queries on a larger domain: 3/4-width ranges sit far past the
+	// crossover, so the hierarchy with inference must win.
+	const wn = 1024
+	wide := MustNew(wn)
+	for i := 0; i < 50; i++ {
+		lo := (i * 5) % (wn / 4)
+		_ = wide.Add(lo, lo+3*wn/4, 1)
+	}
+	best, all, err := wide.Recommend(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Strategy != StrategyHBar {
+		t.Fatalf("wide workload recommended %+v (all %+v), want hbar", best, all)
+	}
+}
+
+func TestRecommendEmptyWorkload(t *testing.T) {
+	w := MustNew(4)
+	if _, _, err := w.Recommend(1.0); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+func TestRecommendFallsBackOnLargeDomains(t *testing.T) {
+	w := MustNew(1 << 14)
+	_ = w.Add(0, 1<<14, 1)
+	best, all, err := w.Recommend(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H-bar falls back to the H~ bound; the full-domain query is one
+	// subtree, so the hierarchy wins over L~'s 16384 unit variances.
+	if best.Strategy == StrategyLaplace {
+		t.Fatalf("full-domain query recommended laplace: %+v", all)
+	}
+}
+
+func TestQueriesReturnsCopy(t *testing.T) {
+	w := MustNew(8)
+	_ = w.Add(0, 4, 1)
+	qs := w.Queries()
+	qs[0].Weight = 99
+	if w.Queries()[0].Weight == 99 {
+		t.Fatal("Queries aliases internal state")
+	}
+}

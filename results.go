@@ -1,0 +1,187 @@
+package dphist
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/wavelet"
+)
+
+// LaplaceRelease is a flat noisy histogram (the paper's L~).
+type LaplaceRelease struct {
+	// Noisy holds the raw perturbed unit counts, one per input position.
+	Noisy []float64
+	// Counts holds the published estimates: Noisy rounded to
+	// non-negative integers when rounding is enabled, else equal to
+	// Noisy.
+	Counts []float64
+
+	prefix []float64
+}
+
+func newLaplaceRelease(noisy []float64, round bool) *LaplaceRelease {
+	final := append([]float64(nil), noisy...)
+	if round {
+		core.RoundNonNegInt(final)
+	}
+	prefix := make([]float64, len(final)+1)
+	for i, v := range final {
+		prefix[i+1] = prefix[i] + v
+	}
+	return &LaplaceRelease{Noisy: noisy, Counts: final, prefix: prefix}
+}
+
+// Range answers the half-open range-count query [lo, hi) by summing unit
+// estimates; its error grows linearly with hi-lo.
+func (r *LaplaceRelease) Range(lo, hi int) (float64, error) {
+	if lo < 0 || hi > len(r.Counts) || lo >= hi {
+		return 0, fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, len(r.Counts))
+	}
+	return r.prefix[hi] - r.prefix[lo], nil
+}
+
+// Total returns the estimated number of records.
+func (r *LaplaceRelease) Total() float64 { return r.prefix[len(r.prefix)-1] }
+
+// UnattributedRelease is a private unattributed histogram: the multiset
+// of counts, published in non-decreasing order.
+type UnattributedRelease struct {
+	// Noisy is the raw noisy sorted query answer s~ (generally out of
+	// order: order violations are pure noise artifacts).
+	Noisy []float64
+	// Inferred is the constrained-inference estimate S-bar: the closest
+	// non-decreasing vector to Noisy (Theorem 1).
+	Inferred []float64
+	// Counts is the published estimate: Inferred, rounded to
+	// non-negative integers when rounding is enabled.
+	Counts []float64
+}
+
+// SortRoundBaseline returns the paper's S~r baseline computed from the
+// same noisy answer: sort and round, without least-squares inference.
+func (r *UnattributedRelease) SortRoundBaseline() []float64 {
+	return core.SortRound(r.Noisy)
+}
+
+// UniversalRelease is a private universal histogram: a consistent
+// hierarchy of range counts able to answer any interval query.
+//
+// Range queries are answered from the post-processed tree by minimal
+// subtree decomposition. When the non-negativity heuristic is enabled it
+// truncates negative estimates, so the post-processed tree is no longer
+// exactly consistent: Range answers may differ slightly from sums over
+// Counts. The decomposition touches only O(log n) nodes, which keeps the
+// truncation bias bounded independent of range width; summing truncated
+// unit counts instead would accumulate bias linearly in range size. With
+// WithoutNonNegativity and WithoutRounding the tree is exactly
+// consistent and the two agree to the last bit.
+type UniversalRelease struct {
+	tree     *htree.Tree
+	noisy    []float64 // h~, BFS order
+	inferred []float64 // h-bar before post-processing, BFS order
+	post     []float64 // h-bar after non-negativity and rounding, BFS order
+	leaves   []float64 // published unit estimates over the real domain
+}
+
+func newUniversalRelease(tree *htree.Tree, noisy, inferred, post []float64) *UniversalRelease {
+	leaves := append([]float64(nil), tree.Leaves(post)...)
+	return &UniversalRelease{tree: tree, noisy: noisy, inferred: inferred, post: post, leaves: leaves}
+}
+
+// Counts returns the published unit-count estimates over the real domain
+// (a copy).
+func (r *UniversalRelease) Counts() []float64 {
+	return append([]float64(nil), r.leaves...)
+}
+
+// Domain returns the size of the real (unpadded) domain.
+func (r *UniversalRelease) Domain() int { return r.tree.Domain() }
+
+// TreeHeight returns the height ell of the underlying query tree; the
+// release used sensitivity ell.
+func (r *UniversalRelease) TreeHeight() int { return r.tree.Height() }
+
+// Branching returns the fan-out k of the underlying query tree.
+func (r *UniversalRelease) Branching() int { return r.tree.K() }
+
+// Range answers the half-open range-count query [lo, hi) from the
+// post-processed tree via minimal subtree decomposition (O(log n) nodes).
+func (r *UniversalRelease) Range(lo, hi int) (float64, error) {
+	if lo < 0 || hi > len(r.leaves) || lo >= hi {
+		return 0, fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, len(r.leaves))
+	}
+	return r.tree.RangeSum(r.post, lo, hi), nil
+}
+
+// RangeNoisy answers [lo, hi) from the raw noisy tree using the paper's
+// H~ strategy (summing the minimal subtree decomposition), bypassing
+// inference. It exists for baseline comparisons.
+func (r *UniversalRelease) RangeNoisy(lo, hi int) (float64, error) {
+	if lo < 0 || hi > len(r.leaves) || lo >= hi {
+		return 0, fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, len(r.leaves))
+	}
+	return core.TreeRangeHTilde(r.tree, r.noisy, lo, hi), nil
+}
+
+// Total returns the estimated number of records in the real domain.
+func (r *UniversalRelease) Total() float64 {
+	return r.tree.RangeSum(r.post, 0, len(r.leaves))
+}
+
+// NoisyTree returns a copy of the raw noisy hierarchical answer h~ in BFS
+// order (root first).
+func (r *UniversalRelease) NoisyTree() []float64 {
+	return append([]float64(nil), r.noisy...)
+}
+
+// InferredTree returns a copy of the consistent inferred tree h-bar in
+// BFS order, before non-negativity and rounding post-processing.
+func (r *UniversalRelease) InferredTree() []float64 {
+	return append([]float64(nil), r.inferred...)
+}
+
+// WaveletRelease is a private histogram produced by the Haar-wavelet
+// mechanism (Xiao et al.).
+type WaveletRelease struct {
+	counts []float64
+	prefix []float64
+}
+
+func newWaveletRelease(counts []float64, eps float64, round bool, src *rand.Rand) (*WaveletRelease, error) {
+	noisy, err := wavelet.Release(counts, eps, src)
+	if err != nil {
+		return nil, fmt.Errorf("dphist: %w", err)
+	}
+	if round {
+		core.RoundNonNegInt(noisy)
+	}
+	prefix := make([]float64, len(noisy)+1)
+	for i, v := range noisy {
+		prefix[i+1] = prefix[i] + v
+	}
+	return &WaveletRelease{counts: noisy, prefix: prefix}, nil
+}
+
+// Counts returns the published unit-count estimates (a copy).
+func (r *WaveletRelease) Counts() []float64 {
+	return append([]float64(nil), r.counts...)
+}
+
+// Range answers the half-open range-count query [lo, hi).
+func (r *WaveletRelease) Range(lo, hi int) (float64, error) {
+	if lo < 0 || hi > len(r.counts) || lo >= hi {
+		return 0, fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, len(r.counts))
+	}
+	return r.prefix[hi] - r.prefix[lo], nil
+}
+
+// HierarchyReleaseResult is a private answer to a custom constrained
+// query set.
+type HierarchyReleaseResult struct {
+	// Noisy is the raw perturbed answer vector, generally inconsistent.
+	Noisy []float64
+	// Inferred is the minimum-L2 consistent answer vector.
+	Inferred []float64
+}
