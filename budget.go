@@ -1,8 +1,10 @@
-// Package privacy provides the epsilon-budget accounting the paper relies
-// on when an analyst issues several query sequences: answering sequence i
-// with an eps_i-differentially private mechanism yields (sum_i eps_i)
-// overall (sequential composition, Section 2.1).
-package privacy
+package dphist
+
+// Public epsilon-budget accounting: the sequential-composition bookkeeping
+// the paper relies on when an analyst issues several query sequences
+// (Section 2.1). Answering sequence i with an eps_i-differentially
+// private mechanism yields (sum_i eps_i)-differential privacy overall, so
+// a fixed total budget caps the lifetime privacy loss of a deployment.
 
 import (
 	"errors"
@@ -13,10 +15,12 @@ import (
 
 // ErrBudgetExceeded reports an attempt to spend more privacy budget than
 // remains.
-var ErrBudgetExceeded = errors.New("privacy: budget exceeded")
+var ErrBudgetExceeded = errors.New("dphist: privacy budget exceeded")
 
 // Accountant tracks consumption of a fixed epsilon budget under
-// sequential composition. It is safe for concurrent use.
+// sequential composition: if every release is charged through one
+// accountant, the overall protocol is Total()-differentially private.
+// It is safe for concurrent use.
 type Accountant struct {
 	mu    sync.Mutex
 	total float64
@@ -34,7 +38,7 @@ type Charge struct {
 // budget. It panics unless the budget is positive and finite.
 func NewAccountant(total float64) *Accountant {
 	if !(total > 0) || math.IsInf(total, 0) {
-		panic(fmt.Sprintf("privacy: total budget must be positive and finite, got %v", total))
+		panic(fmt.Sprintf("dphist: total budget must be positive and finite, got %v", total))
 	}
 	return &Accountant{total: total}
 }
@@ -44,7 +48,7 @@ func NewAccountant(total float64) *Accountant {
 // budget. eps must be positive and finite.
 func (a *Accountant) Spend(label string, eps float64) error {
 	if !(eps > 0) || math.IsInf(eps, 0) {
-		return fmt.Errorf("privacy: spend of %v is not a positive finite epsilon", eps)
+		return fmt.Errorf("dphist: spend of %v is not a positive finite epsilon", eps)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -89,7 +93,7 @@ func (a *Accountant) Log() []Charge {
 // under sequential composition. It panics unless n >= 1.
 func Split(eps float64, n int) []float64 {
 	if n < 1 {
-		panic("privacy: Split requires n >= 1")
+		panic("dphist: Split requires n >= 1")
 	}
 	out := make([]float64, n)
 	share := eps / float64(n)

@@ -1,0 +1,108 @@
+package dphist
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAccountantSequentialSpending(t *testing.T) {
+	a := NewAccountant(1.0)
+	if a.Total() != 1.0 || a.Spent() != 0 || a.Remaining() != 1.0 {
+		t.Fatal("fresh accountant bookkeeping wrong")
+	}
+	if err := a.Spend("first", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("second", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Spent() != 0.75 || math.Abs(a.Remaining()-0.25) > 1e-12 {
+		t.Fatalf("spent %v remaining %v", a.Spent(), a.Remaining())
+	}
+	err := a.Spend("overdraft", 0.5)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("overdraft error = %v", err)
+	}
+	// The refused charge recorded nothing.
+	if a.Spent() != 0.75 || len(a.Log()) != 2 {
+		t.Fatal("refused charge mutated state")
+	}
+	log := a.Log()
+	if log[0].Label != "first" || log[0].Epsilon != 0.25 ||
+		log[1].Label != "second" || log[1].Epsilon != 0.5 {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestAccountantExactSplitTolerance(t *testing.T) {
+	a := NewAccountant(1.0)
+	for i, share := range Split(1.0, 3) {
+		if err := a.Spend("share", share); err != nil {
+			t.Fatalf("installment %d refused: %v", i, err)
+		}
+	}
+	if a.Remaining() != 0 {
+		t.Fatalf("remaining %v after exact split", a.Remaining())
+	}
+}
+
+func TestAccountantInvalidSpends(t *testing.T) {
+	a := NewAccountant(1.0)
+	for _, eps := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if err := a.Spend("bad", eps); err == nil {
+			t.Errorf("spend of %v accepted", eps)
+		}
+	}
+	if a.Spent() != 0 {
+		t.Fatal("invalid spends charged")
+	}
+}
+
+func TestNewAccountantPanicsOnBadBudget(t *testing.T) {
+	for _, total := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("budget %v accepted", total)
+				}
+			}()
+			NewAccountant(total)
+		}()
+	}
+}
+
+func TestAccountantConcurrentSpends(t *testing.T) {
+	a := NewAccountant(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Spend("parallel", 1)
+		}()
+	}
+	wg.Wait()
+	if a.Spent() != 64 || len(a.Log()) != 64 {
+		t.Fatalf("spent %v with %d charges", a.Spent(), len(a.Log()))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	shares := Split(0.9, 3)
+	if len(shares) != 3 {
+		t.Fatal("wrong share count")
+	}
+	for _, s := range shares {
+		if math.Abs(s-0.3) > 1e-12 {
+			t.Fatalf("share %v", s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Split(eps, 0) did not panic")
+		}
+	}()
+	Split(1, 0)
+}

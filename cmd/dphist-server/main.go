@@ -18,9 +18,16 @@
 //
 // API:
 //
-//	GET  /v1/budget   -> {"total":..,"spent":..,"remaining":..}
-//	POST /v1/release  {"task":"universal|unattributed|laplace","epsilon":0.1}
-//	                  -> {"task":..,"release":{..},"budget_remaining":..}
+//	GET  /v1/budget      -> {"total":..,"spent":..,"remaining":..}
+//	GET  /v1/strategies  -> {"strategies":["laplace","universal",..]}
+//	POST /v1/release     {"strategy":"universal|laplace|unattributed|
+//	                       wavelet|degree_sequence","epsilon":0.1}
+//	                     -> {"version":2,"strategy":..,"release":{..},
+//	                         "budget_remaining":..}
+//
+// The embedded release payload is self-describing and decodes with
+// dphist.DecodeRelease. The hierarchy strategy needs a constraint
+// forest and is only servable by embedding the server package directly.
 package main
 
 import (
@@ -41,7 +48,7 @@ func main() {
 		domainSize = flag.Int("domain", 0, "domain size (required)")
 		col        = flag.Int("col", 0, "0-based CSV column holding the position")
 		budget     = flag.Float64("budget", 1.0, "total epsilon budget")
-		cap        = flag.Float64("cap", 0, "per-request epsilon cap (0 = none)")
+		epsCap     = flag.Float64("cap", 0, "per-request epsilon cap (0 = none)")
 		branching  = flag.Int("k", 2, "universal tree branching factor")
 		seed       = flag.Uint64("seed", 0, "noise seed (0 = derive from current time)")
 	)
@@ -68,14 +75,22 @@ func main() {
 		Budget:               *budget,
 		Seed:                 s,
 		Branching:            *branching,
-		MaxEpsilonPerRequest: *cap,
+		MaxEpsilonPerRequest: *epsCap,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "dphist-server: protecting %d records over domain %d (skipped %d rows), budget eps=%g, listening on %s\n",
 		loaded, *domainSize, skipped, *budget, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := httpServer.ListenAndServe(); err != nil {
 		fatal(err)
 	}
 }

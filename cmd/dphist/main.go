@@ -12,8 +12,10 @@
 //	-col N        0-based CSV column holding the position (default 0)
 //	-eps F        privacy budget epsilon (default 1.0)
 //	-task T       "universal" (range-queryable histogram, default),
-//	              "unattributed" (multiset of counts), or
-//	              "laplace" (flat noisy histogram baseline)
+//	              "unattributed" (multiset of counts),
+//	              "laplace" (flat noisy histogram baseline),
+//	              "wavelet" (Haar-wavelet comparator), or
+//	              "degree_sequence" (graphical degree sequence)
 //	-k N          branching factor for the universal tree (default 2)
 //	-seed N       noise seed; omit for a time-derived seed
 //
@@ -36,7 +38,7 @@ func main() {
 		domainSize = flag.Int("domain", 0, "domain size (required unless -ip-prefix or -time-start is set)")
 		col        = flag.Int("col", 0, "0-based CSV column holding the position")
 		eps        = flag.Float64("eps", 1.0, "privacy budget epsilon")
-		task       = flag.String("task", "universal", "universal | unattributed | laplace")
+		task       = flag.String("task", "universal", "universal | unattributed | laplace | wavelet | degree_sequence")
 		branching  = flag.Int("k", 2, "branching factor for the universal tree")
 		seed       = flag.Uint64("seed", 0, "noise seed (0 = derive from current time)")
 		ipPrefix   = flag.String("ip-prefix", "", `treat the column as IPv4 addresses in this CIDR prefix (e.g. "10.0.0.0/16")`)

@@ -13,21 +13,51 @@
 // post-processing, so the differential privacy guarantee is untouched,
 // yet the result is often dramatically more accurate.
 //
-// Two histogram tasks are supported end to end:
+// # Requests, Releases, Sessions
 //
-//   - Unattributed histograms (Mechanism.UnattributedHistogram): the
-//     multiset of counts, e.g. the degree sequence of a graph. Error
+// The public API is organized around three types:
+//
+//   - Request names a Strategy (one of the six release pipelines), the
+//     sensitive counts, and an epsilon. Mechanism.Release runs any of
+//     them through one entry point; Mechanism.ReleaseBatch fans a slice
+//     of requests across a worker pool with deterministic per-request
+//     noise streams.
+//   - Release is the uniform read side every pipeline produces:
+//     Strategy, Epsilon, Counts, Total, and Range queries, plus a
+//     versioned JSON wire format. DecodeRelease reconstructs the right
+//     concrete type from a payload without out-of-band knowledge.
+//   - Session couples a Mechanism with an Accountant so every release is
+//     charged against one fixed epsilon budget under sequential
+//     composition — the paper's Appendix B server shape as a library
+//     value.
+//
+// The six strategies:
+//
+//   - StrategyUniversal (Mechanism.UniversalHistogram): a hierarchical
+//     release answering arbitrary range-count queries with
+//     poly-logarithmic error in the domain size instead of linear.
+//   - StrategyUnattributed (Mechanism.UnattributedHistogram): the
+//     multiset of counts, e.g. the degree distribution of a graph. Error
 //     drops from Theta(n/eps^2) to O(d log^3 n / eps^2) where d is the
 //     number of distinct counts.
-//   - Universal histograms (Mechanism.UniversalHistogram): a release
-//     that answers arbitrary range-count queries, with poly-logarithmic
-//     error in the domain size instead of linear.
+//   - StrategyLaplace (Mechanism.LaplaceHistogram): the flat noisy
+//     histogram L~, the conventional baseline.
+//   - StrategyWavelet (Mechanism.WaveletHistogram): the Haar-wavelet
+//     mechanism of Xiao et al., the related-work comparator.
+//   - StrategyDegreeSequence (Mechanism.DegreeSequence): the
+//     unattributed pipeline projected onto graphical degree sequences.
+//   - StrategyHierarchy (Mechanism.HierarchyRelease): a custom
+//     constraint forest, such as the introduction's student-grades
+//     query set.
 //
-// Baselines from the paper are included for comparison: the flat Laplace
-// histogram L~ (Mechanism.LaplaceHistogram), the sort-and-round estimator
-// S~r (UnattributedRelease.SortRoundBaseline), the no-inference tree H~
-// (UniversalRelease.RangeNoisy), and the Haar-wavelet mechanism of Xiao
-// et al. (Mechanism.WaveletHistogram).
+// The typed methods remain available and return the concrete release
+// types with their strategy-specific extras (noisy baselines, tree
+// shape, graphicality checks); Release(Request) is the polymorphic
+// equivalent serving layers should build on.
+//
+// Baselines from the paper are included for comparison: the
+// sort-and-round estimator S~r (UnattributedRelease.SortRoundBaseline)
+// and the no-inference tree H~ (UniversalRelease.RangeNoisy).
 //
 // All randomness is deterministic given the Mechanism seed, which makes
 // experiments reproducible; distinct releases from one Mechanism use

@@ -93,11 +93,19 @@ func MustNew(opts ...Option) *Mechanism {
 
 // nextStream returns the next deterministic noise stream.
 func (m *Mechanism) nextStream() *rand.Rand {
+	return laplace.Stream(m.seed, m.reserveTrials(1))
+}
+
+// reserveTrials atomically reserves n consecutive trial numbers and
+// returns the first; ReleaseBatch uses a block reservation so each
+// request's noise stream is a function of its index, independent of
+// worker scheduling.
+func (m *Mechanism) reserveTrials(n int) int {
 	m.mu.Lock()
 	t := m.trial
-	m.trial++
+	m.trial += n
 	m.mu.Unlock()
-	return laplace.Stream(m.seed, t)
+	return t
 }
 
 var (
@@ -120,6 +128,12 @@ func validate(counts []float64, eps float64) error {
 	return nil
 }
 
+// Each pipeline below exists in two layers: the exported typed method
+// validates and draws the next noise stream, then delegates to an
+// unexported *With variant taking an explicit stream. Release and
+// ReleaseBatch reuse the *With layer so batch fan-out can pre-assign
+// streams deterministically.
+
 // LaplaceHistogram releases the flat noisy histogram L~ of the paper:
 // independent Lap(1/eps) noise on every unit count (sensitivity 1). This
 // is the conventional baseline; it is most accurate for point queries but
@@ -128,8 +142,12 @@ func (m *Mechanism) LaplaceHistogram(counts []float64, eps float64) (*LaplaceRel
 	if err := validate(counts, eps); err != nil {
 		return nil, err
 	}
-	noisy := core.ReleaseL(counts, eps, m.nextStream())
-	return newLaplaceRelease(noisy, m.round), nil
+	return m.laplaceWith(counts, eps, m.nextStream())
+}
+
+func (m *Mechanism) laplaceWith(counts []float64, eps float64, src *rand.Rand) (*LaplaceRelease, error) {
+	noisy := core.ReleaseL(counts, eps, src)
+	return newLaplaceRelease(noisy, m.round, eps), nil
 }
 
 // UnattributedHistogram releases the multiset of counts (the paper's
@@ -143,13 +161,17 @@ func (m *Mechanism) UnattributedHistogram(counts []float64, eps float64) (*Unatt
 	if err := validate(counts, eps); err != nil {
 		return nil, err
 	}
-	noisy := core.ReleaseSorted(counts, eps, m.nextStream())
+	return m.unattributedWith(counts, eps, m.nextStream())
+}
+
+func (m *Mechanism) unattributedWith(counts []float64, eps float64, src *rand.Rand) (*UnattributedRelease, error) {
+	noisy := core.ReleaseSorted(counts, eps, src)
 	inferred := core.InferSorted(noisy)
 	final := append([]float64(nil), inferred...)
 	if m.round {
 		core.RoundNonNegInt(final)
 	}
-	return &UnattributedRelease{Noisy: noisy, Inferred: inferred, Counts: final}, nil
+	return newUnattributedRelease(noisy, inferred, final, eps), nil
 }
 
 // UniversalHistogram releases a hierarchical histogram (the paper's H
@@ -162,11 +184,15 @@ func (m *Mechanism) UniversalHistogram(counts []float64, eps float64) (*Universa
 	if err := validate(counts, eps); err != nil {
 		return nil, err
 	}
+	return m.universalWith(counts, eps, m.nextStream())
+}
+
+func (m *Mechanism) universalWith(counts []float64, eps float64, src *rand.Rand) (*UniversalRelease, error) {
 	tree, err := htree.New(m.branching, len(counts))
 	if err != nil {
 		return nil, fmt.Errorf("dphist: %w", err)
 	}
-	noisy := core.ReleaseTree(tree, counts, eps, m.nextStream())
+	noisy := core.ReleaseTree(tree, counts, eps, src)
 	inferred := core.InferTree(tree, noisy)
 	post := append([]float64(nil), inferred...)
 	if m.nonNeg {
@@ -175,7 +201,7 @@ func (m *Mechanism) UniversalHistogram(counts []float64, eps float64) (*Universa
 	if m.round {
 		core.RoundNonNegInt(post)
 	}
-	return newUniversalRelease(tree, noisy, inferred, post), nil
+	return newUniversalRelease(tree, noisy, inferred, post, eps), nil
 }
 
 // WaveletHistogram releases the Haar-wavelet mechanism of Xiao et al.
@@ -185,28 +211,46 @@ func (m *Mechanism) WaveletHistogram(counts []float64, eps float64) (*WaveletRel
 	if err := validate(counts, eps); err != nil {
 		return nil, err
 	}
-	return newWaveletRelease(counts, eps, m.round, m.nextStream())
+	return m.waveletWith(counts, eps, m.nextStream())
 }
+
+func (m *Mechanism) waveletWith(counts []float64, eps float64, src *rand.Rand) (*WaveletRelease, error) {
+	return newWaveletRelease(counts, eps, m.round, src)
+}
+
+// DegreeSequence releases the degree sequence of a private graph; see
+// extensions.go for the pipeline.
 
 // HierarchyRelease answers a custom constrained query set, such as the
 // introduction's student-grades example, under eps-differential privacy:
 // the true answers are perturbed with noise scaled to the hierarchy's
 // sensitivity and then projected onto the constraints by least squares.
 func (m *Mechanism) HierarchyRelease(h *Hierarchy, leafCounts []float64, eps float64) (*HierarchyReleaseResult, error) {
-	if err := validate(leafCounts, eps); err != nil {
+	if err := validateHierarchyInput(h, leafCounts, eps); err != nil {
 		return nil, err
 	}
+	return m.hierarchyWith(h, leafCounts, eps, m.nextStream())
+}
+
+func validateHierarchyInput(h *Hierarchy, leafCounts []float64, eps float64) error {
+	if err := validate(leafCounts, eps); err != nil {
+		return err
+	}
 	if h == nil || h.inner == nil {
-		return nil, errors.New("dphist: nil hierarchy")
+		return errors.New("dphist: nil hierarchy")
 	}
 	if len(leafCounts) != len(h.inner.Leaves()) {
-		return nil, fmt.Errorf("dphist: %d leaf counts for %d leaves", len(leafCounts), len(h.inner.Leaves()))
+		return fmt.Errorf("dphist: %d leaf counts for %d leaves", len(leafCounts), len(h.inner.Leaves()))
 	}
+	return nil
+}
+
+func (m *Mechanism) hierarchyWith(h *Hierarchy, leafCounts []float64, eps float64, src *rand.Rand) (*HierarchyReleaseResult, error) {
 	truth := h.inner.FromLeaves(leafCounts)
-	noisy := core.Perturb(truth, h.inner.Sensitivity(), eps, m.nextStream())
+	noisy := core.Perturb(truth, h.inner.Sensitivity(), eps, src)
 	inferred, err := h.inner.Infer(noisy)
 	if err != nil {
 		return nil, err
 	}
-	return &HierarchyReleaseResult{Noisy: noisy, Inferred: inferred}, nil
+	return newHierarchyReleaseResult(h.inner, noisy, inferred, eps), nil
 }

@@ -99,10 +99,11 @@ func TestLaplaceRelease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Counts) != 4 {
+	published := r.Counts()
+	if len(published) != 4 {
 		t.Fatal("length wrong")
 	}
-	for _, v := range r.Counts {
+	for _, v := range published {
 		if v < 0 || v != math.Trunc(v) {
 			t.Fatalf("rounded count %v not a non-negative integer", v)
 		}
@@ -118,7 +119,7 @@ func TestLaplaceRelease(t *testing.T) {
 		t.Fatal("empty range accepted")
 	}
 	// At eps=10 the rounded answer should equal the truth.
-	for i, v := range r.Counts {
+	for i, v := range published {
 		if math.Abs(v-counts[i]) > 1 {
 			t.Fatalf("eps=10 estimate too far: %v vs %v", v, counts[i])
 		}
@@ -131,13 +132,14 @@ func TestLaplaceWithoutRounding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	published := r.Counts()
 	rounded := 0
-	for _, v := range r.Counts {
+	for _, v := range published {
 		if v == math.Trunc(v) {
 			rounded++
 		}
 	}
-	if rounded == len(r.Counts) {
+	if rounded == len(published) {
 		t.Fatal("WithoutRounding still produced all-integer counts")
 	}
 }
@@ -152,10 +154,10 @@ func TestUnattributedRelease(t *testing.T) {
 	if !sort.Float64sAreSorted(r.Inferred) {
 		t.Fatal("inferred answer not sorted")
 	}
-	if !sort.Float64sAreSorted(r.Counts) {
+	if !sort.Float64sAreSorted(r.Counts()) {
 		t.Fatal("published answer not sorted")
 	}
-	for _, v := range r.Counts {
+	for _, v := range r.Counts() {
 		if v < 0 || v != math.Trunc(v) {
 			t.Fatal("published counts must be non-negative integers")
 		}

@@ -24,8 +24,10 @@ type Request struct {
 	Column int
 	// Epsilon is the differential privacy budget for the release.
 	Epsilon float64
-	// Task selects the release: "universal", "unattributed", or
-	// "laplace".
+	// Task selects the release strategy by wire name: "universal",
+	// "laplace", "unattributed", "wavelet", or "degree_sequence"
+	// (alias "degree"). Empty means "universal". The "hierarchy"
+	// strategy is not servable from flat CSV input.
 	Task string
 	// Branching is the universal tree fan-out; 0 means 2.
 	Branching int
@@ -82,30 +84,21 @@ func Run(req Request, r io.Reader) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Loaded: loaded, Skipped: skipped}
-	switch req.Task {
-	case "universal", "":
-		rel, err := m.UniversalHistogram(counts, req.Epsilon)
+	strategy := dphist.StrategyUniversal
+	if req.Task != "" {
+		strategy, err = dphist.ParseStrategy(req.Task)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dphistio: unknown task %q", req.Task)
 		}
-		res.Counts = rel.Counts()
-	case "unattributed":
-		rel, err := m.UnattributedHistogram(counts, req.Epsilon)
-		if err != nil {
-			return nil, err
-		}
-		res.Counts = rel.Counts
-	case "laplace":
-		rel, err := m.LaplaceHistogram(counts, req.Epsilon)
-		if err != nil {
-			return nil, err
-		}
-		res.Counts = rel.Counts
-	default:
-		return nil, fmt.Errorf("dphistio: unknown task %q", req.Task)
 	}
-	return res, nil
+	if strategy == dphist.StrategyHierarchy {
+		return nil, fmt.Errorf("dphistio: the hierarchy strategy needs a constraint forest; use the dphist library API")
+	}
+	rel, err := m.Release(dphist.Request{Strategy: strategy, Counts: counts, Epsilon: req.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Counts: rel.Counts(), Loaded: loaded, Skipped: skipped}, nil
 }
 
 // indexer returns the value-to-position mapping implied by the request,

@@ -57,6 +57,42 @@ func TestRunLaplace(t *testing.T) {
 	}
 }
 
+func TestRunWavelet(t *testing.T) {
+	res, err := Run(Request{DomainSize: 8, Epsilon: 100, Task: "wavelet", Seed: 7}, strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) != 8 {
+		t.Fatalf("counts len %d", len(res.Counts))
+	}
+	total := 0.0
+	for _, v := range res.Counts {
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("total = %v, want 4 at eps=100", total)
+	}
+}
+
+func TestRunDegreeSequence(t *testing.T) {
+	for _, task := range []string{"degree_sequence", "degree"} {
+		res, err := Run(Request{DomainSize: 8, Epsilon: 100, Task: task, Seed: 7}, strings.NewReader(sampleCSV))
+		if err != nil {
+			t.Fatalf("%s: %v", task, err)
+		}
+		if !sort.Float64sAreSorted(res.Counts) {
+			t.Fatalf("%s output not sorted: %v", task, res.Counts)
+		}
+	}
+}
+
+func TestRunHierarchyRejected(t *testing.T) {
+	if _, err := Run(Request{DomainSize: 8, Epsilon: 1, Task: "hierarchy", Seed: 7},
+		strings.NewReader(sampleCSV)); err == nil {
+		t.Fatal("hierarchy task accepted from flat CSV")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if _, err := Run(Request{DomainSize: 0, Epsilon: 1}, strings.NewReader("")); err == nil {
 		t.Error("zero domain accepted")

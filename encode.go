@@ -5,17 +5,88 @@ package dphist
 // post-processing step"); the wire form carries everything needed to
 // answer queries offline, and decoding validates shape invariants so a
 // corrupted payload fails loudly rather than answering garbage.
+//
+// The wire format is versioned and self-describing: every payload
+// carries {"version": 2, "strategy": "...", "epsilon": ...} alongside
+// the strategy-specific fields, so DecodeRelease can reconstruct the
+// right concrete type without out-of-band knowledge.
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"sort"
 
+	"github.com/dphist/dphist/internal/core"
 	"github.com/dphist/dphist/internal/htree"
 )
+
+// WireVersion is the current release wire-format version. Version 1 (the
+// pre-interface format without strategy tags or epsilon) is no longer
+// accepted.
+const WireVersion = 2
+
+// releaseCodecs maps each strategy to a factory for its zero concrete
+// release, used by DecodeRelease to dispatch on the wire strategy tag.
+// Adding a strategy means adding one entry here.
+var releaseCodecs = map[Strategy]func() Release{
+	StrategyUniversal:      func() Release { return new(UniversalRelease) },
+	StrategyLaplace:        func() Release { return new(LaplaceRelease) },
+	StrategyUnattributed:   func() Release { return new(UnattributedRelease) },
+	StrategyWavelet:        func() Release { return new(WaveletRelease) },
+	StrategyDegreeSequence: func() Release { return new(DegreeSequenceRelease) },
+	StrategyHierarchy:      func() Release { return new(HierarchyReleaseResult) },
+}
+
+// DecodeRelease decodes any release payload produced by a Release's
+// MarshalJSON, returning the matching concrete type behind the Release
+// interface.
+func DecodeRelease(data []byte) (Release, error) {
+	var header struct {
+		Version  int    `json:"version"`
+		Strategy string `json:"strategy"`
+	}
+	if err := json.Unmarshal(data, &header); err != nil {
+		return nil, fmt.Errorf("dphist: decode release: %w", err)
+	}
+	if header.Version != WireVersion {
+		return nil, fmt.Errorf("dphist: unsupported release version %d", header.Version)
+	}
+	strategy, err := ParseStrategy(header.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("dphist: decode release: %w", err)
+	}
+	factory, ok := releaseCodecs[strategy]
+	if !ok {
+		return nil, fmt.Errorf("dphist: no codec for strategy %v", strategy)
+	}
+	rel := factory()
+	if err := json.Unmarshal(data, rel); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// checkHeader validates the shared envelope fields of a decoded wire
+// struct against the expected strategy.
+func checkHeader(version int, strategy string, want Strategy, eps float64) error {
+	if version != WireVersion {
+		return fmt.Errorf("dphist: unsupported release version %d", version)
+	}
+	if strategy != want.String() {
+		return fmt.Errorf("dphist: payload strategy %q is not %q", strategy, want)
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return fmt.Errorf("dphist: payload epsilon %v is not positive and finite", eps)
+	}
+	return nil
+}
 
 // universalWire is the serialized form of a UniversalRelease.
 type universalWire struct {
 	Version  int       `json:"version"`
+	Strategy string    `json:"strategy"`
+	Epsilon  float64   `json:"epsilon"`
 	K        int       `json:"k"`
 	Domain   int       `json:"domain"`
 	Noisy    []float64 `json:"noisy"`
@@ -23,13 +94,13 @@ type universalWire struct {
 	Post     []float64 `json:"post"`
 }
 
-const wireVersion = 1
-
 // MarshalJSON encodes the release, including the raw noisy tree so
 // baseline comparisons survive the round trip.
 func (r *UniversalRelease) MarshalJSON() ([]byte, error) {
 	return json.Marshal(universalWire{
-		Version:  wireVersion,
+		Version:  WireVersion,
+		Strategy: r.Strategy().String(),
+		Epsilon:  r.eps,
 		K:        r.tree.K(),
 		Domain:   r.tree.Domain(),
 		Noisy:    r.noisy,
@@ -45,8 +116,8 @@ func (r *UniversalRelease) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return fmt.Errorf("dphist: decode universal release: %w", err)
 	}
-	if w.Version != wireVersion {
-		return fmt.Errorf("dphist: unsupported release version %d", w.Version)
+	if err := checkHeader(w.Version, w.Strategy, StrategyUniversal, w.Epsilon); err != nil {
+		return err
 	}
 	tree, err := htree.New(w.K, w.Domain)
 	if err != nil {
@@ -57,13 +128,15 @@ func (r *UniversalRelease) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("dphist: release payload has %d/%d/%d node values, tree has %d",
 			len(w.Noisy), len(w.Inferred), len(w.Post), n)
 	}
-	*r = *newUniversalRelease(tree, w.Noisy, w.Inferred, w.Post)
+	*r = *newUniversalRelease(tree, w.Noisy, w.Inferred, w.Post, w.Epsilon)
 	return nil
 }
 
 // unattributedWire is the serialized form of an UnattributedRelease.
 type unattributedWire struct {
 	Version  int       `json:"version"`
+	Strategy string    `json:"strategy"`
+	Epsilon  float64   `json:"epsilon"`
 	Noisy    []float64 `json:"noisy"`
 	Inferred []float64 `json:"inferred"`
 	Counts   []float64 `json:"counts"`
@@ -72,10 +145,12 @@ type unattributedWire struct {
 // MarshalJSON encodes the release.
 func (r *UnattributedRelease) MarshalJSON() ([]byte, error) {
 	return json.Marshal(unattributedWire{
-		Version:  wireVersion,
+		Version:  WireVersion,
+		Strategy: r.Strategy().String(),
+		Epsilon:  r.eps,
 		Noisy:    r.Noisy,
 		Inferred: r.Inferred,
-		Counts:   r.Counts,
+		Counts:   r.counts,
 	})
 }
 
@@ -85,32 +160,51 @@ func (r *UnattributedRelease) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return fmt.Errorf("dphist: decode unattributed release: %w", err)
 	}
-	if w.Version != wireVersion {
-		return fmt.Errorf("dphist: unsupported release version %d", w.Version)
+	if err := checkHeader(w.Version, w.Strategy, StrategyUnattributed, w.Epsilon); err != nil {
+		return err
 	}
-	if len(w.Noisy) != len(w.Counts) || len(w.Inferred) != len(w.Counts) {
-		return fmt.Errorf("dphist: release payload lengths disagree: %d/%d/%d",
-			len(w.Noisy), len(w.Inferred), len(w.Counts))
+	if err := checkSortedCounts(w.Noisy, w.Inferred, w.Counts); err != nil {
+		return err
 	}
-	if len(w.Counts) == 0 {
+	*r = *newUnattributedRelease(w.Noisy, w.Inferred, w.Counts, w.Epsilon)
+	return nil
+}
+
+// checkSortedCounts validates the shared shape of the sorted-query
+// releases: three equal-length non-empty vectors whose published counts
+// are non-decreasing.
+func checkSortedCounts(noisy, inferred, counts []float64) error {
+	if len(counts) == 0 {
 		return fmt.Errorf("dphist: empty release payload")
 	}
-	r.Noisy = w.Noisy
-	r.Inferred = w.Inferred
-	r.Counts = w.Counts
+	if len(noisy) != len(counts) || len(inferred) != len(counts) {
+		return fmt.Errorf("dphist: release payload lengths disagree: %d/%d/%d",
+			len(noisy), len(inferred), len(counts))
+	}
+	if !sort.Float64sAreSorted(counts) {
+		return fmt.Errorf("dphist: published sorted-query counts are out of order")
+	}
 	return nil
 }
 
 // laplaceWire is the serialized form of a LaplaceRelease.
 type laplaceWire struct {
-	Version int       `json:"version"`
-	Noisy   []float64 `json:"noisy"`
-	Counts  []float64 `json:"counts"`
+	Version  int       `json:"version"`
+	Strategy string    `json:"strategy"`
+	Epsilon  float64   `json:"epsilon"`
+	Noisy    []float64 `json:"noisy"`
+	Counts   []float64 `json:"counts"`
 }
 
 // MarshalJSON encodes the release.
 func (r *LaplaceRelease) MarshalJSON() ([]byte, error) {
-	return json.Marshal(laplaceWire{Version: wireVersion, Noisy: r.Noisy, Counts: r.Counts})
+	return json.Marshal(laplaceWire{
+		Version:  WireVersion,
+		Strategy: r.Strategy().String(),
+		Epsilon:  r.eps,
+		Noisy:    r.Noisy,
+		Counts:   r.counts,
+	})
 }
 
 // UnmarshalJSON decodes a release produced by MarshalJSON.
@@ -119,19 +213,136 @@ func (r *LaplaceRelease) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return fmt.Errorf("dphist: decode laplace release: %w", err)
 	}
-	if w.Version != wireVersion {
-		return fmt.Errorf("dphist: unsupported release version %d", w.Version)
+	if err := checkHeader(w.Version, w.Strategy, StrategyLaplace, w.Epsilon); err != nil {
+		return err
 	}
 	if len(w.Counts) == 0 || len(w.Noisy) != len(w.Counts) {
 		return fmt.Errorf("dphist: release payload lengths disagree: %d/%d",
 			len(w.Noisy), len(w.Counts))
 	}
-	prefix := make([]float64, len(w.Counts)+1)
-	for i, v := range w.Counts {
-		prefix[i+1] = prefix[i] + v
-	}
 	r.Noisy = w.Noisy
-	r.Counts = w.Counts
-	r.prefix = prefix
+	r.counts = w.Counts
+	r.prefix = prefixSums(w.Counts)
+	r.eps = w.Epsilon
+	return nil
+}
+
+// waveletWire is the serialized form of a WaveletRelease.
+type waveletWire struct {
+	Version  int       `json:"version"`
+	Strategy string    `json:"strategy"`
+	Epsilon  float64   `json:"epsilon"`
+	Counts   []float64 `json:"counts"`
+}
+
+// MarshalJSON encodes the release.
+func (r *WaveletRelease) MarshalJSON() ([]byte, error) {
+	return json.Marshal(waveletWire{
+		Version:  WireVersion,
+		Strategy: r.Strategy().String(),
+		Epsilon:  r.eps,
+		Counts:   r.counts,
+	})
+}
+
+// UnmarshalJSON decodes a release produced by MarshalJSON.
+func (r *WaveletRelease) UnmarshalJSON(data []byte) error {
+	var w waveletWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("dphist: decode wavelet release: %w", err)
+	}
+	if err := checkHeader(w.Version, w.Strategy, StrategyWavelet, w.Epsilon); err != nil {
+		return err
+	}
+	if len(w.Counts) == 0 {
+		return fmt.Errorf("dphist: empty release payload")
+	}
+	r.counts = w.Counts
+	r.prefix = prefixSums(w.Counts)
+	r.eps = w.Epsilon
+	return nil
+}
+
+// degreeSequenceWire is the serialized form of a DegreeSequenceRelease.
+type degreeSequenceWire struct {
+	Version  int       `json:"version"`
+	Strategy string    `json:"strategy"`
+	Epsilon  float64   `json:"epsilon"`
+	Noisy    []float64 `json:"noisy"`
+	Inferred []float64 `json:"inferred"`
+	Counts   []float64 `json:"counts"`
+}
+
+// MarshalJSON encodes the release.
+func (r *DegreeSequenceRelease) MarshalJSON() ([]byte, error) {
+	return json.Marshal(degreeSequenceWire{
+		Version:  WireVersion,
+		Strategy: r.Strategy().String(),
+		Epsilon:  r.eps,
+		Noisy:    r.Noisy,
+		Inferred: r.Inferred,
+		Counts:   r.counts,
+	})
+}
+
+// UnmarshalJSON decodes a release produced by MarshalJSON.
+func (r *DegreeSequenceRelease) UnmarshalJSON(data []byte) error {
+	var w degreeSequenceWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("dphist: decode degree-sequence release: %w", err)
+	}
+	if err := checkHeader(w.Version, w.Strategy, StrategyDegreeSequence, w.Epsilon); err != nil {
+		return err
+	}
+	if err := checkSortedCounts(w.Noisy, w.Inferred, w.Counts); err != nil {
+		return err
+	}
+	*r = *newDegreeSequenceRelease(w.Noisy, w.Inferred, w.Counts, w.Epsilon)
+	return nil
+}
+
+// hierarchyWire is the serialized form of a HierarchyReleaseResult; the
+// parent pointers carry the constraint forest so leaf extraction and
+// consistency checks survive the round trip.
+type hierarchyWire struct {
+	Version  int       `json:"version"`
+	Strategy string    `json:"strategy"`
+	Epsilon  float64   `json:"epsilon"`
+	Parent   []int     `json:"parent"`
+	Noisy    []float64 `json:"noisy"`
+	Inferred []float64 `json:"inferred"`
+}
+
+// MarshalJSON encodes the release.
+func (r *HierarchyReleaseResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(hierarchyWire{
+		Version:  WireVersion,
+		Strategy: r.Strategy().String(),
+		Epsilon:  r.eps,
+		Parent:   r.parent,
+		Noisy:    r.Noisy,
+		Inferred: r.Inferred,
+	})
+}
+
+// UnmarshalJSON decodes a release produced by MarshalJSON, rebuilding
+// and revalidating the constraint forest from the parent pointers.
+func (r *HierarchyReleaseResult) UnmarshalJSON(data []byte) error {
+	var w hierarchyWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("dphist: decode hierarchy release: %w", err)
+	}
+	if err := checkHeader(w.Version, w.Strategy, StrategyHierarchy, w.Epsilon); err != nil {
+		return err
+	}
+	h, err := core.NewHierarchy(w.Parent)
+	if err != nil {
+		return fmt.Errorf("dphist: decode hierarchy release: %w", err)
+	}
+	if len(w.Noisy) != h.Len() || len(w.Inferred) != h.Len() {
+		return fmt.Errorf("dphist: release payload has %d/%d answers for %d queries",
+			len(w.Noisy), len(w.Inferred), h.Len())
+	}
+	*r = *newHierarchyReleaseResult(h, w.Noisy, w.Inferred, w.Epsilon)
 	return nil
 }

@@ -29,8 +29,42 @@ func ExampleMechanism_UnattributedHistogram() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(r.Counts)
+	fmt.Println(r.Counts())
 	// Output: [0 2 2 10]
+}
+
+// One-call polymorphic release: any strategy through the same entry
+// point, consumed through the uniform Release interface.
+func ExampleMechanism_Release() {
+	m := dphist.MustNew(dphist.WithSeed(2010))
+	rel, err := m.Release(dphist.Request{
+		Strategy: dphist.StrategyUniversal,
+		Counts:   []float64{2, 0, 10, 2},
+		Epsilon:  100, // huge eps: near-exact
+	})
+	if err != nil {
+		panic(err)
+	}
+	prefix01, _ := rel.Range(2, 4)
+	fmt.Printf("strategy=%v eps=%g total=%.0f prefix01=%.0f\n",
+		rel.Strategy(), rel.Epsilon(), rel.Total(), prefix01)
+	// Output: strategy=universal eps=100 total=14 prefix01=12
+}
+
+// Budgeted serving: a Session charges every release against one fixed
+// epsilon budget, refusing requests that would overdraw it.
+func ExampleSession() {
+	s, err := dphist.NewSession(dphist.MustNew(dphist.WithSeed(7)), 1.0)
+	if err != nil {
+		panic(err)
+	}
+	counts := []float64{2, 0, 10, 2}
+	if _, err := s.Release(dphist.Request{Counts: counts, Epsilon: 0.6}); err != nil {
+		panic(err)
+	}
+	_, err = s.Release(dphist.Request{Counts: counts, Epsilon: 0.6})
+	fmt.Printf("remaining=%.1f overdraft refused=%v\n", s.Remaining(), err != nil)
+	// Output: remaining=0.4 overdraft refused=true
 }
 
 func ExampleMechanism_HierarchyRelease() {
@@ -64,8 +98,9 @@ func ExampleMechanism_DegreeSequence() {
 	if err != nil {
 		panic(err)
 	}
+	published := rel.Counts()
 	fmt.Printf("graphical=%v first=%v last=%v\n",
-		rel.IsGraphical(), rel.Counts[0], rel.Counts[63])
+		rel.IsGraphical(), published[0], published[63])
 	// Output: graphical=true first=6 last=6
 }
 

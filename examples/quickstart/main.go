@@ -37,7 +37,7 @@ func main() {
 	fmt.Printf("S(I)   = [0 2 2 10]\n")
 	fmt.Printf("S~(I)  = %.2f   (noisy, possibly out of order)\n", unat.Noisy)
 	fmt.Printf("S-bar  = %.2f   (closest sorted vector)\n", unat.Inferred)
-	fmt.Printf("published: %v\n\n", unat.Counts)
+	fmt.Printf("published: %v\n\n", unat.Counts())
 
 	// Universal histogram: supports arbitrary range queries. The tree of
 	// interval counts (Fig. 4) gets noise scaled to its height, and
@@ -53,5 +53,23 @@ func main() {
 	total, _ := uni.Range(0, 4)
 	prefix01, _ := uni.Range(2, 4)
 	fmt.Printf("count(*)                  ~= %.0f (true 14)\n", total)
-	fmt.Printf("count(src matches 01*)    ~= %.0f (true 12)\n", prefix01)
+	fmt.Printf("count(src matches 01*)    ~= %.0f (true 12)\n\n", prefix01)
+
+	// The same releases through the unified entry point: every strategy
+	// is one Request away and comes back behind the uniform Release
+	// interface, so serving code never switches on concrete types.
+	session, err := dphist.NewSession(m, 2.0)
+	if err != nil {
+		panic(err)
+	}
+	for _, strategy := range []dphist.Strategy{
+		dphist.StrategyLaplace, dphist.StrategyUnattributed, dphist.StrategyUniversal,
+	} {
+		rel, err := session.Release(dphist.Request{Strategy: strategy, Counts: counts, Epsilon: 0.5})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("session release %-13v eps=%g total~=%.0f (budget left %.1f)\n",
+			rel.Strategy(), rel.Epsilon(), rel.Total(), session.Remaining())
+	}
 }

@@ -42,10 +42,11 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	published := rel.Counts()
 	fmt.Printf("\ntrue median degree %v, private median %v\n",
-		truth[len(truth)/2], rel.Counts[len(rel.Counts)/2])
+		truth[len(truth)/2], published[len(published)/2])
 	fmt.Printf("true max degree %v, private max %v\n",
-		truth[len(truth)-1], rel.Counts[len(rel.Counts)-1])
+		truth[len(truth)-1], published[len(published)-1])
 }
 
 // preferentialAttachmentDegrees grows a Barabasi-Albert graph and returns

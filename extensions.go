@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand/v2"
 
 	"github.com/dphist/dphist/internal/core"
 	"github.com/dphist/dphist/internal/graph"
@@ -25,7 +26,11 @@ func (m *Mechanism) DegreeSequence(degrees []float64, eps float64) (*DegreeSeque
 	if err := validate(degrees, eps); err != nil {
 		return nil, err
 	}
-	noisy := core.ReleaseSorted(degrees, eps, m.nextStream())
+	return m.degreeSequenceWith(degrees, eps, m.nextStream())
+}
+
+func (m *Mechanism) degreeSequenceWith(degrees []float64, eps float64, src *rand.Rand) (*DegreeSequenceRelease, error) {
+	noisy := core.ReleaseSorted(degrees, eps, src)
 	inferred := core.InferSorted(noisy)
 	rounded := make([]int, len(inferred))
 	for i, v := range inferred {
@@ -36,7 +41,7 @@ func (m *Mechanism) DegreeSequence(degrees []float64, eps float64) (*DegreeSeque
 	for i, v := range graphical {
 		counts[i] = float64(v)
 	}
-	return &DegreeSequenceRelease{Noisy: noisy, Inferred: inferred, Counts: counts}, nil
+	return newDegreeSequenceRelease(noisy, inferred, counts, eps), nil
 }
 
 // DegreeSequenceRelease is a private degree sequence.
@@ -45,16 +50,52 @@ type DegreeSequenceRelease struct {
 	Noisy []float64
 	// Inferred is the isotonic-regression estimate S-bar.
 	Inferred []float64
-	// Counts is the published sequence: non-decreasing integer degrees
-	// forming a graphical sequence.
-	Counts []float64
+
+	counts []float64
+	prefix []float64
+	eps    float64
 }
+
+func newDegreeSequenceRelease(noisy, inferred, counts []float64, eps float64) *DegreeSequenceRelease {
+	return &DegreeSequenceRelease{
+		Noisy:    noisy,
+		Inferred: inferred,
+		counts:   counts,
+		prefix:   prefixSums(counts),
+		eps:      eps,
+	}
+}
+
+// Strategy returns StrategyDegreeSequence.
+func (r *DegreeSequenceRelease) Strategy() Strategy { return StrategyDegreeSequence }
+
+// Epsilon returns the privacy cost spent on this release.
+func (r *DegreeSequenceRelease) Epsilon() float64 { return r.eps }
+
+// Counts returns the published sequence (a copy): non-decreasing integer
+// degrees forming a graphical sequence. Index i is the i-th smallest
+// degree, not a vertex identifier.
+func (r *DegreeSequenceRelease) Counts() []float64 {
+	return append([]float64(nil), r.counts...)
+}
+
+// Range answers the rank-interval query [lo, hi): the estimated sum of
+// the lo-th through (hi-1)-th smallest degrees.
+func (r *DegreeSequenceRelease) Range(lo, hi int) (float64, error) {
+	if lo < 0 || hi > len(r.counts) || lo >= hi {
+		return 0, badRange(lo, hi, len(r.counts))
+	}
+	return r.prefix[hi] - r.prefix[lo], nil
+}
+
+// Total returns the estimated degree total (twice the edge count).
+func (r *DegreeSequenceRelease) Total() float64 { return r.prefix[len(r.prefix)-1] }
 
 // IsGraphical reports whether the published sequence passes the
 // Erdős–Gallai test (it always should; exposed for auditability).
 func (r *DegreeSequenceRelease) IsGraphical() bool {
-	deg := make([]int, len(r.Counts))
-	for i, v := range r.Counts {
+	deg := make([]int, len(r.counts))
+	for i, v := range r.counts {
 		deg[i] = int(v)
 	}
 	return graph.IsGraphical(deg)

@@ -1,0 +1,3 @@
+module github.com/dphist/dphist
+
+go 1.23

@@ -2,7 +2,6 @@ package dphist
 
 import (
 	"github.com/dphist/dphist/internal/core"
-	"github.com/dphist/dphist/internal/privacy"
 )
 
 // Hierarchy is a custom constraint forest over a query set: query i's
@@ -44,29 +43,8 @@ func (h *Hierarchy) Leaves() []int {
 	return append([]int(nil), h.inner.Leaves()...)
 }
 
-// Accountant tracks consumption of a total epsilon budget under
-// sequential composition: answering one query sequence per Spend call,
-// the overall protocol is Total()-differentially private.
-type Accountant struct {
-	inner *privacy.Accountant
+// Parents returns the parent-pointer representation the hierarchy was
+// built from: Parents()[i] is query i's parent index, or -1 for a root.
+func (h *Hierarchy) Parents() []int {
+	return append([]int(nil), h.inner.Parents()...)
 }
-
-// NewAccountant returns an accountant with the given total budget; it
-// panics unless the budget is positive and finite.
-func NewAccountant(total float64) *Accountant {
-	return &Accountant{inner: privacy.NewAccountant(total)}
-}
-
-// Spend records an expenditure, failing if it would exceed the budget.
-func (a *Accountant) Spend(label string, eps float64) error {
-	return a.inner.Spend(label, eps)
-}
-
-// Remaining returns the unspent budget.
-func (a *Accountant) Remaining() float64 { return a.inner.Remaining() }
-
-// Spent returns the consumed budget.
-func (a *Accountant) Spent() float64 { return a.inner.Spent() }
-
-// Total returns the full budget.
-func (a *Accountant) Total() float64 { return a.inner.Total() }

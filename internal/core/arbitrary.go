@@ -73,6 +73,11 @@ func (h *Hierarchy) Len() int { return len(h.parent) }
 // returned slice is shared; callers must not modify it.
 func (h *Hierarchy) Leaves() []int { return h.leaves }
 
+// Parents returns the parent-pointer representation the hierarchy was
+// built from (parent[i] is node i's parent, or -1 for a root). The
+// returned slice is shared; callers must not modify it.
+func (h *Hierarchy) Parents() []int { return h.parent }
+
 // Sensitivity returns the L1 sensitivity of the query sequence: a record
 // contributes to exactly one leaf, changing that leaf and all of its
 // ancestors by one, so the sensitivity is the longest leaf-to-root path

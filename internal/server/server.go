@@ -9,6 +9,12 @@
 // plus constrained inference, charges the budget under sequential
 // composition, and returns the serialized release. Once the budget is
 // exhausted every further request is refused — permanently.
+//
+// Every strategy the library implements is served through one generic
+// handler: a registry maps each dphist.Strategy to the function that
+// assembles its dphist.Request from server state, and the uniform
+// dphist.Release interface carries the result back to the wire. Adding a
+// strategy to the library means adding one registry entry here.
 package server
 
 import (
@@ -16,17 +22,25 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 
 	"github.com/dphist/dphist"
-	"github.com/dphist/dphist/internal/privacy"
 )
 
 // Config describes the protected dataset and policy.
 type Config struct {
-	// Counts is the sensitive unit-count histogram being protected.
+	// Counts is the sensitive unit-count histogram being protected. The
+	// degree-sequence strategy reads it as a degree vector; the hierarchy
+	// strategy reads it as leaf-query counts.
 	Counts []float64
-	// Budget is the total epsilon available across all releases.
+	// Budget is the total epsilon available across all releases. Ignored
+	// when Accountant is set.
 	Budget float64
+	// Accountant, when non-nil, charges releases against an externally
+	// owned budget — embed the server in a wider deployment whose other
+	// components share the same composition bound, or inspect charges in
+	// tests.
+	Accountant *dphist.Accountant
 	// Seed drives the noise streams.
 	Seed uint64
 	// Branching is the universal-histogram tree fan-out; 0 means 2.
@@ -34,13 +48,16 @@ type Config struct {
 	// MaxEpsilonPerRequest caps single requests; 0 means no cap beyond
 	// the remaining budget.
 	MaxEpsilonPerRequest float64
+	// Hierarchy enables the hierarchy strategy: the constraint forest
+	// whose leaf counts are Counts (so it must have exactly len(Counts)
+	// leaves). When nil, hierarchy requests are refused.
+	Hierarchy *dphist.Hierarchy
 }
 
 // Server is the HTTP-facing privacy mechanism. Safe for concurrent use.
 type Server struct {
-	cfg        Config
-	mechanism  *dphist.Mechanism
-	accountant *privacy.Accountant
+	cfg     Config
+	session *dphist.Session
 }
 
 // New validates the configuration and returns a Server.
@@ -48,8 +65,12 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Counts) == 0 {
 		return nil, errors.New("server: empty count vector")
 	}
-	if !(cfg.Budget > 0) {
+	if cfg.Accountant == nil && !(cfg.Budget > 0) {
 		return nil, fmt.Errorf("server: budget %v must be positive", cfg.Budget)
+	}
+	if cfg.Hierarchy != nil && len(cfg.Hierarchy.Leaves()) != len(cfg.Counts) {
+		return nil, fmt.Errorf("server: hierarchy has %d leaves for %d counts",
+			len(cfg.Hierarchy.Leaves()), len(cfg.Counts))
 	}
 	k := cfg.Branching
 	if k == 0 {
@@ -59,17 +80,61 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		cfg:        cfg,
-		mechanism:  m,
-		accountant: privacy.NewAccountant(cfg.Budget),
-	}, nil
+	var session *dphist.Session
+	if cfg.Accountant != nil {
+		session, err = dphist.NewSessionWithAccountant(m, cfg.Accountant)
+	} else {
+		session, err = dphist.NewSession(m, cfg.Budget)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, session: session}, nil
+}
+
+// Session returns the budgeted session behind the handlers, for
+// embedding callers that also issue releases directly.
+func (s *Server) Session() *dphist.Session { return s.session }
+
+// requestBuilder assembles the dphist.Request that serves one strategy
+// from the server's protected state, or reports why the strategy is not
+// servable under the current configuration.
+type requestBuilder func(s *Server, eps float64) (dphist.Request, error)
+
+// countsBuilder serves a strategy that consumes the protected count
+// vector directly.
+func countsBuilder(strategy dphist.Strategy) requestBuilder {
+	return func(s *Server, eps float64) (dphist.Request, error) {
+		return dphist.Request{Strategy: strategy, Counts: s.cfg.Counts, Epsilon: eps}, nil
+	}
+}
+
+// registry maps every servable strategy to its request builder. All six
+// library strategies are present; future strategies plug in here.
+var registry = map[dphist.Strategy]requestBuilder{
+	dphist.StrategyUniversal:      countsBuilder(dphist.StrategyUniversal),
+	dphist.StrategyLaplace:        countsBuilder(dphist.StrategyLaplace),
+	dphist.StrategyUnattributed:   countsBuilder(dphist.StrategyUnattributed),
+	dphist.StrategyWavelet:        countsBuilder(dphist.StrategyWavelet),
+	dphist.StrategyDegreeSequence: countsBuilder(dphist.StrategyDegreeSequence),
+	dphist.StrategyHierarchy: func(s *Server, eps float64) (dphist.Request, error) {
+		if s.cfg.Hierarchy == nil {
+			return dphist.Request{}, errors.New("hierarchy strategy not configured on this server")
+		}
+		return dphist.Request{
+			Strategy:  dphist.StrategyHierarchy,
+			Counts:    s.cfg.Counts,
+			Epsilon:   eps,
+			Hierarchy: s.cfg.Hierarchy,
+		}, nil
+	},
 }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/budget", s.handleBudget)
+	mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
 	mux.HandleFunc("POST /v1/release", s.handleRelease)
 	return mux
 }
@@ -82,22 +147,46 @@ type budgetResponse struct {
 }
 
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	acct := s.session.Accountant()
 	writeJSON(w, http.StatusOK, budgetResponse{
-		Total:     s.accountant.Total(),
-		Spent:     s.accountant.Spent(),
-		Remaining: s.accountant.Remaining(),
+		Total:     acct.Total(),
+		Spent:     acct.Spent(),
+		Remaining: acct.Remaining(),
 	})
 }
 
-// releaseRequest is the POST /v1/release payload.
-type releaseRequest struct {
-	Task    string  `json:"task"`    // universal | unattributed | laplace
-	Epsilon float64 `json:"epsilon"` // privacy cost of this release
+// strategiesResponse is the GET /v1/strategies payload: the wire names
+// of every strategy this server can currently serve.
+type strategiesResponse struct {
+	Strategies []string `json:"strategies"`
 }
 
-// releaseResponse wraps a serialized release with accounting info.
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(registry))
+	for strategy := range registry {
+		if strategy == dphist.StrategyHierarchy && s.cfg.Hierarchy == nil {
+			continue
+		}
+		names = append(names, strategy.String())
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, strategiesResponse{Strategies: names})
+}
+
+// releaseRequest is the POST /v1/release payload. "task" is accepted as
+// a legacy alias for "strategy".
+type releaseRequest struct {
+	Strategy string  `json:"strategy"`
+	Task     string  `json:"task,omitempty"`
+	Epsilon  float64 `json:"epsilon"`
+}
+
+// releaseResponse wraps a serialized release with accounting info. The
+// embedded release payload is self-describing (dphist wire format
+// Version) and decodes client-side via dphist.DecodeRelease.
 type releaseResponse struct {
-	Task            string          `json:"task"`
+	Version         int             `json:"version"`
+	Strategy        string          `json:"strategy"`
 	Epsilon         float64         `json:"epsilon"`
 	Domain          int             `json:"domain"`
 	Release         json.RawMessage `json:"release"`
@@ -123,53 +212,52 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("epsilon %v exceeds per-request cap %v", req.Epsilon, s.cfg.MaxEpsilonPerRequest)})
 		return
 	}
-	if req.Task == "" {
-		req.Task = "universal"
+	name := req.Strategy
+	if name == "" {
+		name = req.Task
 	}
-	switch req.Task {
-	case "universal", "unattributed", "laplace":
-	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "unknown task " + req.Task})
+	if name == "" {
+		name = dphist.StrategyUniversal.String()
+	}
+	strategy, err := dphist.ParseStrategy(name)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "unknown strategy " + name})
 		return
 	}
-	// Charge the budget after request validation but BEFORE computing:
-	// malformed requests cost nothing, and a refused charge leaks nothing
-	// beyond the refusal itself.
-	if err := s.accountant.Spend("release:"+req.Task, req.Epsilon); err != nil {
-		if errors.Is(err, privacy.ErrBudgetExceeded) {
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
-			return
-		}
+	build, ok := registry[strategy]
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "strategy not served: " + name})
+		return
+	}
+	request, err := build(s, req.Epsilon)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	var (
-		payload any
-		err     error
-	)
-	switch req.Task {
-	case "universal":
-		payload, err = s.mechanism.UniversalHistogram(s.cfg.Counts, req.Epsilon)
-	case "unattributed":
-		payload, err = s.mechanism.UnattributedHistogram(s.cfg.Counts, req.Epsilon)
-	case "laplace":
-		payload, err = s.mechanism.LaplaceHistogram(s.cfg.Counts, req.Epsilon)
-	}
+	// The session charges the budget after request validation but BEFORE
+	// computing: malformed requests cost nothing, and a refused charge
+	// leaks nothing beyond the refusal itself.
+	release, err := s.session.Release(request)
 	if err != nil {
+		if errors.Is(err, dphist.ErrBudgetExceeded) {
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	raw, err := json.Marshal(payload)
+	raw, err := json.Marshal(release)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, releaseResponse{
-		Task:            req.Task,
+		Version:         dphist.WireVersion,
+		Strategy:        strategy.String(),
 		Epsilon:         req.Epsilon,
 		Domain:          len(s.cfg.Counts),
 		Release:         raw,
-		BudgetRemaining: s.accountant.Remaining(),
+		BudgetRemaining: s.session.Remaining(),
 	})
 }
 

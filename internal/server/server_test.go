@@ -50,6 +50,9 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Counts: []float64{1}, Budget: 1, Branching: 1}); err == nil {
 		t.Error("branching 1 accepted")
 	}
+	if _, err := New(Config{Counts: []float64{1, 2}, Budget: 1, Hierarchy: dphist.Grades()}); err == nil {
+		t.Error("hierarchy with mismatched leaf count accepted")
+	}
 }
 
 func TestBudgetEndpoint(t *testing.T) {
@@ -68,9 +71,107 @@ func TestBudgetEndpoint(t *testing.T) {
 	}
 }
 
+// The acceptance test for the strategy registry: every library strategy
+// is served by the one generic handler, each response decodes through
+// the uniform Release interface, and every charge lands on the public
+// Accountant supplied by the embedding caller.
+func TestEveryStrategyThroughGenericHandler(t *testing.T) {
+	acct := dphist.NewAccountant(100)
+	grades := dphist.Grades()
+	s, err := New(Config{
+		Counts:     []float64{2, 0, 10, 2, 5}, // five counts = five Grades leaves
+		Accountant: acct,
+		Seed:       7,
+		Hierarchy:  grades,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const eps = 0.25
+	want := 0.0
+	for _, strategy := range dphist.Strategies() {
+		t.Run(strategy.String(), func(t *testing.T) {
+			resp, body := postRelease(t, ts,
+				`{"strategy":"`+strategy.String()+`","epsilon":0.25}`)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			var rr releaseResponse
+			if err := json.Unmarshal(body, &rr); err != nil {
+				t.Fatal(err)
+			}
+			if rr.Strategy != strategy.String() || rr.Version != dphist.WireVersion {
+				t.Fatalf("response meta wrong: %+v", rr)
+			}
+			rel, err := dphist.DecodeRelease(rr.Release)
+			if err != nil {
+				t.Fatalf("release payload does not decode: %v", err)
+			}
+			if rel.Strategy() != strategy {
+				t.Fatalf("decoded strategy %v", rel.Strategy())
+			}
+			if rel.Epsilon() != eps {
+				t.Fatalf("decoded epsilon %v", rel.Epsilon())
+			}
+			if len(rel.Counts()) == 0 {
+				t.Fatal("decoded release has no counts")
+			}
+			if _, err := rel.Range(0, len(rel.Counts())); err != nil {
+				t.Fatalf("decoded release cannot answer ranges: %v", err)
+			}
+			// The charge landed on the caller's accountant, labelled by
+			// strategy.
+			want += eps
+			if got := acct.Spent(); got != want {
+				t.Fatalf("accountant spent %v, want %v", got, want)
+			}
+			log := acct.Log()
+			if last := log[len(log)-1]; last.Label != "release:"+strategy.String() || last.Epsilon != eps {
+				t.Fatalf("last charge = %+v", last)
+			}
+		})
+	}
+	if rem := acct.Remaining(); rem != 100-want {
+		t.Fatalf("remaining %v after all strategies", rem)
+	}
+}
+
+func TestStrategiesEndpoint(t *testing.T) {
+	ts := newTestServer(t, 1.0)
+	resp, err := http.Get(ts.URL + "/v1/strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr strategiesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	// No hierarchy configured: five of the six strategies are servable.
+	if len(sr.Strategies) != len(dphist.Strategies())-1 {
+		t.Fatalf("strategies = %v", sr.Strategies)
+	}
+	for _, name := range sr.Strategies {
+		if name == "hierarchy" {
+			t.Fatal("unconfigured hierarchy advertised")
+		}
+	}
+}
+
+func TestHierarchyRefusedWithoutConfig(t *testing.T) {
+	ts := newTestServer(t, 1.0)
+	resp, body := postRelease(t, ts, `{"strategy":"hierarchy","epsilon":0.1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+}
+
 func TestUniversalReleaseOverHTTP(t *testing.T) {
 	ts := newTestServer(t, 2.0)
-	resp, body := postRelease(t, ts, `{"task":"universal","epsilon":0.5}`)
+	resp, body := postRelease(t, ts, `{"strategy":"universal","epsilon":0.5}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -78,7 +179,7 @@ func TestUniversalReleaseOverHTTP(t *testing.T) {
 	if err := json.Unmarshal(body, &rr); err != nil {
 		t.Fatal(err)
 	}
-	if rr.Task != "universal" || rr.Domain != 8 {
+	if rr.Strategy != "universal" || rr.Domain != 8 {
 		t.Fatalf("response meta wrong: %+v", rr)
 	}
 	if rr.BudgetRemaining != 1.5 {
@@ -97,7 +198,7 @@ func TestUniversalReleaseOverHTTP(t *testing.T) {
 	}
 }
 
-func TestUnattributedAndLaplaceTasks(t *testing.T) {
+func TestLegacyTaskAliasStillServed(t *testing.T) {
 	ts := newTestServer(t, 2.0)
 	resp, body := postRelease(t, ts, `{"task":"unattributed","epsilon":0.25}`)
 	if resp.StatusCode != http.StatusOK {
@@ -111,27 +212,22 @@ func TestUnattributedAndLaplaceTasks(t *testing.T) {
 	if err := json.Unmarshal(rr.Release, &unat); err != nil {
 		t.Fatal(err)
 	}
-	if len(unat.Counts) != 8 {
+	if len(unat.Counts()) != 8 {
 		t.Fatal("unattributed release wrong length")
-	}
-
-	resp, body = postRelease(t, ts, `{"task":"laplace","epsilon":0.25}`)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("laplace status %d: %s", resp.StatusCode, body)
 	}
 }
 
 func TestBudgetEnforcement(t *testing.T) {
 	ts := newTestServer(t, 1.0)
-	if resp, _ := postRelease(t, ts, `{"task":"laplace","epsilon":0.8}`); resp.StatusCode != http.StatusOK {
+	if resp, _ := postRelease(t, ts, `{"strategy":"laplace","epsilon":0.8}`); resp.StatusCode != http.StatusOK {
 		t.Fatalf("first release refused: %d", resp.StatusCode)
 	}
-	resp, body := postRelease(t, ts, `{"task":"laplace","epsilon":0.5}`)
+	resp, body := postRelease(t, ts, `{"strategy":"laplace","epsilon":0.5}`)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overdraw status %d: %s", resp.StatusCode, body)
 	}
 	// The failed request must not have charged the budget.
-	if resp, _ := postRelease(t, ts, `{"task":"laplace","epsilon":0.2}`); resp.StatusCode != http.StatusOK {
+	if resp, _ := postRelease(t, ts, `{"strategy":"laplace","epsilon":0.2}`); resp.StatusCode != http.StatusOK {
 		t.Fatalf("within-budget release refused after failed overdraw: %d", resp.StatusCode)
 	}
 }
@@ -139,9 +235,9 @@ func TestBudgetEnforcement(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	ts := newTestServer(t, 1.0)
 	cases := []string{
-		`{"task":"universal","epsilon":0}`,
-		`{"task":"universal","epsilon":-1}`,
-		`{"task":"nope","epsilon":0.1}`,
+		`{"strategy":"universal","epsilon":0}`,
+		`{"strategy":"universal","epsilon":-1}`,
+		`{"strategy":"nope","epsilon":0.1}`,
 		`not json`,
 	}
 	for _, c := range cases {
@@ -177,7 +273,7 @@ func TestPerRequestCap(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v1/release", "application/json",
-		bytes.NewBufferString(`{"task":"laplace","epsilon":1.0}`))
+		bytes.NewBufferString(`{"strategy":"laplace","epsilon":1.0}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +283,7 @@ func TestPerRequestCap(t *testing.T) {
 	}
 }
 
-func TestDefaultTaskIsUniversal(t *testing.T) {
+func TestDefaultStrategyIsUniversal(t *testing.T) {
 	ts := newTestServer(t, 1.0)
 	resp, body := postRelease(t, ts, `{"epsilon":0.1}`)
 	if resp.StatusCode != http.StatusOK {
@@ -197,8 +293,8 @@ func TestDefaultTaskIsUniversal(t *testing.T) {
 	if err := json.Unmarshal(body, &rr); err != nil {
 		t.Fatal(err)
 	}
-	if rr.Task != "universal" {
-		t.Fatalf("default task %q", rr.Task)
+	if rr.Strategy != "universal" {
+		t.Fatalf("default strategy %q", rr.Strategy)
 	}
 }
 
@@ -211,7 +307,7 @@ func TestConcurrentReleases(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			resp, err := http.Post(ts.URL+"/v1/release", "application/json",
-				bytes.NewBufferString(`{"task":"laplace","epsilon":1}`))
+				bytes.NewBufferString(`{"strategy":"laplace","epsilon":1}`))
 			if err != nil {
 				errs <- err.Error()
 				return

@@ -1,0 +1,158 @@
+package dphist
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+// Request describes one private release through the unified entry point
+// Mechanism.Release. The zero Strategy is StrategyUniversal, so
+// Request{Counts: c, Epsilon: e} asks for the paper's flagship release.
+type Request struct {
+	// Strategy selects the release pipeline.
+	Strategy Strategy
+	// Counts is the sensitive input vector: unit counts per position for
+	// the positional strategies, vertex degrees for
+	// StrategyDegreeSequence, leaf-query counts (in Hierarchy.Leaves
+	// order) for StrategyHierarchy.
+	Counts []float64
+	// Epsilon is the privacy cost of the release.
+	Epsilon float64
+	// Hierarchy is the constraint forest to answer; required for
+	// StrategyHierarchy and ignored otherwise.
+	Hierarchy *Hierarchy
+}
+
+// Validate checks the request without spending anything: the strategy is
+// known, the counts and epsilon are admissible, and strategy-specific
+// requirements (a hierarchy with matching leaf count) hold.
+func (req Request) Validate() error {
+	if !req.Strategy.Valid() {
+		return fmt.Errorf("dphist: invalid strategy %d", int(req.Strategy))
+	}
+	if req.Strategy == StrategyHierarchy {
+		return validateHierarchyInput(req.Hierarchy, req.Counts, req.Epsilon)
+	}
+	return validate(req.Counts, req.Epsilon)
+}
+
+// Release runs the requested pipeline and returns its release behind the
+// uniform interface. It is the polymorphic equivalent of the typed
+// methods (LaplaceHistogram, UniversalHistogram, ...): the same
+// validation, the same noise-stream consumption, the same concrete
+// release types underneath.
+func (m *Mechanism) Release(req Request) (Release, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return m.releaseWith(req, m.nextStream())
+}
+
+// releaseWith dispatches an already-validated request onto the pipeline
+// implementations, using the supplied noise stream.
+func (m *Mechanism) releaseWith(req Request, src *rand.Rand) (Release, error) {
+	switch req.Strategy {
+	case StrategyUniversal:
+		return m.universalWith(req.Counts, req.Epsilon, src)
+	case StrategyLaplace:
+		return m.laplaceWith(req.Counts, req.Epsilon, src)
+	case StrategyUnattributed:
+		return m.unattributedWith(req.Counts, req.Epsilon, src)
+	case StrategyWavelet:
+		return m.waveletWith(req.Counts, req.Epsilon, src)
+	case StrategyDegreeSequence:
+		return m.degreeSequenceWith(req.Counts, req.Epsilon, src)
+	case StrategyHierarchy:
+		return m.hierarchyWith(req.Hierarchy, req.Counts, req.Epsilon, src)
+	default:
+		return nil, fmt.Errorf("dphist: invalid strategy %d", int(req.Strategy))
+	}
+}
+
+// BatchError reports the failures of a ReleaseBatch call: one entry per
+// failed request, in request order.
+type BatchError struct {
+	// Errors maps request index to its failure.
+	Errors map[int]error
+}
+
+// Error summarizes the failures.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("dphist: %d of the batched requests failed", len(e.Errors))
+}
+
+// ReleaseBatch fans a slice of requests across a worker pool — the
+// multi-tenant serving shape, where many analysts' requests arrive
+// together. Results align with requests by index. If any request fails,
+// the returned error is a *BatchError naming each failed index and the
+// corresponding result entry is nil; the other requests still complete.
+//
+// Noise streams are reserved as one contiguous block before the workers
+// start, so request i's release depends only on the mechanism seed and
+// the number of streams consumed before the call — batch results are as
+// reproducible as sequential Release calls, regardless of scheduling.
+func (m *Mechanism) ReleaseBatch(reqs []Request) ([]Release, error) {
+	return m.releaseBatch(reqs, true)
+}
+
+// releaseBatch runs the batch fan-out; revalidate is false when the
+// caller (Session.ReleaseBatch) has already validated every request.
+func (m *Mechanism) releaseBatch(reqs []Request, revalidate bool) ([]Release, error) {
+	results := make([]Release, len(reqs))
+	if len(reqs) == 0 {
+		return results, nil
+	}
+	base := m.reserveTrials(len(reqs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var (
+		mu   sync.Mutex
+		errs map[int]error
+		wg   sync.WaitGroup
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rel, err := m.releaseOne(reqs[i], base+i, revalidate)
+				if err != nil {
+					mu.Lock()
+					if errs == nil {
+						errs = make(map[int]error)
+					}
+					errs[i] = err
+					mu.Unlock()
+					continue
+				}
+				results[i] = rel
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if errs != nil {
+		return results, &BatchError{Errors: errs}
+	}
+	return results, nil
+}
+
+// releaseOne runs one batched request on its reserved trial number.
+func (m *Mechanism) releaseOne(req Request, trial int, revalidate bool) (Release, error) {
+	if revalidate {
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return m.releaseWith(req, laplace.Stream(m.seed, trial))
+}

@@ -9,35 +9,88 @@ import (
 	"github.com/dphist/dphist/internal/wavelet"
 )
 
+// Release is the uniform read side of every private histogram the
+// library can publish. All six strategies produce a Release, so servers,
+// caches, and analysis code can handle them polymorphically:
+//
+//   - Strategy identifies the pipeline that produced the release.
+//   - Epsilon is the privacy cost that was spent on it.
+//   - Counts returns the published unit estimates (a copy): position ->
+//     count for positional strategies, rank -> count for the sorted
+//     strategies, leaf-query answers for StrategyHierarchy.
+//   - Total estimates the number of records.
+//   - Range answers the half-open interval query [lo, hi) over the same
+//     index space as Counts.
+//
+// Every Release also round-trips through JSON (encoding/json.Marshaler
+// and Unmarshaler); DecodeRelease turns the wire form back into the
+// right concrete type without knowing it in advance.
+type Release interface {
+	Strategy() Strategy
+	Epsilon() float64
+	Counts() []float64
+	Total() float64
+	Range(lo, hi int) (float64, error)
+}
+
+// All six release types satisfy the interface.
+var (
+	_ Release = (*LaplaceRelease)(nil)
+	_ Release = (*UnattributedRelease)(nil)
+	_ Release = (*UniversalRelease)(nil)
+	_ Release = (*WaveletRelease)(nil)
+	_ Release = (*DegreeSequenceRelease)(nil)
+	_ Release = (*HierarchyReleaseResult)(nil)
+)
+
+func badRange(lo, hi, n int) error {
+	return fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, n)
+}
+
+// prefixSums returns the running-sum table of counts, with prefix[0] = 0.
+func prefixSums(counts []float64) []float64 {
+	prefix := make([]float64, len(counts)+1)
+	for i, v := range counts {
+		prefix[i+1] = prefix[i] + v
+	}
+	return prefix
+}
+
 // LaplaceRelease is a flat noisy histogram (the paper's L~).
 type LaplaceRelease struct {
 	// Noisy holds the raw perturbed unit counts, one per input position.
 	Noisy []float64
-	// Counts holds the published estimates: Noisy rounded to
-	// non-negative integers when rounding is enabled, else equal to
-	// Noisy.
-	Counts []float64
 
+	counts []float64
 	prefix []float64
+	eps    float64
 }
 
-func newLaplaceRelease(noisy []float64, round bool) *LaplaceRelease {
+func newLaplaceRelease(noisy []float64, round bool, eps float64) *LaplaceRelease {
 	final := append([]float64(nil), noisy...)
 	if round {
 		core.RoundNonNegInt(final)
 	}
-	prefix := make([]float64, len(final)+1)
-	for i, v := range final {
-		prefix[i+1] = prefix[i] + v
-	}
-	return &LaplaceRelease{Noisy: noisy, Counts: final, prefix: prefix}
+	return &LaplaceRelease{Noisy: noisy, counts: final, prefix: prefixSums(final), eps: eps}
+}
+
+// Strategy returns StrategyLaplace.
+func (r *LaplaceRelease) Strategy() Strategy { return StrategyLaplace }
+
+// Epsilon returns the privacy cost spent on this release.
+func (r *LaplaceRelease) Epsilon() float64 { return r.eps }
+
+// Counts returns the published estimates (a copy): Noisy rounded to
+// non-negative integers when rounding is enabled, else equal to Noisy.
+func (r *LaplaceRelease) Counts() []float64 {
+	return append([]float64(nil), r.counts...)
 }
 
 // Range answers the half-open range-count query [lo, hi) by summing unit
 // estimates; its error grows linearly with hi-lo.
 func (r *LaplaceRelease) Range(lo, hi int) (float64, error) {
-	if lo < 0 || hi > len(r.Counts) || lo >= hi {
-		return 0, fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, len(r.Counts))
+	if lo < 0 || hi > len(r.counts) || lo >= hi {
+		return 0, badRange(lo, hi, len(r.counts))
 	}
 	return r.prefix[hi] - r.prefix[lo], nil
 }
@@ -54,10 +107,46 @@ type UnattributedRelease struct {
 	// Inferred is the constrained-inference estimate S-bar: the closest
 	// non-decreasing vector to Noisy (Theorem 1).
 	Inferred []float64
-	// Counts is the published estimate: Inferred, rounded to
-	// non-negative integers when rounding is enabled.
-	Counts []float64
+
+	counts []float64
+	prefix []float64
+	eps    float64
 }
+
+func newUnattributedRelease(noisy, inferred, final []float64, eps float64) *UnattributedRelease {
+	return &UnattributedRelease{
+		Noisy:    noisy,
+		Inferred: inferred,
+		counts:   final,
+		prefix:   prefixSums(final),
+		eps:      eps,
+	}
+}
+
+// Strategy returns StrategyUnattributed.
+func (r *UnattributedRelease) Strategy() Strategy { return StrategyUnattributed }
+
+// Epsilon returns the privacy cost spent on this release.
+func (r *UnattributedRelease) Epsilon() float64 { return r.eps }
+
+// Counts returns the published estimate (a copy): Inferred, rounded to
+// non-negative integers when rounding is enabled. Index i is the i-th
+// smallest count, not a domain position.
+func (r *UnattributedRelease) Counts() []float64 {
+	return append([]float64(nil), r.counts...)
+}
+
+// Range answers the rank-interval query [lo, hi): the estimated sum of
+// the lo-th through (hi-1)-th smallest counts.
+func (r *UnattributedRelease) Range(lo, hi int) (float64, error) {
+	if lo < 0 || hi > len(r.counts) || lo >= hi {
+		return 0, badRange(lo, hi, len(r.counts))
+	}
+	return r.prefix[hi] - r.prefix[lo], nil
+}
+
+// Total returns the estimated number of records.
+func (r *UnattributedRelease) Total() float64 { return r.prefix[len(r.prefix)-1] }
 
 // SortRoundBaseline returns the paper's S~r baseline computed from the
 // same noisy answer: sort and round, without least-squares inference.
@@ -83,12 +172,19 @@ type UniversalRelease struct {
 	inferred []float64 // h-bar before post-processing, BFS order
 	post     []float64 // h-bar after non-negativity and rounding, BFS order
 	leaves   []float64 // published unit estimates over the real domain
+	eps      float64
 }
 
-func newUniversalRelease(tree *htree.Tree, noisy, inferred, post []float64) *UniversalRelease {
+func newUniversalRelease(tree *htree.Tree, noisy, inferred, post []float64, eps float64) *UniversalRelease {
 	leaves := append([]float64(nil), tree.Leaves(post)...)
-	return &UniversalRelease{tree: tree, noisy: noisy, inferred: inferred, post: post, leaves: leaves}
+	return &UniversalRelease{tree: tree, noisy: noisy, inferred: inferred, post: post, leaves: leaves, eps: eps}
 }
+
+// Strategy returns StrategyUniversal.
+func (r *UniversalRelease) Strategy() Strategy { return StrategyUniversal }
+
+// Epsilon returns the privacy cost spent on this release.
+func (r *UniversalRelease) Epsilon() float64 { return r.eps }
 
 // Counts returns the published unit-count estimates over the real domain
 // (a copy).
@@ -110,7 +206,7 @@ func (r *UniversalRelease) Branching() int { return r.tree.K() }
 // post-processed tree via minimal subtree decomposition (O(log n) nodes).
 func (r *UniversalRelease) Range(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.leaves) || lo >= hi {
-		return 0, fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, len(r.leaves))
+		return 0, badRange(lo, hi, len(r.leaves))
 	}
 	return r.tree.RangeSum(r.post, lo, hi), nil
 }
@@ -120,7 +216,7 @@ func (r *UniversalRelease) Range(lo, hi int) (float64, error) {
 // inference. It exists for baseline comparisons.
 func (r *UniversalRelease) RangeNoisy(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.leaves) || lo >= hi {
-		return 0, fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, len(r.leaves))
+		return 0, badRange(lo, hi, len(r.leaves))
 	}
 	return core.TreeRangeHTilde(r.tree, r.noisy, lo, hi), nil
 }
@@ -147,6 +243,7 @@ func (r *UniversalRelease) InferredTree() []float64 {
 type WaveletRelease struct {
 	counts []float64
 	prefix []float64
+	eps    float64
 }
 
 func newWaveletRelease(counts []float64, eps float64, round bool, src *rand.Rand) (*WaveletRelease, error) {
@@ -157,12 +254,14 @@ func newWaveletRelease(counts []float64, eps float64, round bool, src *rand.Rand
 	if round {
 		core.RoundNonNegInt(noisy)
 	}
-	prefix := make([]float64, len(noisy)+1)
-	for i, v := range noisy {
-		prefix[i+1] = prefix[i] + v
-	}
-	return &WaveletRelease{counts: noisy, prefix: prefix}, nil
+	return &WaveletRelease{counts: noisy, prefix: prefixSums(noisy), eps: eps}, nil
 }
+
+// Strategy returns StrategyWavelet.
+func (r *WaveletRelease) Strategy() Strategy { return StrategyWavelet }
+
+// Epsilon returns the privacy cost spent on this release.
+func (r *WaveletRelease) Epsilon() float64 { return r.eps }
 
 // Counts returns the published unit-count estimates (a copy).
 func (r *WaveletRelease) Counts() []float64 {
@@ -172,10 +271,13 @@ func (r *WaveletRelease) Counts() []float64 {
 // Range answers the half-open range-count query [lo, hi).
 func (r *WaveletRelease) Range(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.counts) || lo >= hi {
-		return 0, fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, len(r.counts))
+		return 0, badRange(lo, hi, len(r.counts))
 	}
 	return r.prefix[hi] - r.prefix[lo], nil
 }
+
+// Total returns the estimated number of records.
+func (r *WaveletRelease) Total() float64 { return r.prefix[len(r.prefix)-1] }
 
 // HierarchyReleaseResult is a private answer to a custom constrained
 // query set.
@@ -184,4 +286,58 @@ type HierarchyReleaseResult struct {
 	Noisy []float64
 	// Inferred is the minimum-L2 consistent answer vector.
 	Inferred []float64
+
+	parent []int // forest shape, parent[i] or -1, for serialization
+	leaves []int // leaf query indices, ascending
+	counts []float64
+	prefix []float64
+	eps    float64
 }
+
+func newHierarchyReleaseResult(h *core.Hierarchy, noisy, inferred []float64, eps float64) *HierarchyReleaseResult {
+	leaves := append([]int(nil), h.Leaves()...)
+	counts := make([]float64, len(leaves))
+	for i, leaf := range leaves {
+		counts[i] = inferred[leaf]
+	}
+	return &HierarchyReleaseResult{
+		Noisy:    noisy,
+		Inferred: inferred,
+		parent:   append([]int(nil), h.Parents()...),
+		leaves:   leaves,
+		counts:   counts,
+		prefix:   prefixSums(counts),
+		eps:      eps,
+	}
+}
+
+// Strategy returns StrategyHierarchy.
+func (r *HierarchyReleaseResult) Strategy() Strategy { return StrategyHierarchy }
+
+// Epsilon returns the privacy cost spent on this release.
+func (r *HierarchyReleaseResult) Epsilon() float64 { return r.eps }
+
+// Counts returns the inferred answers of the leaf queries (a copy), in
+// Hierarchy.Leaves order.
+func (r *HierarchyReleaseResult) Counts() []float64 {
+	return append([]float64(nil), r.counts...)
+}
+
+// Leaves returns the indices of the leaf queries whose answers Counts
+// reports, in ascending order.
+func (r *HierarchyReleaseResult) Leaves() []int {
+	return append([]int(nil), r.leaves...)
+}
+
+// Range answers the interval query [lo, hi) over the leaf sequence: the
+// estimated sum of leaf answers lo through hi-1 in Leaves order.
+func (r *HierarchyReleaseResult) Range(lo, hi int) (float64, error) {
+	if lo < 0 || hi > len(r.counts) || lo >= hi {
+		return 0, badRange(lo, hi, len(r.counts))
+	}
+	return r.prefix[hi] - r.prefix[lo], nil
+}
+
+// Total returns the estimated sum of all leaf answers; by consistency
+// this equals the estimated root totals of the constraint forest.
+func (r *HierarchyReleaseResult) Total() float64 { return r.prefix[len(r.prefix)-1] }

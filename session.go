@@ -1,0 +1,91 @@
+package dphist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Session couples a Mechanism with an Accountant: every release it
+// issues is charged against one fixed epsilon budget, so the lifetime
+// privacy loss of everything produced through the session is bounded by
+// the accountant's total (sequential composition). This is the paper's
+// Appendix B server shape as a library value — construct one per
+// protected dataset and hand it to whatever serving layer you run.
+//
+// A Session is safe for concurrent use.
+type Session struct {
+	mech *Mechanism
+	acct *Accountant
+}
+
+// NewSession returns a session over the mechanism with a fresh
+// accountant holding the given total budget. It panics (like
+// NewAccountant) unless the budget is positive and finite, and returns
+// an error on a nil mechanism.
+func NewSession(m *Mechanism, budget float64) (*Session, error) {
+	if m == nil {
+		return nil, errors.New("dphist: nil mechanism")
+	}
+	return &Session{mech: m, acct: NewAccountant(budget)}, nil
+}
+
+// NewSessionWithAccountant returns a session charging the supplied
+// accountant, which may be shared with other sessions or charged
+// directly — the composition bound then covers everything the
+// accountant has recorded.
+func NewSessionWithAccountant(m *Mechanism, a *Accountant) (*Session, error) {
+	if m == nil {
+		return nil, errors.New("dphist: nil mechanism")
+	}
+	if a == nil {
+		return nil, errors.New("dphist: nil accountant")
+	}
+	return &Session{mech: m, acct: a}, nil
+}
+
+// Mechanism returns the underlying mechanism.
+func (s *Session) Mechanism() *Mechanism { return s.mech }
+
+// Accountant returns the underlying accountant for budget inspection.
+func (s *Session) Accountant() *Accountant { return s.acct }
+
+// Remaining returns the unspent budget.
+func (s *Session) Remaining() float64 { return s.acct.Remaining() }
+
+// Release validates the request, charges its epsilon against the budget
+// (labelled "release:<strategy>"), and runs the pipeline. Invalid
+// requests and refused charges cost nothing; errors.Is(err,
+// ErrBudgetExceeded) identifies refusals. The charge is made before any
+// noise is drawn and is never refunded.
+func (s *Session) Release(req Request) (Release, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.acct.Spend("release:"+req.Strategy.String(), req.Epsilon); err != nil {
+		return nil, err
+	}
+	return s.mech.releaseWith(req, s.mech.nextStream())
+}
+
+// ReleaseBatch charges the whole batch atomically — the sum of all
+// request epsilons, after validating every request — and then fans the
+// batch across Mechanism.ReleaseBatch's worker pool. If any request is
+// invalid or the summed charge would overdraw the budget, nothing is
+// charged and nothing is released.
+func (s *Session) ReleaseBatch(reqs []Request) ([]Release, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	total := 0.0
+	for i, req := range reqs {
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("dphist: batch request %d: %w", i, err)
+		}
+		total += req.Epsilon
+	}
+	if err := s.acct.Spend(fmt.Sprintf("batch:%d requests", len(reqs)), total); err != nil {
+		return nil, err
+	}
+	// Already validated above; the fan-out skips re-validation.
+	return s.mech.releaseBatch(reqs, false)
+}

@@ -1,0 +1,272 @@
+package dphist
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Release must behave exactly like the typed method it wraps: same
+// validation, same noise stream consumption, same concrete type.
+func TestReleaseMatchesTypedMethods(t *testing.T) {
+	counts := []float64{2, 0, 10, 2, 5, 5, 5, 5}
+	for _, strategy := range Strategies() {
+		req := Request{Strategy: strategy, Counts: counts, Epsilon: 0.5}
+		if strategy == StrategyHierarchy {
+			req.Counts = []float64{120, 180, 90, 40, 25}
+			req.Hierarchy = Grades()
+		}
+		a, err := MustNew(WithSeed(17)).Release(req)
+		if err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		if a.Strategy() != strategy {
+			t.Fatalf("release reports strategy %v, want %v", a.Strategy(), strategy)
+		}
+		if a.Epsilon() != 0.5 {
+			t.Fatalf("%v: epsilon %v", strategy, a.Epsilon())
+		}
+
+		// A fresh mechanism with the same seed must produce identical
+		// results through the typed path.
+		m := MustNew(WithSeed(17))
+		var b Release
+		switch strategy {
+		case StrategyUniversal:
+			b, err = m.UniversalHistogram(req.Counts, req.Epsilon)
+		case StrategyLaplace:
+			b, err = m.LaplaceHistogram(req.Counts, req.Epsilon)
+		case StrategyUnattributed:
+			b, err = m.UnattributedHistogram(req.Counts, req.Epsilon)
+		case StrategyWavelet:
+			b, err = m.WaveletHistogram(req.Counts, req.Epsilon)
+		case StrategyDegreeSequence:
+			b, err = m.DegreeSequence(req.Counts, req.Epsilon)
+		case StrategyHierarchy:
+			b, err = m.HierarchyRelease(req.Hierarchy, req.Counts, req.Epsilon)
+		}
+		if err != nil {
+			t.Fatalf("%v typed: %v", strategy, err)
+		}
+		ac, bc := a.Counts(), b.Counts()
+		if len(ac) != len(bc) {
+			t.Fatalf("%v: lengths differ", strategy)
+		}
+		for i := range ac {
+			if ac[i] != bc[i] {
+				t.Fatalf("%v: Release and typed method disagree at %d: %v vs %v",
+					strategy, i, ac[i], bc[i])
+			}
+		}
+	}
+}
+
+func TestReleaseValidation(t *testing.T) {
+	m := MustNew()
+	if _, err := m.Release(Request{Counts: nil, Epsilon: 1}); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := m.Release(Request{Counts: []float64{1}, Epsilon: 0}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := m.Release(Request{Strategy: Strategy(42), Counts: []float64{1}, Epsilon: 1}); err == nil {
+		t.Error("invalid strategy accepted")
+	}
+	if _, err := m.Release(Request{Strategy: StrategyHierarchy, Counts: []float64{1}, Epsilon: 1}); err == nil {
+		t.Error("hierarchy strategy without hierarchy accepted")
+	}
+	if _, err := m.Release(Request{Strategy: StrategyHierarchy, Counts: []float64{1, 2},
+		Epsilon: 1, Hierarchy: Grades()}); err == nil {
+		t.Error("hierarchy leaf-count mismatch accepted")
+	}
+}
+
+// ReleaseBatch must produce the same releases regardless of worker
+// scheduling: results are a function of seed and request index.
+func TestReleaseBatchDeterministic(t *testing.T) {
+	counts := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	reqs := make([]Request, 24)
+	for i := range reqs {
+		reqs[i] = Request{Strategy: Strategies()[i%4], Counts: counts, Epsilon: 1}
+	}
+	run := func() [][]float64 {
+		rels, err := MustNew(WithSeed(33)).ReleaseBatch(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]float64, len(rels))
+		for i, r := range rels {
+			out[i] = r.Counts()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("batch nondeterministic at request %d position %d", i, j)
+			}
+		}
+	}
+	// Distinct requests draw distinct noise: two identical laplace
+	// requests in one batch must not collide.
+	lap := []Request{
+		{Strategy: StrategyLaplace, Counts: counts, Epsilon: 1},
+		{Strategy: StrategyLaplace, Counts: counts, Epsilon: 1},
+	}
+	rels, err := MustNew(WithSeed(33)).ReleaseBatch(lap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := rels[0].(*LaplaceRelease).Noisy, rels[1].(*LaplaceRelease).Noisy
+	same := true
+	for i := range x {
+		if x[i] != y[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two batched requests shared a noise stream")
+	}
+}
+
+func TestReleaseBatchPartialFailure(t *testing.T) {
+	counts := []float64{1, 2, 3}
+	reqs := []Request{
+		{Strategy: StrategyLaplace, Counts: counts, Epsilon: 1},
+		{Strategy: StrategyLaplace, Counts: counts, Epsilon: -1}, // invalid
+		{Strategy: StrategyUniversal, Counts: counts, Epsilon: 1},
+	}
+	rels, err := MustNew(WithSeed(1)).ReleaseBatch(reqs)
+	if err == nil {
+		t.Fatal("invalid request not reported")
+	}
+	var batchErr *BatchError
+	if !errors.As(err, &batchErr) {
+		t.Fatalf("error is %T, want *BatchError", err)
+	}
+	if len(batchErr.Errors) != 1 || batchErr.Errors[1] == nil {
+		t.Fatalf("errors = %v", batchErr.Errors)
+	}
+	if rels[0] == nil || rels[2] == nil || rels[1] != nil {
+		t.Fatal("result alignment wrong")
+	}
+	if len(rels) != 3 {
+		t.Fatal("result length wrong")
+	}
+}
+
+func TestReleaseBatchEmpty(t *testing.T) {
+	rels, err := MustNew().ReleaseBatch(nil)
+	if err != nil || len(rels) != 0 {
+		t.Fatalf("empty batch: %v, %v", rels, err)
+	}
+}
+
+func TestSessionChargesAndRefuses(t *testing.T) {
+	s, err := NewSession(MustNew(WithSeed(3)), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []float64{5, 5}
+	if _, err := s.Release(Request{Counts: counts, Epsilon: 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Accountant().Spent(); got != 0.75 {
+		t.Fatalf("spent %v", got)
+	}
+	log := s.Accountant().Log()
+	if log[0].Label != "release:universal" {
+		t.Fatalf("charge label %q", log[0].Label)
+	}
+	_, err = s.Release(Request{Counts: counts, Epsilon: 0.5})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("overdraw error = %v", err)
+	}
+	// Refusals and invalid requests charge nothing.
+	if _, err := s.Release(Request{Counts: nil, Epsilon: 0.1}); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+	if got := s.Accountant().Spent(); got != 0.75 {
+		t.Fatalf("failed requests charged the budget: %v", got)
+	}
+	if rem := s.Remaining(); math.Abs(rem-0.25) > 1e-12 {
+		t.Fatalf("remaining %v", rem)
+	}
+}
+
+func TestSessionBatchAtomicCharge(t *testing.T) {
+	s, err := NewSession(MustNew(WithSeed(4)), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []float64{1, 2, 3, 4}
+	// Batch that fits: charged as one lump.
+	rels, err := s.ReleaseBatch([]Request{
+		{Counts: counts, Epsilon: 0.25},
+		{Strategy: StrategyLaplace, Counts: counts, Epsilon: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 2 || rels[0] == nil || rels[1] == nil {
+		t.Fatal("batch results wrong")
+	}
+	if got := s.Accountant().Spent(); got != 0.5 {
+		t.Fatalf("spent %v, want 0.5", got)
+	}
+	// Batch that would overdraw: refused outright, nothing charged, no
+	// release computed.
+	_, err = s.ReleaseBatch([]Request{
+		{Counts: counts, Epsilon: 0.4},
+		{Counts: counts, Epsilon: 0.4},
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("overdraw batch error = %v", err)
+	}
+	if got := s.Accountant().Spent(); got != 0.5 {
+		t.Fatalf("refused batch charged the budget: %v", got)
+	}
+	// Batch with an invalid member: refused before charging.
+	_, err = s.ReleaseBatch([]Request{
+		{Counts: counts, Epsilon: 0.1},
+		{Counts: nil, Epsilon: 0.1},
+	})
+	if err == nil {
+		t.Fatal("invalid batch member accepted")
+	}
+	if got := s.Accountant().Spent(); got != 0.5 {
+		t.Fatalf("invalid batch charged the budget: %v", got)
+	}
+}
+
+func TestSessionConstructors(t *testing.T) {
+	if _, err := NewSession(nil, 1); err == nil {
+		t.Error("nil mechanism accepted")
+	}
+	if _, err := NewSessionWithAccountant(MustNew(), nil); err == nil {
+		t.Error("nil accountant accepted")
+	}
+	shared := NewAccountant(2)
+	a, err := NewSessionWithAccountant(MustNew(WithSeed(1)), shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSessionWithAccountant(MustNew(WithSeed(2)), shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Release(Request{Counts: []float64{1}, Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Release(Request{Counts: []float64{1}, Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The shared accountant saw both sessions' charges.
+	if shared.Spent() != 2 {
+		t.Fatalf("shared accountant spent %v", shared.Spent())
+	}
+	if _, err := a.Release(Request{Counts: []float64{1}, Epsilon: 0.1}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("shared budget not enforced: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package dphist
+
+import (
+	"encoding"
+	"fmt"
+)
+
+// Strategy identifies one of the release pipelines the library
+// implements. The zero value is StrategyUniversal, the paper's flagship
+// mechanism, so a zero Request asks for a universal histogram.
+type Strategy int
+
+const (
+	// StrategyUniversal is the hierarchical histogram H with constrained
+	// inference (Sections 3-4): answers arbitrary range queries with
+	// poly-logarithmic error.
+	StrategyUniversal Strategy = iota
+	// StrategyLaplace is the flat noisy histogram L~, the conventional
+	// baseline.
+	StrategyLaplace
+	// StrategyUnattributed is the sorted query S with isotonic inference:
+	// the multiset of counts.
+	StrategyUnattributed
+	// StrategyWavelet is the Haar-wavelet mechanism of Xiao et al.
+	// (Privelet), the related-work comparator.
+	StrategyWavelet
+	// StrategyDegreeSequence is the unattributed pipeline followed by
+	// projection onto graphical degree sequences (Appendix B).
+	StrategyDegreeSequence
+	// StrategyHierarchy answers a custom constraint forest, such as the
+	// introduction's student-grades query set.
+	StrategyHierarchy
+
+	numStrategies // sentinel; keep last
+)
+
+var strategyNames = [numStrategies]string{
+	StrategyUniversal:      "universal",
+	StrategyLaplace:        "laplace",
+	StrategyUnattributed:   "unattributed",
+	StrategyWavelet:        "wavelet",
+	StrategyDegreeSequence: "degree_sequence",
+	StrategyHierarchy:      "hierarchy",
+}
+
+// Strategies returns every defined strategy in a fixed order, for
+// registries and table-driven code that must cover them all.
+func Strategies() []Strategy {
+	out := make([]Strategy, numStrategies)
+	for i := range out {
+		out[i] = Strategy(i)
+	}
+	return out
+}
+
+// Valid reports whether s is one of the defined strategies.
+func (s Strategy) Valid() bool { return s >= 0 && s < numStrategies }
+
+// String returns the canonical wire name of the strategy.
+func (s Strategy) String() string {
+	if !s.Valid() {
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+	return strategyNames[s]
+}
+
+// ParseStrategy maps a wire name back to its Strategy. It accepts the
+// canonical names from String plus the alias "degree" for
+// "degree_sequence".
+func ParseStrategy(name string) (Strategy, error) {
+	if name == "degree" {
+		return StrategyDegreeSequence, nil
+	}
+	for i, n := range strategyNames {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("dphist: unknown strategy %q", name)
+}
+
+// MarshalText encodes the strategy as its canonical name, so Strategy
+// fields serialize as strings in JSON and text formats.
+func (s Strategy) MarshalText() ([]byte, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("dphist: cannot encode invalid strategy %d", int(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText decodes a canonical strategy name.
+func (s *Strategy) UnmarshalText(data []byte) error {
+	parsed, err := ParseStrategy(string(data))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+var (
+	_ encoding.TextMarshaler   = Strategy(0)
+	_ encoding.TextUnmarshaler = (*Strategy)(nil)
+)

@@ -1,0 +1,73 @@
+package dphist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestStrategyStringParseRoundTrip(t *testing.T) {
+	for _, s := range Strategies() {
+		back, err := ParseStrategy(s.String())
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if back != s {
+			t.Fatalf("%v parsed back as %v", s, back)
+		}
+	}
+}
+
+func TestStrategyZeroValueIsUniversal(t *testing.T) {
+	var s Strategy
+	if s != StrategyUniversal {
+		t.Fatal("zero Strategy is not universal")
+	}
+}
+
+func TestParseStrategyErrorsAndAliases(t *testing.T) {
+	if _, err := ParseStrategy(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := ParseStrategy("htilde"); err == nil {
+		t.Error("non-strategy name accepted")
+	}
+	s, err := ParseStrategy("degree")
+	if err != nil || s != StrategyDegreeSequence {
+		t.Errorf("degree alias: %v, %v", s, err)
+	}
+}
+
+func TestStrategyJSONRoundTrip(t *testing.T) {
+	for _, s := range Strategies() {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Strategy
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Fatalf("%v JSON round-tripped to %v", s, back)
+		}
+	}
+	var s Strategy
+	if err := json.Unmarshal([]byte(`"nope"`), &s); err == nil {
+		t.Error("unknown JSON strategy accepted")
+	}
+	if err := json.Unmarshal([]byte(`3`), &s); err == nil {
+		t.Error("numeric JSON strategy accepted")
+	}
+	if _, err := json.Marshal(Strategy(99)); err == nil {
+		t.Error("invalid strategy marshalled")
+	}
+}
+
+func TestStrategyValidAndString(t *testing.T) {
+	if Strategy(99).Valid() || Strategy(-1).Valid() {
+		t.Error("out-of-range strategy reported valid")
+	}
+	if got := Strategy(99).String(); got != "strategy(99)" {
+		t.Errorf("String on invalid strategy = %q", got)
+	}
+}
