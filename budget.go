@@ -57,6 +57,11 @@ func (a *Accountant) Spend(label string, eps float64) error {
 	if a.spent+eps > a.total*(1+1e-12) {
 		return fmt.Errorf("%w: spent %v of %v, cannot add %v", ErrBudgetExceeded, a.spent, a.total, eps)
 	}
+	// The raw accumulator may sit a hair above total after a charge
+	// admitted inside the tolerance window; it must stay un-clamped so
+	// the admission check sees the true sum and the window self-exhausts
+	// instead of admitting tiny charges forever. Spent/Remaining clamp
+	// at read time.
 	a.spent += eps
 	a.log = append(a.log, Charge{Label: label, Epsilon: eps})
 	return nil
@@ -72,10 +77,18 @@ func (a *Accountant) Remaining() float64 {
 	return 0
 }
 
-// Spent returns the total consumed so far.
+// Spent returns the total consumed so far, clamped to Total: a final
+// charge admitted inside the rounding-tolerance window can push the
+// float sum a hair past the budget, and that hair must not leak into
+// the public accounting. Spent() <= Total() always holds, and an
+// exhausted accountant reports exactly Spent() == Total() with
+// Remaining() == 0.
 func (a *Accountant) Spent() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.spent > a.total {
+		return a.total
+	}
 	return a.spent
 }
 

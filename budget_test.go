@@ -48,6 +48,60 @@ func TestAccountantExactSplitTolerance(t *testing.T) {
 	}
 }
 
+// Regression: a charge admitted inside the rounding-tolerance window
+// must not leave Spent() above Total() — 0.1 + 0.2 sums a hair past 0.3
+// in floats, and before the clamp that hair leaked into the public
+// accounting so that Spent() + Remaining() != Total().
+func TestAccountantClampsSpentToTotal(t *testing.T) {
+	cases := []struct {
+		total  float64
+		spends []float64
+	}{
+		{0.3, []float64{0.1, 0.2}},
+		{1.0, Split(1.0, 3)},
+		{1.0, Split(1.0, 7)},
+		{2.4, []float64{0.8, 0.8, 0.8}},
+	}
+	for _, c := range cases {
+		a := NewAccountant(c.total)
+		for i, eps := range c.spends {
+			if err := a.Spend("share", eps); err != nil {
+				t.Fatalf("total %v: installment %d refused: %v", c.total, i, err)
+			}
+		}
+		if a.Spent() > a.Total() {
+			t.Errorf("total %v: Spent() = %v exceeds Total()", c.total, a.Spent())
+		}
+		if a.Spent()+a.Remaining() != a.Total() {
+			t.Errorf("total %v: Spent()+Remaining() = %v, Total() = %v",
+				c.total, a.Spent()+a.Remaining(), a.Total())
+		}
+	}
+}
+
+// The clamp lives in the read accessors, not the admission accumulator:
+// if Spend clamped the running sum, every tiny charge admitted through
+// the tolerance window would reset it, admitting real epsilon forever
+// while Spent() stood still. The window must self-exhaust.
+func TestAccountantToleranceWindowSelfExhausts(t *testing.T) {
+	a := NewAccountant(1.0)
+	if err := a.Spend("all", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if a.Spend("dust", 1e-12) == nil {
+			admitted++
+		}
+	}
+	if admitted > 1 {
+		t.Fatalf("%d dust charges admitted after exhaustion; window did not close", admitted)
+	}
+	if a.Spent() != a.Total() || a.Remaining() != 0 {
+		t.Fatalf("Spent = %v, Remaining = %v after exhaustion", a.Spent(), a.Remaining())
+	}
+}
+
 func TestAccountantInvalidSpends(t *testing.T) {
 	a := NewAccountant(1.0)
 	for _, eps := range []float64{0, -1, math.Inf(1), math.NaN()} {

@@ -19,8 +19,9 @@
 //	nonneg    Section 4.2 non-negativity heuristic ablation
 //	wavelet   Haar wavelet (Xiao et al.) vs H~ and H-bar
 //	2d        2D universal histograms (Appendix B extension)
+//	serving   release-store batch range-query throughput (engineering)
 //	verify    live scorecard of every reproducible paper claim
-//	all       run everything above in order
+//	all       run every paper experiment above in order
 //
 // Flags:
 //
@@ -34,11 +35,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
+	"github.com/dphist/dphist"
 	"github.com/dphist/dphist/internal/experiments"
 )
 
@@ -89,6 +93,7 @@ func main() {
 		"nonneg":    runNonNeg,
 		"wavelet":   runWavelet,
 		"2d":        run2D,
+		"serving":   runServing,
 		"verify":    runVerify,
 	}
 	name := flag.Arg(0)
@@ -109,7 +114,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: dphist-bench [flags] <experiment>\n\n")
-	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d all\n\n")
+	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving all\n\n")
 	flag.PrintDefaults()
 }
 
@@ -287,6 +292,79 @@ func run2D(cfg experiments.Config) {
 	for _, r := range experiments.RunExt2D(cfg) {
 		fmt.Fprintf(w, "%g\t%.4g\t%.4g\t%.4g\t%.4g\t\n",
 			r.Epsilon, r.ErrFlat, r.ErrQuadTree, r.ErrInferred, r.ErrInferredNN)
+	}
+	w.Flush()
+}
+
+// runServing measures the read side the paper motivates but never
+// benchmarks: once a release is minted (one budget charge), how fast can
+// arbitrary range queries be answered against it? It mints one release
+// per row into a dphist.Store and times 1,000-range batches through
+// Store.Query — the exact path POST /v1/query serves.
+func runServing(cfg experiments.Config) {
+	domain := 1 << 14
+	batches := 200
+	if cfg.Scale == experiments.ScaleSmall {
+		domain = 1 << 10
+		batches = 50
+	}
+	const batchSize = 1000
+	fmt.Printf("== Serving engine: %d-range batches against stored releases (domain %d) ==\n",
+		batchSize, domain)
+
+	counts := make([]float64, domain)
+	for i := range counts {
+		counts[i] = float64(i % 23)
+	}
+	specs := make([]dphist.RangeSpec, batchSize)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 17))
+	for i := range specs {
+		lo := rng.IntN(domain)
+		specs[i] = dphist.RangeSpec{Lo: lo, Hi: lo + 1 + rng.IntN(domain-lo)}
+	}
+
+	store := dphist.NewStore()
+	session, err := dphist.NewSession(dphist.MustNew(dphist.WithSeed(cfg.Seed)), 100)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if _, _, err := store.Mint(session, "universal", dphist.Request{
+		Strategy: dphist.StrategyUniversal, Counts: counts, Epsilon: 0.1}); err != nil {
+		fatalf("%v", err)
+	}
+	if _, _, err := store.Mint(session, "laplace", dphist.Request{
+		Strategy: dphist.StrategyLaplace, Counts: counts, Epsilon: 0.1}); err != nil {
+		fatalf("%v", err)
+	}
+	// A consistent-configuration mechanism reaches the O(1) prefix path.
+	consistent, err := dphist.NewSession(dphist.MustNew(dphist.WithSeed(cfg.Seed),
+		dphist.WithoutNonNegativity(), dphist.WithoutRounding()), 100)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if _, _, err := store.Mint(consistent, "universal-consistent", dphist.Request{
+		Strategy: dphist.StrategyUniversal, Counts: counts, Epsilon: 0.1}); err != nil {
+		fatalf("%v", err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "release\tqueries\telapsed\tns/query\tqueries/sec\t\n")
+	for _, name := range []string{"universal", "universal-consistent", "laplace"} {
+		if _, _, err := store.Query(name, specs); err != nil { // warm up
+			fatalf("%v", err)
+		}
+		startTime := time.Now()
+		for b := 0; b < batches; b++ {
+			if _, _, err := store.Query(name, specs); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		elapsed := time.Since(startTime)
+		queries := batches * batchSize
+		perQuery := float64(elapsed.Nanoseconds()) / float64(queries)
+		fmt.Fprintf(w, "%s\t%d\t%v\t%.0f\t%.3g\t\n",
+			name, queries, elapsed.Round(time.Millisecond), perQuery,
+			float64(queries)/elapsed.Seconds())
 	}
 	w.Flush()
 }

@@ -8,13 +8,15 @@
 //
 // Flags:
 //
-//	-addr A      listen address (default :8080)
-//	-domain N    domain size (required)
-//	-col N       0-based CSV column holding the position (default 0)
-//	-budget F    total epsilon budget (default 1.0)
-//	-cap F       per-request epsilon cap (0 = none)
-//	-k N         universal tree branching factor (default 2)
-//	-seed N      noise seed (0 = derive from current time)
+//	-addr A        listen address (default :8080)
+//	-domain N      domain size (required)
+//	-col N         0-based CSV column holding the position (default 0)
+//	-budget F      total epsilon budget (default 1.0)
+//	-cap F         per-request epsilon cap (0 = none)
+//	-k N           universal tree branching factor (default 2)
+//	-seed N        noise seed (0 = derive from current time)
+//	-store-cap N   max stored releases, LRU-evicted past it (0 = unbounded)
+//	-store-ttl D   stored-release lifetime, e.g. 1h (0 = forever)
 //
 // API:
 //
@@ -24,6 +26,17 @@
 //	                       wavelet|degree_sequence","epsilon":0.1}
 //	                     -> {"version":2,"strategy":..,"release":{..},
 //	                         "budget_remaining":..}
+//	POST /v1/releases    {"name":"traffic","strategy":"universal",
+//	                      "epsilon":0.1}
+//	                     -> mints AND retains the release under the name
+//	                        (re-posting a name bumps its version), reply
+//	                        as /v1/release plus {"name","version",..}
+//	GET  /v1/releases    -> {"releases":[{"name","version","strategy",
+//	                         "epsilon","domain","stored_at"},..]}
+//	POST /v1/query       {"name":"traffic","ranges":[{"lo":0,"hi":64},..]}
+//	                     -> {"name","version","strategy","answers":[..]}
+//	                        answering the whole batch in one round trip;
+//	                        querying spends no budget
 //
 // The embedded release payload is self-describing and decodes with
 // dphist.DecodeRelease. The hierarchy strategy needs a constraint
@@ -51,6 +64,8 @@ func main() {
 		epsCap     = flag.Float64("cap", 0, "per-request epsilon cap (0 = none)")
 		branching  = flag.Int("k", 2, "universal tree branching factor")
 		seed       = flag.Uint64("seed", 0, "noise seed (0 = derive from current time)")
+		storeCap   = flag.Int("store-cap", 0, "max stored releases, LRU-evicted past it (0 = unbounded)")
+		storeTTL   = flag.Duration("store-ttl", 0, "stored-release lifetime (0 = forever)")
 	)
 	flag.Parse()
 	if *domainSize < 1 {
@@ -76,6 +91,8 @@ func main() {
 		Seed:                 s,
 		Branching:            *branching,
 		MaxEpsilonPerRequest: *epsCap,
+		StoreCapacity:        *storeCap,
+		StoreTTL:             *storeTTL,
 	})
 	if err != nil {
 		fatal(err)

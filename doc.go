@@ -55,6 +55,38 @@
 // shape, graphicality checks); Release(Request) is the polymorphic
 // equivalent serving layers should build on.
 //
+// # Serving range queries
+//
+// Minting a release spends budget; querying it afterwards is free, so a
+// deployment mints rarely and queries at traffic. Two types carry that
+// read side:
+//
+//   - Store retains releases behind names — versioned (every Put under a
+//     name bumps its version, monotonically, even across eviction),
+//     bounded by LRU capacity (WithCapacity) and TTL (WithTTL), and safe
+//     for concurrent use. Store.Mint charges a Session and retains the
+//     result in one step; Store.Query answers a range batch against a
+//     stored release by name.
+//   - QueryBatch answers many RangeSpec queries [Lo, Hi) against one
+//     release in a single call, validating every spec before answering
+//     any. For a UniversalRelease it runs allocation-free: an iterative
+//     O(log n) subtree decomposition per query, or O(1) precomputed
+//     prefix sums when the post-processed tree is exactly consistent
+//     (WithoutNonNegativity plus WithoutRounding). QueryBatchInto reuses
+//     a caller-owned result buffer so steady-state serving allocates
+//     nothing at all.
+//
+// Range semantics are uniform across all six release types: intervals
+// are half-open, the empty query lo == hi answers 0, and out-of-bounds
+// or inverted ranges fail. Releases are self-contained — the exported
+// raw-answer slices (Noisy, Inferred) are copies, so nothing an analyst
+// mutates can desynchronize Counts, Range, or Total.
+//
+// The internal/server package (run it via cmd/dphist-server) exposes
+// this layer over HTTP: POST /v1/releases mints-and-stores, GET
+// /v1/releases lists, POST /v1/query answers a whole batch in one round
+// trip.
+//
 // Baselines from the paper are included for comparison: the
 // sort-and-round estimator S~r (UnattributedRelease.SortRoundBaseline)
 // and the no-inference tree H~ (UniversalRelease.RangeNoisy).

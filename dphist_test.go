@@ -115,8 +115,8 @@ func TestLaplaceRelease(t *testing.T) {
 	if got != r.Total() {
 		t.Fatal("Range(0,n) != Total")
 	}
-	if _, err := r.Range(2, 2); err == nil {
-		t.Fatal("empty range accepted")
+	if got, err := r.Range(2, 2); err != nil || got != 0 {
+		t.Fatalf("empty range = %v, %v; want 0, nil", got, err)
 	}
 	// At eps=10 the rounded answer should equal the truth.
 	for i, v := range published {

@@ -57,9 +57,11 @@ type DegreeSequenceRelease struct {
 }
 
 func newDegreeSequenceRelease(noisy, inferred, counts []float64, eps float64) *DegreeSequenceRelease {
+	// Noisy and Inferred are copied so the release never shares slices
+	// with its caller (see the Release doc on aliasing).
 	return &DegreeSequenceRelease{
-		Noisy:    noisy,
-		Inferred: inferred,
+		Noisy:    append([]float64(nil), noisy...),
+		Inferred: append([]float64(nil), inferred...),
 		counts:   counts,
 		prefix:   prefixSums(counts),
 		eps:      eps,
@@ -79,10 +81,13 @@ func (r *DegreeSequenceRelease) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
+func (r *DegreeSequenceRelease) domain() int { return len(r.counts) }
+
 // Range answers the rank-interval query [lo, hi): the estimated sum of
-// the lo-th through (hi-1)-th smallest degrees.
+// the lo-th through (hi-1)-th smallest degrees. The empty range
+// lo == hi answers 0.
 func (r *DegreeSequenceRelease) Range(lo, hi int) (float64, error) {
-	if lo < 0 || hi > len(r.counts) || lo >= hi {
+	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
 	return r.prefix[hi] - r.prefix[lo], nil

@@ -251,13 +251,41 @@ func (t *Tree) decompose(v, lo, hi int, out *[]int) {
 	}
 }
 
-// RangeSum answers the range count [lo, hi) from a BFS count vector using
-// the minimal subtree decomposition.
+// RangeSum answers the range count [lo, hi) from a BFS count vector by
+// summing the same minimal subtree decomposition Decompose returns, but
+// iteratively and without allocating: it walks the tree bottom-up,
+// peeling off maximal nodes at both ends of the range until the
+// endpoints align with parent boundaries. Per level at most 2(k-1)
+// nodes are touched, so a query costs O(k log n) time and zero bytes —
+// the serving hot path. The empty range lo == hi sums to zero; it
+// panics on a malformed range.
 func (t *Tree) RangeSum(counts []float64, lo, hi int) float64 {
 	t.checkLen(counts)
+	if lo < 0 || hi > t.leaves || lo > hi {
+		panic(fmt.Sprintf("htree: bad range [%d,%d) for %d leaves", lo, hi, t.leaves))
+	}
+	// l and r index nodes within the current level; start is the BFS
+	// index of the level's first node and width its node count.
 	sum := 0.0
-	for _, v := range t.Decompose(lo, hi) {
-		sum += counts[v]
+	l, r := lo, hi
+	start := t.LeafStart()
+	width := t.leaves
+	for l < r {
+		// A node whose level offset is not a multiple of k does not
+		// start (or end) a parent block, so it cannot be covered by any
+		// ancestor: emit it now. Everything left aligned moves up.
+		for l%t.k != 0 && l < r {
+			sum += counts[start+l]
+			l++
+		}
+		for r%t.k != 0 && l < r {
+			r--
+			sum += counts[start+r]
+		}
+		l /= t.k
+		r /= t.k
+		width /= t.k
+		start -= width
 	}
 	return sum
 }

@@ -251,6 +251,59 @@ func TestRangeSumMatchesDirectSum(t *testing.T) {
 	}
 }
 
+// The iterative RangeSum must visit exactly the nodes Decompose names —
+// integer counts make the comparison exact regardless of summation
+// order — across branching factors, domains, and every range.
+func TestRangeSumMatchesDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 7))
+	for _, k := range []int{2, 3, 4, 5} {
+		for _, domain := range []int{1, 2, 7, 16, 100} {
+			tr := MustNew(k, domain)
+			counts := make([]float64, tr.NumNodes())
+			for i := range counts {
+				counts[i] = float64(rng.IntN(1000))
+			}
+			for lo := 0; lo <= tr.NumLeaves(); lo++ {
+				for hi := lo + 1; hi <= tr.NumLeaves(); hi++ {
+					want := 0.0
+					for _, v := range tr.Decompose(lo, hi) {
+						want += counts[v]
+					}
+					if got := tr.RangeSum(counts, lo, hi); got != want {
+						t.Fatalf("k=%d domain=%d: RangeSum[%d,%d) = %v, decomposition sum = %v",
+							k, domain, lo, hi, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRangeSumEmptyRangeIsZero(t *testing.T) {
+	tr := MustNew(3, 10)
+	counts := tr.FromLeaves([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for lo := 0; lo <= tr.NumLeaves(); lo++ {
+		if got := tr.RangeSum(counts, lo, lo); got != 0 {
+			t.Fatalf("RangeSum[%d,%d) = %v, want 0", lo, lo, got)
+		}
+	}
+}
+
+func TestRangeSumPanicsOnBadRange(t *testing.T) {
+	tr := MustNew(2, 8)
+	counts := make([]float64, tr.NumNodes())
+	for _, r := range [][2]int{{-1, 3}, {0, 9}, {5, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RangeSum(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			tr.RangeSum(counts, r[0], r[1])
+		}()
+	}
+}
+
 func TestFromLeavesPanicsOnOverflow(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -313,6 +366,22 @@ func BenchmarkDecompose(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr.Decompose(1234, 43210)
+	}
+}
+
+// The serving hot path: one range query against a stored tree must be
+// allocation-free (compare BenchmarkDecompose, which builds a node
+// slice per call).
+func BenchmarkRangeSum(b *testing.B) {
+	tr := MustNew(2, 1<<16)
+	counts := make([]float64, tr.NumNodes())
+	for i := range counts {
+		counts[i] = float64(i % 13)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.RangeSum(counts, 1234, 43210)
 	}
 }
 

@@ -15,6 +15,13 @@
 // assembles its dphist.Request from server state, and the uniform
 // dphist.Release interface carries the result back to the wire. Adding a
 // strategy to the library means adding one registry entry here.
+//
+// Beyond one-shot minting, the server retains releases in a
+// dphist.Store and answers batched range queries against them, so the
+// budget-free read side scales with query traffic instead of privacy
+// spend: POST /v1/releases mints-and-stores under a name, GET
+// /v1/releases lists what is retained, and POST /v1/query answers many
+// [lo, hi) ranges against one stored release in a single round trip.
 package server
 
 import (
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"time"
 
 	"github.com/dphist/dphist"
 )
@@ -52,12 +60,20 @@ type Config struct {
 	// whose leaf counts are Counts (so it must have exactly len(Counts)
 	// leaves). When nil, hierarchy requests are refused.
 	Hierarchy *dphist.Hierarchy
+	// StoreCapacity bounds how many named releases the server retains
+	// for /v1/query; past it the least recently queried release is
+	// evicted. 0 means unbounded.
+	StoreCapacity int
+	// StoreTTL expires stored releases this long after minting. 0 means
+	// they never expire.
+	StoreTTL time.Duration
 }
 
 // Server is the HTTP-facing privacy mechanism. Safe for concurrent use.
 type Server struct {
 	cfg     Config
 	session *dphist.Session
+	store   *dphist.Store
 }
 
 // New validates the configuration and returns a Server.
@@ -89,12 +105,20 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, session: session}, nil
+	store := dphist.NewStore(
+		dphist.WithCapacity(cfg.StoreCapacity),
+		dphist.WithTTL(cfg.StoreTTL),
+	)
+	return &Server{cfg: cfg, session: session, store: store}, nil
 }
 
 // Session returns the budgeted session behind the handlers, for
 // embedding callers that also issue releases directly.
 func (s *Server) Session() *dphist.Session { return s.session }
+
+// Store returns the release store behind /v1/query, for embedding
+// callers that mint or query releases directly.
+func (s *Server) Store() *dphist.Store { return s.store }
 
 // requestBuilder assembles the dphist.Request that serves one strategy
 // from the server's protected state, or reports why the strategy is not
@@ -136,6 +160,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/budget", s.handleBudget)
 	mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
 	mux.HandleFunc("POST /v1/release", s.handleRelease)
+	mux.HandleFunc("POST /v1/releases", s.handleStoreRelease)
+	mux.HandleFunc("GET /v1/releases", s.handleListReleases)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	return mux
 }
 
@@ -197,41 +224,68 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
-	var req releaseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
-		return
+// buildRequest validates the wire strategy/epsilon pair and assembles
+// the library request that serves it, reporting failures as a ready-to-
+// write status and message (status 0 means success).
+func (s *Server) buildRequest(strategyName, legacyTask string, eps float64) (dphist.Request, dphist.Strategy, int, string) {
+	if !(eps > 0) {
+		return dphist.Request{}, 0, http.StatusBadRequest, "epsilon must be positive"
 	}
-	if !(req.Epsilon > 0) {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "epsilon must be positive"})
-		return
+	if s.cfg.MaxEpsilonPerRequest > 0 && eps > s.cfg.MaxEpsilonPerRequest {
+		return dphist.Request{}, 0, http.StatusBadRequest,
+			fmt.Sprintf("epsilon %v exceeds per-request cap %v", eps, s.cfg.MaxEpsilonPerRequest)
 	}
-	if s.cfg.MaxEpsilonPerRequest > 0 && req.Epsilon > s.cfg.MaxEpsilonPerRequest {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("epsilon %v exceeds per-request cap %v", req.Epsilon, s.cfg.MaxEpsilonPerRequest)})
-		return
-	}
-	name := req.Strategy
+	name := strategyName
 	if name == "" {
-		name = req.Task
+		name = legacyTask
 	}
 	if name == "" {
 		name = dphist.StrategyUniversal.String()
 	}
 	strategy, err := dphist.ParseStrategy(name)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "unknown strategy " + name})
-		return
+		return dphist.Request{}, 0, http.StatusBadRequest, "unknown strategy " + name
 	}
 	build, ok := registry[strategy]
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "strategy not served: " + name})
+		return dphist.Request{}, 0, http.StatusBadRequest, "strategy not served: " + name
+	}
+	request, err := build(s, eps)
+	if err != nil {
+		return dphist.Request{}, 0, http.StatusBadRequest, err.Error()
+	}
+	return request, strategy, 0, ""
+}
+
+// writeReleaseError maps a refused or failed mint onto a status code:
+// budget exhaustion is the analyst's problem (429), everything else the
+// server's (500).
+func writeReleaseError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, dphist.ErrBudgetExceeded) {
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// maxRequestBody caps request bodies before JSON decoding: 4 MiB fits a
+// maxQueryRanges batch comfortably while keeping one oversized POST
+// from materializing gigabytes in the decoder.
+const maxRequestBody = 4 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(v)
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
 		return
 	}
-	request, err := build(s, req.Epsilon)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	request, strategy, status, msg := s.buildRequest(req.Strategy, req.Task, req.Epsilon)
+	if status != 0 {
+		writeJSON(w, status, errorResponse{Error: msg})
 		return
 	}
 	// The session charges the budget after request validation but BEFORE
@@ -239,11 +293,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	// leaks nothing beyond the refusal itself.
 	release, err := s.session.Release(request)
 	if err != nil {
-		if errors.Is(err, dphist.ErrBudgetExceeded) {
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeReleaseError(w, err)
 		return
 	}
 	raw, err := json.Marshal(release)
@@ -258,6 +308,145 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		Domain:          len(s.cfg.Counts),
 		Release:         raw,
 		BudgetRemaining: s.session.Remaining(),
+	})
+}
+
+// storeReleaseRequest is the POST /v1/releases payload: mint a release
+// and retain it under Name for later /v1/query batches.
+type storeReleaseRequest struct {
+	Name     string  `json:"name"`
+	Strategy string  `json:"strategy"`
+	Epsilon  float64 `json:"epsilon"`
+}
+
+// storedReleaseInfo summarizes one stored release on the wire.
+type storedReleaseInfo struct {
+	Name     string    `json:"name"`
+	Version  int       `json:"version"`
+	Strategy string    `json:"strategy"`
+	Epsilon  float64   `json:"epsilon"`
+	Domain   int       `json:"domain"`
+	StoredAt time.Time `json:"stored_at"`
+}
+
+func wireEntry(e dphist.StoreEntry) storedReleaseInfo {
+	return storedReleaseInfo{
+		Name:     e.Name,
+		Version:  e.Version,
+		Strategy: e.Strategy.String(),
+		Epsilon:  e.Epsilon,
+		Domain:   e.Domain,
+		StoredAt: e.StoredAt,
+	}
+}
+
+// storeReleaseResponse is the POST /v1/releases reply: the stored
+// entry's metadata plus the self-describing release payload, so the
+// analyst can also query offline via dphist.DecodeRelease.
+type storeReleaseResponse struct {
+	storedReleaseInfo
+	Release         json.RawMessage `json:"release"`
+	BudgetRemaining float64         `json:"budget_remaining"`
+}
+
+func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request) {
+	var req storeReleaseRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if req.Name == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
+		return
+	}
+	request, _, status, msg := s.buildRequest(req.Strategy, "", req.Epsilon)
+	if status != 0 {
+		writeJSON(w, status, errorResponse{Error: msg})
+		return
+	}
+	release, entry, err := s.store.Mint(s.session, req.Name, request)
+	if err != nil {
+		writeReleaseError(w, err)
+		return
+	}
+	raw, err := json.Marshal(release)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, storeReleaseResponse{
+		storedReleaseInfo: wireEntry(entry),
+		Release:           raw,
+		BudgetRemaining:   s.session.Remaining(),
+	})
+}
+
+// listReleasesResponse is the GET /v1/releases payload.
+type listReleasesResponse struct {
+	Releases []storedReleaseInfo `json:"releases"`
+}
+
+func (s *Server) handleListReleases(w http.ResponseWriter, r *http.Request) {
+	entries := s.store.List()
+	out := make([]storedReleaseInfo, len(entries))
+	for i, e := range entries {
+		out[i] = wireEntry(e)
+	}
+	writeJSON(w, http.StatusOK, listReleasesResponse{Releases: out})
+}
+
+// maxQueryRanges bounds one /v1/query batch; query answering is cheap
+// (O(log n) per range, no budget) but unbounded batches would let one
+// analyst monopolize the connection.
+const maxQueryRanges = 100000
+
+// queryRequest is the POST /v1/query payload: a batch of half-open
+// ranges to answer against the stored release called Name.
+type queryRequest struct {
+	Name   string             `json:"name"`
+	Ranges []dphist.RangeSpec `json:"ranges"`
+}
+
+// queryResponse aligns Answers with the request's Ranges by index.
+type queryResponse struct {
+	Name     string    `json:"name"`
+	Version  int       `json:"version"`
+	Strategy string    `json:"strategy"`
+	Answers  []float64 `json:"answers"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if req.Name == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
+		return
+	}
+	if len(req.Ranges) > maxQueryRanges {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d ranges exceeds limit %d", len(req.Ranges), maxQueryRanges)})
+		return
+	}
+	answers, entry, err := s.store.Query(req.Name, req.Ranges)
+	if err != nil {
+		if errors.Is(err, dphist.ErrReleaseNotFound) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if answers == nil {
+		answers = []float64{} // empty batch encodes as [], not null
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Name:     entry.Name,
+		Version:  entry.Version,
+		Strategy: entry.Strategy.String(),
+		Answers:  answers,
 	})
 }
 

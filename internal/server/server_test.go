@@ -298,6 +298,171 @@ func TestDefaultStrategyIsUniversal(t *testing.T) {
 	}
 }
 
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestStoreReleaseAndQueryRoundTrip(t *testing.T) {
+	ts := newTestServer(t, 2.0)
+	resp, body := postJSON(t, ts, "/v1/releases",
+		`{"name":"traffic","strategy":"universal","epsilon":0.5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("store status %d: %s", resp.StatusCode, body)
+	}
+	var sr storeReleaseResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Name != "traffic" || sr.Version != 1 || sr.Strategy != "universal" ||
+		sr.Epsilon != 0.5 || sr.Domain != 8 || sr.BudgetRemaining != 1.5 {
+		t.Fatalf("store response meta wrong: %+v", sr)
+	}
+	// The embedded payload still decodes client-side.
+	if _, err := dphist.DecodeRelease(sr.Release); err != nil {
+		t.Fatalf("stored release payload does not decode: %v", err)
+	}
+
+	// The stored release is listed.
+	resp, err := http.Get(ts.URL + "/v1/releases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list listReleasesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Releases) != 1 || list.Releases[0].Name != "traffic" || list.Releases[0].Version != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// And queryable by name, empty ranges included.
+	resp, body = postJSON(t, ts, "/v1/query",
+		`{"name":"traffic","ranges":[{"lo":0,"hi":8},{"lo":3,"hi":3},{"lo":2,"hi":5}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Name != "traffic" || qr.Version != 1 || qr.Strategy != "universal" || len(qr.Answers) != 3 {
+		t.Fatalf("query response = %+v", qr)
+	}
+	if qr.Answers[1] != 0 {
+		t.Fatalf("empty range answered %v", qr.Answers[1])
+	}
+	// Answers match the decoded release queried offline.
+	rel, err := dphist.DecodeRelease(sr.Release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dphist.QueryBatch(rel, []dphist.RangeSpec{{Lo: 0, Hi: 8}, {Lo: 3, Hi: 3}, {Lo: 2, Hi: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if qr.Answers[i] != want[i] {
+			t.Fatalf("answers = %v, offline = %v", qr.Answers, want)
+		}
+	}
+}
+
+// The acceptance workload: a 1,000-range batch against one stored
+// universal release, answered in one round trip.
+func TestQueryThousandRangeBatch(t *testing.T) {
+	ts := newTestServer(t, 2.0)
+	if resp, body := postJSON(t, ts, "/v1/releases",
+		`{"name":"traffic","epsilon":0.5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("store status %d: %s", resp.StatusCode, body)
+	}
+	specs := make([]dphist.RangeSpec, 1000)
+	for i := range specs {
+		lo := i % 8
+		specs[i] = dphist.RangeSpec{Lo: lo, Hi: lo + (i % (9 - lo))}
+	}
+	payload, err := json.Marshal(struct {
+		Name   string             `json:"name"`
+		Ranges []dphist.RangeSpec `json:"ranges"`
+	}{Name: "traffic", Ranges: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts, "/v1/query", string(payload))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Answers) != 1000 {
+		t.Fatalf("%d answers for 1000 ranges", len(qr.Answers))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := newTestServer(t, 2.0)
+	// Unknown name is 404.
+	resp, body := postJSON(t, ts, "/v1/query", `{"name":"absent","ranges":[{"lo":0,"hi":1}]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown name status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts, "/v1/query", `{"ranges":[{"lo":0,"hi":1}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing name status %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts, "/v1/releases", `{"strategy":"laplace","epsilon":0.1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing store name status %d", resp.StatusCode)
+	}
+	// Out-of-domain ranges against a live release are 400.
+	if resp, body := postJSON(t, ts, "/v1/releases", `{"name":"h","epsilon":0.1}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("store status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts, "/v1/query", `{"name":"h","ranges":[{"lo":0,"hi":99}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad range status %d", resp.StatusCode)
+	}
+	// Failed stores charge nothing beyond the successful one.
+	resp2, err := http.Get(ts.URL + "/v1/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var b budgetResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent != 0.1 {
+		t.Fatalf("spent %v, want 0.1", b.Spent)
+	}
+}
+
+func TestStoreReleaseVersioningOverHTTP(t *testing.T) {
+	ts := newTestServer(t, 2.0)
+	for want := 1; want <= 2; want++ {
+		resp, body := postJSON(t, ts, "/v1/releases", `{"name":"h","strategy":"laplace","epsilon":0.1}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("store status %d: %s", resp.StatusCode, body)
+		}
+		var sr storeReleaseResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Version != want {
+			t.Fatalf("version = %d, want %d", sr.Version, want)
+		}
+	}
+}
+
 func TestConcurrentReleases(t *testing.T) {
 	ts := newTestServer(t, 100)
 	var wg sync.WaitGroup

@@ -1,0 +1,83 @@
+package dphist
+
+// The batch range-query engine: the read side of the serving layer.
+// Minting a release is a one-time O(n log n) event, but answering range
+// queries against it is the steady-state workload — the paper's headline
+// result (Theorem 4, Figure 6) is precisely that a consistent hierarchy
+// answers arbitrary ranges with polylogarithmic error, so a deployment
+// mints few releases and serves many queries. QueryBatch amortizes
+// validation and dispatch over a whole batch and, for UniversalRelease,
+// bypasses the interface to answer each range allocation-free.
+
+import "fmt"
+
+// RangeSpec names one half-open range query [Lo, Hi) over the index
+// space of a release's Counts: positions for the positional strategies,
+// ranks for the sorted ones, leaf-query order for StrategyHierarchy.
+// The empty range Lo == Hi is valid and answers 0.
+type RangeSpec struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// QueryBatch answers many range queries against one release in a single
+// call. Answers align with specs by index. The call is all-or-nothing:
+// every spec is validated against the release's domain before any is
+// answered, and a malformed spec fails the whole batch naming its index.
+//
+// For a UniversalRelease the batch is answered on a fast path — O(1)
+// prefix-sum lookups when the post-processed tree is exactly consistent,
+// otherwise an iterative O(log n) subtree decomposition — allocating
+// nothing per query. Use QueryBatchInto to also amortize the result
+// slice across calls.
+func QueryBatch(r Release, specs []RangeSpec) ([]float64, error) {
+	return QueryBatchInto(nil, r, specs)
+}
+
+// QueryBatchInto is QueryBatch appending into dst, so a serving loop can
+// reuse one result buffer and keep the steady-state allocation count at
+// zero. dst may be nil.
+func QueryBatchInto(dst []float64, r Release, specs []RangeSpec) ([]float64, error) {
+	n := releaseDomain(r)
+	for i, q := range specs {
+		if q.Lo < 0 || q.Hi > n || q.Lo > q.Hi {
+			return dst, fmt.Errorf("dphist: query %d: %w", i, badRange(q.Lo, q.Hi, n))
+		}
+	}
+	if rel, ok := r.(*UniversalRelease); ok {
+		if p := rel.leafPrefix; p != nil {
+			for _, q := range specs {
+				dst = append(dst, p[q.Hi]-p[q.Lo])
+			}
+			return dst, nil
+		}
+		for _, q := range specs {
+			dst = append(dst, rel.tree.RangeSum(rel.post, q.Lo, q.Hi))
+		}
+		return dst, nil
+	}
+	for i, q := range specs {
+		v, err := r.Range(q.Lo, q.Hi)
+		if err != nil {
+			return dst, fmt.Errorf("dphist: query %d: %w", i, err)
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// domainer is implemented by every in-library release (enforced at
+// compile time in results.go) so batch validation can learn the query
+// domain without copying Counts. New release types must add the
+// one-line domain method next to their Counts.
+type domainer interface{ domain() int }
+
+// releaseDomain returns the size of a release's query domain — what
+// len(r.Counts()) reports — without paying for the Counts copy when the
+// concrete type advertises it.
+func releaseDomain(r Release) int {
+	if d, ok := r.(domainer); ok {
+		return d.domain()
+	}
+	return len(r.Counts())
+}

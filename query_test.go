@@ -1,0 +1,203 @@
+package dphist
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// sixReleases mints one release of every strategy from the given
+// mechanism over a five-count input (five is the Grades leaf count, so
+// the hierarchy strategy joins the table).
+func sixReleases(t *testing.T, m *Mechanism) []Release {
+	t.Helper()
+	counts := []float64{2, 0, 10, 2, 5}
+	out := make([]Release, 0, len(Strategies()))
+	for _, strategy := range Strategies() {
+		req := Request{Strategy: strategy, Counts: counts, Epsilon: 1.0}
+		if strategy == StrategyHierarchy {
+			req.Hierarchy = Grades()
+		}
+		rel, err := m.Release(req)
+		if err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		out = append(out, rel)
+	}
+	return out
+}
+
+func TestQueryBatchMatchesRange(t *testing.T) {
+	for _, rel := range sixReleases(t, MustNew(WithSeed(11))) {
+		n := len(rel.Counts())
+		var specs []RangeSpec
+		for lo := 0; lo <= n; lo++ {
+			for hi := lo; hi <= n; hi++ {
+				specs = append(specs, RangeSpec{Lo: lo, Hi: hi})
+			}
+		}
+		answers, err := QueryBatch(rel, specs)
+		if err != nil {
+			t.Fatalf("%v: %v", rel.Strategy(), err)
+		}
+		if len(answers) != len(specs) {
+			t.Fatalf("%v: %d answers for %d specs", rel.Strategy(), len(answers), len(specs))
+		}
+		for i, q := range specs {
+			want, err := rel.Range(q.Lo, q.Hi)
+			if err != nil {
+				t.Fatalf("%v: Range(%d,%d): %v", rel.Strategy(), q.Lo, q.Hi, err)
+			}
+			if answers[i] != want {
+				t.Errorf("%v: batch [%d,%d) = %v, Range = %v",
+					rel.Strategy(), q.Lo, q.Hi, answers[i], want)
+			}
+		}
+	}
+}
+
+// The Release contract made checkable: for exactly-consistent
+// configurations (no non-negativity truncation, no rounding) every
+// strategy's Range agrees with summing its published Counts.
+func TestRangeEqualsSumOfCountsWhenConsistent(t *testing.T) {
+	m := MustNew(WithSeed(12), WithoutNonNegativity(), WithoutRounding())
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, rel := range sixReleases(t, m) {
+		counts := rel.Counts()
+		n := len(counts)
+		for trial := 0; trial < 200; trial++ {
+			lo := rng.IntN(n + 1)
+			hi := lo + rng.IntN(n-lo+1)
+			got, err := rel.Range(lo, hi)
+			if err != nil {
+				t.Fatalf("%v: Range(%d,%d): %v", rel.Strategy(), lo, hi, err)
+			}
+			want := 0.0
+			for _, v := range counts[lo:hi] {
+				want += v
+			}
+			tol := 1e-9 * (1 + math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Fatalf("%v: Range(%d,%d) = %v, sum(Counts[lo:hi]) = %v",
+					rel.Strategy(), lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestUniversalConsistentConfigUsesPrefixPath(t *testing.T) {
+	counts := make([]float64, 100)
+	for i := range counts {
+		counts[i] = float64(i % 9)
+	}
+	consistent, err := MustNew(WithSeed(13), WithoutNonNegativity(), WithoutRounding()).
+		UniversalHistogram(counts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consistent.leafPrefix == nil {
+		t.Fatal("exactly-consistent release did not precompute prefix sums")
+	}
+	// The prefix path and the tree decomposition must answer alike.
+	for lo := 0; lo <= len(counts); lo += 7 {
+		for hi := lo; hi <= len(counts); hi += 5 {
+			fast, err := consistent.Range(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow := consistent.tree.RangeSum(consistent.post, lo, hi)
+			if math.Abs(fast-slow) > 1e-6*(1+math.Abs(slow)) {
+				t.Fatalf("prefix [%d,%d) = %v, decomposition = %v", lo, hi, fast, slow)
+			}
+		}
+	}
+}
+
+func TestQueryBatchRejectsBadSpecs(t *testing.T) {
+	rel, err := MustNew(WithSeed(14)).UniversalHistogram([]float64{1, 2, 3, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []RangeSpec{{Lo: -1, Hi: 2}, {Lo: 0, Hi: 5}, {Lo: 3, Hi: 1}} {
+		specs := []RangeSpec{{Lo: 0, Hi: 4}, bad}
+		if _, err := QueryBatch(rel, specs); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		} else if !strings.Contains(err.Error(), "query 1") {
+			t.Errorf("spec %+v: error %q does not name the offending index", bad, err)
+		}
+	}
+	// Empty batches and empty ranges are fine.
+	if answers, err := QueryBatch(rel, nil); err != nil || len(answers) != 0 {
+		t.Fatalf("empty batch = %v, %v", answers, err)
+	}
+	answers, err := QueryBatch(rel, []RangeSpec{{Lo: 2, Hi: 2}, {Lo: 4, Hi: 4}, {Lo: 0, Hi: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range answers {
+		if v != 0 {
+			t.Fatalf("empty range %d answered %v", i, v)
+		}
+	}
+}
+
+// benchSpecs pregenerates a deterministic batch of mixed-width ranges.
+func benchSpecs(n, domain int) []RangeSpec {
+	rng := rand.New(rand.NewPCG(7, 8))
+	specs := make([]RangeSpec, n)
+	for i := range specs {
+		lo := rng.IntN(domain)
+		specs[i] = RangeSpec{Lo: lo, Hi: lo + 1 + rng.IntN(domain-lo)}
+	}
+	return specs
+}
+
+// BenchmarkBatchRange measures the serving hot path: a 1000-range batch
+// against one stored UniversalRelease. With -benchmem both sub-paths
+// must report zero allocations per operation (the result buffer is
+// amortized via QueryBatchInto).
+func BenchmarkBatchRange(b *testing.B) {
+	counts := make([]float64, 1<<14)
+	for i := range counts {
+		counts[i] = float64(i % 7)
+	}
+	specs := benchSpecs(1000, len(counts))
+
+	rel, err := MustNew(WithSeed(15)).UniversalHistogram(counts, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	consistent, err := MustNew(WithSeed(15), WithoutNonNegativity(), WithoutRounding()).
+		UniversalHistogram(counts, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if consistent.leafPrefix == nil {
+		b.Fatal("consistent release did not precompute prefix sums")
+	}
+	// Force the decomposition path even if this draw happens to leave
+	// the default release consistent.
+	rel.leafPrefix = nil
+
+	for _, bench := range []struct {
+		name string
+		rel  *UniversalRelease
+	}{
+		{"decompose", rel},
+		{"prefix", consistent},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			dst := make([]float64, 0, len(specs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, err = QueryBatchInto(dst[:0], bench.rel, specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package dphist
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"github.com/dphist/dphist/internal/core"
@@ -20,7 +21,13 @@ import (
 //     strategies, leaf-query answers for StrategyHierarchy.
 //   - Total estimates the number of records.
 //   - Range answers the half-open interval query [lo, hi) over the same
-//     index space as Counts.
+//     index space as Counts. The empty query lo == hi (with 0 <= lo <=
+//     len(Counts())) is valid and answers 0 for every release type.
+//
+// Releases are self-contained: the exported raw-answer slices (Noisy,
+// Inferred) are copies made at construction, so mutating them never
+// desynchronizes Counts, Range, or Total, and mutating the inputs a
+// release was built from never changes the release.
 //
 // Every Release also round-trips through JSON (encoding/json.Marshaler
 // and Unmarshaler); DecodeRelease turns the wire form back into the
@@ -33,14 +40,21 @@ type Release interface {
 	Range(lo, hi int) (float64, error)
 }
 
-// All six release types satisfy the interface.
+// All six release types satisfy the interface, and each advertises its
+// query-domain size to the batch engine (see domainer in query.go).
 var (
-	_ Release = (*LaplaceRelease)(nil)
-	_ Release = (*UnattributedRelease)(nil)
-	_ Release = (*UniversalRelease)(nil)
-	_ Release = (*WaveletRelease)(nil)
-	_ Release = (*DegreeSequenceRelease)(nil)
-	_ Release = (*HierarchyReleaseResult)(nil)
+	_ Release  = (*LaplaceRelease)(nil)
+	_ Release  = (*UnattributedRelease)(nil)
+	_ Release  = (*UniversalRelease)(nil)
+	_ Release  = (*WaveletRelease)(nil)
+	_ Release  = (*DegreeSequenceRelease)(nil)
+	_ Release  = (*HierarchyReleaseResult)(nil)
+	_ domainer = (*LaplaceRelease)(nil)
+	_ domainer = (*UnattributedRelease)(nil)
+	_ domainer = (*UniversalRelease)(nil)
+	_ domainer = (*WaveletRelease)(nil)
+	_ domainer = (*DegreeSequenceRelease)(nil)
+	_ domainer = (*HierarchyReleaseResult)(nil)
 )
 
 func badRange(lo, hi, n int) error {
@@ -71,7 +85,15 @@ func newLaplaceRelease(noisy []float64, round bool, eps float64) *LaplaceRelease
 	if round {
 		core.RoundNonNegInt(final)
 	}
-	return &LaplaceRelease{Noisy: noisy, counts: final, prefix: prefixSums(final), eps: eps}
+	// Copy Noisy so the release does not alias the caller's slice:
+	// counts/prefix are derived copies, and a shared Noisy would let
+	// later mutations desynchronize them silently.
+	return &LaplaceRelease{
+		Noisy:  append([]float64(nil), noisy...),
+		counts: final,
+		prefix: prefixSums(final),
+		eps:    eps,
+	}
 }
 
 // Strategy returns StrategyLaplace.
@@ -86,10 +108,13 @@ func (r *LaplaceRelease) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
+func (r *LaplaceRelease) domain() int { return len(r.counts) }
+
 // Range answers the half-open range-count query [lo, hi) by summing unit
-// estimates; its error grows linearly with hi-lo.
+// estimates; its error grows linearly with hi-lo. The empty range
+// lo == hi answers 0.
 func (r *LaplaceRelease) Range(lo, hi int) (float64, error) {
-	if lo < 0 || hi > len(r.counts) || lo >= hi {
+	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
 	return r.prefix[hi] - r.prefix[lo], nil
@@ -114,9 +139,11 @@ type UnattributedRelease struct {
 }
 
 func newUnattributedRelease(noisy, inferred, final []float64, eps float64) *UnattributedRelease {
+	// Noisy and Inferred are copied so the release never shares slices
+	// with its caller (see the Release doc on aliasing).
 	return &UnattributedRelease{
-		Noisy:    noisy,
-		Inferred: inferred,
+		Noisy:    append([]float64(nil), noisy...),
+		Inferred: append([]float64(nil), inferred...),
 		counts:   final,
 		prefix:   prefixSums(final),
 		eps:      eps,
@@ -136,10 +163,13 @@ func (r *UnattributedRelease) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
+func (r *UnattributedRelease) domain() int { return len(r.counts) }
+
 // Range answers the rank-interval query [lo, hi): the estimated sum of
-// the lo-th through (hi-1)-th smallest counts.
+// the lo-th through (hi-1)-th smallest counts. The empty range lo == hi
+// answers 0.
 func (r *UnattributedRelease) Range(lo, hi int) (float64, error) {
-	if lo < 0 || hi > len(r.counts) || lo >= hi {
+	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
 	return r.prefix[hi] - r.prefix[lo], nil
@@ -165,19 +195,36 @@ func (r *UnattributedRelease) SortRoundBaseline() []float64 {
 // truncation bias bounded independent of range width; summing truncated
 // unit counts instead would accumulate bias linearly in range size. With
 // WithoutNonNegativity and WithoutRounding the tree is exactly
-// consistent and the two agree to the last bit.
+// consistent, and Range answers from precomputed prefix sums over the
+// leaves — O(1) per query, bit-identical to sums over Counts.
 type UniversalRelease struct {
 	tree     *htree.Tree
 	noisy    []float64 // h~, BFS order
 	inferred []float64 // h-bar before post-processing, BFS order
 	post     []float64 // h-bar after non-negativity and rounding, BFS order
 	leaves   []float64 // published unit estimates over the real domain
-	eps      float64
+
+	// leafPrefix is the running-sum table over leaves, precomputed at
+	// construction when the post-processed tree is exactly consistent
+	// (no truncation happened, so decomposition and leaf sums agree):
+	// Range then answers in O(1) instead of walking the tree. Nil when
+	// the tree is inconsistent and decomposition is required.
+	leafPrefix []float64
+
+	eps float64
 }
 
 func newUniversalRelease(tree *htree.Tree, noisy, inferred, post []float64, eps float64) *UniversalRelease {
 	leaves := append([]float64(nil), tree.Leaves(post)...)
-	return &UniversalRelease{tree: tree, noisy: noisy, inferred: inferred, post: post, leaves: leaves, eps: eps}
+	r := &UniversalRelease{tree: tree, noisy: noisy, inferred: inferred, post: post, leaves: leaves, eps: eps}
+	// Consistency is checked with a tolerance scaled to the root
+	// magnitude: inference is closed-form floating-point arithmetic, so
+	// "exactly consistent" means equal up to accumulated rounding.
+	tol := 1e-9 * (1 + math.Abs(post[0]))
+	if tree.IsConsistent(post, tol) {
+		r.leafPrefix = prefixSums(leaves)
+	}
+	return r
 }
 
 // Strategy returns StrategyUniversal.
@@ -195,6 +242,8 @@ func (r *UniversalRelease) Counts() []float64 {
 // Domain returns the size of the real (unpadded) domain.
 func (r *UniversalRelease) Domain() int { return r.tree.Domain() }
 
+func (r *UniversalRelease) domain() int { return len(r.leaves) }
+
 // TreeHeight returns the height ell of the underlying query tree; the
 // release used sensitivity ell.
 func (r *UniversalRelease) TreeHeight() int { return r.tree.Height() }
@@ -203,19 +252,26 @@ func (r *UniversalRelease) TreeHeight() int { return r.tree.Height() }
 func (r *UniversalRelease) Branching() int { return r.tree.K() }
 
 // Range answers the half-open range-count query [lo, hi) from the
-// post-processed tree via minimal subtree decomposition (O(log n) nodes).
+// post-processed tree via minimal subtree decomposition (O(log n) nodes,
+// allocation-free), or from the precomputed leaf prefix sums in O(1)
+// when the tree is exactly consistent. The empty range lo == hi
+// answers 0.
 func (r *UniversalRelease) Range(lo, hi int) (float64, error) {
-	if lo < 0 || hi > len(r.leaves) || lo >= hi {
+	if lo < 0 || hi > len(r.leaves) || lo > hi {
 		return 0, badRange(lo, hi, len(r.leaves))
+	}
+	if r.leafPrefix != nil {
+		return r.leafPrefix[hi] - r.leafPrefix[lo], nil
 	}
 	return r.tree.RangeSum(r.post, lo, hi), nil
 }
 
 // RangeNoisy answers [lo, hi) from the raw noisy tree using the paper's
 // H~ strategy (summing the minimal subtree decomposition), bypassing
-// inference. It exists for baseline comparisons.
+// inference. It exists for baseline comparisons. The empty range
+// lo == hi answers 0.
 func (r *UniversalRelease) RangeNoisy(lo, hi int) (float64, error) {
-	if lo < 0 || hi > len(r.leaves) || lo >= hi {
+	if lo < 0 || hi > len(r.leaves) || lo > hi {
 		return 0, badRange(lo, hi, len(r.leaves))
 	}
 	return core.TreeRangeHTilde(r.tree, r.noisy, lo, hi), nil
@@ -223,6 +279,9 @@ func (r *UniversalRelease) RangeNoisy(lo, hi int) (float64, error) {
 
 // Total returns the estimated number of records in the real domain.
 func (r *UniversalRelease) Total() float64 {
+	if r.leafPrefix != nil {
+		return r.leafPrefix[len(r.leafPrefix)-1]
+	}
 	return r.tree.RangeSum(r.post, 0, len(r.leaves))
 }
 
@@ -268,9 +327,12 @@ func (r *WaveletRelease) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
-// Range answers the half-open range-count query [lo, hi).
+func (r *WaveletRelease) domain() int { return len(r.counts) }
+
+// Range answers the half-open range-count query [lo, hi). The empty
+// range lo == hi answers 0.
 func (r *WaveletRelease) Range(lo, hi int) (float64, error) {
-	if lo < 0 || hi > len(r.counts) || lo >= hi {
+	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
 	return r.prefix[hi] - r.prefix[lo], nil
@@ -300,9 +362,11 @@ func newHierarchyReleaseResult(h *core.Hierarchy, noisy, inferred []float64, eps
 	for i, leaf := range leaves {
 		counts[i] = inferred[leaf]
 	}
+	// Noisy and Inferred are copied so the release never shares slices
+	// with its caller (see the Release doc on aliasing).
 	return &HierarchyReleaseResult{
-		Noisy:    noisy,
-		Inferred: inferred,
+		Noisy:    append([]float64(nil), noisy...),
+		Inferred: append([]float64(nil), inferred...),
 		parent:   append([]int(nil), h.Parents()...),
 		leaves:   leaves,
 		counts:   counts,
@@ -323,6 +387,8 @@ func (r *HierarchyReleaseResult) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
+func (r *HierarchyReleaseResult) domain() int { return len(r.counts) }
+
 // Leaves returns the indices of the leaf queries whose answers Counts
 // reports, in ascending order.
 func (r *HierarchyReleaseResult) Leaves() []int {
@@ -330,9 +396,10 @@ func (r *HierarchyReleaseResult) Leaves() []int {
 }
 
 // Range answers the interval query [lo, hi) over the leaf sequence: the
-// estimated sum of leaf answers lo through hi-1 in Leaves order.
+// estimated sum of leaf answers lo through hi-1 in Leaves order. The
+// empty range lo == hi answers 0.
 func (r *HierarchyReleaseResult) Range(lo, hi int) (float64, error) {
-	if lo < 0 || hi > len(r.counts) || lo >= hi {
+	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
 	return r.prefix[hi] - r.prefix[lo], nil

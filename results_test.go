@@ -1,0 +1,139 @@
+package dphist
+
+// Regression tests for the Release aliasing and range-semantics
+// guarantees: constructors copy the caller-visible raw-answer slices,
+// and every release type answers the empty range [k, k) with 0.
+
+import (
+	"testing"
+
+	"github.com/dphist/dphist/internal/laplace"
+)
+
+// TestConstructorsCopyRawAnswerSlices mutates the slices a release was
+// constructed from and the exported fields themselves, checking that
+// neither desynchronizes the published Counts/Range/Total.
+func TestConstructorsCopyRawAnswerSlices(t *testing.T) {
+	noisy := []float64{3.4, -0.2, 10.1, 2.3}
+	inferred := []float64{0.1, 0.1, 3.0, 9.9}
+	final := []float64{0, 0, 3, 10}
+
+	lap := newLaplaceRelease(noisy, true, 1)
+	unat := newUnattributedRelease(noisy, inferred, final, 1)
+	deg := newDegreeSequenceRelease(noisy, inferred, final, 1)
+
+	wasNoisy := lap.Noisy[0]
+	noisy[0], inferred[0] = 999, 999
+	if lap.Noisy[0] != wasNoisy || unat.Noisy[0] != wasNoisy || deg.Noisy[0] != wasNoisy {
+		t.Fatal("mutating the constructor input reached a release's Noisy")
+	}
+	if unat.Inferred[0] == 999 || deg.Inferred[0] == 999 {
+		t.Fatal("mutating the constructor input reached a release's Inferred")
+	}
+
+	releases := []Release{lap, unat, deg}
+	h, err := MustNew(WithSeed(3)).HierarchyRelease(Grades(), []float64{2, 0, 10, 2, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	releases = append(releases, h)
+
+	// Mutating the exported raw-answer fields must not change what the
+	// release publishes.
+	for _, rel := range releases {
+		wantCounts := rel.Counts()
+		wantTotal := rel.Total()
+		wantRange, err := rel.Range(0, len(wantCounts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch r := rel.(type) {
+		case *LaplaceRelease:
+			r.Noisy[0] += 500
+		case *UnattributedRelease:
+			r.Noisy[0] += 500
+			r.Inferred[0] += 500
+		case *DegreeSequenceRelease:
+			r.Noisy[0] += 500
+			r.Inferred[0] += 500
+		case *HierarchyReleaseResult:
+			r.Noisy[0] += 500
+			r.Inferred[0] += 500
+		}
+		for i, v := range rel.Counts() {
+			if v != wantCounts[i] {
+				t.Fatalf("%v: Counts changed after mutating raw fields", rel.Strategy())
+			}
+		}
+		if rel.Total() != wantTotal {
+			t.Fatalf("%v: Total changed after mutating raw fields", rel.Strategy())
+		}
+		if got, _ := rel.Range(0, len(wantCounts)); got != wantRange {
+			t.Fatalf("%v: Range changed after mutating raw fields", rel.Strategy())
+		}
+	}
+}
+
+// TestEmptyRangeIsZeroForAllReleaseTypes pins the documented half-open
+// semantics: Range(k, k) = 0 for every 0 <= k <= len(Counts()), while
+// out-of-bounds and inverted ranges still fail.
+func TestEmptyRangeIsZeroForAllReleaseTypes(t *testing.T) {
+	for _, rel := range sixReleases(t, MustNew(WithSeed(21))) {
+		n := len(rel.Counts())
+		for _, k := range []int{0, n / 2, n} {
+			got, err := rel.Range(k, k)
+			if err != nil {
+				t.Errorf("%v: Range(%d,%d): %v", rel.Strategy(), k, k, err)
+			} else if got != 0 {
+				t.Errorf("%v: Range(%d,%d) = %v, want 0", rel.Strategy(), k, k, got)
+			}
+		}
+		for _, bad := range [][2]int{{-1, -1}, {n + 1, n + 1}, {2, 1}, {0, n + 1}} {
+			if _, err := rel.Range(bad[0], bad[1]); err == nil {
+				t.Errorf("%v: Range(%d,%d) accepted", rel.Strategy(), bad[0], bad[1])
+			}
+		}
+		// Universal releases expose a second query path; hold it to the
+		// same contract.
+		if uni, ok := rel.(*UniversalRelease); ok {
+			if got, err := uni.RangeNoisy(1, 1); err != nil || got != 0 {
+				t.Errorf("RangeNoisy(1,1) = %v, %v; want 0, nil", got, err)
+			}
+			if _, err := uni.RangeNoisy(2, 1); err == nil {
+				t.Error("RangeNoisy(2,1) accepted")
+			}
+		}
+	}
+}
+
+// The htree fast path and the recursive decomposition must agree on
+// public releases end to end (the internal equivalence test lives in
+// htree; this guards the wiring above it).
+func TestUniversalRangeMatchesDecomposition(t *testing.T) {
+	counts := make([]float64, 37) // force padding: 37 < 64 leaves
+	src := laplace.NewRand(1, 2)
+	for i := range counts {
+		counts[i] = float64(src.IntN(50))
+	}
+	rel, err := MustNew(WithSeed(22)).UniversalHistogram(counts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo <= len(counts); lo++ {
+		for hi := lo; hi <= len(counts); hi++ {
+			got, err := rel.Range(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0.0
+			if lo < hi {
+				for _, v := range rel.tree.Decompose(lo, hi) {
+					want += rel.post[v]
+				}
+			}
+			if got != want && rel.leafPrefix == nil {
+				t.Fatalf("Range(%d,%d) = %v, decomposition sum = %v", lo, hi, got, want)
+			}
+		}
+	}
+}

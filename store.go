@@ -1,0 +1,270 @@
+package dphist
+
+// The release store: the retention side of the serving layer. A data
+// owner mints releases rarely (each one spends budget, permanently) and
+// serves queries against them indefinitely, so the natural deployment
+// keeps every live release in memory behind a name and answers lookups
+// and range batches at traffic. Store is that retention layer: named,
+// versioned, bounded by LRU capacity and TTL, and safe for concurrent
+// use. Releases themselves are immutable, so Store hands out the stored
+// values directly — a query never copies a release.
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrReleaseNotFound reports a Store lookup under a name that holds no
+// live release: never stored, deleted, evicted by capacity, or expired
+// by TTL.
+var ErrReleaseNotFound = errors.New("dphist: release not found")
+
+// StoreEntry describes one stored release.
+type StoreEntry struct {
+	// Name is the key the release is stored under.
+	Name string
+	// Version counts Puts under this name, starting at 1. Versions are
+	// monotone for the lifetime of the Store: re-storing a name after
+	// deletion or eviction continues the sequence rather than restarting
+	// it, so an analyst can always tell a re-mint from a re-read.
+	Version int
+	// Strategy, Epsilon, and Domain summarize the release without
+	// touching its counts.
+	Strategy Strategy
+	Epsilon  float64
+	Domain   int
+	// StoredAt is the Put time; TTL expiry is measured from it.
+	StoredAt time.Time
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithCapacity bounds the number of retained releases: a Put that grows
+// the store past n evicts least-recently-used entries first. Get and
+// Query refresh recency. n <= 0 (the default) means unbounded.
+func WithCapacity(n int) StoreOption {
+	return func(s *Store) { s.capacity = n }
+}
+
+// WithTTL expires entries d after they were stored, regardless of use —
+// a privacy-motivated bound as much as a memory one, since a deployment
+// may promise analysts data no staler than d. d <= 0 (the default)
+// means entries never expire.
+func WithTTL(d time.Duration) StoreOption {
+	return func(s *Store) { s.ttl = d }
+}
+
+// storeItem is one live entry plus its position in the recency list.
+type storeItem struct {
+	release Release
+	entry   StoreEntry
+	elem    *list.Element // element of Store.recency; Value is the name
+}
+
+// Store is an in-memory, versioned release store with LRU and TTL
+// eviction. The zero value is not usable; construct with NewStore. All
+// methods are safe for concurrent use.
+//
+// Version counters deliberately survive eviction and deletion (so a
+// re-mint is always distinguishable from a re-read), which means the
+// counter map grows with the number of distinct names ever stored —
+// a few words per name — even when capacity bounds the releases
+// themselves. Deployments minting under unbounded fresh names should
+// recycle a fixed name scheme.
+type Store struct {
+	capacity int
+	ttl      time.Duration
+	now      func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	items    map[string]*storeItem
+	recency  *list.List     // front = most recently used
+	versions map[string]int // per-name Put counter; survives eviction
+}
+
+// NewStore returns an empty store with the given options applied.
+func NewStore(opts ...StoreOption) *Store {
+	s := &Store{
+		now:      time.Now,
+		items:    make(map[string]*storeItem),
+		recency:  list.New(),
+		versions: make(map[string]int),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Put stores the release under name, replacing any previous holder and
+// bumping the name's version. It returns the new entry metadata. Storing
+// may evict: expired entries are dropped first, then least-recently-used
+// ones until the capacity bound holds.
+func (s *Store) Put(name string, r Release) (StoreEntry, error) {
+	if name == "" {
+		return StoreEntry{}, errors.New("dphist: empty release name")
+	}
+	if r == nil {
+		return StoreEntry{}, errors.New("dphist: nil release")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.sweepExpiredLocked(now)
+	s.versions[name]++
+	entry := StoreEntry{
+		Name:     name,
+		Version:  s.versions[name],
+		Strategy: r.Strategy(),
+		Epsilon:  r.Epsilon(),
+		Domain:   releaseDomain(r),
+		StoredAt: now,
+	}
+	if it, ok := s.items[name]; ok {
+		it.release = r
+		it.entry = entry
+		s.recency.MoveToFront(it.elem)
+	} else {
+		s.items[name] = &storeItem{release: r, entry: entry, elem: s.recency.PushFront(name)}
+	}
+	for s.capacity > 0 && len(s.items) > s.capacity {
+		s.removeLocked(s.recency.Back().Value.(string))
+	}
+	return entry, nil
+}
+
+// Mint issues the request through the session — charging its budget —
+// and retains the result under name. Nothing is stored if either step
+// fails, and a request that fails validation or overdraws the budget
+// charges nothing; the charge follows Session.Release semantics (made
+// before the pipeline runs, never refunded), so a pipeline failure
+// after admission still costs its epsilon.
+func (s *Store) Mint(session *Session, name string, req Request) (Release, StoreEntry, error) {
+	if session == nil {
+		return nil, StoreEntry{}, errors.New("dphist: nil session")
+	}
+	if name == "" {
+		// Validate before spending: a release minted for an unusable
+		// name would burn budget for nothing.
+		return nil, StoreEntry{}, errors.New("dphist: empty release name")
+	}
+	rel, err := session.Release(req)
+	if err != nil {
+		return nil, StoreEntry{}, err
+	}
+	entry, err := s.Put(name, rel)
+	if err != nil {
+		return nil, StoreEntry{}, err
+	}
+	return rel, entry, nil
+}
+
+// Get returns the live release stored under name and its metadata,
+// refreshing its recency. The boolean reports whether the name held a
+// live (present, unexpired) release.
+func (s *Store) Get(name string) (Release, StoreEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it := s.liveLocked(name)
+	if it == nil {
+		return nil, StoreEntry{}, false
+	}
+	s.recency.MoveToFront(it.elem)
+	return it.release, it.entry, true
+}
+
+// Query answers a batch of range queries against the release stored
+// under name, refreshing its recency. It fails with ErrReleaseNotFound
+// when the name holds no live release; spec validation follows
+// QueryBatch. The release is read outside the store lock, so long
+// batches do not block other store traffic.
+func (s *Store) Query(name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
+	rel, entry, ok := s.Get(name)
+	if !ok {
+		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
+	}
+	answers, err := QueryBatch(rel, specs)
+	if err != nil {
+		return nil, entry, err
+	}
+	return answers, entry, nil
+}
+
+// List returns the metadata of every live entry, sorted by name. It does
+// not refresh recency.
+func (s *Store) List() []StoreEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepExpiredLocked(s.now())
+	out := make([]StoreEntry, 0, len(s.items))
+	for _, it := range s.items {
+		out = append(out, it.entry)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Delete removes the entry under name, reporting whether a live entry
+// was removed. The name's version counter is kept, so a later Put
+// continues the sequence.
+func (s *Store) Delete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.liveLocked(name) == nil {
+		return false
+	}
+	s.removeLocked(name)
+	return true
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepExpiredLocked(s.now())
+	return len(s.items)
+}
+
+// liveLocked returns the item under name if present and unexpired,
+// removing it (and returning nil) when expired.
+func (s *Store) liveLocked(name string) *storeItem {
+	it, ok := s.items[name]
+	if !ok {
+		return nil
+	}
+	if s.expired(it, s.now()) {
+		s.removeLocked(name)
+		return nil
+	}
+	return it
+}
+
+func (s *Store) expired(it *storeItem, now time.Time) bool {
+	return s.ttl > 0 && now.Sub(it.entry.StoredAt) >= s.ttl
+}
+
+// sweepExpiredLocked drops every expired entry. TTL runs from StoredAt
+// while the recency list orders by use, so a full scan is needed; the
+// store is capacity-bounded in any deployment that cares, keeping this
+// O(capacity).
+func (s *Store) sweepExpiredLocked(now time.Time) {
+	if s.ttl <= 0 {
+		return
+	}
+	for name, it := range s.items {
+		if s.expired(it, now) {
+			s.removeLocked(name)
+		}
+	}
+}
+
+func (s *Store) removeLocked(name string) {
+	it := s.items[name]
+	s.recency.Remove(it.elem)
+	delete(s.items, name)
+}

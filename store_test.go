@@ -1,0 +1,267 @@
+package dphist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRelease(t testing.TB, seed uint64) Release {
+	t.Helper()
+	rel, err := MustNew(WithSeed(seed)).UniversalHistogram([]float64{2, 0, 10, 2, 5, 5, 5, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestStorePutGetVersioning(t *testing.T) {
+	s := NewStore()
+	rel := testRelease(t, 1)
+	entry, err := s.Put("traffic", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Name != "traffic" || entry.Version != 1 ||
+		entry.Strategy != StrategyUniversal || entry.Epsilon != 1 || entry.Domain != 8 {
+		t.Fatalf("entry = %+v", entry)
+	}
+	got, gotEntry, ok := s.Get("traffic")
+	if !ok || got != rel || gotEntry != entry {
+		t.Fatalf("Get = %v, %+v, %v", got, gotEntry, ok)
+	}
+	// Replacing bumps the version and serves the new release.
+	rel2 := testRelease(t, 2)
+	entry2, err := s.Put("traffic", rel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry2.Version != 2 {
+		t.Fatalf("version after replace = %d", entry2.Version)
+	}
+	if got, _, _ := s.Get("traffic"); got != rel2 {
+		t.Fatal("Get did not serve the replacement")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if _, _, ok := s.Get("absent"); ok {
+		t.Fatal("absent name found")
+	}
+}
+
+func TestStoreRejectsBadPuts(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Put("", testRelease(t, 1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.Put("x", nil); err == nil {
+		t.Error("nil release accepted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after rejected puts", s.Len())
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore(WithCapacity(2))
+	for i, name := range []string{"a", "b"} {
+		if _, err := s.Put(name, testRelease(t, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the eviction candidate.
+	if _, _, ok := s.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if _, err := s.Put("c", testRelease(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("b"); ok {
+		t.Fatal("least recently used entry survived")
+	}
+	for _, name := range []string{"a", "c"} {
+		if _, _, ok := s.Get(name); !ok {
+			t.Fatalf("%s evicted", name)
+		}
+	}
+	// Versions are monotone across eviction: re-storing "b" is v2.
+	entry, err := s.Put("b", testRelease(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Version != 2 {
+		t.Fatalf("re-stored version = %d, want 2", entry.Version)
+	}
+}
+
+func TestStoreTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewStore(WithTTL(time.Minute))
+	s.now = func() time.Time { return now }
+	if _, err := s.Put("a", testRelease(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(59 * time.Second)
+	if _, _, ok := s.Get("a"); !ok {
+		t.Fatal("entry expired early")
+	}
+	now = now.Add(2 * time.Second)
+	if _, _, ok := s.Get("a"); ok {
+		t.Fatal("expired entry served")
+	}
+	if s.Len() != 0 || len(s.List()) != 0 {
+		t.Fatal("expired entry still listed")
+	}
+	// Expiry is not deletion: the version sequence continues.
+	entry, err := s.Put("a", testRelease(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Version != 2 {
+		t.Fatalf("post-expiry version = %d, want 2", entry.Version)
+	}
+}
+
+func TestStoreListAndDelete(t *testing.T) {
+	s := NewStore()
+	for _, name := range []string{"c", "a", "b"} {
+		if _, err := s.Put(name, testRelease(t, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := s.List()
+	if len(list) != 3 || list[0].Name != "a" || list[1].Name != "b" || list[2].Name != "c" {
+		t.Fatalf("List = %+v", list)
+	}
+	if !s.Delete("b") {
+		t.Fatal("Delete(b) = false")
+	}
+	if s.Delete("b") {
+		t.Fatal("second Delete(b) = true")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreQuery(t *testing.T) {
+	s := NewStore()
+	rel := testRelease(t, 1)
+	if _, err := s.Put("traffic", rel); err != nil {
+		t.Fatal(err)
+	}
+	specs := []RangeSpec{{Lo: 0, Hi: 8}, {Lo: 2, Hi: 2}, {Lo: 3, Hi: 6}}
+	answers, entry, err := s.Query("traffic", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Version != 1 {
+		t.Fatalf("entry = %+v", entry)
+	}
+	want, err := QueryBatch(rel, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if answers[i] != want[i] {
+			t.Fatalf("answers = %v, want %v", answers, want)
+		}
+	}
+	if _, _, err := s.Query("absent", specs); !errors.Is(err, ErrReleaseNotFound) {
+		t.Fatalf("missing name error = %v", err)
+	}
+	if _, _, err := s.Query("traffic", []RangeSpec{{Lo: 0, Hi: 99}}); err == nil {
+		t.Fatal("out-of-domain spec accepted")
+	}
+}
+
+func TestStoreMint(t *testing.T) {
+	session, err := NewSession(MustNew(WithSeed(5)), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	counts := []float64{1, 2, 3, 4}
+	rel, entry, err := s.Mint(session, "hist", Request{Counts: counts, Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Version != 1 || entry.Strategy != StrategyUniversal {
+		t.Fatalf("entry = %+v", entry)
+	}
+	if got, _, ok := s.Get("hist"); !ok || got != rel {
+		t.Fatal("minted release not stored")
+	}
+	if rem := session.Remaining(); rem != 0.5 {
+		t.Fatalf("remaining = %v", rem)
+	}
+	// Failed mints charge and store nothing.
+	if _, _, err := s.Mint(session, "bad", Request{Counts: nil, Epsilon: 0.1}); err == nil {
+		t.Fatal("invalid request minted")
+	}
+	if _, _, err := s.Mint(session, "", Request{Counts: counts, Epsilon: 0.1}); err == nil {
+		t.Fatal("empty name minted")
+	}
+	if _, _, err := s.Mint(nil, "x", Request{Counts: counts, Epsilon: 0.1}); err == nil {
+		t.Fatal("nil session minted")
+	}
+	if rem := session.Remaining(); rem != 0.5 {
+		t.Fatalf("failed mints charged the budget: remaining = %v", rem)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Overdraw refuses with ErrBudgetExceeded and stores nothing.
+	if _, _, err := s.Mint(session, "hist", Request{Counts: counts, Epsilon: 0.9}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("overdraw error = %v", err)
+	}
+	if _, entry, _ := s.Get("hist"); entry.Version != 1 {
+		t.Fatal("refused mint replaced the stored release")
+	}
+}
+
+// The serving-layer torture test: parallel puts, gets, queries, lists,
+// and deletes against one bounded store, run under -race.
+func TestStoreConcurrency(t *testing.T) {
+	s := NewStore(WithCapacity(8), WithTTL(time.Hour))
+	rel := testRelease(t, 1)
+	specs := []RangeSpec{{Lo: 0, Hi: 8}, {Lo: 1, Hi: 3}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 99))
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("rel-%d", rng.IntN(12))
+				switch rng.IntN(5) {
+				case 0:
+					if _, err := s.Put(name, rel); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					s.Get(name)
+				case 2:
+					if _, _, err := s.Query(name, specs); err != nil &&
+						!errors.Is(err, ErrReleaseNotFound) {
+						t.Error(err)
+						return
+					}
+				case 3:
+					s.List()
+				case 4:
+					s.Delete(name)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Len(); n > 8 {
+		t.Fatalf("capacity 8 store holds %d entries", n)
+	}
+}
