@@ -9,7 +9,11 @@ package dphist
 // exact code paths that regenerate the figures.
 
 import (
+	"container/list"
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/dphist/dphist/internal/core"
 	"github.com/dphist/dphist/internal/experiments"
@@ -207,6 +211,114 @@ func BenchmarkUniversalHistogram16K(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.UniversalHistogram(counts, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// singleMutexStore replicates the seed release store's read path — one
+// global mutex, a TTL clock read, and an LRU touch on every Get — as
+// the baseline BenchmarkStoreGetParallel measures the sharded store
+// against.
+type singleMutexStore struct {
+	mu      sync.Mutex
+	items   map[string]*storeItem
+	recency *list.List
+}
+
+func newSingleMutexStore() *singleMutexStore {
+	return &singleMutexStore{items: make(map[string]*storeItem), recency: list.New()}
+}
+
+func (s *singleMutexStore) put(name string, r Release) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[name] = &storeItem{release: r, elem: s.recency.PushFront(name)}
+}
+
+func (s *singleMutexStore) get(name string) (Release, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.items[name]
+	if !ok {
+		return nil, false
+	}
+	_ = time.Now() // the seed store consulted the TTL clock on every read
+	s.recency.MoveToFront(it.elem)
+	return it.release, true
+}
+
+// The serving metadata hot path under concurrent readers: the seed
+// store serialized every Get on one mutex and touched the LRU list and
+// clock each time. The sharded store hashes to an independent shard and
+// skips recency/clock work it does not need; it must beat the baseline
+// here, and it additionally removes cross-core lock contention that
+// this box (or any single-core runner) cannot exhibit.
+func BenchmarkStoreGetParallel(b *testing.B) {
+	rel, err := MustNew(WithSeed(11)).UniversalHistogram([]float64{2, 0, 10, 2, 5, 5, 5, 5}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const names = 64
+	keys := make([]string, names)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("rel-%d", i)
+	}
+	b.Run("single-mutex-baseline", func(b *testing.B) {
+		s := newSingleMutexStore()
+		for _, k := range keys {
+			s.put(k, rel)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, ok := s.get(keys[i%names]); !ok {
+					b.Fail()
+				}
+				i++
+			}
+		})
+	})
+	b.Run("sharded", func(b *testing.B) {
+		s := NewStore() // default: defaultShards shards, unbounded
+		for _, k := range keys {
+			if _, err := s.Put(k, rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, _, ok := s.Get(keys[i%names]); !ok {
+					b.Fail()
+				}
+				i++
+			}
+		})
+	})
+}
+
+// The write side of the durable store: one journaled, fsync-free put.
+// (Fsync cost is the disk's, not the code's; WithoutSync isolates the
+// framing and bookkeeping overhead.)
+func BenchmarkStorePutDurable(b *testing.B) {
+	rel, err := MustNew(WithSeed(12)).UniversalHistogram([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := OpenStore(b.TempDir(), WithoutSync(), WithSnapshotEvery(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put("hot", rel); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,13 @@ package dphist
 // (Section 2.1). Answering sequence i with an eps_i-differentially
 // private mechanism yields (sum_i eps_i)-differential privacy overall, so
 // a fixed total budget caps the lifetime privacy loss of a deployment.
+//
+// Accountants handed out by a durable Store carry a charge ledger: every
+// admitted charge is journaled (and fsynced) before Spend returns, so a
+// crashed-and-restarted deployment remembers exactly what it already
+// spent. Without that, a restart would be a budget-reset oracle — the
+// privacy guarantee of the whole deployment hinges on Spent() being
+// monotone across process lifetimes, not just within one.
 
 import (
 	"errors"
@@ -17,15 +24,26 @@ import (
 // remains.
 var ErrBudgetExceeded = errors.New("dphist: privacy budget exceeded")
 
+// chargeLedger persists admitted charges. begin/end bracket the
+// admission critical section (a durable store uses them to hold off
+// snapshots), and record must place the charge on stable storage before
+// returning nil — a record error vetoes the charge.
+type chargeLedger interface {
+	begin()
+	end()
+	record(c Charge) error
+}
+
 // Accountant tracks consumption of a fixed epsilon budget under
 // sequential composition: if every release is charged through one
 // accountant, the overall protocol is Total()-differentially private.
 // It is safe for concurrent use.
 type Accountant struct {
-	mu    sync.Mutex
-	total float64
-	spent float64
-	log   []Charge
+	mu     sync.Mutex
+	total  float64
+	spent  float64
+	log    []Charge
+	ledger chargeLedger // nil for purely in-memory accountants
 }
 
 // Charge is one recorded expenditure.
@@ -34,21 +52,34 @@ type Charge struct {
 	Epsilon float64
 }
 
-// NewAccountant returns an accountant with the given total epsilon
-// budget. It panics unless the budget is positive and finite.
-func NewAccountant(total float64) *Accountant {
+// checkBudget panics unless total is a valid epsilon budget; shared by
+// NewAccountant and Store's WithBudget option.
+func checkBudget(total float64) {
 	if !(total > 0) || math.IsInf(total, 0) {
 		panic(fmt.Sprintf("dphist: total budget must be positive and finite, got %v", total))
 	}
+}
+
+// NewAccountant returns an accountant with the given total epsilon
+// budget. It panics unless the budget is positive and finite.
+func NewAccountant(total float64) *Accountant {
+	checkBudget(total)
 	return &Accountant{total: total}
 }
 
 // Spend records an eps expenditure under the given label, failing with
 // ErrBudgetExceeded (and recording nothing) if it would overdraw the
-// budget. eps must be positive and finite.
+// budget. eps must be positive and finite. On a ledgered accountant the
+// charge is on disk before Spend returns; a ledger failure refuses the
+// charge, because an expenditure that could be forgotten by a restart
+// must never be admitted.
 func (a *Accountant) Spend(label string, eps float64) error {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return fmt.Errorf("dphist: spend of %v is not a positive finite epsilon", eps)
+	}
+	if a.ledger != nil {
+		a.ledger.begin()
+		defer a.ledger.end()
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -57,14 +88,40 @@ func (a *Accountant) Spend(label string, eps float64) error {
 	if a.spent+eps > a.total*(1+1e-12) {
 		return fmt.Errorf("%w: spent %v of %v, cannot add %v", ErrBudgetExceeded, a.spent, a.total, eps)
 	}
+	c := Charge{Label: label, Epsilon: eps}
+	if a.ledger != nil {
+		if err := a.ledger.record(c); err != nil {
+			return fmt.Errorf("dphist: charge not journaled, refusing to spend: %w", err)
+		}
+	}
 	// The raw accumulator may sit a hair above total after a charge
 	// admitted inside the tolerance window; it must stay un-clamped so
 	// the admission check sees the true sum and the window self-exhausts
 	// instead of admitting tiny charges forever. Spent/Remaining clamp
 	// at read time.
 	a.spent += eps
-	a.log = append(a.log, Charge{Label: label, Epsilon: eps})
+	a.log = append(a.log, c)
 	return nil
+}
+
+// restore re-applies a charge recovered from the journal or a snapshot.
+// It bypasses both admission and the ledger: the charge was already
+// admitted (and paid) by a previous process, so refusing it now would
+// under-report real expenditure.
+func (a *Accountant) restore(c Charge) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent += c.Epsilon
+	a.log = append(a.log, c)
+}
+
+// rawSpent returns the unclamped accumulator and the number of recorded
+// charges, for the durable store's snapshots: persisting the raw value
+// keeps the admission tolerance window exhausted across restarts.
+func (a *Accountant) rawSpent() (float64, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent, len(a.log)
 }
 
 // Remaining returns the unspent budget (never negative).
@@ -77,16 +134,23 @@ func (a *Accountant) Remaining() float64 {
 	return 0
 }
 
-// Spent returns the total consumed so far, clamped to Total: a final
-// charge admitted inside the rounding-tolerance window can push the
-// float sum a hair past the budget, and that hair must not leak into
-// the public accounting. Spent() <= Total() always holds, and an
+// spentClampTolerance bounds how far past Total the raw accumulator can
+// drift through admission-window rounding before Spent stops clamping.
+const spentClampTolerance = 1e-9
+
+// Spent returns the total consumed so far. A final charge admitted
+// inside the rounding-tolerance window can push the float sum a hair
+// past the budget, and that hair must not leak into the public
+// accounting — within the tolerance, Spent() clamps to Total() so an
 // exhausted accountant reports exactly Spent() == Total() with
-// Remaining() == 0.
+// Remaining() == 0. Genuine overspend beyond the tolerance — possible
+// only when restored history exceeds a lowered budget — is reported
+// raw, because under-reporting real expenditure is the one failure a
+// privacy ledger must never have.
 func (a *Accountant) Spent() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.spent > a.total {
+	if a.spent > a.total && a.spent <= a.total*(1+spentClampTolerance) {
 		return a.total
 	}
 	return a.spent

@@ -20,6 +20,8 @@
 //	wavelet   Haar wavelet (Xiao et al.) vs H~ and H-bar
 //	2d        2D universal histograms (Appendix B extension)
 //	serving   release-store batch range-query throughput (engineering)
+//	reload    durable-store crash recovery time + sharded vs single-mutex
+//	          concurrent Get throughput (engineering)
 //	verify    live scorecard of every reproducible paper claim
 //	all       run every paper experiment above in order
 //
@@ -37,8 +39,10 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -94,6 +98,7 @@ func main() {
 		"wavelet":   runWavelet,
 		"2d":        run2D,
 		"serving":   runServing,
+		"reload":    runReload,
 		"verify":    runVerify,
 	}
 	name := flag.Arg(0)
@@ -114,7 +119,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: dphist-bench [flags] <experiment>\n\n")
-	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving all\n\n")
+	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving reload all\n\n")
 	flag.PrintDefaults()
 }
 
@@ -365,6 +370,132 @@ func runServing(cfg experiments.Config) {
 		fmt.Fprintf(w, "%s\t%d\t%v\t%.0f\t%.3g\t\n",
 			name, queries, elapsed.Round(time.Millisecond), perQuery,
 			float64(queries)/elapsed.Seconds())
+	}
+	w.Flush()
+}
+
+// runReload measures the two durability costs the paper's serving
+// asymmetry makes interesting in production: how long a crashed store
+// takes to recover its releases and budget ledger (WAL replay vs
+// snapshot load), and what the sharded store buys on the metadata read
+// path against the single-mutex layout.
+func runReload(cfg experiments.Config) {
+	domain := 1 << 12
+	mints := 48
+	if cfg.Scale == experiments.ScaleSmall {
+		domain = 1 << 8
+		mints = 16
+	}
+	fmt.Printf("== Durable store: recovery time and concurrent Get throughput (domain %d, %d releases) ==\n",
+		domain, mints)
+	counts := make([]float64, domain)
+	for i := range counts {
+		counts[i] = float64(i % 13)
+	}
+	dir, err := os.MkdirTemp("", "dphist-reload-")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Populate across three tenants, then "crash": the WAL alone holds
+	// the state.
+	build, err := dphist.OpenStore(dir, dphist.WithBudget(100), dphist.WithoutSync())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for i := 0; i < mints; i++ {
+		ns := build.Namespace(fmt.Sprintf("tenant-%d", i%3))
+		session, err := ns.Session(dphist.MustNew(dphist.WithSeed(cfg.Seed + uint64(i))))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if _, _, err := ns.Mint(session, fmt.Sprintf("rel-%d", i), dphist.Request{
+			Strategy: dphist.StrategyUniversal, Counts: counts, Epsilon: 0.5}); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	wantSpent := build.Namespace("tenant-0").Accountant().Spent()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "recovery path\treleases\telapsed\tper release\t\n")
+	reopen := func(label string) *dphist.Store {
+		startTime := time.Now()
+		s, err := dphist.OpenStore(dir, dphist.WithBudget(100), dphist.WithoutSync())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		elapsed := time.Since(startTime)
+		n := 0
+		for _, ns := range s.Namespaces() {
+			n += s.Namespace(ns).Len()
+		}
+		if n != mints {
+			fatalf("recovered %d of %d releases", n, mints)
+		}
+		if got := s.Namespace("tenant-0").Accountant().Spent(); got != wantSpent {
+			fatalf("recovered spend %v, want %v", got, wantSpent)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t\n", label, n, elapsed.Round(time.Microsecond),
+			(elapsed / time.Duration(mints)).Round(time.Microsecond))
+		return s
+	}
+	crashed := reopen("WAL replay (crash)")
+	if err := crashed.Close(); err != nil { // folds everything into the snapshot
+		fatalf("%v", err)
+	}
+	clean := reopen("snapshot load (clean)")
+	clean.Close()
+	w.Flush()
+
+	// Concurrent Get throughput, sharded vs single mutex, in memory.
+	const (
+		goroutines = 8
+		getsEach   = 150000
+		names      = 64
+	)
+	rel, err := dphist.MustNew(dphist.WithSeed(cfg.Seed)).UniversalHistogram(counts[:256], 1)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("\n-- concurrent Get: %d goroutines x %d lookups (GOMAXPROCS=%d; lock contention needs >1 CPU to show) --\n",
+		goroutines, getsEach, runtime.GOMAXPROCS(0))
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "layout\telapsed\tns/get\tgets/sec\t\n")
+	for _, layout := range []struct {
+		label  string
+		shards int
+	}{{"single mutex (shards=1)", 1}, {"sharded (default)", 0}} {
+		var opts []dphist.StoreOption
+		if layout.shards > 0 {
+			opts = append(opts, dphist.WithShards(layout.shards))
+		}
+		s := dphist.NewStore(opts...)
+		keys := make([]string, names)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("rel-%d", i)
+			if _, err := s.Put(keys[i], rel); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		var wg sync.WaitGroup
+		startTime := time.Now()
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < getsEach; i++ {
+					if _, _, ok := s.Get(keys[(g+i)%names]); !ok {
+						panic("missing release")
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(startTime)
+		total := goroutines * getsEach
+		fmt.Fprintf(w, "%s\t%v\t%.0f\t%.3g\t\n", layout.label, elapsed.Round(time.Millisecond),
+			float64(elapsed.Nanoseconds())/float64(total), float64(total)/elapsed.Seconds())
 	}
 	w.Flush()
 }

@@ -8,19 +8,29 @@
 //
 // Flags:
 //
-//	-addr A        listen address (default :8080)
-//	-domain N      domain size (required)
-//	-col N         0-based CSV column holding the position (default 0)
-//	-budget F      total epsilon budget (default 1.0)
-//	-cap F         per-request epsilon cap (0 = none)
-//	-k N           universal tree branching factor (default 2)
-//	-seed N        noise seed (0 = derive from current time)
-//	-store-cap N   max stored releases, LRU-evicted past it (0 = unbounded)
-//	-store-ttl D   stored-release lifetime, e.g. 1h (0 = forever)
+//	-addr A           listen address (default :8080)
+//	-domain N         domain size (required)
+//	-col N            0-based CSV column holding the position (default 0)
+//	-budget F         total epsilon budget per namespace (default 1.0)
+//	-cap F            per-request epsilon cap (0 = none)
+//	-k N              universal tree branching factor (default 2)
+//	-seed N           noise seed (0 = derive from current time)
+//	-data-dir D       persist releases and budget ledgers under D; on boot
+//	                  the store recovers from its snapshot + write-ahead
+//	                  log, so restarts neither lose releases nor forget
+//	                  spent budget (empty = in-memory, state dies with
+//	                  the process)
+//	-shards N         store shard count (0 = auto)
+//	-snapshot-every N journal records between snapshots (default 1024)
+//	-store-cap N      max stored releases, LRU-evicted past it (0 = unbounded)
+//	-store-ttl D      stored-release lifetime, e.g. 1h (0 = forever)
 //
 // API:
 //
-//	GET  /v1/budget      -> {"total":..,"spent":..,"remaining":..}
+//	GET  /healthz        -> {"status":"ok"} (load-balancer probe)
+//	GET  /v1/stats       -> uptime, request counters, and per-namespace
+//	                        store sizes and budgets
+//	GET  /v1/budget      -> {"namespace":..,"total":..,"spent":..,"remaining":..}
 //	GET  /v1/strategies  -> {"strategies":["laplace","universal",..]}
 //	POST /v1/release     {"strategy":"universal|laplace|unattributed|
 //	                       wavelet|degree_sequence","epsilon":0.1}
@@ -30,13 +40,21 @@
 //	                      "epsilon":0.1}
 //	                     -> mints AND retains the release under the name
 //	                        (re-posting a name bumps its version), reply
-//	                        as /v1/release plus {"name","version",..}
-//	GET  /v1/releases    -> {"releases":[{"name","version","strategy",
-//	                         "epsilon","domain","stored_at"},..]}
+//	                        as /v1/release plus {"namespace","name",..}
+//	GET  /v1/releases    -> {"releases":[{"namespace","name","version",
+//	                         "strategy","epsilon","domain","stored_at"},..]}
 //	POST /v1/query       {"name":"traffic","ranges":[{"lo":0,"hi":64},..]}
-//	                     -> {"name","version","strategy","answers":[..]}
-//	                        answering the whole batch in one round trip;
-//	                        querying spends no budget
+//	                     -> {"namespace","name","version","strategy",
+//	                         "answers":[..]} answering the whole batch in
+//	                        one round trip; querying spends no budget
+//
+// Every route above also exists namespace-scoped under /v1/ns/{ns}/...,
+// giving each tenant its own release keyspace and epsilon budget; the
+// unscoped routes are the "default" namespace.
+//
+// On SIGINT/SIGTERM the server drains in-flight requests, flushes a
+// final store snapshot, and exits — with -data-dir, the next boot
+// recovers exactly the state acknowledged before shutdown.
 //
 // The embedded release payload is self-describing and decodes with
 // dphist.DecodeRelease. The hierarchy strategy needs a constraint
@@ -44,13 +62,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
+	"github.com/dphist/dphist"
 	"github.com/dphist/dphist/internal/server"
 	"github.com/dphist/dphist/internal/table"
 )
@@ -60,16 +84,23 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		domainSize = flag.Int("domain", 0, "domain size (required)")
 		col        = flag.Int("col", 0, "0-based CSV column holding the position")
-		budget     = flag.Float64("budget", 1.0, "total epsilon budget")
+		budget     = flag.Float64("budget", 1.0, "total epsilon budget per namespace")
 		epsCap     = flag.Float64("cap", 0, "per-request epsilon cap (0 = none)")
 		branching  = flag.Int("k", 2, "universal tree branching factor")
 		seed       = flag.Uint64("seed", 0, "noise seed (0 = derive from current time)")
+		dataDir    = flag.String("data-dir", "", "persist releases and budget ledgers here (empty = in-memory)")
+		shards     = flag.Int("shards", 0, "store shard count (0 = auto)")
+		snapEvery  = flag.Int("snapshot-every", 0, "journal records between snapshots (0 = default 1024)")
 		storeCap   = flag.Int("store-cap", 0, "max stored releases, LRU-evicted past it (0 = unbounded)")
 		storeTTL   = flag.Duration("store-ttl", 0, "stored-release lifetime (0 = forever)")
 	)
 	flag.Parse()
 	if *domainSize < 1 {
 		fmt.Fprintln(os.Stderr, "dphist-server: -domain is required and must be positive")
+		os.Exit(2)
+	}
+	if !(*budget > 0) || math.IsInf(*budget, 0) {
+		fmt.Fprintf(os.Stderr, "dphist-server: -budget %v must be positive and finite\n", *budget)
 		os.Exit(2)
 	}
 	tab, err := table.New(*domainSize)
@@ -85,7 +116,7 @@ func main() {
 	if s == 0 {
 		s = uint64(time.Now().UnixNano())
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Counts:               tab.Histogram(),
 		Budget:               *budget,
 		Seed:                 s,
@@ -93,11 +124,41 @@ func main() {
 		MaxEpsilonPerRequest: *epsCap,
 		StoreCapacity:        *storeCap,
 		StoreTTL:             *storeTTL,
-	})
+	}
+	var store *dphist.Store
+	if *dataDir != "" {
+		opts := []dphist.StoreOption{
+			dphist.WithBudget(*budget),
+			dphist.WithCapacity(*storeCap),
+			dphist.WithTTL(*storeTTL),
+		}
+		if *shards > 0 {
+			opts = append(opts, dphist.WithShards(*shards))
+		}
+		if *snapEvery > 0 {
+			opts = append(opts, dphist.WithSnapshotEvery(*snapEvery))
+		}
+		store, err = dphist.OpenStore(*dataDir, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = store
+		// Recovery summary: what the ledger remembers from before.
+		recovered := 0
+		for _, ns := range store.Namespaces() {
+			n := store.Namespace(ns).Len()
+			recovered += n
+			acct := store.Namespace(ns).Accountant()
+			fmt.Fprintf(os.Stderr, "dphist-server: recovered namespace %q: %d releases, eps spent %g of %g\n",
+				ns, n, acct.Spent(), acct.Total())
+		}
+		fmt.Fprintf(os.Stderr, "dphist-server: data dir %s: %d releases recovered\n", *dataDir, recovered)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "dphist-server: protecting %d records over domain %d (skipped %d rows), budget eps=%g, listening on %s\n",
+	fmt.Fprintf(os.Stderr, "dphist-server: protecting %d records over domain %d (skipped %d rows), budget eps=%g/namespace, listening on %s\n",
 		loaded, *domainSize, skipped, *budget, *addr)
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -107,8 +168,34 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := httpServer.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
+	// requests, then flushes a final snapshot so no acknowledged release
+	// or budget charge is left only in the WAL.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		if store != nil {
+			_ = store.Close()
+		}
 		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "dphist-server: shutting down, draining requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dphist-server: drain: %v\n", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fatal(fmt.Errorf("final snapshot: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "dphist-server: final snapshot flushed")
 	}
 }
 

@@ -85,7 +85,42 @@
 // The internal/server package (run it via cmd/dphist-server) exposes
 // this layer over HTTP: POST /v1/releases mints-and-stores, GET
 // /v1/releases lists, POST /v1/query answers a whole batch in one round
-// trip.
+// trip. Every route also exists namespace-scoped under /v1/ns/{ns}/...,
+// plus GET /healthz and GET /v1/stats for ops.
+//
+// # Operations: durability, namespaces, and the budget ledger
+//
+// Minting is permanent in the privacy sense — epsilon, once spent, never
+// comes back — so the bookkeeping must be permanent in the systems sense
+// too. An in-memory Store that forgets Accountant state on restart turns
+// every crash into a budget-reset oracle: the restarted server would
+// happily re-admit spending that already happened, and the deployment's
+// sequential-composition bound would be fiction. OpenStore closes that
+// hole:
+//
+//	store, err := dphist.OpenStore("/var/lib/dphist", dphist.WithBudget(2.0))
+//	defer store.Close()
+//
+// Every put, delete, and budget charge is appended to a checksummed
+// write-ahead log (internal/journal) and fsynced before it is
+// acknowledged; the log is periodically folded into an atomically
+// replaced snapshot (WithSnapshotEvery). Reopening the directory
+// replays snapshot + log: all acknowledged releases answer identically,
+// all version counters continue, and every namespace's Spent() is
+// exactly what was admitted before the crash. Recovery truncates a torn
+// final record (indistinguishable from a crashed, unacknowledged
+// append) and fails loudly on corruption anywhere else — a store that
+// cannot prove its ledger refuses to serve rather than under-report
+// spent budget. WithoutSync trades the
+// fsync-per-record for speed in tests and benchmarks.
+//
+// Store.Namespace(name) scopes a view with its own release keyspace and
+// its own Accountant (budget total from WithBudget), so one store
+// serves many tenants with independent ledgers; the plain Store methods
+// are the "default" namespace. Get/Query traffic spreads across hash
+// shards (WithShards) so hot metadata reads do not serialize on one
+// mutex; capacity-bounded stores default to a single shard because
+// exact LRU order is global state.
 //
 // Baselines from the paper are included for comparison: the
 // sort-and-round estimator S~r (UnattributedRelease.SortRoundBaseline)

@@ -7,6 +7,9 @@
 // The demo drives the real HTTP surface: POST /v1/releases stores a
 // named release, GET /v1/releases lists it, and POST /v1/query answers
 // a batch of ranges in one round trip without touching the budget.
+// A second act kills and reopens a durable store to show the other half
+// of the economics: the budget ledger survives the process, so a
+// restart can neither lose the minted release nor re-spend its epsilon.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 
 	"github.com/dphist/dphist"
 	"github.com/dphist/dphist/internal/server"
@@ -98,6 +102,50 @@ func main() {
 		entry.Name, entry.Version, direct[0] == answered.Answers[0])
 	fmt.Printf("budget spent %.2f of %.2f — all queries were free\n",
 		srv.Session().Accountant().Spent(), srv.Session().Accountant().Total())
+
+	// Act two: durability. Open a file-backed store, mint into a tenant
+	// namespace, crash (no Close), and reopen: the release answers
+	// identically and the ledger still shows the spend.
+	dir, err := os.MkdirTemp("", "rangeserver-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := dphist.OpenStore(dir, dphist.WithBudget(1.0))
+	if err != nil {
+		panic(err)
+	}
+	acme := store.Namespace("acme")
+	session, err := acme.Session(dphist.MustNew(dphist.WithSeed(42)))
+	if err != nil {
+		panic(err)
+	}
+	if _, _, err := acme.Mint(session, "latency", dphist.Request{
+		Counts: counts, Epsilon: 0.5}); err != nil {
+		panic(err)
+	}
+	before, _, err := acme.Query("latency", specs)
+	if err != nil {
+		panic(err)
+	}
+	// "Crash": abandon the store without Close — the write-ahead log
+	// alone carries the state.
+	reopened, err := dphist.OpenStore(dir, dphist.WithBudget(1.0))
+	if err != nil {
+		panic(err)
+	}
+	defer reopened.Close()
+	after, _, err := reopened.Namespace("acme").Query("latency", specs)
+	if err != nil {
+		panic(err)
+	}
+	same := true
+	for i := range before {
+		same = same && before[i] == after[i]
+	}
+	fmt.Printf("\nafter kill-and-restart: answers identical %v, namespace %q spent %.2f of %.2f\n",
+		same, "acme", reopened.Namespace("acme").Accountant().Spent(),
+		reopened.Namespace("acme").Accountant().Total())
 }
 
 func postJSON(url, body string, out any) {

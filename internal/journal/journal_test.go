@@ -1,0 +1,275 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func collect(t *testing.T, path string) ([]Record, *Journal) {
+	t.Helper()
+	var recs []Record
+	j, err := Open(path, func(r Record) error { recs = append(recs, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, j
+}
+
+func appendN(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := j.Append(Record{Op: OpCharge, Namespace: "default", Label: "t", Epsilon: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAppendAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, j := collect(t, path)
+	seq, err := j.Append(Record{Op: OpPut, Namespace: "ns", Name: "a", Version: 1,
+		StoredAt: time.Unix(5, 0).UTC(), Payload: json.RawMessage(`{"x":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("first seq = %d", seq)
+	}
+	appendN(t, j, 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, j2 := collect(t, path)
+	defer j2.Close()
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Seq != 1 || r.Op != OpPut || r.Namespace != "ns" || r.Name != "a" ||
+		r.Version != 1 || !r.StoredAt.Equal(time.Unix(5, 0)) || string(r.Payload) != `{"x":1}` {
+		t.Fatalf("record = %+v", r)
+	}
+	if recs[2].Seq != 3 {
+		t.Fatalf("last seq = %d", recs[2].Seq)
+	}
+	// Appends continue the sequence.
+	if seq, err := j2.Append(Record{Op: OpDelete, Name: "a"}); err != nil || seq != 4 {
+		t.Fatalf("append after reopen: seq %d, err %v", seq, err)
+	}
+}
+
+// The recovery contract, table-driven over the ways a WAL file can be
+// damaged: torn tails restore the valid prefix, mid-file corruption
+// fails loudly.
+func TestRecoveryDamageMatrix(t *testing.T) {
+	makeWAL := func(t *testing.T, n int) (string, []byte) {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		_, j := collect(t, path)
+		appendN(t, j, n)
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path, data
+	}
+	frameEnds := func(data []byte) []int {
+		var ends []int
+		off := 0
+		for off+headerSize <= len(data) {
+			off += headerSize + int(binary.LittleEndian.Uint32(data[off:off+4]))
+			ends = append(ends, off)
+		}
+		return ends
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(t *testing.T, data []byte, ends []int) []byte
+		want    int  // records recovered (when !corrupt)
+		corrupt bool // Open must fail with ErrCorrupt
+	}{
+		{"empty file", func(t *testing.T, d []byte, e []int) []byte { return nil }, 0, false},
+		{"intact", func(t *testing.T, d []byte, e []int) []byte { return d }, 3, false},
+		{"torn header", func(t *testing.T, d []byte, e []int) []byte { return d[:e[1]+5] }, 2, false},
+		{"torn payload", func(t *testing.T, d []byte, e []int) []byte { return d[:e[1]+headerSize+4] }, 2, false},
+		{"final record truncated", func(t *testing.T, d []byte, e []int) []byte { return d[:len(d)-1] }, 2, false},
+		{"short garbage appended", func(t *testing.T, d []byte, e []int) []byte {
+			return append(d, 0xde, 0xad, 0xbe, 0xef) // fewer bytes than a header: reads as torn
+		}, 3, false},
+		{"bit flip in final record", func(t *testing.T, d []byte, e []int) []byte {
+			d[len(d)-2] ^= 0x40
+			return d
+		}, 2, false},
+		{"bit flip mid-file", func(t *testing.T, d []byte, e []int) []byte {
+			d[e[0]+headerSize+2] ^= 0x40
+			return d
+		}, 0, true},
+		{"header length corrupted mid-file", func(t *testing.T, d []byte, e []int) []byte {
+			binary.LittleEndian.PutUint32(d[e[0]:e[0]+4], uint32(len(d))) // header checksum no longer matches
+			return d
+		}, 0, true},
+		{"full garbage header appended", func(t *testing.T, d []byte, e []int) []byte {
+			// An append can only leave a short file, so a whole bad header
+			// must be disk damage, not a tear.
+			return append(d, 0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef)
+		}, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path, data := makeWAL(t, 3)
+			mutated := tc.mutate(t, append([]byte(nil), data...), frameEnds(data))
+			if err := os.WriteFile(path, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var recs []Record
+			j, err := Open(path, func(r Record) error { recs = append(recs, r); return nil })
+			if tc.corrupt {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("err = %v, want ErrCorrupt", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			if len(recs) != tc.want {
+				t.Fatalf("recovered %d records, want %d", len(recs), tc.want)
+			}
+			// Recovery truncated the tail: appending then reopening must
+			// see exactly want+1 records with a monotone sequence.
+			if _, err := j.Append(Record{Op: OpCharge, Label: "after", Epsilon: 1}); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+			recs2, j2 := collect(t, path)
+			defer j2.Close()
+			if len(recs2) != tc.want+1 {
+				t.Fatalf("after repair-and-append: %d records, want %d", len(recs2), tc.want+1)
+			}
+			if recs2[len(recs2)-1].Label != "after" {
+				t.Fatal("appended record lost")
+			}
+		})
+	}
+}
+
+func TestScanRejectsNonMonotoneSeq(t *testing.T) {
+	a, err := Marshal(Record{Seq: 2, Op: OpCharge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(Record{Seq: 2, Op: OpCharge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Scan(append(a, b...), func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestScanOversizeLengthIsCorrupt(t *testing.T) {
+	// A header whose own checksum passes but declares an impossible
+	// length was never written by Append — loud corruption, even at the
+	// tail.
+	data := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(data[0:4], MaxRecordSize+1)
+	binary.LittleEndian.PutUint32(data[4:8], crc32.ChecksumIEEE(data[0:4]))
+	if _, _, err := Scan(data, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	// A partial header at the tail is a torn append.
+	if _, valid, err := Scan(data[:headerSize-4], func(Record) error { return nil }); err != nil || valid != 0 {
+		t.Fatalf("partial header: valid %d err %v", valid, err)
+	}
+}
+
+func TestResetKeepsSequenceMonotone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, j := collect(t, path)
+	appendN(t, j, 5)
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := j.Append(Record{Op: OpCharge, Label: "x", Epsilon: 1}); err != nil || seq != 6 {
+		t.Fatalf("post-reset seq = %d, err %v", seq, err)
+	}
+	j.Close()
+	recs, j2 := collect(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].Seq != 6 {
+		t.Fatalf("post-reset replay = %+v", recs)
+	}
+}
+
+func TestWithBaseSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j, err := Open(path, func(Record) error { return nil }, WithBaseSeq(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if seq, err := j.Append(Record{Op: OpCharge, Label: "x", Epsilon: 1}); err != nil || seq != 42 {
+		t.Fatalf("seq = %d, err %v", seq, err)
+	}
+}
+
+func TestClosedJournalRefusesAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, j := collect(t, path)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(Record{Op: OpCharge}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestSnapshotRoundTripAndCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.json")
+	type state struct {
+		Seq   uint64   `json:"seq"`
+		Names []string `json:"names"`
+	}
+	var missing state
+	if found, err := ReadSnapshot(path, &missing); found || err != nil {
+		t.Fatalf("missing snapshot: found %v err %v", found, err)
+	}
+	want := state{Seq: 7, Names: []string{"a", "b"}}
+	if err := WriteSnapshot(path, want); err != nil {
+		t.Fatal(err)
+	}
+	var got state
+	if found, err := ReadSnapshot(path, &got); !found || err != nil {
+		t.Fatalf("found %v err %v", found, err)
+	}
+	if got.Seq != 7 || len(got.Names) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	// Overwrite is atomic-replace: the temp file never lingers.
+	if err := WriteSnapshot(path, state{Seq: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp snapshot left behind: %v", err)
+	}
+	// A partial snapshot fails loudly.
+	if err := os.WriteFile(path, []byte(`{"seq":9,"na`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path, &got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("partial snapshot err = %v, want ErrCorrupt", err)
+	}
+}

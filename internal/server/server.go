@@ -22,6 +22,19 @@
 // spend: POST /v1/releases mints-and-stores under a name, GET
 // /v1/releases lists what is retained, and POST /v1/query answers many
 // [lo, hi) ranges against one stored release in a single round trip.
+//
+// The server is multi-tenant: every route has a namespace-scoped twin
+// under /v1/ns/{ns}/... operating on that namespace's release keyspace
+// and its own epsilon budget (dphist.Store.Namespace). The unscoped
+// routes are the "default" namespace. Namespaces spring into being on
+// first write, each with a fresh budget over the same protected counts,
+// so the deployment-wide privacy loss is the sum across namespaces —
+// run the server behind an authenticating front that controls who may
+// allocate tenants. Reads never create namespace state. Handing New a store opened with
+// dphist.OpenStore makes the whole thing durable — releases and budget
+// ledgers survive restarts. /healthz answers load-balancer probes and
+// /v1/stats reports per-namespace store sizes, budgets, and request
+// counters for ops dashboards.
 package server
 
 import (
@@ -29,7 +42,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"regexp"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dphist/dphist"
@@ -41,13 +58,15 @@ type Config struct {
 	// degree-sequence strategy reads it as a degree vector; the hierarchy
 	// strategy reads it as leaf-query counts.
 	Counts []float64
-	// Budget is the total epsilon available across all releases. Ignored
-	// when Accountant is set.
+	// Budget is the total epsilon available to each namespace. When
+	// Store is set the store's own WithBudget total governs instead;
+	// when Accountant is set it governs the default namespace.
 	Budget float64
-	// Accountant, when non-nil, charges releases against an externally
-	// owned budget — embed the server in a wider deployment whose other
-	// components share the same composition bound, or inspect charges in
-	// tests.
+	// Accountant, when non-nil, charges default-namespace releases
+	// against an externally owned budget — embed the server in a wider
+	// deployment whose other components share the same composition
+	// bound, or inspect charges in tests. Namespaced routes always use
+	// the store's per-namespace accountants.
 	Accountant *dphist.Accountant
 	// Seed drives the noise streams.
 	Seed uint64
@@ -60,20 +79,36 @@ type Config struct {
 	// whose leaf counts are Counts (so it must have exactly len(Counts)
 	// leaves). When nil, hierarchy requests are refused.
 	Hierarchy *dphist.Hierarchy
+	// Store, when non-nil, is the externally owned release store the
+	// server serves from — open one with dphist.OpenStore for
+	// durability. The caller keeps ownership and closes it after
+	// shutdown. When nil the server builds an in-memory store from
+	// StoreCapacity/StoreTTL/Budget.
+	Store *dphist.Store
 	// StoreCapacity bounds how many named releases the server retains
 	// for /v1/query; past it the least recently queried release is
-	// evicted. 0 means unbounded.
+	// evicted. 0 means unbounded. Ignored when Store is set.
 	StoreCapacity int
 	// StoreTTL expires stored releases this long after minting. 0 means
-	// they never expire.
+	// they never expire. Ignored when Store is set.
 	StoreTTL time.Duration
 }
 
 // Server is the HTTP-facing privacy mechanism. Safe for concurrent use.
 type Server struct {
-	cfg     Config
-	session *dphist.Session
-	store   *dphist.Store
+	cfg   Config
+	mech  *dphist.Mechanism
+	store *dphist.Store
+	start time.Time
+
+	sessMu   sync.Mutex
+	sessions map[string]*dphist.Session // one budgeted session per namespace
+
+	// Ops counters served by /v1/stats.
+	reqTotal   atomic.Int64
+	reqErrors  atomic.Int64
+	mintCount  atomic.Int64
+	queryCount atomic.Int64
 }
 
 // New validates the configuration and returns a Server.
@@ -81,7 +116,7 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Counts) == 0 {
 		return nil, errors.New("server: empty count vector")
 	}
-	if cfg.Accountant == nil && !(cfg.Budget > 0) {
+	if cfg.Accountant == nil && cfg.Store == nil && !(cfg.Budget > 0) {
 		return nil, fmt.Errorf("server: budget %v must be positive", cfg.Budget)
 	}
 	if cfg.Hierarchy != nil && len(cfg.Hierarchy.Leaves()) != len(cfg.Counts) {
@@ -96,25 +131,54 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	var session *dphist.Session
-	if cfg.Accountant != nil {
-		session, err = dphist.NewSessionWithAccountant(m, cfg.Accountant)
-	} else {
-		session, err = dphist.NewSession(m, cfg.Budget)
+	store := cfg.Store
+	if store == nil {
+		opts := []dphist.StoreOption{
+			dphist.WithCapacity(cfg.StoreCapacity),
+			dphist.WithTTL(cfg.StoreTTL),
+		}
+		if cfg.Budget > 0 {
+			opts = append(opts, dphist.WithBudget(cfg.Budget))
+		}
+		store = dphist.NewStore(opts...)
 	}
+	return &Server{
+		cfg:      cfg,
+		mech:     m,
+		store:    store,
+		start:    time.Now(),
+		sessions: make(map[string]*dphist.Session),
+	}, nil
+}
+
+// session returns (creating on first use) the namespace's budgeted
+// session. Every namespace charges its own store accountant — durable
+// when the store is — except the default namespace under a legacy
+// Config.Accountant override.
+func (s *Server) session(ns string) (*dphist.Session, error) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if sess, ok := s.sessions[ns]; ok {
+		return sess, nil
+	}
+	acct := s.cfg.Accountant
+	if acct == nil || ns != dphist.DefaultNamespace {
+		acct = s.store.Namespace(ns).Accountant()
+	}
+	sess, err := dphist.NewSessionWithAccountant(s.mech, acct)
 	if err != nil {
 		return nil, err
 	}
-	store := dphist.NewStore(
-		dphist.WithCapacity(cfg.StoreCapacity),
-		dphist.WithTTL(cfg.StoreTTL),
-	)
-	return &Server{cfg: cfg, session: session, store: store}, nil
+	s.sessions[ns] = sess
+	return sess, nil
 }
 
-// Session returns the budgeted session behind the handlers, for
+// Session returns the default namespace's budgeted session, for
 // embedding callers that also issue releases directly.
-func (s *Server) Session() *dphist.Session { return s.session }
+func (s *Server) Session() *dphist.Session {
+	sess, _ := s.session(dphist.DefaultNamespace)
+	return sess
+}
 
 // Store returns the release store behind /v1/query, for embedding
 // callers that mint or query releases directly.
@@ -154,28 +218,165 @@ var registry = map[dphist.Strategy]requestBuilder{
 	},
 }
 
-// Handler returns the HTTP routes.
+// namespacePattern bounds what a URL path segment may name: tenant
+// names stay journal-, log-, and URL-safe.
+var namespacePattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// nsHandler adapts a namespace-scoped handler to both its unscoped
+// route (default namespace) and its /v1/ns/{ns}/ twin.
+func (s *Server) nsHandler(fn func(http.ResponseWriter, *http.Request, string)) (plain, scoped http.HandlerFunc) {
+	plain = func(w http.ResponseWriter, r *http.Request) {
+		fn(w, r, dphist.DefaultNamespace)
+	}
+	scoped = func(w http.ResponseWriter, r *http.Request) {
+		ns := r.PathValue("ns")
+		if !namespacePattern.MatchString(ns) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid namespace: must match " + namespacePattern.String()})
+			return
+		}
+		fn(w, r, ns)
+	}
+	return plain, scoped
+}
+
+// Handler returns the HTTP routes, wrapped in the stats-counting
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/budget", s.handleBudget)
-	mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
-	mux.HandleFunc("POST /v1/release", s.handleRelease)
-	mux.HandleFunc("POST /v1/releases", s.handleStoreRelease)
-	mux.HandleFunc("GET /v1/releases", s.handleListReleases)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	for _, route := range []struct {
+		plain, scoped string
+		fn            func(http.ResponseWriter, *http.Request, string)
+	}{
+		{"GET /v1/budget", "GET /v1/ns/{ns}/budget", s.handleBudget},
+		{"GET /v1/strategies", "GET /v1/ns/{ns}/strategies", s.handleStrategies},
+		{"POST /v1/release", "POST /v1/ns/{ns}/release", s.handleRelease},
+		{"POST /v1/releases", "POST /v1/ns/{ns}/releases", s.handleStoreRelease},
+		{"GET /v1/releases", "GET /v1/ns/{ns}/releases", s.handleListReleases},
+		{"POST /v1/query", "POST /v1/ns/{ns}/query", s.handleQuery},
+	} {
+		plain, scoped := s.nsHandler(route.fn)
+		mux.HandleFunc(route.plain, plain)
+		mux.HandleFunc(route.scoped, scoped)
+	}
+	return s.countRequests(mux)
+}
+
+// statusRecorder captures the response status for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// countRequests is the ops middleware: total and error counts for
+// /v1/stats.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reqTotal.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		if rec.status >= 400 {
+			s.reqErrors.Add(1)
+		}
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// namespaceStats is one namespace's slice of the /v1/stats payload.
+type namespaceStats struct {
+	Name            string  `json:"name"`
+	Releases        int     `json:"releases"`
+	BudgetTotal     float64 `json:"budget_total"`
+	BudgetSpent     float64 `json:"budget_spent"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// statsResponse is the GET /v1/stats payload.
+type statsResponse struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Durable       bool             `json:"durable"`
+	Requests      requestStats     `json:"requests"`
+	Namespaces    []namespaceStats `json:"namespaces"`
+}
+
+type requestStats struct {
+	Total          int64 `json:"total"`
+	Errors         int64 `json:"errors"`
+	ReleasesMinted int64 `json:"releases_minted"`
+	RangeQueries   int64 `json:"range_queries"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	names := s.store.Namespaces()
+	// The default namespace is always reported, even before first use.
+	if !slices.Contains(names, dphist.DefaultNamespace) {
+		names = append([]string{dphist.DefaultNamespace}, names...)
+		sort.Strings(names)
+	}
+	stats := statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Durable:       s.store.Dir() != "",
+		Requests: requestStats{
+			Total:          s.reqTotal.Load(),
+			Errors:         s.reqErrors.Load(),
+			ReleasesMinted: s.mintCount.Load(),
+			RangeQueries:   s.queryCount.Load(),
+		},
+	}
+	for _, ns := range names {
+		sess, err := s.session(ns)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		acct := sess.Accountant()
+		stats.Namespaces = append(stats.Namespaces, namespaceStats{
+			Name:            ns,
+			Releases:        s.store.Namespace(ns).Len(),
+			BudgetTotal:     acct.Total(),
+			BudgetSpent:     acct.Spent(),
+			BudgetRemaining: acct.Remaining(),
+		})
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // budgetResponse is the GET /v1/budget payload.
 type budgetResponse struct {
+	Namespace string  `json:"namespace"`
 	Total     float64 `json:"total"`
 	Spent     float64 `json:"spent"`
 	Remaining float64 `json:"remaining"`
 }
 
-func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
-	acct := s.session.Accountant()
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request, ns string) {
+	// A read must not bring a namespace into being: probing arbitrary
+	// names would otherwise grow server state without bound. Absent
+	// namespaces report the untouched default budget.
+	if ns != dphist.DefaultNamespace && !s.store.HasNamespace(ns) {
+		total := s.store.Budget()
+		writeJSON(w, http.StatusOK, budgetResponse{
+			Namespace: ns, Total: total, Spent: 0, Remaining: total,
+		})
+		return
+	}
+	sess, err := s.session(ns)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	acct := sess.Accountant()
 	writeJSON(w, http.StatusOK, budgetResponse{
+		Namespace: ns,
 		Total:     acct.Total(),
 		Spent:     acct.Spent(),
 		Remaining: acct.Remaining(),
@@ -188,7 +389,7 @@ type strategiesResponse struct {
 	Strategies []string `json:"strategies"`
 }
 
-func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request, ns string) {
 	names := make([]string, 0, len(registry))
 	for strategy := range registry {
 		if strategy == dphist.StrategyHierarchy && s.cfg.Hierarchy == nil {
@@ -277,7 +478,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(v)
 }
 
-func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, ns string) {
 	var req releaseRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
@@ -288,14 +489,20 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorResponse{Error: msg})
 		return
 	}
+	sess, err := s.session(ns)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
 	// The session charges the budget after request validation but BEFORE
 	// computing: malformed requests cost nothing, and a refused charge
 	// leaks nothing beyond the refusal itself.
-	release, err := s.session.Release(request)
+	release, err := sess.Release(request)
 	if err != nil {
 		writeReleaseError(w, err)
 		return
 	}
+	s.mintCount.Add(1)
 	raw, err := json.Marshal(release)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
@@ -307,7 +514,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		Epsilon:         req.Epsilon,
 		Domain:          len(s.cfg.Counts),
 		Release:         raw,
-		BudgetRemaining: s.session.Remaining(),
+		BudgetRemaining: sess.Remaining(),
 	})
 }
 
@@ -321,22 +528,24 @@ type storeReleaseRequest struct {
 
 // storedReleaseInfo summarizes one stored release on the wire.
 type storedReleaseInfo struct {
-	Name     string    `json:"name"`
-	Version  int       `json:"version"`
-	Strategy string    `json:"strategy"`
-	Epsilon  float64   `json:"epsilon"`
-	Domain   int       `json:"domain"`
-	StoredAt time.Time `json:"stored_at"`
+	Namespace string    `json:"namespace"`
+	Name      string    `json:"name"`
+	Version   int       `json:"version"`
+	Strategy  string    `json:"strategy"`
+	Epsilon   float64   `json:"epsilon"`
+	Domain    int       `json:"domain"`
+	StoredAt  time.Time `json:"stored_at"`
 }
 
 func wireEntry(e dphist.StoreEntry) storedReleaseInfo {
 	return storedReleaseInfo{
-		Name:     e.Name,
-		Version:  e.Version,
-		Strategy: e.Strategy.String(),
-		Epsilon:  e.Epsilon,
-		Domain:   e.Domain,
-		StoredAt: e.StoredAt,
+		Namespace: e.Namespace,
+		Name:      e.Name,
+		Version:   e.Version,
+		Strategy:  e.Strategy.String(),
+		Epsilon:   e.Epsilon,
+		Domain:    e.Domain,
+		StoredAt:  e.StoredAt,
 	}
 }
 
@@ -349,7 +558,7 @@ type storeReleaseResponse struct {
 	BudgetRemaining float64         `json:"budget_remaining"`
 }
 
-func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request, ns string) {
 	var req storeReleaseRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
@@ -364,11 +573,17 @@ func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorResponse{Error: msg})
 		return
 	}
-	release, entry, err := s.store.Mint(s.session, req.Name, request)
+	sess, err := s.session(ns)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	release, entry, err := s.store.Namespace(ns).Mint(sess, req.Name, request)
 	if err != nil {
 		writeReleaseError(w, err)
 		return
 	}
+	s.mintCount.Add(1)
 	raw, err := json.Marshal(release)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
@@ -377,7 +592,7 @@ func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, storeReleaseResponse{
 		storedReleaseInfo: wireEntry(entry),
 		Release:           raw,
-		BudgetRemaining:   s.session.Remaining(),
+		BudgetRemaining:   sess.Remaining(),
 	})
 }
 
@@ -386,8 +601,8 @@ type listReleasesResponse struct {
 	Releases []storedReleaseInfo `json:"releases"`
 }
 
-func (s *Server) handleListReleases(w http.ResponseWriter, r *http.Request) {
-	entries := s.store.List()
+func (s *Server) handleListReleases(w http.ResponseWriter, r *http.Request, ns string) {
+	entries := s.store.Namespace(ns).List()
 	out := make([]storedReleaseInfo, len(entries))
 	for i, e := range entries {
 		out[i] = wireEntry(e)
@@ -409,13 +624,14 @@ type queryRequest struct {
 
 // queryResponse aligns Answers with the request's Ranges by index.
 type queryResponse struct {
-	Name     string    `json:"name"`
-	Version  int       `json:"version"`
-	Strategy string    `json:"strategy"`
-	Answers  []float64 `json:"answers"`
+	Namespace string    `json:"namespace"`
+	Name      string    `json:"name"`
+	Version   int       `json:"version"`
+	Strategy  string    `json:"strategy"`
+	Answers   []float64 `json:"answers"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ns string) {
 	var req queryRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
@@ -430,7 +646,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("batch of %d ranges exceeds limit %d", len(req.Ranges), maxQueryRanges)})
 		return
 	}
-	answers, entry, err := s.store.Query(req.Name, req.Ranges)
+	answers, entry, err := s.store.Namespace(ns).Query(req.Name, req.Ranges)
 	if err != nil {
 		if errors.Is(err, dphist.ErrReleaseNotFound) {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
@@ -439,14 +655,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	s.queryCount.Add(1)
 	if answers == nil {
 		answers = []float64{} // empty batch encodes as [], not null
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Name:     entry.Name,
-		Version:  entry.Version,
-		Strategy: entry.Strategy.String(),
-		Answers:  answers,
+		Namespace: entry.Namespace,
+		Name:      entry.Name,
+		Version:   entry.Version,
+		Strategy:  entry.Strategy.String(),
+		Answers:   answers,
 	})
 }
 

@@ -502,3 +502,265 @@ func TestConcurrentReleases(t *testing.T) {
 		t.Fatalf("spent %v, want 32", b.Spent)
 	}
 }
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, 1.0)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+// Namespaced routes scope both the release keyspace and the budget:
+// tenant-a's mint is invisible to tenant-b, and each tenant's spend
+// lands on its own accountant.
+func TestNamespaceRoutes(t *testing.T) {
+	s, err := New(Config{
+		Counts: []float64{2, 0, 10, 2, 5, 5, 5, 5},
+		Budget: 2.0,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(t *testing.T, path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	resp, body := post(t, "/v1/ns/tenant-a/releases", `{"name":"traffic","strategy":"universal","epsilon":0.5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant-a mint: %d %s", resp.StatusCode, body)
+	}
+	var sr storeReleaseResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Namespace != "tenant-a" || sr.Version != 1 {
+		t.Fatalf("stored entry = %+v", sr.storedReleaseInfo)
+	}
+
+	// tenant-b cannot see tenant-a's release...
+	resp, _ = post(t, "/v1/ns/tenant-b/query", `{"name":"traffic","ranges":[{"lo":0,"hi":8}]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-namespace query status %d", resp.StatusCode)
+	}
+	// ...but tenant-a can.
+	resp, body = post(t, "/v1/ns/tenant-a/query", `{"name":"traffic","ranges":[{"lo":0,"hi":8}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant-a query: %d %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Namespace != "tenant-a" || len(qr.Answers) != 1 {
+		t.Fatalf("query response = %+v", qr)
+	}
+
+	// Budgets are independent: a spent 0.5 of 2, b spent nothing, and
+	// the default namespace is untouched by both.
+	for path, wantSpent := range map[string]float64{
+		"/v1/ns/tenant-a/budget": 0.5,
+		"/v1/ns/tenant-b/budget": 0,
+		"/v1/budget":             0,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b budgetResponse
+		if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if b.Total != 2.0 || b.Spent != wantSpent {
+			t.Fatalf("%s = %+v, want spent %v", path, b, wantSpent)
+		}
+	}
+
+	// Listing is scoped too.
+	resp, err = http.Get(ts.URL + "/v1/ns/tenant-b/releases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr listReleasesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(lr.Releases) != 0 {
+		t.Fatalf("tenant-b sees %d releases", len(lr.Releases))
+	}
+
+	// Invalid namespace names are refused before touching any state.
+	resp, _ = post(t, "/v1/ns/bad%20name/query", `{"name":"x","ranges":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid namespace status %d", resp.StatusCode)
+	}
+
+	// Probing an absent namespace's budget answers the untouched default
+	// without materializing the namespace — reads must not grow state.
+	resp, err = http.Get(ts.URL + "/v1/ns/probe-only/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pb budgetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pb.Total != 2.0 || pb.Spent != 0 {
+		t.Fatalf("probe budget = %+v", pb)
+	}
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	for _, ns := range st.Namespaces {
+		if ns.Name == "probe-only" {
+			t.Fatal("budget probe materialized the namespace")
+		}
+	}
+}
+
+// /v1/stats reports per-namespace sizes and budgets plus the request
+// counters maintained by the middleware.
+func TestStatsEndpoint(t *testing.T) {
+	s, err := New(Config{
+		Counts: []float64{2, 0, 10, 2, 5, 5, 5, 5},
+		Budget: 2.0,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, err := http.Post(ts.URL+"/v1/ns/tenant-a/releases", "application/json",
+		bytes.NewBufferString(`{"name":"r","strategy":"laplace","epsilon":0.25}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mint status %d", resp.StatusCode)
+		}
+	}
+	// One guaranteed error for the error counter.
+	if resp, err := http.Post(ts.URL+"/v1/release", "application/json",
+		bytes.NewBufferString(`{"epsilon":-1}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests.Total < 2 || st.Requests.Errors < 1 || st.Requests.ReleasesMinted != 1 {
+		t.Fatalf("request counters = %+v", st.Requests)
+	}
+	if st.Durable {
+		t.Fatal("in-memory server reports durable")
+	}
+	byName := map[string]namespaceStats{}
+	for _, ns := range st.Namespaces {
+		byName[ns.Name] = ns
+	}
+	a, ok := byName["tenant-a"]
+	if !ok || a.Releases != 1 || a.BudgetSpent != 0.25 || a.BudgetTotal != 2.0 {
+		t.Fatalf("tenant-a stats = %+v (present %v)", a, ok)
+	}
+	d, ok := byName[dphist.DefaultNamespace]
+	if !ok || d.Releases != 0 || d.BudgetSpent != 0 {
+		t.Fatalf("default stats = %+v (present %v)", d, ok)
+	}
+}
+
+// A server handed a durable store keeps tenants' releases and ledgers
+// across a restart of the whole HTTP stack.
+func TestServerDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	counts := []float64{2, 0, 10, 2, 5, 5, 5, 5}
+	open := func(t *testing.T) (*Server, *dphist.Store) {
+		t.Helper()
+		store, err := dphist.OpenStore(dir, dphist.WithBudget(2.0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Counts: counts, Seed: 7, Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, store
+	}
+	s1, store1 := open(t)
+	ts1 := httptest.NewServer(s1.Handler())
+	resp, err := http.Post(ts1.URL+"/v1/ns/tenant-a/releases", "application/json",
+		bytes.NewBufferString(`{"name":"traffic","strategy":"universal","epsilon":0.75}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mint status %d", resp.StatusCode)
+	}
+	ts1.Close()
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, store2 := open(t)
+	defer store2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, err = http.Post(ts2.URL+"/v1/ns/tenant-a/query", "application/json",
+		bytes.NewBufferString(`{"name":"traffic","ranges":[{"lo":0,"hi":8}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart query status %d", resp.StatusCode)
+	}
+	budgetResp, err := http.Get(ts2.URL + "/v1/ns/tenant-a/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer budgetResp.Body.Close()
+	var b budgetResponse
+	if err := json.NewDecoder(budgetResp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent != 0.75 || b.Total != 2.0 {
+		t.Fatalf("post-restart budget = %+v", b)
+	}
+}

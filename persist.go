@@ -1,0 +1,463 @@
+package dphist
+
+// Durable mode for the release store. The paper's serving asymmetry —
+// epsilon is spent once at mint time, queries are free forever after —
+// only holds in production if both sides of the ledger survive the
+// process: a store that forgets its releases wastes spent budget, and a
+// store that forgets its *charges* lets a restart re-spend budget that
+// is already gone, silently voiding the sequential-composition bound.
+// OpenStore therefore journals every put, delete, and budget charge
+// through internal/journal (write-ahead, fsynced by default) and folds
+// the log into an atomically-replaced snapshot every snapshotEvery
+// records. Recovery replays snapshot + log; a torn final record is
+// truncated (it was never acknowledged), anything worse fails loudly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dphist/dphist/internal/journal"
+)
+
+// ErrStoreClosed reports an operation on a store after Close.
+var ErrStoreClosed = fmt.Errorf("dphist: store is closed")
+
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.json"
+	// defaultSnapshotEvery bounds WAL growth: after this many journaled
+	// records the log is folded into a fresh snapshot.
+	defaultSnapshotEvery = 1024
+)
+
+// persistState is the durable half of a Store; it stays zero-valued for
+// in-memory stores (jnl == nil disables every persistence path).
+type persistState struct {
+	dir string
+	jnl *journal.Journal
+	// opMu orders journaled mutations against snapshots: puts, deletes,
+	// and charges hold it for read around their journal-append-then-
+	// commit critical section, and Snapshot holds it for write so the
+	// state it collects exactly matches the WAL it resets.
+	opMu   sync.RWMutex
+	closed bool // guarded by opMu
+	snapMu sync.Mutex
+	// appended counts journal records since the last snapshot.
+	appended atomic.Int64
+}
+
+// WithSnapshotEvery sets how many journaled records accumulate before
+// the write-ahead log is folded into a snapshot (default 1024). n <= 0
+// disables automatic snapshots; the log then grows until Snapshot or
+// Close. Only meaningful for stores opened with OpenStore.
+func WithSnapshotEvery(n int) StoreOption {
+	return func(s *Store) { s.snapEvery = n }
+}
+
+// WithoutSync disables the fsync after every journaled record. The
+// store still recovers to a consistent prefix after a crash, but the
+// prefix may be missing acknowledged events that were buffered in the
+// page cache — including budget charges, which weakens the privacy
+// ledger. For benchmarks and tests only.
+func WithoutSync() StoreOption {
+	return func(s *Store) { s.syncWrites = false }
+}
+
+// storeSnapshot is the on-disk snapshot: complete store state as of
+// journal sequence Seq.
+type storeSnapshot struct {
+	Seq      uint64        `json:"seq"`
+	SavedAt  time.Time     `json:"saved_at"`
+	Entries  []snapEntry   `json:"entries"`
+	Versions []snapVersion `json:"versions"`
+	Charges  []snapCharge  `json:"charges"`
+}
+
+// snapEntry is one live release; the payload is the self-describing v2
+// wire format, same as the journal's put records.
+type snapEntry struct {
+	Namespace string          `json:"ns"`
+	Name      string          `json:"name"`
+	Version   int             `json:"version"`
+	StoredAt  time.Time       `json:"stored_at"`
+	Release   json.RawMessage `json:"release"`
+}
+
+// snapVersion is one per-name Put counter. Counters are persisted
+// separately from entries because they survive deletion and eviction.
+type snapVersion struct {
+	Namespace string `json:"ns"`
+	Name      string `json:"name"`
+	Version   int    `json:"version"`
+}
+
+// snapCharge is one namespace's admitted budget expenditure. Snapshots
+// aggregate each namespace's ledger into a single entry — what the
+// privacy guarantee needs is the spent total, and folding the history
+// keeps snapshot size O(live state) instead of O(lifetime charges).
+// Itemized charges still reach Accountant.Log for everything since the
+// last snapshot, via the WAL.
+type snapCharge struct {
+	Namespace string  `json:"ns"`
+	Label     string  `json:"label"`
+	Epsilon   float64 `json:"epsilon"`
+}
+
+// OpenStore opens (creating if needed) a durable store rooted at dir.
+// Recovery loads the newest snapshot, replays the write-ahead log on
+// top of it, truncates a torn final record, and re-applies the capacity
+// bound; after it returns, every release acknowledged before the last
+// shutdown or crash is queryable with identical answers, and every
+// namespace Accountant reports exactly the budget admitted before the
+// crash. Damage that cannot be a torn append — checksum failures
+// mid-file, unparseable payloads, a corrupt snapshot — fails loudly
+// here rather than silently under-reporting spent budget.
+//
+// The directory must not be shared between live processes; the store
+// assumes it owns dir exclusively.
+func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
+	s := NewStore(opts...)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s.dir = dir
+	var snap storeSnapshot
+	found, err := journal.ReadSnapshot(filepath.Join(dir, snapshotFile), &snap)
+	if err != nil {
+		return nil, fmt.Errorf("dphist: open store %s: %w", dir, err)
+	}
+	if found {
+		if err := s.applySnapshot(&snap); err != nil {
+			return nil, fmt.Errorf("dphist: open store %s: snapshot: %w", dir, err)
+		}
+	}
+	jnl, err := journal.Open(filepath.Join(dir, walFile), func(rec journal.Record) error {
+		if rec.Seq <= snap.Seq {
+			// Already folded into the snapshot; a crash between snapshot
+			// rename and WAL reset leaves such records behind harmlessly.
+			return nil
+		}
+		return s.applyRecord(rec)
+	}, journal.WithBaseSeq(snap.Seq), journal.WithSync(s.syncWrites))
+	if err != nil {
+		return nil, fmt.Errorf("dphist: open store %s: %w", dir, err)
+	}
+	s.jnl = jnl
+	// Accountants materialized during replay predate s.jnl; wire their
+	// ledgers now so post-recovery charges are journaled.
+	for ns, a := range s.accts {
+		a.ledger = &storeLedger{s: s, ns: ns}
+	}
+	// Capacity evictions are never journaled (recovery re-derives them),
+	// so re-run the bound over the replayed state.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.sweepExpiredLocked(sh, s.now())
+		for s.shardCap > 0 && len(sh.items) > s.shardCap {
+			s.removeLocked(sh, sh.recency.Back().Value.(nsKey))
+		}
+		sh.mu.Unlock()
+	}
+	return s, nil
+}
+
+// applySnapshot loads complete store state. Entries are inserted oldest
+// StoredAt first so the recovered recency order approximates the
+// pre-crash one.
+func (s *Store) applySnapshot(snap *storeSnapshot) error {
+	for _, v := range snap.Versions {
+		k := nsKey{v.Namespace, v.Name}
+		sh := s.shard(k)
+		if v.Version > sh.versions[k] {
+			sh.versions[k] = v.Version
+		}
+	}
+	entries := append([]snapEntry(nil), snap.Entries...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].StoredAt.Before(entries[j].StoredAt) })
+	for _, e := range entries {
+		if err := s.recoverPut(e.Namespace, e.Name, e.Version, e.StoredAt, e.Release); err != nil {
+			return err
+		}
+	}
+	for _, c := range snap.Charges {
+		s.accountant(c.Namespace).restore(Charge{Label: c.Label, Epsilon: c.Epsilon})
+	}
+	return nil
+}
+
+// applyRecord folds one recovered journal record into the store.
+func (s *Store) applyRecord(rec journal.Record) error {
+	switch rec.Op {
+	case journal.OpPut:
+		return s.recoverPut(rec.Namespace, rec.Name, rec.Version, rec.StoredAt, rec.Payload)
+	case journal.OpDelete:
+		k := nsKey{rec.Namespace, rec.Name}
+		sh := s.shard(k)
+		sh.mu.Lock()
+		if _, ok := sh.items[k]; ok {
+			s.removeLocked(sh, k)
+		}
+		sh.mu.Unlock()
+		return nil
+	case journal.OpCharge:
+		s.accountant(rec.Namespace).restore(Charge{Label: rec.Label, Epsilon: rec.Epsilon})
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown op %q", journal.ErrCorrupt, rec.Op)
+	}
+}
+
+// recoverPut re-inserts one release from its journaled wire form,
+// re-deriving the entry metadata from the decoded release exactly as
+// the original Put did.
+func (s *Store) recoverPut(ns, name string, version int, storedAt time.Time, payload json.RawMessage) error {
+	rel, err := DecodeRelease(payload)
+	if err != nil {
+		return fmt.Errorf("release %s/%s v%d: %w", ns, name, version, err)
+	}
+	k := nsKey{ns, name}
+	entry := StoreEntry{
+		Namespace: ns,
+		Name:      name,
+		Version:   version,
+		Strategy:  rel.Strategy(),
+		Epsilon:   rel.Epsilon(),
+		Domain:    releaseDomain(rel),
+		StoredAt:  storedAt,
+	}
+	sh := s.shard(k)
+	sh.mu.Lock()
+	if version > sh.versions[k] {
+		sh.versions[k] = version
+	}
+	if it, ok := sh.items[k]; ok {
+		it.release = rel
+		it.entry = entry
+		sh.recency.MoveToFront(it.elem)
+	} else {
+		sh.items[k] = &storeItem{release: rel, entry: entry, elem: sh.recency.PushFront(k)}
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// journalPut appends a put record; the caller must not commit the entry
+// to memory (or acknowledge it) unless this returns nil. A no-op for
+// in-memory stores.
+func (s *Store) journalPut(entry StoreEntry, r Release) error {
+	if s.jnl == nil {
+		return nil
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = s.jnl.Append(journal.Record{
+		Op:        journal.OpPut,
+		Namespace: entry.Namespace,
+		Name:      entry.Name,
+		Version:   entry.Version,
+		StoredAt:  entry.StoredAt,
+		Payload:   payload,
+	})
+	if err != nil {
+		return err
+	}
+	s.appended.Add(1)
+	return nil
+}
+
+// journalDelete appends a delete record. Append failures are swallowed:
+// the in-memory delete proceeds (over-retaining after a crash is the
+// safe direction for a *removal*), and the journal's sticky error will
+// fail the next put or charge loudly.
+func (s *Store) journalDelete(ns, name string) {
+	if s.jnl == nil {
+		return
+	}
+	if _, err := s.jnl.Append(journal.Record{Op: journal.OpDelete, Namespace: ns, Name: name}); err == nil {
+		s.appended.Add(1)
+	}
+}
+
+// storeLedger is the chargeLedger a durable store wires into its
+// namespace accountants: admitted charges are journaled and fsynced
+// before Spend acknowledges them.
+type storeLedger struct {
+	s  *Store
+	ns string
+}
+
+func (l *storeLedger) begin() { l.s.opMu.RLock() }
+
+func (l *storeLedger) end() {
+	l.s.opMu.RUnlock()
+	// Runs after Spend has released every lock (its defers unwind the
+	// accountant mutex first), so a snapshot can safely trigger here.
+	l.s.maybeSnapshot()
+}
+
+func (l *storeLedger) record(c Charge) error {
+	if l.s.closed { // read under opMu.RLock, held since begin
+		return ErrStoreClosed
+	}
+	if _, err := l.s.jnl.Append(journal.Record{
+		Op:        journal.OpCharge,
+		Namespace: l.ns,
+		Label:     c.Label,
+		Epsilon:   c.Epsilon,
+	}); err != nil {
+		return err
+	}
+	l.s.appended.Add(1)
+	return nil
+}
+
+// maybeSnapshot folds the WAL into a snapshot once enough records have
+// accumulated. Failures are left for the next trigger (the WAL keeps
+// every record, so nothing is lost) and surface loudly on Close.
+func (s *Store) maybeSnapshot() {
+	if s.jnl == nil || s.snapEvery <= 0 {
+		return
+	}
+	if s.appended.Load() < int64(s.snapEvery) {
+		return
+	}
+	_ = s.snapshot(false)
+}
+
+// Snapshot forces the current state onto disk as a fresh snapshot and
+// resets the write-ahead log. A no-op for in-memory stores.
+func (s *Store) Snapshot() error { return s.snapshot(false) }
+
+func (s *Store) snapshot(closing bool) error {
+	if s.jnl == nil {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if s.closed && !closing {
+		return ErrStoreClosed
+	}
+	snap, err := s.collectSnapshotLocked()
+	if err != nil {
+		return err
+	}
+	if err := journal.WriteSnapshot(filepath.Join(s.dir, snapshotFile), snap); err != nil {
+		return err
+	}
+	// The snapshot is durable and covers every journaled record, so the
+	// WAL can be discarded. A crash in between leaves records with
+	// seq <= snap.Seq in the WAL; recovery skips them.
+	if err := s.jnl.Reset(); err != nil {
+		return err
+	}
+	s.appended.Store(0)
+	return nil
+}
+
+// collectSnapshotLocked serializes complete store state; the caller
+// holds opMu for write, so no journaled mutation is in flight and the
+// WAL's last assigned sequence exactly bounds the collected state.
+func (s *Store) collectSnapshotLocked() (*storeSnapshot, error) {
+	snap := &storeSnapshot{
+		Seq:     s.jnl.NextSeq() - 1,
+		SavedAt: s.now(),
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.sweepExpiredLocked(sh, s.now())
+		for k, it := range sh.items {
+			payload, err := json.Marshal(it.release)
+			if err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+			snap.Entries = append(snap.Entries, snapEntry{
+				Namespace: k.ns,
+				Name:      k.name,
+				Version:   it.entry.Version,
+				StoredAt:  it.entry.StoredAt,
+				Release:   payload,
+			})
+		}
+		for k, v := range sh.versions {
+			snap.Versions = append(snap.Versions, snapVersion{Namespace: k.ns, Name: k.name, Version: v})
+		}
+		sh.mu.Unlock()
+	}
+	s.acctMu.Lock()
+	accts := make(map[string]*Accountant, len(s.accts))
+	for ns, a := range s.accts {
+		accts[ns] = a
+	}
+	s.acctMu.Unlock()
+	names := make([]string, 0, len(accts))
+	for ns := range accts {
+		names = append(names, ns)
+	}
+	sort.Strings(names)
+	for _, ns := range names {
+		spent, count := accts[ns].rawSpent()
+		if count == 0 {
+			continue
+		}
+		snap.Charges = append(snap.Charges, snapCharge{
+			Namespace: ns,
+			Label:     fmt.Sprintf("recovered: %d charges", count),
+			Epsilon:   spent,
+		})
+	}
+	sort.Slice(snap.Entries, func(i, j int) bool {
+		a, b := snap.Entries[i], snap.Entries[j]
+		if !a.StoredAt.Equal(b.StoredAt) {
+			return a.StoredAt.Before(b.StoredAt)
+		}
+		if a.Namespace != b.Namespace {
+			return a.Namespace < b.Namespace
+		}
+		return a.Name < b.Name
+	})
+	sort.Slice(snap.Versions, func(i, j int) bool {
+		a, b := snap.Versions[i], snap.Versions[j]
+		if a.Namespace != b.Namespace {
+			return a.Namespace < b.Namespace
+		}
+		return a.Name < b.Name
+	})
+	return snap, nil
+}
+
+// Close flushes a final snapshot and closes the journal. Every later
+// journaled mutation fails with ErrStoreClosed; reads keep working
+// against the in-memory state. A no-op for in-memory stores.
+func (s *Store) Close() error {
+	if s.jnl == nil {
+		return nil
+	}
+	s.opMu.Lock()
+	if s.closed {
+		s.opMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.opMu.Unlock()
+	snapErr := s.snapshot(true)
+	closeErr := s.jnl.Close()
+	if snapErr != nil {
+		return snapErr
+	}
+	return closeErr
+}
+
+// Dir returns the data directory of a durable store, or "" for an
+// in-memory one.
+func (s *Store) Dir() string { return s.dir }

@@ -43,6 +43,15 @@ func NewSessionWithAccountant(m *Mechanism, a *Accountant) (*Session, error) {
 	return &Session{mech: m, acct: a}, nil
 }
 
+// Session couples the mechanism with this namespace's accountant, so
+// every release it issues draws down the namespace's budget — durably,
+// when the namespace belongs to a store opened with OpenStore. This is
+// the per-tenant variant of NewSession: one mechanism can serve many
+// namespaces, each through its own session.
+func (n *Namespace) Session(m *Mechanism) (*Session, error) {
+	return NewSessionWithAccountant(m, n.Accountant())
+}
+
 // Mechanism returns the underlying mechanism.
 func (s *Session) Mechanism() *Mechanism { return s.mech }
 

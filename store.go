@@ -5,9 +5,24 @@ package dphist
 // serves queries against them indefinitely, so the natural deployment
 // keeps every live release in memory behind a name and answers lookups
 // and range batches at traffic. Store is that retention layer: named,
-// versioned, bounded by LRU capacity and TTL, and safe for concurrent
-// use. Releases themselves are immutable, so Store hands out the stored
-// values directly — a query never copies a release.
+// versioned, bounded by LRU capacity and TTL, safe for concurrent use,
+// and — opened through OpenStore — durable across restarts. Releases
+// themselves are immutable, so Store hands out the stored values
+// directly; a query never copies a release.
+//
+// Two scaling axes are built in:
+//
+//   - Sharding. Entries hash across N independent shards, each with its
+//     own mutex, so hot Get/Query metadata traffic does not serialize
+//     on one lock. Unbounded stores default to a small shard pool;
+//     capacity-bounded stores default to one shard because exact LRU
+//     ordering is global state (WithShards overrides either way, with
+//     the capacity split per shard).
+//
+//   - Namespaces. Store.Namespace(name) scopes a view onto its own
+//     release keyspace and its own epsilon Accountant, so one store
+//     serves many protected datasets (tenants) with independent budgets.
+//     The plain Store methods are the "default" namespace.
 
 import (
 	"container/list"
@@ -23,12 +38,19 @@ import (
 // by TTL.
 var ErrReleaseNotFound = errors.New("dphist: release not found")
 
+// DefaultNamespace is the namespace the plain Store methods operate on.
+const DefaultNamespace = "default"
+
 // StoreEntry describes one stored release.
 type StoreEntry struct {
+	// Namespace is the tenant keyspace the release is stored in; the
+	// plain Store methods use DefaultNamespace.
+	Namespace string
 	// Name is the key the release is stored under.
 	Name string
-	// Version counts Puts under this name, starting at 1. Versions are
-	// monotone for the lifetime of the Store: re-storing a name after
+	// Version counts Puts under this namespace/name, starting at 1.
+	// Versions are monotone for the lifetime of the Store — including
+	// across restarts of a durable store: re-storing a name after
 	// deletion or eviction continues the sequence rather than restarting
 	// it, so an analyst can always tell a re-mint from a re-read.
 	Version int
@@ -46,7 +68,10 @@ type StoreOption func(*Store)
 
 // WithCapacity bounds the number of retained releases: a Put that grows
 // the store past n evicts least-recently-used entries first. Get and
-// Query refresh recency. n <= 0 (the default) means unbounded.
+// Query refresh recency. n <= 0 (the default) means unbounded. The bound
+// counts entries across all namespaces; with more than one shard it is
+// enforced per shard (each gets ceil(n/shards)), so the store-wide count
+// stays within one entry per shard of n.
 func WithCapacity(n int) StoreOption {
 	return func(s *Store) { s.capacity = n }
 }
@@ -59,16 +84,54 @@ func WithTTL(d time.Duration) StoreOption {
 	return func(s *Store) { s.ttl = d }
 }
 
-// storeItem is one live entry plus its position in the recency list.
+// WithShards fixes the number of hash shards. The default is 1 when a
+// capacity bound is set (exact global LRU) and defaultShards otherwise.
+// It panics unless 1 <= n <= 4096.
+func WithShards(n int) StoreOption {
+	if n < 1 || n > 4096 {
+		panic(fmt.Sprintf("dphist: shard count %d outside [1, 4096]", n))
+	}
+	return func(s *Store) { s.shardCount = n }
+}
+
+// WithBudget sets the total epsilon budget each namespace Accountant is
+// created with (default 1.0). It panics unless the budget is positive
+// and finite, matching NewAccountant.
+func WithBudget(total float64) StoreOption {
+	checkBudget(total)
+	return func(s *Store) { s.budget = total }
+}
+
+// defaultShards is the shard count for unbounded stores; capacity-
+// bounded stores default to a single shard so LRU order stays exact.
+const defaultShards = 8
+
+// storeItem is one live entry plus its position in the shard's recency
+// list.
 type storeItem struct {
 	release Release
 	entry   StoreEntry
-	elem    *list.Element // element of Store.recency; Value is the name
+	elem    *list.Element // element of storeShard.recency; Value is the nsKey
 }
 
-// Store is an in-memory, versioned release store with LRU and TTL
-// eviction. The zero value is not usable; construct with NewStore. All
-// methods are safe for concurrent use.
+// nsKey addresses one entry: a name inside a namespace.
+type nsKey struct {
+	ns   string
+	name string
+}
+
+// storeShard is one independently locked slice of the keyspace.
+type storeShard struct {
+	mu       sync.Mutex
+	items    map[nsKey]*storeItem
+	recency  *list.List    // front = most recently used
+	versions map[nsKey]int // per-key Put counter; survives eviction
+}
+
+// Store is a versioned release store with LRU and TTL eviction, hash
+// sharding, and per-namespace budget accounting. The zero value is not
+// usable; construct with NewStore (in-memory) or OpenStore (durable).
+// All methods are safe for concurrent use.
 //
 // Version counters deliberately survive eviction and deletion (so a
 // re-mint is always distinguishable from a re-read), which means the
@@ -77,74 +140,247 @@ type storeItem struct {
 // themselves. Deployments minting under unbounded fresh names should
 // recycle a fixed name scheme.
 type Store struct {
-	capacity int
-	ttl      time.Duration
-	now      func() time.Time // injectable clock for tests
+	capacity   int // requested store-wide bound; 0 = unbounded
+	shardCap   int // derived per-shard bound
+	ttl        time.Duration
+	shardCount int
+	budget     float64
+	snapEvery  int
+	syncWrites bool
+	now        func() time.Time // injectable clock for tests
 
-	mu       sync.Mutex
-	items    map[string]*storeItem
-	recency  *list.List     // front = most recently used
-	versions map[string]int // per-name Put counter; survives eviction
+	shards []*storeShard
+
+	acctMu sync.Mutex
+	accts  map[string]*Accountant
+
+	persistState // all zero for in-memory stores; see persist.go
 }
 
-// NewStore returns an empty store with the given options applied.
+// NewStore returns an empty in-memory store with the given options
+// applied. State dies with the process; see OpenStore for the durable
+// variant.
 func NewStore(opts ...StoreOption) *Store {
 	s := &Store{
-		now:      time.Now,
-		items:    make(map[string]*storeItem),
-		recency:  list.New(),
-		versions: make(map[string]int),
+		budget:     1.0,
+		snapEvery:  defaultSnapshotEvery,
+		syncWrites: true,
+		now:        time.Now,
+		accts:      make(map[string]*Accountant),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.shardCount == 0 {
+		if s.capacity > 0 {
+			s.shardCount = 1
+		} else {
+			s.shardCount = defaultShards
+		}
+	}
+	if s.capacity > 0 {
+		s.shardCap = (s.capacity + s.shardCount - 1) / s.shardCount
+	}
+	s.shards = make([]*storeShard, s.shardCount)
+	for i := range s.shards {
+		s.shards[i] = &storeShard{
+			items:    make(map[nsKey]*storeItem),
+			recency:  list.New(),
+			versions: make(map[nsKey]int),
+		}
+	}
 	return s
 }
 
-// Put stores the release under name, replacing any previous holder and
-// bumping the name's version. It returns the new entry metadata. Storing
-// may evict: expired entries are dropped first, then least-recently-used
-// ones until the capacity bound holds.
-func (s *Store) Put(name string, r Release) (StoreEntry, error) {
+// shard returns the shard owning key k, by inline FNV-1a over the
+// namespace and name — a few nanoseconds for typical keys, cheap enough
+// for the read hot path (maphash's per-call setup is not).
+func (s *Store) shard(k nsKey) *storeShard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.ns); i++ {
+		h = (h ^ uint64(k.ns[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64 // separator: ("a","bc") must not collide with ("ab","c")
+	for i := 0; i < len(k.name); i++ {
+		h = (h ^ uint64(k.name[i])) * prime64
+	}
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// Namespace returns a scoped view of the store: its own release
+// keyspace and its own epsilon Accountant, isolated from every other
+// namespace. The empty name aliases DefaultNamespace, which the plain
+// Store methods operate on. Namespaces spring into being on first use;
+// there is no registration step.
+func (s *Store) Namespace(name string) *Namespace {
 	if name == "" {
-		return StoreEntry{}, errors.New("dphist: empty release name")
+		name = DefaultNamespace
 	}
-	if r == nil {
-		return StoreEntry{}, errors.New("dphist: nil release")
+	return &Namespace{s: s, name: name}
+}
+
+// Namespaces returns the sorted names of every namespace that currently
+// holds a live release or has an instantiated budget accountant.
+func (s *Store) Namespaces() []string {
+	seen := make(map[string]bool)
+	now := s.nowIfTTL()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, it := range sh.items {
+			if s.ttl <= 0 || !s.expired(it, now) {
+				seen[k.ns] = true
+			}
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.now()
-	s.sweepExpiredLocked(now)
-	s.versions[name]++
-	entry := StoreEntry{
-		Name:     name,
-		Version:  s.versions[name],
-		Strategy: r.Strategy(),
-		Epsilon:  r.Epsilon(),
-		Domain:   releaseDomain(r),
-		StoredAt: now,
+	s.acctMu.Lock()
+	for ns := range s.accts {
+		seen[ns] = true
 	}
-	if it, ok := s.items[name]; ok {
-		it.release = r
-		it.entry = entry
-		s.recency.MoveToFront(it.elem)
-	} else {
-		s.items[name] = &storeItem{release: r, entry: entry, elem: s.recency.PushFront(name)}
+	s.acctMu.Unlock()
+	out := make([]string, 0, len(seen))
+	for ns := range seen {
+		out = append(out, ns)
 	}
-	for s.capacity > 0 && len(s.items) > s.capacity {
-		s.removeLocked(s.recency.Back().Value.(string))
+	sort.Strings(out)
+	return out
+}
+
+// HasNamespace reports whether the namespace currently holds a live
+// release or has an instantiated budget accountant — without creating
+// either, so read-only surfaces (dashboards, probes) can answer for
+// arbitrary names while only writes bring namespaces into being.
+func (s *Store) HasNamespace(name string) bool {
+	if name == "" {
+		name = DefaultNamespace
 	}
-	return entry, nil
+	s.acctMu.Lock()
+	_, ok := s.accts[name]
+	s.acctMu.Unlock()
+	if ok {
+		return true
+	}
+	now := s.nowIfTTL()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, it := range sh.items {
+			if k.ns == name && (s.ttl <= 0 || !s.expired(it, now)) {
+				sh.mu.Unlock()
+				return true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return false
+}
+
+// Budget returns the total epsilon each namespace accountant is created
+// with (the WithBudget option).
+func (s *Store) Budget() float64 { return s.budget }
+
+// accountant returns (creating on first use) the namespace's budget
+// accountant. Durable stores wire it to the journal so every admitted
+// charge is on disk before it is acknowledged.
+func (s *Store) accountant(ns string) *Accountant {
+	s.acctMu.Lock()
+	defer s.acctMu.Unlock()
+	if a, ok := s.accts[ns]; ok {
+		return a
+	}
+	a := NewAccountant(s.budget)
+	if s.jnl != nil {
+		a.ledger = &storeLedger{s: s, ns: ns}
+	}
+	s.accts[ns] = a
+	return a
+}
+
+// Namespace is a scoped view of a Store: one tenant's release keyspace
+// plus its own epsilon budget. Obtain one with Store.Namespace; the
+// zero value is not usable. All methods are safe for concurrent use.
+type Namespace struct {
+	s    *Store
+	name string
+}
+
+// Name returns the namespace's name.
+func (n *Namespace) Name() string { return n.name }
+
+// Store returns the underlying store.
+func (n *Namespace) Store() *Store { return n.s }
+
+// Accountant returns the namespace's budget accountant, created with
+// the store's WithBudget total on first use. In a durable store its
+// charges flow through the journal, so Spent() survives restarts.
+func (n *Namespace) Accountant() *Accountant { return n.s.accountant(n.name) }
+
+// Remaining returns the namespace's unspent budget.
+func (n *Namespace) Remaining() float64 { return n.Accountant().Remaining() }
+
+// Put stores the release under name in this namespace; semantics follow
+// Store.Put.
+func (n *Namespace) Put(name string, r Release) (StoreEntry, error) {
+	return n.s.put(n.name, name, r)
+}
+
+// Get returns the live release stored under name in this namespace;
+// semantics follow Store.Get.
+func (n *Namespace) Get(name string) (Release, StoreEntry, bool) {
+	return n.s.get(n.name, name)
+}
+
+// Query answers a batch of range queries against the release stored
+// under name in this namespace; semantics follow Store.Query.
+func (n *Namespace) Query(name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
+	return n.s.query(n.name, name, specs)
+}
+
+// List returns the metadata of every live entry in this namespace,
+// sorted by name.
+func (n *Namespace) List() []StoreEntry { return n.s.list(n.name) }
+
+// Delete removes the entry under name in this namespace, reporting
+// whether a live entry was removed.
+func (n *Namespace) Delete(name string) bool { return n.s.delete(n.name, name) }
+
+// Len returns the number of live entries in this namespace.
+func (n *Namespace) Len() int { return n.s.length(n.name) }
+
+// Mint issues the request through the session and retains the result
+// under name in this namespace; semantics follow Store.Mint.
+func (n *Namespace) Mint(session *Session, name string, req Request) (Release, StoreEntry, error) {
+	return n.s.mint(session, n.name, name, req)
+}
+
+// Put stores the release under name in the default namespace, replacing
+// any previous holder and bumping the name's version. It returns the new
+// entry metadata. Storing may evict: expired entries are dropped first,
+// then least-recently-used ones until the capacity bound holds. On a
+// durable store the release is journaled (and by default fsynced)
+// before Put returns.
+func (s *Store) Put(name string, r Release) (StoreEntry, error) {
+	return s.put(DefaultNamespace, name, r)
 }
 
 // Mint issues the request through the session — charging its budget —
-// and retains the result under name. Nothing is stored if either step
-// fails, and a request that fails validation or overdraws the budget
-// charges nothing; the charge follows Session.Release semantics (made
-// before the pipeline runs, never refunded), so a pipeline failure
-// after admission still costs its epsilon.
+// and retains the result under name in the default namespace. Nothing
+// is stored if either step fails, and a request that fails validation
+// or overdraws the budget charges nothing; the charge follows
+// Session.Release semantics (made before the pipeline runs, never
+// refunded), so a pipeline failure after admission still costs its
+// epsilon.
 func (s *Store) Mint(session *Session, name string, req Request) (Release, StoreEntry, error) {
+	return s.mint(session, DefaultNamespace, name, req)
+}
+
+func (s *Store) mint(session *Session, ns, name string, req Request) (Release, StoreEntry, error) {
 	if session == nil {
 		return nil, StoreEntry{}, errors.New("dphist: nil session")
 	}
@@ -157,34 +393,121 @@ func (s *Store) Mint(session *Session, name string, req Request) (Release, Store
 	if err != nil {
 		return nil, StoreEntry{}, err
 	}
-	entry, err := s.Put(name, rel)
+	entry, err := s.put(ns, name, rel)
 	if err != nil {
 		return nil, StoreEntry{}, err
 	}
 	return rel, entry, nil
 }
 
-// Get returns the live release stored under name and its metadata,
-// refreshing its recency. The boolean reports whether the name held a
-// live (present, unexpired) release.
+// Get returns the live release stored under name in the default
+// namespace and its metadata, refreshing its recency. The boolean
+// reports whether the name held a live (present, unexpired) release.
 func (s *Store) Get(name string) (Release, StoreEntry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it := s.liveLocked(name)
-	if it == nil {
-		return nil, StoreEntry{}, false
-	}
-	s.recency.MoveToFront(it.elem)
-	return it.release, it.entry, true
+	return s.get(DefaultNamespace, name)
 }
 
 // Query answers a batch of range queries against the release stored
-// under name, refreshing its recency. It fails with ErrReleaseNotFound
-// when the name holds no live release; spec validation follows
-// QueryBatch. The release is read outside the store lock, so long
-// batches do not block other store traffic.
+// under name in the default namespace, refreshing its recency. It fails
+// with ErrReleaseNotFound when the name holds no live release; spec
+// validation follows QueryBatch. The release is read outside the store
+// lock, so long batches do not block other store traffic.
 func (s *Store) Query(name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
-	rel, entry, ok := s.Get(name)
+	return s.query(DefaultNamespace, name, specs)
+}
+
+// List returns the metadata of every live entry in the default
+// namespace, sorted by name. It does not refresh recency.
+func (s *Store) List() []StoreEntry { return s.list(DefaultNamespace) }
+
+// Delete removes the entry under name in the default namespace,
+// reporting whether a live entry was removed. The name's version counter
+// is kept, so a later Put continues the sequence.
+func (s *Store) Delete(name string) bool { return s.delete(DefaultNamespace, name) }
+
+// Len returns the number of live entries in the default namespace.
+func (s *Store) Len() int { return s.length(DefaultNamespace) }
+
+func (s *Store) put(ns, name string, r Release) (StoreEntry, error) {
+	if name == "" {
+		return StoreEntry{}, errors.New("dphist: empty release name")
+	}
+	if r == nil {
+		return StoreEntry{}, errors.New("dphist: nil release")
+	}
+	if s.jnl != nil {
+		s.opMu.RLock()
+		if s.closed {
+			s.opMu.RUnlock()
+			return StoreEntry{}, ErrStoreClosed
+		}
+	}
+	k := nsKey{ns, name}
+	sh := s.shard(k)
+	sh.mu.Lock()
+	now := s.now()
+	s.sweepExpiredLocked(sh, now)
+	entry := StoreEntry{
+		Namespace: ns,
+		Name:      name,
+		Version:   sh.versions[k] + 1,
+		Strategy:  r.Strategy(),
+		Epsilon:   r.Epsilon(),
+		Domain:    releaseDomain(r),
+		StoredAt:  now,
+	}
+	// Durability before visibility: the put must be on disk before any
+	// reader can observe it, or a crash would forget a release the
+	// analyst has already seen named metadata for.
+	if err := s.journalPut(entry, r); err != nil {
+		sh.mu.Unlock()
+		if s.jnl != nil {
+			s.opMu.RUnlock()
+		}
+		return StoreEntry{}, err
+	}
+	sh.versions[k] = entry.Version
+	if it, ok := sh.items[k]; ok {
+		it.release = r
+		it.entry = entry
+		sh.recency.MoveToFront(it.elem)
+	} else {
+		sh.items[k] = &storeItem{release: r, entry: entry, elem: sh.recency.PushFront(k)}
+	}
+	// Capacity evictions are not journaled: they are a cache policy, not
+	// an event, and recovery re-derives them by re-running the bound
+	// over the replayed state.
+	for s.shardCap > 0 && len(sh.items) > s.shardCap {
+		s.removeLocked(sh, sh.recency.Back().Value.(nsKey))
+	}
+	sh.mu.Unlock()
+	if s.jnl != nil {
+		s.opMu.RUnlock()
+	}
+	// Outside every lock: Snapshot takes the op write lock itself.
+	s.maybeSnapshot()
+	return entry, nil
+}
+
+func (s *Store) get(ns, name string) (Release, StoreEntry, bool) {
+	k := nsKey{ns, name}
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.liveLocked(sh, k)
+	if it == nil {
+		return nil, StoreEntry{}, false
+	}
+	// Recency only drives capacity eviction; an unbounded store skips
+	// the list write, keeping the hot read path to a lock and a lookup.
+	if s.shardCap > 0 {
+		sh.recency.MoveToFront(it.elem)
+	}
+	return it.release, it.entry, true
+}
+
+func (s *Store) query(ns, name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
+	rel, entry, ok := s.get(ns, name)
 	if !ok {
 		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
 	}
@@ -195,50 +518,80 @@ func (s *Store) Query(name string, specs []RangeSpec) ([]float64, StoreEntry, er
 	return answers, entry, nil
 }
 
-// List returns the metadata of every live entry, sorted by name. It does
-// not refresh recency.
-func (s *Store) List() []StoreEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepExpiredLocked(s.now())
-	out := make([]StoreEntry, 0, len(s.items))
-	for _, it := range s.items {
-		out = append(out, it.entry)
+func (s *Store) list(ns string) []StoreEntry {
+	var out []StoreEntry
+	now := s.nowIfTTL()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.sweepExpiredLocked(sh, now)
+		for k, it := range sh.items {
+			if k.ns == ns {
+				out = append(out, it.entry)
+			}
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if out == nil {
+		out = []StoreEntry{}
+	}
 	return out
 }
 
-// Delete removes the entry under name, reporting whether a live entry
-// was removed. The name's version counter is kept, so a later Put
-// continues the sequence.
-func (s *Store) Delete(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.liveLocked(name) == nil {
+func (s *Store) delete(ns, name string) bool {
+	if s.jnl != nil {
+		s.opMu.RLock()
+		if s.closed {
+			s.opMu.RUnlock()
+			return false
+		}
+	}
+	k := nsKey{ns, name}
+	sh := s.shard(k)
+	sh.mu.Lock()
+	if s.liveLocked(sh, k) == nil {
+		sh.mu.Unlock()
+		if s.jnl != nil {
+			s.opMu.RUnlock()
+		}
 		return false
 	}
-	s.removeLocked(name)
+	s.journalDelete(ns, name)
+	s.removeLocked(sh, k)
+	sh.mu.Unlock()
+	if s.jnl != nil {
+		s.opMu.RUnlock()
+	}
+	s.maybeSnapshot()
 	return true
 }
 
-// Len returns the number of live entries.
-func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepExpiredLocked(s.now())
-	return len(s.items)
+func (s *Store) length(ns string) int {
+	n := 0
+	now := s.nowIfTTL()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.sweepExpiredLocked(sh, now)
+		for k := range sh.items {
+			if k.ns == ns {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// liveLocked returns the item under name if present and unexpired,
-// removing it (and returning nil) when expired.
-func (s *Store) liveLocked(name string) *storeItem {
-	it, ok := s.items[name]
+// liveLocked returns the item under k if present and unexpired, removing
+// it (and returning nil) when expired. The clock is only consulted when
+// a TTL is configured — time.Now would otherwise dominate the read path.
+func (s *Store) liveLocked(sh *storeShard, k nsKey) *storeItem {
+	it, ok := sh.items[k]
 	if !ok {
 		return nil
 	}
-	if s.expired(it, s.now()) {
-		s.removeLocked(name)
+	if s.ttl > 0 && s.expired(it, s.now()) {
+		s.removeLocked(sh, k)
 		return nil
 	}
 	return it
@@ -248,23 +601,33 @@ func (s *Store) expired(it *storeItem, now time.Time) bool {
 	return s.ttl > 0 && now.Sub(it.entry.StoredAt) >= s.ttl
 }
 
-// sweepExpiredLocked drops every expired entry. TTL runs from StoredAt
-// while the recency list orders by use, so a full scan is needed; the
-// store is capacity-bounded in any deployment that cares, keeping this
-// O(capacity).
-func (s *Store) sweepExpiredLocked(now time.Time) {
+// nowIfTTL reads the clock only when a TTL makes the answer matter;
+// expiry-sweep callers on TTL-free stores skip the time.Now cost.
+func (s *Store) nowIfTTL() time.Time {
+	if s.ttl > 0 {
+		return s.now()
+	}
+	return time.Time{}
+}
+
+// sweepExpiredLocked drops every expired entry in the shard. TTL runs
+// from StoredAt while the recency list orders by use, so a full scan is
+// needed; the store is capacity-bounded in any deployment that cares,
+// keeping this O(capacity). Expiry is never journaled — it is a pure
+// function of StoredAt and the TTL option, so recovery re-derives it.
+func (s *Store) sweepExpiredLocked(sh *storeShard, now time.Time) {
 	if s.ttl <= 0 {
 		return
 	}
-	for name, it := range s.items {
+	for k, it := range sh.items {
 		if s.expired(it, now) {
-			s.removeLocked(name)
+			s.removeLocked(sh, k)
 		}
 	}
 }
 
-func (s *Store) removeLocked(name string) {
-	it := s.items[name]
-	s.recency.Remove(it.elem)
-	delete(s.items, name)
+func (s *Store) removeLocked(sh *storeShard, k nsKey) {
+	it := sh.items[k]
+	sh.recency.Remove(it.elem)
+	delete(sh.items, k)
 }
