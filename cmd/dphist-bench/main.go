@@ -20,6 +20,9 @@
 //	wavelet   Haar wavelet (Xiao et al.) vs H~ and H-bar
 //	2d        2D universal histograms (Appendix B extension)
 //	serving   release-store batch range-query throughput (engineering)
+//	serving2d release-store batch rectangle-query throughput against 2-D
+//	          releases: summed-area fast path vs quadtree decomposition
+//	          (engineering)
 //	reload    durable-store crash recovery time + sharded vs single-mutex
 //	          concurrent Get throughput (engineering)
 //	verify    live scorecard of every reproducible paper claim
@@ -32,9 +35,13 @@
 //	-ranges N    random ranges per size for fig6 (default 1000)
 //	-eps LIST    comma-separated epsilons (default 1.0,0.1,0.01)
 //	-scale S     "paper" or "small" workload sizes (default paper)
+//	-json FILE   also write serving/serving2d rows as a machine-readable
+//	             baseline (merging with FILE's existing rows), so CI can
+//	             archive a perf trajectory (BENCH_serving.json)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -57,6 +64,7 @@ func main() {
 		ranges = flag.Int("ranges", 0, "random ranges per size in fig6 (0 = 1000)")
 		epsArg = flag.String("eps", "", "comma-separated epsilon list (default 1.0,0.1,0.01)")
 		scale  = flag.String("scale", "paper", `workload scale: "paper" or "small"`)
+		jsonTo = flag.String("json", "", "write serving benchmark rows to this JSON baseline file")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -97,7 +105,8 @@ func main() {
 		"nonneg":    runNonNeg,
 		"wavelet":   runWavelet,
 		"2d":        run2D,
-		"serving":   runServing,
+		"serving":   func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runServing(cfg)) },
+		"serving2d": func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runServing2D(cfg)) },
 		"reload":    runReload,
 		"verify":    runVerify,
 	}
@@ -119,7 +128,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: dphist-bench [flags] <experiment>\n\n")
-	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving reload all\n\n")
+	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving serving2d reload all\n\n")
 	flag.PrintDefaults()
 }
 
@@ -301,12 +310,124 @@ func run2D(cfg experiments.Config) {
 	w.Flush()
 }
 
+// servingRow is one machine-readable serving measurement; collected
+// rows become the BENCH_serving.json baseline CI archives so future
+// changes have a perf trajectory to compare against.
+type servingRow struct {
+	Experiment      string  `json:"experiment"` // "serving" (1-D) or "serving2d"
+	Release         string  `json:"release"`
+	Queries         int     `json:"queries"`
+	NsPerQuery      float64 `json:"ns_per_query"`
+	QueriesPerSec   float64 `json:"queries_per_sec"`
+	AllocsPerQuery  float64 `json:"allocs_per_query"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	DomainOrSide    int     `json:"domain"`
+	BatchSize       int     `json:"batch_size"`
+	BatchesMeasured int     `json:"batches"`
+}
+
+// servingBaseline is the BENCH_serving.json document shape.
+type servingBaseline struct {
+	GeneratedBy string       `json:"generated_by"`
+	Seed        uint64       `json:"seed"`
+	Scale       string       `json:"scale"`
+	Rows        []servingRow `json:"rows"`
+}
+
+// timeBatches runs the warm-up plus timed batch loop and reports one
+// row. Allocations are measured from the runtime's monotonic Mallocs
+// counter on this goroutine's world, so the figure includes the result
+// slices the Store path allocates per batch.
+func timeBatches(experiment, release string, domain, batchSize, batches int, query func() error) servingRow {
+	if err := query(); err != nil { // warm up
+		fatalf("%v", err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	startTime := time.Now()
+	for b := 0; b < batches; b++ {
+		if err := query(); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	elapsed := time.Since(startTime)
+	runtime.ReadMemStats(&after)
+	queries := batches * batchSize
+	return servingRow{
+		Experiment:      experiment,
+		Release:         release,
+		Queries:         queries,
+		NsPerQuery:      float64(elapsed.Nanoseconds()) / float64(queries),
+		QueriesPerSec:   float64(queries) / elapsed.Seconds(),
+		AllocsPerQuery:  float64(after.Mallocs-before.Mallocs) / float64(queries),
+		ElapsedSeconds:  elapsed.Seconds(),
+		DomainOrSide:    domain,
+		BatchSize:       batchSize,
+		BatchesMeasured: batches,
+	}
+}
+
+func printServingRows(rows []servingRow) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "release\tqueries\telapsed\tns/query\tqueries/sec\tallocs/query\t\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%.0f\t%.3g\t%.4f\t\n",
+			r.Release, r.Queries, time.Duration(r.ElapsedSeconds*float64(time.Second)).Round(time.Millisecond),
+			r.NsPerQuery, r.QueriesPerSec, r.AllocsPerQuery)
+	}
+	w.Flush()
+}
+
+// writeServingJSON merges rows into the JSON baseline at path (replacing
+// rows with the same experiment+release key), so `serving` and
+// `serving2d` runs can share one BENCH_serving.json artifact. A no-op
+// when path is empty.
+func writeServingJSON(path string, seed uint64, scale string, rows []servingRow) {
+	if path == "" || len(rows) == 0 {
+		return
+	}
+	var doc servingBaseline
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fatalf("existing baseline %s is not valid JSON: %v", path, err)
+		}
+	}
+	// The current run's metadata wins over whatever the merged-in file
+	// recorded; rows measured under other seeds/scales are replaced by
+	// key, not annotated.
+	doc.GeneratedBy = "dphist-bench"
+	doc.Seed = seed
+	doc.Scale = scale
+	for _, row := range rows {
+		replaced := false
+		for i, old := range doc.Rows {
+			if old.Experiment == row.Experiment && old.Release == row.Release {
+				doc.Rows[i] = row
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			doc.Rows = append(doc.Rows, row)
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("\nwrote %d serving rows to %s\n", len(rows), path)
+}
+
 // runServing measures the read side the paper motivates but never
 // benchmarks: once a release is minted (one budget charge), how fast can
 // arbitrary range queries be answered against it? It mints one release
 // per row into a dphist.Store and times 1,000-range batches through
 // Store.Query — the exact path POST /v1/query serves.
-func runServing(cfg experiments.Config) {
+func runServing(cfg experiments.Config) []servingRow {
 	domain := 1 << 14
 	batches := 200
 	if cfg.Scale == experiments.ScaleSmall {
@@ -352,26 +473,80 @@ func runServing(cfg experiments.Config) {
 		fatalf("%v", err)
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintf(w, "release\tqueries\telapsed\tns/query\tqueries/sec\t\n")
+	var rows []servingRow
 	for _, name := range []string{"universal", "universal-consistent", "laplace"} {
-		if _, _, err := store.Query(name, specs); err != nil { // warm up
-			fatalf("%v", err)
-		}
-		startTime := time.Now()
-		for b := 0; b < batches; b++ {
-			if _, _, err := store.Query(name, specs); err != nil {
-				fatalf("%v", err)
-			}
-		}
-		elapsed := time.Since(startTime)
-		queries := batches * batchSize
-		perQuery := float64(elapsed.Nanoseconds()) / float64(queries)
-		fmt.Fprintf(w, "%s\t%d\t%v\t%.0f\t%.3g\t\n",
-			name, queries, elapsed.Round(time.Millisecond), perQuery,
-			float64(queries)/elapsed.Seconds())
+		rows = append(rows, timeBatches("serving", name, domain, batchSize, batches, func() error {
+			_, _, err := store.Query(name, specs)
+			return err
+		}))
 	}
-	w.Flush()
+	printServingRows(rows)
+	return rows
+}
+
+// runServing2D is the 2-D twin of runServing: it mints universal2d
+// releases into a store and times 1,000-rectangle batches through
+// Store.QueryRects — the exact path POST /v1/query2d serves. The
+// consistent release answers each rectangle in O(1) from its
+// summed-area table; the default (non-negativity truncated) release
+// pays the iterative quadtree decomposition.
+func runServing2D(cfg experiments.Config) []servingRow {
+	side := 128
+	batches := 200
+	if cfg.Scale == experiments.ScaleSmall {
+		side = 64
+		batches = 50
+	}
+	const batchSize = 1000
+	fmt.Printf("== Serving engine 2D: %d-rectangle batches against stored releases (%dx%d grid) ==\n",
+		batchSize, side, side)
+
+	cells := make([][]float64, side)
+	for y := range cells {
+		cells[y] = make([]float64, side)
+		for x := range cells[y] {
+			cells[y][x] = float64((x*31 + y*17) % 23)
+		}
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 19))
+	rects := make([]dphist.RectSpec, batchSize)
+	for i := range rects {
+		x0, y0 := rng.IntN(side), rng.IntN(side)
+		rects[i] = dphist.RectSpec{
+			X0: x0, Y0: y0,
+			X1: x0 + 1 + rng.IntN(side-x0),
+			Y1: y0 + 1 + rng.IntN(side-y0),
+		}
+	}
+
+	store := dphist.NewStore()
+	session, err := dphist.NewSession(dphist.MustNew(dphist.WithSeed(cfg.Seed)), 100)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if _, _, err := store.Mint(session, "quadtree", dphist.Request{
+		Strategy: dphist.StrategyUniversal2D, Cells: cells, Epsilon: 0.1}); err != nil {
+		fatalf("%v", err)
+	}
+	consistent, err := dphist.NewSession(dphist.MustNew(dphist.WithSeed(cfg.Seed),
+		dphist.WithoutNonNegativity(), dphist.WithoutRounding()), 100)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if _, _, err := store.Mint(consistent, "quadtree-consistent", dphist.Request{
+		Strategy: dphist.StrategyUniversal2D, Cells: cells, Epsilon: 0.1}); err != nil {
+		fatalf("%v", err)
+	}
+
+	var rows []servingRow
+	for _, name := range []string{"quadtree", "quadtree-consistent"} {
+		rows = append(rows, timeBatches("serving2d", name, side, batchSize, batches, func() error {
+			_, _, err := store.QueryRects(name, rects)
+			return err
+		}))
+	}
+	printServingRows(rows)
+	return rows
 }
 
 // runReload measures the two durability costs the paper's serving

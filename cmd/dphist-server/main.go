@@ -11,6 +11,10 @@
 //	-addr A           listen address (default :8080)
 //	-domain N         domain size (required)
 //	-col N            0-based CSV column holding the position (default 0)
+//	-grid W           also serve the dataset as a 2-D grid of width W:
+//	                  position p maps to cell (p mod W, p div W), enabling
+//	                  the universal2d strategy and POST /v1/query2d
+//	                  rectangle batches (0 = 1-D only)
 //	-budget F         total epsilon budget per namespace (default 1.0)
 //	-cap F            per-request epsilon cap (0 = none)
 //	-k N              universal tree branching factor (default 2)
@@ -47,6 +51,9 @@
 //	                     -> {"namespace","name","version","strategy",
 //	                         "answers":[..]} answering the whole batch in
 //	                        one round trip; querying spends no budget
+//	POST /v1/query2d     {"name":"grid","rects":[{"x0":0,"y0":0,"x1":8,
+//	                      "y1":8},..]} -> rectangle answers against a
+//	                     stored universal2d release (requires -grid)
 //
 // Every route above also exists namespace-scoped under /v1/ns/{ns}/...,
 // giving each tenant its own release keyspace and epsilon budget; the
@@ -84,6 +91,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		domainSize = flag.Int("domain", 0, "domain size (required)")
 		col        = flag.Int("col", 0, "0-based CSV column holding the position")
+		gridWidth  = flag.Int("grid", 0, "serve the dataset as a 2-D grid of this width (0 = 1-D only)")
 		budget     = flag.Float64("budget", 1.0, "total epsilon budget per namespace")
 		epsCap     = flag.Float64("cap", 0, "per-request epsilon cap (0 = none)")
 		branching  = flag.Int("k", 2, "universal tree branching factor")
@@ -116,8 +124,13 @@ func main() {
 	if s == 0 {
 		s = uint64(time.Now().UnixNano())
 	}
+	if *gridWidth < 0 || *gridWidth > *domainSize {
+		fmt.Fprintf(os.Stderr, "dphist-server: -grid %d outside [0, domain %d]\n", *gridWidth, *domainSize)
+		os.Exit(2)
+	}
 	cfg := server.Config{
 		Counts:               tab.Histogram(),
+		Cells:                reshape(tab.Histogram(), *gridWidth),
 		Budget:               *budget,
 		Seed:                 s,
 		Branching:            *branching,
@@ -202,4 +215,20 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "dphist-server: %v\n", err)
 	os.Exit(1)
+}
+
+// reshape folds a 1-D histogram row-major into rows of the given width,
+// zero-padding the final row; width 0 disables the 2-D surface.
+func reshape(counts []float64, width int) [][]float64 {
+	if width <= 0 {
+		return nil
+	}
+	rows := (len(counts) + width - 1) / width
+	cells := make([][]float64, rows)
+	for y := range cells {
+		lo := y * width
+		hi := min(lo+width, len(counts))
+		cells[y] = counts[lo:hi]
+	}
+	return cells
 }

@@ -49,6 +49,12 @@
 //   - StrategyHierarchy (Mechanism.HierarchyRelease): a custom
 //     constraint forest, such as the introduction's student-grades
 //     query set.
+//   - StrategyUniversal2D (Mechanism.Universal2DHistogram): the
+//     two-dimensional universal histogram of Appendix B — a quadtree of
+//     noisy region counts over a Request.Cells grid, made consistent by
+//     the same Theorem 3 inference (the quadtree over Morton-ordered
+//     cells is the H query with branching factor 4), answering arbitrary
+//     axis-aligned rectangle queries.
 //
 // The typed methods remain available and return the concrete release
 // types with their strategy-specific extras (noisy baselines, tree
@@ -76,17 +82,52 @@
 //     a caller-owned result buffer so steady-state serving allocates
 //     nothing at all.
 //
-// Range semantics are uniform across all six release types: intervals
-// are half-open, the empty query lo == hi answers 0, and out-of-bounds
-// or inverted ranges fail. Releases are self-contained — the exported
+// Range semantics are uniform across all release types: intervals are
+// half-open, the empty query lo == hi answers 0, and out-of-bounds or
+// inverted ranges fail. Releases are self-contained — the exported
 // raw-answer slices (Noisy, Inferred) are copies, so nothing an analyst
 // mutates can desynchronize Counts, Range, or Total.
 //
+// # Serving rectangle queries (2-D)
+//
+// The 2-D release is a first-class citizen of the same serving engine.
+// A RectSpec names the half-open axis-aligned rectangle
+// [X0, X1) x [Y0, Y1) over the release's Width() x Height() cell grid;
+// empty rectangles answer 0, and every answer equals the sum of the
+// published cells it covers (exactly when the post-processed quadtree
+// is consistent). QueryRects and QueryRectsInto are the batch engine —
+// all-or-nothing validation, then a per-rectangle fast path:
+//
+//   - With WithoutNonNegativity and WithoutRounding the quadtree is
+//     exactly consistent and the release precomputes a summed-area
+//     table at construction, answering any rectangle in O(1) with four
+//     lookups and zero allocations — the 2-D analogue of the 1-D
+//     prefix-sum path.
+//   - Otherwise each rectangle is answered by an iterative quadtree
+//     decomposition (O(W+H) nodes worst case — perimeter-proportional,
+//     still allocation-free), which keeps the non-negativity truncation
+//     bias bounded per query instead of growing with the rectangle's
+//     area.
+//
+// Store.QueryRects serves rectangle batches against a stored release by
+// name, and Universal2DRelease also answers the 1-D Release interface
+// (Counts row-major, Range over row-major order), so generic tooling —
+// listing, budgets, journaling, recovery — needs no special cases.
+//
 // The internal/server package (run it via cmd/dphist-server) exposes
 // this layer over HTTP: POST /v1/releases mints-and-stores, GET
-// /v1/releases lists, POST /v1/query answers a whole batch in one round
-// trip. Every route also exists namespace-scoped under /v1/ns/{ns}/...,
-// plus GET /healthz and GET /v1/stats for ops.
+// /v1/releases lists, POST /v1/query answers a whole range batch in one
+// round trip, and POST /v1/query2d does the same for rectangle batches
+// against universal2d releases. Every route also exists
+// namespace-scoped under /v1/ns/{ns}/..., plus GET /healthz and GET
+// /v1/stats for ops.
+//
+// Namespace and release names are validated at the store boundary
+// (ValidateName): empty names, the dot segments "." and "..", and names
+// containing "/" are refused with ErrBadName before any state — or any
+// budget — is spent on them, because such names cannot survive as URL
+// path segments under /v1/ns/{ns}/.... Anything else is legal; clients
+// composing URLs percent-escape the segment (server.NamespacePath).
 //
 // # Operations: durability, namespaces, and the budget ledger
 //

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"github.com/dphist/dphist/internal/core"
+	"github.com/dphist/dphist/internal/histo2d"
 	"github.com/dphist/dphist/internal/htree"
 )
 
@@ -36,6 +37,7 @@ var releaseCodecs = map[Strategy]func() Release{
 	StrategyWavelet:        func() Release { return new(WaveletRelease) },
 	StrategyDegreeSequence: func() Release { return new(DegreeSequenceRelease) },
 	StrategyHierarchy:      func() Release { return new(HierarchyReleaseResult) },
+	StrategyUniversal2D:    func() Release { return new(Universal2DRelease) },
 }
 
 // DecodeRelease decodes any release payload produced by a Release's
@@ -129,6 +131,61 @@ func (r *UniversalRelease) UnmarshalJSON(data []byte) error {
 			len(w.Noisy), len(w.Inferred), len(w.Post), n)
 	}
 	*r = *newUniversalRelease(tree, w.Noisy, w.Inferred, w.Post, w.Epsilon)
+	return nil
+}
+
+// universal2DWire is the serialized form of a Universal2DRelease: the
+// real domain dimensions plus the three quadtree vectors in BFS order,
+// so baseline comparisons and re-derived fast paths survive the round
+// trip exactly as they do for the 1-D release.
+type universal2DWire struct {
+	Version  int       `json:"version"`
+	Strategy string    `json:"strategy"`
+	Epsilon  float64   `json:"epsilon"`
+	Width    int       `json:"width"`
+	Height   int       `json:"height"`
+	Noisy    []float64 `json:"noisy"`
+	Inferred []float64 `json:"inferred"`
+	Post     []float64 `json:"post"`
+}
+
+// MarshalJSON encodes the release, including the raw noisy quadtree so
+// baseline comparisons survive the round trip.
+func (r *Universal2DRelease) MarshalJSON() ([]byte, error) {
+	return json.Marshal(universal2DWire{
+		Version:  WireVersion,
+		Strategy: r.Strategy().String(),
+		Epsilon:  r.eps,
+		Width:    r.grid.Width(),
+		Height:   r.grid.Height(),
+		Noisy:    r.noisy,
+		Inferred: r.inferred,
+		Post:     r.post,
+	})
+}
+
+// UnmarshalJSON decodes a release produced by MarshalJSON, rebuilding
+// the quadtree shape from the dimensions and validating the payload
+// against it. The summed-area fast path is re-derived, not trusted from
+// the wire.
+func (r *Universal2DRelease) UnmarshalJSON(data []byte) error {
+	var w universal2DWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("dphist: decode universal2d release: %w", err)
+	}
+	if err := checkHeader(w.Version, w.Strategy, StrategyUniversal2D, w.Epsilon); err != nil {
+		return err
+	}
+	grid, err := histo2d.New(w.Width, w.Height)
+	if err != nil {
+		return fmt.Errorf("dphist: decode universal2d release: %w", err)
+	}
+	n := grid.NumNodes()
+	if len(w.Noisy) != n || len(w.Inferred) != n || len(w.Post) != n {
+		return fmt.Errorf("dphist: release payload has %d/%d/%d node values, quadtree has %d",
+			len(w.Noisy), len(w.Inferred), len(w.Post), n)
+	}
+	*r = *newUniversal2DRelease(grid, w.Noisy, w.Inferred, w.Post, w.Epsilon)
 	return nil
 }
 

@@ -21,12 +21,16 @@ func FuzzDecodeRelease(f *testing.F) {
 	counts := []float64{2, 0, 10, 2, 5, 5, 5, 5}
 	for _, strategy := range Strategies() {
 		req := Request{Strategy: strategy, Counts: counts, Epsilon: 0.5}
-		if strategy == StrategyHierarchy {
+		switch strategy {
+		case StrategyHierarchy:
 			req.Hierarchy = Grades()
 			req.Counts = make([]float64, len(Grades().Leaves()))
 			for i := range req.Counts {
 				req.Counts[i] = float64(i)
 			}
+		case StrategyUniversal2D:
+			req.Counts = nil
+			req.Cells = [][]float64{{2, 0, 10}, {2, 5}}
 		}
 		rel, err := m.Release(req)
 		if err != nil {

@@ -19,9 +19,17 @@ func releaseFixtures(t *testing.T) map[Strategy]Release {
 	out := make(map[Strategy]Release)
 	for _, s := range Strategies() {
 		req := Request{Strategy: s, Counts: counts, Epsilon: 0.5}
-		if s == StrategyHierarchy {
+		switch s {
+		case StrategyHierarchy:
 			req.Counts = []float64{120, 180, 90, 40, 25}
 			req.Hierarchy = Grades()
+		case StrategyUniversal2D:
+			req.Counts = nil
+			req.Cells = [][]float64{
+				{0, 1, 2, 3, 4, 5, 6},
+				{6, 5, 4, 3, 2, 1},
+				{1, 2, 3},
+			}
 		}
 		rel, err := m.Release(req)
 		if err != nil {
@@ -99,6 +107,9 @@ func TestDecodeReleaseRejectsCorrupt(t *testing.T) {
 		"cyclic hierarchy":  `{"version":2,"strategy":"hierarchy","epsilon":1,"parent":[1,0],"noisy":[1,1],"inferred":[1,1]}`,
 		"short hierarchy":   `{"version":2,"strategy":"hierarchy","epsilon":1,"parent":[-1,0,0],"noisy":[1],"inferred":[1]}`,
 		"strategy mismatch": `{"version":2,"strategy":"laplace","epsilon":1,"parent":[-1],"noisy":[1],"inferred":[1]}`,
+		"zero-width grid":   `{"version":2,"strategy":"universal2d","epsilon":1,"width":0,"height":2,"noisy":[1],"inferred":[1],"post":[1]}`,
+		"huge grid":         `{"version":2,"strategy":"universal2d","epsilon":1,"width":9999999,"height":9999999,"noisy":[1],"inferred":[1],"post":[1]}`,
+		"short quadtree":    `{"version":2,"strategy":"universal2d","epsilon":1,"width":2,"height":2,"noisy":[1,2],"inferred":[1,2],"post":[1,2]}`,
 	}
 	for name, payload := range cases {
 		if name == "strategy mismatch" {
@@ -112,6 +123,58 @@ func TestDecodeReleaseRejectsCorrupt(t *testing.T) {
 		}
 		if _, err := DecodeRelease([]byte(payload)); err == nil {
 			t.Errorf("%s: corrupt payload accepted", name)
+		}
+	}
+}
+
+// The 2-D release round-trips concretely: grid shape, answers, the raw
+// noisy baseline, and the re-derived summed-area fast path all survive.
+func TestUniversal2DReleaseRoundTrip(t *testing.T) {
+	cells := [][]float64{{3, 1, 4}, {1, 5, 9}, {2, 6, 5}, {3, 5}}
+	for _, consistent := range []bool{true, false} {
+		opts := []Option{WithSeed(66)}
+		if consistent {
+			opts = append(opts, WithoutNonNegativity(), WithoutRounding())
+		}
+		orig, err := MustNew(opts...).Universal2DHistogram(cells, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Universal2DRelease
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Width() != orig.Width() || back.Height() != orig.Height() ||
+			back.TreeHeight() != orig.TreeHeight() || back.Epsilon() != orig.Epsilon() {
+			t.Fatal("shape lost in round trip")
+		}
+		// The fast path is a pure function of the payload, so it must be
+		// re-derived identically: present exactly when the original had it.
+		if (back.sat == nil) != (orig.sat == nil) {
+			t.Fatalf("summed-area table presence changed: %v vs %v", back.sat == nil, orig.sat == nil)
+		}
+		for _, q := range []RectSpec{{X1: 3, Y1: 4}, {X0: 1, Y0: 1, X1: 3, Y1: 3}, {X0: 2, Y0: 2, X1: 2, Y1: 2}} {
+			a, err := orig.Rect(q.X0, q.Y0, q.X1, q.Y1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := back.Rect(q.X0, q.Y0, q.X1, q.Y1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("consistent=%v: Rect%+v changed in round trip: %v vs %v", consistent, q, a, b)
+			}
+		}
+		na, nb := orig.NoisyTree(), back.NoisyTree()
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("noisy baseline lost in round trip")
+			}
 		}
 	}
 }

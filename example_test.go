@@ -150,7 +150,7 @@ func ExampleMechanism_Universal2DHistogram() {
 	if err != nil {
 		panic(err)
 	}
-	diag, _ := rel.Range(0, 0, 2, 2)
+	diag, _ := rel.Rect(0, 0, 2, 2)
 	fmt.Printf("total=%.0f topleft=%.0f\n", rel.Total(), diag)
 	// Output: total=20 topleft=10
 }

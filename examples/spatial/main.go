@@ -4,14 +4,25 @@
 // counts, made consistent by inference); analysts then ask for any
 // axis-aligned rectangle — a block, a district, the whole city — without
 // further privacy cost.
+//
+// The second act is the serving side: the same release is minted into a
+// namespaced release store and queried over the real HTTP surface
+// (POST /v1/ns/{ns}/query2d), a whole batch of rectangles per round
+// trip, budget-free.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 
 	"github.com/dphist/dphist"
+	"github.com/dphist/dphist/internal/server"
 )
 
 func main() {
@@ -28,29 +39,97 @@ func main() {
 		rel.Width(), rel.Height(), rel.TreeHeight(), eps)
 
 	queries := []struct {
-		name           string
-		x0, y0, x1, y1 int
+		name string
+		spec dphist.RectSpec
 	}{
-		{"whole city", 0, 0, side, side},
-		{"downtown (16x16)", 56, 56, 72, 72},
-		{"harbor strip (128x8)", 0, 120, 128, 128},
-		{"one block", 60, 60, 61, 61},
-		{"empty outskirts (32x32)", 0, 0, 32, 32},
+		{"whole city", dphist.RectSpec{X0: 0, Y0: 0, X1: side, Y1: side}},
+		{"downtown (16x16)", dphist.RectSpec{X0: 56, Y0: 56, X1: 72, Y1: 72}},
+		{"harbor strip (128x8)", dphist.RectSpec{X0: 0, Y0: 120, X1: 128, Y1: 128}},
+		{"one block", dphist.RectSpec{X0: 60, Y0: 60, X1: 61, Y1: 61}},
+		{"empty outskirts (32x32)", dphist.RectSpec{X0: 0, Y0: 0, X1: 32, Y1: 32}},
+	}
+	specs := make([]dphist.RectSpec, len(queries))
+	for i, q := range queries {
+		specs[i] = q.spec
+	}
+	answers, err := dphist.QueryRects(rel, specs)
+	if err != nil {
+		panic(err)
 	}
 	fmt.Printf("%-26s %10s %10s %10s\n", "region", "true", "estimate", "|error|")
-	for _, q := range queries {
+	for i, q := range queries {
 		truth := 0.0
-		for y := q.y0; y < q.y1; y++ {
-			for x := q.x0; x < q.x1; x++ {
+		for y := q.spec.Y0; y < q.spec.Y1; y++ {
+			for x := q.spec.X0; x < q.spec.X1; x++ {
 				truth += cells[y][x]
 			}
 		}
-		got, err := rel.Range(q.x0, q.y0, q.x1, q.y1)
-		if err != nil {
-			panic(err)
-		}
-		fmt.Printf("%-26s %10.0f %10.0f %10.0f\n", q.name, truth, got, math.Abs(got-truth))
+		fmt.Printf("%-26s %10.0f %10.0f %10.0f\n", q.name, truth, answers[i], math.Abs(answers[i]-truth))
 	}
+
+	// Act two: the HTTP serving surface. The server protects the same
+	// grid; a tenant mints one 2-D release by name and then answers
+	// rectangle batches over POST /v1/ns/{ns}/query2d. The namespace is
+	// a URL path segment, so clients percent-escape it.
+	srv, err := server.New(server.Config{
+		Counts: flatten(cells),
+		Cells:  cells,
+		Budget: 1.0,
+		Seed:   2024,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const tenant = "geo.analytics"
+	nsURL := ts.URL + "/v1/ns/" + url.PathEscape(tenant)
+	var minted struct {
+		Name            string  `json:"name"`
+		Strategy        string  `json:"strategy"`
+		BudgetRemaining float64 `json:"budget_remaining"`
+	}
+	postJSON(nsURL+"/releases",
+		`{"name":"checkins","strategy":"universal2d","epsilon":0.5}`, &minted)
+	fmt.Printf("\nminted %q (%s) for tenant %q, budget remaining %.2f\n",
+		minted.Name, minted.Strategy, tenant, minted.BudgetRemaining)
+
+	payload, err := json.Marshal(map[string]any{"name": "checkins", "rects": specs})
+	if err != nil {
+		panic(err)
+	}
+	var answered struct {
+		Answers []float64 `json:"answers"`
+	}
+	postJSON(nsURL+"/query2d", string(payload), &answered)
+	fmt.Printf("served %d rectangle answers over HTTP; whole-city estimate %.0f\n",
+		len(answered.Answers), answered.Answers[0])
+	fmt.Printf("tenant budget spent %.2f — every rectangle batch was free\n",
+		srv.Store().Namespace(tenant).Accountant().Spent())
+}
+
+func postJSON(url, body string, out any) {
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("POST %s: %s", url, resp.Status))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		panic(err)
+	}
+}
+
+// flatten lays the grid out row-major for the server's 1-D strategies.
+func flatten(cells [][]float64) []float64 {
+	out := make([]float64, 0, len(cells)*len(cells[0]))
+	for _, row := range cells {
+		out = append(out, row...)
+	}
+	return out
 }
 
 // cityCheckins fabricates a realistic check-in density: two Gaussian

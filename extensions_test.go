@@ -133,25 +133,46 @@ func TestUniversal2DRelease(t *testing.T) {
 	if math.Abs(total-100) > 10 {
 		t.Fatalf("total %v, want about 100", total)
 	}
-	diag, err := rel.Range(0, 0, 2, 2)
+	diag, err := rel.Rect(0, 0, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(diag-30) > 10 {
 		t.Fatalf("top-left quadrant %v, want about 30", diag)
 	}
-	got := rel.Counts()
-	if len(got) != 4 || len(got[0]) != 4 {
-		t.Fatal("Counts shape wrong")
+	rows := rel.Rows()
+	if len(rows) != 4 || len(rows[0]) != 4 {
+		t.Fatal("Rows shape wrong")
+	}
+	if flat := rel.Counts(); len(flat) != 16 || flat[2*4+2] != rows[2][2] {
+		t.Fatalf("Counts is not the row-major cell grid: %v vs rows %v", flat, rows)
+	}
+	if rel.Strategy() != StrategyUniversal2D {
+		t.Fatalf("strategy %v", rel.Strategy())
+	}
+	if rel.Epsilon() != 20 {
+		t.Fatalf("epsilon %v", rel.Epsilon())
 	}
 	if v, err := rel.Cell(2, 2); err != nil || math.Abs(v-30) > 10 {
 		t.Fatalf("Cell(2,2) = %v, %v", v, err)
 	}
-	if _, err := rel.Range(0, 0, 5, 1); err == nil {
+	if _, err := rel.Rect(0, 0, 5, 1); err == nil {
 		t.Fatal("oversized rect accepted")
+	}
+	if v, err := rel.Rect(2, 2, 2, 2); err != nil || v != 0 {
+		t.Fatalf("empty rect = %v, %v; want 0, nil", v, err)
 	}
 	if _, err := rel.Cell(4, 0); err == nil {
 		t.Fatal("out-of-range cell accepted")
+	}
+	// The 1-D Release view: Range over row-major order matches sums over
+	// Counts by construction.
+	wantSum := 0.0
+	for _, v := range rel.Counts() {
+		wantSum += v
+	}
+	if v, err := rel.Range(0, 16); err != nil || math.Abs(v-wantSum) > 1e-9 {
+		t.Fatalf("Range(0,16) = %v, %v; want sum over Counts %v", v, err, wantSum)
 	}
 }
 
@@ -202,14 +223,14 @@ func TestUniversal2DSparsityWin(t *testing.T) {
 	}
 	// Large empty quadrant should release ~0; naive per-cell Laplace at
 	// matched epsilon would carry ~(clipping bias) * 256 cells of mass.
-	empty, err := rel.Range(0, 16, 16, 32)
+	empty, err := rel.Rect(0, 16, 16, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(empty) > 500 {
 		t.Fatalf("empty quadrant estimate %v, want near 0", empty)
 	}
-	hot, err := rel.Range(16, 16, 32, 32)
+	hot, err := rel.Rect(16, 16, 32, 32)
 	if err != nil {
 		t.Fatal(err)
 	}

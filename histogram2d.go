@@ -3,6 +3,7 @@ package dphist
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 
 	"github.com/dphist/dphist/internal/core"
 	"github.com/dphist/dphist/internal/histo2d"
@@ -20,8 +21,17 @@ import (
 // treated as zero-padded. The branching option does not apply (the
 // quadtree fan-out is inherently 4).
 func (m *Mechanism) Universal2DHistogram(cells [][]float64, eps float64) (*Universal2DRelease, error) {
+	if err := validate2DCells(cells, eps); err != nil {
+		return nil, err
+	}
+	return m.universal2DWith(cells, eps, m.nextStream())
+}
+
+// validate2DCells checks a 2-D release input without spending anything:
+// a non-empty grid of finite cells and an admissible epsilon.
+func validate2DCells(cells [][]float64, eps float64) error {
 	if len(cells) == 0 {
-		return nil, errEmptyCounts
+		return errEmptyCounts
 	}
 	width := 0
 	for y, row := range cells {
@@ -30,21 +40,36 @@ func (m *Mechanism) Universal2DHistogram(cells [][]float64, eps float64) (*Unive
 		}
 		for x, v := range row {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("dphist: cell (%d,%d) is %v", x, y, v)
+				return fmt.Errorf("dphist: cell (%d,%d) is %v", x, y, v)
 			}
 		}
 	}
 	if width == 0 {
-		return nil, errEmptyCounts
+		return errEmptyCounts
 	}
 	if !(eps > 0) || math.IsInf(eps, 0) {
-		return nil, fmt.Errorf("%w, got %v", errBadEpsilon, eps)
+		return fmt.Errorf("%w, got %v", errBadEpsilon, eps)
 	}
-	grid, err := histo2d.New(width, len(cells))
+	return nil
+}
+
+// cellsWidth returns the widest row of an already-validated cell grid.
+func cellsWidth(cells [][]float64) int {
+	width := 0
+	for _, row := range cells {
+		if len(row) > width {
+			width = len(row)
+		}
+	}
+	return width
+}
+
+func (m *Mechanism) universal2DWith(cells [][]float64, eps float64, src *rand.Rand) (*Universal2DRelease, error) {
+	grid, err := histo2d.New(cellsWidth(cells), len(cells))
 	if err != nil {
 		return nil, fmt.Errorf("dphist: %w", err)
 	}
-	noisy := grid.Release(cells, eps, m.nextStream())
+	noisy := grid.Release(cells, eps, src)
 	inferred := grid.Infer(noisy)
 	post := append([]float64(nil), inferred...)
 	if m.nonNeg {
@@ -53,15 +78,103 @@ func (m *Mechanism) Universal2DHistogram(cells [][]float64, eps float64) (*Unive
 	if m.round {
 		core.RoundNonNegInt(post)
 	}
-	return &Universal2DRelease{grid: grid, post: post}, nil
+	return newUniversal2DRelease(grid, noisy, inferred, post, eps), nil
 }
 
-// Universal2DRelease is a private 2D histogram answering rectangle
-// queries.
+// Universal2DRelease is a private 2-D histogram answering axis-aligned
+// rectangle queries. It satisfies the uniform Release interface — the
+// cell grid is published row-major through Counts, and Range answers
+// half-open intervals over that row-major order — while Rect answers
+// the native rectangle query [x0, x1) x [y0, y1).
+//
+// Rectangles are answered from the post-processed quadtree by minimal
+// subtree decomposition, exactly as the 1-D UniversalRelease answers
+// ranges. When the non-negativity heuristic truncated the tree, the
+// decomposition keeps its bias bounded in the number of covering nodes
+// — O(W+H) worst case, perimeter-proportional rather than area-
+// proportional like summing truncated cells would be; with
+// WithoutNonNegativity and WithoutRounding the tree is exactly
+// consistent, and Rect answers from a precomputed summed-area table —
+// O(1) per rectangle, bit-identical (up to float rounding) to summing
+// the published cells.
 type Universal2DRelease struct {
-	grid *histo2d.Grid
-	post []float64
+	grid     *histo2d.Grid
+	noisy    []float64 // h~ over the quadtree, BFS order
+	inferred []float64 // h-bar before post-processing, BFS order
+	post     []float64 // h-bar after non-negativity and rounding, BFS order
+	cells    []float64 // published cell estimates, row-major over W x H
+
+	// rowPrefix is the running-sum table over the row-major cells,
+	// always precomputed: the 1-D Range and Total views answer in O(1)
+	// and agree with Counts by construction.
+	rowPrefix []float64
+
+	// sat is the (W+1) x (H+1) summed-area table over the published
+	// cells, precomputed at construction when the post-processed
+	// quadtree is exactly consistent (mirroring the 1-D leafPrefix):
+	// Rect then answers any rectangle in O(1) with four lookups. Nil
+	// when truncation made the tree inconsistent and quadtree
+	// decomposition is required.
+	sat []float64
+
+	eps float64
 }
+
+// newUniversal2DRelease assembles the release from freshly built
+// quadtree vectors; callers must not retain the slices they pass in
+// (the mechanism and decoder both hand over ownership).
+func newUniversal2DRelease(grid *histo2d.Grid, noisy, inferred, post []float64, eps float64) *Universal2DRelease {
+	w, h := grid.Width(), grid.Height()
+	cells := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v, err := grid.Cell(post, x, y)
+			if err != nil {
+				panic(err) // unreachable: loop bounds match the grid
+			}
+			cells[y*w+x] = v
+		}
+	}
+	r := &Universal2DRelease{
+		grid:      grid,
+		noisy:     noisy,
+		inferred:  inferred,
+		post:      post,
+		cells:     cells,
+		rowPrefix: prefixSums(cells),
+		eps:       eps,
+	}
+	// Same tolerance argument as the 1-D release: inference is
+	// closed-form floating-point arithmetic, so "exactly consistent"
+	// means equal up to accumulated rounding scaled to the root.
+	tol := 1e-9 * (1 + math.Abs(post[0]))
+	if grid.IsConsistent(post, tol) {
+		r.sat = summedAreaTable(cells, w, h)
+	}
+	return r
+}
+
+// summedAreaTable returns the (w+1) x (h+1) inclusion-exclusion table
+// over row-major cells: sat[y*(w+1)+x] is the sum of all cells in
+// [0, x) x [0, y), so any rectangle is four lookups.
+func summedAreaTable(cells []float64, w, h int) []float64 {
+	stride := w + 1
+	sat := make([]float64, stride*(h+1))
+	for y := 1; y <= h; y++ {
+		rowSum := 0.0
+		for x := 1; x <= w; x++ {
+			rowSum += cells[(y-1)*w+(x-1)]
+			sat[y*stride+x] = sat[(y-1)*stride+x] + rowSum
+		}
+	}
+	return sat
+}
+
+// Strategy returns StrategyUniversal2D.
+func (r *Universal2DRelease) Strategy() Strategy { return StrategyUniversal2D }
+
+// Epsilon returns the privacy cost spent on this release.
+func (r *Universal2DRelease) Epsilon() float64 { return r.eps }
 
 // Width returns the real domain width.
 func (r *Universal2DRelease) Width() int { return r.grid.Width() }
@@ -73,37 +186,81 @@ func (r *Universal2DRelease) Height() int { return r.grid.Height() }
 // equal to it.
 func (r *Universal2DRelease) TreeHeight() int { return r.grid.TreeHeight() }
 
-// Range answers the half-open rectangle query [x0, x1) x [y0, y1).
-func (r *Universal2DRelease) Range(x0, y0, x1, y1 int) (float64, error) {
-	return r.grid.RangeSum(r.post, x0, y0, x1, y1)
+// Counts returns the published cell estimates row-major (a copy): index
+// y*Width()+x holds cell (x, y).
+func (r *Universal2DRelease) Counts() []float64 {
+	return append([]float64(nil), r.cells...)
 }
 
-// Cell returns the estimate for cell (x, y).
-func (r *Universal2DRelease) Cell(x, y int) (float64, error) {
-	return r.grid.Cell(r.post, x, y)
-}
+func (r *Universal2DRelease) domain() int { return len(r.cells) }
 
-// Counts returns the full released cell grid, Counts()[y][x].
-func (r *Universal2DRelease) Counts() [][]float64 {
+// Rows returns the published cell grid as rows, Rows()[y][x]. Every call
+// builds fresh rows, so mutating the result never touches the release.
+func (r *Universal2DRelease) Rows() [][]float64 {
 	out := make([][]float64, r.grid.Height())
+	w := r.grid.Width()
 	for y := range out {
-		out[y] = make([]float64, r.grid.Width())
-		for x := range out[y] {
-			v, err := r.grid.Cell(r.post, x, y)
-			if err != nil {
-				panic(err) // unreachable: loop bounds match the grid
-			}
-			out[y][x] = v
-		}
+		out[y] = append([]float64(nil), r.cells[y*w:(y+1)*w]...)
 	}
 	return out
 }
 
+// Range answers the half-open interval [lo, hi) over the row-major cell
+// order — the 1-D view the uniform batch engine queries. Answers equal
+// sums over Counts by construction. The empty range lo == hi answers 0.
+func (r *Universal2DRelease) Range(lo, hi int) (float64, error) {
+	if lo < 0 || hi > len(r.cells) || lo > hi {
+		return 0, badRange(lo, hi, len(r.cells))
+	}
+	return r.rowPrefix[hi] - r.rowPrefix[lo], nil
+}
+
+// Rect answers the half-open rectangle query [x0, x1) x [y0, y1): from
+// the summed-area table in O(1) when the post-processed quadtree is
+// exactly consistent, else by iterative quadtree decomposition. Empty
+// rectangles (x0 == x1 or y0 == y1, within bounds) answer 0.
+func (r *Universal2DRelease) Rect(x0, y0, x1, y1 int) (float64, error) {
+	w, h := r.grid.Width(), r.grid.Height()
+	if x0 < 0 || y0 < 0 || x1 > w || y1 > h || x0 > x1 || y0 > y1 {
+		return 0, badRect(x0, y0, x1, y1, w, h)
+	}
+	return r.rect(x0, y0, x1, y1), nil
+}
+
+// rect answers an already-validated rectangle.
+func (r *Universal2DRelease) rect(x0, y0, x1, y1 int) float64 {
+	if r.sat != nil {
+		stride := r.grid.Width() + 1
+		return r.sat[y1*stride+x1] - r.sat[y0*stride+x1] - r.sat[y1*stride+x0] + r.sat[y0*stride+x0]
+	}
+	return r.grid.RectSum(r.post, x0, y0, x1, y1)
+}
+
+// Cell returns the estimate for cell (x, y).
+func (r *Universal2DRelease) Cell(x, y int) (float64, error) {
+	if x < 0 || x >= r.grid.Width() || y < 0 || y >= r.grid.Height() {
+		return 0, fmt.Errorf("dphist: cell (%d,%d) outside %dx%d", x, y, r.grid.Width(), r.grid.Height())
+	}
+	return r.cells[y*r.grid.Width()+x], nil
+}
+
 // Total returns the estimated number of records in the real domain.
 func (r *Universal2DRelease) Total() float64 {
-	v, err := r.grid.RangeSum(r.post, 0, 0, r.grid.Width(), r.grid.Height())
-	if err != nil {
-		panic(err) // unreachable: full-domain rectangle is always valid
-	}
-	return v
+	return r.rect(0, 0, r.grid.Width(), r.grid.Height())
+}
+
+// NoisyTree returns a copy of the raw noisy quadtree answer h~ in BFS
+// order (root first).
+func (r *Universal2DRelease) NoisyTree() []float64 {
+	return append([]float64(nil), r.noisy...)
+}
+
+// InferredTree returns a copy of the consistent inferred quadtree h-bar
+// in BFS order, before non-negativity and rounding post-processing.
+func (r *Universal2DRelease) InferredTree() []float64 {
+	return append([]float64(nil), r.inferred...)
+}
+
+func badRect(x0, y0, x1, y1, w, h int) error {
+	return fmt.Errorf("dphist: bad rectangle [%d,%d)x[%d,%d) for domain %dx%d", x0, x1, y0, y1, w, h)
 }

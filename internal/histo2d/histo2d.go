@@ -145,6 +145,12 @@ func (g *Grid) ZeroNegativeSubtrees(counts []float64) []float64 {
 	return core.ZeroNegativeSubtrees(g.tree, counts)
 }
 
+// IsConsistent reports whether every internal quadtree node equals the
+// sum of its children up to tol.
+func (g *Grid) IsConsistent(counts []float64, tol float64) bool {
+	return g.tree.IsConsistent(counts, tol)
+}
+
 // Cell returns the released count of cell (x, y) from a BFS count
 // vector.
 func (g *Grid) Cell(counts []float64, x, y int) (float64, error) {
@@ -156,37 +162,58 @@ func (g *Grid) Cell(counts []float64, x, y int) (float64, error) {
 
 // RangeSum answers the half-open rectangle query [x0, x1) x [y0, y1)
 // from a BFS count vector by quadtree decomposition: nodes fully inside
-// the rectangle contribute their count; partially covered nodes recurse.
+// the rectangle contribute their count; partially covered nodes descend.
+// Empty rectangles (x0 == x1 or y0 == y1, within bounds) answer 0,
+// matching the 1-D range convention.
 func (g *Grid) RangeSum(counts []float64, x0, y0, x1, y1 int) (float64, error) {
-	if x0 < 0 || y0 < 0 || x1 > g.w || y1 > g.h || x0 >= x1 || y0 >= y1 {
+	if x0 < 0 || y0 < 0 || x1 > g.w || y1 > g.h || x0 > x1 || y0 > y1 {
 		return 0, fmt.Errorf("histo2d: bad rectangle [%d,%d)x[%d,%d) for %dx%d",
 			x0, x1, y0, y1, g.w, g.h)
 	}
 	if len(counts) != g.tree.NumNodes() {
 		return 0, fmt.Errorf("histo2d: count vector has %d entries, want %d", len(counts), g.tree.NumNodes())
 	}
-	return g.rangeSum(counts, 0, x0, y0, x1, y1), nil
+	return g.RectSum(counts, x0, y0, x1, y1), nil
 }
 
-// rangeSum recursively descends node v. The node's square is recovered
-// from its Morton leaf interval.
-func (g *Grid) rangeSum(counts []float64, v, x0, y0, x1, y1 int) float64 {
-	lo, hi := g.tree.Interval(v)
-	side := isqrt(hi - lo) // node squares have power-of-four cell counts
-	nx, ny := mortonDecode(lo)
-	// Intersection with the query rectangle.
-	ix0, iy0 := max(nx, x0), max(ny, y0)
-	ix1, iy1 := min(nx+side, x1), min(ny+side, y1)
-	if ix0 >= ix1 || iy0 >= iy1 {
+// RectSum is the serving hot path behind RangeSum: an iterative
+// depth-first quadtree decomposition with an explicit fixed-capacity
+// stack, so a rectangle query costs zero heap bytes. The caller must
+// have validated the rectangle against the grid and counts against the
+// tree shape (RangeSum does both); empty rectangles answer 0.
+func (g *Grid) RectSum(counts []float64, x0, y0, x1, y1 int) float64 {
+	if x0 >= x1 || y0 >= y1 {
 		return 0
 	}
-	if ix0 == nx && iy0 == ny && ix1 == nx+side && iy1 == ny+side {
-		return counts[v]
-	}
+	// DFS over partially covered nodes. The stack stays small: at most
+	// 3 siblings per level plus the current path, and the tree height is
+	// capped by the side limit in New (side <= 2^21, height <= 22), so
+	// 128 entries can never overflow — stackBuf lives on the goroutine
+	// stack and the append-spill path is unreachable in practice.
+	var stackBuf [128]int
+	stack := stackBuf[:0]
+	stack = append(stack, 0)
 	sum := 0.0
-	clo, chi := g.tree.Children(v)
-	for c := clo; c < chi; c++ {
-		sum += g.rangeSum(counts, c, x0, y0, x1, y1)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lo, hi := g.tree.Interval(v)
+		side := isqrt(hi - lo) // node squares have power-of-four cell counts
+		nx, ny := mortonDecode(lo)
+		// Intersection with the query rectangle.
+		ix0, iy0 := max(nx, x0), max(ny, y0)
+		ix1, iy1 := min(nx+side, x1), min(ny+side, y1)
+		if ix0 >= ix1 || iy0 >= iy1 {
+			continue
+		}
+		if ix0 == nx && iy0 == ny && ix1 == nx+side && iy1 == ny+side {
+			sum += counts[v]
+			continue
+		}
+		clo, chi := g.tree.Children(v)
+		for c := clo; c < chi; c++ {
+			stack = append(stack, c)
+		}
 	}
 	return sum
 }

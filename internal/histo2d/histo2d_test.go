@@ -145,9 +145,17 @@ func TestRangeSumMatchesBruteForce(t *testing.T) {
 func TestRangeSumErrors(t *testing.T) {
 	g := MustNew(4, 4)
 	counts := g.FromCells(nil)
-	for _, r := range [][4]int{{-1, 0, 2, 2}, {0, 0, 5, 2}, {2, 0, 2, 2}, {0, 3, 2, 2}} {
+	for _, r := range [][4]int{{-1, 0, 2, 2}, {0, 0, 5, 2}, {3, 0, 2, 2}, {0, 3, 2, 2}} {
 		if _, err := g.RangeSum(counts, r[0], r[1], r[2], r[3]); err == nil {
 			t.Errorf("rect %v accepted", r)
+		}
+	}
+	// Empty rectangles within bounds answer 0, matching the 1-D range
+	// convention.
+	for _, r := range [][4]int{{2, 0, 2, 2}, {0, 2, 4, 2}, {0, 0, 0, 0}, {4, 4, 4, 4}} {
+		got, err := g.RangeSum(counts, r[0], r[1], r[2], r[3])
+		if err != nil || got != 0 {
+			t.Errorf("empty rect %v = %v, %v; want 0, nil", r, got, err)
 		}
 	}
 	if _, err := g.RangeSum(make([]float64, 3), 0, 0, 1, 1); err == nil {

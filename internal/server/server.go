@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"regexp"
 	"slices"
 	"sort"
@@ -58,6 +59,12 @@ type Config struct {
 	// degree-sequence strategy reads it as a degree vector; the hierarchy
 	// strategy reads it as leaf-query counts.
 	Counts []float64
+	// Cells is the sensitive 2-D grid being protected, Cells[y][x]
+	// (short rows are zero-padded). When set, the universal2d strategy
+	// becomes servable: POST /v1/releases can mint 2-D releases and
+	// POST /v1/query2d answers rectangle batches against them. When
+	// nil, universal2d requests are refused.
+	Cells [][]float64
 	// Budget is the total epsilon available to each namespace. When
 	// Store is set the store's own WithBudget total governs instead;
 	// when Accountant is set it governs the default namespace.
@@ -216,11 +223,34 @@ var registry = map[dphist.Strategy]requestBuilder{
 			Hierarchy: s.cfg.Hierarchy,
 		}, nil
 	},
+	dphist.StrategyUniversal2D: func(s *Server, eps float64) (dphist.Request, error) {
+		if s.cfg.Cells == nil {
+			return dphist.Request{}, errors.New("universal2d strategy not configured on this server (no 2-D dataset)")
+		}
+		return dphist.Request{
+			Strategy: dphist.StrategyUniversal2D,
+			Cells:    s.cfg.Cells,
+			Epsilon:  eps,
+		}, nil
+	},
 }
 
 // namespacePattern bounds what a URL path segment may name: tenant
-// names stay journal-, log-, and URL-safe.
+// names stay journal-, log-, and URL-safe. The pattern alone still
+// admits the dot segments "." and "..", which proxies and clients
+// normalize away before the request ever routes here — nsHandler
+// rejects them explicitly, and dphist.ValidateName refuses them at the
+// store boundary as a second line of defense.
 var namespacePattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// NamespacePath returns the route prefix for a namespace's scoped
+// routes, percent-escaping the name so it survives as a single URL path
+// segment: NamespacePath("geo.analytics") == "/v1/ns/geo.analytics".
+// Clients composing URLs by string concatenation should use this (or
+// url.PathEscape) rather than splicing raw names into paths.
+func NamespacePath(ns string) string {
+	return "/v1/ns/" + url.PathEscape(ns)
+}
 
 // nsHandler adapts a namespace-scoped handler to both its unscoped
 // route (default namespace) and its /v1/ns/{ns}/ twin.
@@ -230,8 +260,8 @@ func (s *Server) nsHandler(fn func(http.ResponseWriter, *http.Request, string)) 
 	}
 	scoped = func(w http.ResponseWriter, r *http.Request) {
 		ns := r.PathValue("ns")
-		if !namespacePattern.MatchString(ns) {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid namespace: must match " + namespacePattern.String()})
+		if ns == "." || ns == ".." || !namespacePattern.MatchString(ns) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid namespace: must match " + namespacePattern.String() + " and not be a dot segment"})
 			return
 		}
 		fn(w, r, ns)
@@ -255,6 +285,7 @@ func (s *Server) Handler() http.Handler {
 		{"POST /v1/releases", "POST /v1/ns/{ns}/releases", s.handleStoreRelease},
 		{"GET /v1/releases", "GET /v1/ns/{ns}/releases", s.handleListReleases},
 		{"POST /v1/query", "POST /v1/ns/{ns}/query", s.handleQuery},
+		{"POST /v1/query2d", "POST /v1/ns/{ns}/query2d", s.handleQuery2D},
 	} {
 		plain, scoped := s.nsHandler(route.fn)
 		mux.HandleFunc(route.plain, plain)
@@ -393,6 +424,9 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request, ns str
 	names := make([]string, 0, len(registry))
 	for strategy := range registry {
 		if strategy == dphist.StrategyHierarchy && s.cfg.Hierarchy == nil {
+			continue
+		}
+		if strategy == dphist.StrategyUniversal2D && s.cfg.Cells == nil {
 			continue
 		}
 		names = append(names, strategy.String())
@@ -660,6 +694,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ns string) 
 		answers = []float64{} // empty batch encodes as [], not null
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
+		Namespace: entry.Namespace,
+		Name:      entry.Name,
+		Version:   entry.Version,
+		Strategy:  entry.Strategy.String(),
+		Answers:   answers,
+	})
+}
+
+// query2DRequest is the POST /v1/query2d payload: a batch of half-open
+// rectangles to answer against the stored 2-D release called Name.
+type query2DRequest struct {
+	Name  string            `json:"name"`
+	Rects []dphist.RectSpec `json:"rects"`
+}
+
+// query2DResponse aligns Answers with the request's Rects by index.
+type query2DResponse struct {
+	Namespace string    `json:"namespace"`
+	Name      string    `json:"name"`
+	Version   int       `json:"version"`
+	Strategy  string    `json:"strategy"`
+	Answers   []float64 `json:"answers"`
+}
+
+func (s *Server) handleQuery2D(w http.ResponseWriter, r *http.Request, ns string) {
+	var req query2DRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if req.Name == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
+		return
+	}
+	if len(req.Rects) > maxQueryRanges {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d rectangles exceeds limit %d", len(req.Rects), maxQueryRanges)})
+		return
+	}
+	answers, entry, err := s.store.Namespace(ns).QueryRects(req.Name, req.Rects)
+	if err != nil {
+		if errors.Is(err, dphist.ErrReleaseNotFound) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		// ErrNotRectangular and malformed specs are both the analyst's
+		// request to fix.
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.queryCount.Add(1)
+	if answers == nil {
+		answers = []float64{} // empty batch encodes as [], not null
+	}
+	writeJSON(w, http.StatusOK, query2DResponse{
 		Namespace: entry.Namespace,
 		Name:      entry.Name,
 		Version:   entry.Version,

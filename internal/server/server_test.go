@@ -80,6 +80,7 @@ func TestEveryStrategyThroughGenericHandler(t *testing.T) {
 	grades := dphist.Grades()
 	s, err := New(Config{
 		Counts:     []float64{2, 0, 10, 2, 5}, // five counts = five Grades leaves
+		Cells:      [][]float64{{2, 0}, {10, 2}},
 		Accountant: acct,
 		Seed:       7,
 		Hierarchy:  grades,
@@ -150,13 +151,17 @@ func TestStrategiesEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		t.Fatal(err)
 	}
-	// No hierarchy configured: five of the six strategies are servable.
-	if len(sr.Strategies) != len(dphist.Strategies())-1 {
+	// No hierarchy and no 2-D dataset configured: those two strategies
+	// are withheld, the rest are servable.
+	if len(sr.Strategies) != len(dphist.Strategies())-2 {
 		t.Fatalf("strategies = %v", sr.Strategies)
 	}
 	for _, name := range sr.Strategies {
 		if name == "hierarchy" {
 			t.Fatal("unconfigured hierarchy advertised")
+		}
+		if name == "universal2d" {
+			t.Fatal("unconfigured universal2d advertised")
 		}
 	}
 }
@@ -702,6 +707,205 @@ func TestStatsEndpoint(t *testing.T) {
 	d, ok := byName[dphist.DefaultNamespace]
 	if !ok || d.Releases != 0 || d.BudgetSpent != 0 {
 		t.Fatalf("default stats = %+v (present %v)", d, ok)
+	}
+}
+
+// The 2-D serving surface end to end: mint a universal2d release over
+// HTTP, answer rectangle batches through /v1/query2d (and its namespace
+// twin), and map the failure modes onto the right status codes.
+func TestQuery2DOverHTTP(t *testing.T) {
+	cells := [][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+	}
+	s, err := New(Config{
+		Counts: []float64{2, 0, 10, 2},
+		Cells:  cells,
+		Budget: 5,
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(t *testing.T, path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	for _, prefix := range []string{"/v1", NamespacePath("geo.tenant")} {
+		resp, body := post(t, prefix+"/releases", `{"name":"grid","strategy":"universal2d","epsilon":1}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s mint: %d %s", prefix, resp.StatusCode, body)
+		}
+		var sr storeReleaseResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Strategy != "universal2d" || sr.Domain != 12 {
+			t.Fatalf("%s stored entry = %+v", prefix, sr.storedReleaseInfo)
+		}
+		// The returned payload decodes client-side into the 2-D type.
+		rel, err := dphist.DecodeRelease(sr.Release)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, ok := rel.(*dphist.Universal2DRelease)
+		if !ok {
+			t.Fatalf("%s decoded %T", prefix, rel)
+		}
+		if rq.Width() != 4 || rq.Height() != 3 {
+			t.Fatalf("%s decoded grid %dx%d", prefix, rq.Width(), rq.Height())
+		}
+
+		resp, body = post(t, prefix+"/query2d",
+			`{"name":"grid","rects":[{"x0":0,"y0":0,"x1":4,"y1":3},{"x0":1,"y0":1,"x1":3,"y1":2},{"x0":2,"y0":2,"x1":2,"y1":2}]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s query2d: %d %s", prefix, resp.StatusCode, body)
+		}
+		var qr query2DResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if qr.Strategy != "universal2d" || len(qr.Answers) != 3 {
+			t.Fatalf("%s query2d response = %+v", prefix, qr)
+		}
+		// Answers match querying the decoded release offline.
+		want, err := dphist.QueryRects(rel, []dphist.RectSpec{
+			{X0: 0, Y0: 0, X1: 4, Y1: 3}, {X0: 1, Y0: 1, X1: 3, Y1: 2}, {X0: 2, Y0: 2, X1: 2, Y1: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if qr.Answers[i] != want[i] {
+				t.Fatalf("%s answer %d = %v, offline = %v", prefix, i, qr.Answers[i], want[i])
+			}
+		}
+		if qr.Answers[2] != 0 {
+			t.Fatalf("%s empty rect answered %v", prefix, qr.Answers[2])
+		}
+	}
+
+	// Failure modes: unknown name is 404; a 1-D release and a malformed
+	// rectangle are the analyst's 400.
+	resp, _ := post(t, "/v1/query2d", `{"name":"missing","rects":[{"x1":1,"y1":1}]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing name status %d", resp.StatusCode)
+	}
+	if resp, body := post(t, "/v1/releases", `{"name":"flat","strategy":"laplace","epsilon":0.5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("flat mint: %d %s", resp.StatusCode, body)
+	}
+	resp, body := post(t, "/v1/query2d", `{"name":"flat","rects":[{"x1":1,"y1":1}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("1-D release query2d status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = post(t, "/v1/query2d", `{"name":"grid","rects":[{"x0":3,"y0":0,"x1":1,"y1":1}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted rect status %d", resp.StatusCode)
+	}
+	resp, _ = post(t, "/v1/query2d", `{"rects":[{"x1":1,"y1":1}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("nameless query2d status %d", resp.StatusCode)
+	}
+}
+
+// Dot-segment namespaces are unroutable (clients and proxies normalize
+// them away); the scoped handler must refuse any that sneak through as
+// escaped segments rather than treating ".." as a tenant.
+func TestDotSegmentNamespaceRejected(t *testing.T) {
+	ts := newTestServer(t, 1.0)
+	for _, ns := range []string{"%2e", "%2e%2e"} {
+		resp, err := http.Get(ts.URL + "/v1/ns/" + ns + "/budget")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("namespace %q served with status 200", ns)
+		}
+	}
+	if got := NamespacePath("a b/c"); got != "/v1/ns/a%20b%2Fc" {
+		t.Fatalf("NamespacePath escaped to %q", got)
+	}
+}
+
+// The 2-D acceptance path end to end: a universal2d release minted over
+// HTTP into a durable store keeps answering identical rectangle batches
+// after the whole stack restarts from disk.
+func TestServer2DDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cells := [][]float64{{3, 1, 4, 1}, {5, 9, 2, 6}, {5, 3, 5, 8}, {9, 7, 9, 3}}
+	open := func(t *testing.T) (*Server, *dphist.Store) {
+		t.Helper()
+		store, err := dphist.OpenStore(dir, dphist.WithBudget(2.0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Counts: []float64{1, 2}, Cells: cells, Seed: 13, Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, store
+	}
+	const batch = `{"name":"grid","rects":[{"x0":0,"y0":0,"x1":4,"y1":4},{"x0":1,"y0":2,"x1":3,"y1":4},{"x0":0,"y0":0,"x1":0,"y1":0}]}`
+	postJSON := func(t *testing.T, ts *httptest.Server, path, body string, want int) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, buf.Bytes())
+		}
+		return buf.Bytes()
+	}
+
+	s1, store1 := open(t)
+	ts1 := httptest.NewServer(s1.Handler())
+	postJSON(t, ts1, "/v1/ns/geo/releases", `{"name":"grid","strategy":"universal2d","epsilon":0.5}`, http.StatusOK)
+	var before query2DResponse
+	if err := json.Unmarshal(postJSON(t, ts1, "/v1/ns/geo/query2d", batch, http.StatusOK), &before); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	// Kill without Close: the WAL alone carries the release.
+	_ = store1
+
+	s2, store2 := open(t)
+	defer store2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var after query2DResponse
+	if err := json.Unmarshal(postJSON(t, ts2, "/v1/ns/geo/query2d", batch, http.StatusOK), &after); err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Answers) != len(before.Answers) {
+		t.Fatalf("answer count changed: %d vs %d", len(after.Answers), len(before.Answers))
+	}
+	for i := range before.Answers {
+		if after.Answers[i] != before.Answers[i] {
+			t.Fatalf("answer %d drifted across restart: %v vs %v", i, after.Answers[i], before.Answers[i])
+		}
+	}
+	if after.Version != 1 || after.Strategy != "universal2d" {
+		t.Fatalf("recovered entry = %+v", after)
 	}
 }
 

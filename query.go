@@ -36,12 +36,16 @@ func QueryBatch(r Release, specs []RangeSpec) ([]float64, error) {
 
 // QueryBatchInto is QueryBatch appending into dst, so a serving loop can
 // reuse one result buffer and keep the steady-state allocation count at
-// zero. dst may be nil.
+// zero. dst may be nil. On error dst is returned truncated to its
+// original length — never with a partial batch appended, so a
+// buffer-reusing serving loop cannot mistake half-answered garbage for
+// answers.
 func QueryBatchInto(dst []float64, r Release, specs []RangeSpec) ([]float64, error) {
+	keep := len(dst)
 	n := releaseDomain(r)
 	for i, q := range specs {
 		if q.Lo < 0 || q.Hi > n || q.Lo > q.Hi {
-			return dst, fmt.Errorf("dphist: query %d: %w", i, badRange(q.Lo, q.Hi, n))
+			return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, badRange(q.Lo, q.Hi, n))
 		}
 	}
 	if rel, ok := r.(*UniversalRelease); ok {
@@ -59,7 +63,11 @@ func QueryBatchInto(dst []float64, r Release, specs []RangeSpec) ([]float64, err
 	for i, q := range specs {
 		v, err := r.Range(q.Lo, q.Hi)
 		if err != nil {
-			return dst, fmt.Errorf("dphist: query %d: %w", i, err)
+			// A release may refuse a spec that passed domain validation
+			// (external Release implementations, or domains that shift
+			// under the caller's feet): drop the partial answers so the
+			// reused buffer never carries garbage.
+			return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, err)
 		}
 		dst = append(dst, v)
 	}

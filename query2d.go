@@ -1,0 +1,99 @@
+package dphist
+
+// The batch rectangle-query engine: the 2-D twin of query.go. Rectangle
+// fan-out is where the paper's consistency dividend is largest — a
+// W x H rectangle touches W*H cells of a flat histogram but only
+// O(W+H) quadtree nodes (perimeter, not area) — so the steady-state
+// 2-D workload is many-rectangle batches against one minted release.
+// QueryRects
+// amortizes validation over the batch and answers each rectangle in
+// O(1) from the summed-area table when the release's post-processed
+// quadtree is exactly consistent, mirroring the 1-D leafPrefix path.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotRectangular reports a rectangle batch against a release that
+// cannot answer 2-D queries (it does not implement RectQuerier).
+var ErrNotRectangular = errors.New("dphist: release answers no rectangle queries")
+
+// RectSpec names one half-open axis-aligned rectangle query
+// [X0, X1) x [Y0, Y1) over a 2-D release's cell grid. Empty rectangles
+// (X0 == X1 or Y0 == Y1, within bounds) are valid and answer 0.
+type RectSpec struct {
+	X0 int `json:"x0"`
+	Y0 int `json:"y0"`
+	X1 int `json:"x1"`
+	Y1 int `json:"y1"`
+}
+
+// RectQuerier is the read side of a 2-D release: the Release methods
+// plus the native rectangle query over a Width() x Height() cell grid.
+// Universal2DRelease is the in-library implementation; the batch engine
+// (QueryRects, Store.QueryRects, POST /v1/query2d) serves any release
+// that satisfies it.
+type RectQuerier interface {
+	Release
+	Width() int
+	Height() int
+	Rect(x0, y0, x1, y1 int) (float64, error)
+}
+
+var _ RectQuerier = (*Universal2DRelease)(nil)
+
+// QueryRects answers many rectangle queries against one 2-D release in
+// a single call. Answers align with specs by index. The call is
+// all-or-nothing: every rectangle is validated against the release's
+// grid before any is answered, a malformed spec fails the whole batch
+// naming its index, and a release that is not a RectQuerier is refused.
+//
+// For a Universal2DRelease the batch is answered on a fast path — O(1)
+// summed-area lookups when the post-processed quadtree is exactly
+// consistent, otherwise an iterative quadtree decomposition — allocating
+// nothing per query. Use QueryRectsInto to also amortize the result
+// slice across calls.
+func QueryRects(r Release, specs []RectSpec) ([]float64, error) {
+	return QueryRectsInto(nil, r, specs)
+}
+
+// QueryRectsInto is QueryRects appending into dst, so a serving loop can
+// reuse one result buffer and keep the steady-state allocation count at
+// zero. dst may be nil. On error dst is returned truncated to its
+// original length — never with a partial batch appended.
+func QueryRectsInto(dst []float64, r Release, specs []RectSpec) ([]float64, error) {
+	keep := len(dst)
+	rq, ok := r.(RectQuerier)
+	if !ok {
+		return dst[:keep], fmt.Errorf("%w: strategy %v", ErrNotRectangular, r.Strategy())
+	}
+	w, h := rq.Width(), rq.Height()
+	for i, q := range specs {
+		if q.X0 < 0 || q.Y0 < 0 || q.X1 > w || q.Y1 > h || q.X0 > q.X1 || q.Y0 > q.Y1 {
+			return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, badRect(q.X0, q.Y0, q.X1, q.Y1, w, h))
+		}
+	}
+	if rel, ok := r.(*Universal2DRelease); ok {
+		if sat := rel.sat; sat != nil {
+			stride := rel.grid.Width() + 1
+			for _, q := range specs {
+				dst = append(dst, sat[q.Y1*stride+q.X1]-sat[q.Y0*stride+q.X1]-sat[q.Y1*stride+q.X0]+sat[q.Y0*stride+q.X0])
+			}
+			return dst, nil
+		}
+		for _, q := range specs {
+			// RectSum answers validated rectangles, empties included (0).
+			dst = append(dst, rel.grid.RectSum(rel.post, q.X0, q.Y0, q.X1, q.Y1))
+		}
+		return dst, nil
+	}
+	for i, q := range specs {
+		v, err := rq.Rect(q.X0, q.Y0, q.X1, q.Y1)
+		if err != nil {
+			return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, err)
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}

@@ -9,15 +9,20 @@ import (
 
 // sixReleases mints one release of every strategy from the given
 // mechanism over a five-count input (five is the Grades leaf count, so
-// the hierarchy strategy joins the table).
+// the hierarchy strategy joins the table; the 2-D strategy reads the
+// same numbers as a grid).
 func sixReleases(t *testing.T, m *Mechanism) []Release {
 	t.Helper()
 	counts := []float64{2, 0, 10, 2, 5}
 	out := make([]Release, 0, len(Strategies()))
 	for _, strategy := range Strategies() {
 		req := Request{Strategy: strategy, Counts: counts, Epsilon: 1.0}
-		if strategy == StrategyHierarchy {
+		switch strategy {
+		case StrategyHierarchy:
 			req.Hierarchy = Grades()
+		case StrategyUniversal2D:
+			req.Counts = nil
+			req.Cells = [][]float64{{2, 0, 10}, {2, 5}}
 		}
 		rel, err := m.Release(req)
 		if err != nil {
@@ -139,6 +144,53 @@ func TestQueryBatchRejectsBadSpecs(t *testing.T) {
 		if v != 0 {
 			t.Fatalf("empty range %d answered %v", i, v)
 		}
+	}
+}
+
+// flakyRange is an external Release whose Range fails past a budget of
+// calls, despite every spec passing domain validation — the shape of an
+// implementation whose domain shifts under the batch engine's feet.
+type flakyRange struct {
+	Release
+	calls, failAfter int
+}
+
+func (f *flakyRange) Range(lo, hi int) (float64, error) {
+	f.calls++
+	if f.calls > f.failAfter {
+		return 0, ErrReleaseNotFound
+	}
+	return f.Release.Range(lo, hi)
+}
+
+// QueryBatchInto must never hand back a partially-appended buffer: a
+// serving loop reusing dst across batches would otherwise read the
+// failed batch's garbage as answers.
+func TestQueryBatchIntoTruncatesOnMidBatchError(t *testing.T) {
+	rel, err := MustNew(WithSeed(19)).LaplaceHistogram([]float64{1, 2, 3, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flakyRange{Release: rel, failAfter: 2}
+	dst := append(make([]float64, 0, 16), 7, 8)
+	specs := []RangeSpec{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}, {Lo: 2, Hi: 3}, {Lo: 3, Hi: 4}}
+	out, err := QueryBatchInto(dst, f, specs)
+	if err == nil {
+		t.Fatal("mid-batch failure not reported")
+	}
+	if !strings.Contains(err.Error(), "query 2") {
+		t.Fatalf("error %q does not name the offending index", err)
+	}
+	if len(out) != 2 || out[0] != 7 || out[1] != 8 {
+		t.Fatalf("dst carries partial batch after error: %v", out)
+	}
+	// Validation failures leave dst untouched too.
+	out, err = QueryBatchInto(dst, rel, []RangeSpec{{Lo: 0, Hi: 9}})
+	if err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if len(out) != 2 {
+		t.Fatalf("dst grew on validation failure: %v", out)
 	}
 }
 

@@ -18,8 +18,13 @@ type Request struct {
 	// Counts is the sensitive input vector: unit counts per position for
 	// the positional strategies, vertex degrees for
 	// StrategyDegreeSequence, leaf-query counts (in Hierarchy.Leaves
-	// order) for StrategyHierarchy.
+	// order) for StrategyHierarchy. Ignored by StrategyUniversal2D,
+	// which reads Cells instead.
 	Counts []float64
+	// Cells is the sensitive 2-D input grid, Cells[y][x]; required for
+	// StrategyUniversal2D (short rows are zero-padded) and ignored
+	// otherwise.
+	Cells [][]float64
 	// Epsilon is the privacy cost of the release.
 	Epsilon float64
 	// Hierarchy is the constraint forest to answer; required for
@@ -34,10 +39,14 @@ func (req Request) Validate() error {
 	if !req.Strategy.Valid() {
 		return fmt.Errorf("dphist: invalid strategy %d", int(req.Strategy))
 	}
-	if req.Strategy == StrategyHierarchy {
+	switch req.Strategy {
+	case StrategyHierarchy:
 		return validateHierarchyInput(req.Hierarchy, req.Counts, req.Epsilon)
+	case StrategyUniversal2D:
+		return validate2DCells(req.Cells, req.Epsilon)
+	default:
+		return validate(req.Counts, req.Epsilon)
 	}
-	return validate(req.Counts, req.Epsilon)
 }
 
 // Release runs the requested pipeline and returns its release behind the
@@ -68,6 +77,8 @@ func (m *Mechanism) releaseWith(req Request, src *rand.Rand) (Release, error) {
 		return m.degreeSequenceWith(req.Counts, req.Epsilon, src)
 	case StrategyHierarchy:
 		return m.hierarchyWith(req.Hierarchy, req.Counts, req.Epsilon, src)
+	case StrategyUniversal2D:
+		return m.universal2DWith(req.Cells, req.Epsilon, src)
 	default:
 		return nil, fmt.Errorf("dphist: invalid strategy %d", int(req.Strategy))
 	}

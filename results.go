@@ -40,7 +40,7 @@ type Release interface {
 	Range(lo, hi int) (float64, error)
 }
 
-// All six release types satisfy the interface, and each advertises its
+// All seven release types satisfy the interface, and each advertises its
 // query-domain size to the batch engine (see domainer in query.go).
 var (
 	_ Release  = (*LaplaceRelease)(nil)
@@ -49,12 +49,14 @@ var (
 	_ Release  = (*WaveletRelease)(nil)
 	_ Release  = (*DegreeSequenceRelease)(nil)
 	_ Release  = (*HierarchyReleaseResult)(nil)
+	_ Release  = (*Universal2DRelease)(nil)
 	_ domainer = (*LaplaceRelease)(nil)
 	_ domainer = (*UnattributedRelease)(nil)
 	_ domainer = (*UniversalRelease)(nil)
 	_ domainer = (*WaveletRelease)(nil)
 	_ domainer = (*DegreeSequenceRelease)(nil)
 	_ domainer = (*HierarchyReleaseResult)(nil)
+	_ domainer = (*Universal2DRelease)(nil)
 )
 
 func badRange(lo, hi, n int) error {

@@ -74,6 +74,90 @@ func TestConstructorsCopyRawAnswerSlices(t *testing.T) {
 	}
 }
 
+// TestExtensionReleasesDoNotAliasInternalState extends the aliasing
+// sweep to the types the original pass skipped: the 2-D release (Counts
+// vector, Rows grid, tree accessors, and the input cells it was built
+// from) and the streaming counter's estimate history.
+func TestExtensionReleasesDoNotAliasInternalState(t *testing.T) {
+	m := MustNew(WithSeed(53))
+	cells := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	rel, err := m.Universal2DHistogram(cells, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := rel.Counts()
+	wantTotal := rel.Total()
+	wantRect, err := rel.Rect(0, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutating the input grid after minting must not reach the release.
+	cells[1][1] = 9999
+	// Mutating every exported view must not desync later answers.
+	rel.Counts()[0] = -100
+	for _, row := range rel.Rows() {
+		for x := range row {
+			row[x] = -200
+		}
+	}
+	rel.NoisyTree()[0] = -300
+	rel.InferredTree()[0] = -400
+
+	for i, v := range rel.Counts() {
+		if v != wantCounts[i] {
+			t.Fatalf("Counts changed after mutating exported views: %v", rel.Counts())
+		}
+	}
+	if rel.Total() != wantTotal {
+		t.Fatalf("Total changed after mutating exported views: %v", rel.Total())
+	}
+	if got, _ := rel.Rect(0, 0, 2, 2); got != wantRect {
+		t.Fatalf("Rect changed after mutating exported views: %v", got)
+	}
+
+	// The streaming counter's history is a copy, in both accessors.
+	c, err := m.NewCounter(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Feed(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := c.Estimates()
+	c.Estimates()[0] = -1
+	smooth, err := c.SmoothedEstimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth[0] = -2
+	for i, v := range c.Estimates() {
+		if v != want[i] {
+			t.Fatalf("Estimates aliases internal state: %v", c.Estimates())
+		}
+	}
+
+	// The degree-sequence release survives mutation of its inputs and
+	// published slices (it was audited clean; this locks it in).
+	degrees := []float64{5, 1, 1, 1, 1, 1, 2, 2}
+	deg, err := m.DegreeSequence(degrees, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := deg.Counts()
+	degrees[0] = 9999
+	deg.Counts()[0] = -1
+	deg.Noisy[0] = -2
+	deg.Inferred[0] = -3
+	for i, v := range deg.Counts() {
+		if v != wantDeg[i] {
+			t.Fatalf("degree-sequence Counts desynced: %v", deg.Counts())
+		}
+	}
+}
+
 // TestEmptyRangeIsZeroForAllReleaseTypes pins the documented half-open
 // semantics: Range(k, k) = 0 for every 0 <= k <= len(Counts()), while
 // out-of-bounds and inverted ranges still fail.

@@ -49,6 +49,9 @@ func NewSessionWithAccountant(m *Mechanism, a *Accountant) (*Session, error) {
 // the per-tenant variant of NewSession: one mechanism can serve many
 // namespaces, each through its own session.
 func (n *Namespace) Session(m *Mechanism) (*Session, error) {
+	if n.err != nil {
+		return nil, n.err
+	}
 	return NewSessionWithAccountant(m, n.Accountant())
 }
 

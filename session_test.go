@@ -12,9 +12,13 @@ func TestReleaseMatchesTypedMethods(t *testing.T) {
 	counts := []float64{2, 0, 10, 2, 5, 5, 5, 5}
 	for _, strategy := range Strategies() {
 		req := Request{Strategy: strategy, Counts: counts, Epsilon: 0.5}
-		if strategy == StrategyHierarchy {
+		switch strategy {
+		case StrategyHierarchy:
 			req.Counts = []float64{120, 180, 90, 40, 25}
 			req.Hierarchy = Grades()
+		case StrategyUniversal2D:
+			req.Counts = nil
+			req.Cells = [][]float64{{2, 0, 10}, {2, 5, 5}, {5, 5}}
 		}
 		a, err := MustNew(WithSeed(17)).Release(req)
 		if err != nil {
@@ -44,6 +48,8 @@ func TestReleaseMatchesTypedMethods(t *testing.T) {
 			b, err = m.DegreeSequence(req.Counts, req.Epsilon)
 		case StrategyHierarchy:
 			b, err = m.HierarchyRelease(req.Hierarchy, req.Counts, req.Epsilon)
+		case StrategyUniversal2D:
+			b, err = m.Universal2DHistogram(req.Cells, req.Epsilon)
 		}
 		if err != nil {
 			t.Fatalf("%v typed: %v", strategy, err)

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -37,6 +38,31 @@ import (
 // live release: never stored, deleted, evicted by capacity, or expired
 // by TTL.
 var ErrReleaseNotFound = errors.New("dphist: release not found")
+
+// ErrBadName reports a namespace or release name the store refuses to
+// create state under: empty, ".", "..", or containing "/". Such names
+// are unroutable or ambiguous as URL path segments under the HTTP
+// surface's /v1/ns/{ns}/ routes (clients and proxies normalize dot
+// segments away, and a slash splits one name into two segments), so the
+// store rejects them at the boundary rather than minting releases no
+// serving layer can address.
+var ErrBadName = errors.New("dphist: invalid name")
+
+// ValidateName reports whether a namespace or release name is
+// admissible to the store: non-empty, not "." or "..", and free of "/".
+// Anything else — including names needing percent-escaping, which the
+// HTTP layer handles — is allowed.
+func ValidateName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("%w: empty", ErrBadName)
+	case name == "." || name == "..":
+		return fmt.Errorf("%w: %q is a path dot segment", ErrBadName, name)
+	case strings.Contains(name, "/"):
+		return fmt.Errorf("%w: %q contains %q", ErrBadName, name, "/")
+	}
+	return nil
+}
 
 // DefaultNamespace is the namespace the plain Store methods operate on.
 const DefaultNamespace = "default"
@@ -219,11 +245,15 @@ func (s *Store) shard(k nsKey) *storeShard {
 // namespace. The empty name aliases DefaultNamespace, which the plain
 // Store methods operate on. Namespaces spring into being on first use;
 // there is no registration step.
+//
+// An invalid name (see ValidateName) returns an errored view: every
+// operation on it fails with ErrBadName, its Accountant is nil, and no
+// store state is created — check Err to distinguish the cases up front.
 func (s *Store) Namespace(name string) *Namespace {
 	if name == "" {
 		name = DefaultNamespace
 	}
-	return &Namespace{s: s, name: name}
+	return &Namespace{s: s, name: name, err: ValidateName(name)}
 }
 
 // Namespaces returns the sorted names of every namespace that currently
@@ -308,54 +338,110 @@ func (s *Store) accountant(ns string) *Accountant {
 type Namespace struct {
 	s    *Store
 	name string
+	err  error // non-nil when the namespace name failed ValidateName
 }
 
 // Name returns the namespace's name.
 func (n *Namespace) Name() string { return n.name }
+
+// Err returns the name-validation failure this view was created with,
+// or nil for a usable namespace.
+func (n *Namespace) Err() error { return n.err }
 
 // Store returns the underlying store.
 func (n *Namespace) Store() *Store { return n.s }
 
 // Accountant returns the namespace's budget accountant, created with
 // the store's WithBudget total on first use. In a durable store its
-// charges flow through the journal, so Spent() survives restarts.
-func (n *Namespace) Accountant() *Accountant { return n.s.accountant(n.name) }
+// charges flow through the journal, so Spent() survives restarts. It is
+// nil for an errored view (see Err): an invalid name must not bring
+// budget state into being.
+func (n *Namespace) Accountant() *Accountant {
+	if n.err != nil {
+		return nil
+	}
+	return n.s.accountant(n.name)
+}
 
-// Remaining returns the namespace's unspent budget.
-func (n *Namespace) Remaining() float64 { return n.Accountant().Remaining() }
+// Remaining returns the namespace's unspent budget, or 0 for an errored
+// view.
+func (n *Namespace) Remaining() float64 {
+	if n.err != nil {
+		return 0
+	}
+	return n.Accountant().Remaining()
+}
 
 // Put stores the release under name in this namespace; semantics follow
 // Store.Put.
 func (n *Namespace) Put(name string, r Release) (StoreEntry, error) {
+	if n.err != nil {
+		return StoreEntry{}, n.err
+	}
 	return n.s.put(n.name, name, r)
 }
 
 // Get returns the live release stored under name in this namespace;
 // semantics follow Store.Get.
 func (n *Namespace) Get(name string) (Release, StoreEntry, bool) {
+	if n.err != nil {
+		return nil, StoreEntry{}, false
+	}
 	return n.s.get(n.name, name)
 }
 
 // Query answers a batch of range queries against the release stored
 // under name in this namespace; semantics follow Store.Query.
 func (n *Namespace) Query(name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
+	if n.err != nil {
+		return nil, StoreEntry{}, n.err
+	}
 	return n.s.query(n.name, name, specs)
+}
+
+// QueryRects answers a batch of rectangle queries against the 2-D
+// release stored under name in this namespace; semantics follow
+// Store.QueryRects.
+func (n *Namespace) QueryRects(name string, specs []RectSpec) ([]float64, StoreEntry, error) {
+	if n.err != nil {
+		return nil, StoreEntry{}, n.err
+	}
+	return n.s.queryRects(n.name, name, specs)
 }
 
 // List returns the metadata of every live entry in this namespace,
 // sorted by name.
-func (n *Namespace) List() []StoreEntry { return n.s.list(n.name) }
+func (n *Namespace) List() []StoreEntry {
+	if n.err != nil {
+		return []StoreEntry{}
+	}
+	return n.s.list(n.name)
+}
 
 // Delete removes the entry under name in this namespace, reporting
 // whether a live entry was removed.
-func (n *Namespace) Delete(name string) bool { return n.s.delete(n.name, name) }
+func (n *Namespace) Delete(name string) bool {
+	if n.err != nil {
+		return false
+	}
+	return n.s.delete(n.name, name)
+}
 
 // Len returns the number of live entries in this namespace.
-func (n *Namespace) Len() int { return n.s.length(n.name) }
+func (n *Namespace) Len() int {
+	if n.err != nil {
+		return 0
+	}
+	return n.s.length(n.name)
+}
 
 // Mint issues the request through the session and retains the result
-// under name in this namespace; semantics follow Store.Mint.
+// under name in this namespace; semantics follow Store.Mint. On an
+// errored view nothing is charged and nothing is released.
 func (n *Namespace) Mint(session *Session, name string, req Request) (Release, StoreEntry, error) {
+	if n.err != nil {
+		return nil, StoreEntry{}, n.err
+	}
 	return n.s.mint(session, n.name, name, req)
 }
 
@@ -384,10 +470,13 @@ func (s *Store) mint(session *Session, ns, name string, req Request) (Release, S
 	if session == nil {
 		return nil, StoreEntry{}, errors.New("dphist: nil session")
 	}
-	if name == "" {
-		// Validate before spending: a release minted for an unusable
-		// name would burn budget for nothing.
-		return nil, StoreEntry{}, errors.New("dphist: empty release name")
+	// Validate both names before spending: a release minted under an
+	// unusable or unroutable name would burn budget for nothing.
+	if err := ValidateName(ns); err != nil {
+		return nil, StoreEntry{}, fmt.Errorf("namespace: %w", err)
+	}
+	if err := ValidateName(name); err != nil {
+		return nil, StoreEntry{}, err
 	}
 	rel, err := session.Release(req)
 	if err != nil {
@@ -416,6 +505,16 @@ func (s *Store) Query(name string, specs []RangeSpec) ([]float64, StoreEntry, er
 	return s.query(DefaultNamespace, name, specs)
 }
 
+// QueryRects answers a batch of rectangle queries against the 2-D
+// release stored under name in the default namespace, refreshing its
+// recency. It fails with ErrReleaseNotFound when the name holds no live
+// release and with ErrNotRectangular when the stored release answers no
+// rectangle queries; spec validation follows QueryRects. Like Query,
+// the release is read outside the store lock.
+func (s *Store) QueryRects(name string, specs []RectSpec) ([]float64, StoreEntry, error) {
+	return s.queryRects(DefaultNamespace, name, specs)
+}
+
 // List returns the metadata of every live entry in the default
 // namespace, sorted by name. It does not refresh recency.
 func (s *Store) List() []StoreEntry { return s.list(DefaultNamespace) }
@@ -429,8 +528,11 @@ func (s *Store) Delete(name string) bool { return s.delete(DefaultNamespace, nam
 func (s *Store) Len() int { return s.length(DefaultNamespace) }
 
 func (s *Store) put(ns, name string, r Release) (StoreEntry, error) {
-	if name == "" {
-		return StoreEntry{}, errors.New("dphist: empty release name")
+	if err := ValidateName(ns); err != nil {
+		return StoreEntry{}, fmt.Errorf("namespace: %w", err)
+	}
+	if err := ValidateName(name); err != nil {
+		return StoreEntry{}, err
 	}
 	if r == nil {
 		return StoreEntry{}, errors.New("dphist: nil release")
@@ -512,6 +614,18 @@ func (s *Store) query(ns, name string, specs []RangeSpec) ([]float64, StoreEntry
 		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
 	}
 	answers, err := QueryBatch(rel, specs)
+	if err != nil {
+		return nil, entry, err
+	}
+	return answers, entry, nil
+}
+
+func (s *Store) queryRects(ns, name string, specs []RectSpec) ([]float64, StoreEntry, error) {
+	rel, entry, ok := s.get(ns, name)
+	if !ok {
+		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
+	}
+	answers, err := QueryRects(rel, specs)
 	if err != nil {
 		return nil, entry, err
 	}

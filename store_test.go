@@ -66,6 +66,75 @@ func TestStoreRejectsBadPuts(t *testing.T) {
 	}
 }
 
+// Names that cannot survive as URL path segments — empty, dot segments,
+// anything with a slash — must be refused at the store boundary, for
+// both release names and namespaces, before any state (entries,
+// versions, accountants) springs into being. A release stored under
+// "a/b" would be unroutable over /v1/ns/{ns}/... and ambiguous in logs
+// and journals.
+func TestStoreRejectsUnroutableNames(t *testing.T) {
+	bad := []string{"", ".", "..", "a/b", "/", "tenant/../other", "x/"}
+	s := NewStore()
+	rel := testRelease(t, 1)
+	for _, name := range bad {
+		if _, err := s.Put(name, rel); !errors.Is(err, ErrBadName) {
+			t.Errorf("Put(%q) error = %v, want ErrBadName", name, err)
+		}
+		if err := ValidateName(name); !errors.Is(err, ErrBadName) {
+			t.Errorf("ValidateName(%q) = %v, want ErrBadName", name, err)
+		}
+	}
+	session, err := NewSession(MustNew(WithSeed(9)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Counts: []float64{1, 2, 3}, Epsilon: 1}
+	for _, name := range bad {
+		if name == "" {
+			continue // empty aliases the default namespace by design
+		}
+		ns := s.Namespace(name)
+		if ns.Err() == nil {
+			t.Fatalf("Namespace(%q).Err() = nil", name)
+		}
+		if ns.Accountant() != nil {
+			t.Fatalf("Namespace(%q) created an accountant", name)
+		}
+		if _, err := ns.Session(MustNew()); err == nil {
+			t.Fatalf("Namespace(%q).Session succeeded", name)
+		}
+		if _, err := ns.Put("ok", rel); !errors.Is(err, ErrBadName) {
+			t.Fatalf("Namespace(%q).Put error = %v", name, err)
+		}
+		// Minting under a bad release name must not charge the budget.
+		before := session.Remaining()
+		if _, _, err := s.Mint(session, name, req); !errors.Is(err, ErrBadName) {
+			t.Fatalf("Mint(%q) error = %v", name, err)
+		}
+		if session.Remaining() != before {
+			t.Fatalf("Mint(%q) charged the budget despite rejection", name)
+		}
+		if _, _, err := ns.Mint(session, "ok", req); !errors.Is(err, ErrBadName) {
+			t.Fatalf("Namespace(%q).Mint error = %v", name, err)
+		}
+		if session.Remaining() != before {
+			t.Fatalf("Namespace(%q).Mint charged the budget despite rejection", name)
+		}
+	}
+	if s.Len() != 0 || len(s.Namespaces()) != 0 {
+		t.Fatalf("rejected names created state: %d entries, namespaces %v",
+			s.Len(), s.Namespaces())
+	}
+	// Dots inside names (versions, domains) stay legal — only the exact
+	// dot segments are path hazards.
+	if err := ValidateName("geo.analytics-v1.2"); err != nil {
+		t.Fatalf("ValidateName(dotted) = %v", err)
+	}
+	if ns := s.Namespace("geo.analytics"); ns.Err() != nil {
+		t.Fatalf("dotted namespace refused: %v", ns.Err())
+	}
+}
+
 func TestStoreLRUEviction(t *testing.T) {
 	s := NewStore(WithCapacity(2))
 	for i, name := range []string{"a", "b"} {

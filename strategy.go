@@ -30,6 +30,11 @@ const (
 	// StrategyHierarchy answers a custom constraint forest, such as the
 	// introduction's student-grades query set.
 	StrategyHierarchy
+	// StrategyUniversal2D is the two-dimensional universal histogram: a
+	// quadtree of noisy region counts with constrained inference
+	// (Appendix B's multi-dimensional extension), answering arbitrary
+	// axis-aligned rectangle queries.
+	StrategyUniversal2D
 
 	numStrategies // sentinel; keep last
 )
@@ -41,6 +46,7 @@ var strategyNames = [numStrategies]string{
 	StrategyWavelet:        "wavelet",
 	StrategyDegreeSequence: "degree_sequence",
 	StrategyHierarchy:      "hierarchy",
+	StrategyUniversal2D:    "universal2d",
 }
 
 // Strategies returns every defined strategy in a fixed order, for
