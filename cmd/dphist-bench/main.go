@@ -19,12 +19,15 @@
 //	nonneg    Section 4.2 non-negativity heuristic ablation
 //	wavelet   Haar wavelet (Xiao et al.) vs H~ and H-bar
 //	2d        2D universal histograms (Appendix B extension)
-//	serving   release-store batch range-query throughput (engineering)
+//	serving   release-store batch range-query throughput, one row per
+//	          strategy in cached and uncached modes (engineering)
 //	serving2d release-store batch rectangle-query throughput against 2-D
-//	          releases: summed-area fast path vs quadtree decomposition
-//	          (engineering)
+//	          releases: summed-area fast path vs quadtree decomposition,
+//	          cached and uncached (engineering)
 //	reload    durable-store crash recovery time + sharded vs single-mutex
 //	          concurrent Get throughput (engineering)
+//	compare   CI regression gate: fail when any tracked metric in the
+//	          -json candidate regresses >30% against -baseline
 //	verify    live scorecard of every reproducible paper claim
 //	all       run every paper experiment above in order
 //
@@ -38,6 +41,7 @@
 //	-json FILE   also write serving/serving2d rows as a machine-readable
 //	             baseline (merging with FILE's existing rows), so CI can
 //	             archive a perf trajectory (BENCH_serving.json)
+//	-baseline F  committed baseline for the compare experiment
 package main
 
 import (
@@ -59,12 +63,13 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 42, "random seed")
-		trials = flag.Int("trials", 0, "mechanism samples per measurement (0 = paper default)")
-		ranges = flag.Int("ranges", 0, "random ranges per size in fig6 (0 = 1000)")
-		epsArg = flag.String("eps", "", "comma-separated epsilon list (default 1.0,0.1,0.01)")
-		scale  = flag.String("scale", "paper", `workload scale: "paper" or "small"`)
-		jsonTo = flag.String("json", "", "write serving benchmark rows to this JSON baseline file")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		trials   = flag.Int("trials", 0, "mechanism samples per measurement (0 = paper default)")
+		ranges   = flag.Int("ranges", 0, "random ranges per size in fig6 (0 = 1000)")
+		epsArg   = flag.String("eps", "", "comma-separated epsilon list (default 1.0,0.1,0.01)")
+		scale    = flag.String("scale", "paper", `workload scale: "paper" or "small"`)
+		jsonTo   = flag.String("json", "", "write serving benchmark rows to this JSON baseline file")
+		baseline = flag.String("baseline", "", "committed BENCH_serving.json to compare against (compare experiment)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -109,6 +114,7 @@ func main() {
 		"serving2d": func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runServing2D(cfg)) },
 		"reload":    runReload,
 		"verify":    runVerify,
+		"compare":   func(experiments.Config) { runCompare(*baseline, *jsonTo) },
 	}
 	name := flag.Arg(0)
 	if name == "all" {
@@ -128,7 +134,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: dphist-bench [flags] <experiment>\n\n")
-	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving serving2d reload all\n\n")
+	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving serving2d reload compare all\n\n")
 	flag.PrintDefaults()
 }
 
@@ -312,14 +318,18 @@ func run2D(cfg experiments.Config) {
 
 // servingRow is one machine-readable serving measurement; collected
 // rows become the BENCH_serving.json baseline CI archives so future
-// changes have a perf trajectory to compare against.
+// changes have a perf trajectory to compare against. Rows are keyed by
+// (experiment, release, mode); "uncached" rows measure the plan-based
+// batch engine, "cached" rows the answer cache serving the same batch.
 type servingRow struct {
 	Experiment      string  `json:"experiment"` // "serving" (1-D) or "serving2d"
 	Release         string  `json:"release"`
+	Mode            string  `json:"mode,omitempty"` // "uncached" (default) or "cached"
 	Queries         int     `json:"queries"`
 	NsPerQuery      float64 `json:"ns_per_query"`
 	QueriesPerSec   float64 `json:"queries_per_sec"`
 	AllocsPerQuery  float64 `json:"allocs_per_query"`
+	HitRatio        float64 `json:"hit_ratio,omitempty"` // cached rows only
 	ElapsedSeconds  float64 `json:"elapsed_seconds"`
 	DomainOrSide    int     `json:"domain"`
 	BatchSize       int     `json:"batch_size"`
@@ -370,11 +380,19 @@ func timeBatches(experiment, release string, domain, batchSize, batches int, que
 
 func printServingRows(rows []servingRow) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintf(w, "release\tqueries\telapsed\tns/query\tqueries/sec\tallocs/query\t\n")
+	fmt.Fprintf(w, "release\tmode\tqueries\telapsed\tns/query\tqueries/sec\tallocs/query\thit ratio\t\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%v\t%.0f\t%.3g\t%.4f\t\n",
-			r.Release, r.Queries, time.Duration(r.ElapsedSeconds*float64(time.Second)).Round(time.Millisecond),
-			r.NsPerQuery, r.QueriesPerSec, r.AllocsPerQuery)
+		mode := r.Mode
+		if mode == "" {
+			mode = "uncached"
+		}
+		hit := "-"
+		if r.Mode == "cached" {
+			hit = fmt.Sprintf("%.3f", r.HitRatio)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%v\t%.0f\t%.3g\t%.4f\t%s\t\n",
+			r.Release, mode, r.Queries, time.Duration(r.ElapsedSeconds*float64(time.Second)).Round(time.Millisecond),
+			r.NsPerQuery, r.QueriesPerSec, r.AllocsPerQuery, hit)
 	}
 	w.Flush()
 }
@@ -402,7 +420,7 @@ func writeServingJSON(path string, seed uint64, scale string, rows []servingRow)
 	for _, row := range rows {
 		replaced := false
 		for i, old := range doc.Rows {
-			if old.Experiment == row.Experiment && old.Release == row.Release {
+			if old.Experiment == row.Experiment && old.Release == row.Release && old.Mode == row.Mode {
 				doc.Rows[i] = row
 				replaced = true
 				break
@@ -422,11 +440,43 @@ func writeServingJSON(path string, seed uint64, scale string, rows []servingRow)
 	fmt.Printf("\nwrote %d serving rows to %s\n", len(rows), path)
 }
 
+// cachedRow times the same batch loop against the cache-enabled store
+// and annotates the row with the hit ratio observed during the timed
+// window (the warm-up miss primes the cache, so steady state is ~1.0).
+func cachedRow(experiment, release string, cached *dphist.Store, domain, batchSize, batches int, query func() error) servingRow {
+	before := cached.CacheStats()
+	row := timeBatches(experiment, release, domain, batchSize, batches, query)
+	after := cached.CacheStats()
+	row.Mode = "cached"
+	hits := after.Hits - before.Hits
+	if total := hits + (after.Misses - before.Misses); total > 0 {
+		row.HitRatio = float64(hits) / float64(total)
+	}
+	return row
+}
+
+// chainHierarchy builds a one-root constraint forest with n leaves, so
+// the hierarchy strategy can serve the same domain as the others.
+func chainHierarchy(n int) *dphist.Hierarchy {
+	parent := make([]int, n+1)
+	parent[0] = -1
+	for i := 1; i <= n; i++ {
+		parent[i] = 0
+	}
+	h, err := dphist.NewHierarchy(parent)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return h
+}
+
 // runServing measures the read side the paper motivates but never
 // benchmarks: once a release is minted (one budget charge), how fast can
 // arbitrary range queries be answered against it? It mints one release
-// per row into a dphist.Store and times 1,000-range batches through
-// Store.Query — the exact path POST /v1/query serves.
+// per strategy into a dphist.Store and times 1,000-range batches through
+// Store.Query — the exact path POST /v1/query serves — once against an
+// uncached store (the plan-based batch engine) and once against a
+// cache-enabled twin (the answer cache in steady state).
 func runServing(cfg experiments.Config) []servingRow {
 	domain := 1 << 14
 	batches := 200
@@ -450,16 +500,9 @@ func runServing(cfg experiments.Config) []servingRow {
 	}
 
 	store := dphist.NewStore()
+	cached := dphist.NewStore(dphist.WithQueryCache(256))
 	session, err := dphist.NewSession(dphist.MustNew(dphist.WithSeed(cfg.Seed)), 100)
 	if err != nil {
-		fatalf("%v", err)
-	}
-	if _, _, err := store.Mint(session, "universal", dphist.Request{
-		Strategy: dphist.StrategyUniversal, Counts: counts, Epsilon: 0.1}); err != nil {
-		fatalf("%v", err)
-	}
-	if _, _, err := store.Mint(session, "laplace", dphist.Request{
-		Strategy: dphist.StrategyLaplace, Counts: counts, Epsilon: 0.1}); err != nil {
 		fatalf("%v", err)
 	}
 	// A consistent-configuration mechanism reaches the O(1) prefix path.
@@ -468,15 +511,48 @@ func runServing(cfg experiments.Config) []servingRow {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if _, _, err := store.Mint(consistent, "universal-consistent", dphist.Request{
-		Strategy: dphist.StrategyUniversal, Counts: counts, Epsilon: 0.1}); err != nil {
-		fatalf("%v", err)
+	names := []string{
+		"universal", "universal-consistent", "laplace", "wavelet",
+		"unattributed", "degree_sequence", "hierarchy",
+	}
+	for _, name := range names {
+		sess := session
+		req := dphist.Request{Counts: counts, Epsilon: 0.1}
+		switch name {
+		case "universal":
+			req.Strategy = dphist.StrategyUniversal
+		case "universal-consistent":
+			req.Strategy = dphist.StrategyUniversal
+			sess = consistent
+		case "laplace":
+			req.Strategy = dphist.StrategyLaplace
+		case "wavelet":
+			req.Strategy = dphist.StrategyWavelet
+		case "unattributed":
+			req.Strategy = dphist.StrategyUnattributed
+		case "degree_sequence":
+			req.Strategy = dphist.StrategyDegreeSequence
+		case "hierarchy":
+			req.Strategy = dphist.StrategyHierarchy
+			req.Hierarchy = chainHierarchy(domain)
+		}
+		rel, _, err := store.Mint(sess, name, req)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		if _, err := cached.Put(name, rel); err != nil {
+			fatalf("%s: %v", name, err)
+		}
 	}
 
 	var rows []servingRow
-	for _, name := range []string{"universal", "universal-consistent", "laplace"} {
+	for _, name := range names {
 		rows = append(rows, timeBatches("serving", name, domain, batchSize, batches, func() error {
 			_, _, err := store.Query(name, specs)
+			return err
+		}))
+		rows = append(rows, cachedRow("serving", name, cached, domain, batchSize, batches, func() error {
+			_, _, err := cached.Query(name, specs)
 			return err
 		}))
 	}
@@ -520,12 +596,9 @@ func runServing2D(cfg experiments.Config) []servingRow {
 	}
 
 	store := dphist.NewStore()
+	cachedStore := dphist.NewStore(dphist.WithQueryCache(256))
 	session, err := dphist.NewSession(dphist.MustNew(dphist.WithSeed(cfg.Seed)), 100)
 	if err != nil {
-		fatalf("%v", err)
-	}
-	if _, _, err := store.Mint(session, "quadtree", dphist.Request{
-		Strategy: dphist.StrategyUniversal2D, Cells: cells, Epsilon: 0.1}); err != nil {
 		fatalf("%v", err)
 	}
 	consistent, err := dphist.NewSession(dphist.MustNew(dphist.WithSeed(cfg.Seed),
@@ -533,9 +606,15 @@ func runServing2D(cfg experiments.Config) []servingRow {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if _, _, err := store.Mint(consistent, "quadtree-consistent", dphist.Request{
-		Strategy: dphist.StrategyUniversal2D, Cells: cells, Epsilon: 0.1}); err != nil {
-		fatalf("%v", err)
+	for name, sess := range map[string]*dphist.Session{"quadtree": session, "quadtree-consistent": consistent} {
+		rel, _, err := store.Mint(sess, name, dphist.Request{
+			Strategy: dphist.StrategyUniversal2D, Cells: cells, Epsilon: 0.1})
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		if _, err := cachedStore.Put(name, rel); err != nil {
+			fatalf("%s: %v", name, err)
+		}
 	}
 
 	var rows []servingRow
@@ -544,9 +623,102 @@ func runServing2D(cfg experiments.Config) []servingRow {
 			_, _, err := store.QueryRects(name, rects)
 			return err
 		}))
+		rows = append(rows, cachedRow("serving2d", name, cachedStore, side, batchSize, batches, func() error {
+			_, _, err := cachedStore.QueryRects(name, rects)
+			return err
+		}))
 	}
 	printServingRows(rows)
 	return rows
+}
+
+// compareTolerance is the CI regression gate: any tracked metric more
+// than 30% worse than the committed baseline fails the build.
+const compareTolerance = 0.30
+
+// nsNoiseFloor guards the relative gate against scheduler jitter on the
+// fastest rows: a prefix-path row at ~5 ns/query moves 30% on an idle
+// core's whim, so an ns_per_query regression must also exceed this
+// absolute delta. Real regressions (an O(1) path degrading to O(log n),
+// a decompose path doubling) clear it by orders of magnitude.
+const nsNoiseFloor = 25.0
+
+// runCompare is the CI regression gate: it loads the committed baseline
+// and a freshly measured candidate (the -json file the serving runs
+// just wrote) and fails — exit 1 — when any tracked metric regresses by
+// more than compareTolerance. Tracked per (experiment, release, mode)
+// row: ns_per_query and allocs_per_query (higher is worse; allocs get
+// an absolute 0.25 guard so float dust near zero cannot flake) and
+// hit_ratio (lower is worse). A baseline row missing from the candidate
+// is a dropped metric and also fails.
+func runCompare(baselinePath, candidatePath string) {
+	if baselinePath == "" || candidatePath == "" {
+		fatalf("compare needs -baseline OLD.json and -json NEW.json")
+	}
+	load := func(path string) servingBaseline {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var doc servingBaseline
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		return doc
+	}
+	base, cand := load(baselinePath), load(candidatePath)
+	find := func(doc servingBaseline, key servingRow) (servingRow, bool) {
+		for _, r := range doc.Rows {
+			if r.Experiment == key.Experiment && r.Release == key.Release && r.Mode == key.Mode {
+				return r, true
+			}
+		}
+		return servingRow{}, false
+	}
+	fmt.Printf("== Serving regression gate: %s vs baseline %s (tolerance %.0f%%) ==\n",
+		candidatePath, baselinePath, compareTolerance*100)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "row\tmetric\tbaseline\tcandidate\tchange\tverdict\t\n")
+	failures := 0
+	check := func(label, metric string, baseVal, candVal float64, regressed bool) {
+		verdict := "ok"
+		if regressed {
+			verdict = "REGRESSED"
+			failures++
+		}
+		change := "-"
+		if baseVal != 0 {
+			change = fmt.Sprintf("%+.1f%%", 100*(candVal-baseVal)/baseVal)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.4g\t%.4g\t%s\t%s\t\n", label, metric, baseVal, candVal, change, verdict)
+	}
+	for _, b := range base.Rows {
+		c, ok := find(cand, b)
+		mode := b.Mode
+		if mode == "" {
+			mode = "uncached"
+		}
+		label := fmt.Sprintf("%s/%s/%s", b.Experiment, b.Release, mode)
+		if !ok {
+			fmt.Fprintf(w, "%s\t(row)\t-\t-\t-\tMISSING\t\n", label)
+			failures++
+			continue
+		}
+		check(label, "ns_per_query", b.NsPerQuery, c.NsPerQuery,
+			c.NsPerQuery > b.NsPerQuery*(1+compareTolerance) && c.NsPerQuery-b.NsPerQuery > nsNoiseFloor)
+		check(label, "allocs_per_query", b.AllocsPerQuery, c.AllocsPerQuery,
+			c.AllocsPerQuery > b.AllocsPerQuery*(1+compareTolerance) && c.AllocsPerQuery-b.AllocsPerQuery > 0.25)
+		if b.Mode == "cached" {
+			check(label, "hit_ratio", b.HitRatio, c.HitRatio,
+				c.HitRatio < b.HitRatio*(1-compareTolerance))
+		}
+	}
+	w.Flush()
+	if failures > 0 {
+		fmt.Printf("\n%d tracked metric(s) regressed beyond %.0f%%\n", failures, compareTolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall tracked metrics within %.0f%% of baseline\n", compareTolerance*100)
 }
 
 // runReload measures the two durability costs the paper's serving

@@ -28,12 +28,18 @@
 //	-snapshot-every N journal records between snapshots (default 1024)
 //	-store-cap N      max stored releases, LRU-evicted past it (0 = unbounded)
 //	-store-ttl D      stored-release lifetime, e.g. 1h (0 = forever)
+//	-cache-cap N      answer-cache capacity per query family (default
+//	                  1024): repeated /v1/query and /v1/query2d batches
+//	                  against an unchanged release answer from memory
+//	                  (invalidated on re-mint, delete, and TTL expiry;
+//	                  hit counters in /v1/stats). 0 disables caching
 //
 // API:
 //
 //	GET  /healthz        -> {"status":"ok"} (load-balancer probe)
-//	GET  /v1/stats       -> uptime, request counters, and per-namespace
-//	                        store sizes and budgets
+//	GET  /v1/stats       -> uptime, request counters, answer-cache
+//	                        hits/misses/ratio, and per-namespace store
+//	                        sizes and budgets
 //	GET  /v1/budget      -> {"namespace":..,"total":..,"spent":..,"remaining":..}
 //	GET  /v1/strategies  -> {"strategies":["laplace","universal",..]}
 //	POST /v1/release     {"strategy":"universal|laplace|unattributed|
@@ -101,6 +107,7 @@ func main() {
 		snapEvery  = flag.Int("snapshot-every", 0, "journal records between snapshots (0 = default 1024)")
 		storeCap   = flag.Int("store-cap", 0, "max stored releases, LRU-evicted past it (0 = unbounded)")
 		storeTTL   = flag.Duration("store-ttl", 0, "stored-release lifetime (0 = forever)")
+		cacheCap   = flag.Int("cache-cap", 1024, "answer-cache capacity per query family (0 = caching off)")
 	)
 	flag.Parse()
 	if *domainSize < 1 {
@@ -137,6 +144,7 @@ func main() {
 		MaxEpsilonPerRequest: *epsCap,
 		StoreCapacity:        *storeCap,
 		StoreTTL:             *storeTTL,
+		CacheCapacity:        *cacheCap,
 	}
 	var store *dphist.Store
 	if *dataDir != "" {
@@ -144,6 +152,7 @@ func main() {
 			dphist.WithBudget(*budget),
 			dphist.WithCapacity(*storeCap),
 			dphist.WithTTL(*storeTTL),
+			dphist.WithQueryCache(*cacheCap),
 		}
 		if *shards > 0 {
 			opts = append(opts, dphist.WithShards(*shards))

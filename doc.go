@@ -61,26 +61,48 @@
 // shape, graphicality checks); Release(Request) is the polymorphic
 // equivalent serving layers should build on.
 //
-// # Serving range queries
+// # Serving range queries: mint, compile, serve
 //
 // Minting a release spends budget; querying it afterwards is free, so a
-// deployment mints rarely and queries at traffic. Two types carry that
-// read side:
+// deployment mints rarely and queries at traffic. The read path is a
+// three-stage pipeline:
 //
-//   - Store retains releases behind names — versioned (every Put under a
-//     name bumps its version, monotonically, even across eviction),
-//     bounded by LRU capacity (WithCapacity) and TTL (WithTTL), and safe
-//     for concurrent use. Store.Mint charges a Session and retains the
-//     result in one step; Store.Query answers a range batch against a
-//     stored release by name.
-//   - QueryBatch answers many RangeSpec queries [Lo, Hi) against one
-//     release in a single call, validating every spec before answering
-//     any. For a UniversalRelease it runs allocation-free: an iterative
-//     O(log n) subtree decomposition per query, or O(1) precomputed
-//     prefix sums when the post-processed tree is exactly consistent
-//     (WithoutNonNegativity plus WithoutRounding). QueryBatchInto reuses
-//     a caller-owned result buffer so steady-state serving allocates
-//     nothing at all.
+//   - Mint (or decode, or recover): a pipeline produces a Release — the
+//     only step that costs epsilon.
+//   - Compile: every in-library release compiles an immutable query
+//     plan (internal/plan) at construction and again on DecodeRelease —
+//     prefix-sum tables for the positional and sorted strategies, an
+//     iterative subtree-decomposition plan when a universal hierarchy
+//     is not exactly consistent, a summed-area table (or quadtree
+//     decomposition plan) for the 2-D release. Plans answer validated
+//     queries in O(1) or O(log n) without allocating, for all seven
+//     strategies.
+//   - Serve: QueryBatch answers many RangeSpec queries [Lo, Hi) against
+//     one release in a single call, validating every spec before
+//     answering any, then looping over the plan with no per-query
+//     interface dispatch. QueryBatchInto reuses a caller-owned result
+//     buffer so steady-state serving allocates nothing at all.
+//
+// Store carries the retention side: releases behind names — versioned
+// (every Put under a name bumps its version, monotonically, even across
+// eviction), bounded by LRU capacity (WithCapacity) and TTL (WithTTL),
+// and safe for concurrent use. Store.Mint charges a Session and retains
+// the result in one step; Store.Query answers a range batch against a
+// stored release by name. Each shard entry keeps the compiled plan next
+// to the release, and the query paths snapshot both under a brief read
+// lock and compute the whole batch outside it — a 100k-range batch
+// never stalls a concurrent Put on the same shard.
+//
+// On top of the plans, WithQueryCache(n) bounds a sharded LRU answer
+// cache: whole batch answers keyed by (namespace, name, version, spec
+// batch), verified against the full spec batch on every hit (hash
+// collisions degrade to misses, never wrong answers), with single-
+// flight stampede protection so concurrent misses for one batch share
+// a single computation. Entries are invalidated on Put, Delete, TTL
+// expiry, and capacity eviction — and version keying makes a re-minted
+// release unreachable from stale entries even before invalidation runs
+// — so a cached answer is always the answer the live release would
+// give. Store.CacheStats reports hits, misses, occupancy, and capacity.
 //
 // Range semantics are uniform across all release types: intervals are
 // half-open, the empty query lo == hi answers 0, and out-of-bounds or
@@ -99,15 +121,17 @@
 // all-or-nothing validation, then a per-rectangle fast path:
 //
 //   - With WithoutNonNegativity and WithoutRounding the quadtree is
-//     exactly consistent and the release precomputes a summed-area
-//     table at construction, answering any rectangle in O(1) with four
-//     lookups and zero allocations — the 2-D analogue of the 1-D
-//     prefix-sum path.
-//   - Otherwise each rectangle is answered by an iterative quadtree
-//     decomposition (O(W+H) nodes worst case — perimeter-proportional,
-//     still allocation-free), which keeps the non-negativity truncation
-//     bias bounded per query instead of growing with the rectangle's
-//     area.
+//     exactly consistent and the compiled plan carries a summed-area
+//     table, answering any rectangle in O(1) with four lookups and zero
+//     allocations — the 2-D analogue of the 1-D prefix-sum path.
+//   - Otherwise the plan answers each rectangle by an iterative
+//     quadtree decomposition (O(W+H) nodes worst case — perimeter-
+//     proportional, still allocation-free), which keeps the
+//     non-negativity truncation bias bounded per query instead of
+//     growing with the rectangle's area.
+//
+// Rectangle batches flow through the same store snapshot and answer
+// cache as range batches (Store.QueryRects, WithQueryCache).
 //
 // Store.QueryRects serves rectangle batches against a stored release by
 // name, and Universal2DRelease also answers the 1-D Release interface

@@ -4,7 +4,10 @@ package dphist
 // and ships it to analysts (Appendix B: "the server can implement the
 // post-processing step"); the wire form carries everything needed to
 // answer queries offline, and decoding validates shape invariants so a
-// corrupted payload fails loudly rather than answering garbage.
+// corrupted payload fails loudly rather than answering garbage. Every
+// decoder recompiles the release's query plan (internal/plan) from the
+// decoded vectors — fast paths are re-derived, never trusted from the
+// wire — so a decoded release serves batches exactly like the original.
 //
 // The wire format is versioned and self-describing: every payload
 // carries {"version": 2, "strategy": "...", "epsilon": ...} alongside
@@ -20,6 +23,7 @@ import (
 	"github.com/dphist/dphist/internal/core"
 	"github.com/dphist/dphist/internal/histo2d"
 	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/plan"
 )
 
 // WireVersion is the current release wire-format version. Version 1 (the
@@ -279,7 +283,7 @@ func (r *LaplaceRelease) UnmarshalJSON(data []byte) error {
 	}
 	r.Noisy = w.Noisy
 	r.counts = w.Counts
-	r.prefix = prefixSums(w.Counts)
+	r.plan = plan.Compile1D(w.Counts)
 	r.eps = w.Epsilon
 	return nil
 }
@@ -315,7 +319,7 @@ func (r *WaveletRelease) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("dphist: empty release payload")
 	}
 	r.counts = w.Counts
-	r.prefix = prefixSums(w.Counts)
+	r.plan = plan.Compile1D(w.Counts)
 	r.eps = w.Epsilon
 	return nil
 }

@@ -152,10 +152,11 @@ func TestUniversal2DReleaseRoundTrip(t *testing.T) {
 			back.TreeHeight() != orig.TreeHeight() || back.Epsilon() != orig.Epsilon() {
 			t.Fatal("shape lost in round trip")
 		}
-		// The fast path is a pure function of the payload, so it must be
-		// re-derived identically: present exactly when the original had it.
-		if (back.sat == nil) != (orig.sat == nil) {
-			t.Fatalf("summed-area table presence changed: %v vs %v", back.sat == nil, orig.sat == nil)
+		// The fast path is a pure function of the payload, so the decoded
+		// plan must be re-derived identically: the summed-area mode exactly
+		// when the original compiled it.
+		if back.plan.Mode() != orig.plan.Mode() {
+			t.Fatalf("plan mode changed in round trip: %q vs %q", back.plan.Mode(), orig.plan.Mode())
 		}
 		for _, q := range []RectSpec{{X1: 3, Y1: 4}, {X0: 1, Y0: 1, X1: 3, Y1: 3}, {X0: 2, Y0: 2, X1: 2, Y1: 2}} {
 			a, err := orig.Rect(q.X0, q.Y0, q.X1, q.Y1)

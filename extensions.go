@@ -13,6 +13,7 @@ import (
 
 	"github.com/dphist/dphist/internal/core"
 	"github.com/dphist/dphist/internal/graph"
+	"github.com/dphist/dphist/internal/plan"
 	"github.com/dphist/dphist/internal/stream"
 )
 
@@ -52,7 +53,7 @@ type DegreeSequenceRelease struct {
 	Inferred []float64
 
 	counts []float64
-	prefix []float64
+	plan   *plan.Plan
 	eps    float64
 }
 
@@ -63,7 +64,7 @@ func newDegreeSequenceRelease(noisy, inferred, counts []float64, eps float64) *D
 		Noisy:    append([]float64(nil), noisy...),
 		Inferred: append([]float64(nil), inferred...),
 		counts:   counts,
-		prefix:   prefixSums(counts),
+		plan:     plan.Compile1D(counts),
 		eps:      eps,
 	}
 }
@@ -81,7 +82,7 @@ func (r *DegreeSequenceRelease) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
-func (r *DegreeSequenceRelease) domain() int { return len(r.counts) }
+func (r *DegreeSequenceRelease) queryPlan() *plan.Plan { return r.plan }
 
 // Range answers the rank-interval query [lo, hi): the estimated sum of
 // the lo-th through (hi-1)-th smallest degrees. The empty range
@@ -90,11 +91,11 @@ func (r *DegreeSequenceRelease) Range(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
-	return r.prefix[hi] - r.prefix[lo], nil
+	return r.plan.Range(lo, hi), nil
 }
 
 // Total returns the estimated degree total (twice the edge count).
-func (r *DegreeSequenceRelease) Total() float64 { return r.prefix[len(r.prefix)-1] }
+func (r *DegreeSequenceRelease) Total() float64 { return r.plan.Total() }
 
 // IsGraphical reports whether the published sequence passes the
 // Erdős–Gallai test (it always should; exposed for auditability).

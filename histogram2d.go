@@ -7,6 +7,7 @@ import (
 
 	"github.com/dphist/dphist/internal/core"
 	"github.com/dphist/dphist/internal/histo2d"
+	"github.com/dphist/dphist/internal/plan"
 )
 
 // Universal2DHistogram releases a two-dimensional universal histogram:
@@ -87,16 +88,15 @@ func (m *Mechanism) universal2DWith(cells [][]float64, eps float64, src *rand.Ra
 // half-open intervals over that row-major order — while Rect answers
 // the native rectangle query [x0, x1) x [y0, y1).
 //
-// Rectangles are answered from the post-processed quadtree by minimal
-// subtree decomposition, exactly as the 1-D UniversalRelease answers
-// ranges. When the non-negativity heuristic truncated the tree, the
-// decomposition keeps its bias bounded in the number of covering nodes
-// — O(W+H) worst case, perimeter-proportional rather than area-
-// proportional like summing truncated cells would be; with
-// WithoutNonNegativity and WithoutRounding the tree is exactly
-// consistent, and Rect answers from a precomputed summed-area table —
-// O(1) per rectangle, bit-identical (up to float rounding) to summing
-// the published cells.
+// Rectangles are answered from the compiled query plan: when the
+// non-negativity heuristic truncated the tree, the plan decomposes each
+// rectangle over the post-processed quadtree, keeping its bias bounded
+// in the number of covering nodes — O(W+H) worst case, perimeter-
+// proportional rather than area-proportional like summing truncated
+// cells would be; with WithoutNonNegativity and WithoutRounding the
+// tree is exactly consistent, and the plan answers from a precomputed
+// summed-area table — O(1) per rectangle, bit-identical (up to float
+// rounding) to summing the published cells.
 type Universal2DRelease struct {
 	grid     *histo2d.Grid
 	noisy    []float64 // h~ over the quadtree, BFS order
@@ -104,20 +104,8 @@ type Universal2DRelease struct {
 	post     []float64 // h-bar after non-negativity and rounding, BFS order
 	cells    []float64 // published cell estimates, row-major over W x H
 
-	// rowPrefix is the running-sum table over the row-major cells,
-	// always precomputed: the 1-D Range and Total views answer in O(1)
-	// and agree with Counts by construction.
-	rowPrefix []float64
-
-	// sat is the (W+1) x (H+1) summed-area table over the published
-	// cells, precomputed at construction when the post-processed
-	// quadtree is exactly consistent (mirroring the 1-D leafPrefix):
-	// Rect then answers any rectangle in O(1) with four lookups. Nil
-	// when truncation made the tree inconsistent and quadtree
-	// decomposition is required.
-	sat []float64
-
-	eps float64
+	plan *plan.Plan
+	eps  float64
 }
 
 // newUniversal2DRelease assembles the release from freshly built
@@ -135,39 +123,15 @@ func newUniversal2DRelease(grid *histo2d.Grid, noisy, inferred, post []float64, 
 			cells[y*w+x] = v
 		}
 	}
-	r := &Universal2DRelease{
-		grid:      grid,
-		noisy:     noisy,
-		inferred:  inferred,
-		post:      post,
-		cells:     cells,
-		rowPrefix: prefixSums(cells),
-		eps:       eps,
+	return &Universal2DRelease{
+		grid:     grid,
+		noisy:    noisy,
+		inferred: inferred,
+		post:     post,
+		cells:    cells,
+		plan:     plan.Compile2D(grid, post, cells),
+		eps:      eps,
 	}
-	// Same tolerance argument as the 1-D release: inference is
-	// closed-form floating-point arithmetic, so "exactly consistent"
-	// means equal up to accumulated rounding scaled to the root.
-	tol := 1e-9 * (1 + math.Abs(post[0]))
-	if grid.IsConsistent(post, tol) {
-		r.sat = summedAreaTable(cells, w, h)
-	}
-	return r
-}
-
-// summedAreaTable returns the (w+1) x (h+1) inclusion-exclusion table
-// over row-major cells: sat[y*(w+1)+x] is the sum of all cells in
-// [0, x) x [0, y), so any rectangle is four lookups.
-func summedAreaTable(cells []float64, w, h int) []float64 {
-	stride := w + 1
-	sat := make([]float64, stride*(h+1))
-	for y := 1; y <= h; y++ {
-		rowSum := 0.0
-		for x := 1; x <= w; x++ {
-			rowSum += cells[(y-1)*w+(x-1)]
-			sat[y*stride+x] = sat[(y-1)*stride+x] + rowSum
-		}
-	}
-	return sat
 }
 
 // Strategy returns StrategyUniversal2D.
@@ -192,7 +156,7 @@ func (r *Universal2DRelease) Counts() []float64 {
 	return append([]float64(nil), r.cells...)
 }
 
-func (r *Universal2DRelease) domain() int { return len(r.cells) }
+func (r *Universal2DRelease) queryPlan() *plan.Plan { return r.plan }
 
 // Rows returns the published cell grid as rows, Rows()[y][x]. Every call
 // builds fresh rows, so mutating the result never touches the release.
@@ -212,7 +176,7 @@ func (r *Universal2DRelease) Range(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.cells) || lo > hi {
 		return 0, badRange(lo, hi, len(r.cells))
 	}
-	return r.rowPrefix[hi] - r.rowPrefix[lo], nil
+	return r.plan.Range(lo, hi), nil
 }
 
 // Rect answers the half-open rectangle query [x0, x1) x [y0, y1): from
@@ -224,16 +188,7 @@ func (r *Universal2DRelease) Rect(x0, y0, x1, y1 int) (float64, error) {
 	if x0 < 0 || y0 < 0 || x1 > w || y1 > h || x0 > x1 || y0 > y1 {
 		return 0, badRect(x0, y0, x1, y1, w, h)
 	}
-	return r.rect(x0, y0, x1, y1), nil
-}
-
-// rect answers an already-validated rectangle.
-func (r *Universal2DRelease) rect(x0, y0, x1, y1 int) float64 {
-	if r.sat != nil {
-		stride := r.grid.Width() + 1
-		return r.sat[y1*stride+x1] - r.sat[y0*stride+x1] - r.sat[y1*stride+x0] + r.sat[y0*stride+x0]
-	}
-	return r.grid.RectSum(r.post, x0, y0, x1, y1)
+	return r.plan.Rect(x0, y0, x1, y1), nil
 }
 
 // Cell returns the estimate for cell (x, y).
@@ -245,9 +200,7 @@ func (r *Universal2DRelease) Cell(x, y int) (float64, error) {
 }
 
 // Total returns the estimated number of records in the real domain.
-func (r *Universal2DRelease) Total() float64 {
-	return r.rect(0, 0, r.grid.Width(), r.grid.Height())
-}
+func (r *Universal2DRelease) Total() float64 { return r.plan.Total() }
 
 // NoisyTree returns a copy of the raw noisy quadtree answer h~ in BFS
 // order (root first).

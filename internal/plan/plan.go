@@ -1,0 +1,208 @@
+// Package plan compiles releases into immutable query plans — the
+// precomputed read side of the serving layer. A release is minted once
+// (spending epsilon) and then answers arbitrarily many range or
+// rectangle queries, so everything that can be computed ahead of the
+// first query should be: prefix-sum tables for positional and sorted
+// strategies, summed-area tables for 2-D grids, and iterative
+// tree-decomposition state when a hierarchy is not exactly consistent.
+//
+// A Plan answers *validated* queries with zero allocations:
+//
+//   - Range(lo, hi) in O(1) from prefix sums, or O(k log n) from an
+//     iterative subtree decomposition when the post-processed tree is
+//     inconsistent (truncation bias must stay bounded per covering node,
+//     so summing leaves is not equivalent).
+//   - Rect(x0, y0, x1, y1) in O(1) from a summed-area table, or by
+//     iterative quadtree decomposition under the same consistency rule.
+//
+// Plans are immutable after compilation and safe for concurrent use;
+// the release store snapshots a plan under a read lock and answers whole
+// batches against it outside any lock.
+package plan
+
+import (
+	"math"
+
+	"github.com/dphist/dphist/internal/histo2d"
+	"github.com/dphist/dphist/internal/htree"
+)
+
+// Plan is one release's compiled read path. The zero value is not
+// usable; build one with Compile1D, CompileTree, or Compile2D.
+type Plan struct {
+	domain int // size of the 1-D query index space
+
+	// prefix, when non-nil, is the running-sum table (len domain+1)
+	// answering Range in O(1). For 2-D plans it runs over the row-major
+	// cells, so the 1-D view is always O(1).
+	prefix []float64
+
+	// tree and treeVals drive the iterative subtree decomposition for a
+	// hierarchy whose post-processed counts are not exactly consistent.
+	tree     *htree.Tree
+	treeVals []float64
+
+	// 2-D state; width == 0 means the plan answers no rectangles.
+	width, height int
+	sat           []float64 // (w+1) x (h+1) summed-area table, or nil
+	grid          *histo2d.Grid
+	gridVals      []float64
+}
+
+// consistencyTol is the consistency tolerance for a post-processed count
+// vector: inference is closed-form floating-point arithmetic, so
+// "exactly consistent" means equal up to accumulated rounding scaled to
+// the root magnitude.
+func consistencyTol(rootVal float64) float64 {
+	return 1e-9 * (1 + math.Abs(rootVal))
+}
+
+// Compile1D compiles a flat count vector: the O(1) prefix-sum plan every
+// positional and sorted strategy serves ranges from. The counts are read
+// once and not retained.
+func Compile1D(counts []float64) *Plan {
+	return &Plan{domain: len(counts), prefix: prefixSums(counts)}
+}
+
+// CompileTree compiles a hierarchy release: prefix sums over the leaves
+// when the post-processed tree is exactly consistent (decomposition and
+// leaf sums then agree, so O(1) is free), otherwise the iterative
+// decomposition plan over the retained node values. leaves is the
+// published unit vector over the real domain; vals is the BFS node
+// vector, retained by the plan when decomposition is needed.
+func CompileTree(t *htree.Tree, vals, leaves []float64) *Plan {
+	if t.IsConsistent(vals, consistencyTol(vals[0])) {
+		return &Plan{domain: len(leaves), prefix: prefixSums(leaves)}
+	}
+	return TreeOnly(t, vals, len(leaves))
+}
+
+// TreeOnly compiles the decomposition plan unconditionally, bypassing
+// the consistency check — the fallback half of CompileTree, exported so
+// benchmarks and equivalence tests can pin the slow path.
+func TreeOnly(t *htree.Tree, vals []float64, domain int) *Plan {
+	return &Plan{domain: domain, tree: t, treeVals: vals}
+}
+
+// Compile2D compiles a quadtree release over a Width x Height cell grid:
+// the 1-D row-major view always answers from prefix sums, and rectangles
+// answer from a summed-area table when the post-processed quadtree is
+// exactly consistent, else by iterative quadtree decomposition over the
+// retained node values. cells is the published row-major cell vector.
+func Compile2D(g *histo2d.Grid, vals, cells []float64) *Plan {
+	p := Grid2DOnly(g, vals, cells)
+	if g.IsConsistent(vals, consistencyTol(vals[0])) {
+		p.sat = summedAreaTable(cells, g.Width(), g.Height())
+	}
+	return p
+}
+
+// Grid2DOnly compiles the 2-D plan without a summed-area table, pinning
+// rectangle answers to the quadtree decomposition — the fallback half of
+// Compile2D, exported so benchmarks and equivalence tests can pin the
+// slow path.
+func Grid2DOnly(g *histo2d.Grid, vals, cells []float64) *Plan {
+	return &Plan{
+		domain:   len(cells),
+		prefix:   prefixSums(cells),
+		width:    g.Width(),
+		height:   g.Height(),
+		grid:     g,
+		gridVals: vals,
+	}
+}
+
+// prefixSums returns the running-sum table of counts, with prefix[0] = 0.
+func prefixSums(counts []float64) []float64 {
+	prefix := make([]float64, len(counts)+1)
+	for i, v := range counts {
+		prefix[i+1] = prefix[i] + v
+	}
+	return prefix
+}
+
+// summedAreaTable returns the (w+1) x (h+1) inclusion-exclusion table
+// over row-major cells: sat[y*(w+1)+x] is the sum of all cells in
+// [0, x) x [0, y), so any rectangle is four lookups.
+func summedAreaTable(cells []float64, w, h int) []float64 {
+	stride := w + 1
+	sat := make([]float64, stride*(h+1))
+	for y := 1; y <= h; y++ {
+		rowSum := 0.0
+		for x := 1; x <= w; x++ {
+			rowSum += cells[(y-1)*w+(x-1)]
+			sat[y*stride+x] = sat[(y-1)*stride+x] + rowSum
+		}
+	}
+	return sat
+}
+
+// Domain returns the size of the 1-D query index space — what
+// len(Release.Counts()) reports.
+func (p *Plan) Domain() int { return p.domain }
+
+// Rectangular reports whether the plan answers rectangle queries.
+func (p *Plan) Rectangular() bool { return p.width > 0 }
+
+// Width returns the cell-grid width, or 0 for a 1-D plan.
+func (p *Plan) Width() int { return p.width }
+
+// Height returns the cell-grid height, or 0 for a 1-D plan.
+func (p *Plan) Height() int { return p.height }
+
+// Consistent reports whether the plan answers its native query family in
+// O(1): prefix sums for a 1-D plan, the summed-area table for a 2-D one.
+func (p *Plan) Consistent() bool {
+	if p.Rectangular() {
+		return p.sat != nil
+	}
+	return p.prefix != nil
+}
+
+// Mode names the native-query execution strategy, for logs and bench
+// labels: "prefix", "tree", "sat", or "quadtree".
+func (p *Plan) Mode() string {
+	switch {
+	case p.Rectangular() && p.sat != nil:
+		return "sat"
+	case p.Rectangular():
+		return "quadtree"
+	case p.prefix != nil:
+		return "prefix"
+	default:
+		return "tree"
+	}
+}
+
+// Range answers the half-open range [lo, hi) over the 1-D index space.
+// The caller must have validated 0 <= lo <= hi <= Domain(); Range itself
+// allocates nothing and cannot fail.
+func (p *Plan) Range(lo, hi int) float64 {
+	if p.prefix != nil {
+		return p.prefix[hi] - p.prefix[lo]
+	}
+	return p.tree.RangeSum(p.treeVals, lo, hi)
+}
+
+// Rect answers the half-open rectangle [x0, x1) x [y0, y1) over the cell
+// grid. The caller must have validated the rectangle against Width and
+// Height and that the plan is Rectangular; Rect itself allocates nothing
+// and cannot fail.
+func (p *Plan) Rect(x0, y0, x1, y1 int) float64 {
+	if p.sat != nil {
+		stride := p.width + 1
+		return p.sat[y1*stride+x1] - p.sat[y0*stride+x1] - p.sat[y1*stride+x0] + p.sat[y0*stride+x0]
+	}
+	return p.grid.RectSum(p.gridVals, x0, y0, x1, y1)
+}
+
+// Total answers the full-domain query: the whole range for a 1-D plan,
+// the whole grid for a 2-D one (which may differ from the row-major
+// range sum when truncation left the quadtree inconsistent — the
+// decomposition's bounded-bias answer is the released total).
+func (p *Plan) Total() float64 {
+	if p.Rectangular() {
+		return p.Rect(0, 0, p.width, p.height)
+	}
+	return p.Range(0, p.domain)
+}

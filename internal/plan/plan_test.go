@@ -1,0 +1,204 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dphist/dphist/internal/histo2d"
+	"github.com/dphist/dphist/internal/htree"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}
+
+func TestCompile1D(t *testing.T) {
+	counts := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	p := Compile1D(counts)
+	if p.Domain() != len(counts) || !p.Consistent() || p.Rectangular() || p.Mode() != "prefix" {
+		t.Fatalf("plan shape: domain %d, mode %q, rect %v", p.Domain(), p.Mode(), p.Rectangular())
+	}
+	for lo := 0; lo <= len(counts); lo++ {
+		for hi := lo; hi <= len(counts); hi++ {
+			want := 0.0
+			for _, v := range counts[lo:hi] {
+				want += v
+			}
+			if got := p.Range(lo, hi); !almostEqual(got, want) {
+				t.Fatalf("Range(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+	if !almostEqual(p.Total(), 31) {
+		t.Fatalf("Total = %v", p.Total())
+	}
+}
+
+// buildTree assembles a consistent BFS node vector from unit counts.
+func buildTree(t *testing.T, k, domain int) (*htree.Tree, []float64, []float64) {
+	t.Helper()
+	tree := htree.MustNew(k, domain)
+	unit := make([]float64, domain)
+	for i := range unit {
+		unit[i] = float64((i*7 + 3) % 11)
+	}
+	vals := tree.FromLeaves(unit)
+	return tree, vals, unit
+}
+
+func TestCompileTreeConsistent(t *testing.T) {
+	tree, vals, unit := buildTree(t, 2, 13)
+	leaves := tree.Leaves(vals)[:13]
+	p := CompileTree(tree, vals, leaves)
+	if p.Mode() != "prefix" {
+		t.Fatalf("consistent tree compiled to %q", p.Mode())
+	}
+	forced := TreeOnly(tree, vals, 13)
+	if forced.Mode() != "tree" {
+		t.Fatalf("TreeOnly compiled to %q", forced.Mode())
+	}
+	for lo := 0; lo <= 13; lo++ {
+		for hi := lo; hi <= 13; hi++ {
+			want := 0.0
+			for _, v := range unit[lo:hi] {
+				want += v
+			}
+			if got := p.Range(lo, hi); !almostEqual(got, want) {
+				t.Fatalf("prefix Range(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+			if got := forced.Range(lo, hi); !almostEqual(got, want) {
+				t.Fatalf("tree Range(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileTreeInconsistent(t *testing.T) {
+	tree, vals, _ := buildTree(t, 3, 9)
+	vals[0] += 5 // break root consistency: decomposition semantics must win
+	leaves := tree.Leaves(vals)[:9]
+	p := CompileTree(tree, vals, leaves)
+	if p.Mode() != "tree" || p.Consistent() {
+		t.Fatalf("inconsistent tree compiled to %q", p.Mode())
+	}
+	// The full-domain query must answer the root, not the leaf sum.
+	if got := p.Range(0, 9); !almostEqual(got, vals[0]) {
+		t.Fatalf("Range(0,9) = %v, want root %v", got, vals[0])
+	}
+	if got := p.Total(); !almostEqual(got, vals[0]) {
+		t.Fatalf("Total = %v, want root %v", got, vals[0])
+	}
+}
+
+func TestCompile2D(t *testing.T) {
+	const w, h = 5, 3
+	grid := histo2d.MustNew(w, h)
+	cells2d := make([][]float64, h)
+	for y := range cells2d {
+		cells2d[y] = make([]float64, w)
+		for x := range cells2d[y] {
+			cells2d[y][x] = float64((x*3 + y*5) % 7)
+		}
+	}
+	vals := grid.FromCells(cells2d)
+	cells := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v, err := grid.Cell(vals, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells[y*w+x] = v
+		}
+	}
+	p := Compile2D(grid, vals, cells)
+	if !p.Rectangular() || p.Width() != w || p.Height() != h || p.Mode() != "sat" {
+		t.Fatalf("plan shape: %dx%d mode %q", p.Width(), p.Height(), p.Mode())
+	}
+	forced := Grid2DOnly(grid, vals, cells)
+	if forced.Mode() != "quadtree" || forced.Consistent() {
+		t.Fatalf("Grid2DOnly compiled to %q", forced.Mode())
+	}
+	for x0 := 0; x0 <= w; x0++ {
+		for x1 := x0; x1 <= w; x1++ {
+			for y0 := 0; y0 <= h; y0++ {
+				for y1 := y0; y1 <= h; y1++ {
+					want := 0.0
+					for y := y0; y < y1; y++ {
+						for x := x0; x < x1; x++ {
+							want += cells[y*w+x]
+						}
+					}
+					if got := p.Rect(x0, y0, x1, y1); !almostEqual(got, want) {
+						t.Fatalf("sat Rect(%d,%d,%d,%d) = %v, want %v", x0, y0, x1, y1, got, want)
+					}
+					if got := forced.Rect(x0, y0, x1, y1); !almostEqual(got, want) {
+						t.Fatalf("quadtree Rect(%d,%d,%d,%d) = %v, want %v", x0, y0, x1, y1, got, want)
+					}
+				}
+			}
+		}
+	}
+	// The 1-D row-major view always answers from prefix sums.
+	for lo := 0; lo <= w*h; lo += 4 {
+		for hi := lo; hi <= w*h; hi += 3 {
+			want := 0.0
+			for _, v := range cells[lo:hi] {
+				want += v
+			}
+			if got := p.Range(lo, hi); !almostEqual(got, want) {
+				t.Fatalf("2-D Range(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+	if !almostEqual(p.Total(), forced.Total()) {
+		t.Fatalf("Total disagreement: %v vs %v", p.Total(), forced.Total())
+	}
+}
+
+// Plans must answer without allocating: the batch engines promise zero
+// allocations per query in steady state for every mode.
+func TestPlanAnswersWithoutAllocating(t *testing.T) {
+	tree, vals, _ := buildTree(t, 2, 64)
+	leaves := tree.Leaves(vals)[:64]
+	grid := histo2d.MustNew(8, 8)
+	cells2d := make([][]float64, 8)
+	for y := range cells2d {
+		cells2d[y] = make([]float64, 8)
+		for x := range cells2d[y] {
+			cells2d[y][x] = float64(x ^ y)
+		}
+	}
+	gvals := grid.FromCells(cells2d)
+	cells := make([]float64, 64)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			v, _ := grid.Cell(gvals, x, y)
+			cells[y*8+x] = v
+		}
+	}
+	for _, tc := range []struct {
+		mode string
+		p    *Plan
+	}{
+		{"prefix", Compile1D(leaves)},
+		{"tree", TreeOnly(tree, vals, 64)},
+		{"sat", Compile2D(grid, gvals, cells)},
+		{"quadtree", Grid2DOnly(grid, gvals, cells)},
+	} {
+		if tc.p.Mode() != tc.mode {
+			t.Fatalf("mode %q compiled as %q", tc.mode, tc.p.Mode())
+		}
+		var sink float64
+		allocs := testing.AllocsPerRun(100, func() {
+			if tc.p.Rectangular() {
+				sink += tc.p.Rect(1, 1, 7, 7)
+			}
+			sink += tc.p.Range(3, tc.p.Domain()-1)
+		})
+		if allocs != 0 {
+			t.Errorf("%s plan allocates %v per query", tc.mode, allocs)
+		}
+		_ = sink
+	}
+}

@@ -1,0 +1,289 @@
+// Package qcache is a sharded LRU answer cache for the serving read
+// path. Once a release is minted, every answer it can give is a pure
+// deterministic function of (release version, query batch) — noise was
+// spent at mint time, serving is post-processing — so identical batches
+// against an unchanged release can be answered from memory without
+// touching the store or the query plan at all.
+//
+// Keys carry the namespace, release name, release *version*, and a hash
+// of the spec batch, so a re-minted release can never serve a
+// predecessor's answers even before explicit invalidation; the store
+// additionally calls Invalidate on every put, delete, TTL expiry, and
+// capacity eviction so dead entries free their memory immediately.
+// Because hashes can collide, every entry retains its spec batch and a
+// lookup only hits when the stored batch compares equal.
+//
+// Concurrent misses for the same key are collapsed by single-flight
+// stampede protection: one caller computes, the rest wait and share the
+// result. Entries are sharded by (namespace, name) — a release's whole
+// cache footprint lives in one shard, so invalidation touches one lock.
+package qcache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one cached answer batch. Hash and Len fingerprint the
+// spec batch; the cache verifies the full batch on every hit, so a
+// collision degrades to a miss, never to wrong answers.
+type Key struct {
+	Namespace string
+	Name      string
+	Version   int
+	Hash      uint64
+	Len       int
+}
+
+// nameKey scopes invalidation: all versions and batches of one release.
+type nameKey struct {
+	ns   string
+	name string
+}
+
+// shardCount is fixed: invalidation and single-flight are per-release,
+// and releases spread across shards by name hash.
+const shardCount = 8
+
+// Cache is a sharded LRU answer cache, generic over the spec-batch type
+// B (one Cache per query family: range batches, rectangle batches). All
+// methods are safe for concurrent use. The zero value is not usable;
+// construct with New.
+type Cache[B any] struct {
+	eq       func(a, b B) bool
+	clone    func(B) B
+	capacity int // cache-wide entry bound
+	shards   [shardCount]*shard[B]
+
+	// total is the cache-wide entry count. The capacity bound is global
+	// — a single hot release may fill the whole cache even though its
+	// entries live in one shard — with eviction localized to the
+	// inserting shard (LRU order is per-shard, the bound is exact).
+	total  atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type entry[B any] struct {
+	key     Key
+	batch   B
+	answers []float64
+	elem    *list.Element // element of shard.recency; Value is the Key
+}
+
+// flight is one in-progress computation other callers of the same key
+// can wait on.
+type flight[B any] struct {
+	batch   B
+	done    chan struct{}
+	answers []float64
+	err     error
+}
+
+type shard[B any] struct {
+	mu      sync.Mutex
+	items   map[Key]*entry[B]
+	recency *list.List // front = most recently used
+	byName  map[nameKey]map[Key]struct{}
+	flights map[Key]*flight[B]
+}
+
+// New returns a cache bounded to capacity entries cache-wide (one hot
+// release may fill all of it; eviction is LRU within the inserting
+// shard), using eq to verify that a stored spec batch matches a
+// looked-up one
+// and clone to take a private copy of a batch before retaining it (so a
+// caller reusing its spec buffer can only cause misses, never wrong
+// answers). It panics if capacity is not positive or either func is nil.
+func New[B any](capacity int, eq func(a, b B) bool, clone func(B) B) *Cache[B] {
+	if capacity <= 0 {
+		panic("qcache: capacity must be positive")
+	}
+	if eq == nil || clone == nil {
+		panic("qcache: nil batch equality or clone")
+	}
+	c := &Cache[B]{
+		eq:       eq,
+		clone:    clone,
+		capacity: capacity,
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard[B]{
+			items:   make(map[Key]*entry[B]),
+			recency: list.New(),
+			byName:  make(map[nameKey]map[Key]struct{}),
+			flights: make(map[Key]*flight[B]),
+		}
+	}
+	return c
+}
+
+// shardFor hashes (namespace, name) with FNV-1a, so every batch against
+// one release — and its invalidation — lands in a single shard.
+func (c *Cache[B]) shardFor(ns, name string) *shard[B] {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(ns); i++ {
+		h = (h ^ uint64(ns[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	return c.shards[h%shardCount]
+}
+
+// Do returns the cached answers for (k, batch), or computes, caches, and
+// returns them. Concurrent Do calls for the same key share one compute
+// (single-flight); a compute error is returned to every waiter and never
+// cached. The returned slice is always the caller's to keep: hits and
+// shared flights return a fresh copy, never the cache's own backing
+// array.
+func (c *Cache[B]) Do(k Key, batch B, compute func() ([]float64, error)) ([]float64, error) {
+	sh := c.shardFor(k.Namespace, k.Name)
+	sh.mu.Lock()
+	if e, ok := sh.items[k]; ok && c.eq(e.batch, batch) {
+		sh.recency.MoveToFront(e.elem)
+		out := append([]float64(nil), e.answers...)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return out, nil
+	}
+	if f, ok := sh.flights[k]; ok {
+		if !c.eq(f.batch, batch) {
+			// Hash collision with a different batch mid-flight: compute
+			// unshared rather than waiting on the wrong answer.
+			sh.mu.Unlock()
+			c.misses.Add(1)
+			return compute()
+		}
+		sh.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		// The flight absorbed a would-be stampede: count it as a hit.
+		c.hits.Add(1)
+		return append([]float64(nil), f.answers...), nil
+	}
+	f := &flight[B]{batch: batch, done: make(chan struct{})}
+	sh.flights[k] = f
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	// The flight must be resolved even if compute panics (an external
+	// Release implementation can reach arbitrary user code): otherwise
+	// every later Do for this key would block on done forever. The
+	// deferred cleanup fails the flight and lets the panic propagate.
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		f.err = errors.New("qcache: compute panicked")
+		close(f.done)
+		sh.mu.Lock()
+		delete(sh.flights, k)
+		sh.mu.Unlock()
+	}()
+	answers, err := compute()
+	finished = true
+	f.answers, f.err = answers, err
+	close(f.done)
+
+	sh.mu.Lock()
+	delete(sh.flights, k)
+	if err == nil {
+		c.storeLocked(sh, k, c.clone(batch), append([]float64(nil), answers...))
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+// storeLocked inserts (replacing any colliding entry) and evicts the
+// shard's LRU entries until the cache-wide bound holds again. Evicting
+// locally keeps the bound exact without a global recency lock: the
+// inserting shard always holds at least the entry just inserted, so
+// every insert past capacity frees one.
+func (c *Cache[B]) storeLocked(sh *shard[B], k Key, batch B, answers []float64) {
+	if e, ok := sh.items[k]; ok {
+		e.batch, e.answers = batch, answers
+		sh.recency.MoveToFront(e.elem)
+		return
+	}
+	e := &entry[B]{key: k, batch: batch, answers: answers, elem: sh.recency.PushFront(k)}
+	sh.items[k] = e
+	c.total.Add(1)
+	nk := nameKey{k.Namespace, k.Name}
+	keys := sh.byName[nk]
+	if keys == nil {
+		keys = make(map[Key]struct{})
+		sh.byName[nk] = keys
+	}
+	keys[k] = struct{}{}
+	for len(sh.items) > 0 && c.total.Load() > int64(c.capacity) {
+		c.removeLocked(sh, sh.recency.Back().Value.(Key))
+	}
+}
+
+func (c *Cache[B]) removeLocked(sh *shard[B], k Key) {
+	e, ok := sh.items[k]
+	if !ok {
+		return
+	}
+	sh.recency.Remove(e.elem)
+	delete(sh.items, k)
+	c.total.Add(-1)
+	nk := nameKey{k.Namespace, k.Name}
+	if keys := sh.byName[nk]; keys != nil {
+		delete(keys, k)
+		if len(keys) == 0 {
+			delete(sh.byName, nk)
+		}
+	}
+}
+
+// Invalidate drops every cached batch for the release — all versions,
+// all spec batches. In-flight computations are not interrupted; their
+// results land under the old version's key, which no future lookup will
+// use once the store reports the new version.
+func (c *Cache[B]) Invalidate(ns, name string) {
+	sh := c.shardFor(ns, name)
+	sh.mu.Lock()
+	for k := range sh.byName[nameKey{ns, name}] {
+		c.removeLocked(sh, k)
+	}
+	sh.mu.Unlock()
+}
+
+// Stats is a point-in-time cache scorecard.
+type Stats struct {
+	Hits     int64
+	Misses   int64
+	Entries  int
+	Capacity int
+}
+
+// Stats reports hit/miss counters since construction plus the current
+// entry count and configured capacity.
+func (c *Cache[B]) Stats() Stats {
+	s := Stats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Capacity: c.capacity,
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Entries += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return s
+}

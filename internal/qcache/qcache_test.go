@@ -1,0 +1,251 @@
+package qcache
+
+import (
+	"errors"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestCache(capacity int) *Cache[[]int] {
+	return New(capacity, slices.Equal[[]int], slices.Clone[[]int])
+}
+
+func key(ns, name string, version int, hash uint64) Key {
+	return Key{Namespace: ns, Name: name, Version: version, Hash: hash, Len: 1}
+}
+
+func TestDoCachesAndCounts(t *testing.T) {
+	c := newTestCache(16)
+	computes := 0
+	compute := func() ([]float64, error) { computes++; return []float64{1, 2}, nil }
+	k := key("ns", "rel", 1, 42)
+	for i := 0; i < 3; i++ {
+		got, err := c.Do(k, []int{7}, compute)
+		if err != nil || !slices.Equal(got, []float64{1, 2}) {
+			t.Fatalf("Do = %v, %v", got, err)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 || st.Capacity != 16 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A different version is a different key.
+	if _, err := c.Do(key("ns", "rel", 2, 42), []int{7}, compute); err != nil {
+		t.Fatal(err)
+	}
+	if computes != 2 {
+		t.Fatalf("version bump did not recompute")
+	}
+}
+
+// A hash collision (same Key, different batch) must never serve the
+// other batch's answers.
+func TestCollisionIsMissNotWrongAnswer(t *testing.T) {
+	c := newTestCache(16)
+	k := key("ns", "rel", 1, 99)
+	if _, err := c.Do(k, []int{1}, func() ([]float64, error) { return []float64{10}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Do(k, []int{2}, func() ([]float64, error) { return []float64{20}, nil })
+	if err != nil || got[0] != 20 {
+		t.Fatalf("colliding batch answered %v, %v", got, err)
+	}
+}
+
+// The returned slice must be the caller's to keep: mutating a hit's
+// result must not corrupt the cache.
+func TestHitReturnsPrivateCopy(t *testing.T) {
+	c := newTestCache(16)
+	k := key("ns", "rel", 1, 7)
+	compute := func() ([]float64, error) { return []float64{5}, nil }
+	if _, err := c.Do(k, []int{1}, compute); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := c.Do(k, []int{1}, compute)
+	first[0] = -1
+	second, _ := c.Do(k, []int{1}, compute)
+	if second[0] != 5 {
+		t.Fatalf("cache corrupted by caller mutation: %v", second)
+	}
+}
+
+// Mutating the spec batch after Do must not poison stored entries: the
+// cache retains a private clone.
+func TestBatchClonedOnStore(t *testing.T) {
+	c := newTestCache(16)
+	k := key("ns", "rel", 1, 8)
+	batch := []int{1}
+	if _, err := c.Do(k, batch, func() ([]float64, error) { return []float64{5}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	batch[0] = 99 // caller reuses its buffer
+	got, err := c.Do(k, []int{1}, func() ([]float64, error) { return []float64{-1}, nil })
+	if err != nil || got[0] != 5 {
+		t.Fatalf("stored batch was not cloned: %v, %v", got, err)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := newTestCache(16)
+	k := key("ns", "rel", 1, 3)
+	boom := errors.New("boom")
+	if _, err := c.Do(k, []int{1}, func() ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	got, err := c.Do(k, []int{1}, func() ([]float64, error) { return []float64{4}, nil })
+	if err != nil || got[0] != 4 {
+		t.Fatalf("recovery after error = %v, %v", got, err)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInvalidateDropsAllVersionsAndBatches(t *testing.T) {
+	c := newTestCache(64)
+	compute := func() ([]float64, error) { return []float64{1}, nil }
+	for v := 1; v <= 3; v++ {
+		for h := uint64(0); h < 4; h++ {
+			if _, err := c.Do(key("ns", "rel", v, h), []int{int(h)}, compute); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := c.Do(key("ns", "other", 1, 0), []int{0}, compute); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate("ns", "rel")
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("after invalidate: %d entries, want 1 (the other release)", st.Entries)
+	}
+	// Re-querying recomputes.
+	misses := c.Stats().Misses
+	if _, err := c.Do(key("ns", "rel", 3, 0), []int{0}, compute); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != misses+1 {
+		t.Fatal("invalidated entry served a hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newTestCache(2)
+	compute := func() ([]float64, error) { return []float64{1}, nil }
+	k0, k1, k2 := key("ns", "rel", 1, 0), key("ns", "rel", 1, 1), key("ns", "rel", 1, 2)
+	for _, k := range []Key{k0, k1, k2} {
+		if _, err := c.Do(k, []int{int(k.Hash)}, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("%d entries, capacity 2", st.Entries)
+	}
+	// k0 is the least recently used and must be gone.
+	misses := c.Stats().Misses
+	if _, err := c.Do(k0, []int{0}, compute); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != misses+1 {
+		t.Fatal("evicted entry served a hit")
+	}
+}
+
+// The capacity bound is cache-wide, not per shard: one hot release —
+// whose entries all land in a single shard — may use every slot.
+func TestSingleReleaseFillsWholeCapacity(t *testing.T) {
+	const capacity = 40
+	c := newTestCache(capacity)
+	compute := func() ([]float64, error) { return []float64{1}, nil }
+	for h := uint64(0); h < capacity; h++ {
+		if _, err := c.Do(key("ns", "hot", 1, h), []int{int(h)}, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Entries != capacity {
+		t.Fatalf("one release cached %d of %d entries", st.Entries, capacity)
+	}
+	// Every batch is still a hit: nothing was evicted below capacity.
+	hits := c.Stats().Hits
+	for h := uint64(0); h < capacity; h++ {
+		if _, err := c.Do(key("ns", "hot", 1, h), []int{int(h)}, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Hits - hits; got != capacity {
+		t.Fatalf("%d of %d repeat batches hit", got, capacity)
+	}
+}
+
+// A panicking compute must not wedge the key: the flight resolves with
+// an error, the panic propagates, and the next Do recovers.
+func TestComputePanicDoesNotWedgeKey(t *testing.T) {
+	c := newTestCache(16)
+	k := key("ns", "rel", 1, 6)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		_, _ = c.Do(k, []int{1}, func() ([]float64, error) { panic("boom") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, err := c.Do(k, []int{1}, func() ([]float64, error) { return []float64{3}, nil })
+		if err != nil || got[0] != 3 {
+			t.Errorf("Do after panic = %v, %v", got, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key wedged after compute panic")
+	}
+}
+
+// Concurrent misses for one key must collapse to a single computation.
+func TestSingleFlight(t *testing.T) {
+	c := newTestCache(16)
+	k := key("ns", "rel", 1, 5)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([][]float64, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := c.Do(k, []int{1}, func() ([]float64, error) {
+				computes.Add(1)
+				<-gate // hold every concurrent caller in the flight
+				return []float64{9}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = got
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times under concurrency, want 1", n)
+	}
+	for i, got := range results {
+		if len(got) != 1 || got[0] != 9 {
+			t.Fatalf("caller %d got %v", i, got)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -99,6 +99,13 @@ type Config struct {
 	// StoreTTL expires stored releases this long after minting. 0 means
 	// they never expire. Ignored when Store is set.
 	StoreTTL time.Duration
+	// CacheCapacity enables the store's answer cache with this many
+	// cached batches per query family (dphist.WithQueryCache): repeated
+	// /v1/query and /v1/query2d batches against an unchanged release
+	// answer from memory, with hit counters in /v1/stats. 0 disables
+	// caching. Ignored when Store is set — configure the cache on the
+	// store you pass in.
+	CacheCapacity int
 }
 
 // Server is the HTTP-facing privacy mechanism. Safe for concurrent use.
@@ -143,6 +150,7 @@ func New(cfg Config) (*Server, error) {
 		opts := []dphist.StoreOption{
 			dphist.WithCapacity(cfg.StoreCapacity),
 			dphist.WithTTL(cfg.StoreTTL),
+			dphist.WithQueryCache(cfg.CacheCapacity),
 		}
 		if cfg.Budget > 0 {
 			opts = append(opts, dphist.WithBudget(cfg.Budget))
@@ -336,6 +344,7 @@ type statsResponse struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Durable       bool             `json:"durable"`
 	Requests      requestStats     `json:"requests"`
+	Cache         cacheStats       `json:"cache"`
 	Namespaces    []namespaceStats `json:"namespaces"`
 }
 
@@ -346,6 +355,17 @@ type requestStats struct {
 	RangeQueries   int64 `json:"range_queries"`
 }
 
+// cacheStats is the answer cache's slice of /v1/stats. HitRatio is
+// hits/(hits+misses), 0 before the first query.
+type cacheStats struct {
+	Enabled  bool    `json:"enabled"`
+	Capacity int     `json:"capacity"`
+	Entries  int     `json:"entries"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	names := s.store.Namespaces()
 	// The default namespace is always reported, even before first use.
@@ -353,6 +373,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		names = append([]string{dphist.DefaultNamespace}, names...)
 		sort.Strings(names)
 	}
+	cs := s.store.CacheStats()
 	stats := statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Durable:       s.store.Dir() != "",
@@ -362,6 +383,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReleasesMinted: s.mintCount.Load(),
 			RangeQueries:   s.queryCount.Load(),
 		},
+		Cache: cacheStats{
+			Enabled:  cs.Capacity > 0,
+			Capacity: cs.Capacity,
+			Entries:  cs.Entries,
+			Hits:     cs.Hits,
+			Misses:   cs.Misses,
+		},
+	}
+	if total := cs.Hits + cs.Misses; total > 0 {
+		stats.Cache.HitRatio = float64(cs.Hits) / float64(total)
 	}
 	for _, ns := range names {
 		sess, err := s.session(ns)

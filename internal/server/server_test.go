@@ -710,6 +710,88 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// /v1/stats reports the answer cache's hit/miss counters when
+// Config.CacheCapacity enables it, and an identical repeated batch is
+// served from memory.
+func TestStatsCacheSection(t *testing.T) {
+	s, err := New(Config{
+		Counts:        []float64{2, 0, 10, 2, 5, 5, 5, 5},
+		Budget:        2.0,
+		Seed:          9,
+		CacheCapacity: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, err := http.Post(ts.URL+"/v1/releases", "application/json",
+		bytes.NewBufferString(`{"name":"r","strategy":"universal","epsilon":0.5}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mint status %d", resp.StatusCode)
+		}
+	}
+	var answers [2][]float64
+	for i := range answers {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			bytes.NewBufferString(`{"name":"r","ranges":[{"lo":0,"hi":8},{"lo":2,"hi":5}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr queryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		answers[i] = qr.Answers
+	}
+	if len(answers[0]) != 2 || len(answers[1]) != 2 ||
+		answers[0][0] != answers[1][0] || answers[0][1] != answers[1][1] {
+		t.Fatalf("cached batch diverged: %v vs %v", answers[0], answers[1])
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Cache
+	if !c.Enabled || c.Capacity != 16 || c.Hits != 1 || c.Misses != 1 || c.Entries != 1 {
+		t.Fatalf("cache stats = %+v", c)
+	}
+	if c.HitRatio != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", c.HitRatio)
+	}
+
+	// Without CacheCapacity the section reports disabled.
+	off, err := New(Config{Counts: []float64{1, 2}, Budget: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	respOff, err := http.Get(tsOff.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respOff.Body.Close()
+	var stOff statsResponse
+	if err := json.NewDecoder(respOff.Body).Decode(&stOff); err != nil {
+		t.Fatal(err)
+	}
+	if stOff.Cache.Enabled || stOff.Cache.Capacity != 0 {
+		t.Fatalf("disabled cache stats = %+v", stOff.Cache)
+	}
+}
+
 // The 2-D serving surface end to end: mint a universal2d release over
 // HTTP, answer rectangle batches through /v1/query2d (and its namespace
 // twin), and map the failure modes onto the right status codes.

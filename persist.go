@@ -236,12 +236,15 @@ func (s *Store) recoverPut(ns, name string, version int, storedAt time.Time, pay
 	if version > sh.versions[k] {
 		sh.versions[k] = version
 	}
+	// DecodeRelease recompiled the query plan from the wire vectors, so
+	// a recovered release serves batches exactly like the original did.
 	if it, ok := sh.items[k]; ok {
 		it.release = rel
+		it.plan = releasePlan(rel)
 		it.entry = entry
 		sh.recency.MoveToFront(it.elem)
 	} else {
-		sh.items[k] = &storeItem{release: rel, entry: entry, elem: sh.recency.PushFront(k)}
+		sh.items[k] = &storeItem{release: rel, plan: releasePlan(rel), entry: entry, elem: sh.recency.PushFront(k)}
 	}
 	sh.mu.Unlock()
 	return nil

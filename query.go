@@ -6,10 +6,16 @@ package dphist
 // result (Theorem 4, Figure 6) is precisely that a consistent hierarchy
 // answers arbitrary ranges with polylogarithmic error, so a deployment
 // mints few releases and serves many queries. QueryBatch amortizes
-// validation and dispatch over a whole batch and, for UniversalRelease,
-// bypasses the interface to answer each range allocation-free.
+// validation and dispatch over a whole batch and answers each range from
+// the release's compiled query plan (internal/plan) — O(1) prefix-sum
+// lookups or an iterative O(log n) subtree decomposition — allocating
+// nothing per query, for every in-library strategy.
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/dphist/dphist/internal/plan"
+)
 
 // RangeSpec names one half-open range query [Lo, Hi) over the index
 // space of a release's Counts: positions for the positional strategies,
@@ -25,11 +31,10 @@ type RangeSpec struct {
 // every spec is validated against the release's domain before any is
 // answered, and a malformed spec fails the whole batch naming its index.
 //
-// For a UniversalRelease the batch is answered on a fast path — O(1)
-// prefix-sum lookups when the post-processed tree is exactly consistent,
-// otherwise an iterative O(log n) subtree decomposition — allocating
-// nothing per query. Use QueryBatchInto to also amortize the result
-// slice across calls.
+// Every in-library release carries a compiled plan, so the batch is
+// answered without per-query interface dispatch and without allocating
+// per query. Use QueryBatchInto to also amortize the result slice
+// across calls.
 func QueryBatch(r Release, specs []RangeSpec) ([]float64, error) {
 	return QueryBatchInto(nil, r, specs)
 }
@@ -41,22 +46,25 @@ func QueryBatch(r Release, specs []RangeSpec) ([]float64, error) {
 // buffer-reusing serving loop cannot mistake half-answered garbage for
 // answers.
 func QueryBatchInto(dst []float64, r Release, specs []RangeSpec) ([]float64, error) {
+	return answerRangesInto(dst, releasePlan(r), r, specs)
+}
+
+// answerRangesInto is the shared batch core: validate every spec against
+// the domain, then answer from the plan when one is compiled, else fall
+// back to per-query Range calls for external Release implementations.
+// Store.query snapshots (release, plan) under its shard read lock and
+// calls this outside the lock.
+func answerRangesInto(dst []float64, pl *plan.Plan, r Release, specs []RangeSpec) ([]float64, error) {
 	keep := len(dst)
-	n := releaseDomain(r)
+	n := releaseDomainWithPlan(pl, r)
 	for i, q := range specs {
 		if q.Lo < 0 || q.Hi > n || q.Lo > q.Hi {
 			return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, badRange(q.Lo, q.Hi, n))
 		}
 	}
-	if rel, ok := r.(*UniversalRelease); ok {
-		if p := rel.leafPrefix; p != nil {
-			for _, q := range specs {
-				dst = append(dst, p[q.Hi]-p[q.Lo])
-			}
-			return dst, nil
-		}
+	if pl != nil {
 		for _, q := range specs {
-			dst = append(dst, rel.tree.RangeSum(rel.post, q.Lo, q.Hi))
+			dst = append(dst, pl.Range(q.Lo, q.Hi))
 		}
 		return dst, nil
 	}
@@ -74,18 +82,50 @@ func QueryBatchInto(dst []float64, r Release, specs []RangeSpec) ([]float64, err
 	return dst, nil
 }
 
-// domainer is implemented by every in-library release (enforced at
-// compile time in results.go) so batch validation can learn the query
-// domain without copying Counts. New release types must add the
-// one-line domain method next to their Counts.
-type domainer interface{ domain() int }
+// planner is implemented by every in-library release (enforced at
+// compile time in results.go): it exposes the immutable query plan
+// compiled at construction or decode. New release types compile a plan
+// in their constructor, add the one-line method next to their Counts,
+// and add a case to releasePlan.
+type planner interface{ queryPlan() *plan.Plan }
+
+// releasePlan returns a release's compiled query plan, or nil for an
+// external Release implementation (which the batch engines serve through
+// its Range/Rect methods instead). The dispatch is an exact type switch,
+// not a planner assertion: a user struct embedding an in-library release
+// promotes queryPlan, and trusting it would silently bypass the
+// wrapper's own Range/Rect overrides.
+func releasePlan(r Release) *plan.Plan {
+	switch rel := r.(type) {
+	case *UniversalRelease:
+		return rel.queryPlan()
+	case *LaplaceRelease:
+		return rel.queryPlan()
+	case *UnattributedRelease:
+		return rel.queryPlan()
+	case *WaveletRelease:
+		return rel.queryPlan()
+	case *DegreeSequenceRelease:
+		return rel.queryPlan()
+	case *HierarchyReleaseResult:
+		return rel.queryPlan()
+	case *Universal2DRelease:
+		return rel.queryPlan()
+	default:
+		return nil
+	}
+}
 
 // releaseDomain returns the size of a release's query domain — what
 // len(r.Counts()) reports — without paying for the Counts copy when the
-// concrete type advertises it.
+// release carries a compiled plan.
 func releaseDomain(r Release) int {
-	if d, ok := r.(domainer); ok {
-		return d.domain()
+	return releaseDomainWithPlan(releasePlan(r), r)
+}
+
+func releaseDomainWithPlan(pl *plan.Plan, r Release) int {
+	if pl != nil {
+		return pl.Domain()
 	}
 	return len(r.Counts())
 }

@@ -5,14 +5,16 @@ package dphist
 // W x H rectangle touches W*H cells of a flat histogram but only
 // O(W+H) quadtree nodes (perimeter, not area) — so the steady-state
 // 2-D workload is many-rectangle batches against one minted release.
-// QueryRects
-// amortizes validation over the batch and answers each rectangle in
-// O(1) from the summed-area table when the release's post-processed
-// quadtree is exactly consistent, mirroring the 1-D leafPrefix path.
+// QueryRects amortizes validation over the batch and answers each
+// rectangle from the release's compiled plan: O(1) summed-area lookups
+// when the post-processed quadtree is exactly consistent, else an
+// iterative quadtree decomposition — allocating nothing per query.
 
 import (
 	"errors"
 	"fmt"
+
+	"github.com/dphist/dphist/internal/plan"
 )
 
 // ErrNotRectangular reports a rectangle batch against a release that
@@ -49,11 +51,9 @@ var _ RectQuerier = (*Universal2DRelease)(nil)
 // grid before any is answered, a malformed spec fails the whole batch
 // naming its index, and a release that is not a RectQuerier is refused.
 //
-// For a Universal2DRelease the batch is answered on a fast path — O(1)
-// summed-area lookups when the post-processed quadtree is exactly
-// consistent, otherwise an iterative quadtree decomposition — allocating
-// nothing per query. Use QueryRectsInto to also amortize the result
-// slice across calls.
+// A release whose compiled plan is rectangular answers the batch without
+// per-query interface dispatch and without allocating per query. Use
+// QueryRectsInto to also amortize the result slice across calls.
 func QueryRects(r Release, specs []RectSpec) ([]float64, error) {
 	return QueryRectsInto(nil, r, specs)
 }
@@ -63,28 +63,38 @@ func QueryRects(r Release, specs []RectSpec) ([]float64, error) {
 // zero. dst may be nil. On error dst is returned truncated to its
 // original length — never with a partial batch appended.
 func QueryRectsInto(dst []float64, r Release, specs []RectSpec) ([]float64, error) {
+	return answerRectsInto(dst, releasePlan(r), r, specs)
+}
+
+// answerRectsInto is the shared 2-D batch core: refuse non-rectangular
+// releases, validate every rectangle against the grid, then answer from
+// the plan when one is compiled, else fall back to per-query Rect calls
+// for external RectQuerier implementations. Store.queryRects snapshots
+// (release, plan) under its shard read lock and calls this outside the
+// lock.
+func answerRectsInto(dst []float64, pl *plan.Plan, r Release, specs []RectSpec) ([]float64, error) {
 	keep := len(dst)
-	rq, ok := r.(RectQuerier)
-	if !ok {
-		return dst[:keep], fmt.Errorf("%w: strategy %v", ErrNotRectangular, r.Strategy())
+	var w, h int
+	var rq RectQuerier
+	if pl != nil && pl.Rectangular() {
+		w, h = pl.Width(), pl.Height()
+	} else {
+		var ok bool
+		rq, ok = r.(RectQuerier)
+		if !ok {
+			return dst[:keep], fmt.Errorf("%w: strategy %v", ErrNotRectangular, r.Strategy())
+		}
+		pl = nil // a 1-D plan answers no rectangles; use the interface
+		w, h = rq.Width(), rq.Height()
 	}
-	w, h := rq.Width(), rq.Height()
 	for i, q := range specs {
 		if q.X0 < 0 || q.Y0 < 0 || q.X1 > w || q.Y1 > h || q.X0 > q.X1 || q.Y0 > q.Y1 {
 			return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, badRect(q.X0, q.Y0, q.X1, q.Y1, w, h))
 		}
 	}
-	if rel, ok := r.(*Universal2DRelease); ok {
-		if sat := rel.sat; sat != nil {
-			stride := rel.grid.Width() + 1
-			for _, q := range specs {
-				dst = append(dst, sat[q.Y1*stride+q.X1]-sat[q.Y0*stride+q.X1]-sat[q.Y1*stride+q.X0]+sat[q.Y0*stride+q.X0])
-			}
-			return dst, nil
-		}
+	if pl != nil {
 		for _, q := range specs {
-			// RectSum answers validated rectangles, empties included (0).
-			dst = append(dst, rel.grid.RectSum(rel.post, q.X0, q.Y0, q.X1, q.Y1))
+			dst = append(dst, pl.Rect(q.X0, q.Y0, q.X1, q.Y1))
 		}
 		return dst, nil
 	}

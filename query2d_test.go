@@ -11,6 +11,8 @@ import (
 	"math/rand/v2"
 	"strings"
 	"testing"
+
+	"github.com/dphist/dphist/internal/plan"
 )
 
 // grid2D builds a deterministic test grid with structure (hotspots over
@@ -40,8 +42,8 @@ func TestRectEqualsSumOfCells(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rel.sat == nil {
-			t.Fatalf("%dx%d: consistent release did not precompute its summed-area table", w, h)
+		if !rel.plan.Consistent() {
+			t.Fatalf("%dx%d: consistent release did not compile a summed-area plan", w, h)
 		}
 		cells := rel.Counts()
 		var specs []RectSpec
@@ -92,7 +94,7 @@ func TestRectDecompositionPathAgreesWithRect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rel.sat != nil {
+	if rel.plan.Consistent() {
 		t.Skip("draw happened to stay consistent; fallback not reachable")
 	}
 	rng := rand.New(rand.NewPCG(7, 7))
@@ -167,9 +169,12 @@ func TestQueryRectsBatchContract(t *testing.T) {
 }
 
 // flakyRect is an external RectQuerier whose Rect fails past a budget of
-// calls — the generic path must hand back a truncated dst.
+// calls — the generic path must hand back a truncated dst. It embeds
+// the RectQuerier *interface* (not the concrete release) so it does not
+// inherit a compiled plan: it models a third-party implementation the
+// batch engine can only reach through Rect.
 type flakyRect struct {
-	*Universal2DRelease
+	RectQuerier
 	calls, failAfter int
 }
 
@@ -178,7 +183,7 @@ func (f *flakyRect) Rect(x0, y0, x1, y1 int) (float64, error) {
 	if f.calls > f.failAfter {
 		return 0, ErrReleaseNotFound
 	}
-	return f.Universal2DRelease.Rect(x0, y0, x1, y1)
+	return f.RectQuerier.Rect(x0, y0, x1, y1)
 }
 
 func TestQueryRectsIntoTruncatesOnMidBatchError(t *testing.T) {
@@ -186,7 +191,7 @@ func TestQueryRectsIntoTruncatesOnMidBatchError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := &flakyRect{Universal2DRelease: rel, failAfter: 2}
+	f := &flakyRect{RectQuerier: rel, failAfter: 2}
 	dst := make([]float64, 0, 16)
 	dst = append(dst, 7, 8)
 	specs := []RectSpec{{X1: 1, Y1: 1}, {X1: 2, Y1: 2}, {X1: 3, Y1: 3}, {X1: 4, Y1: 4}}
@@ -264,12 +269,12 @@ func BenchmarkBatchRect(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if consistent.sat == nil {
-		b.Fatal("consistent release did not precompute its summed-area table")
+	if !consistent.plan.Consistent() {
+		b.Fatal("consistent release did not compile a summed-area plan")
 	}
-	// Force the decomposition path even if this draw happens to leave
+	// Force the decomposition plan even if this draw happens to leave
 	// the default release consistent.
-	fallback.sat = nil
+	fallback.plan = plan.Grid2DOnly(fallback.grid, fallback.post, fallback.cells)
 
 	for _, bench := range []struct {
 		name string

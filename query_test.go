@@ -5,6 +5,8 @@ import (
 	"math/rand/v2"
 	"strings"
 	"testing"
+
+	"github.com/dphist/dphist/internal/plan"
 )
 
 // sixReleases mints one release of every strategy from the given
@@ -101,10 +103,10 @@ func TestUniversalConsistentConfigUsesPrefixPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if consistent.leafPrefix == nil {
-		t.Fatal("exactly-consistent release did not precompute prefix sums")
+	if !consistent.plan.Consistent() {
+		t.Fatal("exactly-consistent release did not compile a prefix plan")
 	}
-	// The prefix path and the tree decomposition must answer alike.
+	// The prefix plan and the tree decomposition must answer alike.
 	for lo := 0; lo <= len(counts); lo += 7 {
 		for hi := lo; hi <= len(counts); hi += 5 {
 			fast, err := consistent.Range(lo, hi)
@@ -225,12 +227,12 @@ func BenchmarkBatchRange(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if consistent.leafPrefix == nil {
-		b.Fatal("consistent release did not precompute prefix sums")
+	if !consistent.plan.Consistent() {
+		b.Fatal("consistent release did not compile a prefix plan")
 	}
-	// Force the decomposition path even if this draw happens to leave
+	// Force the decomposition plan even if this draw happens to leave
 	// the default release consistent.
-	rel.leafPrefix = nil
+	rel.plan = plan.TreeOnly(rel.tree, rel.post, len(rel.leaves))
 
 	for _, bench := range []struct {
 		name string

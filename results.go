@@ -2,17 +2,17 @@ package dphist
 
 import (
 	"fmt"
-	"math"
 	"math/rand/v2"
 
 	"github.com/dphist/dphist/internal/core"
 	"github.com/dphist/dphist/internal/htree"
+	"github.com/dphist/dphist/internal/plan"
 	"github.com/dphist/dphist/internal/wavelet"
 )
 
 // Release is the uniform read side of every private histogram the
-// library can publish. All six strategies produce a Release, so servers,
-// caches, and analysis code can handle them polymorphically:
+// library can publish. All seven strategies produce a Release, so
+// servers, caches, and analysis code can handle them polymorphically:
 //
 //   - Strategy identifies the pipeline that produced the release.
 //   - Epsilon is the privacy cost that was spent on it.
@@ -29,6 +29,11 @@ import (
 // desynchronizes Counts, Range, or Total, and mutating the inputs a
 // release was built from never changes the release.
 //
+// Every in-library release compiles an immutable query plan
+// (internal/plan) at construction and at decode, so Range — and the
+// batch engines QueryBatch/QueryRects built on the plans — answers in
+// O(1) or O(log n) without allocating, for every strategy.
+//
 // Every Release also round-trips through JSON (encoding/json.Marshaler
 // and Unmarshaler); DecodeRelease turns the wire form back into the
 // right concrete type without knowing it in advance.
@@ -40,36 +45,27 @@ type Release interface {
 	Range(lo, hi int) (float64, error)
 }
 
-// All seven release types satisfy the interface, and each advertises its
-// query-domain size to the batch engine (see domainer in query.go).
+// All seven release types satisfy the interface, and each exposes its
+// compiled query plan to the batch engine (see planner in query.go).
 var (
-	_ Release  = (*LaplaceRelease)(nil)
-	_ Release  = (*UnattributedRelease)(nil)
-	_ Release  = (*UniversalRelease)(nil)
-	_ Release  = (*WaveletRelease)(nil)
-	_ Release  = (*DegreeSequenceRelease)(nil)
-	_ Release  = (*HierarchyReleaseResult)(nil)
-	_ Release  = (*Universal2DRelease)(nil)
-	_ domainer = (*LaplaceRelease)(nil)
-	_ domainer = (*UnattributedRelease)(nil)
-	_ domainer = (*UniversalRelease)(nil)
-	_ domainer = (*WaveletRelease)(nil)
-	_ domainer = (*DegreeSequenceRelease)(nil)
-	_ domainer = (*HierarchyReleaseResult)(nil)
-	_ domainer = (*Universal2DRelease)(nil)
+	_ Release = (*LaplaceRelease)(nil)
+	_ Release = (*UnattributedRelease)(nil)
+	_ Release = (*UniversalRelease)(nil)
+	_ Release = (*WaveletRelease)(nil)
+	_ Release = (*DegreeSequenceRelease)(nil)
+	_ Release = (*HierarchyReleaseResult)(nil)
+	_ Release = (*Universal2DRelease)(nil)
+	_ planner = (*LaplaceRelease)(nil)
+	_ planner = (*UnattributedRelease)(nil)
+	_ planner = (*UniversalRelease)(nil)
+	_ planner = (*WaveletRelease)(nil)
+	_ planner = (*DegreeSequenceRelease)(nil)
+	_ planner = (*HierarchyReleaseResult)(nil)
+	_ planner = (*Universal2DRelease)(nil)
 )
 
 func badRange(lo, hi, n int) error {
 	return fmt.Errorf("dphist: bad range [%d,%d) for domain %d", lo, hi, n)
-}
-
-// prefixSums returns the running-sum table of counts, with prefix[0] = 0.
-func prefixSums(counts []float64) []float64 {
-	prefix := make([]float64, len(counts)+1)
-	for i, v := range counts {
-		prefix[i+1] = prefix[i] + v
-	}
-	return prefix
 }
 
 // LaplaceRelease is a flat noisy histogram (the paper's L~).
@@ -78,7 +74,7 @@ type LaplaceRelease struct {
 	Noisy []float64
 
 	counts []float64
-	prefix []float64
+	plan   *plan.Plan
 	eps    float64
 }
 
@@ -88,12 +84,12 @@ func newLaplaceRelease(noisy []float64, round bool, eps float64) *LaplaceRelease
 		core.RoundNonNegInt(final)
 	}
 	// Copy Noisy so the release does not alias the caller's slice:
-	// counts/prefix are derived copies, and a shared Noisy would let
-	// later mutations desynchronize them silently.
+	// counts and the compiled plan are derived copies, and a shared
+	// Noisy would let later mutations desynchronize them silently.
 	return &LaplaceRelease{
 		Noisy:  append([]float64(nil), noisy...),
 		counts: final,
-		prefix: prefixSums(final),
+		plan:   plan.Compile1D(final),
 		eps:    eps,
 	}
 }
@@ -110,7 +106,7 @@ func (r *LaplaceRelease) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
-func (r *LaplaceRelease) domain() int { return len(r.counts) }
+func (r *LaplaceRelease) queryPlan() *plan.Plan { return r.plan }
 
 // Range answers the half-open range-count query [lo, hi) by summing unit
 // estimates; its error grows linearly with hi-lo. The empty range
@@ -119,11 +115,11 @@ func (r *LaplaceRelease) Range(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
-	return r.prefix[hi] - r.prefix[lo], nil
+	return r.plan.Range(lo, hi), nil
 }
 
 // Total returns the estimated number of records.
-func (r *LaplaceRelease) Total() float64 { return r.prefix[len(r.prefix)-1] }
+func (r *LaplaceRelease) Total() float64 { return r.plan.Total() }
 
 // UnattributedRelease is a private unattributed histogram: the multiset
 // of counts, published in non-decreasing order.
@@ -136,7 +132,7 @@ type UnattributedRelease struct {
 	Inferred []float64
 
 	counts []float64
-	prefix []float64
+	plan   *plan.Plan
 	eps    float64
 }
 
@@ -147,7 +143,7 @@ func newUnattributedRelease(noisy, inferred, final []float64, eps float64) *Unat
 		Noisy:    append([]float64(nil), noisy...),
 		Inferred: append([]float64(nil), inferred...),
 		counts:   final,
-		prefix:   prefixSums(final),
+		plan:     plan.Compile1D(final),
 		eps:      eps,
 	}
 }
@@ -165,7 +161,7 @@ func (r *UnattributedRelease) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
-func (r *UnattributedRelease) domain() int { return len(r.counts) }
+func (r *UnattributedRelease) queryPlan() *plan.Plan { return r.plan }
 
 // Range answers the rank-interval query [lo, hi): the estimated sum of
 // the lo-th through (hi-1)-th smallest counts. The empty range lo == hi
@@ -174,11 +170,11 @@ func (r *UnattributedRelease) Range(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
-	return r.prefix[hi] - r.prefix[lo], nil
+	return r.plan.Range(lo, hi), nil
 }
 
 // Total returns the estimated number of records.
-func (r *UnattributedRelease) Total() float64 { return r.prefix[len(r.prefix)-1] }
+func (r *UnattributedRelease) Total() float64 { return r.plan.Total() }
 
 // SortRoundBaseline returns the paper's S~r baseline computed from the
 // same noisy answer: sort and round, without least-squares inference.
@@ -189,15 +185,15 @@ func (r *UnattributedRelease) SortRoundBaseline() []float64 {
 // UniversalRelease is a private universal histogram: a consistent
 // hierarchy of range counts able to answer any interval query.
 //
-// Range queries are answered from the post-processed tree by minimal
-// subtree decomposition. When the non-negativity heuristic is enabled it
-// truncates negative estimates, so the post-processed tree is no longer
-// exactly consistent: Range answers may differ slightly from sums over
-// Counts. The decomposition touches only O(log n) nodes, which keeps the
-// truncation bias bounded independent of range width; summing truncated
-// unit counts instead would accumulate bias linearly in range size. With
-// WithoutNonNegativity and WithoutRounding the tree is exactly
-// consistent, and Range answers from precomputed prefix sums over the
+// Range queries are answered from the compiled query plan. When the
+// non-negativity heuristic is enabled it truncates negative estimates,
+// so the post-processed tree is no longer exactly consistent: Range
+// answers may differ slightly from sums over Counts. The plan then uses
+// minimal subtree decomposition — O(log n) nodes per query, keeping the
+// truncation bias bounded independent of range width, where summing
+// truncated unit counts would accumulate bias linearly in range size.
+// With WithoutNonNegativity and WithoutRounding the tree is exactly
+// consistent, and the plan answers from precomputed prefix sums over the
 // leaves — O(1) per query, bit-identical to sums over Counts.
 type UniversalRelease struct {
 	tree     *htree.Tree
@@ -206,27 +202,21 @@ type UniversalRelease struct {
 	post     []float64 // h-bar after non-negativity and rounding, BFS order
 	leaves   []float64 // published unit estimates over the real domain
 
-	// leafPrefix is the running-sum table over leaves, precomputed at
-	// construction when the post-processed tree is exactly consistent
-	// (no truncation happened, so decomposition and leaf sums agree):
-	// Range then answers in O(1) instead of walking the tree. Nil when
-	// the tree is inconsistent and decomposition is required.
-	leafPrefix []float64
-
-	eps float64
+	plan *plan.Plan
+	eps  float64
 }
 
 func newUniversalRelease(tree *htree.Tree, noisy, inferred, post []float64, eps float64) *UniversalRelease {
 	leaves := append([]float64(nil), tree.Leaves(post)...)
-	r := &UniversalRelease{tree: tree, noisy: noisy, inferred: inferred, post: post, leaves: leaves, eps: eps}
-	// Consistency is checked with a tolerance scaled to the root
-	// magnitude: inference is closed-form floating-point arithmetic, so
-	// "exactly consistent" means equal up to accumulated rounding.
-	tol := 1e-9 * (1 + math.Abs(post[0]))
-	if tree.IsConsistent(post, tol) {
-		r.leafPrefix = prefixSums(leaves)
+	return &UniversalRelease{
+		tree:     tree,
+		noisy:    noisy,
+		inferred: inferred,
+		post:     post,
+		leaves:   leaves,
+		plan:     plan.CompileTree(tree, post, leaves),
+		eps:      eps,
 	}
-	return r
 }
 
 // Strategy returns StrategyUniversal.
@@ -244,7 +234,7 @@ func (r *UniversalRelease) Counts() []float64 {
 // Domain returns the size of the real (unpadded) domain.
 func (r *UniversalRelease) Domain() int { return r.tree.Domain() }
 
-func (r *UniversalRelease) domain() int { return len(r.leaves) }
+func (r *UniversalRelease) queryPlan() *plan.Plan { return r.plan }
 
 // TreeHeight returns the height ell of the underlying query tree; the
 // release used sensitivity ell.
@@ -254,18 +244,14 @@ func (r *UniversalRelease) TreeHeight() int { return r.tree.Height() }
 func (r *UniversalRelease) Branching() int { return r.tree.K() }
 
 // Range answers the half-open range-count query [lo, hi) from the
-// post-processed tree via minimal subtree decomposition (O(log n) nodes,
-// allocation-free), or from the precomputed leaf prefix sums in O(1)
-// when the tree is exactly consistent. The empty range lo == hi
-// answers 0.
+// compiled plan: minimal subtree decomposition (O(log n) nodes,
+// allocation-free), or precomputed leaf prefix sums in O(1) when the
+// tree is exactly consistent. The empty range lo == hi answers 0.
 func (r *UniversalRelease) Range(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.leaves) || lo > hi {
 		return 0, badRange(lo, hi, len(r.leaves))
 	}
-	if r.leafPrefix != nil {
-		return r.leafPrefix[hi] - r.leafPrefix[lo], nil
-	}
-	return r.tree.RangeSum(r.post, lo, hi), nil
+	return r.plan.Range(lo, hi), nil
 }
 
 // RangeNoisy answers [lo, hi) from the raw noisy tree using the paper's
@@ -280,12 +266,7 @@ func (r *UniversalRelease) RangeNoisy(lo, hi int) (float64, error) {
 }
 
 // Total returns the estimated number of records in the real domain.
-func (r *UniversalRelease) Total() float64 {
-	if r.leafPrefix != nil {
-		return r.leafPrefix[len(r.leafPrefix)-1]
-	}
-	return r.tree.RangeSum(r.post, 0, len(r.leaves))
-}
+func (r *UniversalRelease) Total() float64 { return r.plan.Total() }
 
 // NoisyTree returns a copy of the raw noisy hierarchical answer h~ in BFS
 // order (root first).
@@ -303,7 +284,7 @@ func (r *UniversalRelease) InferredTree() []float64 {
 // mechanism (Xiao et al.).
 type WaveletRelease struct {
 	counts []float64
-	prefix []float64
+	plan   *plan.Plan
 	eps    float64
 }
 
@@ -315,7 +296,7 @@ func newWaveletRelease(counts []float64, eps float64, round bool, src *rand.Rand
 	if round {
 		core.RoundNonNegInt(noisy)
 	}
-	return &WaveletRelease{counts: noisy, prefix: prefixSums(noisy), eps: eps}, nil
+	return &WaveletRelease{counts: noisy, plan: plan.Compile1D(noisy), eps: eps}, nil
 }
 
 // Strategy returns StrategyWavelet.
@@ -329,7 +310,7 @@ func (r *WaveletRelease) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
-func (r *WaveletRelease) domain() int { return len(r.counts) }
+func (r *WaveletRelease) queryPlan() *plan.Plan { return r.plan }
 
 // Range answers the half-open range-count query [lo, hi). The empty
 // range lo == hi answers 0.
@@ -337,11 +318,11 @@ func (r *WaveletRelease) Range(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
-	return r.prefix[hi] - r.prefix[lo], nil
+	return r.plan.Range(lo, hi), nil
 }
 
 // Total returns the estimated number of records.
-func (r *WaveletRelease) Total() float64 { return r.prefix[len(r.prefix)-1] }
+func (r *WaveletRelease) Total() float64 { return r.plan.Total() }
 
 // HierarchyReleaseResult is a private answer to a custom constrained
 // query set.
@@ -354,7 +335,7 @@ type HierarchyReleaseResult struct {
 	parent []int // forest shape, parent[i] or -1, for serialization
 	leaves []int // leaf query indices, ascending
 	counts []float64
-	prefix []float64
+	plan   *plan.Plan
 	eps    float64
 }
 
@@ -372,7 +353,7 @@ func newHierarchyReleaseResult(h *core.Hierarchy, noisy, inferred []float64, eps
 		parent:   append([]int(nil), h.Parents()...),
 		leaves:   leaves,
 		counts:   counts,
-		prefix:   prefixSums(counts),
+		plan:     plan.Compile1D(counts),
 		eps:      eps,
 	}
 }
@@ -389,7 +370,7 @@ func (r *HierarchyReleaseResult) Counts() []float64 {
 	return append([]float64(nil), r.counts...)
 }
 
-func (r *HierarchyReleaseResult) domain() int { return len(r.counts) }
+func (r *HierarchyReleaseResult) queryPlan() *plan.Plan { return r.plan }
 
 // Leaves returns the indices of the leaf queries whose answers Counts
 // reports, in ascending order.
@@ -404,9 +385,9 @@ func (r *HierarchyReleaseResult) Range(lo, hi int) (float64, error) {
 	if lo < 0 || hi > len(r.counts) || lo > hi {
 		return 0, badRange(lo, hi, len(r.counts))
 	}
-	return r.prefix[hi] - r.prefix[lo], nil
+	return r.plan.Range(lo, hi), nil
 }
 
 // Total returns the estimated sum of all leaf answers; by consistency
 // this equals the estimated root totals of the constraint forest.
-func (r *HierarchyReleaseResult) Total() float64 { return r.prefix[len(r.prefix)-1] }
+func (r *HierarchyReleaseResult) Total() float64 { return r.plan.Total() }

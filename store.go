@@ -10,28 +10,41 @@ package dphist
 // themselves are immutable, so Store hands out the stored values
 // directly; a query never copies a release.
 //
-// Two scaling axes are built in:
+// Three scaling axes are built in:
 //
-//   - Sharding. Entries hash across N independent shards, each with its
-//     own mutex, so hot Get/Query metadata traffic does not serialize
-//     on one lock. Unbounded stores default to a small shard pool;
-//     capacity-bounded stores default to one shard because exact LRU
-//     ordering is global state (WithShards overrides either way, with
-//     the capacity split per shard).
+//   - Sharding. Entries hash across N independent shards, each behind
+//     its own RWMutex, so hot Get/Query metadata traffic does not
+//     serialize on one lock — and query batches snapshot the release
+//     plus its compiled query plan under a brief read lock and compute
+//     *outside* it, so a 100k-range batch never stalls a Put. Unbounded
+//     stores default to a small shard pool; capacity-bounded stores
+//     default to one shard because exact LRU ordering is global state
+//     (WithShards overrides either way, with the capacity split per
+//     shard).
 //
 //   - Namespaces. Store.Namespace(name) scopes a view onto its own
 //     release keyspace and its own epsilon Accountant, so one store
 //     serves many protected datasets (tenants) with independent budgets.
 //     The plain Store methods are the "default" namespace.
+//
+//   - Answer caching. WithQueryCache bounds a sharded LRU cache of
+//     whole batch answers keyed by (namespace, name, version, specs),
+//     with single-flight stampede protection; entries are invalidated
+//     on Put, Delete, TTL expiry, and capacity eviction, so a cached
+//     answer is always the answer the live release would give.
 
 import (
 	"container/list"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/dphist/dphist/internal/plan"
+	"github.com/dphist/dphist/internal/qcache"
 )
 
 // ErrReleaseNotFound reports a Store lookup under a name that holds no
@@ -128,14 +141,29 @@ func WithBudget(total float64) StoreOption {
 	return func(s *Store) { s.budget = total }
 }
 
+// WithQueryCache enables the sharded answer cache on the store's query
+// paths, bounded to n cached batches per query family (range batches
+// and rectangle batches are cached separately). Cached answers are
+// keyed by (namespace, name, version, spec batch) and invalidated on
+// Put, Delete, TTL expiry, and capacity eviction, so they are always
+// the answers the live release would give; concurrent misses for one
+// batch are collapsed to a single computation. n <= 0 (the default)
+// disables caching.
+func WithQueryCache(n int) StoreOption {
+	return func(s *Store) { s.cacheCap = n }
+}
+
 // defaultShards is the shard count for unbounded stores; capacity-
 // bounded stores default to a single shard so LRU order stays exact.
 const defaultShards = 8
 
 // storeItem is one live entry plus its position in the shard's recency
-// list.
+// list. The compiled query plan rides alongside the release so the
+// query paths can snapshot both under one brief read lock and answer
+// whole batches outside it.
 type storeItem struct {
 	release Release
+	plan    *plan.Plan // nil for external Release implementations
 	entry   StoreEntry
 	elem    *list.Element // element of storeShard.recency; Value is the nsKey
 }
@@ -146,9 +174,12 @@ type nsKey struct {
 	name string
 }
 
-// storeShard is one independently locked slice of the keyspace.
+// storeShard is one independently locked slice of the keyspace. Writers
+// take the write lock; the query/get snapshot path takes only the read
+// lock when no recency bookkeeping is needed, so a slow batch never
+// stalls a Put on the same shard.
 type storeShard struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	items    map[nsKey]*storeItem
 	recency  *list.List    // front = most recently used
 	versions map[nsKey]int // per-key Put counter; survives eviction
@@ -171,11 +202,18 @@ type Store struct {
 	ttl        time.Duration
 	shardCount int
 	budget     float64
+	cacheCap   int // answer-cache bound per query family; 0 = disabled
 	snapEvery  int
 	syncWrites bool
 	now        func() time.Time // injectable clock for tests
 
 	shards []*storeShard
+
+	// The answer caches; nil when caching is disabled. Their locks are
+	// leaves: the cache never calls back into the store, so holding a
+	// shard lock while invalidating is safe.
+	rangeCache *qcache.Cache[[]RangeSpec]
+	rectCache  *qcache.Cache[[]RectSpec]
 
 	acctMu sync.Mutex
 	accts  map[string]*Accountant
@@ -214,6 +252,10 @@ func NewStore(opts ...StoreOption) *Store {
 			recency:  list.New(),
 			versions: make(map[nsKey]int),
 		}
+	}
+	if s.cacheCap > 0 {
+		s.rangeCache = qcache.New(s.cacheCap, slices.Equal[[]RangeSpec], slices.Clone[[]RangeSpec])
+		s.rectCache = qcache.New(s.cacheCap, slices.Equal[[]RectSpec], slices.Clone[[]RectSpec])
 	}
 	return s
 }
@@ -571,10 +613,11 @@ func (s *Store) put(ns, name string, r Release) (StoreEntry, error) {
 	sh.versions[k] = entry.Version
 	if it, ok := sh.items[k]; ok {
 		it.release = r
+		it.plan = releasePlan(r)
 		it.entry = entry
 		sh.recency.MoveToFront(it.elem)
 	} else {
-		sh.items[k] = &storeItem{release: r, entry: entry, elem: sh.recency.PushFront(k)}
+		sh.items[k] = &storeItem{release: r, plan: releasePlan(r), entry: entry, elem: sh.recency.PushFront(k)}
 	}
 	// Capacity evictions are not journaled: they are a cache policy, not
 	// an event, and recovery re-derives them by re-running the bound
@@ -582,6 +625,9 @@ func (s *Store) put(ns, name string, r Release) (StoreEntry, error) {
 	for s.shardCap > 0 && len(sh.items) > s.shardCap {
 		s.removeLocked(sh, sh.recency.Back().Value.(nsKey))
 	}
+	// A re-Put bumps the version, so the old answers are unreachable by
+	// key already; dropping them frees their memory immediately.
+	s.invalidateCached(ns, name)
 	sh.mu.Unlock()
 	if s.jnl != nil {
 		s.opMu.RUnlock()
@@ -592,28 +638,79 @@ func (s *Store) put(ns, name string, r Release) (StoreEntry, error) {
 }
 
 func (s *Store) get(ns, name string) (Release, StoreEntry, bool) {
-	k := nsKey{ns, name}
+	rel, _, entry, ok := s.snapshotLive(nsKey{ns, name})
+	return rel, entry, ok
+}
+
+// snapshotLive returns the live release, its compiled plan, and its
+// metadata under k. On an unbounded store it holds only a brief read
+// lock — no recency or clock bookkeeping — so slow readers never stall
+// writers on the shard; a capacity-bounded store takes the write lock
+// to refresh recency. Expired entries are removed (upgrading to the
+// write lock when needed) and reported as absent.
+func (s *Store) snapshotLive(k nsKey) (Release, *plan.Plan, StoreEntry, bool) {
 	sh := s.shard(k)
+	if s.shardCap == 0 {
+		sh.mu.RLock()
+		it, ok := sh.items[k]
+		var rel Release
+		var pl *plan.Plan
+		var entry StoreEntry
+		expired := false
+		if ok {
+			if s.ttl > 0 && s.expired(it, s.now()) {
+				expired = true
+			} else {
+				rel, pl, entry = it.release, it.plan, it.entry
+			}
+		}
+		sh.mu.RUnlock()
+		if expired {
+			// Upgrade to remove the corpse (and its cached answers); the
+			// re-check guards a racing Put that revived the name.
+			sh.mu.Lock()
+			if it, ok := sh.items[k]; ok && s.expired(it, s.now()) {
+				s.removeLocked(sh, k)
+			}
+			sh.mu.Unlock()
+			return nil, nil, StoreEntry{}, false
+		}
+		if !ok {
+			return nil, nil, StoreEntry{}, false
+		}
+		return rel, pl, entry, true
+	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	it := s.liveLocked(sh, k)
 	if it == nil {
-		return nil, StoreEntry{}, false
+		sh.mu.Unlock()
+		return nil, nil, StoreEntry{}, false
 	}
-	// Recency only drives capacity eviction; an unbounded store skips
-	// the list write, keeping the hot read path to a lock and a lookup.
-	if s.shardCap > 0 {
-		sh.recency.MoveToFront(it.elem)
-	}
-	return it.release, it.entry, true
+	sh.recency.MoveToFront(it.elem)
+	rel, pl, entry := it.release, it.plan, it.entry
+	sh.mu.Unlock()
+	return rel, pl, entry, true
 }
 
 func (s *Store) query(ns, name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
-	rel, entry, ok := s.get(ns, name)
+	// Snapshot under the shard lock, answer outside it: a 100k-range
+	// batch must never block a concurrent Put on the same shard.
+	rel, pl, entry, ok := s.snapshotLive(nsKey{ns, name})
 	if !ok {
 		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
 	}
-	answers, err := QueryBatch(rel, specs)
+	compute := func() ([]float64, error) { return answerRangesInto(nil, pl, rel, specs) }
+	if c := s.rangeCache; c != nil {
+		answers, err := c.Do(qcache.Key{
+			Namespace: ns, Name: name, Version: entry.Version,
+			Hash: hashRangeSpecs(specs), Len: len(specs),
+		}, specs, compute)
+		if err != nil {
+			return nil, entry, err
+		}
+		return answers, entry, nil
+	}
+	answers, err := compute()
 	if err != nil {
 		return nil, entry, err
 	}
@@ -621,15 +718,110 @@ func (s *Store) query(ns, name string, specs []RangeSpec) ([]float64, StoreEntry
 }
 
 func (s *Store) queryRects(ns, name string, specs []RectSpec) ([]float64, StoreEntry, error) {
-	rel, entry, ok := s.get(ns, name)
+	rel, pl, entry, ok := s.snapshotLive(nsKey{ns, name})
 	if !ok {
 		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
 	}
-	answers, err := QueryRects(rel, specs)
+	compute := func() ([]float64, error) { return answerRectsInto(nil, pl, rel, specs) }
+	if c := s.rectCache; c != nil {
+		answers, err := c.Do(qcache.Key{
+			Namespace: ns, Name: name, Version: entry.Version,
+			Hash: hashRectSpecs(specs), Len: len(specs),
+		}, specs, compute)
+		if err != nil {
+			return nil, entry, err
+		}
+		return answers, entry, nil
+	}
+	answers, err := compute()
 	if err != nil {
 		return nil, entry, err
 	}
 	return answers, entry, nil
+}
+
+// hashRangeSpecs fingerprints a range batch with FNV-1a over the spec
+// words. Collisions are harmless — the cache verifies the full batch on
+// every hit — so speed wins over cryptographic strength.
+func hashRangeSpecs(specs []RangeSpec) uint64 {
+	h := uint64(fnvOffset64)
+	for _, q := range specs {
+		h = fnvMix(h, uint64(q.Lo))
+		h = fnvMix(h, uint64(q.Hi))
+	}
+	return h
+}
+
+// hashRectSpecs is hashRangeSpecs for rectangle batches.
+func hashRectSpecs(specs []RectSpec) uint64 {
+	h := uint64(fnvOffset64)
+	for _, q := range specs {
+		h = fnvMix(h, uint64(q.X0))
+		h = fnvMix(h, uint64(q.Y0))
+		h = fnvMix(h, uint64(q.X1))
+		h = fnvMix(h, uint64(q.Y1))
+	}
+	return h
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a state byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// invalidateCached drops every cached answer batch for the release; a
+// no-op when caching is disabled.
+func (s *Store) invalidateCached(ns, name string) {
+	if s.rangeCache != nil {
+		s.rangeCache.Invalidate(ns, name)
+	}
+	if s.rectCache != nil {
+		s.rectCache.Invalidate(ns, name)
+	}
+}
+
+// CacheStats is the answer cache's scorecard across both query
+// families. All fields are zero when caching is disabled (Capacity > 0
+// distinguishes an enabled-but-cold cache from a disabled one).
+type CacheStats struct {
+	// Hits counts batches answered from memory, including callers that
+	// shared another caller's in-flight computation.
+	Hits int64
+	// Misses counts batches that had to be computed from a query plan.
+	Misses int64
+	// Entries is the number of cached batches right now.
+	Entries int
+	// Capacity is the configured bound per query family (WithQueryCache).
+	Capacity int
+}
+
+// CacheStats reports the answer cache's hit/miss counters and
+// occupancy, summed over the range and rectangle families.
+func (s *Store) CacheStats() CacheStats {
+	var out CacheStats
+	if s.rangeCache != nil {
+		st := s.rangeCache.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Entries += st.Entries
+		out.Capacity = st.Capacity
+	}
+	if s.rectCache != nil {
+		st := s.rectCache.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Entries += st.Entries
+	}
+	return out
 }
 
 func (s *Store) list(ns string) []StoreEntry {
@@ -740,8 +932,11 @@ func (s *Store) sweepExpiredLocked(sh *storeShard, now time.Time) {
 	}
 }
 
+// removeLocked drops the entry under k and its cached answers; the
+// cache locks are leaves, so invalidating under the shard lock is safe.
 func (s *Store) removeLocked(sh *storeShard, k nsKey) {
 	it := sh.items[k]
 	sh.recency.Remove(it.elem)
 	delete(sh.items, k)
+	s.invalidateCached(k.ns, k.name)
 }

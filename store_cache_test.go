@@ -1,0 +1,249 @@
+package dphist
+
+// Regression tests for the answer cache's life-cycle contract: a cached
+// batch must die with its release. A Delete, a same-name re-Put
+// (version bump), and a TTL expiry must each stop cached answers from
+// being served — including across an OpenStore kill-and-reopen, where
+// the cache starts cold but versions continue.
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mintTestRelease(t testing.TB, seed uint64) *UniversalRelease {
+	t.Helper()
+	counts := make([]float64, 64)
+	for i := range counts {
+		counts[i] = float64(i % 9)
+	}
+	rel, err := MustNew(WithSeed(seed)).UniversalHistogram(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+var cacheTestSpecs = []RangeSpec{{Lo: 0, Hi: 64}, {Lo: 3, Hi: 41}, {Lo: 63, Hi: 64}}
+
+func TestQueryCacheHitsAndStats(t *testing.T) {
+	s := NewStore(WithQueryCache(32))
+	rel := mintTestRelease(t, 51)
+	if _, err := s.Put("r", rel); err != nil {
+		t.Fatal(err)
+	}
+	want, err := QueryBatch(rel, cacheTestSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, _, err := s.Query("r", cacheTestSpecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("pass %d: answer %d = %v, want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+	st := s.CacheStats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 || st.Capacity != 32 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The 2-D family caches independently.
+	rel2d, err := MustNew(WithSeed(52)).Universal2DHistogram([][]float64{{1, 2}, {3, 4}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("grid", rel2d); err != nil {
+		t.Fatal(err)
+	}
+	rects := []RectSpec{{X0: 0, Y0: 0, X1: 2, Y1: 2}}
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.QueryRects("grid", rects); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = s.CacheStats()
+	if st.Misses != 2 || st.Hits != 3 || st.Entries != 2 {
+		t.Fatalf("stats after 2-D = %+v", st)
+	}
+	// A disabled cache reports zeroes.
+	if st := NewStore().CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("disabled cache stats = %+v", st)
+	}
+}
+
+func TestQueryCacheInvalidatedByRePut(t *testing.T) {
+	s := NewStore(WithQueryCache(32))
+	relA := mintTestRelease(t, 53)
+	relB := mintTestRelease(t, 54) // different noise draw, different answers
+	if _, err := s.Put("r", relA); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query("r", cacheTestSpecs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("r", relB); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Entries != 0 {
+		t.Fatalf("re-Put left %d cached entries alive", st.Entries)
+	}
+	got, entry, err := s.Query("r", cacheTestSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Version != 2 {
+		t.Fatalf("version = %d, want 2", entry.Version)
+	}
+	want, err := QueryBatch(relB, cacheTestSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answer %d = %v, want the re-minted release's %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQueryCacheInvalidatedByDelete(t *testing.T) {
+	s := NewStore(WithQueryCache(32))
+	if _, err := s.Put("r", mintTestRelease(t, 55)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query("r", cacheTestSpecs); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Delete("r") {
+		t.Fatal("delete missed")
+	}
+	if st := s.CacheStats(); st.Entries != 0 {
+		t.Fatalf("delete left %d cached entries alive", st.Entries)
+	}
+	if _, _, err := s.Query("r", cacheTestSpecs); !errors.Is(err, ErrReleaseNotFound) {
+		t.Fatalf("query after delete = %v, want ErrReleaseNotFound", err)
+	}
+}
+
+func TestQueryCacheInvalidatedByTTLExpiry(t *testing.T) {
+	s := NewStore(WithQueryCache(32), WithTTL(time.Hour))
+	now := time.Now()
+	s.now = func() time.Time { return now }
+	if _, err := s.Put("r", mintTestRelease(t, 56)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query("r", cacheTestSpecs); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Entries != 1 {
+		t.Fatalf("entries = %d before expiry", st.Entries)
+	}
+	now = now.Add(2 * time.Hour)
+	if _, _, err := s.Query("r", cacheTestSpecs); !errors.Is(err, ErrReleaseNotFound) {
+		t.Fatalf("query after expiry = %v, want ErrReleaseNotFound", err)
+	}
+	if st := s.CacheStats(); st.Entries != 0 {
+		t.Fatalf("expiry left %d cached entries alive", st.Entries)
+	}
+}
+
+// Capacity eviction is cache-policy, not analyst-visible state, but its
+// cached answers must die with the entry all the same.
+func TestQueryCacheInvalidatedByCapacityEviction(t *testing.T) {
+	s := NewStore(WithCapacity(1), WithQueryCache(32))
+	if _, err := s.Put("a", mintTestRelease(t, 57)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query("a", cacheTestSpecs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("b", mintTestRelease(t, 58)); err != nil { // evicts "a"
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Entries != 0 {
+		t.Fatalf("eviction left %d cached entries alive", st.Entries)
+	}
+	if _, _, err := s.Query("a", cacheTestSpecs); !errors.Is(err, ErrReleaseNotFound) {
+		t.Fatalf("query after eviction = %v, want ErrReleaseNotFound", err)
+	}
+}
+
+// The cache life-cycle contract must hold across a kill-and-reopen: the
+// reopened store starts cold, versions continue, and deletes stay
+// deleted — no cached answer outlives its release.
+func TestQueryCacheAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Store {
+		s, err := OpenStore(filepath.Join(dir, "store"), WithQueryCache(32), WithoutSync())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := open()
+	relA := mintTestRelease(t, 59)
+	if _, err := s.Put("r", relA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("gone", mintTestRelease(t, 60)); err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := s.Query("r", cacheTestSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("gone")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = open()
+	if st := s.CacheStats(); st.Entries != 0 || st.Hits != 0 {
+		t.Fatalf("reopened cache not cold: %+v", st)
+	}
+	got, entry, err := s.Query("r", cacheTestSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Version != 1 {
+		t.Fatalf("recovered version = %d", entry.Version)
+	}
+	for i := range before {
+		if got[i] != before[i] {
+			t.Fatalf("recovered answer %d = %v, pre-crash %v", i, got[i], before[i])
+		}
+	}
+	if _, _, err := s.Query("gone", cacheTestSpecs); !errors.Is(err, ErrReleaseNotFound) {
+		t.Fatalf("deleted release answered after reopen: %v", err)
+	}
+	// A re-Put after reopen continues the version sequence and serves
+	// the new release's answers, not the recovered predecessor's.
+	relB := mintTestRelease(t, 61)
+	if _, err := s.Put("r", relB); err != nil {
+		t.Fatal(err)
+	}
+	got, entry, err = s.Query("r", cacheTestSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Version != 2 {
+		t.Fatalf("post-reopen re-put version = %d, want 2", entry.Version)
+	}
+	want, err := QueryBatch(relB, cacheTestSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-reopen answer %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

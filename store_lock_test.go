@@ -1,0 +1,138 @@
+package dphist
+
+// Regression tests for the shard-lock contract: Store.Query snapshots
+// the release and its compiled plan under a brief read lock and answers
+// the batch entirely outside it, so a slow batch — even one blocked
+// inside an external release's Range — never stalls a concurrent Put
+// on the same shard. Run with -race.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedRelease wraps a release behind the Release *interface* (so no
+// compiled plan is promoted and the batch engine must go through Range)
+// and blocks every Range call until the gate opens, signalling entry.
+type gatedRelease struct {
+	Release
+	entered chan struct{} // closed when Range is first reached
+	gate    chan struct{} // Range blocks until this closes
+	once    sync.Once
+}
+
+func (g *gatedRelease) Range(lo, hi int) (float64, error) {
+	g.once.Do(func() { close(g.entered) })
+	<-g.gate
+	return g.Release.Range(lo, hi)
+}
+
+func TestSlowQueryBatchDoesNotBlockPut(t *testing.T) {
+	rel, err := MustNew(WithSeed(41)).LaplaceHistogram([]float64{1, 2, 3, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &gatedRelease{
+		Release: rel,
+		entered: make(chan struct{}),
+		gate:    make(chan struct{}),
+	}
+	// One shard: the slow release and the concurrent Put share it.
+	s := NewStore(WithShards(1))
+	if _, err := s.Put("slow", slow); err != nil {
+		t.Fatal(err)
+	}
+	queryDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Query("slow", []RangeSpec{{Lo: 0, Hi: 4}, {Lo: 1, Hi: 3}})
+		queryDone <- err
+	}()
+	<-slow.entered // the batch is mid-computation, stuck inside Range
+
+	putDone := make(chan error, 1)
+	go func() {
+		_, err := s.Put("other", rel)
+		putDone <- err
+	}()
+	select {
+	case err := <-putDone:
+		if err != nil {
+			t.Fatalf("Put failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put blocked behind an in-flight query batch on the same shard")
+	}
+	// Gets must stay live too.
+	getDone := make(chan bool, 1)
+	go func() {
+		_, _, ok := s.Get("other")
+		getDone <- ok
+	}()
+	select {
+	case ok := <-getDone:
+		if !ok {
+			t.Fatal("Get missed the freshly put release")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get blocked behind an in-flight query batch on the same shard")
+	}
+
+	close(slow.gate)
+	if err := <-queryDone; err != nil {
+		t.Fatalf("slow query failed: %v", err)
+	}
+}
+
+// The snapshot-then-answer read path and the write path race freely
+// here; -race plus the answer check make silent sharing visible.
+func TestConcurrentQueryAndPutRace(t *testing.T) {
+	counts := make([]float64, 256)
+	for i := range counts {
+		counts[i] = float64(i % 11)
+	}
+	m := MustNew(WithSeed(43), WithoutNonNegativity(), WithoutRounding())
+	rel, err := m.UniversalHistogram(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(WithShards(1), WithQueryCache(32))
+	if _, err := s.Put("hot", rel); err != nil {
+		t.Fatal(err)
+	}
+	specs := []RangeSpec{{Lo: 0, Hi: 256}, {Lo: 10, Hi: 200}, {Lo: 255, Hi: 256}}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The delete/re-put window may legitimately miss.
+				if _, _, err := s.Query("hot", specs); err != nil && !errors.Is(err, ErrReleaseNotFound) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := s.Put("hot", rel); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			s.Delete("hot")
+			if _, err := s.Put("hot", rel); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
