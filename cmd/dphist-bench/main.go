@@ -24,6 +24,9 @@
 //	serving2d release-store batch rectangle-query throughput against 2-D
 //	          releases: summed-area fast path vs quadtree decomposition,
 //	          cached and uncached (engineering)
+//	ingest    streaming write path: sustained events/sec through the
+//	          sharded ingest pipeline at 1, 4, and 16 shards, plus the
+//	          epoch mint latency over the absorbed data (engineering)
 //	reload    durable-store crash recovery time + sharded vs single-mutex
 //	          concurrent Get throughput (engineering)
 //	compare   CI regression gate: fail when any tracked metric in the
@@ -59,6 +62,7 @@ import (
 
 	"github.com/dphist/dphist"
 	"github.com/dphist/dphist/internal/experiments"
+	"github.com/dphist/dphist/internal/ingest"
 )
 
 func main() {
@@ -112,6 +116,7 @@ func main() {
 		"2d":        run2D,
 		"serving":   func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runServing(cfg)) },
 		"serving2d": func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runServing2D(cfg)) },
+		"ingest":    func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runIngest(cfg)) },
 		"reload":    runReload,
 		"verify":    runVerify,
 		"compare":   func(experiments.Config) { runCompare(*baseline, *jsonTo) },
@@ -134,7 +139,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: dphist-bench [flags] <experiment>\n\n")
-	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving serving2d reload compare all\n\n")
+	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving serving2d ingest reload compare all\n\n")
 	flag.PrintDefaults()
 }
 
@@ -719,6 +724,123 @@ func runCompare(baselinePath, candidatePath string) {
 		os.Exit(1)
 	}
 	fmt.Printf("\nall tracked metrics within %.0f%% of baseline\n", compareTolerance*100)
+}
+
+// runIngest measures the streaming write path: sustained events/sec
+// through Ingester.Ingest at 1, 4, and 16 worker shards (8 concurrent
+// producers posting 1024-event batches), then the epoch mint latency
+// over everything absorbed. The epoch interval is set far out so the
+// scheduler stays idle and the timed window is pure pipeline; the
+// window closes after a full drain, so queued-but-unapplied batches
+// cannot inflate the throughput. Mint latency is printed for the eye
+// but only the throughput rows join the BENCH_serving.json gate — a
+// one-shot millisecond-scale mint is too noisy for a 30% tolerance.
+func runIngest(cfg experiments.Config) []servingRow {
+	domain := 1 << 10
+	totalEvents := 1 << 22 // ~4M events per shard count
+	if cfg.Scale == experiments.ScaleSmall {
+		// Still millions of events: the timed window must dwarf scheduler
+		// jitter or the 30% regression gate turns into a coin flip.
+		totalEvents = 1 << 21
+	}
+	const (
+		batchSize = 1024
+		producers = 8
+		streams   = 4
+	)
+	fmt.Printf("== Streaming ingest: %d events per shard count, %d producers, %d-event batches (domain %d) ==\n",
+		totalEvents, producers, batchSize, domain)
+
+	// Pre-built batches so the timed loop measures the pipeline, not the
+	// event generator.
+	batchesPer := totalEvents / (producers * batchSize)
+	batches := make([][]ingest.Event, producers)
+	for p := range batches {
+		evs := make([]ingest.Event, batchSize)
+		for i := range evs {
+			evs[i] = ingest.Event{
+				Stream: "stream-" + strconv.Itoa((p+i)%streams),
+				Bucket: (p*131 + i*17) % domain,
+			}
+		}
+		batches[p] = evs
+	}
+	// One repeat: a fresh pipeline absorbs every batch, then mints.
+	repeat := func(shardCount int) (row servingRow, mint time.Duration) {
+		store := dphist.NewStore(dphist.WithBudget(1e9))
+		in, err := ingest.New(ingest.Config{
+			Store:     store,
+			Mechanism: dphist.MustNew(dphist.WithSeed(cfg.Seed)),
+			Domain:    domain,
+			Epoch:     time.Hour, // scheduler idle; Flush below mints
+			Epsilon:   0.1,
+			Shards:    shardCount,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		in.Start()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for b := 0; b < batchesPer; b++ {
+					if _, err := in.Ingest("bench", batches[p]); err != nil {
+						fatalf("%v", err)
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		mintStart := time.Now()
+		if _, err := in.Flush(); err != nil {
+			fatalf("%v", err)
+		}
+		mint = time.Since(mintStart)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err := in.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		events := producers * batchesPer * batchSize
+		return servingRow{
+			Experiment:      "ingest",
+			Release:         "shards-" + strconv.Itoa(shardCount),
+			Queries:         events,
+			NsPerQuery:      float64(elapsed.Nanoseconds()) / float64(events),
+			QueriesPerSec:   float64(events) / elapsed.Seconds(),
+			AllocsPerQuery:  float64(after.Mallocs-before.Mallocs) / float64(events),
+			ElapsedSeconds:  elapsed.Seconds(),
+			DomainOrSide:    domain,
+			BatchSize:       batchSize,
+			BatchesMeasured: producers * batchesPer,
+		}, mint
+	}
+	var rows []servingRow
+	for _, shardCount := range []int{1, 4, 16} {
+		// Best of three: a concurrent pipeline's throughput is at the
+		// mercy of the scheduler, and the regression gate is one-sided —
+		// keep the fastest repeat, the one closest to what the machine
+		// can actually do.
+		best, bestMint := repeat(shardCount)
+		for r := 1; r < 3; r++ {
+			if row, mint := repeat(shardCount); row.NsPerQuery < best.NsPerQuery {
+				best, bestMint = row, mint
+			}
+		}
+		fmt.Printf("  %2d shards: %d events in %v (%.3g events/sec), epoch mint of %d streams in %v\n",
+			shardCount, best.Queries,
+			time.Duration(best.ElapsedSeconds*float64(time.Second)).Round(time.Millisecond),
+			best.QueriesPerSec, streams, bestMint.Round(time.Millisecond))
+		rows = append(rows, best)
+	}
+	return rows
 }
 
 // runReload measures the two durability costs the paper's serving

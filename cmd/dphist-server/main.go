@@ -33,6 +33,20 @@
 //	                  against an unchanged release answer from memory
 //	                  (invalidated on re-mint, delete, and TTL expiry;
 //	                  hit counters in /v1/stats). 0 disables caching
+//	-epoch D          enable streaming ingest: POST /v1/ingest absorbs
+//	                  event batches and every D (e.g. 10s, 5m) each
+//	                  stream's accumulated histogram is minted as a
+//	                  "<stream>@epoch-<n>" release, charged -ingest-eps
+//	                  from the namespace budget (0 = ingest off)
+//	-window W         also maintain "<stream>@window", the budget-free
+//	                  sum of the last W epochs (0 = off)
+//	-ingest-shards N  ingest worker shards (default 4)
+//	-ingest-domain N  buckets per ingested stream (default -domain)
+//	-ingest-eps F     epsilon charged per epoch mint (default 0.1)
+//	-ingest-strategy S pipeline for epoch releases (default universal)
+//	-live-eps F       enable the continual-count surface at this
+//	                  per-stream epsilon: POST /v1/ingest/live answers
+//	                  private running totals between mints (0 = off)
 //
 // API:
 //
@@ -60,6 +74,14 @@
 //	POST /v1/query2d     {"name":"grid","rects":[{"x0":0,"y0":0,"x1":8,
 //	                      "y1":8},..]} -> rectangle answers against a
 //	                     stored universal2d release (requires -grid)
+//	POST /v1/ingest      {"events":[{"stream":"clicks","bucket":3,
+//	                      "weight":2},..]} -> {"accepted","dropped"};
+//	                     absorbed into the posting namespace's streams
+//	                     and minted on the next epoch tick (requires
+//	                     -epoch)
+//	POST /v1/ingest/live {"stream":"clicks","buckets":[3,7]} ->
+//	                     {"counts":[..]} private running totals between
+//	                     mints (requires -epoch and -live-eps)
 //
 // Every route above also exists namespace-scoped under /v1/ns/{ns}/...,
 // giving each tenant its own release keyspace and epsilon budget; the
@@ -88,6 +110,7 @@ import (
 	"time"
 
 	"github.com/dphist/dphist"
+	"github.com/dphist/dphist/internal/ingest"
 	"github.com/dphist/dphist/internal/server"
 	"github.com/dphist/dphist/internal/table"
 )
@@ -108,6 +131,13 @@ func main() {
 		storeCap   = flag.Int("store-cap", 0, "max stored releases, LRU-evicted past it (0 = unbounded)")
 		storeTTL   = flag.Duration("store-ttl", 0, "stored-release lifetime (0 = forever)")
 		cacheCap   = flag.Int("cache-cap", 1024, "answer-cache capacity per query family (0 = caching off)")
+		epoch      = flag.Duration("epoch", 0, "streaming ingest epoch interval (0 = ingest off)")
+		window     = flag.Int("window", 0, "sliding-window width in epochs (0 = off)")
+		ingShards  = flag.Int("ingest-shards", 4, "ingest worker shards")
+		ingDomain  = flag.Int("ingest-domain", 0, "buckets per ingested stream (0 = -domain)")
+		ingEps     = flag.Float64("ingest-eps", 0.1, "epsilon charged per epoch mint")
+		ingStrat   = flag.String("ingest-strategy", "universal", "pipeline for epoch releases")
+		liveEps    = flag.Float64("live-eps", 0, "per-stream epsilon for the live continual-count surface (0 = off)")
 	)
 	flag.Parse()
 	if *domainSize < 1 {
@@ -146,8 +176,11 @@ func main() {
 		StoreTTL:             *storeTTL,
 		CacheCapacity:        *cacheCap,
 	}
+	// The store is built here (not inside server.New) whenever something
+	// besides the HTTP handler needs to hold it: durability, or an ingest
+	// pipeline minting into the same keyspace.
 	var store *dphist.Store
-	if *dataDir != "" {
+	if *dataDir != "" || *epoch > 0 {
 		opts := []dphist.StoreOption{
 			dphist.WithBudget(*budget),
 			dphist.WithCapacity(*storeCap),
@@ -160,21 +193,61 @@ func main() {
 		if *snapEvery > 0 {
 			opts = append(opts, dphist.WithSnapshotEvery(*snapEvery))
 		}
-		store, err = dphist.OpenStore(*dataDir, opts...)
+		if *dataDir != "" {
+			store, err = dphist.OpenStore(*dataDir, opts...)
+			if err != nil {
+				fatal(err)
+			}
+			// Recovery summary: what the ledger remembers from before.
+			recovered := 0
+			for _, ns := range store.Namespaces() {
+				n := store.Namespace(ns).Len()
+				recovered += n
+				acct := store.Namespace(ns).Accountant()
+				fmt.Fprintf(os.Stderr, "dphist-server: recovered namespace %q: %d releases, eps spent %g of %g\n",
+					ns, n, acct.Spent(), acct.Total())
+			}
+			fmt.Fprintf(os.Stderr, "dphist-server: data dir %s: %d releases recovered\n", *dataDir, recovered)
+		} else {
+			store = dphist.NewStore(opts...)
+		}
+		cfg.Store = store
+	}
+	var ingester *ingest.Ingester
+	if *epoch > 0 {
+		strategy, err := dphist.ParseStrategy(*ingStrat)
+		if err != nil {
+			fatal(fmt.Errorf("-ingest-strategy: %w", err))
+		}
+		domain := *ingDomain
+		if domain == 0 {
+			domain = *domainSize
+		}
+		// A separate mechanism (offset seed) keeps the ingest noise
+		// streams disjoint from the request-serving ones.
+		mech, err := dphist.New(dphist.WithSeed(s+1), dphist.WithBranching(*branching))
 		if err != nil {
 			fatal(err)
 		}
-		cfg.Store = store
-		// Recovery summary: what the ledger remembers from before.
-		recovered := 0
-		for _, ns := range store.Namespaces() {
-			n := store.Namespace(ns).Len()
-			recovered += n
-			acct := store.Namespace(ns).Accountant()
-			fmt.Fprintf(os.Stderr, "dphist-server: recovered namespace %q: %d releases, eps spent %g of %g\n",
-				ns, n, acct.Spent(), acct.Total())
+		ingester, err = ingest.New(ingest.Config{
+			Store:       store,
+			Mechanism:   mech,
+			Domain:      domain,
+			Epoch:       *epoch,
+			Strategy:    strategy,
+			Epsilon:     *ingEps,
+			Window:      *window,
+			Shards:      *ingShards,
+			LiveEpsilon: *liveEps,
+			Seed:        s + 2,
+		})
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "dphist-server: data dir %s: %d releases recovered\n", *dataDir, recovered)
+		ingester.Start()
+		cfg.Ingester = ingester
+		fmt.Fprintf(os.Stderr, "dphist-server: streaming ingest on: epoch %v, window %d, %d shards, eps %g/epoch\n",
+			*epoch, *window, *ingShards, *ingEps)
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -200,6 +273,9 @@ func main() {
 	go func() { serveErr <- httpServer.ListenAndServe() }()
 	select {
 	case err := <-serveErr:
+		if ingester != nil {
+			_ = ingester.Close()
+		}
 		if store != nil {
 			_ = store.Close()
 		}
@@ -212,6 +288,13 @@ func main() {
 	defer cancel()
 	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "dphist-server: drain: %v\n", err)
+	}
+	// The ingester closes before the store: its final partial-epoch mint
+	// must land while the journal still accepts writes.
+	if ingester != nil {
+		if err := ingester.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dphist-server: final epoch flush: %v\n", err)
+		}
 	}
 	if store != nil {
 		if err := store.Close(); err != nil {

@@ -1,0 +1,53 @@
+package dphist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ComposeSum sums the published counts of already-minted releases into
+// one flat histogram release. Because every input is already
+// differentially private, the sum is pure post-processing: no noise is
+// drawn and no budget needs to be charged. The resulting release carries
+// the maximum epsilon of its members — the right bound when the members
+// cover pairwise-disjoint event sets (parallel composition), which is
+// exactly the sliding-window case the ingest engine uses it for: each
+// event lands in one epoch, so a window summing W epoch releases costs
+// no more than the most expensive member. Members drawn from the *same*
+// underlying data compose sequentially instead; there the caller's
+// accountant, which already recorded each member's charge, carries the
+// bound.
+//
+// All members must have the same domain size. The result is served as a
+// flat histogram (StrategyLaplace wire form — position-indexed counts
+// with linear-in-width range error), round-trips through DecodeRelease,
+// and its Counts are exactly the element-wise sum of the members'
+// Counts.
+func ComposeSum(rels ...Release) (Release, error) {
+	if len(rels) == 0 {
+		return nil, errors.New("dphist: ComposeSum of no releases")
+	}
+	var sum []float64
+	maxEps := 0.0
+	for i, r := range rels {
+		if r == nil {
+			return nil, fmt.Errorf("dphist: ComposeSum member %d is nil", i)
+		}
+		counts := r.Counts()
+		if sum == nil {
+			sum = counts // Counts() returned a fresh copy; safe to own
+		} else {
+			if len(counts) != len(sum) {
+				return nil, fmt.Errorf("dphist: ComposeSum member %d has domain %d, want %d",
+					i, len(counts), len(sum))
+			}
+			for j, v := range counts {
+				sum[j] += v
+			}
+		}
+		if eps := r.Epsilon(); eps > maxEps {
+			maxEps = eps
+		}
+	}
+	return newLaplaceRelease(sum, false, maxEps), nil
+}

@@ -1,0 +1,110 @@
+package dphist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestComposeSumValidation(t *testing.T) {
+	if _, err := ComposeSum(); err == nil {
+		t.Error("empty composition accepted")
+	}
+	a := newLaplaceRelease([]float64{1, 2}, false, 0.5)
+	if _, err := ComposeSum(a, nil); err == nil {
+		t.Error("nil member accepted")
+	}
+	b := newLaplaceRelease([]float64{1, 2, 3}, false, 0.5)
+	if _, err := ComposeSum(a, b); err == nil {
+		t.Error("mismatched domains accepted")
+	}
+}
+
+func TestComposeSumExactAndMaxEpsilon(t *testing.T) {
+	a := newLaplaceRelease([]float64{1.5, -2, 0}, false, 0.25)
+	b := newLaplaceRelease([]float64{0.5, 3, 7}, false, 1.0)
+	c := newLaplaceRelease([]float64{1, 1, 1}, false, 0.5)
+	sum, err := ComposeSum(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 8}
+	got := sum.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts %v, want %v", got, want)
+		}
+	}
+	// Parallel composition over disjoint members: max, not sum.
+	if sum.Epsilon() != 1.0 {
+		t.Fatalf("epsilon %v, want max member 1.0", sum.Epsilon())
+	}
+	// The inputs are untouched.
+	if a.Counts()[0] != 1.5 {
+		t.Fatal("composition mutated a member")
+	}
+}
+
+func TestComposeSumRoundTripsWire(t *testing.T) {
+	a := newLaplaceRelease([]float64{4, 5}, false, 0.5)
+	b := newLaplaceRelease([]float64{1, -1}, false, 0.5)
+	sum, err := ComposeSum(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRelease(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Strategy() != StrategyLaplace {
+		t.Fatalf("decoded strategy %v", back.Strategy())
+	}
+	got, want := back.Counts(), sum.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decoded counts %v, want %v", got, want)
+		}
+	}
+	if v, err := back.Range(0, 2); err != nil || v != 9 {
+		t.Fatalf("decoded Range(0,2) = %v, %v; want 9", v, err)
+	}
+}
+
+// TestNamespaceVersion pins the sequence-cursor contract the ingest
+// engine leans on: versions count Puts under a name, survive Delete,
+// and report 0 for names never stored.
+func TestNamespaceVersion(t *testing.T) {
+	store := NewStore()
+	ns := store.Namespace("acme")
+	if v := ns.Version("traffic"); v != 0 {
+		t.Fatalf("unstored name version %d", v)
+	}
+	rel := newLaplaceRelease([]float64{1, 2}, false, 0.5)
+	for want := 1; want <= 3; want++ {
+		if _, err := ns.Put("traffic", rel); err != nil {
+			t.Fatal(err)
+		}
+		if v := ns.Version("traffic"); v != want {
+			t.Fatalf("after put %d: version %d", want, v)
+		}
+	}
+	if !ns.Delete("traffic") {
+		t.Fatal("delete failed")
+	}
+	if v := ns.Version("traffic"); v != 3 {
+		t.Fatalf("version rewound to %d after delete", v)
+	}
+	if _, err := ns.Put("traffic", rel); err != nil {
+		t.Fatal(err)
+	}
+	if v := ns.Version("traffic"); v != 4 {
+		t.Fatalf("re-put after delete: version %d, want 4", v)
+	}
+	// Other namespaces and names are independent cursors.
+	if v := store.Namespace("globex").Version("traffic"); v != 0 {
+		t.Fatal("version leaked across namespaces")
+	}
+}

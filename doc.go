@@ -187,6 +187,27 @@
 // mutex; capacity-bounded stores default to a single shard because
 // exact LRU order is global state.
 //
+// # Streaming ingest and continual release
+//
+// The store serves histograms that exist; internal/ingest is the write
+// path that keeps making them. A sharded pipeline absorbs event streams
+// (each event a (namespace, stream, bucket, weight) arrival) and on an
+// epoch schedule drains its accumulators, minting each stream's
+// histogram as a versioned release — "clicks@epoch-42" — through the
+// same Session path as any other mint: one budget charge per epoch,
+// journaled on a durable store so a restart resumes the epoch sequence
+// exactly, without re-charging. Disjoint epochs compose in parallel, so
+// a sliding window summing the last W epoch releases (ComposeSum) is
+// pure post-processing: "clicks@window" costs nothing and carries the
+// maximum member epsilon, not the sum. Between mints, an optional
+// continual-count surface (internal/stream, the binary mechanism of
+// Chan et al. from Section 6's streaming discussion) answers private
+// running totals per bucket at one extra per-stream charge.
+//
+// ComposeSum is the library-level piece: it sums already-minted
+// releases of equal domain into a flat histogram release, drawing no
+// noise and charging no budget.
+//
 // Baselines from the paper are included for comparison: the
 // sort-and-round estimator S~r (UnattributedRelease.SortRoundBaseline)
 // and the no-inference tree H~ (UniversalRelease.RangeNoisy).

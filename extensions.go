@@ -117,9 +117,13 @@ type Counter struct {
 }
 
 // NewCounter returns a counter for at most horizon arrivals. Noise draws
-// come from the mechanism's next deterministic stream.
+// come from the mechanism's next deterministic stream. The counter
+// retains its full released-estimate history (O(horizon) memory) so
+// SmoothedEstimates can post-process it retrospectively; long-lived
+// ingest pipelines use the history-free counter in internal/ingest,
+// which stays O(log horizon).
 func (m *Mechanism) NewCounter(eps float64, horizon int) (*Counter, error) {
-	c, err := stream.NewCounter(eps, horizon, m.nextStream())
+	c, err := stream.NewCounter(eps, horizon, m.nextStream(), stream.WithEstimateHistory())
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +144,12 @@ func (c *Counter) Horizon() int { return c.inner.Horizon() }
 
 // Estimates returns the history of released estimates, one per arrival.
 func (c *Counter) Estimates() []float64 { return c.inner.Estimates() }
+
+// Last returns the most recently released estimate and the step it was
+// released at (0, 0 before any arrival). It is safe to call concurrently
+// with Feed, so a serving surface can snapshot the live count while the
+// stream keeps arriving.
+func (c *Counter) Last() (estimate float64, step int) { return c.inner.Last() }
 
 // SmoothedEstimates returns the release history projected onto
 // non-decreasing sequences by isotonic regression — valid when

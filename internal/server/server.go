@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"github.com/dphist/dphist"
+	"github.com/dphist/dphist/internal/ingest"
 )
 
 // Config describes the protected dataset and policy.
@@ -106,6 +107,14 @@ type Config struct {
 	// caching. Ignored when Store is set — configure the cache on the
 	// store you pass in.
 	CacheCapacity int
+	// Ingester, when non-nil, enables the streaming write path: POST
+	// /v1/ingest absorbs event batches, POST /v1/ingest/live answers the
+	// continual-count surface, and /v1/stats grows an ingest block. It
+	// must be built over the same Store the server serves from (epoch
+	// releases mint straight into /v1/query's keyspace) and the caller
+	// keeps ownership: Start it before serving, Close it before closing
+	// the store.
+	Ingester *ingest.Ingester
 }
 
 // Server is the HTTP-facing privacy mechanism. Safe for concurrent use.
@@ -294,6 +303,8 @@ func (s *Server) Handler() http.Handler {
 		{"GET /v1/releases", "GET /v1/ns/{ns}/releases", s.handleListReleases},
 		{"POST /v1/query", "POST /v1/ns/{ns}/query", s.handleQuery},
 		{"POST /v1/query2d", "POST /v1/ns/{ns}/query2d", s.handleQuery2D},
+		{"POST /v1/ingest", "POST /v1/ns/{ns}/ingest", s.handleIngest},
+		{"POST /v1/ingest/live", "POST /v1/ns/{ns}/ingest/live", s.handleIngestLive},
 	} {
 		plain, scoped := s.nsHandler(route.fn)
 		mux.HandleFunc(route.plain, plain)
@@ -345,7 +356,16 @@ type statsResponse struct {
 	Durable       bool             `json:"durable"`
 	Requests      requestStats     `json:"requests"`
 	Cache         cacheStats       `json:"cache"`
+	Ingest        ingestStats      `json:"ingest"`
 	Namespaces    []namespaceStats `json:"namespaces"`
+}
+
+// ingestStats is the streaming write path's slice of /v1/stats: the
+// pipeline's cumulative counters, inlined, plus whether it exists at
+// all (every counter is zero on a query-only server).
+type ingestStats struct {
+	Enabled bool `json:"enabled"`
+	ingest.Stats
 }
 
 type requestStats struct {
@@ -393,6 +413,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if total := cs.Hits + cs.Misses; total > 0 {
 		stats.Cache.HitRatio = float64(cs.Hits) / float64(total)
+	}
+	if s.cfg.Ingester != nil {
+		stats.Ingest = ingestStats{Enabled: true, Stats: s.cfg.Ingester.Stats()}
 	}
 	for _, ns := range names {
 		sess, err := s.session(ns)
@@ -785,6 +808,122 @@ func (s *Server) handleQuery2D(w http.ResponseWriter, r *http.Request, ns string
 		Version:   entry.Version,
 		Strategy:  entry.Strategy.String(),
 		Answers:   answers,
+	})
+}
+
+// maxIngestEvents bounds one POST /v1/ingest batch, mirroring
+// maxQueryRanges on the read side: the pipeline absorbs sustained load
+// through many batches, not one unbounded body.
+const maxIngestEvents = 100000
+
+// ingestRequest is the POST /v1/ingest payload: a batch of events for
+// the namespace's streams. Omitted weights count as 1.
+type ingestRequest struct {
+	Events []ingest.Event `json:"events"`
+}
+
+// ingestResponse reports the batch outcome. Dropped events (bucket out
+// of range, bad weight or stream name) are skipped, not fatal: the rest
+// of the batch is absorbed.
+type ingestResponse struct {
+	Namespace string `json:"namespace"`
+	Accepted  int    `json:"accepted"`
+	Dropped   int    `json:"dropped"`
+}
+
+// writeIngestError maps pipeline failures: a closed pipeline is the
+// server shutting down (503), anything else is the caller's request.
+func writeIngestError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, ingest.ErrClosed) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ns string) {
+	if s.cfg.Ingester == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "streaming ingest not configured on this server"})
+		return
+	}
+	var req ingestRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if len(req.Events) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "events is required"})
+		return
+	}
+	if len(req.Events) > maxIngestEvents {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d events exceeds limit %d", len(req.Events), maxIngestEvents)})
+		return
+	}
+	accepted, err := s.cfg.Ingester.Ingest(ns, req.Events)
+	if err != nil {
+		writeIngestError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Namespace: ns,
+		Accepted:  accepted,
+		Dropped:   len(req.Events) - accepted,
+	})
+}
+
+// ingestLiveRequest is the POST /v1/ingest/live payload: which buckets
+// of which stream to read from the continual-count surface.
+type ingestLiveRequest struct {
+	Stream  string `json:"stream"`
+	Buckets []int  `json:"buckets"`
+}
+
+// ingestLiveResponse aligns Counts with the request's Buckets by index:
+// the private running totals since the pipeline started, fresher than
+// the last epoch mint.
+type ingestLiveResponse struct {
+	Namespace string    `json:"namespace"`
+	Stream    string    `json:"stream"`
+	Counts    []float64 `json:"counts"`
+}
+
+func (s *Server) handleIngestLive(w http.ResponseWriter, r *http.Request, ns string) {
+	if s.cfg.Ingester == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "streaming ingest not configured on this server"})
+		return
+	}
+	var req ingestLiveRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if req.Stream == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "stream is required"})
+		return
+	}
+	if len(req.Buckets) > maxQueryRanges {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d buckets exceeds limit %d", len(req.Buckets), maxQueryRanges)})
+		return
+	}
+	counts, err := s.cfg.Ingester.LiveCounts(ns, req.Stream, req.Buckets)
+	if err != nil {
+		if errors.Is(err, ingest.ErrLiveDisabled) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		writeIngestError(w, err)
+		return
+	}
+	s.queryCount.Add(1)
+	if counts == nil {
+		counts = []float64{} // empty batch encodes as [], not null
+	}
+	writeJSON(w, http.StatusOK, ingestLiveResponse{
+		Namespace: ns,
+		Stream:    req.Stream,
+		Counts:    counts,
 	})
 }
 

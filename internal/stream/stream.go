@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/bits"
 	"math/rand/v2"
+	"sync"
 
 	"github.com/dphist/dphist/internal/isotonic"
 	"github.com/dphist/dphist/internal/laplace"
@@ -30,6 +31,18 @@ import (
 // contributes to at most log2(Horizon)+1 blocks, so scaling the noise by
 // that factor yields eps-differential privacy for the whole stream
 // (event-level: neighboring streams differ by 1 in one arrival).
+//
+// A Counter has single-writer semantics: Feed must be called from one
+// goroutine at a time — the dyadic mechanism consumes a serial stream,
+// and interleaved writers would make the arrival order (and therefore
+// the released sequence) nondeterministic. Snapshot reads (Last,
+// Estimates) are safe concurrently with the writer, so a serving layer
+// can answer live-count queries while an ingest worker keeps feeding.
+//
+// Memory stays O(log Horizon) regardless of stream length: the counter
+// retains only the active dyadic blocks. The full released-estimate
+// history — needed for retrospective smoothing, and O(stream length) —
+// is recorded only when the counter is built WithEstimateHistory.
 type Counter struct {
 	eps     float64
 	horizon int
@@ -37,15 +50,33 @@ type Counter struct {
 	src     *rand.Rand
 	noise   laplace.Dist
 
+	// mu guards the mutable stream state below so snapshot readers can
+	// run concurrently with the single writer. It is uncontended on the
+	// hot path (one writer, occasional readers).
+	mu        sync.Mutex
 	t         int       // arrivals consumed so far
 	acc       []float64 // accumulating true partial sum per level
 	active    []float64 // finalized noisy block sum per level (for set bits of t)
-	estimates []float64 // released estimate after each arrival
+	last      float64   // estimate released at step t (0 before any arrival)
+	history   bool      // retain the full estimate sequence
+	estimates []float64 // released estimate after each arrival (history only)
+}
+
+// Option configures a Counter at construction.
+type Option func(*Counter)
+
+// WithEstimateHistory retains every released estimate for retrospective
+// analysis (Estimates, SmoothNonDecreasing). Retention costs O(stream
+// length) memory — one float64 per arrival — so long-lived ingest
+// counters should leave it off; without it the counter stays
+// O(log Horizon) forever and Estimates returns nil.
+func WithEstimateHistory() Option {
+	return func(c *Counter) { c.history = true }
 }
 
 // NewCounter returns a counter for at most horizon arrivals at privacy
 // level eps, drawing noise from src.
-func NewCounter(eps float64, horizon int, src *rand.Rand) (*Counter, error) {
+func NewCounter(eps float64, horizon int, src *rand.Rand, opts ...Option) (*Counter, error) {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("stream: epsilon must be positive and finite, got %v", eps)
 	}
@@ -56,7 +87,7 @@ func NewCounter(eps float64, horizon int, src *rand.Rand) (*Counter, error) {
 		return nil, fmt.Errorf("stream: nil randomness source")
 	}
 	levels := bits.Len(uint(horizon)) // log2(horizon)+1 block levels
-	return &Counter{
+	c := &Counter{
 		eps:     eps,
 		horizon: horizon,
 		levels:  levels,
@@ -64,14 +95,23 @@ func NewCounter(eps float64, horizon int, src *rand.Rand) (*Counter, error) {
 		noise:   laplace.New(0, float64(levels)/eps),
 		acc:     make([]float64, levels+1),
 		active:  make([]float64, levels+1),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
 }
 
 // Horizon returns the maximum number of arrivals.
 func (c *Counter) Horizon() int { return c.horizon }
 
-// Step returns the number of arrivals consumed so far.
-func (c *Counter) Step() int { return c.t }
+// Step returns the number of arrivals consumed so far. Safe to call
+// concurrently with Feed.
+func (c *Counter) Step() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
 
 // NoiseScale returns the Laplace scale applied to each block sum.
 func (c *Counter) NoiseScale() float64 { return float64(c.levels) / c.eps }
@@ -79,13 +119,15 @@ func (c *Counter) NoiseScale() float64 { return float64(c.levels) / c.eps }
 // Feed consumes the next arrival's contribution (how much the tracked
 // count grows at this time step; 1 for simple event counting) and
 // returns the private estimate of the running total. It fails once the
-// horizon is exhausted.
+// horizon is exhausted. Feed is single-writer: see the Counter doc.
 func (c *Counter) Feed(increment float64) (float64, error) {
-	if c.t >= c.horizon {
-		return 0, fmt.Errorf("stream: horizon %d exhausted", c.horizon)
-	}
 	if math.IsNaN(increment) || math.IsInf(increment, 0) {
 		return 0, fmt.Errorf("stream: increment is %v", increment)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.t >= c.horizon {
+		return 0, fmt.Errorf("stream: horizon %d exhausted", c.horizon)
 	}
 	c.t++
 	// The new arrival completes the level-i block ending at t, where i
@@ -107,13 +149,32 @@ func (c *Counter) Feed(increment float64) (float64, error) {
 			est += c.active[j]
 		}
 	}
-	c.estimates = append(c.estimates, est)
+	c.last = est
+	if c.history {
+		c.estimates = append(c.estimates, est)
+	}
 	return est, nil
 }
 
+// Last returns the most recently released running-count estimate and the
+// step it was released at (0, 0 before any arrival). Safe to call
+// concurrently with Feed, so a live serving surface can snapshot the
+// count between arrivals.
+func (c *Counter) Last() (estimate float64, step int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last, c.t
+}
+
 // Estimates returns a copy of the released running-count estimates, one
-// per arrival so far.
+// per arrival so far — nil unless the counter was built
+// WithEstimateHistory. Safe to call concurrently with Feed.
 func (c *Counter) Estimates() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.estimates == nil {
+		return nil
+	}
 	return append([]float64(nil), c.estimates...)
 }
 

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"github.com/dphist/dphist/internal/laplace"
@@ -86,7 +87,7 @@ func TestFeedRejectsBadIncrement(t *testing.T) {
 
 func TestDeterministicGivenSource(t *testing.T) {
 	run := func() []float64 {
-		c, _ := NewCounter(1, 64, laplace.Stream(9, 4))
+		c, _ := NewCounter(1, 64, laplace.Stream(9, 4), WithEstimateHistory())
 		for i := 0; i < 64; i++ {
 			if _, err := c.Feed(1); err != nil {
 				t.Fatal(err)
@@ -139,7 +140,7 @@ func TestSmoothNonDecreasingHelps(t *testing.T) {
 	const horizon, eps, trials = 1024, 0.5, 30
 	var rawSq, smoothSq float64
 	for trial := 0; trial < trials; trial++ {
-		c, err := NewCounter(eps, horizon, laplace.Stream(55, trial))
+		c, err := NewCounter(eps, horizon, laplace.Stream(55, trial), WithEstimateHistory())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,12 +172,101 @@ func TestSmoothNonDecreasingHelps(t *testing.T) {
 }
 
 func TestEstimatesCopy(t *testing.T) {
-	c, _ := NewCounter(1, 4, laplace.NewRand(5, 5))
+	c, _ := NewCounter(1, 4, laplace.NewRand(5, 5), WithEstimateHistory())
 	_, _ = c.Feed(1)
 	e := c.Estimates()
 	e[0] = 1e9
 	if c.Estimates()[0] == 1e9 {
 		t.Fatal("Estimates aliases internal state")
+	}
+}
+
+func TestHistoryOffByDefault(t *testing.T) {
+	c, _ := NewCounter(1, 8, laplace.NewRand(5, 6))
+	for i := 0; i < 4; i++ {
+		if _, err := c.Feed(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Estimates(); got != nil {
+		t.Fatalf("history-free counter returned %d estimates, want nil", len(got))
+	}
+	if est, step := c.Last(); step != 4 || est == 0 {
+		// est == 0 exactly is astronomically unlikely with noise drawn.
+		t.Fatalf("Last() = (%v, %d), want a noisy estimate at step 4", est, step)
+	}
+}
+
+// TestLongStreamMemoryStaysLogarithmic is the regression test for the
+// unbounded-estimates leak: a multi-million-step ingest counter must
+// retain only its O(log horizon) dyadic block state, never a per-arrival
+// history.
+func TestLongStreamMemoryStaysLogarithmic(t *testing.T) {
+	const horizon = 1 << 22 // 4M steps
+	c, err := NewCounter(1.0, horizon, laplace.NewRand(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0.0
+	for i := 0; i < horizon; i++ {
+		truth++
+		if _, err := c.Feed(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.estimates != nil {
+		t.Fatalf("history-free counter accumulated %d estimates", len(c.estimates))
+	}
+	wantLen := c.levels + 1 // O(log horizon) dyadic blocks
+	if len(c.acc) != wantLen || len(c.active) != wantLen {
+		t.Fatalf("block state grew: acc %d, active %d, want %d", len(c.acc), len(c.active), wantLen)
+	}
+	if est, step := c.Last(); step != horizon || math.Abs(est-truth) > 0.01*truth {
+		t.Fatalf("after %d steps Last() = (%v, %d), truth %v", horizon, est, step, truth)
+	}
+}
+
+// TestConcurrentSnapshotWhileFeeding enforces the ingest contract under
+// the race detector: one writer drives Feed (single-writer semantics)
+// while concurrent readers snapshot Last, Step, and Estimates.
+func TestConcurrentSnapshotWhileFeeding(t *testing.T) {
+	const horizon = 1 << 14
+	c, err := NewCounter(1.0, horizon, laplace.NewRand(8, 8), WithEstimateHistory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				est, step := c.Last()
+				if step > 0 && est == 0 && step > horizon {
+					t.Error("impossible snapshot")
+				}
+				if hist := c.Estimates(); len(hist) > horizon {
+					t.Errorf("history of %d estimates past horizon %d", len(hist), horizon)
+				}
+				_ = c.Step()
+			}
+		}()
+	}
+	for i := 0; i < horizon; i++ {
+		if _, err := c.Feed(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if est, step := c.Last(); step != horizon || est == 0 {
+		t.Fatalf("final snapshot (%v, %d)", est, step)
 	}
 }
 

@@ -477,6 +477,20 @@ func (n *Namespace) Len() int {
 	return n.s.length(n.name)
 }
 
+// Version returns the name's current Put counter in this namespace — the
+// number of times the name has ever been stored — or 0 if it never was.
+// Unlike Get, it answers for names whose releases were deleted, evicted,
+// or TTL-expired: version counters deliberately outlive their entries
+// (and, on a durable store, the process), which lets sequence-structured
+// writers such as the ingest engine's epoch scheduler resume exactly
+// where a previous process stopped.
+func (n *Namespace) Version(name string) int {
+	if n.err != nil {
+		return 0
+	}
+	return n.s.version(n.name, name)
+}
+
 // Mint issues the request through the session and retains the result
 // under name in this namespace; semantics follow Store.Mint. On an
 // errored view nothing is charged and nothing is released.
@@ -870,6 +884,15 @@ func (s *Store) delete(ns, name string) bool {
 	}
 	s.maybeSnapshot()
 	return true
+}
+
+func (s *Store) version(ns, name string) int {
+	k := nsKey{ns, name}
+	sh := s.shard(k)
+	sh.mu.RLock()
+	v := sh.versions[k]
+	sh.mu.RUnlock()
+	return v
 }
 
 func (s *Store) length(ns string) int {
