@@ -115,6 +115,19 @@ func (a *Accountant) restore(c Charge) {
 	a.log = append(a.log, c)
 }
 
+// resetCharges clears the accountant's recorded history in place, for a
+// replica bootstrap that replaces the whole store state: the snapshot
+// about to be restored carries the authoritative expenditure. The
+// accountant object itself survives (rather than being replaced) so
+// callers that cached the pointer — server sessions, dashboards — keep
+// observing the live ledger.
+func (a *Accountant) resetCharges() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent = 0
+	a.log = nil
+}
+
 // rawSpent returns the unclamped accumulator and the number of recorded
 // charges, for the durable store's snapshots: persisting the raw value
 // keeps the admission tolerance window exhausted across restarts.

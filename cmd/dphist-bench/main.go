@@ -29,6 +29,11 @@
 //	          epoch mint latency over the absorbed data (engineering)
 //	reload    durable-store crash recovery time + sharded vs single-mutex
 //	          concurrent Get throughput (engineering)
+//	replication
+//	          cluster mode: replication-log ship throughput into a
+//	          follower, live apply lag, and read fan-out throughput
+//	          through the consistent-hash router at 1, 2, and 4
+//	          replicas (engineering)
 //	compare   CI regression gate: fail when any tracked metric in the
 //	          -json candidate regresses >30% against -baseline
 //	verify    live scorecard of every reproducible paper claim
@@ -48,10 +53,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
@@ -61,8 +70,11 @@ import (
 	"time"
 
 	"github.com/dphist/dphist"
+	"github.com/dphist/dphist/internal/cluster"
 	"github.com/dphist/dphist/internal/experiments"
 	"github.com/dphist/dphist/internal/ingest"
+	"github.com/dphist/dphist/internal/replica"
+	"github.com/dphist/dphist/internal/server"
 )
 
 func main() {
@@ -117,9 +129,12 @@ func main() {
 		"serving":   func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runServing(cfg)) },
 		"serving2d": func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runServing2D(cfg)) },
 		"ingest":    func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runIngest(cfg)) },
-		"reload":    runReload,
-		"verify":    runVerify,
-		"compare":   func(experiments.Config) { runCompare(*baseline, *jsonTo) },
+		"replication": func(cfg experiments.Config) {
+			writeServingJSON(*jsonTo, cfg.Seed, *scale, runReplication(cfg))
+		},
+		"reload":  runReload,
+		"verify":  runVerify,
+		"compare": func(experiments.Config) { runCompare(*baseline, *jsonTo) },
 	}
 	name := flag.Arg(0)
 	if name == "all" {
@@ -139,7 +154,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: dphist-bench [flags] <experiment>\n\n")
-	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving serving2d ingest reload compare all\n\n")
+	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving serving2d ingest reload replication compare all\n\n")
 	flag.PrintDefaults()
 }
 
@@ -838,6 +853,237 @@ func runIngest(cfg experiments.Config) []servingRow {
 			shardCount, best.Queries,
 			time.Duration(best.ElapsedSeconds*float64(time.Second)).Round(time.Millisecond),
 			best.QueriesPerSec, streams, bestMint.Round(time.Millisecond))
+		rows = append(rows, best)
+	}
+	return rows
+}
+
+// runReplication measures cluster mode end to end: how fast the
+// replication log ships a primary's minted state into a follower over
+// HTTP (records/sec through snapshot + stream + Apply), how far a live
+// follower trails a minting primary (printed, not gated — it is a
+// latency, not a throughput), and what read fan-out through the
+// consistent-hash router buys as replicas are added.
+func runReplication(cfg experiments.Config) []servingRow {
+	domain := 256
+	mints := 4096
+	routerBatches := 1200
+	if cfg.Scale == experiments.ScaleSmall {
+		mints = 1024
+		routerBatches = 400
+	}
+	const (
+		batchSize = 64 // ranges per query batch through the router
+		clients   = 4
+		liveMints = 32
+	)
+	fmt.Printf("== Cluster mode: ship %d releases (%d journal records, domain %d), then route %d-range batches ==\n",
+		mints, 2*mints, domain, batchSize)
+
+	counts := make([]float64, domain)
+	for i := range counts {
+		counts[i] = float64(i % 23)
+	}
+	dir, err := os.MkdirTemp("", "dphist-repl-")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(dir)
+	// The journal must outlive the mint loop uncompacted so the ship
+	// measurement streams every record instead of bootstrapping.
+	primary, err := dphist.OpenStore(dir, dphist.WithBudget(1e9), dphist.WithoutSync(),
+		dphist.WithSnapshotEvery(1<<30))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer primary.Close()
+	for i := 0; i < mints; i++ {
+		ns := primary.Namespace(fmt.Sprintf("tenant-%d", i%4))
+		session, err := ns.Session(dphist.MustNew(dphist.WithSeed(cfg.Seed + uint64(i))))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if _, _, err := ns.Mint(session, fmt.Sprintf("rel-%d", i/4), dphist.Request{
+			Strategy: dphist.StrategyUniversal, Counts: counts, Epsilon: 0.001}); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	srv, err := server.New(server.Config{
+		Counts: counts, Store: primary, Seed: cfg.Seed, ReplPollWindow: 200 * time.Millisecond,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pts := httptest.NewServer(srv.Handler())
+	defer pts.Close()
+
+	waitApplied := func(f *dphist.Store, target uint64) {
+		for f.AppliedSeq() < target {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	// ship: one follower converging from empty measures the full pipe —
+	// NDJSON encode on the primary, decode + Apply on the follower.
+	ship := func() (*dphist.Store, *replica.Tailer, servingRow) {
+		f := dphist.NewReplica(dphist.WithBudget(1e9))
+		tailer, err := replica.New(replica.Config{Primary: pts.URL, Store: f, Retry: 50 * time.Millisecond})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		target := primary.JournalSeq()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		startTime := time.Now()
+		tailer.Start()
+		waitApplied(f, target)
+		elapsed := time.Since(startTime)
+		runtime.ReadMemStats(&after)
+		records := int(target)
+		return f, tailer, servingRow{
+			Experiment:      "replication",
+			Release:         "ship",
+			Queries:         records,
+			NsPerQuery:      float64(elapsed.Nanoseconds()) / float64(records),
+			QueriesPerSec:   float64(records) / elapsed.Seconds(),
+			AllocsPerQuery:  float64(after.Mallocs-before.Mallocs) / float64(records),
+			ElapsedSeconds:  elapsed.Seconds(),
+			DomainOrSide:    domain,
+			BatchSize:       1,
+			BatchesMeasured: records,
+		}
+	}
+	followers := make([]*dphist.Store, 4)
+	var rows []servingRow
+	var bestShip servingRow
+	for i := range followers {
+		f, tailer, row := ship()
+		// Four followers are built anyway; keep the fastest ship as the
+		// gated row (same one-sided-gate reasoning as the router windows).
+		if i == 0 || row.NsPerQuery < bestShip.NsPerQuery {
+			bestShip = row
+		}
+		if i == 0 {
+			// Live apply lag: per-mint propagation latency while the first
+			// follower keeps tailing.
+			var worst, total time.Duration
+			for m := 0; m < liveMints; m++ {
+				ns := primary.Namespace("tenant-0")
+				session, err := ns.Session(dphist.MustNew(dphist.WithSeed(cfg.Seed + uint64(mints+m))))
+				if err != nil {
+					fatalf("%v", err)
+				}
+				startTime := time.Now()
+				if _, _, err := ns.Mint(session, fmt.Sprintf("live-%d", m), dphist.Request{
+					Strategy: dphist.StrategyUniversal, Counts: counts, Epsilon: 0.001}); err != nil {
+					fatalf("%v", err)
+				}
+				waitApplied(f, primary.JournalSeq())
+				lag := time.Since(startTime)
+				total += lag
+				if lag > worst {
+					worst = lag
+				}
+			}
+			fmt.Printf("  apply lag over %d live mints: mean %v, worst %v (not gated)\n",
+				liveMints, (total / liveMints).Round(time.Microsecond), worst.Round(time.Microsecond))
+		}
+		// The follower store keeps serving after its tailer stops; later
+		// followers converge to a frontier that now includes the live mints.
+		tailer.Close()
+		followers[i] = f
+	}
+	fmt.Printf("  ship: %d records in %v (%.3g records/sec)\n", bestShip.Queries,
+		time.Duration(bestShip.ElapsedSeconds*float64(time.Second)).Round(time.Millisecond), bestShip.QueriesPerSec)
+	rows = append(rows, bestShip)
+
+	// Router fan-out: the same query batch mix pushed through the router
+	// by concurrent clients, over 1, 2, and 4 replicas of one shard.
+	followerURLs := make([]string, len(followers))
+	for i, f := range followers {
+		fs, err := server.New(server.Config{Store: f, Follower: true, Seed: cfg.Seed})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fts := httptest.NewServer(fs.Handler())
+		defer fts.Close()
+		followerURLs[i] = fts.URL
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 29))
+	specs := make([]dphist.RangeSpec, batchSize)
+	for i := range specs {
+		lo := rng.IntN(domain)
+		specs[i] = dphist.RangeSpec{Lo: lo, Hi: lo + 1 + rng.IntN(domain-lo)}
+	}
+	body, err := json.Marshal(map[string]any{"name": "rel-0", "ranges": specs})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, replicas := range []int{1, 2, 4} {
+		ring, err := cluster.NewRing([]cluster.Shard{
+			{Primary: pts.URL, Replicas: followerURLs[:replicas]},
+		}, 0)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rts := httptest.NewServer(cluster.NewRouter(ring, nil).Handler())
+		post := func() {
+			resp, err := http.Post(rts.URL+"/v1/ns/tenant-0/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				data, _ := io.ReadAll(resp.Body)
+				fatalf("router query: HTTP %d: %s", resp.StatusCode, data)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		post() // warm up connections before the timed windows
+		round := func() servingRow {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			startTime := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for b := 0; b < routerBatches/clients; b++ {
+						post()
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(startTime)
+			runtime.ReadMemStats(&after)
+			queries := (routerBatches / clients) * clients * batchSize
+			return servingRow{
+				Experiment:      "replication",
+				Release:         "router-replicas-" + strconv.Itoa(replicas),
+				Queries:         queries,
+				NsPerQuery:      float64(elapsed.Nanoseconds()) / float64(queries),
+				QueriesPerSec:   float64(queries) / elapsed.Seconds(),
+				AllocsPerQuery:  float64(after.Mallocs-before.Mallocs) / float64(queries),
+				ElapsedSeconds:  elapsed.Seconds(),
+				DomainOrSide:    domain,
+				BatchSize:       batchSize,
+				BatchesMeasured: queries / batchSize,
+			}
+		}
+		// Best of three, like the ingest pipeline: a 4-client HTTP loop is
+		// at the scheduler's mercy and the gate is one-sided.
+		best := round()
+		for r := 1; r < 3; r++ {
+			if row := round(); row.NsPerQuery < best.NsPerQuery {
+				best = row
+			}
+		}
+		rts.Close()
+		fmt.Printf("  router, %d replica(s): %d queries in %v (%.3g queries/sec)\n",
+			replicas, best.Queries,
+			time.Duration(best.ElapsedSeconds*float64(time.Second)).Round(time.Millisecond), best.QueriesPerSec)
 		rows = append(rows, best)
 	}
 	return rows

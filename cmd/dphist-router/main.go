@@ -1,0 +1,111 @@
+// Command dphist-router fronts a dphist cluster: it consistently
+// hashes namespaces across primary shards and fans reads out over each
+// shard's replicas, retrying the next replica on failure, so the read
+// path scales with replica count while every write still lands on
+// exactly one primary.
+//
+// Usage:
+//
+//	dphist-router -addr :8090 \
+//	    -shard http://primary-a:8080,http://replica-a1:8081,http://replica-a2:8082 \
+//	    -shard http://primary-b:8080,http://replica-b1:8081
+//
+// Each -shard is a comma-separated list: the primary's base URL first,
+// then any replicas (started with dphist-server -follow=<primary>).
+// The router exposes the same public API as dphist-server — clients
+// point at the router and need not know the topology. /healthz and
+// /v1/stats are answered by the router itself; /v1/stats reports the
+// shard table and retry counters.
+//
+// The router holds no histogram state and spends no privacy budget:
+// replication ships already-noised releases, so adding routers or
+// replicas never touches epsilon.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/dphist/dphist/internal/cluster"
+)
+
+// shardFlags collects repeatable -shard values.
+type shardFlags []cluster.Shard
+
+func (f *shardFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, sh := range *f {
+		parts[i] = strings.Join(append([]string{sh.Primary}, sh.Replicas...), ",")
+	}
+	return strings.Join(parts, " ")
+}
+
+func (f *shardFlags) Set(v string) error {
+	urls := strings.Split(v, ",")
+	for i := range urls {
+		urls[i] = strings.TrimSpace(urls[i])
+		if urls[i] == "" {
+			return fmt.Errorf("empty URL in shard %q", v)
+		}
+	}
+	*f = append(*f, cluster.Shard{Primary: urls[0], Replicas: urls[1:]})
+	return nil
+}
+
+func main() {
+	var shards shardFlags
+	addr := flag.String("addr", ":8090", "listen address")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = 64)")
+	timeout := flag.Duration("backend-timeout", 30*time.Second, "per-request backend timeout")
+	flag.Var(&shards, "shard", "primaryURL[,replicaURL,...] — repeat once per shard (required)")
+	flag.Parse()
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "dphist-router: at least one -shard is required")
+		os.Exit(2)
+	}
+	ring, err := cluster.NewRing(shards, *vnodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dphist-router: %v\n", err)
+		os.Exit(2)
+	}
+	router := cluster.NewRouter(ring, &http.Client{Timeout: *timeout})
+	replicas := 0
+	for _, sh := range ring.Shards() {
+		replicas += len(sh.Replicas)
+	}
+	fmt.Fprintf(os.Stderr, "dphist-router: routing %d shards (%d replicas) on %s\n",
+		len(ring.Shards()), replicas, *addr)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second, // above the backend timeout: a slow backend answers, not a torn proxy
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "dphist-router: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "dphist-router: shutting down, draining requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dphist-router: drain: %v\n", err)
+	}
+}

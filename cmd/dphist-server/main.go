@@ -47,6 +47,14 @@
 //	-live-eps F       enable the continual-count surface at this
 //	                  per-stream epsilon: POST /v1/ingest/live answers
 //	                  private running totals between mints (0 = off)
+//	-follow URL       run as a read replica of the primary at URL: no
+//	                  dataset is loaded, minting and ingest are refused
+//	                  (403), and the store is fed by tailing the
+//	                  primary's replication log (GET /v1/repl/stream).
+//	                  With -data-dir the replica persists shipped state
+//	                  and resumes the stream where it stopped; replicas
+//	                  serve every read route bit-identically to the
+//	                  primary. See also cmd/dphist-router
 //
 // API:
 //
@@ -111,6 +119,7 @@ import (
 
 	"github.com/dphist/dphist"
 	"github.com/dphist/dphist/internal/ingest"
+	"github.com/dphist/dphist/internal/replica"
 	"github.com/dphist/dphist/internal/server"
 	"github.com/dphist/dphist/internal/table"
 )
@@ -138,8 +147,21 @@ func main() {
 		ingEps     = flag.Float64("ingest-eps", 0.1, "epsilon charged per epoch mint")
 		ingStrat   = flag.String("ingest-strategy", "universal", "pipeline for epoch releases")
 		liveEps    = flag.Float64("live-eps", 0, "per-stream epsilon for the live continual-count surface (0 = off)")
+		follow     = flag.String("follow", "", "run as a read replica of this primary's base URL (no dataset, no minting)")
 	)
 	flag.Parse()
+	if *follow != "" {
+		// A follower loads no dataset and mints nothing: every flag that
+		// shapes the protected counts or the write path is meaningless,
+		// and silently accepting them would hide a misconfiguration.
+		if *epoch > 0 {
+			fmt.Fprintln(os.Stderr, "dphist-server: -epoch cannot be combined with -follow (ingest belongs on the primary)")
+			os.Exit(2)
+		}
+		runFollower(*follow, *addr, *budget, *seed, *branching,
+			*dataDir, *shards, *snapEvery, *storeCap, *storeTTL, *cacheCap)
+		return
+	}
 	if *domainSize < 1 {
 		fmt.Fprintln(os.Stderr, "dphist-server: -domain is required and must be positive")
 		os.Exit(2)
@@ -300,6 +322,114 @@ func main() {
 		if err := store.Close(); err != nil {
 			fatal(fmt.Errorf("final snapshot: %w", err))
 		}
+		fmt.Fprintln(os.Stderr, "dphist-server: final snapshot flushed")
+	}
+}
+
+// runFollower runs the process as a read replica: an (optionally
+// durable) replica store fed by a replication tailer, served through a
+// follower-mode server that refuses writes with 403. Blocks until
+// SIGINT/SIGTERM, then stops the tailer BEFORE closing the store.
+func runFollower(primary, addr string, budget float64, seed uint64, branching int,
+	dataDir string, shards, snapEvery, storeCap int, storeTTL time.Duration, cacheCap int) {
+	if !(budget > 0) || math.IsInf(budget, 0) {
+		fmt.Fprintf(os.Stderr, "dphist-server: -budget %v must be positive and finite\n", budget)
+		os.Exit(2)
+	}
+	opts := []dphist.StoreOption{
+		dphist.WithBudget(budget),
+		dphist.WithCapacity(storeCap),
+		dphist.WithTTL(storeTTL),
+		dphist.WithQueryCache(cacheCap),
+	}
+	if shards > 0 {
+		opts = append(opts, dphist.WithShards(shards))
+	}
+	if snapEvery > 0 {
+		opts = append(opts, dphist.WithSnapshotEvery(snapEvery))
+	}
+	var store *dphist.Store
+	var err error
+	if dataDir != "" {
+		store, err = dphist.OpenReplica(dataDir, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dphist-server: follower data dir %s: resuming at primary seq %d\n",
+			dataDir, store.AppliedSeq())
+	} else {
+		store = dphist.NewReplica(opts...)
+	}
+	tailer, err := replica.New(replica.Config{
+		Primary: primary,
+		Store:   store,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dphist-server: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	s := seed
+	if s == 0 {
+		s = uint64(time.Now().UnixNano())
+	}
+	srv, err := server.New(server.Config{
+		Store:     store,
+		Follower:  true,
+		Seed:      s,
+		Branching: branching,
+		ReplStats: func() server.ReplicationStatus {
+			st := tailer.Stats()
+			return server.ReplicationStatus{
+				State:          st.State,
+				PrimarySeq:     st.PrimarySeq,
+				RecordsApplied: st.RecordsApplied,
+				Snapshots:      st.Snapshots,
+				Errors:         st.Errors,
+				LastError:      st.LastError,
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	tailer.Start()
+	fmt.Fprintf(os.Stderr, "dphist-server: following %s, read-only API on %s\n", primary, addr)
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		tailer.Close()
+		_ = store.Close()
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "dphist-server: shutting down, draining requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dphist-server: drain: %v\n", err)
+	}
+	// The tailer closes before the store — the read-side mirror of the
+	// ingester-before-store rule above: Close joins the streaming
+	// goroutine, so no half-applied record can race the final snapshot.
+	tailer.Close()
+	if err := store.Close(); err != nil {
+		fatal(fmt.Errorf("final snapshot: %w", err))
+	}
+	if store.Dir() != "" {
 		fmt.Fprintln(os.Stderr, "dphist-server: final snapshot flushed")
 	}
 }

@@ -208,6 +208,40 @@
 // releases of equal domain into a flat histogram release, drawing no
 // noise and charging no budget.
 //
+// # Cluster mode: replication and read fan-out
+//
+// The write-ahead log, read forward, is a complete recipe for becoming
+// the store that wrote it — so cluster mode promotes it to a
+// replication log. NewReplica (in-memory) and OpenReplica (durable)
+// open a read-only follower store whose only mutator is Apply: it
+// admits primary-sequenced journal records in order, routing each
+// through the same code path boot recovery uses, and refuses local
+// writes with ErrReadOnly. The internal/replica tailer feeds it over
+// HTTP — bootstrapping from GET /v1/repl/snapshot, then long-polling
+// GET /v1/repl/stream?from=seq for NDJSON records — and converges to a
+// bit-identical replica: same noisy answers, same version counters,
+// same Spent() to the last float bit. JournalSeq, AppliedSeq, and
+// SnapshotSeq expose the frontiers on both sides; /v1/stats reports
+// them plus replication_lag_records, so lag is a subtraction, not a
+// guess. A torn tail in a shipped chunk is discarded and re-polled
+// exactly like boot recovery truncating a torn WAL record; a corrupt
+// or gap-sequence record fails the tailer loudly and permanently — a
+// replica that cannot prove it mirrors the ledger refuses to drift
+// silently. If the primary has compacted past the follower's cursor
+// the stream answers 410 and the tailer re-bootstraps from a fresh
+// snapshot.
+//
+// internal/cluster adds the read fan-out: a consistent-hash ring maps
+// namespaces to shards (stable under shard addition and removal), and
+// a reverse-proxy router (cmd/dphist-router) pins writes to each
+// shard's primary while rotating reads across its replicas, failing
+// over to the next replica — and finally the primary — on connection
+// errors or 5xx. Replication is privacy-neutral: the log ships
+// already-noised releases and ledger charges, nothing is
+// re-randomized on replay, and adding replicas or routers changes
+// where a fixed release is served from, never how many times epsilon
+// is spent.
+//
 // Baselines from the paper are included for comparison: the
 // sort-and-round estimator S~r (UnattributedRelease.SortRoundBaseline)
 // and the no-inference tree H~ (UniversalRelease.RangeNoisy).

@@ -1,0 +1,356 @@
+// Package cluster scales the read path horizontally: a consistent-hash
+// ring assigns each namespace to one primary shard, and a Router
+// exposes the public read API, fanning reads out across that shard's
+// replicas with retry-next-replica on failure. Releases are immutable
+// once minted and replication ships them already noised, so replicas
+// need no coordination to serve bit-identical answers — the router
+// only has to pick a live one.
+//
+// Routing rules:
+//
+//   - The namespace is taken from the /v1/ns/{ns}/ path segment
+//     (default namespace otherwise) and hashed onto the ring; all
+//     traffic for one namespace lands on one shard.
+//   - Reads — every GET, plus POST bodies to .../query and
+//     .../query2d — rotate across the shard's replicas, falling back
+//     to the primary last, and retry the next candidate on a transport
+//     error or 5xx. 4xx answers are the caller's problem and are
+//     never retried.
+//   - Everything else (minting, ingest, deletes, /v1/repl/*) goes to
+//     the primary only: writes must not be retried blindly, and only
+//     the primary can accept them.
+//
+// The router holds no histogram state and spends no budget; it can be
+// restarted freely and run in multiple copies behind one load
+// balancer.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Shard is one primary and its read replicas.
+type Shard struct {
+	// Name labels the shard in stats; empty defaults to the primary URL.
+	Name string `json:"name"`
+	// Primary is the primary server's base URL.
+	Primary string `json:"primary"`
+	// Replicas are the base URLs of the shard's followers; may be empty,
+	// in which case the primary serves its own reads.
+	Replicas []string `json:"replicas"`
+}
+
+// defaultVnodes is how many ring points each shard gets when NewRing is
+// given 0: enough that namespace keyspace splits stay within a few
+// percent of even for small clusters.
+const defaultVnodes = 64
+
+// ringPoint is one virtual node: a hash position owned by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring consistently hashes namespaces across shards: each shard owns
+// vnodes pseudo-random points on a 64-bit circle, and a namespace
+// belongs to the shard owning the first point at or after its hash.
+// Adding or removing one shard moves only ~1/n of the namespaces.
+// Immutable after construction; safe for concurrent use.
+type Ring struct {
+	shards []Shard
+	points []ringPoint
+}
+
+// NewRing builds a ring over the given shards with vnodes points per
+// shard (0 means 64).
+func NewRing(shards []Shard, vnodes int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &Ring{
+		shards: append([]Shard(nil), shards...),
+		points: make([]ringPoint, 0, len(shards)*vnodes),
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		if sh.Primary == "" {
+			return nil, fmt.Errorf("cluster: shard %d has no primary", i)
+		}
+		for _, addr := range append([]string{sh.Primary}, sh.Replicas...) {
+			u, err := url.Parse(addr)
+			if err != nil || u.Scheme == "" || u.Host == "" {
+				return nil, fmt.Errorf("cluster: %q is not an absolute URL", addr)
+			}
+		}
+		sh.Primary = strings.TrimRight(sh.Primary, "/")
+		for j, rep := range sh.Replicas {
+			sh.Replicas[j] = strings.TrimRight(rep, "/")
+		}
+		if sh.Name == "" {
+			sh.Name = sh.Primary
+		}
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  fnvHash(fmt.Sprintf("%s#%d", sh.Primary, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard // deterministic on (unlikely) ties
+	})
+	return r, nil
+}
+
+// Shard returns the shard owning the namespace.
+func (r *Ring) Shard(ns string) *Shard {
+	h := fnvHash(ns)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point the circle starts over
+	}
+	return &r.shards[r.points[i].shard]
+}
+
+// Shards returns the ring's shards in construction order.
+func (r *Ring) Shards() []Shard { return r.shards }
+
+// fnvHash is FNV-1a over the string — the same cheap non-cryptographic
+// hash the store uses for shard selection.
+func fnvHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime64
+	}
+	return h
+}
+
+// maxProxyBody caps buffered request bodies, matching the backend
+// server's own request cap: the router buffers bodies so a failed read
+// can be replayed against the next replica.
+const maxProxyBody = 4 << 20
+
+// Router is the http.Handler fronting a ring. Safe for concurrent use.
+type Router struct {
+	ring   *Ring
+	client *http.Client
+	start  time.Time
+
+	rr        atomic.Uint64 // round-robin cursor for replica rotation
+	reqTotal  atomic.Int64
+	reqErrors atomic.Int64
+	retries   atomic.Int64 // candidate failures that moved to the next one
+}
+
+// NewRouter returns a router over the ring. A nil client uses a
+// default with a 30-second timeout — bounded, unlike
+// http.DefaultClient, so one hung backend cannot pin router goroutines
+// forever — and a deep idle-connection pool per backend: a router
+// funnels many concurrent clients onto few hosts, where the standard
+// transport's 2 idle connections per host would churn TCP setup on
+// every burst.
+func NewRouter(ring *Ring, client *http.Client) *Router {
+	if client == nil {
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		transport.MaxIdleConnsPerHost = 64
+		client = &http.Client{Timeout: 30 * time.Second, Transport: transport}
+	}
+	return &Router{ring: ring, client: client, start: time.Now()}
+}
+
+// namespaceOf extracts the namespace a request addresses from its
+// path: the {ns} segment of /v1/ns/{ns}/..., the default namespace
+// otherwise. The segment is percent-unescaped the same way the
+// backend's route matching does, so both sides hash the same name.
+func namespaceOf(path string) string {
+	const prefix = "/v1/ns/"
+	if !strings.HasPrefix(path, prefix) {
+		return "default"
+	}
+	seg, _, _ := strings.Cut(path[len(prefix):], "/")
+	if ns, err := url.PathUnescape(seg); err == nil {
+		return ns
+	}
+	return seg
+}
+
+// isFanoutRead reports whether the request may be served by any
+// replica: every GET/HEAD except the replication surface (which only
+// the primary's own log can answer authoritatively), plus the POST
+// query bodies — reads in write clothing.
+func isFanoutRead(r *http.Request) bool {
+	if strings.HasPrefix(r.URL.Path, "/v1/repl/") {
+		return false
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		return true
+	case http.MethodPost:
+		return strings.HasSuffix(r.URL.Path, "/query") || strings.HasSuffix(r.URL.Path, "/query2d")
+	}
+	return false
+}
+
+// Handler returns the router's routes: the shard proxy for everything,
+// with /healthz and /v1/stats answered locally.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "router"})
+	})
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("/", rt.route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.reqTotal.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(rec, r)
+		if rec.status >= 400 {
+			rt.reqErrors.Add(1)
+		}
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// Flush lets proxied streaming responses (a primary's replication
+// stream fetched through the router) keep flowing record by record
+// instead of buffering until the backend hangs up.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// routerStats is the router's own GET /v1/stats payload.
+type routerStats struct {
+	Role          string  `json:"role"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      struct {
+		Total   int64 `json:"total"`
+		Errors  int64 `json:"errors"`
+		Retries int64 `json:"retries"`
+	} `json:"requests"`
+	Shards []Shard `json:"shards"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := routerStats{
+		Role:          "router",
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Shards:        rt.ring.Shards(),
+	}
+	stats.Requests.Total = rt.reqTotal.Load()
+	stats.Requests.Errors = rt.reqErrors.Load()
+	stats.Requests.Retries = rt.retries.Load()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// route picks the shard for the request's namespace and proxies:
+// fan-out reads walk the replica rotation (primary last), everything
+// else goes to the primary alone.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+	shard := rt.ring.Shard(namespaceOf(r.URL.Path))
+	var candidates []string
+	if isFanoutRead(r) && len(shard.Replicas) > 0 {
+		// Rotate the starting replica per request so load spreads, keep
+		// the primary as the candidate of last resort.
+		start := int(rt.rr.Add(1)-1) % len(shard.Replicas)
+		for i := 0; i < len(shard.Replicas); i++ {
+			candidates = append(candidates, shard.Replicas[(start+i)%len(shard.Replicas)])
+		}
+		candidates = append(candidates, shard.Primary)
+	} else {
+		candidates = []string{shard.Primary}
+	}
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading request body: " + err.Error()})
+			return
+		}
+	}
+	var lastErr error
+	for i, target := range candidates {
+		if i > 0 {
+			rt.retries.Add(1)
+		}
+		served, err := rt.forward(w, r, target, body)
+		if served {
+			return
+		}
+		lastErr = err
+	}
+	writeJSON(w, http.StatusBadGateway, map[string]string{
+		"error": fmt.Sprintf("all %d candidates failed, last: %v", len(candidates), lastErr),
+	})
+}
+
+// forward proxies the request to one backend. It reports served=true
+// once any bytes have been committed to the client — after that a
+// failure cannot be retried — and served=false with the error when the
+// candidate failed cleanly (transport error or 5xx) before commitment.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, target string, body []byte) (served bool, err error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set("Accept", r.Header.Get("Accept"))
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		// A sick backend: drain enough to reuse the connection and let
+		// the caller try the next candidate.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false, fmt.Errorf("%s answered HTTP %d", target, resp.StatusCode)
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,277 @@
+package cluster
+
+// Ring and router tests: hashing determinism and coverage, fan-out
+// with retry-next-replica, write pinning to the primary, and the
+// 4xx-pass-through rule.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRingDeterminismAndCoverage(t *testing.T) {
+	shards := []Shard{
+		{Primary: "http://a:8080", Replicas: []string{"http://a1:8081"}},
+		{Primary: "http://b:8080"},
+		{Primary: "http://c:8080"},
+	}
+	r1, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		ns := fmt.Sprintf("tenant-%d", i)
+		sh := r1.Shard(ns)
+		if sh2 := r2.Shard(ns); sh2.Primary != sh.Primary {
+			t.Fatalf("ns %q: ring1 → %s, ring2 → %s", ns, sh.Primary, sh2.Primary)
+		}
+		hits[sh.Primary]++
+	}
+	if len(hits) != len(shards) {
+		t.Fatalf("only %d of %d shards own namespaces: %v", len(hits), len(shards), hits)
+	}
+	for primary, n := range hits {
+		// 64 vnodes keeps splits loose but no shard should be starved or
+		// hog the keyspace.
+		if n < 300 || n > 2000 {
+			t.Fatalf("shard %s owns %d of 3000 namespaces, wildly uneven: %v", primary, n, hits)
+		}
+	}
+	// A namespace's shard only moves if its owner changed: removing one
+	// shard must not reshuffle everything.
+	r3, err := NewRing(shards[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 3000; i++ {
+		ns := fmt.Sprintf("tenant-%d", i)
+		before, after := r1.Shard(ns), r3.Shard(ns)
+		if before.Primary != after.Primary {
+			if before.Primary != "http://c:8080" {
+				t.Fatalf("ns %q moved from surviving shard %s to %s", ns, before.Primary, after.Primary)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removing a shard moved no namespaces")
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]Shard{{Primary: "not-a-url"}}, 0); err == nil {
+		t.Fatal("relative primary URL accepted")
+	}
+	if _, err := NewRing([]Shard{{Primary: "http://a", Replicas: []string{"nope"}}}, 0); err == nil {
+		t.Fatal("relative replica URL accepted")
+	}
+}
+
+// backend is a scripted upstream that records which paths hit it.
+type backend struct {
+	ts   *httptest.Server
+	hits atomic.Int64
+	fail atomic.Bool // when set, answer 500
+}
+
+func newBackend(t *testing.T, label string) *backend {
+	t.Helper()
+	b := &backend{}
+	b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.hits.Add(1)
+		if b.fail.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		if strings.HasSuffix(r.URL.Path, "/missing") {
+			http.Error(w, "no such release", http.StatusNotFound)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"served_by": label, "method": r.Method, "path": r.URL.Path, "body_len": len(body),
+		})
+	}))
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+func routerFor(t *testing.T, primary *backend, replicas ...*backend) (*Router, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, b := range replicas {
+		urls[i] = b.ts.URL
+	}
+	ring, err := NewRing([]Shard{{Primary: primary.ts.URL, Replicas: urls}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(ring, nil)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+func servedBy(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var out struct {
+		ServedBy string `json:"served_by"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ServedBy
+}
+
+func TestRouterFanoutAndFailover(t *testing.T) {
+	primary := newBackend(t, "primary")
+	rep1, rep2 := newBackend(t, "rep1"), newBackend(t, "rep2")
+	rt, ts := routerFor(t, primary, rep1, rep2)
+
+	// Healthy fan-out: reads spread across the replicas, never the primary.
+	served := map[string]int{}
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(ts.URL + "/v1/releases/traffic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		served[servedBy(t, resp)]++
+	}
+	if served["primary"] != 0 || served["rep1"] == 0 || served["rep2"] == 0 {
+		t.Fatalf("healthy fan-out hit %v", served)
+	}
+
+	// One replica dies: reads keep succeeding via retry-next.
+	rep1.fail.Store(true)
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get(ts.URL + "/v1/releases/traffic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if by := servedBy(t, resp); by != "rep2" {
+			t.Fatalf("with rep1 sick, served by %q", by)
+		}
+	}
+	if rt.retries.Load() == 0 {
+		t.Fatal("failover happened with no retry counted")
+	}
+
+	// Both replicas die: the primary is the candidate of last resort.
+	rep2.fail.Store(true)
+	resp, err := http.Get(ts.URL + "/v1/releases/traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if by := servedBy(t, resp); by != "primary" {
+		t.Fatalf("with all replicas sick, served by %q", by)
+	}
+
+	// Everything dies: 502 naming the failure.
+	primary.fail.Store(true)
+	resp, err = http.Get(ts.URL + "/v1/releases/traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("all backends sick: HTTP %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestRouterWritesPinToPrimary(t *testing.T) {
+	primary := newBackend(t, "primary")
+	rep := newBackend(t, "rep")
+	_, ts := routerFor(t, primary, rep)
+	for _, path := range []string{"/v1/releases", "/v1/ingest", "/v1/ns/tenant-a/releases"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(`{"x":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if by := servedBy(t, resp); by != "primary" {
+			t.Fatalf("POST %s served by %q, want primary", path, by)
+		}
+	}
+	// POST query bodies are reads in write clothing: they fan out.
+	resp, err := http.Post(ts.URL+"/v1/releases/traffic/query", "application/json", strings.NewReader(`{"ranges":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if by := servedBy(t, resp); by != "rep" {
+		t.Fatalf("POST query served by %q, want the replica", by)
+	}
+	if rep.hits.Load() != 1 || primary.hits.Load() != 3 {
+		t.Fatalf("hit split rep=%d primary=%d", rep.hits.Load(), primary.hits.Load())
+	}
+}
+
+func TestRouterDoesNotRetry4xx(t *testing.T) {
+	primary := newBackend(t, "primary")
+	rep := newBackend(t, "rep")
+	rt, ts := routerFor(t, primary, rep)
+	resp, err := http.Get(ts.URL + "/v1/releases/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HTTP %d, want the backend's 404 passed through", resp.StatusCode)
+	}
+	if got := rt.retries.Load(); got != 0 {
+		t.Fatalf("a 4xx answer was retried %d times", got)
+	}
+	if primary.hits.Load() != 0 {
+		t.Fatal("a 4xx fan-out read leaked to the primary")
+	}
+}
+
+func TestRouterLocalEndpoints(t *testing.T) {
+	primary := newBackend(t, "primary")
+	_, ts := routerFor(t, primary)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats routerStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Role != "router" || len(stats.Shards) != 1 {
+		t.Fatalf("router stats = %+v", stats)
+	}
+	if primary.hits.Load() != 0 {
+		t.Fatal("/v1/stats was proxied instead of answered locally")
+	}
+}
+
+func TestNamespaceOf(t *testing.T) {
+	for path, want := range map[string]string{
+		"/v1/releases/traffic":     "default",
+		"/v1/budget":               "default",
+		"/v1/ns/tenant-a/releases": "tenant-a",
+		"/v1/ns/tenant-a/budget":   "tenant-a",
+		"/v1/ns/sp%20ace/releases": "sp ace",
+		"/v1/ns/solo":              "solo",
+	} {
+		if got := namespaceOf(path); got != want {
+			t.Fatalf("namespaceOf(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -1,9 +1,11 @@
-// Package journal is the durability layer under the release store: an
-// append-only log of store events (put/delete/charge) plus atomically
-// replaced snapshots. The privacy argument makes this more than an
-// availability feature — minting a release spends epsilon permanently,
-// so a process that forgets what it has spent can be tricked into
-// spending it again. The journal's contract is therefore asymmetric:
+// Package journal is the durability layer under the release store — and,
+// since the log carries every store event in commit order, also its
+// replication layer: an append-only log of store events
+// (put/delete/charge) plus atomically replaced snapshots. The privacy
+// argument makes this more than an availability feature — minting a
+// release spends epsilon permanently, so a process that forgets what it
+// has spent can be tricked into spending it again. The journal's
+// contract is therefore asymmetric:
 //
 //   - An event is acknowledged only after its record is on disk (and,
 //     by default, fsynced). A crash can lose at most the record being
@@ -33,6 +35,17 @@
 // drop every record after it). The payload for a put carries the
 // release in the self-describing v2 wire format, so a journal is
 // readable by anything that speaks dphist.DecodeRelease.
+//
+// As a replication log the journal adds three capabilities on top of
+// the same framing: ReadFrom serves the suffix of the log at or after a
+// sequence number (ErrCompacted when that suffix was folded into a
+// snapshot, telling the reader to bootstrap from the snapshot instead),
+// Updated hands out a broadcast channel closed on the next append so
+// tailing readers can long-poll without spinning, and AppendRecord
+// writes a record that already carries its sequence number — the
+// follower side of the pipe, persisting shipped records under the
+// primary's numbering so a replica's recovery point is a primary
+// sequence.
 package journal
 
 import (
@@ -80,6 +93,11 @@ var ErrCorrupt = errors.New("journal: corrupt record")
 
 // ErrClosed reports an append to a closed journal.
 var ErrClosed = errors.New("journal: closed")
+
+// ErrCompacted reports a ReadFrom floor that predates the log: the
+// requested records were folded into a snapshot and discarded, so a
+// replica asking for them must bootstrap from the snapshot instead.
+var ErrCompacted = errors.New("journal: sequence compacted into snapshot")
 
 const (
 	headerSize = 12
@@ -175,9 +193,12 @@ func WithSync(sync bool) Option {
 // WithBaseSeq floors the sequence numbering: the first append is
 // assigned at least base+1. Callers replaying on top of a snapshot pass
 // the snapshot's sequence so numbering stays monotone across a write-
-// ahead log that was reset after the snapshot.
+// ahead log that was reset after the snapshot. The base also marks the
+// compaction horizon for ReadFrom: sequences at or below it live only
+// in the snapshot.
 func WithBaseSeq(base uint64) Option {
 	return func(j *Journal) {
+		j.baseSeq = base
 		if j.nextSeq <= base {
 			j.nextSeq = base + 1
 		}
@@ -191,8 +212,18 @@ type Journal struct {
 	mu      sync.Mutex
 	f       *os.File
 	nextSeq uint64
+	baseSeq uint64 // sequences <= baseSeq live only in the snapshot
 	sync    bool
 	broken  error
+	watch   chan struct{} // closed on the next append; see Updated
+
+	// readFrom/readOff memoize where the last ReadFrom stopped: when the
+	// next call asks for exactly readFrom, scanning resumes at byte
+	// readOff instead of the file start, so a tailing replica pays for
+	// the new suffix only, not the whole log on every wake. Appends only
+	// extend the file past readOff; truncation (resetLocked) clears it.
+	readFrom uint64
+	readOff  int64
 }
 
 // Open reads the log at path (creating it if absent), delivers every
@@ -245,29 +276,127 @@ func Open(path string, fn func(Record) error, opts ...Option) (*Journal, error) 
 func (j *Journal) Append(rec Record) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	rec.Seq = j.nextSeq
+	if err := j.appendLocked(rec); err != nil {
+		return 0, err
+	}
+	return rec.Seq, nil
+}
+
+// AppendRecord writes a record that already carries its sequence number
+// — a replication shipment from a primary — preserving that numbering
+// so the local log stays addressable by primary sequence. The sequence
+// must advance past everything already in the log; numbering continues
+// from it, so Append and AppendRecord can interleave only monotonically.
+func (j *Journal) AppendRecord(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if rec.Seq < j.nextSeq {
+		return fmt.Errorf("journal: shipped sequence %d does not advance past %d", rec.Seq, j.nextSeq-1)
+	}
+	return j.appendLocked(rec)
+}
+
+// appendLocked frames and writes rec (whose Seq the caller has set),
+// fsyncs under the sync policy, advances nextSeq past it, and wakes
+// tailing readers. Caller holds j.mu.
+func (j *Journal) appendLocked(rec Record) error {
 	if j.f == nil {
-		return 0, ErrClosed
+		return ErrClosed
 	}
 	if j.broken != nil {
-		return 0, fmt.Errorf("journal: unusable after earlier write failure: %w", j.broken)
+		return fmt.Errorf("journal: unusable after earlier write failure: %w", j.broken)
 	}
-	rec.Seq = j.nextSeq
 	frame, err := Marshal(rec)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	if _, err := j.f.Write(frame); err != nil {
 		j.broken = err
-		return 0, err
+		return err
 	}
 	if j.sync {
 		if err := j.f.Sync(); err != nil {
 			j.broken = err
-			return 0, err
+			return err
 		}
 	}
-	j.nextSeq++
-	return rec.Seq, nil
+	j.nextSeq = rec.Seq + 1
+	if j.watch != nil {
+		close(j.watch)
+		j.watch = nil
+	}
+	return nil
+}
+
+// Updated returns a channel that is closed by the next successful
+// append (or by Close, so waiters never hang on a dead log). Tailing
+// readers grab the channel, read the log suffix, and block on the
+// channel only if the read came up empty — taking the channel before
+// reading closes the race where a record lands in between.
+func (j *Journal) Updated() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		closed := make(chan struct{})
+		close(closed)
+		return closed
+	}
+	if j.watch == nil {
+		j.watch = make(chan struct{})
+	}
+	return j.watch
+}
+
+// ReadFrom returns every record in the log with sequence >= from, in
+// order. A from at or below the compaction horizon fails with
+// ErrCompacted — those records were folded into a snapshot and the
+// reader must bootstrap from it. The read scans the on-disk log, so it
+// sees exactly what a recovery would and shares Scan's corruption
+// guarantees; a tailing reader that advances from one call to the next
+// resumes at the memoized file offset and pays only for the new
+// suffix, keeping per-wake streaming cost independent of log size.
+func (j *Journal) ReadFrom(from uint64) ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil, ErrClosed
+	}
+	if from <= j.baseSeq {
+		return nil, fmt.Errorf("%w: sequence %d is at or below horizon %d", ErrCompacted, from, j.baseSeq)
+	}
+	info, err := j.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	var start int64
+	if j.readOff > 0 && from == j.readFrom && j.readOff <= info.Size() {
+		start = j.readOff // resume the previous tail scan
+	}
+	data := make([]byte, info.Size()-start)
+	if len(data) > 0 {
+		if _, err := j.f.ReadAt(data, start); err != nil {
+			return nil, err
+		}
+	}
+	var out []Record
+	_, valid, err := Scan(data, func(rec Record) error {
+		if rec.Seq >= from {
+			out = append(out, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		j.readFrom, j.readOff = 0, 0
+		return nil, err
+	}
+	j.readOff = start + int64(valid)
+	if len(out) > 0 {
+		j.readFrom = out[len(out)-1].Seq + 1
+	} else {
+		j.readFrom = from
+	}
+	return out, nil
 }
 
 // NextSeq returns the sequence number the next append will be assigned.
@@ -280,10 +409,33 @@ func (j *Journal) NextSeq() uint64 {
 // Reset discards the log's contents after its events have been folded
 // into a durable snapshot. Sequence numbering continues from where it
 // was, so records appended after the reset still sort after the
-// snapshot's sequence.
+// snapshot's sequence — which becomes the new compaction horizon:
+// ReadFrom now refuses the discarded range with ErrCompacted.
 func (j *Journal) Reset() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.resetLocked(j.nextSeq - 1)
+}
+
+// Rebase discards the log's contents and jumps the sequence numbering
+// past base — the follower side of snapshot bootstrap: after loading a
+// primary snapshot taken at base, the replica's log restarts empty with
+// base as its compaction horizon, ready for shipped records at base+1.
+func (j *Journal) Rebase(base uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.resetLocked(base); err != nil {
+		return err
+	}
+	if j.nextSeq <= base {
+		j.nextSeq = base + 1
+	}
+	return nil
+}
+
+// resetLocked truncates the file and sets the compaction horizon.
+// Caller holds j.mu.
+func (j *Journal) resetLocked(base uint64) error {
 	if j.f == nil {
 		return ErrClosed
 	}
@@ -296,10 +448,13 @@ func (j *Journal) Reset() error {
 		return err
 	}
 	j.broken = nil
+	j.baseSeq = base
+	j.readFrom, j.readOff = 0, 0 // the memoized offset died with the bytes
 	return nil
 }
 
-// Close syncs and closes the log file. Further appends return ErrClosed.
+// Close syncs and closes the log file. Further appends return ErrClosed,
+// and any reader blocked on Updated is woken to observe the closure.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -309,6 +464,10 @@ func (j *Journal) Close() error {
 	syncErr := j.f.Sync()
 	closeErr := j.f.Close()
 	j.f = nil
+	if j.watch != nil {
+		close(j.watch)
+		j.watch = nil
+	}
 	if syncErr != nil {
 		return syncErr
 	}

@@ -1,0 +1,193 @@
+package journal
+
+// Tests for the replication-log surface: seq-addressed reads with a
+// compaction horizon, preserved-sequence appends on the follower side,
+// and the append broadcast that tailing readers long-poll on.
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestReadFrom(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, j := collect(t, path)
+	defer j.Close()
+	appendN(t, j, 5)
+
+	recs, err := j.ReadFrom(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Seq != 1 || recs[4].Seq != 5 {
+		t.Fatalf("ReadFrom(1) = %d records, seqs %v..%v", len(recs), recs[0].Seq, recs[len(recs)-1].Seq)
+	}
+	recs, err = j.ReadFrom(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 4 {
+		t.Fatalf("ReadFrom(4) = %+v", recs)
+	}
+	// Past the end: empty, not an error — the caller long-polls.
+	recs, err = j.ReadFrom(6)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("ReadFrom(6) = %d records, err %v", len(recs), err)
+	}
+}
+
+// TestReadFromTailResume exercises the memoized tail offset: a reader
+// advancing call by call (the streaming handler's access pattern) must
+// see exactly the appended suffix each time, interleaved with
+// non-resuming reads and appends, and survive a Reset.
+func TestReadFromTailResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, j := collect(t, path)
+	defer j.Close()
+	appendN(t, j, 3)
+	from := uint64(1)
+	read := func(wantSeqs ...uint64) {
+		t.Helper()
+		recs, err := j.ReadFrom(from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != len(wantSeqs) {
+			t.Fatalf("ReadFrom(%d) = %d records, want %d", from, len(recs), len(wantSeqs))
+		}
+		for i, want := range wantSeqs {
+			if recs[i].Seq != want {
+				t.Fatalf("ReadFrom(%d)[%d].Seq = %d, want %d", from, i, recs[i].Seq, want)
+			}
+		}
+		if len(recs) > 0 {
+			from = recs[len(recs)-1].Seq + 1
+		}
+	}
+	read(1, 2, 3)
+	read() // caught up: the resumed scan sees nothing
+	appendN(t, j, 2)
+	read(4, 5)
+	// A read at a different position must not be served from the memo,
+	// and must not poison the tail reader's next resume.
+	if recs, err := j.ReadFrom(2); err != nil || len(recs) != 4 || recs[0].Seq != 2 {
+		t.Fatalf("non-tail ReadFrom(2) = %d records, err %v", len(recs), err)
+	}
+	appendN(t, j, 1)
+	read(6)
+	// Reset truncates the file; the memoized offset must die with it.
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 1) // seq 7
+	read(7)
+}
+
+func TestReadFromCompactionHorizon(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, j := collect(t, path)
+	defer j.Close()
+	appendN(t, j, 3)
+	if err := j.Reset(); err != nil { // snapshot folded seqs 1..3
+		t.Fatal(err)
+	}
+	appendN(t, j, 2) // seqs 4, 5
+	if _, err := j.ReadFrom(3); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom below horizon: %v, want ErrCompacted", err)
+	}
+	recs, err := j.ReadFrom(4)
+	if err != nil || len(recs) != 2 || recs[0].Seq != 4 {
+		t.Fatalf("ReadFrom(4) after reset = %+v, err %v", recs, err)
+	}
+	// The horizon survives reopen via WithBaseSeq, as OpenStore passes it.
+	j.Close()
+	j2, err := Open(path, func(Record) error { return nil }, WithBaseSeq(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, err := j2.ReadFrom(2); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("reopened ReadFrom below base: %v, want ErrCompacted", err)
+	}
+}
+
+func TestAppendRecordPreservesSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, j := collect(t, path)
+	if err := j.AppendRecord(Record{Seq: 10, Op: OpCharge, Label: "shipped", Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Regressions and duplicates are refused: the log must stay monotone.
+	if err := j.AppendRecord(Record{Seq: 10, Op: OpCharge}); err == nil {
+		t.Fatal("duplicate shipped seq accepted")
+	}
+	if err := j.AppendRecord(Record{Seq: 12, Op: OpDelete, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Local numbering continues after the shipped one.
+	if seq, err := j.Append(Record{Op: OpCharge, Label: "local", Epsilon: 1}); err != nil || seq != 13 {
+		t.Fatalf("seq = %d, err %v", seq, err)
+	}
+	j.Close()
+	recs, j2 := collect(t, path)
+	defer j2.Close()
+	if len(recs) != 3 || recs[0].Seq != 10 || recs[1].Seq != 12 || recs[2].Seq != 13 {
+		t.Fatalf("replay = %+v", recs)
+	}
+}
+
+func TestRebase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, j := collect(t, path)
+	defer j.Close()
+	appendN(t, j, 2)
+	// Bootstrap from a primary snapshot taken at seq 100.
+	if err := j.Rebase(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.ReadFrom(100); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom at rebased horizon: %v, want ErrCompacted", err)
+	}
+	if err := j.AppendRecord(Record{Seq: 101, Op: OpCharge, Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := j.ReadFrom(101)
+	if err != nil || len(recs) != 1 || recs[0].Seq != 101 {
+		t.Fatalf("post-rebase ReadFrom = %+v, err %v", recs, err)
+	}
+}
+
+func TestUpdatedBroadcast(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	_, j := collect(t, path)
+	ch := j.Updated()
+	select {
+	case <-ch:
+		t.Fatal("channel closed before any append")
+	default:
+	}
+	appendN(t, j, 1)
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("append did not close the watch channel")
+	}
+	// A fresh channel per generation; Close wakes waiters too.
+	ch = j.Updated()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake watchers")
+	}
+	// On a closed journal, Updated returns an already-closed channel.
+	select {
+	case <-j.Updated():
+	default:
+		t.Fatal("Updated on closed journal should not block")
+	}
+}

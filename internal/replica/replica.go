@@ -1,0 +1,317 @@
+// Package replica tails a primary dphist-server's replication log into
+// a local replica store — the follower half of cluster mode.
+//
+// The tailer long-polls GET /v1/repl/stream?from=<applied+1> and folds
+// each NDJSON journal record into the store through Store.Apply. When
+// the primary answers 410 Gone — the requested records were compacted
+// into a snapshot — it bootstraps from GET /v1/repl/snapshot and
+// resumes streaming past the snapshot's sequence. Transport failures
+// reconnect with backoff, and a chunk torn mid-record (the connection
+// died between a record's bytes) is discarded and re-fetched, exactly
+// like the journal's own torn-tail rule on disk. Corruption is
+// different: a complete line that does not parse, a sequence gap, or a
+// snapshot that fails to load means the replica can no longer claim to
+// mirror the primary, so the tailer fails loudly — it records the
+// error, stops applying, and stays stopped until an operator
+// intervenes. Serving stale-but-correct data beats serving wrong data.
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dphist/dphist"
+	"github.com/dphist/dphist/internal/journal"
+)
+
+// Config describes the primary to follow and the store to feed.
+type Config struct {
+	// Primary is the primary server's base URL, e.g. "http://10.0.0.5:8080".
+	Primary string
+	// Store is the replica store records are applied to; it must be
+	// read-only (dphist.NewReplica or dphist.OpenReplica).
+	Store *dphist.Store
+	// Client issues the HTTP requests. Nil means http.DefaultTransport
+	// with no client timeout — the stream long-polls, so a whole-request
+	// timeout would kill healthy parked polls.
+	Client *http.Client
+	// Retry is the reconnect backoff after a transport failure; 0 means
+	// one second.
+	Retry time.Duration
+	// Logf, when non-nil, receives connection-lifecycle and failure
+	// messages (log.Printf-shaped).
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time snapshot of the tailer's counters.
+type Stats struct {
+	// State is one of "idle", "streaming", "bootstrapping", "retrying",
+	// "failed", "stopped".
+	State string
+	// PrimarySeq is the primary's journal frontier as of the last
+	// response that carried it; Lag is how far AppliedSeq trails it.
+	PrimarySeq uint64
+	AppliedSeq uint64
+	Lag        uint64
+	// RecordsApplied counts records folded into the store; Snapshots
+	// counts full-state bootstraps; Errors counts transport failures
+	// that triggered a reconnect.
+	RecordsApplied int64
+	Snapshots      int64
+	Errors         int64
+	// LastError is the most recent failure message, sticky after a
+	// corruption stop.
+	LastError string
+}
+
+// Tailer replicates a primary's journal into a local replica store.
+// Start it once; Close joins the streaming goroutine, after which no
+// further Apply can be in flight — close the store only after Close
+// returns.
+type Tailer struct {
+	cfg    Config
+	client *http.Client
+	retry  time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the run loop has fully exited
+
+	startOnce sync.Once
+	closeOnce sync.Once
+
+	state      atomic.Value // string
+	primarySeq atomic.Uint64
+	records    atomic.Int64
+	snapshots  atomic.Int64
+	errCount   atomic.Int64
+
+	errMu   sync.Mutex
+	lastErr string
+}
+
+// New validates the configuration and returns an unstarted Tailer.
+func New(cfg Config) (*Tailer, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("replica: nil store")
+	}
+	if !cfg.Store.ReadOnly() {
+		return nil, errors.New("replica: store must be a read-only replica (dphist.NewReplica or OpenReplica)")
+	}
+	u, err := url.Parse(cfg.Primary)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("replica: primary %q is not an absolute URL", cfg.Primary)
+	}
+	cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	retry := cfg.Retry
+	if retry <= 0 {
+		retry = time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &Tailer{
+		cfg:    cfg,
+		client: client,
+		retry:  retry,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	t.state.Store("idle")
+	return t, nil
+}
+
+// Start launches the streaming loop. It may be called once.
+func (t *Tailer) Start() {
+	t.startOnce.Do(func() { go t.run() })
+}
+
+// Close stops the tailer and waits for the streaming goroutine to
+// exit; no Apply is in flight once it returns. Safe to call more than
+// once, and required BEFORE closing the replica store — the mirror of
+// the ingester-before-store shutdown rule.
+func (t *Tailer) Close() {
+	t.closeOnce.Do(func() {
+		t.cancel()
+		t.startOnce.Do(func() { close(t.done) }) // never started: nothing to join
+		<-t.done
+		if t.state.Load() != "failed" {
+			t.state.Store("stopped")
+		}
+	})
+}
+
+// Stats returns the tailer's current counters.
+func (t *Tailer) Stats() Stats {
+	t.errMu.Lock()
+	lastErr := t.lastErr
+	t.errMu.Unlock()
+	s := Stats{
+		State:          t.state.Load().(string),
+		PrimarySeq:     t.primarySeq.Load(),
+		AppliedSeq:     t.cfg.Store.AppliedSeq(),
+		RecordsApplied: t.records.Load(),
+		Snapshots:      t.snapshots.Load(),
+		Errors:         t.errCount.Load(),
+		LastError:      lastErr,
+	}
+	if s.PrimarySeq > s.AppliedSeq {
+		s.Lag = s.PrimarySeq - s.AppliedSeq
+	}
+	return s
+}
+
+func (t *Tailer) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+func (t *Tailer) setErr(err error) {
+	t.errMu.Lock()
+	t.lastErr = err.Error()
+	t.errMu.Unlock()
+}
+
+// isCorrupt reports whether the error means the replica's view of the
+// primary can no longer be trusted — the fail-loudly class, as opposed
+// to transport hiccups that a reconnect repairs.
+func isCorrupt(err error) bool {
+	return errors.Is(err, journal.ErrCorrupt)
+}
+
+func (t *Tailer) run() {
+	defer close(t.done)
+	for {
+		if t.ctx.Err() != nil {
+			return
+		}
+		err := t.streamOnce()
+		if err == nil {
+			continue // clean end of chunk; re-poll immediately
+		}
+		if t.ctx.Err() != nil {
+			return // shutdown cancels the in-flight request; not a failure
+		}
+		if isCorrupt(err) {
+			t.setErr(err)
+			t.state.Store("failed")
+			t.logf("replica: replication stream corrupt, stopping: %v", err)
+			return
+		}
+		t.setErr(err)
+		t.errCount.Add(1)
+		t.state.Store("retrying")
+		t.logf("replica: stream from %s failed (%v), retrying in %v", t.cfg.Primary, err, t.retry)
+		select {
+		case <-t.ctx.Done():
+			return
+		case <-time.After(t.retry):
+		}
+	}
+}
+
+// streamOnce runs one stream request from the store's current position
+// and applies every complete record it carries. A nil return means the
+// chunk ended cleanly (or after a tolerated torn tail) and the caller
+// should immediately re-poll.
+func (t *Tailer) streamOnce() error {
+	from := t.cfg.Store.AppliedSeq() + 1
+	req, err := http.NewRequestWithContext(t.ctx, http.MethodGet,
+		t.cfg.Primary+"/v1/repl/stream?from="+strconv.FormatUint(from, 10), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if seq, err := strconv.ParseUint(resp.Header.Get("X-Dphist-Journal-Seq"), 10, 64); err == nil {
+		t.primarySeq.Store(seq)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		// Our position was compacted into a snapshot; full resync.
+		return t.bootstrap()
+	default:
+		return fmt.Errorf("replica: stream from %s: HTTP %d", t.cfg.Primary, resp.StatusCode)
+	}
+	t.state.Store("streaming")
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == nil {
+			var rec journal.Record
+			if jerr := json.Unmarshal(line, &rec); jerr != nil {
+				// A complete line that does not parse is corruption, not a
+				// transport hiccup: re-fetching would replay the same bytes.
+				return fmt.Errorf("%w: undecodable stream record: %v", journal.ErrCorrupt, jerr)
+			}
+			if aerr := t.cfg.Store.Apply(rec); aerr != nil {
+				return aerr
+			}
+			t.records.Add(1)
+			continue
+		}
+		if err == io.EOF {
+			if len(line) > 0 {
+				// Torn tail: the connection died mid-record. The partial
+				// line was never applied, so discarding it and re-polling
+				// from the store's position loses nothing — the journal's
+				// own torn-append rule, applied to the wire.
+				t.logf("replica: discarding %d-byte torn record tail, re-polling", len(line))
+			}
+			return nil
+		}
+		return err // transport failure mid-chunk; reconnect
+	}
+}
+
+// bootstrap replaces the replica's whole state from the primary's
+// snapshot endpoint — first sync for an empty replica, resync after
+// compaction outran the stream position.
+func (t *Tailer) bootstrap() error {
+	t.state.Store("bootstrapping")
+	t.logf("replica: bootstrapping from %s/v1/repl/snapshot", t.cfg.Primary)
+	req, err := http.NewRequestWithContext(t.ctx, http.MethodGet, t.cfg.Primary+"/v1/repl/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica: snapshot from %s: HTTP %d", t.cfg.Primary, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err // truncated snapshot body is a transport failure: retry
+	}
+	if seq, err := strconv.ParseUint(resp.Header.Get("X-Dphist-Journal-Seq"), 10, 64); err == nil {
+		t.primarySeq.Store(seq)
+	}
+	if err := t.cfg.Store.Bootstrap(data); err != nil {
+		return err // unparseable or regressing snapshots wrap ErrCorrupt
+	}
+	t.snapshots.Add(1)
+	t.logf("replica: bootstrapped to seq %d", t.cfg.Store.AppliedSeq())
+	return nil
+}

@@ -1,0 +1,437 @@
+package replica_test
+
+// End-to-end replication tests: a follower started from an empty
+// directory against a live primary must converge and answer every read
+// bit-identically, survive a kill-and-restart without double-applying,
+// tolerate torn stream tails, and fail loudly on corruption.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/dphist/dphist"
+	"github.com/dphist/dphist/internal/journal"
+	"github.com/dphist/dphist/internal/replica"
+	"github.com/dphist/dphist/internal/server"
+)
+
+var rangeSpecs = []dphist.RangeSpec{{Lo: 0, Hi: 8}, {Lo: 2, Hi: 5}, {Lo: 7, Hi: 8}, {Lo: 3, Hi: 3}}
+
+var rectSpecs = []dphist.RectSpec{{X0: 0, Y0: 0, X1: 3, Y1: 3}, {X0: 1, Y0: 2, X1: 2, Y1: 3}}
+
+// newPrimary opens a durable store in a temp dir and serves it over a
+// replication-enabled test server with a short long-poll window.
+func newPrimary(t *testing.T) (*dphist.Store, *httptest.Server) {
+	t.Helper()
+	store, err := dphist.OpenStore(t.TempDir(), dphist.WithBudget(8.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	s, err := server.New(server.Config{
+		Counts:         []float64{2, 0, 10, 2, 5, 5, 5, 5, 1},
+		Store:          store,
+		Seed:           7,
+		ReplPollWindow: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return store, ts
+}
+
+// mintState mints a 1-D and a 2-D release into the store's default
+// namespace plus one in a tenant namespace, with distinct seeds so the
+// noise differs per release.
+func mintState(t *testing.T, store *dphist.Store, round uint64) {
+	t.Helper()
+	counts := []float64{2, 0, 10, 2, 5, 5, 5, 5, 1}
+	cells := [][]float64{{1, 0, 3, 2}, {0, 5, 1, 0}, {2, 2, 0, 4}, {1, 0, 0, 7}}
+	mint := func(ns *dphist.Namespace, name string, req dphist.Request, seed uint64) {
+		t.Helper()
+		session, err := ns.Session(dphist.MustNew(dphist.WithSeed(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ns.Mint(session, name, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	def := store.Namespace(dphist.DefaultNamespace)
+	mint(def, "traffic", dphist.Request{Counts: counts, Epsilon: 0.5}, 100+round)
+	mint(def, "heat", dphist.Request{Strategy: dphist.StrategyUniversal2D, Cells: cells, Epsilon: 0.25}, 200+round)
+	mint(store.Namespace("tenant-a"), "grades", dphist.Request{Counts: counts, Epsilon: 0.5}, 300+round)
+}
+
+// requireParity asserts the follower answers every read endpoint
+// bit-identically to the primary: range answers, rectangle answers,
+// versions, and budget spend down to the float bits.
+func requireParity(t *testing.T, primary, follower *dphist.Store) {
+	t.Helper()
+	for _, ns := range []string{dphist.DefaultNamespace, "tenant-a"} {
+		pns, fns := primary.Namespace(ns), follower.Namespace(ns)
+		for _, entry := range pns.List() {
+			if got := fns.Version(entry.Name); got != entry.Version {
+				t.Fatalf("ns %s release %s: follower version %d, primary %d", ns, entry.Name, got, entry.Version)
+			}
+			if entry.Name == "heat" {
+				want, _, err := pns.QueryRects(entry.Name, rectSpecs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := fns.QueryRects(entry.Name, rectSpecs)
+				if err != nil {
+					t.Fatalf("follower QueryRects %s/%s: %v", ns, entry.Name, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("ns %s rect %d: follower %v, primary %v", ns, i, got[i], want[i])
+					}
+				}
+				continue
+			}
+			want, _, err := pns.Query(entry.Name, rangeSpecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := fns.Query(entry.Name, rangeSpecs)
+			if err != nil {
+				t.Fatalf("follower Query %s/%s: %v", ns, entry.Name, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("ns %s range %d: follower %v, primary %v", ns, i, got[i], want[i])
+				}
+			}
+		}
+		ps, fs := pns.Accountant().Spent(), fns.Accountant().Spent()
+		if math.Float64bits(ps) != math.Float64bits(fs) {
+			t.Fatalf("ns %s: follower spent %v (bits %x), primary %v (bits %x)", ns, fs, math.Float64bits(fs), ps, math.Float64bits(ps))
+		}
+	}
+}
+
+func waitConverged(t *testing.T, follower, primary *dphist.Store) {
+	t.Helper()
+	waitFor(t, func() bool { return follower.AppliedSeq() == primary.JournalSeq() },
+		fmt.Sprintf("follower at %d, primary at %d", follower.AppliedSeq(), primary.JournalSeq()))
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting: %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func startTailer(t *testing.T, primary string, store *dphist.Store) *replica.Tailer {
+	t.Helper()
+	tailer, err := replica.New(replica.Config{
+		Primary: primary,
+		Store:   store,
+		Retry:   10 * time.Millisecond,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailer.Start()
+	t.Cleanup(tailer.Close)
+	return tailer
+}
+
+func TestFollowerConvergesAndPromotes(t *testing.T) {
+	pstore, pts := newPrimary(t)
+	mintState(t, pstore, 0)
+	// Snapshot so the follower exercises the bootstrap path, then mint
+	// more so it also tails live records.
+	if err := pstore.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	fstore := dphist.NewReplica(dphist.WithBudget(8.0))
+	tailer := startTailer(t, pts.URL, fstore)
+	waitConverged(t, fstore, pstore)
+	mintState(t, pstore, 1)
+	waitConverged(t, fstore, pstore)
+	requireParity(t, pstore, fstore)
+	if tailer.Stats().Snapshots == 0 {
+		t.Fatal("follower converged without ever bootstrapping from the snapshot")
+	}
+	// Record the primary's answers, then kill it. The follower keeps
+	// serving exactly what the primary last acked.
+	want, _, err := pstore.Query("traffic", rangeSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpent := pstore.Namespace(dphist.DefaultNamespace).Accountant().Spent()
+	pts.Close()
+	waitFor(t, func() bool { return tailer.Stats().State == "retrying" }, "tailer noticing the dead primary")
+	got, _, err := fstore.Query("traffic", rangeSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after primary death, range %d: follower %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := fstore.Namespace(dphist.DefaultNamespace).Accountant().Spent(); math.Float64bits(got) != math.Float64bits(wantSpent) {
+		t.Fatalf("after primary death, spent %v, want %v", got, wantSpent)
+	}
+}
+
+func TestFollowerRestartMidStreamNoDoubleApply(t *testing.T) {
+	pstore, pts := newPrimary(t)
+	mintState(t, pstore, 0)
+	dir := t.TempDir()
+	fstore, err := dphist.OpenReplica(dir, dphist.WithBudget(8.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailer := startTailer(t, pts.URL, fstore)
+	waitConverged(t, fstore, pstore)
+	killedAt := fstore.AppliedSeq()
+	// Kill the follower — tailer first, store second — while the
+	// primary keeps writing, so the restart resumes mid-stream.
+	tailer.Close()
+	if err := fstore.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mintState(t, pstore, 1)
+	fstore2, err := dphist.OpenReplica(dir, dphist.WithBudget(8.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fstore2.Close()
+	if got := fstore2.AppliedSeq(); got != killedAt {
+		t.Fatalf("restarted follower resumes at %d, want the killed position %d", got, killedAt)
+	}
+	tailer2 := startTailer(t, pts.URL, fstore2)
+	waitConverged(t, fstore2, pstore)
+	// Parity — and in particular Spent() parity — proves nothing was
+	// applied twice across the restart.
+	requireParity(t, pstore, fstore2)
+	tailer2.Close()
+}
+
+// fakePrimary serves a scripted /v1/repl/stream: responses[from] is
+// written verbatim for that from value; unknown positions park briefly
+// and answer an empty chunk.
+func fakePrimary(t *testing.T, responses map[string][]byte) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/repl/stream" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Dphist-Journal-Seq", "2")
+		body, ok := responses[r.URL.Query().Get("from")]
+		if !ok {
+			time.Sleep(20 * time.Millisecond) // caught up: empty poll
+			return
+		}
+		w.Write(body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func chargeLine(t *testing.T, seq uint64) []byte {
+	t.Helper()
+	line, err := json.Marshal(journal.Record{Seq: seq, Op: journal.OpCharge, Namespace: "default", Label: "r", Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(line, '\n')
+}
+
+func TestTailerToleratesTornTail(t *testing.T) {
+	rec1, rec2 := chargeLine(t, 1), chargeLine(t, 2)
+	ts := fakePrimary(t, map[string][]byte{
+		// First chunk: record 1 complete, then record 2 torn mid-line —
+		// the connection died between a record's bytes.
+		"1": append(append([]byte{}, rec1...), rec2[:10]...),
+		"2": rec2,
+	})
+	store := dphist.NewReplica(dphist.WithBudget(4.0))
+	tailer := startTailer(t, ts.URL, store)
+	waitFor(t, func() bool { return store.AppliedSeq() == 2 }, "both records applied past the torn tail")
+	if s := tailer.Stats(); s.State == "failed" || s.RecordsApplied != 2 {
+		t.Fatalf("tailer after torn tail: %+v", s)
+	}
+	if got := store.Namespace(dphist.DefaultNamespace).Accountant().Spent(); got != 0.5 {
+		t.Fatalf("spent %v after two 0.25 charges, torn record double-applied?", got)
+	}
+}
+
+func TestTailerFailsLoudOnCorruption(t *testing.T) {
+	for name, body := range map[string][]byte{
+		// A complete line that does not parse: re-fetching replays the
+		// same bytes, so the tailer must not retry.
+		"garbage-line": []byte("}{ not json\n"),
+		// Records 1 then 3: the gap means record 2 is lost for good.
+		"sequence-gap": append(append([]byte{}, chargeLine(t, 1)...), chargeLine(t, 3)...),
+	} {
+		t.Run(name, func(t *testing.T) {
+			ts := fakePrimary(t, map[string][]byte{"1": body})
+			store := dphist.NewReplica(dphist.WithBudget(4.0))
+			tailer := startTailer(t, ts.URL, store)
+			waitFor(t, func() bool { return tailer.Stats().State == "failed" }, "tailer failing loudly")
+			s := tailer.Stats()
+			if s.LastError == "" {
+				t.Fatal("failed with no LastError")
+			}
+			if store.AppliedSeq() > 1 {
+				t.Fatalf("applied past the corruption: seq %d", store.AppliedSeq())
+			}
+			// Failed is sticky: Close does not relabel it "stopped".
+			tailer.Close()
+			if got := tailer.Stats().State; got != "failed" {
+				t.Fatalf("state after Close = %q, want failed to stick", got)
+			}
+		})
+	}
+}
+
+func TestTailerCloseJoinsBeforeStoreClose(t *testing.T) {
+	// Regression for shutdown ordering: Close must join the streaming
+	// goroutine even while it is parked in a long poll, so the store can
+	// be closed afterwards with no Apply in flight.
+	pstore, pts := newPrimary(t)
+	mintState(t, pstore, 0)
+	fstore := dphist.NewReplica(dphist.WithBudget(8.0))
+	tailer := startTailer(t, pts.URL, fstore)
+	waitConverged(t, fstore, pstore)
+	done := make(chan struct{})
+	go func() { tailer.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not join the parked streaming goroutine")
+	}
+	if got := tailer.Stats().State; got != "stopped" {
+		t.Fatalf("state after Close = %q", got)
+	}
+	tailer.Close() // idempotent
+}
+
+// BenchmarkReplicationApply measures the follower's apply path alone —
+// decode-free journal records folded into an in-memory replica — the
+// per-record floor of replication throughput.
+func BenchmarkReplicationApply(b *testing.B) {
+	dir := b.TempDir()
+	primary, err := dphist.OpenStore(dir, dphist.WithBudget(1e9), dphist.WithoutSync())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer primary.Close()
+	counts := make([]float64, 256)
+	for i := range counts {
+		counts[i] = float64(i % 23)
+	}
+	ns := primary.Namespace(dphist.DefaultNamespace)
+	for i := 0; i < 32; i++ {
+		session, err := ns.Session(dphist.MustNew(dphist.WithSeed(uint64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ns.Mint(session, fmt.Sprintf("rel-%d", i), dphist.Request{Counts: counts, Epsilon: 0.001}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	recs, err := primary.ReplicationRead(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := dphist.NewReplica(dphist.WithBudget(1e9))
+		for _, rec := range recs {
+			if err := f.Apply(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records/op")
+}
+
+// BenchmarkReplicationShip measures the full pipe: HTTP stream from a
+// live primary into a fresh follower, NDJSON decode and Apply included.
+func BenchmarkReplicationShip(b *testing.B) {
+	primary, err := dphist.OpenStore(b.TempDir(), dphist.WithBudget(1e9), dphist.WithoutSync())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer primary.Close()
+	counts := make([]float64, 256)
+	for i := range counts {
+		counts[i] = float64(i % 23)
+	}
+	ns := primary.Namespace(dphist.DefaultNamespace)
+	for i := 0; i < 32; i++ {
+		session, err := ns.Session(dphist.MustNew(dphist.WithSeed(uint64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ns.Mint(session, fmt.Sprintf("rel-%d", i), dphist.Request{Counts: counts, Epsilon: 0.001}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := server.New(server.Config{Counts: counts, Store: primary, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	target := primary.JournalSeq()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := dphist.NewReplica(dphist.WithBudget(1e9))
+		tailer, err := replica.New(replica.Config{Primary: ts.URL, Store: f, Retry: 10 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tailer.Start()
+		for f.AppliedSeq() < target {
+			time.Sleep(100 * time.Microsecond)
+		}
+		tailer.Close()
+	}
+	b.ReportMetric(float64(target), "records/op")
+}
+
+func TestTailerValidation(t *testing.T) {
+	store, err := dphist.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := replica.New(replica.Config{Primary: "http://x", Store: store}); err == nil {
+		t.Fatal("tailer accepted a writable store")
+	}
+	rstore := dphist.NewReplica()
+	if _, err := replica.New(replica.Config{Primary: "not-a-url", Store: rstore}); err == nil {
+		t.Fatal("tailer accepted a relative primary URL")
+	}
+	if _, err := replica.New(replica.Config{Primary: "http://x"}); err == nil {
+		t.Fatal("tailer accepted a nil store")
+	}
+	// A never-started tailer must still Close cleanly.
+	tailer, err := replica.New(replica.Config{Primary: "http://localhost:1", Store: rstore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailer.Close()
+}

@@ -1,0 +1,323 @@
+package server
+
+// Tests for the replication HTTP surface: the snapshot bootstrap
+// endpoint, the NDJSON stream's long-poll and compaction semantics,
+// follower route refusals, and the stats visibility satellites.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dphist/dphist"
+	"github.com/dphist/dphist/internal/journal"
+)
+
+// newDurableServer builds a server over a durable store in a temp dir
+// with a short stream poll window so caught-up polls return quickly.
+func newDurableServer(t *testing.T) (*dphist.Store, *httptest.Server) {
+	t.Helper()
+	store, err := dphist.OpenStore(t.TempDir(), dphist.WithBudget(4.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	s, err := New(Config{
+		Counts:         []float64{2, 0, 10, 2, 5, 5, 5, 5},
+		Store:          store,
+		Seed:           7,
+		ReplPollWindow: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return store, ts
+}
+
+func mintOne(t *testing.T, ts *httptest.Server, name string, eps float64) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/releases", "application/json",
+		strings.NewReader(`{"name":"`+name+`","strategy":"universal","epsilon":`+jsonFloat(eps)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mint %s: HTTP %d", name, resp.StatusCode)
+	}
+}
+
+func jsonFloat(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+func streamRecords(t *testing.T, ts *httptest.Server, from string) (*http.Response, []journal.Record) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/repl/stream?from=" + from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []journal.Record
+	if resp.StatusCode == http.StatusOK {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var rec journal.Record
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return resp, recs
+}
+
+func TestReplStreamServesJournal(t *testing.T) {
+	store, ts := newDurableServer(t)
+	mintOne(t, ts, "traffic", 0.5)
+	mintOne(t, ts, "traffic", 0.25) // version 2
+	resp, recs := streamRecords(t, ts, "1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	// Each mint journals a put and a charge: 4 records, seqs 1..4.
+	if len(recs) != 4 || recs[0].Seq != 1 || recs[3].Seq != 4 {
+		t.Fatalf("got %d records, seqs %v..%v", len(recs), recs[0].Seq, recs[len(recs)-1].Seq)
+	}
+	if got := resp.Header.Get("X-Dphist-Journal-Seq"); got != "4" {
+		t.Fatalf("journal seq header = %q, want 4", got)
+	}
+	if store.JournalSeq() != 4 {
+		t.Fatalf("JournalSeq = %d", store.JournalSeq())
+	}
+	// Caught up: the long-poll parks for the window, then returns an
+	// empty 200 chunk rather than an error.
+	start := time.Now()
+	resp, recs = streamRecords(t, ts, "5")
+	if resp.StatusCode != http.StatusOK || len(recs) != 0 {
+		t.Fatalf("caught-up poll: HTTP %d with %d records", resp.StatusCode, len(recs))
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("caught-up poll returned in %v, did not park", elapsed)
+	}
+	// Bad from values are the caller's problem.
+	for _, from := range []string{"0", "-1", "x", ""} {
+		if resp, _ := streamRecords(t, ts, from); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("from=%q: HTTP %d, want 400", from, resp.StatusCode)
+		}
+	}
+}
+
+// TestReplStreamWakesOnAppend pins the long-poll's latency contract: a
+// parked stream must deliver a fresh append promptly (flushed through
+// the middleware), not sit on it until the poll window expires.
+func TestReplStreamWakesOnAppend(t *testing.T) {
+	store, ts := newDurableServer(t)
+	mintOne(t, ts, "traffic", 0.5)
+	_ = store
+	type line struct {
+		rec journal.Record
+		at  time.Time
+	}
+	lines := make(chan line, 4)
+	go func() {
+		// Get parks with the poll: the response headers only arrive once
+		// the handler commits its first write.
+		resp, err := http.Get(ts.URL + "/v1/repl/stream?from=3")
+		if err != nil {
+			close(lines)
+			return
+		}
+		defer resp.Body.Close()
+		br := bufio.NewReader(resp.Body)
+		for {
+			raw, err := br.ReadBytes('\n')
+			if err != nil {
+				close(lines)
+				return
+			}
+			var rec journal.Record
+			if json.Unmarshal(raw, &rec) == nil {
+				lines <- line{rec, time.Now()}
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the poll park
+	minted := time.Now()
+	mintOne(t, ts, "traffic", 0.25)
+	select {
+	case l, ok := <-lines:
+		if !ok {
+			t.Fatal("stream ended without delivering the appended record")
+		}
+		if l.rec.Seq != 3 {
+			t.Fatalf("first streamed record has seq %d, want 3", l.rec.Seq)
+		}
+		// The poll window is 100ms; a delivery near it means the append
+		// signal or a Flush along the middleware chain is broken.
+		if d := l.at.Sub(minted); d > 80*time.Millisecond {
+			t.Fatalf("record arrived %v after the mint, at the poll deadline instead of on append", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("streamed record never arrived")
+	}
+}
+
+func TestReplStreamCompactionAndSnapshot(t *testing.T) {
+	store, ts := newDurableServer(t)
+	mintOne(t, ts, "traffic", 0.5)
+	if err := store.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// The early records live only in the snapshot now: 410 tells the
+	// follower to bootstrap.
+	resp, _ := streamRecords(t, ts, "1")
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("compacted stream: HTTP %d, want 410", resp.StatusCode)
+	}
+	snap, err := http.Get(ts.URL + "/v1/repl/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Body.Close()
+	if snap.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: HTTP %d", snap.StatusCode)
+	}
+	var decoded struct {
+		Seq     uint64            `json:"seq"`
+		Entries []json.RawMessage `json:"entries"`
+	}
+	if err := json.NewDecoder(snap.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Seq != store.JournalSeq() || len(decoded.Entries) != 1 {
+		t.Fatalf("snapshot seq %d entries %d, journal at %d", decoded.Seq, len(decoded.Entries), store.JournalSeq())
+	}
+}
+
+func TestReplSurfaceRequiresDurableStore(t *testing.T) {
+	ts := newTestServer(t, 1.0) // in-memory store: nothing to replicate
+	resp, err := http.Get(ts.URL + "/v1/repl/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("snapshot on in-memory store: HTTP %d, want 404", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + "/v1/repl/stream?from=1")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stream on in-memory store: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// newFollowerServer builds a follower-mode server over an in-memory
+// replica store, with a stubbed tailer status.
+func newFollowerServer(t *testing.T, primarySeq uint64) (*dphist.Store, *httptest.Server) {
+	t.Helper()
+	store := dphist.NewReplica(dphist.WithBudget(4.0))
+	s, err := New(Config{
+		Store:    store,
+		Follower: true,
+		Seed:     7,
+		ReplStats: func() ReplicationStatus {
+			return ReplicationStatus{State: "streaming", PrimarySeq: primarySeq}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return store, ts
+}
+
+func TestFollowerRefusesWrites(t *testing.T) {
+	store, ts := newFollowerServer(t, 3)
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/release", `{"strategy":"universal","epsilon":0.1}`},
+		{"/v1/releases", `{"name":"x","strategy":"universal","epsilon":0.1}`},
+		{"/v1/ns/tenant/releases", `{"name":"x","strategy":"universal","epsilon":0.1}`},
+		{"/v1/ingest", `{"events":[{"stream":"s","bucket":0}]}`},
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("POST %s on follower: HTTP %d, want 403", tc.path, resp.StatusCode)
+		}
+	}
+	// Reads still serve: the shipped release is queryable.
+	if err := store.Apply(journal.Record{Seq: 1, Op: journal.OpCharge, Namespace: "default", Label: "shipped", Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b budgetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent != 0.5 {
+		t.Fatalf("follower budget spent = %v, want the shipped 0.5", b.Spent)
+	}
+}
+
+func TestStatsReplicationVisibility(t *testing.T) {
+	// Primary: role + journal/snapshot seqs.
+	store, ts := newDurableServer(t)
+	mintOne(t, ts, "traffic", 0.5)
+	if err := store.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		JournalSeq  uint64 `json:"journal_seq"`
+		SnapshotSeq uint64 `json:"snapshot_seq"`
+		Replication struct {
+			Role       string `json:"role"`
+			AppliedSeq uint64 `json:"applied_seq"`
+			LagRecords uint64 `json:"replication_lag_records"`
+			State      string `json:"state"`
+		} `json:"replication"`
+	}
+	getStats := func(url string) {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getStats(ts.URL)
+	if stats.Replication.Role != "primary" || stats.JournalSeq != 2 || stats.SnapshotSeq != 2 {
+		t.Fatalf("primary stats = %+v", stats)
+	}
+	// Follower: lag = primary frontier minus applied.
+	fstore, fts := newFollowerServer(t, 3)
+	if err := fstore.Apply(journal.Record{Seq: 1, Op: journal.OpCharge, Namespace: "default", Epsilon: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	getStats(fts.URL)
+	if stats.Replication.Role != "follower" || stats.Replication.AppliedSeq != 1 ||
+		stats.Replication.LagRecords != 2 || stats.Replication.State != "streaming" {
+		t.Fatalf("follower stats = %+v", stats.Replication)
+	}
+}

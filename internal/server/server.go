@@ -115,6 +115,33 @@ type Config struct {
 	// keeps ownership: Start it before serving, Close it before closing
 	// the store.
 	Ingester *ingest.Ingester
+	// Follower marks this server a read replica: minting routes are
+	// refused with 403 and /v1/stats reports the follower role plus
+	// replication lag. Store must be set (a replica store from
+	// dphist.NewReplica or dphist.OpenReplica, fed by a tailer the
+	// caller owns) and Counts may be empty — a follower serves only what
+	// replication ships.
+	Follower bool
+	// ReplStats, when non-nil, injects the replication tailer's counters
+	// into /v1/stats. Set by dphist-server -follow; nil on primaries.
+	ReplStats func() ReplicationStatus
+	// ReplPollWindow bounds how long GET /v1/repl/stream parks a
+	// caught-up long-poll before returning an empty chunk so the
+	// follower re-polls; 0 means 20s. Keep it under any front-end write
+	// timeout or the poll is killed mid-park.
+	ReplPollWindow time.Duration
+}
+
+// ReplicationStatus is a follower's view of its replication tailer,
+// injected through Config.ReplStats by the process that owns the tailer
+// so /v1/stats can report lag without this package importing it.
+type ReplicationStatus struct {
+	State          string
+	PrimarySeq     uint64
+	RecordsApplied int64
+	Snapshots      int64
+	Errors         int64
+	LastError      string
 }
 
 // Server is the HTTP-facing privacy mechanism. Safe for concurrent use.
@@ -136,8 +163,11 @@ type Server struct {
 
 // New validates the configuration and returns a Server.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Counts) == 0 {
+	if len(cfg.Counts) == 0 && !cfg.Follower {
 		return nil, errors.New("server: empty count vector")
+	}
+	if cfg.Follower && cfg.Store == nil {
+		return nil, errors.New("server: follower requires a replica Store")
 	}
 	if cfg.Accountant == nil && cfg.Store == nil && !(cfg.Budget > 0) {
 		return nil, fmt.Errorf("server: budget %v must be positive", cfg.Budget)
@@ -292,6 +322,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
+	mux.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
 	for _, route := range []struct {
 		plain, scoped string
 		fn            func(http.ResponseWriter, *http.Request, string)
@@ -324,6 +356,15 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
+// Flush keeps the wrapped writer a streaming one: without it the
+// replication stream's per-record flushes would silently buffer until
+// the handler returned, turning wake-on-append into wake-on-deadline.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // countRequests is the ops middleware: total and error counts for
 // /v1/stats.
 func (s *Server) countRequests(next http.Handler) http.Handler {
@@ -354,10 +395,29 @@ type namespaceStats struct {
 type statsResponse struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Durable       bool             `json:"durable"`
+	JournalSeq    uint64           `json:"journal_seq"`
+	SnapshotSeq   uint64           `json:"snapshot_seq"`
 	Requests      requestStats     `json:"requests"`
 	Cache         cacheStats       `json:"cache"`
 	Ingest        ingestStats      `json:"ingest"`
+	Replication   replicationStats `json:"replication"`
 	Namespaces    []namespaceStats `json:"namespaces"`
+}
+
+// replicationStats is the cluster-role slice of /v1/stats: enough to
+// see lag, stream health, and the last failure without log-diving.
+// Role is "primary" (durable, shippable log), "follower", or "none"
+// (in-memory, nothing to replicate).
+type replicationStats struct {
+	Role           string `json:"role"`
+	AppliedSeq     uint64 `json:"applied_seq"`
+	PrimarySeq     uint64 `json:"primary_seq,omitempty"`
+	LagRecords     uint64 `json:"replication_lag_records"`
+	State          string `json:"state,omitempty"`
+	RecordsApplied int64  `json:"records_applied,omitempty"`
+	Snapshots      int64  `json:"snapshots,omitempty"`
+	Errors         int64  `json:"errors,omitempty"`
+	LastError      string `json:"last_error,omitempty"`
 }
 
 // ingestStats is the streaming write path's slice of /v1/stats: the
@@ -397,6 +457,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Durable:       s.store.Dir() != "",
+		JournalSeq:    s.store.JournalSeq(),
+		SnapshotSeq:   s.store.SnapshotSeq(),
+		Replication:   s.replicationStats(),
 		Requests: requestStats{
 			Total:          s.reqTotal.Load(),
 			Errors:         s.reqErrors.Load(),
@@ -547,14 +610,29 @@ func (s *Server) buildRequest(strategyName, legacyTask string, eps float64) (dph
 }
 
 // writeReleaseError maps a refused or failed mint onto a status code:
-// budget exhaustion is the analyst's problem (429), everything else the
+// budget exhaustion is the analyst's problem (429), a read-only replica
+// is a routing problem (403 — mint on the primary), everything else the
 // server's (500).
 func writeReleaseError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	if errors.Is(err, dphist.ErrBudgetExceeded) {
+	switch {
+	case errors.Is(err, dphist.ErrBudgetExceeded):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, dphist.ErrReadOnly):
+		status = http.StatusForbidden
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// refuseOnFollower short-circuits a write route on a follower with 403.
+// The store's own ErrReadOnly gate backs this up for embedded callers;
+// refusing at the route spares the follower building a doomed request.
+func (s *Server) refuseOnFollower(w http.ResponseWriter) bool {
+	if !s.cfg.Follower {
+		return false
+	}
+	writeJSON(w, http.StatusForbidden, errorResponse{Error: "read-only follower: send writes to the primary"})
+	return true
 }
 
 // maxRequestBody caps request bodies before JSON decoding: 4 MiB fits a
@@ -567,6 +645,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, ns string) {
+	if s.refuseOnFollower(w) {
+		return
+	}
 	var req releaseRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
@@ -647,6 +728,9 @@ type storeReleaseResponse struct {
 }
 
 func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request, ns string) {
+	if s.refuseOnFollower(w) {
+		return
+	}
 	var req storeReleaseRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
@@ -842,6 +926,9 @@ func writeIngestError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ns string) {
+	if s.refuseOnFollower(w) {
+		return
+	}
 	if s.cfg.Ingester == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "streaming ingest not configured on this server"})
 		return

@@ -50,6 +50,9 @@ type persistState struct {
 	snapMu sync.Mutex
 	// appended counts journal records since the last snapshot.
 	appended atomic.Int64
+	// snapSeq is the journal sequence the newest on-disk snapshot
+	// covers — the compaction horizon a replica must bootstrap past.
+	snapSeq atomic.Uint64
 }
 
 // WithSnapshotEvery sets how many journaled records accumulate before
@@ -122,7 +125,16 @@ type snapCharge struct {
 // The directory must not be shared between live processes; the store
 // assumes it owns dir exclusively.
 func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
+	return openStore(dir, false, opts...)
+}
+
+// openStore is the shared open path behind OpenStore and OpenReplica.
+// Recovery is one consumer of the apply pipeline in replica.go; setting
+// readOnly before replay matters because accountants materialized during
+// replay must be born with the read-only ledger.
+func openStore(dir string, readOnly bool, opts ...StoreOption) (*Store, error) {
 	s := NewStore(opts...)
+	s.readOnly = readOnly
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -136,6 +148,7 @@ func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
 		if err := s.applySnapshot(&snap); err != nil {
 			return nil, fmt.Errorf("dphist: open store %s: snapshot: %w", dir, err)
 		}
+		s.snapSeq.Store(snap.Seq)
 	}
 	jnl, err := journal.Open(filepath.Join(dir, walFile), func(rec journal.Record) error {
 		if rec.Seq <= snap.Seq {
@@ -149,10 +162,16 @@ func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
 		return nil, fmt.Errorf("dphist: open store %s: %w", dir, err)
 	}
 	s.jnl = jnl
-	// Accountants materialized during replay predate s.jnl; wire their
-	// ledgers now so post-recovery charges are journaled.
-	for ns, a := range s.accts {
-		a.ledger = &storeLedger{s: s, ns: ns}
+	// A replica's WAL carries primary sequence numbers (see Apply), so
+	// the recovery point doubles as the replication high-water mark: a
+	// restarted follower resumes the stream from applied+1.
+	s.applied.Store(jnl.NextSeq() - 1)
+	if !readOnly {
+		// Accountants materialized during replay predate s.jnl; wire
+		// their ledgers now so post-recovery charges are journaled.
+		for ns, a := range s.accts {
+			a.ledger = &storeLedger{s: s, ns: ns}
+		}
 	}
 	// Capacity evictions are never journaled (recovery re-derives them),
 	// so re-run the bound over the replayed state.
@@ -165,89 +184,6 @@ func OpenStore(dir string, opts ...StoreOption) (*Store, error) {
 		sh.mu.Unlock()
 	}
 	return s, nil
-}
-
-// applySnapshot loads complete store state. Entries are inserted oldest
-// StoredAt first so the recovered recency order approximates the
-// pre-crash one.
-func (s *Store) applySnapshot(snap *storeSnapshot) error {
-	for _, v := range snap.Versions {
-		k := nsKey{v.Namespace, v.Name}
-		sh := s.shard(k)
-		if v.Version > sh.versions[k] {
-			sh.versions[k] = v.Version
-		}
-	}
-	entries := append([]snapEntry(nil), snap.Entries...)
-	sort.Slice(entries, func(i, j int) bool { return entries[i].StoredAt.Before(entries[j].StoredAt) })
-	for _, e := range entries {
-		if err := s.recoverPut(e.Namespace, e.Name, e.Version, e.StoredAt, e.Release); err != nil {
-			return err
-		}
-	}
-	for _, c := range snap.Charges {
-		s.accountant(c.Namespace).restore(Charge{Label: c.Label, Epsilon: c.Epsilon})
-	}
-	return nil
-}
-
-// applyRecord folds one recovered journal record into the store.
-func (s *Store) applyRecord(rec journal.Record) error {
-	switch rec.Op {
-	case journal.OpPut:
-		return s.recoverPut(rec.Namespace, rec.Name, rec.Version, rec.StoredAt, rec.Payload)
-	case journal.OpDelete:
-		k := nsKey{rec.Namespace, rec.Name}
-		sh := s.shard(k)
-		sh.mu.Lock()
-		if _, ok := sh.items[k]; ok {
-			s.removeLocked(sh, k)
-		}
-		sh.mu.Unlock()
-		return nil
-	case journal.OpCharge:
-		s.accountant(rec.Namespace).restore(Charge{Label: rec.Label, Epsilon: rec.Epsilon})
-		return nil
-	default:
-		return fmt.Errorf("%w: unknown op %q", journal.ErrCorrupt, rec.Op)
-	}
-}
-
-// recoverPut re-inserts one release from its journaled wire form,
-// re-deriving the entry metadata from the decoded release exactly as
-// the original Put did.
-func (s *Store) recoverPut(ns, name string, version int, storedAt time.Time, payload json.RawMessage) error {
-	rel, err := DecodeRelease(payload)
-	if err != nil {
-		return fmt.Errorf("release %s/%s v%d: %w", ns, name, version, err)
-	}
-	k := nsKey{ns, name}
-	entry := StoreEntry{
-		Namespace: ns,
-		Name:      name,
-		Version:   version,
-		Strategy:  rel.Strategy(),
-		Epsilon:   rel.Epsilon(),
-		Domain:    releaseDomain(rel),
-		StoredAt:  storedAt,
-	}
-	sh := s.shard(k)
-	sh.mu.Lock()
-	if version > sh.versions[k] {
-		sh.versions[k] = version
-	}
-	// DecodeRelease recompiled the query plan from the wire vectors, so
-	// a recovered release serves batches exactly like the original did.
-	if it, ok := sh.items[k]; ok {
-		it.release = rel
-		it.plan = releasePlan(rel)
-		it.entry = entry
-		sh.recency.MoveToFront(it.elem)
-	} else {
-		sh.items[k] = &storeItem{release: rel, plan: releasePlan(rel), entry: entry, elem: sh.recency.PushFront(k)}
-	}
-	sh.mu.Unlock()
-	return nil
 }
 
 // journalPut appends a put record; the caller must not commit the entry
@@ -364,6 +300,7 @@ func (s *Store) snapshot(closing bool) error {
 		return err
 	}
 	s.appended.Store(0)
+	s.snapSeq.Store(snap.Seq)
 	return nil
 }
 

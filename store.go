@@ -41,6 +41,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dphist/dphist/internal/plan"
@@ -218,6 +219,18 @@ type Store struct {
 	acctMu sync.Mutex
 	accts  map[string]*Accountant
 
+	// readOnly marks a replica store: local mutations (Put, Delete,
+	// Mint, Accountant.Spend) are refused with ErrReadOnly, and state
+	// changes only through the Apply/Bootstrap replication surface. See
+	// replica.go.
+	readOnly bool
+	// applyMu serializes Apply and Bootstrap on a replica.
+	applyMu sync.Mutex
+	// applied is the highest primary sequence folded into this store —
+	// on a replica, the replication high-water mark; on a primary it
+	// mirrors the journal sequence.
+	applied atomic.Uint64
+
 	persistState // all zero for in-memory stores; see persist.go
 }
 
@@ -367,7 +380,13 @@ func (s *Store) accountant(ns string) *Accountant {
 		return a
 	}
 	a := NewAccountant(s.budget)
-	if s.jnl != nil {
+	switch {
+	case s.readOnly:
+		// Replicas never admit local expenditure: the primary owns the
+		// ledger, and shipped charges arrive through restore, which
+		// bypasses the ledger by design.
+		a.ledger = readOnlyLedger{}
+	case s.jnl != nil:
 		a.ledger = &storeLedger{s: s, ns: ns}
 	}
 	s.accts[ns] = a
@@ -534,6 +553,11 @@ func (s *Store) mint(session *Session, ns, name string, req Request) (Release, S
 	if err := ValidateName(name); err != nil {
 		return nil, StoreEntry{}, err
 	}
+	// Refuse before Session.Release runs: a mint on a replica must not
+	// charge the session's budget for a release that cannot be stored.
+	if s.readOnly {
+		return nil, StoreEntry{}, ErrReadOnly
+	}
 	rel, err := session.Release(req)
 	if err != nil {
 		return nil, StoreEntry{}, err
@@ -592,6 +616,9 @@ func (s *Store) put(ns, name string, r Release) (StoreEntry, error) {
 	}
 	if r == nil {
 		return StoreEntry{}, errors.New("dphist: nil release")
+	}
+	if s.readOnly {
+		return StoreEntry{}, ErrReadOnly
 	}
 	if s.jnl != nil {
 		s.opMu.RLock()
@@ -859,6 +886,9 @@ func (s *Store) list(ns string) []StoreEntry {
 }
 
 func (s *Store) delete(ns, name string) bool {
+	if s.readOnly {
+		return false
+	}
 	if s.jnl != nil {
 		s.opMu.RLock()
 		if s.closed {
