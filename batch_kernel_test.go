@@ -1,0 +1,274 @@
+package dphist
+
+// The batch-kernel property: for every strategy, consistent and
+// inconsistent post-processing, and batch sizes spanning the scalar,
+// columnar, and parallel execution regimes, QueryBatch/QueryRects must
+// answer bit-identically to the per-query scalar Range/Rect calls. This
+// pins the whole vectorized read path — branch-free validation,
+// columnar split, kernel sweep, worker-pool partitioning — to the
+// scalar semantics the paper's strategies define.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/dphist/dphist/internal/plan"
+)
+
+// kernelBatchSizes spans scalar dispatch (1), a partial cache line (7),
+// the columnar sweep (1000), and the parallel fan-out (10000, above
+// every crossover threshold).
+var kernelBatchSizes = []int{1, 7, 1000, 10000}
+
+func TestBatchKernelBitExactAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 23))
+	for _, consistent := range []bool{false, true} {
+		opts := []Option{WithSeed(61)}
+		if consistent {
+			opts = append(opts, WithoutNonNegativity(), WithoutRounding())
+		}
+		for _, rel := range mintAll(t, MustNew(opts...), 48, 0.3) {
+			n := len(rel.Counts())
+			for _, size := range kernelBatchSizes {
+				specs := make([]RangeSpec, size)
+				for i := range specs {
+					lo := rng.IntN(n + 1)
+					specs[i] = RangeSpec{Lo: lo, Hi: lo + rng.IntN(n-lo+1)}
+				}
+				got, err := QueryBatch(rel, specs)
+				if err != nil {
+					t.Fatalf("%v consistent=%v size=%d: %v", rel.Strategy(), consistent, size, err)
+				}
+				for i, q := range specs {
+					want, err := rel.Range(q.Lo, q.Hi)
+					if err != nil {
+						t.Fatalf("%v: Range(%d,%d): %v", rel.Strategy(), q.Lo, q.Hi, err)
+					}
+					if got[i] != want {
+						t.Fatalf("%v consistent=%v size=%d: batch [%d,%d) = %v, scalar Range = %v",
+							rel.Strategy(), consistent, size, q.Lo, q.Hi, got[i], want)
+					}
+				}
+				rq, ok := rel.(RectQuerier)
+				if !ok {
+					continue
+				}
+				w, h := rq.Width(), rq.Height()
+				rects := make([]RectSpec, size)
+				for i := range rects {
+					x0, y0 := rng.IntN(w+1), rng.IntN(h+1)
+					rects[i] = RectSpec{X0: x0, Y0: y0, X1: x0 + rng.IntN(w-x0+1), Y1: y0 + rng.IntN(h-y0+1)}
+				}
+				gotR, err := QueryRects(rel, rects)
+				if err != nil {
+					t.Fatalf("%v consistent=%v size=%d: %v", rel.Strategy(), consistent, size, err)
+				}
+				for i, q := range rects {
+					want, err := rq.Rect(q.X0, q.Y0, q.X1, q.Y1)
+					if err != nil {
+						t.Fatalf("%v: Rect%+v: %v", rel.Strategy(), q, err)
+					}
+					if gotR[i] != want {
+						t.Fatalf("%v consistent=%v size=%d: batch rect %+v = %v, scalar Rect = %v",
+							rel.Strategy(), consistent, size, q, gotR[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The branch-free validation pre-pass must reject exactly what the old
+// per-spec scan rejected — including endpoints chosen to overflow the
+// subtractions — and still name the first offending index.
+func TestBatchValidationRejectsExactly(t *testing.T) {
+	rel, err := MustNew(WithSeed(62)).UniversalHistogram(make([]float64, 16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const minInt = -1 << 63
+	const maxInt = 1<<63 - 1
+	bad := [][]RangeSpec{
+		{{Lo: -1, Hi: 4}},
+		{{Lo: 0, Hi: 17}},
+		{{Lo: 9, Hi: 8}},
+		{{Lo: 0, Hi: 16}, {Lo: 3, Hi: 2}},
+		{{Lo: minInt, Hi: 4}},
+		{{Lo: 0, Hi: maxInt}},
+		{{Lo: maxInt, Hi: minInt}},
+		{{Lo: 1, Hi: minInt}},
+	}
+	for _, specs := range bad {
+		if _, err := QueryBatch(rel, specs); err == nil {
+			t.Errorf("specs %+v accepted", specs)
+		}
+	}
+	if _, err := QueryBatch(rel, []RangeSpec{{Lo: 0, Hi: 16}, {Lo: 16, Hi: 16}, {Lo: 5, Hi: 5}}); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+}
+
+// FuzzBatchKernelEquivalence mints universal 1-D and 2-D releases over
+// fuzz-chosen counts and holds the batch kernels bit-exact against the
+// scalar path on fuzz-chosen specs — the kernel-level twin of
+// FuzzDecodedPlanEquivalence.
+func FuzzBatchKernelEquivalence(f *testing.F) {
+	f.Add(uint8(8), []byte{3, 1, 4, 1, 5, 9, 2, 6}, []byte{0, 8, 2, 5, 7, 7})
+	f.Add(uint8(3), []byte{255, 0, 17}, []byte{1, 2})
+	f.Fuzz(func(t *testing.T, domByte uint8, countBytes, specBytes []byte) {
+		domain := int(domByte)%32 + 1
+		counts := make([]float64, domain)
+		for i := range counts {
+			if len(countBytes) > 0 {
+				counts[i] = float64(countBytes[i%len(countBytes)]) - 100
+			}
+		}
+		rel, err := MustNew(WithSeed(63)).UniversalHistogram(counts, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel2d, err := MustNew(WithSeed(63)).Universal2DHistogram(reshapeCells(counts, max(1, domain/3)), 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var specs []RangeSpec
+		for i := 0; i+1 < len(specBytes); i += 2 {
+			lo, hi := int(specBytes[i])%(domain+1), int(specBytes[i+1])%(domain+1)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			specs = append(specs, RangeSpec{Lo: lo, Hi: hi})
+		}
+		// Specs capped at domain are valid for both releases: the 2-D
+		// cell grid covers at least the 1-D domain.
+		for _, r := range []Release{rel, rel2d} {
+			got, err := QueryBatch(r, specs)
+			if err != nil {
+				t.Fatalf("%v: %v", r.Strategy(), err)
+			}
+			for i, q := range specs {
+				want, err := r.Range(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatalf("%v: Range(%d,%d): %v", r.Strategy(), q.Lo, q.Hi, err)
+				}
+				if got[i] != want {
+					t.Fatalf("%v: batch [%d,%d) = %v, Range = %v", r.Strategy(), q.Lo, q.Hi, got[i], want)
+				}
+			}
+		}
+		w, h := rel2d.Width(), rel2d.Height()
+		var rects []RectSpec
+		for i := 0; i+3 < len(specBytes); i += 4 {
+			x0, x1 := int(specBytes[i])%(w+1), int(specBytes[i+1])%(w+1)
+			y0, y1 := int(specBytes[i+2])%(h+1), int(specBytes[i+3])%(h+1)
+			if x0 > x1 {
+				x0, x1 = x1, x0
+			}
+			if y0 > y1 {
+				y0, y1 = y1, y0
+			}
+			rects = append(rects, RectSpec{X0: x0, Y0: y0, X1: x1, Y1: y1})
+		}
+		gotR, err := QueryRects(rel2d, rects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range rects {
+			want, err := rel2d.Rect(q.X0, q.Y0, q.X1, q.Y1)
+			if err != nil {
+				t.Fatalf("Rect%+v: %v", q, err)
+			}
+			if gotR[i] != want {
+				t.Fatalf("batch rect %+v = %v, Rect = %v", q, gotR[i], want)
+			}
+		}
+	})
+}
+
+// BenchmarkRangeKernel measures the 1-D kernels per mode across the
+// crossover: batch 1000 stays inline, batch 10000 fans out across the
+// worker pool.
+func BenchmarkRangeKernel(b *testing.B) {
+	counts := make([]float64, 1<<14)
+	for i := range counts {
+		counts[i] = float64(i % 7)
+	}
+	rel, err := MustNew(WithSeed(15)).UniversalHistogram(counts, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	consistent, err := MustNew(WithSeed(15), WithoutNonNegativity(), WithoutRounding()).
+		UniversalHistogram(counts, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel.plan = plan.TreeOnly(rel.tree, rel.post, len(rel.leaves))
+	for _, bench := range []struct {
+		name string
+		rel  *UniversalRelease
+	}{
+		{"tree-offset", rel},
+		{"prefix", consistent},
+	} {
+		for _, size := range []int{1000, 10000} {
+			specs := benchSpecs(size, len(counts))
+			b.Run(fmt.Sprintf("%s/batch=%d", bench.name, size), func(b *testing.B) {
+				dst := make([]float64, 0, len(specs))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					dst, err = QueryBatchInto(dst[:0], bench.rel, specs)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRectKernel is the 2-D twin of BenchmarkRangeKernel.
+func BenchmarkRectKernel(b *testing.B) {
+	const side = 128
+	cells := grid2D(side, side)
+	rng := rand.New(rand.NewPCG(5, 25))
+	fallback, err := MustNew(WithSeed(77)).Universal2DHistogram(cells, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	consistent, err := MustNew(WithSeed(77), WithoutNonNegativity(), WithoutRounding()).
+		Universal2DHistogram(cells, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fallback.plan = plan.Grid2DOnly(fallback.grid, fallback.post, fallback.cells)
+	for _, bench := range []struct {
+		name string
+		rel  *Universal2DRelease
+	}{
+		{"quadtree-offset", fallback},
+		{"sat", consistent},
+	} {
+		for _, size := range []int{1000, 10000} {
+			specs := make([]RectSpec, size)
+			for i := range specs {
+				x0, y0 := rng.IntN(side), rng.IntN(side)
+				specs[i] = RectSpec{X0: x0, Y0: y0, X1: x0 + 1 + rng.IntN(side-x0), Y1: y0 + 1 + rng.IntN(side-y0)}
+			}
+			b.Run(fmt.Sprintf("%s/batch=%d", bench.name, size), func(b *testing.B) {
+				dst := make([]float64, 0, len(specs))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					dst, err = QueryRectsInto(dst[:0], bench.rel, specs)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

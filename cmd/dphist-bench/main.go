@@ -576,6 +576,25 @@ func runServing(cfg experiments.Config) []servingRow {
 			return err
 		}))
 	}
+	// Large batches cross the kernels' parallel crossover threshold, so
+	// these rows gate the worker-pool fan-out path. Only the universal
+	// pair is interesting: every other 1-D strategy shares the prefix
+	// plan "universal-consistent" already exercises.
+	const bigBatch = 10000
+	bigSpecs := make([]dphist.RangeSpec, bigBatch)
+	for i := range bigSpecs {
+		lo := rng.IntN(domain)
+		bigSpecs[i] = dphist.RangeSpec{Lo: lo, Hi: lo + 1 + rng.IntN(domain-lo)}
+	}
+	bigBatches := max(1, batches/5)
+	for _, name := range []string{"universal", "universal-consistent"} {
+		row := timeBatches("serving", name, domain, bigBatch, bigBatches, func() error {
+			_, _, err := store.Query(name, bigSpecs)
+			return err
+		})
+		row.Mode = "batch10k"
+		rows = append(rows, row)
+	}
 	printServingRows(rows)
 	return rows
 }
@@ -647,6 +666,26 @@ func runServing2D(cfg experiments.Config) []servingRow {
 			_, _, err := cachedStore.QueryRects(name, rects)
 			return err
 		}))
+	}
+	// Parallel-crossover rows, as in runServing.
+	const bigBatch = 10000
+	bigRects := make([]dphist.RectSpec, bigBatch)
+	for i := range bigRects {
+		x0, y0 := rng.IntN(side), rng.IntN(side)
+		bigRects[i] = dphist.RectSpec{
+			X0: x0, Y0: y0,
+			X1: x0 + 1 + rng.IntN(side-x0),
+			Y1: y0 + 1 + rng.IntN(side-y0),
+		}
+	}
+	bigBatches := max(1, batches/5)
+	for _, name := range []string{"quadtree", "quadtree-consistent"} {
+		row := timeBatches("serving2d", name, side, bigBatch, bigBatches, func() error {
+			_, _, err := store.QueryRects(name, bigRects)
+			return err
+		})
+		row.Mode = "batch10k"
+		rows = append(rows, row)
 	}
 	printServingRows(rows)
 	return rows

@@ -55,6 +55,10 @@
 //	                  and resumes the stream where it stopped; replicas
 //	                  serve every read route bit-identically to the
 //	                  primary. See also cmd/dphist-router
+//	-pprof A          serve net/http/pprof on a separate listener at A
+//	                  (e.g. 127.0.0.1:6060), kept off the serving mux so
+//	                  profiling never rides the public address; works in
+//	                  both primary and -follow modes (empty = off)
 //
 // API:
 //
@@ -111,6 +115,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -148,8 +153,12 @@ func main() {
 		ingStrat   = flag.String("ingest-strategy", "universal", "pipeline for epoch releases")
 		liveEps    = flag.Float64("live-eps", 0, "per-stream epsilon for the live continual-count surface (0 = off)")
 		follow     = flag.String("follow", "", "run as a read replica of this primary's base URL (no dataset, no minting)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate loopback address, e.g. 127.0.0.1:6060 (empty = off)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
 	if *follow != "" {
 		// A follower loads no dataset and mints nothing: every flag that
 		// shapes the protected counts or the write path is meaningless,
@@ -437,6 +446,25 @@ func runFollower(primary, addr string, budget float64, seed uint64, branching in
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "dphist-server: %v\n", err)
 	os.Exit(1)
+}
+
+// startPprof serves net/http/pprof on its own listener, kept off the
+// serving mux so profiling stays on a loopback address operators never
+// expose. It runs for both primary and follower modes; a dead listener
+// is fatal up front rather than silently unprofileable.
+func startPprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fatal(fmt.Errorf("pprof listener %s: %w", addr, err))
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "dphist-server: pprof on http://%s/debug/pprof/\n", addr)
 }
 
 // reshape folds a 1-D histogram row-major into rows of the given width,

@@ -70,17 +70,25 @@
 //   - Mint (or decode, or recover): a pipeline produces a Release — the
 //     only step that costs epsilon.
 //   - Compile: every in-library release compiles an immutable query
-//     plan (internal/plan) at construction and again on DecodeRelease —
-//     prefix-sum tables for the positional and sorted strategies, an
-//     iterative subtree-decomposition plan when a universal hierarchy
-//     is not exactly consistent, a summed-area table (or quadtree
-//     decomposition plan) for the 2-D release. Plans answer validated
-//     queries in O(1) or O(log n) without allocating, for all seven
-//     strategies.
+//     plan (internal/plan) at construction and again on DecodeRelease,
+//     into one of four execution modes — "prefix" (O(1) prefix-sum
+//     lookups, the positional and sorted strategies and exactly
+//     consistent hierarchies), "tree-offset" (a branch-free O(log n)
+//     walk over per-level prefix tables when post-processing left the
+//     hierarchy inconsistent), "sat" (O(1) summed-area lookups for a
+//     consistent quadtree), and "quadtree-offset" (the per-level walk
+//     with one summed-area table per quadtree level). Plans answer
+//     validated queries without allocating, for all seven strategies.
 //   - Serve: QueryBatch answers many RangeSpec queries [Lo, Hi) against
-//     one release in a single call, validating every spec before
-//     answering any, then looping over the plan with no per-query
-//     interface dispatch. QueryBatchInto reuses a caller-owned result
+//     one release in a single call. The batch is the unit of execution:
+//     one branch-free validation pre-pass over every spec, then a
+//     columnar split into pooled lo/hi arrays swept by the plan's batch
+//     kernels (plan.RangeBatchInto/RectBatchInto). Batches at or above
+//     a per-mode crossover threshold (1024 specs for the offset-table
+//     modes, 8192 for the O(1) modes) are partitioned across a bounded
+//     process-wide worker pool of GOMAXPROCS goroutines on cache-line-
+//     aligned chunk boundaries; answers are bit-identical to the scalar
+//     path either way. QueryBatchInto reuses a caller-owned result
 //     buffer so steady-state serving allocates nothing at all.
 //
 // Store carries the retention side: releases behind names — versioned
@@ -124,11 +132,11 @@
 //     exactly consistent and the compiled plan carries a summed-area
 //     table, answering any rectangle in O(1) with four lookups and zero
 //     allocations — the 2-D analogue of the 1-D prefix-sum path.
-//   - Otherwise the plan answers each rectangle by an iterative
-//     quadtree decomposition (O(W+H) nodes worst case — perimeter-
-//     proportional, still allocation-free), which keeps the
-//     non-negativity truncation bias bounded per query instead of
-//     growing with the rectangle's area.
+//   - Otherwise the plan answers each rectangle by the quadtree-offset
+//     walk — eight summed-area lookups per quadtree level, O(log side)
+//     total, still allocation-free — which keeps the non-negativity
+//     truncation bias bounded per query instead of growing with the
+//     rectangle's area.
 //
 // Rectangle batches flow through the same store snapshot and answer
 // cache as range batches (Store.QueryRects, WithQueryCache).

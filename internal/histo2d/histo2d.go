@@ -218,6 +218,45 @@ func (g *Grid) RectSum(counts []float64, x0, y0, x1, y1 int) float64 {
 	return sum
 }
 
+// LevelSummedAreas compiles a BFS count vector into one summed-area
+// table per quadtree level, leaf level first. The nodes at level j
+// (counting from the leaves) tile the padded square with 2^j x 2^j cell
+// blocks and form a grid of side Side()>>j; out[j] is the standard
+// (side+1)^2 inclusion-exclusion table over their values, so any
+// axis-aligned block of same-level nodes sums in four lookups. This is
+// the compiled form behind the plan engine's quadtree-offset mode. It
+// panics if counts does not match the tree shape.
+func (g *Grid) LevelSummedAreas(counts []float64) [][]float64 {
+	if len(counts) != g.tree.NumNodes() {
+		panic(fmt.Sprintf("histo2d: count vector has %d entries, want %d", len(counts), g.tree.NumNodes()))
+	}
+	height := g.tree.Height()
+	out := make([][]float64, height)
+	for j := 0; j < height; j++ {
+		depth := height - 1 - j
+		start := g.tree.LevelStart(depth)
+		side := g.side >> j
+		stride := side + 1
+		// De-interleave the level's Morton-ordered nodes into row-major
+		// position, then accumulate the 2-D running sums.
+		vals := make([]float64, side*side)
+		for m := range vals {
+			x, y := mortonDecode(m)
+			vals[y*side+x] = counts[start+m]
+		}
+		sat := make([]float64, stride*stride)
+		for y := 1; y <= side; y++ {
+			rowSum := 0.0
+			for x := 1; x <= side; x++ {
+				rowSum += vals[(y-1)*side+(x-1)]
+				sat[y*stride+x] = sat[(y-1)*stride+x] + rowSum
+			}
+		}
+		out[j] = sat
+	}
+	return out
+}
+
 // isqrt returns the integer square root of a perfect square power of 4
 // (or 1).
 func isqrt(n int) int {

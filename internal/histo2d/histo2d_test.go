@@ -285,3 +285,48 @@ func BenchmarkRangeSum2D(b *testing.B) {
 		}
 	}
 }
+
+// LevelSummedAreas is the compiled form behind the plan engine's
+// quadtree-offset mode: each level's table must answer any block of
+// same-level nodes as the brute-force sum of their (Morton-ordered)
+// values.
+func TestLevelSummedAreas(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 8))
+	for _, side := range []int{1, 2, 4, 8} {
+		g := MustNew(side, side)
+		counts := make([]float64, g.NumNodes())
+		for i := range counts {
+			counts[i] = float64(rng.IntN(100)) - 20 // arbitrary, not consistent
+		}
+		levels := g.LevelSummedAreas(counts)
+		if len(levels) != g.TreeHeight() {
+			t.Fatalf("side=%d: %d levels, want %d", side, len(levels), g.TreeHeight())
+		}
+		for j, sat := range levels {
+			lvlSide := side >> j
+			stride := lvlSide + 1
+			depth := g.TreeHeight() - 1 - j
+			start := g.tree.LevelStart(depth)
+			for y0 := 0; y0 <= lvlSide; y0++ {
+				for y1 := y0; y1 <= lvlSide; y1++ {
+					for x0 := 0; x0 <= lvlSide; x0++ {
+						for x1 := x0; x1 <= lvlSide; x1++ {
+							want := 0.0
+							for m := 0; m < lvlSide*lvlSide; m++ {
+								x, y := mortonDecode(m)
+								if x >= x0 && x < x1 && y >= y0 && y < y1 {
+									want += counts[start+m]
+								}
+							}
+							got := sat[y1*stride+x1] - sat[y0*stride+x1] - sat[y1*stride+x0] + sat[y0*stride+x0]
+							if math.Abs(got-want) > 1e-9 {
+								t.Fatalf("side=%d level=%d block [%d,%d)x[%d,%d): %v, want %v",
+									side, j, x0, x1, y0, y1, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

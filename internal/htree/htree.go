@@ -290,6 +290,28 @@ func (t *Tree) RangeSum(counts []float64, lo, hi int) float64 {
 	return sum
 }
 
+// LevelPrefixSums compiles a BFS count vector into one running-sum table
+// per level, leaf level first: out[j] has LevelWidth(d)+1 entries for
+// depth d = Height()-1-j, and out[j][i+1]-out[j][i] is the value of the
+// i'th node at that depth. Any contiguous run of same-level nodes then
+// sums in two lookups, which is what the plan engine's tree-offset mode
+// builds its branch-free RangeSum walk on.
+func (t *Tree) LevelPrefixSums(counts []float64) [][]float64 {
+	t.checkLen(counts)
+	out := make([][]float64, t.height)
+	for j := 0; j < t.height; j++ {
+		depth := t.height - 1 - j
+		start := t.LevelStart(depth)
+		width := t.LevelWidth(depth)
+		row := make([]float64, width+1)
+		for i := 0; i < width; i++ {
+			row[i+1] = row[i] + counts[start+i]
+		}
+		out[j] = row
+	}
+	return out
+}
+
 func (t *Tree) checkLen(counts []float64) {
 	if len(counts) != t.nodes {
 		panic(fmt.Sprintf("htree: count vector has %d entries, tree has %d nodes", len(counts), t.nodes))

@@ -394,3 +394,36 @@ func BenchmarkFromLeaves(b *testing.B) {
 		tr.FromLeaves(unit)
 	}
 }
+
+// LevelPrefixSums is the compiled form behind the plan engine's
+// tree-offset mode: its tables must reproduce every node value and
+// every contiguous same-level run as a two-lookup difference.
+func TestLevelPrefixSums(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 3))
+	for _, k := range []int{2, 3, 4} {
+		for _, domain := range []int{1, 2, 9, 27, 64} {
+			tr := MustNew(k, domain)
+			counts := make([]float64, tr.NumNodes())
+			for i := range counts {
+				counts[i] = float64(rng.IntN(100)) - 20 // arbitrary, not consistent
+			}
+			levels := tr.LevelPrefixSums(counts)
+			if len(levels) != tr.Height() {
+				t.Fatalf("k=%d domain=%d: %d levels, want height %d", k, domain, len(levels), tr.Height())
+			}
+			for j, row := range levels {
+				depth := tr.Height() - 1 - j
+				width := tr.LevelWidth(depth)
+				if len(row) != width+1 {
+					t.Fatalf("level %d: %d entries, want %d", j, len(row), width+1)
+				}
+				start := tr.LevelStart(depth)
+				for i := 0; i < width; i++ {
+					if got := row[i+1] - row[i]; math.Abs(got-counts[start+i]) > 1e-9 {
+						t.Fatalf("level %d node %d: %v, want %v", j, i, got, counts[start+i])
+					}
+				}
+			}
+		}
+	}
+}

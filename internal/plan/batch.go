@@ -1,0 +1,94 @@
+package plan
+
+// Batch kernels: the batch, not the query, is the unit of execution on
+// the serving read path. Callers split a validated []RangeSpec /
+// []RectSpec batch into columnar int slices (one per endpoint) and the
+// kernels sweep them in flat loops — the prefix and SAT modes compile
+// to branch-free gather/subtract loops the compiler can unroll and
+// vectorize, and the offset-table modes run their short per-level walks
+// back to back with all tables hot in cache. Batches at or above a
+// per-mode crossover threshold are partitioned across the shared worker
+// pool (pool.go); answers are bit-identical either way, because every
+// element is computed by the same scalar recurrence regardless of how
+// the batch is partitioned.
+
+// RangeBatchInto answers a validated batch of half-open ranges into dst:
+// dst[i] = Range(lo[i], hi[i]). The three slices must have the same
+// length and every (lo[i], hi[i]) must already satisfy
+// 0 <= lo <= hi <= Domain() — the batch engines hoist validation into a
+// single pre-pass. It allocates nothing.
+func (p *Plan) RangeBatchInto(dst []float64, lo, hi []int) {
+	if len(lo) != len(dst) || len(hi) != len(dst) {
+		panic("plan: range batch columns do not match dst length")
+	}
+	threshold := parallelThresholdTable
+	if p.prefix != nil {
+		threshold = parallelThresholdO1
+	}
+	if len(dst) >= threshold {
+		parallelFor(len(dst), func(a, b int) {
+			p.rangeKernel(dst[a:b], lo[a:b], hi[a:b])
+		})
+		return
+	}
+	p.rangeKernel(dst, lo, hi)
+}
+
+func (p *Plan) rangeKernel(dst []float64, lo, hi []int) {
+	lo = lo[:len(dst)]
+	hi = hi[:len(dst)]
+	if prefix := p.prefix; prefix != nil {
+		for i := range dst {
+			dst[i] = prefix[hi[i]] - prefix[lo[i]]
+		}
+		return
+	}
+	if p.kShift != 0 {
+		for i := range dst {
+			dst[i] = p.treeOffsetRangePow2(lo[i], hi[i])
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = p.treeOffsetRangeAny(lo[i], hi[i])
+	}
+}
+
+// RectBatchInto answers a validated batch of half-open rectangles into
+// dst: dst[i] = Rect(x0[i], y0[i], x1[i], y1[i]). The five slices must
+// have the same length, the plan must be Rectangular, and every
+// rectangle must already be validated against Width and Height. It
+// allocates nothing.
+func (p *Plan) RectBatchInto(dst []float64, x0, y0, x1, y1 []int) {
+	if len(x0) != len(dst) || len(y0) != len(dst) || len(x1) != len(dst) || len(y1) != len(dst) {
+		panic("plan: rect batch columns do not match dst length")
+	}
+	threshold := parallelThresholdTable
+	if p.sat != nil {
+		threshold = parallelThresholdO1
+	}
+	if len(dst) >= threshold {
+		parallelFor(len(dst), func(a, b int) {
+			p.rectKernel(dst[a:b], x0[a:b], y0[a:b], x1[a:b], y1[a:b])
+		})
+		return
+	}
+	p.rectKernel(dst, x0, y0, x1, y1)
+}
+
+func (p *Plan) rectKernel(dst []float64, x0, y0, x1, y1 []int) {
+	x0 = x0[:len(dst)]
+	y0 = y0[:len(dst)]
+	x1 = x1[:len(dst)]
+	y1 = y1[:len(dst)]
+	if sat := p.sat; sat != nil {
+		stride := p.width + 1
+		for i := range dst {
+			dst[i] = satLookup(sat, stride, x0[i], y0[i], x1[i], y1[i])
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = p.quadOffsetRect(x0[i], y0[i], x1[i], y1[i])
+	}
+}

@@ -3,17 +3,28 @@
 // (spending epsilon) and then answers arbitrarily many range or
 // rectangle queries, so everything that can be computed ahead of the
 // first query should be: prefix-sum tables for positional and sorted
-// strategies, summed-area tables for 2-D grids, and iterative
-// tree-decomposition state when a hierarchy is not exactly consistent.
+// strategies, summed-area tables for 2-D grids, and per-level offset
+// tables when a hierarchy is not exactly consistent.
 //
-// A Plan answers *validated* queries with zero allocations:
+// A Plan answers *validated* queries with zero allocations, in one of
+// four execution modes:
 //
-//   - Range(lo, hi) in O(1) from prefix sums, or O(k log n) from an
-//     iterative subtree decomposition when the post-processed tree is
-//     inconsistent (truncation bias must stay bounded per covering node,
-//     so summing leaves is not equivalent).
-//   - Rect(x0, y0, x1, y1) in O(1) from a summed-area table, or by
-//     iterative quadtree decomposition under the same consistency rule.
+//   - "prefix": Range(lo, hi) in O(1) from prefix sums.
+//   - "tree-offset": Range by a branch-free bottom-up walk over
+//     per-level prefix-sum tables of the node values — the minimal
+//     subtree decomposition reduced to four table lookups per level,
+//     with no pointer chasing (used when the post-processed tree is
+//     inconsistent: truncation bias must stay bounded per covering
+//     node, so summing leaves is not equivalent).
+//   - "sat": Rect(x0, y0, x1, y1) in O(1) from a summed-area table.
+//   - "quadtree-offset": Rect by the same per-level walk over one
+//     summed-area table per quadtree level — eight lookups per level
+//     instead of a node-by-node DFS.
+//
+// Plans also answer whole batches: RangeBatchInto and RectBatchInto
+// sweep columnar query arrays in flat loops, and batches above a
+// per-mode crossover threshold are partitioned across a bounded
+// process-wide worker pool (see pool.go).
 //
 // Plans are immutable after compilation and safe for concurrent use;
 // the release store snapshots a plan under a read lock and answers whole
@@ -22,6 +33,7 @@ package plan
 
 import (
 	"math"
+	"math/bits"
 
 	"github.com/dphist/dphist/internal/histo2d"
 	"github.com/dphist/dphist/internal/htree"
@@ -37,16 +49,26 @@ type Plan struct {
 	// cells, so the 1-D view is always O(1).
 	prefix []float64
 
-	// tree and treeVals drive the iterative subtree decomposition for a
-	// hierarchy whose post-processed counts are not exactly consistent.
-	tree     *htree.Tree
-	treeVals []float64
+	// k and treeLevels drive the tree-offset walk for a hierarchy whose
+	// post-processed counts are not exactly consistent: one prefix-sum
+	// table per level of the node values, leaf level first (see
+	// htree.LevelPrefixSums). kShift is log2(k) when k is a power of
+	// two, else 0: the walk's two divisions per level dominate its cost,
+	// and the common power-of-two branching factors replace them with
+	// shifts (bit-identical for the non-negative operands involved).
+	k          int
+	kShift     uint
+	treeLevels [][]float64
 
 	// 2-D state; width == 0 means the plan answers no rectangles.
 	width, height int
 	sat           []float64 // (w+1) x (h+1) summed-area table, or nil
-	grid          *histo2d.Grid
-	gridVals      []float64
+
+	// gridSide and gridLevels drive the quadtree-offset walk: one
+	// summed-area table per quadtree level over the padded gridSide
+	// square, leaf level first (see histo2d.LevelSummedAreas).
+	gridSide   int
+	gridLevels [][]float64
 }
 
 // consistencyTol is the consistency tolerance for a post-processed count
@@ -66,49 +88,74 @@ func Compile1D(counts []float64) *Plan {
 
 // CompileTree compiles a hierarchy release: prefix sums over the leaves
 // when the post-processed tree is exactly consistent (decomposition and
-// leaf sums then agree, so O(1) is free), otherwise the iterative
-// decomposition plan over the retained node values. leaves is the
-// published unit vector over the real domain; vals is the BFS node
-// vector, retained by the plan when decomposition is needed.
+// leaf sums then agree, so O(1) is free), otherwise the tree-offset plan
+// compiled from the node values. leaves is the published unit vector
+// over the real domain; vals is the BFS node vector. A vals that does
+// not match the tree shape (including nil or empty) cannot drive a
+// decomposition, so the plan falls back to prefix sums over the leaves
+// rather than panicking.
 func CompileTree(t *htree.Tree, vals, leaves []float64) *Plan {
-	if t.IsConsistent(vals, consistencyTol(vals[0])) {
+	if len(vals) != t.NumNodes() || t.IsConsistent(vals, consistencyTol(vals[0])) {
 		return &Plan{domain: len(leaves), prefix: prefixSums(leaves)}
 	}
 	return TreeOnly(t, vals, len(leaves))
 }
 
-// TreeOnly compiles the decomposition plan unconditionally, bypassing
-// the consistency check — the fallback half of CompileTree, exported so
-// benchmarks and equivalence tests can pin the slow path.
+// TreeOnly compiles the tree-offset plan unconditionally, bypassing the
+// consistency check — the fallback half of CompileTree, exported so
+// benchmarks and equivalence tests can pin the slow path. A vals that
+// does not match the tree shape degrades to an all-zero prefix plan.
 func TreeOnly(t *htree.Tree, vals []float64, domain int) *Plan {
-	return &Plan{domain: domain, tree: t, treeVals: vals}
+	if len(vals) != t.NumNodes() {
+		return Compile1D(make([]float64, domain))
+	}
+	p := &Plan{domain: domain, k: t.K(), treeLevels: t.LevelPrefixSums(vals)}
+	if k := t.K(); k&(k-1) == 0 {
+		p.kShift = uint(bits.TrailingZeros(uint(k)))
+	}
+	return p
 }
 
 // Compile2D compiles a quadtree release over a Width x Height cell grid:
 // the 1-D row-major view always answers from prefix sums, and rectangles
 // answer from a summed-area table when the post-processed quadtree is
-// exactly consistent, else by iterative quadtree decomposition over the
-// retained node values. cells is the published row-major cell vector.
+// exactly consistent, else by the quadtree-offset walk over per-level
+// summed-area tables. cells is the published row-major cell vector. As
+// with CompileTree, a vals that does not match the tree shape falls back
+// to the summed-area table over the cells rather than panicking.
 func Compile2D(g *histo2d.Grid, vals, cells []float64) *Plan {
-	p := Grid2DOnly(g, vals, cells)
-	if g.IsConsistent(vals, consistencyTol(vals[0])) {
+	p := plan2DBase(g, cells)
+	if len(vals) != g.NumNodes() || g.IsConsistent(vals, consistencyTol(vals[0])) {
 		p.sat = summedAreaTable(cells, g.Width(), g.Height())
+		return p
 	}
+	p.gridSide = g.Side()
+	p.gridLevels = g.LevelSummedAreas(vals)
 	return p
 }
 
-// Grid2DOnly compiles the 2-D plan without a summed-area table, pinning
-// rectangle answers to the quadtree decomposition — the fallback half of
-// Compile2D, exported so benchmarks and equivalence tests can pin the
-// slow path.
+// Grid2DOnly compiles the 2-D plan without the O(1) summed-area table,
+// pinning rectangle answers to the quadtree-offset walk — the fallback
+// half of Compile2D, exported so benchmarks and equivalence tests can
+// pin the slow path. A vals that does not match the tree shape degrades
+// to the summed-area table over the cells.
 func Grid2DOnly(g *histo2d.Grid, vals, cells []float64) *Plan {
+	p := plan2DBase(g, cells)
+	if len(vals) != g.NumNodes() {
+		p.sat = summedAreaTable(cells, g.Width(), g.Height())
+		return p
+	}
+	p.gridSide = g.Side()
+	p.gridLevels = g.LevelSummedAreas(vals)
+	return p
+}
+
+func plan2DBase(g *histo2d.Grid, cells []float64) *Plan {
 	return &Plan{
-		domain:   len(cells),
-		prefix:   prefixSums(cells),
-		width:    g.Width(),
-		height:   g.Height(),
-		grid:     g,
-		gridVals: vals,
+		domain: len(cells),
+		prefix: prefixSums(cells),
+		width:  g.Width(),
+		height: g.Height(),
 	}
 }
 
@@ -160,17 +207,17 @@ func (p *Plan) Consistent() bool {
 }
 
 // Mode names the native-query execution strategy, for logs and bench
-// labels: "prefix", "tree", "sat", or "quadtree".
+// labels: "prefix", "tree-offset", "sat", or "quadtree-offset".
 func (p *Plan) Mode() string {
 	switch {
 	case p.Rectangular() && p.sat != nil:
 		return "sat"
 	case p.Rectangular():
-		return "quadtree"
+		return "quadtree-offset"
 	case p.prefix != nil:
 		return "prefix"
 	default:
-		return "tree"
+		return "tree-offset"
 	}
 }
 
@@ -181,7 +228,76 @@ func (p *Plan) Range(lo, hi int) float64 {
 	if p.prefix != nil {
 		return p.prefix[hi] - p.prefix[lo]
 	}
-	return p.tree.RangeSum(p.treeVals, lo, hi)
+	return p.treeOffsetRange(lo, hi)
+}
+
+// treeOffsetRange answers [lo, hi) from the per-level offset tables.
+// At each level the minimal subtree decomposition contributes at most
+// two contiguous runs of nodes — those inside the range but not covered
+// by a fully-inside parent — and a contiguous run is a difference of
+// two prefix-table entries. The walk is bottom-up: nl/nr are the range
+// endpoints propagated to the parent level (first fully-covered parent,
+// one past the last), and [l, nl*k) plus [nr*k, r) are this level's
+// emitted runs, summed as (t[r]-t[l]) - (t[nr*k]-t[nl*k]). It exits as
+// soon as the surviving range is empty, so a width-w query costs
+// O(log w) levels of four lookups each — no pointer chasing and no
+// per-node branching, which is what closes the inconsistent-tree gap.
+func (p *Plan) treeOffsetRange(lo, hi int) float64 {
+	if p.kShift != 0 {
+		return p.treeOffsetRangePow2(lo, hi)
+	}
+	return p.treeOffsetRangeAny(lo, hi)
+}
+
+// treeOffsetRangePow2 is the walk for power-of-two branching factors:
+// the endpoint propagation's two divisions per level become shifts,
+// which is worth ~2x on the whole query. Shift and division agree
+// exactly here — every operand is non-negative.
+func (p *Plan) treeOffsetRangePow2(lo, hi int) float64 {
+	sum := 0.0
+	shift := p.kShift
+	mask := p.k - 1
+	l, r := lo, hi
+	levels := p.treeLevels
+	last := len(levels) - 1
+	for j := 0; l < r; j++ {
+		t := levels[j]
+		if j == last {
+			sum += t[r] - t[l]
+			break
+		}
+		nl := (l + mask) >> shift
+		nr := r >> shift
+		if nr < nl {
+			nr = nl
+		}
+		sum += (t[r] - t[l]) - (t[nr<<shift] - t[nl<<shift])
+		l, r = nl, nr
+	}
+	return sum
+}
+
+func (p *Plan) treeOffsetRangeAny(lo, hi int) float64 {
+	sum := 0.0
+	k := p.k
+	l, r := lo, hi
+	levels := p.treeLevels
+	last := len(levels) - 1
+	for j := 0; l < r; j++ {
+		t := levels[j]
+		if j == last {
+			sum += t[r] - t[l]
+			break
+		}
+		nl := (l + k - 1) / k
+		nr := r / k
+		if nr < nl {
+			nr = nl
+		}
+		sum += (t[r] - t[l]) - (t[nr*k] - t[nl*k])
+		l, r = nl, nr
+	}
+	return sum
 }
 
 // Rect answers the half-open rectangle [x0, x1) x [y0, y1) over the cell
@@ -190,10 +306,47 @@ func (p *Plan) Range(lo, hi int) float64 {
 // and cannot fail.
 func (p *Plan) Rect(x0, y0, x1, y1 int) float64 {
 	if p.sat != nil {
-		stride := p.width + 1
-		return p.sat[y1*stride+x1] - p.sat[y0*stride+x1] - p.sat[y1*stride+x0] + p.sat[y0*stride+x0]
+		return satLookup(p.sat, p.width+1, x0, y0, x1, y1)
 	}
-	return p.grid.RectSum(p.gridVals, x0, y0, x1, y1)
+	return p.quadOffsetRect(x0, y0, x1, y1)
+}
+
+// quadOffsetRect is treeOffsetRange in two dimensions: at each quadtree
+// level the decomposition's fully-covered nodes form an axis-aligned
+// block minus the block already covered by fully-inside parents, and
+// each block is four lookups in that level's summed-area table. The
+// per-dimension endpoint propagation mirrors the 1-D walk with k = 2.
+func (p *Plan) quadOffsetRect(x0, y0, x1, y1 int) float64 {
+	sum := 0.0
+	lx, ly, rx, ry := x0, y0, x1, y1
+	last := len(p.gridLevels) - 1
+	for j := 0; lx < rx && ly < ry; j++ {
+		sat := p.gridLevels[j]
+		stride := p.gridSide>>j + 1
+		if j == last {
+			sum += satLookup(sat, stride, lx, ly, rx, ry)
+			break
+		}
+		nlx, nly := (lx+1)/2, (ly+1)/2
+		nrx, nry := rx/2, ry/2
+		if nrx < nlx {
+			nrx = nlx
+		}
+		if nry < nly {
+			nry = nly
+		}
+		sum += satLookup(sat, stride, lx, ly, rx, ry) - satLookup(sat, stride, 2*nlx, 2*nly, 2*nrx, 2*nry)
+		lx, ly, rx, ry = nlx, nly, nrx, nry
+	}
+	return sum
+}
+
+// satLookup is the four-lookup rectangle sum over a summed-area table
+// with the given row stride. Both the scalar Rect path and the batch
+// kernel go through it, so their floating-point answers are
+// bit-identical.
+func satLookup(sat []float64, stride, x0, y0, x1, y1 int) float64 {
+	return sat[y1*stride+x1] - sat[y0*stride+x1] - sat[y1*stride+x0] + sat[y0*stride+x0]
 }
 
 // Total answers the full-domain query: the whole range for a 1-D plan,

@@ -54,7 +54,7 @@ func TestCompileTreeConsistent(t *testing.T) {
 		t.Fatalf("consistent tree compiled to %q", p.Mode())
 	}
 	forced := TreeOnly(tree, vals, 13)
-	if forced.Mode() != "tree" {
+	if forced.Mode() != "tree-offset" {
 		t.Fatalf("TreeOnly compiled to %q", forced.Mode())
 	}
 	for lo := 0; lo <= 13; lo++ {
@@ -78,7 +78,7 @@ func TestCompileTreeInconsistent(t *testing.T) {
 	vals[0] += 5 // break root consistency: decomposition semantics must win
 	leaves := tree.Leaves(vals)[:9]
 	p := CompileTree(tree, vals, leaves)
-	if p.Mode() != "tree" || p.Consistent() {
+	if p.Mode() != "tree-offset" || p.Consistent() {
 		t.Fatalf("inconsistent tree compiled to %q", p.Mode())
 	}
 	// The full-domain query must answer the root, not the leaf sum.
@@ -116,7 +116,7 @@ func TestCompile2D(t *testing.T) {
 		t.Fatalf("plan shape: %dx%d mode %q", p.Width(), p.Height(), p.Mode())
 	}
 	forced := Grid2DOnly(grid, vals, cells)
-	if forced.Mode() != "quadtree" || forced.Consistent() {
+	if forced.Mode() != "quadtree-offset" || forced.Consistent() {
 		t.Fatalf("Grid2DOnly compiled to %q", forced.Mode())
 	}
 	for x0 := 0; x0 <= w; x0++ {
@@ -182,9 +182,9 @@ func TestPlanAnswersWithoutAllocating(t *testing.T) {
 		p    *Plan
 	}{
 		{"prefix", Compile1D(leaves)},
-		{"tree", TreeOnly(tree, vals, 64)},
+		{"tree-offset", TreeOnly(tree, vals, 64)},
 		{"sat", Compile2D(grid, gvals, cells)},
-		{"quadtree", Grid2DOnly(grid, gvals, cells)},
+		{"quadtree-offset", Grid2DOnly(grid, gvals, cells)},
 	} {
 		if tc.p.Mode() != tc.mode {
 			t.Fatalf("mode %q compiled as %q", tc.mode, tc.p.Mode())
@@ -200,5 +200,192 @@ func TestPlanAnswersWithoutAllocating(t *testing.T) {
 			t.Errorf("%s plan allocates %v per query", tc.mode, allocs)
 		}
 		_ = sink
+	}
+}
+
+// The tree-offset walk must agree with the minimal subtree
+// decomposition on arbitrary (inconsistent) node vectors — integer
+// values make the comparison exact regardless of summation order.
+func TestTreeOffsetMatchesDecomposition(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5} {
+		for _, domain := range []int{1, 2, 7, 16, 33, 100} {
+			tree := htree.MustNew(k, domain)
+			vals := make([]float64, tree.NumNodes())
+			for i := range vals {
+				vals[i] = float64((i*13+5)%37) - 9
+			}
+			p := TreeOnly(tree, vals, domain)
+			if p.Mode() != "tree-offset" {
+				t.Fatalf("k=%d domain=%d compiled to %q", k, domain, p.Mode())
+			}
+			for lo := 0; lo <= domain; lo++ {
+				for hi := lo; hi <= domain; hi++ {
+					want := 0.0
+					if lo < hi {
+						for _, v := range tree.Decompose(lo, hi) {
+							want += vals[v]
+						}
+					}
+					if got := p.Range(lo, hi); got != want {
+						t.Fatalf("k=%d domain=%d Range(%d,%d) = %v, decomposition %v", k, domain, lo, hi, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The quadtree-offset walk must agree with the DFS quadtree
+// decomposition on arbitrary (inconsistent) node vectors.
+func TestQuadOffsetMatchesDecomposition(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {2, 2}, {3, 2}, {5, 3}, {8, 8}, {13, 9}} {
+		w, h := dims[0], dims[1]
+		grid := histo2d.MustNew(w, h)
+		vals := make([]float64, grid.NumNodes())
+		for i := range vals {
+			vals[i] = float64((i*17+3)%41) - 11
+		}
+		cells := make([]float64, w*h)
+		p := Grid2DOnly(grid, vals, cells)
+		if p.Mode() != "quadtree-offset" {
+			t.Fatalf("%dx%d compiled to %q", w, h, p.Mode())
+		}
+		for x0 := 0; x0 <= w; x0++ {
+			for x1 := x0; x1 <= w; x1++ {
+				for y0 := 0; y0 <= h; y0++ {
+					for y1 := y0; y1 <= h; y1++ {
+						want := grid.RectSum(vals, x0, y0, x1, y1)
+						if got := p.Rect(x0, y0, x1, y1); got != want {
+							t.Fatalf("%dx%d Rect(%d,%d,%d,%d) = %v, decomposition %v", w, h, x0, y0, x1, y1, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Degenerate node vectors (nil, empty, wrong length) must compile to a
+// defined plan instead of panicking on vals[0].
+func TestCompileDegenerateNodeVectors(t *testing.T) {
+	tree := htree.MustNew(2, 4)
+	leaves := []float64{1, 2, 3, 4}
+	for _, vals := range [][]float64{nil, {}, {1, 2}} {
+		p := CompileTree(tree, vals, leaves)
+		if p.Mode() != "prefix" || p.Domain() != 4 {
+			t.Fatalf("CompileTree(%v) compiled to %q domain %d", vals, p.Mode(), p.Domain())
+		}
+		if got := p.Range(1, 4); got != 9 {
+			t.Fatalf("CompileTree(%v) Range(1,4) = %v, want 9", vals, got)
+		}
+		forced := TreeOnly(tree, vals, 4)
+		if forced.Mode() != "prefix" || forced.Domain() != 4 || forced.Range(0, 4) != 0 {
+			t.Fatalf("TreeOnly(%v) compiled to %q with Range(0,4)=%v", vals, forced.Mode(), forced.Range(0, 4))
+		}
+	}
+	grid := histo2d.MustNew(2, 2)
+	cells := []float64{1, 2, 3, 4}
+	for _, vals := range [][]float64{nil, {}, {1, 2, 3}} {
+		p := Compile2D(grid, vals, cells)
+		if p.Mode() != "sat" {
+			t.Fatalf("Compile2D(%v) compiled to %q", vals, p.Mode())
+		}
+		if got := p.Rect(0, 0, 2, 2); got != 10 {
+			t.Fatalf("Compile2D(%v) Rect = %v, want 10", vals, got)
+		}
+		forced := Grid2DOnly(grid, vals, cells)
+		if forced.Mode() != "sat" || forced.Rect(0, 1, 2, 2) != 7 {
+			t.Fatalf("Grid2DOnly(%v) compiled to %q", vals, forced.Mode())
+		}
+	}
+}
+
+// The batch kernels must be bit-identical to the scalar path in every
+// mode, at sizes below and above the parallel crossover thresholds.
+func TestBatchKernelsMatchScalar(t *testing.T) {
+	tree, vals, _ := buildTree(t, 2, 512)
+	leaves := tree.Leaves(vals)[:512]
+	plans := []struct {
+		mode string
+		p    *Plan
+	}{
+		{"prefix", Compile1D(leaves)},
+		{"tree-offset", TreeOnly(tree, vals, 512)},
+	}
+	for _, tc := range plans {
+		for _, size := range []int{0, 1, 7, 1000, parallelThresholdO1 + 1000} {
+			lo := make([]int, size)
+			hi := make([]int, size)
+			for i := range lo {
+				a, b := (i*31)%513, (i*17)%513
+				if a > b {
+					a, b = b, a
+				}
+				lo[i], hi[i] = a, b
+			}
+			dst := make([]float64, size)
+			tc.p.RangeBatchInto(dst, lo, hi)
+			for i := range dst {
+				if want := tc.p.Range(lo[i], hi[i]); dst[i] != want {
+					t.Fatalf("%s size %d: dst[%d] = %v, scalar %v", tc.mode, size, i, dst[i], want)
+				}
+			}
+		}
+	}
+
+	grid := histo2d.MustNew(16, 16)
+	gvals := make([]float64, grid.NumNodes())
+	for i := range gvals {
+		gvals[i] = float64((i*7 + 1) % 23)
+	}
+	cells := make([]float64, 256)
+	for i := range cells {
+		cells[i] = float64((i * 3) % 11)
+	}
+	plans2d := []struct {
+		mode string
+		p    *Plan
+	}{
+		{"sat", Compile2D(grid, nil, cells)},
+		{"quadtree-offset", Grid2DOnly(grid, gvals, cells)},
+	}
+	for _, tc := range plans2d {
+		for _, size := range []int{0, 1, 7, 1000, parallelThresholdO1 + 1000} {
+			x0 := make([]int, size)
+			y0 := make([]int, size)
+			x1 := make([]int, size)
+			y1 := make([]int, size)
+			for i := range x0 {
+				a, b := (i*5)%17, (i*11)%17
+				if a > b {
+					a, b = b, a
+				}
+				c, d := (i*3)%17, (i*13)%17
+				if c > d {
+					c, d = d, c
+				}
+				x0[i], x1[i], y0[i], y1[i] = a, b, c, d
+			}
+			dst := make([]float64, size)
+			tc.p.RectBatchInto(dst, x0, y0, x1, y1)
+			for i := range dst {
+				if want := tc.p.Rect(x0[i], y0[i], x1[i], y1[i]); dst[i] != want {
+					t.Fatalf("%s size %d: dst[%d] = %v, scalar %v", tc.mode, size, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// Below the crossover threshold the kernels must not allocate: the
+// batch engines' zero-allocation promise rides on them.
+func TestBatchKernelsNoAllocBelowThreshold(t *testing.T) {
+	tree, vals, _ := buildTree(t, 2, 64)
+	p := TreeOnly(tree, vals, 64)
+	lo := []int{0, 3, 17}
+	hi := []int{5, 40, 64}
+	dst := make([]float64, 3)
+	if allocs := testing.AllocsPerRun(100, func() { p.RangeBatchInto(dst, lo, hi) }); allocs != 0 {
+		t.Errorf("RangeBatchInto allocates %v per batch", allocs)
 	}
 }

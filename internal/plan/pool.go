@@ -1,0 +1,90 @@
+package plan
+
+import (
+	"runtime"
+	"sync"
+)
+
+const (
+	// Crossover thresholds: the batch size at which fanning a kernel out
+	// across the pool beats running it inline, found by benchmark
+	// (BenchmarkRangeKernel / BenchmarkRectKernel in the root package).
+	// Dispatch plus wakeup costs a few microseconds, so the O(1) prefix
+	// and SAT modes — a handful of ns per query — only win on
+	// multi-thousand batches, while the offset-table walks (tens of ns
+	// per query) amortize it several times earlier.
+	parallelThresholdO1    = 8192
+	parallelThresholdTable = 1024
+
+	// chunkAlign keeps every partition boundary a multiple of 8 answers —
+	// 8 float64s is one 64-byte cache line — so adjacent workers never
+	// store to the same line of dst.
+	chunkAlign = 8
+)
+
+// The process-wide batch worker pool. One pool is shared by every plan
+// in the process so concurrent large batches contend for GOMAXPROCS
+// workers instead of spawning goroutines per batch. It starts lazily on
+// the first above-threshold batch and is sized once at that point.
+var (
+	poolOnce  sync.Once
+	poolSize  int
+	poolTasks chan poolTask
+)
+
+type poolTask struct {
+	f      func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+func startPool() {
+	poolSize = runtime.GOMAXPROCS(0)
+	poolTasks = make(chan poolTask, 4*poolSize)
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for t := range poolTasks {
+				t.f(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelFor partitions [0, n) into cache-line-aligned chunks, one per
+// pool worker, and runs f over them concurrently. The submitting
+// goroutine always participates: it hands the tail chunks to the pool
+// with a non-blocking send — falling back to running a chunk inline
+// when every worker is busy with other batches — and then runs the
+// first chunk itself, so a saturated pool degrades to inline execution
+// rather than queueing or deadlocking. Each index is covered exactly
+// once.
+func parallelFor(n int, f func(lo, hi int)) {
+	poolOnce.Do(startPool)
+	chunks := poolSize
+	if maxChunks := (n + chunkAlign - 1) / chunkAlign; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if chunks <= 1 {
+		f(0, n)
+		return
+	}
+	chunk := (n + chunks - 1) / chunks
+	chunk = (chunk + chunkAlign - 1) / chunkAlign * chunkAlign
+	var wg sync.WaitGroup
+	for start := chunk; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		select {
+		case poolTasks <- poolTask{f: f, lo: start, hi: end, wg: &wg}:
+		default:
+			f(start, end)
+			wg.Done()
+		}
+	}
+	f(0, chunk)
+	wg.Wait()
+}

@@ -149,10 +149,13 @@ func (c *Cache[B]) Do(k Key, batch B, compute func() ([]float64, error)) ([]floa
 	sh.mu.Lock()
 	if e, ok := sh.items[k]; ok && c.eq(e.batch, batch) {
 		sh.recency.MoveToFront(e.elem)
-		out := append([]float64(nil), e.answers...)
+		answers := e.answers
 		sh.mu.Unlock()
 		c.hits.Add(1)
-		return out, nil
+		// Copy outside the shard lock: answer slices are immutable once
+		// stored (storeLocked replaces them wholesale, never mutates), so
+		// a large hit's memcpy must not serialize the shard.
+		return append([]float64(nil), answers...), nil
 	}
 	if f, ok := sh.flights[k]; ok {
 		if !c.eq(f.batch, batch) {

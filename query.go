@@ -13,6 +13,8 @@ package dphist
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"github.com/dphist/dphist/internal/plan"
 )
@@ -57,15 +59,38 @@ func QueryBatchInto(dst []float64, r Release, specs []RangeSpec) ([]float64, err
 func answerRangesInto(dst []float64, pl *plan.Plan, r Release, specs []RangeSpec) ([]float64, error) {
 	keep := len(dst)
 	n := releaseDomainWithPlan(pl, r)
-	for i, q := range specs {
-		if q.Lo < 0 || q.Hi > n || q.Lo > q.Hi {
-			return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, badRange(q.Lo, q.Hi, n))
+	// Validation is one branch-free pre-pass over the batch: spec i is
+	// valid iff Lo, n-Hi, and Hi-Lo are all non-negative, so OR-ing the
+	// three leaves the accumulator's sign bit clear exactly when the
+	// whole batch is valid (signed overflow on adversarial endpoints can
+	// only set the sign bit on a spec that is already invalid, never
+	// clear it). The branchy scan runs only on the error path, to name
+	// the first offending index.
+	acc := 0
+	for _, q := range specs {
+		acc |= q.Lo | (n - q.Hi) | (q.Hi - q.Lo)
+	}
+	if acc < 0 {
+		for i, q := range specs {
+			if q.Lo < 0 || q.Hi > n || q.Lo > q.Hi {
+				return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, badRange(q.Lo, q.Hi, n))
+			}
 		}
 	}
 	if pl != nil {
-		for _, q := range specs {
-			dst = append(dst, pl.Range(q.Lo, q.Hi))
+		// Split the specs into pooled columnar arrays and hand the whole
+		// batch to the plan's kernel: dst is grown once, so the append
+		// loop's amortized doubling is gone from the hot path.
+		dst = slices.Grow(dst, len(specs))[:keep+len(specs)]
+		cols := rangeColsPool.Get().(*rangeCols)
+		lo := slices.Grow(cols.lo[:0], len(specs))[:len(specs)]
+		hi := slices.Grow(cols.hi[:0], len(specs))[:len(specs)]
+		for i, q := range specs {
+			lo[i], hi[i] = q.Lo, q.Hi
 		}
+		pl.RangeBatchInto(dst[keep:], lo, hi)
+		cols.lo, cols.hi = lo, hi
+		rangeColsPool.Put(cols)
 		return dst, nil
 	}
 	for i, q := range specs {
@@ -81,6 +106,13 @@ func answerRangesInto(dst []float64, pl *plan.Plan, r Release, specs []RangeSpec
 	}
 	return dst, nil
 }
+
+// rangeCols is the columnar scratch a batch is split into before the
+// plan kernels sweep it; pooled so steady-state serving allocates
+// nothing per batch.
+type rangeCols struct{ lo, hi []int }
+
+var rangeColsPool = sync.Pool{New: func() any { return new(rangeCols) }}
 
 // planner is implemented by every in-library release (enforced at
 // compile time in results.go): it exposes the immutable query plan

@@ -13,6 +13,8 @@ package dphist
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sync"
 
 	"github.com/dphist/dphist/internal/plan"
 )
@@ -87,15 +89,36 @@ func answerRectsInto(dst []float64, pl *plan.Plan, r Release, specs []RectSpec) 
 		pl = nil // a 1-D plan answers no rectangles; use the interface
 		w, h = rq.Width(), rq.Height()
 	}
-	for i, q := range specs {
-		if q.X0 < 0 || q.Y0 < 0 || q.X1 > w || q.Y1 > h || q.X0 > q.X1 || q.Y0 > q.Y1 {
-			return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, badRect(q.X0, q.Y0, q.X1, q.Y1, w, h))
+	// Branch-free batch validation, as in answerRangesInto: all six
+	// non-negativity conditions OR into one sign-bit test, and the
+	// branchy scan runs only on the error path to name the first
+	// offending index.
+	acc := 0
+	for _, q := range specs {
+		acc |= q.X0 | q.Y0 | (w - q.X1) | (h - q.Y1) | (q.X1 - q.X0) | (q.Y1 - q.Y0)
+	}
+	if acc < 0 {
+		for i, q := range specs {
+			if q.X0 < 0 || q.Y0 < 0 || q.X1 > w || q.Y1 > h || q.X0 > q.X1 || q.Y0 > q.Y1 {
+				return dst[:keep], fmt.Errorf("dphist: query %d: %w", i, badRect(q.X0, q.Y0, q.X1, q.Y1, w, h))
+			}
 		}
 	}
 	if pl != nil {
-		for _, q := range specs {
-			dst = append(dst, pl.Rect(q.X0, q.Y0, q.X1, q.Y1))
+		// Columnar split + one kernel call over the whole batch, mirroring
+		// the 1-D engine.
+		dst = slices.Grow(dst, len(specs))[:keep+len(specs)]
+		cols := rectColsPool.Get().(*rectCols)
+		x0 := slices.Grow(cols.x0[:0], len(specs))[:len(specs)]
+		y0 := slices.Grow(cols.y0[:0], len(specs))[:len(specs)]
+		x1 := slices.Grow(cols.x1[:0], len(specs))[:len(specs)]
+		y1 := slices.Grow(cols.y1[:0], len(specs))[:len(specs)]
+		for i, q := range specs {
+			x0[i], y0[i], x1[i], y1[i] = q.X0, q.Y0, q.X1, q.Y1
 		}
+		pl.RectBatchInto(dst[keep:], x0, y0, x1, y1)
+		cols.x0, cols.y0, cols.x1, cols.y1 = x0, y0, x1, y1
+		rectColsPool.Put(cols)
 		return dst, nil
 	}
 	for i, q := range specs {
@@ -107,3 +130,9 @@ func answerRectsInto(dst []float64, pl *plan.Plan, r Release, specs []RectSpec) 
 	}
 	return dst, nil
 }
+
+// rectCols is the 2-D twin of rangeCols: pooled columnar scratch for
+// rectangle batches.
+type rectCols struct{ x0, y0, x1, y1 []int }
+
+var rectColsPool = sync.Pool{New: func() any { return new(rectCols) }}

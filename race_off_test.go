@@ -1,0 +1,5 @@
+//go:build !race
+
+package dphist
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package dphist
+
+// raceEnabled gates allocation-count assertions: the race-enabled
+// sync.Pool deliberately drops a fraction of Puts to shake out races,
+// so pool-backed paths show spurious allocations under -race.
+const raceEnabled = true

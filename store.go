@@ -740,7 +740,12 @@ func (s *Store) query(ns, name string, specs []RangeSpec) ([]float64, StoreEntry
 	if !ok {
 		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
 	}
-	compute := func() ([]float64, error) { return answerRangesInto(nil, pl, rel, specs) }
+	// Presize the answer buffer: the batch engine grows dst once for the
+	// whole batch, so handing it exact capacity makes the compute path a
+	// single allocation.
+	compute := func() ([]float64, error) {
+		return answerRangesInto(make([]float64, 0, len(specs)), pl, rel, specs)
+	}
 	if c := s.rangeCache; c != nil {
 		answers, err := c.Do(qcache.Key{
 			Namespace: ns, Name: name, Version: entry.Version,
@@ -763,7 +768,9 @@ func (s *Store) queryRects(ns, name string, specs []RectSpec) ([]float64, StoreE
 	if !ok {
 		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
 	}
-	compute := func() ([]float64, error) { return answerRectsInto(nil, pl, rel, specs) }
+	compute := func() ([]float64, error) {
+		return answerRectsInto(make([]float64, 0, len(specs)), pl, rel, specs)
+	}
 	if c := s.rectCache; c != nil {
 		answers, err := c.Do(qcache.Key{
 			Namespace: ns, Name: name, Version: entry.Version,
