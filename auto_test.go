@@ -1,0 +1,410 @@
+package dphist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"sort"
+	"testing"
+)
+
+func autoCounts() []float64 {
+	return []float64{2, 0, 10, 2, 5, 5, 5, 5, 1, 3, 0, 7, 4, 4, 2, 6}
+}
+
+func pointsSketch() *WorkloadSketch {
+	return &WorkloadSketch{Preset: "points"}
+}
+
+func TestAutoResolvesAndStampsDecision(t *testing.T) {
+	m, err := New(WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := m.Release(Request{
+		Strategy: StrategyAuto,
+		Counts:   autoCounts(),
+		Epsilon:  0.5,
+		Workload: pointsSketch(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Strategy() == StrategyAuto || !rel.Strategy().Valid() {
+		t.Fatalf("auto release reports strategy %v", rel.Strategy())
+	}
+	dec, ok := ReleaseDecision(rel)
+	if !ok {
+		t.Fatal("no decision stamped on auto-minted release")
+	}
+	if dec.Strategy != rel.Strategy().String() {
+		t.Fatalf("decision strategy %q, release %v", dec.Strategy, rel.Strategy())
+	}
+	// A point workload is the laplace strategy's home turf: unit ranges
+	// cost one cell's noise each, while trees spend their higher
+	// sensitivity for range structure the workload never uses.
+	if dec.Strategy != "laplace" {
+		t.Fatalf("points workload resolved to %q", dec.Strategy)
+	}
+	if dec.Confidence != "exact" {
+		t.Fatalf("laplace prediction confidence %q", dec.Confidence)
+	}
+	if len(dec.Alternatives) < 5 {
+		t.Fatalf("only %d alternatives evaluated", len(dec.Alternatives))
+	}
+	if !sort.SliceIsSorted(dec.Alternatives, func(i, j int) bool {
+		return dec.Alternatives[i].PredictedError < dec.Alternatives[j].PredictedError
+	}) {
+		t.Fatalf("alternatives not ranked: %+v", dec.Alternatives)
+	}
+	if dec.Alternatives[0].Strategy != dec.Strategy {
+		t.Fatalf("winner %q not first alternative %q", dec.Strategy, dec.Alternatives[0].Strategy)
+	}
+}
+
+func TestDirectMintHasNoDecision(t *testing.T) {
+	m, err := New(WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := m.Release(Request{Strategy: StrategyLaplace, Counts: autoCounts(), Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ReleaseDecision(rel); ok {
+		t.Fatal("explicit mint carries an auto decision")
+	}
+}
+
+func TestAutoWideRangesPickTree(t *testing.T) {
+	m, err := New(WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CDF workload over a larger domain: prefix widths average n/2,
+	// so the flat strategy's linear-in-width cost loses to the
+	// polylogarithmic tree strategies.
+	counts := make([]float64, 256)
+	for i := range counts {
+		counts[i] = float64(i % 7)
+	}
+	sk := &WorkloadSketch{Preset: "prefixes"}
+	rel, err := m.Release(Request{Strategy: StrategyAuto, Counts: counts, Epsilon: 0.5, Workload: sk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := ReleaseDecision(rel)
+	if dec.Strategy != "universal" && dec.Strategy != "wavelet" {
+		t.Fatalf("wide-range workload resolved to %q", dec.Strategy)
+	}
+}
+
+func TestAutoSessionChargesConcreteLabel(t *testing.T) {
+	m, err := New(WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := sess.Release(Request{
+		Strategy: StrategyAuto,
+		Counts:   autoCounts(),
+		Epsilon:  0.25,
+		Workload: pointsSketch(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := sess.Accountant().Log()
+	if len(log) != 1 {
+		t.Fatalf("%d charges after one release", len(log))
+	}
+	want := "release:" + rel.Strategy().String()
+	if log[0].Label != want {
+		t.Fatalf("ledger label %q, want %q", log[0].Label, want)
+	}
+}
+
+func TestAutoFailedResolutionSpendsNothing(t *testing.T) {
+	m, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Release(Request{
+		Strategy: StrategyAuto,
+		Counts:   autoCounts(),
+		Epsilon:  0.25,
+		Workload: &WorkloadSketch{Preset: "no_such_preset"},
+	})
+	if !errors.Is(err, ErrBadSketch) {
+		t.Fatalf("err = %v, want ErrBadSketch", err)
+	}
+	if spent := sess.Accountant().Spent(); spent != 0 {
+		t.Fatalf("failed resolution spent %v", spent)
+	}
+}
+
+func TestAutoSketchValidation(t *testing.T) {
+	counts := autoCounts()
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"no sketch", Request{Strategy: StrategyAuto, Counts: counts, Epsilon: 0.5}},
+		{"empty sketch", Request{Strategy: StrategyAuto, Counts: counts, Epsilon: 0.5,
+			Workload: &WorkloadSketch{}}},
+		{"unknown preset", Request{Strategy: StrategyAuto, Counts: counts, Epsilon: 0.5,
+			Workload: &WorkloadSketch{Preset: "bogus"}}},
+		{"range outside domain", Request{Strategy: StrategyAuto, Counts: counts, Epsilon: 0.5,
+			Workload: &WorkloadSketch{Ranges: []WeightedRange{{Lo: 0, Hi: 1000}}}}},
+		{"negative weight", Request{Strategy: StrategyAuto, Counts: counts, Epsilon: 0.5,
+			Workload: &WorkloadSketch{Ranges: []WeightedRange{{Lo: 0, Hi: 2, Weight: -1}}}}},
+		{"rects without cells", Request{Strategy: StrategyAuto, Counts: counts, Epsilon: 0.5,
+			Workload: &WorkloadSketch{Rects: []WeightedRect{{X1: 1, Y1: 1}}}}},
+		{"ranges without counts", Request{Strategy: StrategyAuto, Epsilon: 0.5,
+			Workload: pointsSketch()}},
+		{"oversized expansion", Request{Strategy: StrategyAuto,
+			Counts: make([]float64, 200), Epsilon: 0.5,
+			Workload: &WorkloadSketch{Preset: "all_ranges"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.req.Validate(); err == nil {
+				t.Fatal("validated")
+			}
+		})
+	}
+}
+
+func TestAutoCountOfCountsPreset(t *testing.T) {
+	m, err := New(WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := m.Release(Request{
+		Strategy: StrategyAuto,
+		Counts:   autoCounts(),
+		Epsilon:  0.5,
+		Workload: &WorkloadSketch{Preset: "count_of_counts"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, ok := ReleaseDecision(rel)
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if dec.PredictedError <= 0 || math.IsInf(dec.PredictedError, 0) {
+		t.Fatalf("predicted error %v", dec.PredictedError)
+	}
+}
+
+func TestAutoRectsOnlyResolvesUniversal2D(t *testing.T) {
+	m, err := New(WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := [][]float64{{1, 2, 3, 4}, {0, 5, 0, 1}, {2, 2, 2, 2}, {9, 0, 0, 1}}
+	rel, err := m.Release(Request{
+		Strategy: StrategyAuto,
+		Cells:    cells,
+		Epsilon:  0.5,
+		Workload: &WorkloadSketch{Rects: []WeightedRect{{X0: 0, Y0: 0, X1: 2, Y1: 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Strategy() != StrategyUniversal2D {
+		t.Fatalf("rects-only sketch resolved to %v", rel.Strategy())
+	}
+	dec, ok := ReleaseDecision(rel)
+	if !ok || dec.Strategy != "universal2d" {
+		t.Fatalf("decision %+v ok=%v", dec, ok)
+	}
+}
+
+func TestAutoHierarchyEntersComparison(t *testing.T) {
+	m, err := New(WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One root over two leaves: leaves are nodes 1 and 2.
+	h, err := NewHierarchy([]int{-1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := m.Release(Request{
+		Strategy:  StrategyAuto,
+		Counts:    []float64{3, 4},
+		Epsilon:   0.5,
+		Hierarchy: h,
+		Workload:  pointsSketch(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := ReleaseDecision(rel)
+	found := false
+	for _, alt := range dec.Alternatives {
+		if alt.Strategy == "hierarchy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hierarchy missing from alternatives: %+v", dec.Alternatives)
+	}
+}
+
+func TestAutoDecisionSurvivesJSONRoundTrip(t *testing.T) {
+	m, err := New(WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := m.Release(Request{
+		Strategy: StrategyAuto,
+		Counts:   autoCounts(),
+		Epsilon:  0.5,
+		Workload: pointsSketch(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeRelease(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ReleaseDecision(rel)
+	got, ok := ReleaseDecision(decoded)
+	if !ok {
+		t.Fatal("decision lost in round-trip")
+	}
+	if got.Strategy != want.Strategy || got.PredictedError != want.PredictedError ||
+		got.Confidence != want.Confidence || len(got.Alternatives) != len(want.Alternatives) {
+		t.Fatalf("decision mutated: got %+v want %+v", got, want)
+	}
+	// Bit-stability: re-encoding the decoded release reproduces the bytes.
+	again, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoded release differs from original bytes")
+	}
+}
+
+func TestAutoDecisionSurvivesDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, WithBudget(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(WithSeed(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := m.Release(Request{
+		Strategy: StrategyAuto,
+		Counts:   autoCounts(),
+		Epsilon:  0.5,
+		Workload: pointsSketch(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ReleaseDecision(rel)
+	entry, err := store.Put("advised", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The journal records the concrete strategy, never the sentinel.
+	if entry.Strategy != rel.Strategy() {
+		t.Fatalf("journaled strategy %v, minted %v", entry.Strategy, rel.Strategy())
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenStore(dir, WithBudget(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got, entry2, ok := reopened.Get("advised")
+	if !ok {
+		t.Fatal("release lost across restart")
+	}
+	if entry2.Strategy != rel.Strategy() {
+		t.Fatalf("recovered entry strategy %v", entry2.Strategy)
+	}
+	dec, ok := ReleaseDecision(got)
+	if !ok {
+		t.Fatal("decision lost across restart")
+	}
+	if dec.Strategy != want.Strategy || dec.PredictedError != want.PredictedError {
+		t.Fatalf("recovered decision %+v, want %+v", dec, want)
+	}
+}
+
+func TestAutoInBatchMintsAndStamps(t *testing.T) {
+	m, err := New(WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{Strategy: StrategyAuto, Counts: autoCounts(), Epsilon: 0.5, Workload: pointsSketch()},
+		{Strategy: StrategyUniversal, Counts: autoCounts(), Epsilon: 0.5},
+	}
+	rels, err := m.ReleaseBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ReleaseDecision(rels[0]); !ok {
+		t.Fatal("batched auto release missing decision")
+	}
+	if _, ok := ReleaseDecision(rels[1]); ok {
+		t.Fatal("batched explicit release carries decision")
+	}
+}
+
+func TestStrategyAutoParsesButIsNotServable(t *testing.T) {
+	s, err := ParseStrategy("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != StrategyAuto {
+		t.Fatalf("parsed %v", s)
+	}
+	if s.Valid() {
+		t.Fatal("StrategyAuto reports Valid")
+	}
+	if s.String() != "auto" {
+		t.Fatalf("String() = %q", s.String())
+	}
+	for _, concrete := range Strategies() {
+		if concrete == StrategyAuto {
+			t.Fatal("StrategyAuto listed among concrete strategies")
+		}
+	}
+	text, err := s.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Strategy
+	if err := back.UnmarshalText(text); err != nil {
+		t.Fatal(err)
+	}
+	if back != StrategyAuto {
+		t.Fatalf("text round-trip gave %v", back)
+	}
+}

@@ -63,6 +63,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -126,6 +127,7 @@ func main() {
 		"nonneg":    runNonNeg,
 		"wavelet":   runWavelet,
 		"2d":        run2D,
+		"advisor":   func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runAdvisor(cfg)) },
 		"serving":   func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runServing(cfg)) },
 		"serving2d": func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runServing2D(cfg)) },
 		"ingest":    func(cfg experiments.Config) { writeServingJSON(*jsonTo, cfg.Seed, *scale, runIngest(cfg)) },
@@ -154,7 +156,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: dphist-bench [flags] <experiment>\n\n")
-	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d serving serving2d ingest reload replication compare all\n\n")
+	fmt.Fprintf(os.Stderr, "experiments: fig2 fig3 fig5 fig6 fig7 theorem2 theorem4 blum branching nonneg wavelet 2d advisor serving serving2d ingest reload replication compare all\n\n")
 	flag.PrintDefaults()
 }
 
@@ -1262,4 +1264,110 @@ func runWavelet(cfg experiments.Config) {
 		fmt.Fprintf(w, "%g\t%.4g\t%.4g\t%.4g\t\n", r.Epsilon, r.ErrWavelet, r.ErrHTilde, r.ErrHBar)
 	}
 	w.Flush()
+}
+
+// runAdvisor measures the auto-strategy serving path. Two things come
+// out of it: end-to-end resolve+mint latency per workload sketch — the
+// overhead a "strategy": "auto" request adds over a direct mint, which
+// joins BENCH_serving.json under the regression gate — and the
+// advisor's prediction accuracy, predicted vs measured error for the
+// strategy it picks, printed for the eye (a statistical figure; gating
+// it at 30% would flake).
+func runAdvisor(cfg experiments.Config) []servingRow {
+	const domain = 1 << 8
+	batches, trials := 400, 60
+	if cfg.Scale == experiments.ScaleSmall {
+		batches, trials = 150, 30
+	}
+	eps := 0.5
+	counts := make([]float64, domain)
+	for i := range counts {
+		counts[i] = float64((i * 13) % 23)
+	}
+
+	type sketchCase struct {
+		name   string
+		sketch *dphist.WorkloadSketch
+		ranges [][2]int // the sketch's expansion, for the accuracy measurement
+	}
+	var cases []sketchCase
+	points := sketchCase{name: "points", sketch: &dphist.WorkloadSketch{Preset: "points"}}
+	for i := 0; i < domain; i++ {
+		points.ranges = append(points.ranges, [2]int{i, i + 1})
+	}
+	prefixes := sketchCase{name: "prefixes", sketch: &dphist.WorkloadSketch{Preset: "prefixes"}}
+	for hi := 1; hi <= domain; hi++ {
+		prefixes.ranges = append(prefixes.ranges, [2]int{0, hi})
+	}
+	coc := sketchCase{name: "count_of_counts", sketch: &dphist.WorkloadSketch{Preset: "count_of_counts"}}
+	coc.ranges = append(append(coc.ranges, points.ranges...), prefixes.ranges...)
+	wide := sketchCase{name: "wide_ranges", sketch: &dphist.WorkloadSketch{}}
+	for lo := 0; lo+64 <= domain; lo += 16 {
+		wide.sketch.Ranges = append(wide.sketch.Ranges, dphist.WeightedRange{Lo: lo, Hi: lo + 64})
+		wide.ranges = append(wide.ranges, [2]int{lo, lo + 64})
+	}
+	cases = append(cases, points, prefixes, coc, wide)
+
+	fmt.Printf("== Auto-strategy advisor: resolve+mint latency and prediction accuracy (domain %d, eps %g) ==\n", domain, eps)
+	mech := dphist.MustNew(dphist.WithSeed(cfg.Seed))
+	var rows []servingRow
+	// Latency baseline: the same mint without resolution.
+	direct := dphist.Request{Strategy: dphist.StrategyUniversal, Counts: counts, Epsilon: eps}
+	rows = append(rows, timeBatches("advisor", "direct_universal", domain, 1, batches, func() error {
+		_, err := mech.Release(direct)
+		return err
+	}))
+	for _, c := range cases {
+		req := dphist.Request{Strategy: dphist.StrategyAuto, Counts: counts, Epsilon: eps, Workload: c.sketch}
+		rows = append(rows, timeBatches("advisor", c.name, domain, 1, batches, func() error {
+			_, err := mech.Release(req)
+			return err
+		}))
+	}
+	printServingRows(rows)
+
+	// Accuracy: the predictions describe the un-rounded, non-clamped
+	// linear mechanism, so measure that one.
+	fmt.Println("\nprediction accuracy (measured over", trials, "mints of the un-rounded mechanism):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "sketch\tchosen\tconfidence\tpredicted\tmeasured\tmeasured/predicted\t\n")
+	linear := dphist.MustNew(dphist.WithSeed(cfg.Seed+1), dphist.WithoutRounding(), dphist.WithoutNonNegativity())
+	prefix := make([]float64, domain+1)
+	sortedPrefix := make([]float64, domain+1)
+	sorted := append([]float64(nil), counts...)
+	slices.Sort(sorted)
+	for i := 0; i < domain; i++ {
+		prefix[i+1] = prefix[i] + counts[i]
+		sortedPrefix[i+1] = sortedPrefix[i] + sorted[i]
+	}
+	for _, c := range cases {
+		req := dphist.Request{Strategy: dphist.StrategyAuto, Counts: counts, Epsilon: eps, Workload: c.sketch}
+		total := 0.0
+		var dec dphist.AutoDecision
+		for trial := 0; trial < trials; trial++ {
+			rel, err := linear.Release(req)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			dec, _ = dphist.ReleaseDecision(rel)
+			truth := prefix
+			switch rel.Strategy() {
+			case dphist.StrategyUnattributed, dphist.StrategyDegreeSequence:
+				truth = sortedPrefix
+			}
+			for _, q := range c.ranges {
+				got, err := rel.Range(q[0], q[1])
+				if err != nil {
+					fatalf("%v", err)
+				}
+				d := got - (truth[q[1]] - truth[q[0]])
+				total += d * d
+			}
+		}
+		measured := total / float64(trials)
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.4g\t%.4g\t%.3f\t\n",
+			c.name, dec.Strategy, dec.Confidence, dec.PredictedError, measured, measured/dec.PredictedError)
+	}
+	w.Flush()
+	return rows
 }

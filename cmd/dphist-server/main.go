@@ -250,6 +250,11 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("-ingest-strategy: %w", err))
 		}
+		// The ingest pipeline has no workload sketch to resolve against;
+		// "auto" only makes sense on the request path.
+		if strategy == dphist.StrategyAuto {
+			fatal(errors.New("-ingest-strategy: auto is not a pipeline; pick a concrete strategy"))
+		}
 		domain := *ingDomain
 		if domain == 0 {
 			domain = *domainSize

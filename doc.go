@@ -17,7 +17,8 @@
 //
 // The public API is organized around three types:
 //
-//   - Request names a Strategy (one of the six release pipelines), the
+//   - Request names a Strategy (one of the seven release pipelines, or
+//     StrategyAuto to let the advisor pick one), the
 //     sensitive counts, and an epsilon. Mechanism.Release runs any of
 //     them through one entry point; Mechanism.ReleaseBatch fans a slice
 //     of requests across a worker pool with deterministic per-request
@@ -31,7 +32,7 @@
 //     composition — the paper's Appendix B server shape as a library
 //     value.
 //
-// The six strategies:
+// The seven strategies:
 //
 //   - StrategyUniversal (Mechanism.UniversalHistogram): a hierarchical
 //     release answering arbitrary range-count queries with
@@ -60,6 +61,43 @@
 // types with their strategy-specific extras (noisy baselines, tree
 // shape, graphicality checks); Release(Request) is the polymorphic
 // equivalent serving layers should build on.
+//
+// # Choosing a strategy
+//
+// Which pipeline answers a given query mix most accurately depends on
+// the workload, not the data: point lookups favor the flat Laplace
+// histogram, broad range scans favor the hierarchical strategies, and
+// the crossover moves with the domain size and epsilon. Section 7 of
+// the paper poses strategy selection as the open problem; the advisor
+// answers it analytically, before any budget is spent.
+//
+// Workload collects the weighted queries an analyst plans to ask —
+// Add for ranges, SetGrid/AddRect for rectangles — and Recommend ranks
+// every strategy the workload has inputs for by predicted expected
+// total squared error. Each Prediction carries a Confidence tag:
+// "exact" means a closed-form expectation of the linear mechanism
+// (laplace, wavelet, and universal up to 2048 padded leaves — beyond,
+// PredictHierarchical fails with ErrDomainTooLarge and Recommend
+// degrades to the H~ upper bound); "bound" means a one-sided figure
+// that post-processing can only improve on (the sorted strategies'
+// pre-isotonic noise cost, the hierarchy and quadtree per-node costs).
+// Predictions describe the un-rounded, non-clamped mechanism; rounding
+// adds at most 1/4 per cell.
+//
+// StrategyAuto wires the advisor through the mint path: a Request
+// carrying StrategyAuto plus a WorkloadSketch (weighted ranges, rects,
+// or a named preset — "points", "prefixes", "all_ranges", or the
+// count-of-counts workload "count_of_counts") is resolved to the
+// predicted-best concrete strategy before any budget is charged, then
+// minted normally. The resolution is stamped on the release as an
+// AutoDecision — chosen strategy, predicted error, the full ranked
+// field it beat — retrievable via ReleaseDecision and carried through
+// the JSON wire form, so provenance survives round-trips and durable
+// store recovery. Over HTTP, POST /v1/release and /v1/releases accept
+// "strategy": "auto" with a "workload" sketch, GET /v1/strategies
+// advertises "auto", and /v1/stats counts resolutions per chosen
+// strategy. Journals and store entries always record the concrete
+// strategy, never the sentinel.
 //
 // # Serving range queries: mint, compile, serve
 //

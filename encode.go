@@ -90,14 +90,15 @@ func checkHeader(version int, strategy string, want Strategy, eps float64) error
 
 // universalWire is the serialized form of a UniversalRelease.
 type universalWire struct {
-	Version  int       `json:"version"`
-	Strategy string    `json:"strategy"`
-	Epsilon  float64   `json:"epsilon"`
-	K        int       `json:"k"`
-	Domain   int       `json:"domain"`
-	Noisy    []float64 `json:"noisy"`
-	Inferred []float64 `json:"inferred"`
-	Post     []float64 `json:"post"`
+	Version  int           `json:"version"`
+	Strategy string        `json:"strategy"`
+	Epsilon  float64       `json:"epsilon"`
+	Auto     *AutoDecision `json:"auto,omitempty"`
+	K        int           `json:"k"`
+	Domain   int           `json:"domain"`
+	Noisy    []float64     `json:"noisy"`
+	Inferred []float64     `json:"inferred"`
+	Post     []float64     `json:"post"`
 }
 
 // MarshalJSON encodes the release, including the raw noisy tree so
@@ -107,6 +108,7 @@ func (r *UniversalRelease) MarshalJSON() ([]byte, error) {
 		Version:  WireVersion,
 		Strategy: r.Strategy().String(),
 		Epsilon:  r.eps,
+		Auto:     r.wireAutoDecision(),
 		K:        r.tree.K(),
 		Domain:   r.tree.Domain(),
 		Noisy:    r.noisy,
@@ -135,6 +137,7 @@ func (r *UniversalRelease) UnmarshalJSON(data []byte) error {
 			len(w.Noisy), len(w.Inferred), len(w.Post), n)
 	}
 	*r = *newUniversalRelease(tree, w.Noisy, w.Inferred, w.Post, w.Epsilon)
+	r.auto = w.Auto
 	return nil
 }
 
@@ -143,14 +146,15 @@ func (r *UniversalRelease) UnmarshalJSON(data []byte) error {
 // so baseline comparisons and re-derived fast paths survive the round
 // trip exactly as they do for the 1-D release.
 type universal2DWire struct {
-	Version  int       `json:"version"`
-	Strategy string    `json:"strategy"`
-	Epsilon  float64   `json:"epsilon"`
-	Width    int       `json:"width"`
-	Height   int       `json:"height"`
-	Noisy    []float64 `json:"noisy"`
-	Inferred []float64 `json:"inferred"`
-	Post     []float64 `json:"post"`
+	Version  int           `json:"version"`
+	Strategy string        `json:"strategy"`
+	Epsilon  float64       `json:"epsilon"`
+	Auto     *AutoDecision `json:"auto,omitempty"`
+	Width    int           `json:"width"`
+	Height   int           `json:"height"`
+	Noisy    []float64     `json:"noisy"`
+	Inferred []float64     `json:"inferred"`
+	Post     []float64     `json:"post"`
 }
 
 // MarshalJSON encodes the release, including the raw noisy quadtree so
@@ -160,6 +164,7 @@ func (r *Universal2DRelease) MarshalJSON() ([]byte, error) {
 		Version:  WireVersion,
 		Strategy: r.Strategy().String(),
 		Epsilon:  r.eps,
+		Auto:     r.wireAutoDecision(),
 		Width:    r.grid.Width(),
 		Height:   r.grid.Height(),
 		Noisy:    r.noisy,
@@ -190,17 +195,19 @@ func (r *Universal2DRelease) UnmarshalJSON(data []byte) error {
 			len(w.Noisy), len(w.Inferred), len(w.Post), n)
 	}
 	*r = *newUniversal2DRelease(grid, w.Noisy, w.Inferred, w.Post, w.Epsilon)
+	r.auto = w.Auto
 	return nil
 }
 
 // unattributedWire is the serialized form of an UnattributedRelease.
 type unattributedWire struct {
-	Version  int       `json:"version"`
-	Strategy string    `json:"strategy"`
-	Epsilon  float64   `json:"epsilon"`
-	Noisy    []float64 `json:"noisy"`
-	Inferred []float64 `json:"inferred"`
-	Counts   []float64 `json:"counts"`
+	Version  int           `json:"version"`
+	Strategy string        `json:"strategy"`
+	Epsilon  float64       `json:"epsilon"`
+	Auto     *AutoDecision `json:"auto,omitempty"`
+	Noisy    []float64     `json:"noisy"`
+	Inferred []float64     `json:"inferred"`
+	Counts   []float64     `json:"counts"`
 }
 
 // MarshalJSON encodes the release.
@@ -209,6 +216,7 @@ func (r *UnattributedRelease) MarshalJSON() ([]byte, error) {
 		Version:  WireVersion,
 		Strategy: r.Strategy().String(),
 		Epsilon:  r.eps,
+		Auto:     r.wireAutoDecision(),
 		Noisy:    r.Noisy,
 		Inferred: r.Inferred,
 		Counts:   r.counts,
@@ -228,6 +236,7 @@ func (r *UnattributedRelease) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*r = *newUnattributedRelease(w.Noisy, w.Inferred, w.Counts, w.Epsilon)
+	r.auto = w.Auto
 	return nil
 }
 
@@ -250,11 +259,12 @@ func checkSortedCounts(noisy, inferred, counts []float64) error {
 
 // laplaceWire is the serialized form of a LaplaceRelease.
 type laplaceWire struct {
-	Version  int       `json:"version"`
-	Strategy string    `json:"strategy"`
-	Epsilon  float64   `json:"epsilon"`
-	Noisy    []float64 `json:"noisy"`
-	Counts   []float64 `json:"counts"`
+	Version  int           `json:"version"`
+	Strategy string        `json:"strategy"`
+	Epsilon  float64       `json:"epsilon"`
+	Auto     *AutoDecision `json:"auto,omitempty"`
+	Noisy    []float64     `json:"noisy"`
+	Counts   []float64     `json:"counts"`
 }
 
 // MarshalJSON encodes the release.
@@ -263,6 +273,7 @@ func (r *LaplaceRelease) MarshalJSON() ([]byte, error) {
 		Version:  WireVersion,
 		Strategy: r.Strategy().String(),
 		Epsilon:  r.eps,
+		Auto:     r.wireAutoDecision(),
 		Noisy:    r.Noisy,
 		Counts:   r.counts,
 	})
@@ -285,15 +296,17 @@ func (r *LaplaceRelease) UnmarshalJSON(data []byte) error {
 	r.counts = w.Counts
 	r.plan = plan.Compile1D(w.Counts)
 	r.eps = w.Epsilon
+	r.auto = w.Auto
 	return nil
 }
 
 // waveletWire is the serialized form of a WaveletRelease.
 type waveletWire struct {
-	Version  int       `json:"version"`
-	Strategy string    `json:"strategy"`
-	Epsilon  float64   `json:"epsilon"`
-	Counts   []float64 `json:"counts"`
+	Version  int           `json:"version"`
+	Strategy string        `json:"strategy"`
+	Epsilon  float64       `json:"epsilon"`
+	Auto     *AutoDecision `json:"auto,omitempty"`
+	Counts   []float64     `json:"counts"`
 }
 
 // MarshalJSON encodes the release.
@@ -302,6 +315,7 @@ func (r *WaveletRelease) MarshalJSON() ([]byte, error) {
 		Version:  WireVersion,
 		Strategy: r.Strategy().String(),
 		Epsilon:  r.eps,
+		Auto:     r.wireAutoDecision(),
 		Counts:   r.counts,
 	})
 }
@@ -321,17 +335,19 @@ func (r *WaveletRelease) UnmarshalJSON(data []byte) error {
 	r.counts = w.Counts
 	r.plan = plan.Compile1D(w.Counts)
 	r.eps = w.Epsilon
+	r.auto = w.Auto
 	return nil
 }
 
 // degreeSequenceWire is the serialized form of a DegreeSequenceRelease.
 type degreeSequenceWire struct {
-	Version  int       `json:"version"`
-	Strategy string    `json:"strategy"`
-	Epsilon  float64   `json:"epsilon"`
-	Noisy    []float64 `json:"noisy"`
-	Inferred []float64 `json:"inferred"`
-	Counts   []float64 `json:"counts"`
+	Version  int           `json:"version"`
+	Strategy string        `json:"strategy"`
+	Epsilon  float64       `json:"epsilon"`
+	Auto     *AutoDecision `json:"auto,omitempty"`
+	Noisy    []float64     `json:"noisy"`
+	Inferred []float64     `json:"inferred"`
+	Counts   []float64     `json:"counts"`
 }
 
 // MarshalJSON encodes the release.
@@ -340,6 +356,7 @@ func (r *DegreeSequenceRelease) MarshalJSON() ([]byte, error) {
 		Version:  WireVersion,
 		Strategy: r.Strategy().String(),
 		Epsilon:  r.eps,
+		Auto:     r.wireAutoDecision(),
 		Noisy:    r.Noisy,
 		Inferred: r.Inferred,
 		Counts:   r.counts,
@@ -359,6 +376,7 @@ func (r *DegreeSequenceRelease) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*r = *newDegreeSequenceRelease(w.Noisy, w.Inferred, w.Counts, w.Epsilon)
+	r.auto = w.Auto
 	return nil
 }
 
@@ -366,12 +384,13 @@ func (r *DegreeSequenceRelease) UnmarshalJSON(data []byte) error {
 // parent pointers carry the constraint forest so leaf extraction and
 // consistency checks survive the round trip.
 type hierarchyWire struct {
-	Version  int       `json:"version"`
-	Strategy string    `json:"strategy"`
-	Epsilon  float64   `json:"epsilon"`
-	Parent   []int     `json:"parent"`
-	Noisy    []float64 `json:"noisy"`
-	Inferred []float64 `json:"inferred"`
+	Version  int           `json:"version"`
+	Strategy string        `json:"strategy"`
+	Epsilon  float64       `json:"epsilon"`
+	Auto     *AutoDecision `json:"auto,omitempty"`
+	Parent   []int         `json:"parent"`
+	Noisy    []float64     `json:"noisy"`
+	Inferred []float64     `json:"inferred"`
 }
 
 // MarshalJSON encodes the release.
@@ -380,6 +399,7 @@ func (r *HierarchyReleaseResult) MarshalJSON() ([]byte, error) {
 		Version:  WireVersion,
 		Strategy: r.Strategy().String(),
 		Epsilon:  r.eps,
+		Auto:     r.wireAutoDecision(),
 		Parent:   r.parent,
 		Noisy:    r.Noisy,
 		Inferred: r.Inferred,
@@ -405,5 +425,6 @@ func (r *HierarchyReleaseResult) UnmarshalJSON(data []byte) error {
 			len(w.Noisy), len(w.Inferred), h.Len())
 	}
 	*r = *newHierarchyReleaseResult(h, w.Noisy, w.Inferred, w.Epsilon)
+	r.auto = w.Auto
 	return nil
 }

@@ -135,7 +135,7 @@ func ExampleWorkload_Recommend() {
 	}
 	s, _ := scans.Recommend(1.0, 2)
 	fmt.Printf("points=%s scans=%s\n", p.Strategy, s.Strategy)
-	// Output: points=laplace scans=hbar
+	// Output: points=laplace scans=universal
 }
 
 func ExampleMechanism_Universal2DHistogram() {

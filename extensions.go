@@ -55,6 +55,7 @@ type DegreeSequenceRelease struct {
 	counts []float64
 	plan   *plan.Plan
 	eps    float64
+	autoStamp
 }
 
 func newDegreeSequenceRelease(noisy, inferred, counts []float64, eps float64) *DegreeSequenceRelease {

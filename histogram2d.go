@@ -106,6 +106,7 @@ type Universal2DRelease struct {
 
 	plan *plan.Plan
 	eps  float64
+	autoStamp
 }
 
 // newUniversal2DRelease assembles the release from freshly built

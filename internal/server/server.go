@@ -159,6 +159,9 @@ type Server struct {
 	reqErrors  atomic.Int64
 	mintCount  atomic.Int64
 	queryCount atomic.Int64
+	// autoResolved counts successful "strategy": "auto" mints by the
+	// concrete strategy the advisor chose, indexed by dphist.Strategy.
+	autoResolved []atomic.Int64
 }
 
 // New validates the configuration and returns a Server.
@@ -197,12 +200,29 @@ func New(cfg Config) (*Server, error) {
 		store = dphist.NewStore(opts...)
 	}
 	return &Server{
-		cfg:      cfg,
-		mech:     m,
-		store:    store,
-		start:    time.Now(),
-		sessions: make(map[string]*dphist.Session),
+		cfg:          cfg,
+		mech:         m,
+		store:        store,
+		start:        time.Now(),
+		sessions:     make(map[string]*dphist.Session),
+		autoResolved: make([]atomic.Int64, len(dphist.Strategies())),
 	}, nil
+}
+
+// noteAutoDecision records an auto-resolution against the concrete
+// strategy the advisor chose and returns the decision for the response
+// payload; direct (non-auto) mints return nil and count nothing.
+func (s *Server) noteAutoDecision(release dphist.Release) *dphist.AutoDecision {
+	dec, ok := dphist.ReleaseDecision(release)
+	if !ok {
+		return nil
+	}
+	if st, err := dphist.ParseStrategy(dec.Strategy); err == nil && st.Valid() {
+		if i := int(st); i >= 0 && i < len(s.autoResolved) {
+			s.autoResolved[i].Add(1)
+		}
+	}
+	return &dec
 }
 
 // session returns (creating on first use) the namespace's budgeted
@@ -433,6 +453,9 @@ type requestStats struct {
 	Errors         int64 `json:"errors"`
 	ReleasesMinted int64 `json:"releases_minted"`
 	RangeQueries   int64 `json:"range_queries"`
+	// AutoResolved counts "strategy": "auto" mints by the concrete
+	// strategy the advisor picked; absent until the first resolution.
+	AutoResolved map[string]int64 `json:"auto_resolved,omitempty"`
 }
 
 // cacheStats is the answer cache's slice of /v1/stats. HitRatio is
@@ -476,6 +499,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if total := cs.Hits + cs.Misses; total > 0 {
 		stats.Cache.HitRatio = float64(cs.Hits) / float64(total)
+	}
+	for _, st := range dphist.Strategies() {
+		if n := s.autoResolved[int(st)].Load(); n > 0 {
+			if stats.Requests.AutoResolved == nil {
+				stats.Requests.AutoResolved = make(map[string]int64)
+			}
+			stats.Requests.AutoResolved[st.String()] = n
+		}
 	}
 	if s.cfg.Ingester != nil {
 		stats.Ingest = ingestStats{Enabled: true, Stats: s.cfg.Ingester.Stats()}
@@ -548,28 +579,39 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request, ns str
 		}
 		names = append(names, strategy.String())
 	}
+	// "auto" is not a mintable strategy itself but is accepted by the
+	// release endpoints whenever at least one concrete strategy is.
+	names = append(names, dphist.StrategyAuto.String())
 	sort.Strings(names)
 	writeJSON(w, http.StatusOK, strategiesResponse{Strategies: names})
 }
 
 // releaseRequest is the POST /v1/release payload. "task" is accepted as
-// a legacy alias for "strategy".
+// a legacy alias for "strategy". With "strategy": "auto", "workload"
+// sketches the queries the analyst plans to ask (weighted ranges/rects
+// or a named preset such as "count_of_counts") and the server mints the
+// predicted-best strategy; the sketch is ignored for concrete
+// strategies.
 type releaseRequest struct {
-	Strategy string  `json:"strategy"`
-	Task     string  `json:"task,omitempty"`
-	Epsilon  float64 `json:"epsilon"`
+	Strategy string                 `json:"strategy"`
+	Task     string                 `json:"task,omitempty"`
+	Epsilon  float64                `json:"epsilon"`
+	Workload *dphist.WorkloadSketch `json:"workload,omitempty"`
 }
 
 // releaseResponse wraps a serialized release with accounting info. The
 // embedded release payload is self-describing (dphist wire format
-// Version) and decodes client-side via dphist.DecodeRelease.
+// Version) and decodes client-side via dphist.DecodeRelease. Strategy
+// is the strategy actually minted — for an auto request, the resolved
+// one, with the full decision in Auto.
 type releaseResponse struct {
-	Version         int             `json:"version"`
-	Strategy        string          `json:"strategy"`
-	Epsilon         float64         `json:"epsilon"`
-	Domain          int             `json:"domain"`
-	Release         json.RawMessage `json:"release"`
-	BudgetRemaining float64         `json:"budget_remaining"`
+	Version         int                  `json:"version"`
+	Strategy        string               `json:"strategy"`
+	Epsilon         float64              `json:"epsilon"`
+	Domain          int                  `json:"domain"`
+	Release         json.RawMessage      `json:"release"`
+	Auto            *dphist.AutoDecision `json:"auto,omitempty"`
+	BudgetRemaining float64              `json:"budget_remaining"`
 }
 
 type errorResponse struct {
@@ -578,8 +620,11 @@ type errorResponse struct {
 
 // buildRequest validates the wire strategy/epsilon pair and assembles
 // the library request that serves it, reporting failures as a ready-to-
-// write status and message (status 0 means success).
-func (s *Server) buildRequest(strategyName, legacyTask string, eps float64) (dphist.Request, dphist.Strategy, int, string) {
+// write status and message (status 0 means success). "auto" assembles a
+// StrategyAuto request carrying the sketch plus every protected input
+// the server is configured with, so resolution can consider all of them
+// as candidates.
+func (s *Server) buildRequest(strategyName, legacyTask string, eps float64, sketch *dphist.WorkloadSketch) (dphist.Request, dphist.Strategy, int, string) {
 	if !(eps > 0) {
 		return dphist.Request{}, 0, http.StatusBadRequest, "epsilon must be positive"
 	}
@@ -598,6 +643,22 @@ func (s *Server) buildRequest(strategyName, legacyTask string, eps float64) (dph
 	if err != nil {
 		return dphist.Request{}, 0, http.StatusBadRequest, "unknown strategy " + name
 	}
+	if strategy == dphist.StrategyAuto {
+		request := dphist.Request{
+			Strategy:  dphist.StrategyAuto,
+			Counts:    s.cfg.Counts,
+			Cells:     s.cfg.Cells,
+			Epsilon:   eps,
+			Hierarchy: s.cfg.Hierarchy,
+			Workload:  sketch,
+		}
+		// Resolution re-runs these checks; validating here turns a bad
+		// sketch into a 4xx before a session or budget is touched.
+		if err := request.Validate(); err != nil {
+			return dphist.Request{}, 0, sketchErrorStatus(err), err.Error()
+		}
+		return request, strategy, 0, ""
+	}
 	build, ok := registry[strategy]
 	if !ok {
 		return dphist.Request{}, 0, http.StatusBadRequest, "strategy not served: " + name
@@ -609,10 +670,21 @@ func (s *Server) buildRequest(strategyName, legacyTask string, eps float64) (dph
 	return request, strategy, 0, ""
 }
 
+// sketchErrorStatus maps an auto-validation failure onto a client
+// status: domains too large for exact prediction are unprocessable
+// content, everything else a plain bad request.
+func sketchErrorStatus(err error) int {
+	if errors.Is(err, dphist.ErrDomainTooLarge) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
 // writeReleaseError maps a refused or failed mint onto a status code:
 // budget exhaustion is the analyst's problem (429), a read-only replica
-// is a routing problem (403 — mint on the primary), everything else the
-// server's (500).
+// is a routing problem (403 — mint on the primary), a bad workload
+// sketch (400) or a domain too large for exact prediction (422) the
+// request's, everything else the server's (500).
 func writeReleaseError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -620,6 +692,10 @@ func writeReleaseError(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, dphist.ErrReadOnly):
 		status = http.StatusForbidden
+	case errors.Is(err, dphist.ErrDomainTooLarge):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, dphist.ErrBadSketch):
+		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -653,7 +729,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, ns string
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
 		return
 	}
-	request, strategy, status, msg := s.buildRequest(req.Strategy, req.Task, req.Epsilon)
+	request, _, status, msg := s.buildRequest(req.Strategy, req.Task, req.Epsilon, req.Workload)
 	if status != 0 {
 		writeJSON(w, status, errorResponse{Error: msg})
 		return
@@ -663,15 +739,16 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, ns string
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	// The session charges the budget after request validation but BEFORE
-	// computing: malformed requests cost nothing, and a refused charge
-	// leaks nothing beyond the refusal itself.
+	// The session charges the budget after request validation (and auto
+	// resolution) but BEFORE computing: malformed requests cost nothing,
+	// and a refused charge leaks nothing beyond the refusal itself.
 	release, err := sess.Release(request)
 	if err != nil {
 		writeReleaseError(w, err)
 		return
 	}
 	s.mintCount.Add(1)
+	auto := s.noteAutoDecision(release)
 	raw, err := json.Marshal(release)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
@@ -679,20 +756,25 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, ns string
 	}
 	writeJSON(w, http.StatusOK, releaseResponse{
 		Version:         dphist.WireVersion,
-		Strategy:        strategy.String(),
+		Strategy:        release.Strategy().String(),
 		Epsilon:         req.Epsilon,
 		Domain:          len(s.cfg.Counts),
 		Release:         raw,
+		Auto:            auto,
 		BudgetRemaining: sess.Remaining(),
 	})
 }
 
 // storeReleaseRequest is the POST /v1/releases payload: mint a release
-// and retain it under Name for later /v1/query batches.
+// and retain it under Name for later /v1/query batches. "strategy":
+// "auto" with a workload sketch mints and stores the predicted-best
+// strategy; the journal records the resolved strategy, never the
+// sentinel.
 type storeReleaseRequest struct {
-	Name     string  `json:"name"`
-	Strategy string  `json:"strategy"`
-	Epsilon  float64 `json:"epsilon"`
+	Name     string                 `json:"name"`
+	Strategy string                 `json:"strategy"`
+	Epsilon  float64                `json:"epsilon"`
+	Workload *dphist.WorkloadSketch `json:"workload,omitempty"`
 }
 
 // storedReleaseInfo summarizes one stored release on the wire.
@@ -720,11 +802,13 @@ func wireEntry(e dphist.StoreEntry) storedReleaseInfo {
 
 // storeReleaseResponse is the POST /v1/releases reply: the stored
 // entry's metadata plus the self-describing release payload, so the
-// analyst can also query offline via dphist.DecodeRelease.
+// analyst can also query offline via dphist.DecodeRelease. Auto carries
+// the resolution decision when the mint used "strategy": "auto".
 type storeReleaseResponse struct {
 	storedReleaseInfo
-	Release         json.RawMessage `json:"release"`
-	BudgetRemaining float64         `json:"budget_remaining"`
+	Release         json.RawMessage      `json:"release"`
+	Auto            *dphist.AutoDecision `json:"auto,omitempty"`
+	BudgetRemaining float64              `json:"budget_remaining"`
 }
 
 func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request, ns string) {
@@ -740,7 +824,7 @@ func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request, ns s
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
 		return
 	}
-	request, _, status, msg := s.buildRequest(req.Strategy, "", req.Epsilon)
+	request, _, status, msg := s.buildRequest(req.Strategy, "", req.Epsilon, req.Workload)
 	if status != 0 {
 		writeJSON(w, status, errorResponse{Error: msg})
 		return
@@ -756,6 +840,7 @@ func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request, ns s
 		return
 	}
 	s.mintCount.Add(1)
+	auto := s.noteAutoDecision(release)
 	raw, err := json.Marshal(release)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
@@ -764,6 +849,7 @@ func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request, ns s
 	writeJSON(w, http.StatusOK, storeReleaseResponse{
 		storedReleaseInfo: wireEntry(entry),
 		Release:           raw,
+		Auto:              auto,
 		BudgetRemaining:   sess.Remaining(),
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"sync"
 	"testing"
 
@@ -152,9 +153,12 @@ func TestStrategiesEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No hierarchy and no 2-D dataset configured: those two strategies
-	// are withheld, the rest are servable.
-	if len(sr.Strategies) != len(dphist.Strategies())-2 {
+	// are withheld, the rest are servable, plus the "auto" sentinel.
+	if len(sr.Strategies) != len(dphist.Strategies())-2+1 {
 		t.Fatalf("strategies = %v", sr.Strategies)
+	}
+	if !slices.Contains(sr.Strategies, "auto") {
+		t.Fatalf("auto not advertised: %v", sr.Strategies)
 	}
 	for _, name := range sr.Strategies {
 		if name == "hierarchy" {

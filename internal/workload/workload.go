@@ -18,6 +18,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -26,16 +27,29 @@ import (
 	"github.com/dphist/dphist/internal/linalg"
 )
 
+// ErrDomainTooLarge reports that an exact prediction was requested over a
+// domain whose closed-form computation is infeasible (the H-bar Cholesky
+// factorization is cubic in the leaf count). Callers that serve
+// predictions over a network should map it to an unprocessable-input
+// status rather than an internal error.
+var ErrDomainTooLarge = errors.New("workload: domain too large for exact prediction")
+
 // Query is one weighted half-open range query [Lo, Hi).
 type Query struct {
 	Lo, Hi int
 	Weight float64
 }
 
-// Workload is a weighted set of range queries over the domain [0, n).
+// Workload is a weighted set of range queries over the domain [0, n),
+// optionally extended with weighted rectangle queries over a 2-D grid
+// (see SetGrid and AddRect) so the universal2d strategy can be compared
+// against the 1-D pipelines.
 type Workload struct {
 	n       int
 	queries []Query
+
+	gridW, gridH int // 0 until SetGrid
+	rects        []RectQuery
 }
 
 // New returns an empty workload over a domain of the given size.
@@ -151,8 +165,8 @@ func (w *Workload) ErrorHBar(k int, eps float64) (float64, error) {
 		return 0, err
 	}
 	if tree.NumLeaves() > maxExactLeaves {
-		return 0, fmt.Errorf("workload: exact H-bar prediction limited to %d leaves, tree has %d",
-			maxExactLeaves, tree.NumLeaves())
+		return 0, fmt.Errorf("%w: exact H-bar prediction limited to %d leaves, tree has %d",
+			ErrDomainTooLarge, maxExactLeaves, tree.NumLeaves())
 	}
 	sigma2 := core.NoiseVariance(core.SensitivityH(tree), eps)
 	a := core.TreeDesignMatrix(tree)
@@ -198,18 +212,43 @@ func forwardSolve(l *linalg.Matrix, b []float64) []float64 {
 // Strategy identifies a release strategy.
 type Strategy string
 
-// The strategies the advisor chooses between.
+// The estimator-level strategies of the original advisor plus the
+// serving-level strategy names used by the release pipelines. The
+// estimator names htilde/hbar describe the hierarchy before and after
+// inference; the serving name "universal" is the hbar pipeline.
 const (
 	StrategyLaplace Strategy = "laplace" // flat L~
 	StrategyHTilde  Strategy = "htilde"  // hierarchy without inference
 	StrategyHBar    Strategy = "hbar"    // hierarchy with inference
+
+	StrategyUniversal      Strategy = "universal"
+	StrategyUnattributed   Strategy = "unattributed"
+	StrategyWavelet        Strategy = "wavelet"
+	StrategyDegreeSequence Strategy = "degree_sequence"
+	StrategyHierarchy      Strategy = "hierarchy"
+	StrategyUniversal2D    Strategy = "universal2d"
+)
+
+// Confidence tags how a prediction relates to the mechanism's true
+// expected error.
+type Confidence string
+
+const (
+	// ConfidenceExact marks a closed-form expectation of the linear
+	// mechanism's weighted squared error.
+	ConfidenceExact Confidence = "exact"
+	// ConfidenceBound marks a one-sided upper bound: the mechanism's
+	// post-processing (inference, projection) can only reduce the
+	// predicted figure.
+	ConfidenceBound Confidence = "bound"
 )
 
 // Prediction is one strategy's predicted weighted total squared error.
 type Prediction struct {
-	Strategy  Strategy
-	Branching int // 0 for laplace
-	Error     float64
+	Strategy   Strategy
+	Branching  int // tree fan-out for hierarchical strategies, else 0
+	Error      float64
+	Confidence Confidence
 }
 
 // Recommend evaluates L~, and H~/H-bar at each candidate branching
@@ -224,20 +263,21 @@ func (w *Workload) Recommend(eps float64, branchings ...int) (best Prediction, a
 	if len(branchings) == 0 {
 		branchings = []int{2}
 	}
-	all = append(all, Prediction{Strategy: StrategyLaplace, Error: w.ErrorLaplace(eps)})
+	all = append(all, Prediction{Strategy: StrategyLaplace, Error: w.ErrorLaplace(eps), Confidence: ConfidenceExact})
 	for _, k := range branchings {
 		ht, err := w.ErrorHTilde(k, eps)
 		if err != nil {
 			return Prediction{}, nil, err
 		}
-		all = append(all, Prediction{Strategy: StrategyHTilde, Branching: k, Error: ht})
-		hb, err := w.ErrorHBar(k, eps)
-		if err != nil {
+		all = append(all, Prediction{Strategy: StrategyHTilde, Branching: k, Error: ht, Confidence: ConfidenceExact})
+		hb, hbErr := w.ErrorHBar(k, eps)
+		hbConf := ConfidenceExact
+		if hbErr != nil {
 			// Domain too large for the exact computation: H~'s error is a
 			// valid upper bound for H-bar (Theorem 4(ii)).
-			hb = ht
+			hb, hbConf = ht, ConfidenceBound
 		}
-		all = append(all, Prediction{Strategy: StrategyHBar, Branching: k, Error: hb})
+		all = append(all, Prediction{Strategy: StrategyHBar, Branching: k, Error: hb, Confidence: hbConf})
 	}
 	best = all[0]
 	for _, p := range all[1:] {

@@ -1,0 +1,300 @@
+package dphist
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/dphist/dphist/internal/workload"
+)
+
+// Property test for the advisor's error model: for every serving
+// strategy, the predicted weighted total squared error is compared with
+// the error actually measured over repeated mints of the un-rounded,
+// non-clamped mechanism (the mechanism the predictions describe).
+// Predictions tagged "exact" must match the measurement tightly in both
+// directions; predictions tagged "bound" must be one-sided — the
+// measurement may be far below the bound but never meaningfully above
+// it. Noise streams are seeded, so the measured figures are
+// deterministic and the tolerances are not flaky.
+
+const (
+	propTrials  = 200
+	propEpsilon = 1.0
+	// exactTol is the two-sided relative tolerance for "exact"
+	// predictions at propTrials seeded trials.
+	exactTol = 0.2
+	// boundSlack is the one-sided headroom for "bound" predictions:
+	// sampling noise in the measurement, not looseness in the bound.
+	boundSlack = 1.05
+)
+
+// propRanges is the shared 1-D workload: every point plus a spread of
+// wider ranges, weighted unevenly so weighting bugs surface.
+type propRange struct {
+	lo, hi int
+	weight float64
+}
+
+func propWorkload1D(n int) []propRange {
+	var qs []propRange
+	for i := 0; i < n; i++ {
+		qs = append(qs, propRange{i, i + 1, 1})
+	}
+	for lo := 0; lo+8 <= n; lo += 4 {
+		qs = append(qs, propRange{lo, lo + 8, 2})
+	}
+	qs = append(qs, propRange{0, n, 3})
+	return qs
+}
+
+func propCounts(n int) []float64 {
+	counts := make([]float64, n)
+	for i := range counts {
+		counts[i] = float64((i*7)%11) + 1
+	}
+	return counts
+}
+
+// measure1D returns the mean weighted total squared error of answering
+// the ranges from mint()'s releases against the given ground truth.
+func measure1D(t *testing.T, mint func() Release, truth []float64, qs []propRange) float64 {
+	t.Helper()
+	prefix := make([]float64, len(truth)+1)
+	for i, v := range truth {
+		prefix[i+1] = prefix[i] + v
+	}
+	total := 0.0
+	for trial := 0; trial < propTrials; trial++ {
+		rel := mint()
+		for _, q := range qs {
+			got, err := rel.Range(q.lo, q.hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := got - (prefix[q.hi] - prefix[q.lo])
+			total += q.weight * d * d
+		}
+	}
+	return total / propTrials
+}
+
+func checkExact(t *testing.T, strategy string, predicted, measured float64) {
+	t.Helper()
+	if rel := math.Abs(measured-predicted) / predicted; rel > exactTol {
+		t.Errorf("%s: predicted %.1f, measured %.1f (rel %.2f > %.2f)",
+			strategy, predicted, measured, rel, exactTol)
+	}
+}
+
+func checkBound(t *testing.T, strategy string, predicted, measured float64) {
+	t.Helper()
+	if measured > predicted*boundSlack {
+		t.Errorf("%s: bound %.1f exceeded by measurement %.1f",
+			strategy, predicted, measured)
+	}
+}
+
+func TestPredictionMatchesEmpiricalError1D(t *testing.T) {
+	const n = 32
+	counts := propCounts(n)
+	qs := propWorkload1D(n)
+
+	w, err := workload.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if err := w.Add(q.lo, q.hi, q.weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sorted := append([]float64(nil), counts...)
+	sort.Float64s(sorted)
+
+	newMech := func(seed uint64) *Mechanism {
+		m, err := New(WithSeed(seed), WithoutRounding(), WithoutNonNegativity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	t.Run("laplace exact", func(t *testing.T) {
+		m := newMech(101)
+		measured := measure1D(t, func() Release {
+			r, err := m.LaplaceHistogram(counts, propEpsilon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}, counts, qs)
+		checkExact(t, "laplace", w.ErrorLaplace(propEpsilon), measured)
+	})
+
+	t.Run("wavelet exact", func(t *testing.T) {
+		m := newMech(102)
+		measured := measure1D(t, func() Release {
+			r, err := m.WaveletHistogram(counts, propEpsilon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}, counts, qs)
+		checkExact(t, "wavelet", w.ErrorWavelet(propEpsilon), measured)
+	})
+
+	t.Run("universal exact", func(t *testing.T) {
+		m := newMech(103)
+		predicted, err := w.ErrorHBar(2, propEpsilon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := measure1D(t, func() Release {
+			r, err := m.UniversalHistogram(counts, propEpsilon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}, counts, qs)
+		checkExact(t, "universal", predicted, measured)
+	})
+
+	t.Run("unattributed bound", func(t *testing.T) {
+		m := newMech(104)
+		measured := measure1D(t, func() Release {
+			r, err := m.UnattributedHistogram(counts, propEpsilon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}, sorted, qs)
+		checkBound(t, "unattributed", w.ErrorSorted(propEpsilon), measured)
+	})
+
+	t.Run("degree_sequence bound", func(t *testing.T) {
+		// Degrees of an actual simple graph, so the graphical projection
+		// has a feasible point at the truth.
+		degrees := make([]float64, n)
+		for i := range degrees {
+			degrees[i] = float64(1 + i%4)
+		}
+		degrees[0] = 2 // make the total even (sum of 1..4 pattern over 32 is even; keep explicit)
+		sortedDeg := append([]float64(nil), degrees...)
+		sort.Float64s(sortedDeg)
+		m := newMech(105)
+		measured := measure1D(t, func() Release {
+			r, err := m.DegreeSequence(degrees, propEpsilon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}, sortedDeg, qs)
+		checkBound(t, "degree_sequence", w.ErrorSorted(propEpsilon), measured)
+	})
+
+	t.Run("hierarchy bound", func(t *testing.T) {
+		// A two-level forest over the 32 counts: one root, 8 internal
+		// nodes of 4 leaves each.
+		parent := make([]int, 1+8+n)
+		parent[0] = -1
+		for i := 0; i < 8; i++ {
+			parent[1+i] = 0
+		}
+		for i := 0; i < n; i++ {
+			parent[9+i] = 1 + i/4
+		}
+		h, err := NewHierarchy(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted, err := w.ErrorHierarchy(h.Sensitivity(), propEpsilon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newMech(106)
+		measured := measure1D(t, func() Release {
+			r, err := m.Release(Request{
+				Strategy:  StrategyHierarchy,
+				Counts:    counts,
+				Epsilon:   propEpsilon,
+				Hierarchy: h,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}, counts, qs)
+		checkBound(t, "hierarchy", predicted, measured)
+	})
+}
+
+func TestPredictionMatchesEmpiricalError2D(t *testing.T) {
+	const side = 16
+	cells := make([][]float64, side)
+	for y := range cells {
+		cells[y] = make([]float64, side)
+		for x := range cells[y] {
+			cells[y][x] = float64((x + y*3) % 5)
+		}
+	}
+	rects := []RectQuery2DTest{
+		{0, 0, side, side, 1},
+		{0, 0, side / 2, side / 2, 2},
+		{3, 3, 9, 7, 1},
+		{1, 0, 2, side, 1},
+	}
+	w, err := workload.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetGrid(side, side); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range rects {
+		if err := w.AddRect(q.X0, q.Y0, q.X1, q.Y1, q.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	predicted, err := w.ErrorUniversal2D(propEpsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := func(q RectQuery2DTest) float64 {
+		sum := 0.0
+		for y := q.Y0; y < q.Y1; y++ {
+			for x := q.X0; x < q.X1; x++ {
+				sum += cells[y][x]
+			}
+		}
+		return sum
+	}
+	m, err := New(WithSeed(107), WithoutRounding(), WithoutNonNegativity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for trial := 0; trial < propTrials; trial++ {
+		rel, err := m.Universal2DHistogram(cells, propEpsilon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range rects {
+			got, err := rel.Rect(q.X0, q.Y0, q.X1, q.Y1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := got - truth(q)
+			total += q.W * d * d
+		}
+	}
+	checkBound(t, "universal2d", predicted, total/propTrials)
+}
+
+// RectQuery2DTest is a local rectangle-query literal for the 2-D
+// property test.
+type RectQuery2DTest struct {
+	X0, Y0, X1, Y1 int
+	W              float64
+}

@@ -28,14 +28,26 @@ type Request struct {
 	// Epsilon is the privacy cost of the release.
 	Epsilon float64
 	// Hierarchy is the constraint forest to answer; required for
-	// StrategyHierarchy and ignored otherwise.
+	// StrategyHierarchy and ignored otherwise. On a StrategyAuto request
+	// it additionally enters the hierarchy strategy as a candidate.
 	Hierarchy *Hierarchy
+	// Workload sketches the queries the analyst plans to ask; required
+	// for StrategyAuto (it drives the resolution) and ignored by
+	// concrete strategies.
+	Workload *WorkloadSketch
 }
 
 // Validate checks the request without spending anything: the strategy is
 // known, the counts and epsilon are admissible, and strategy-specific
 // requirements (a hierarchy with matching leaf count) hold.
 func (req Request) Validate() error {
+	if req.Strategy == StrategyAuto {
+		// An auto request is valid iff its sketch expands and every
+		// candidate's inputs are admissible — the same checks resolution
+		// performs, so a validated auto request cannot fail to resolve.
+		_, _, err := buildAutoWorkload(req)
+		return err
+	}
 	if !req.Strategy.Valid() {
 		return fmt.Errorf("dphist: invalid strategy %d", int(req.Strategy))
 	}
@@ -54,11 +66,26 @@ func (req Request) Validate() error {
 // methods (LaplaceHistogram, UniversalHistogram, ...): the same
 // validation, the same noise-stream consumption, the same concrete
 // release types underneath.
+//
+// A StrategyAuto request is first resolved against its Workload sketch:
+// the advisor ranks every candidate strategy's predicted error, the
+// predicted-best concrete strategy is minted, and the decision is
+// stamped on the release (see ReleaseDecision). Resolution draws no
+// noise and fails before anything is spent.
 func (m *Mechanism) Release(req Request) (Release, error) {
+	req, dec, err := m.resolveAuto(req)
+	if err != nil {
+		return nil, err
+	}
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	return m.releaseWith(req, m.nextStream())
+	rel, err := m.releaseWith(req, m.nextStream())
+	if err != nil {
+		return nil, err
+	}
+	stampDecision(rel, dec)
+	return rel, nil
 }
 
 // releaseWith dispatches an already-validated request onto the pipeline
@@ -158,12 +185,23 @@ func (m *Mechanism) releaseBatch(reqs []Request, revalidate bool) ([]Release, er
 	return results, nil
 }
 
-// releaseOne runs one batched request on its reserved trial number.
+// releaseOne runs one batched request on its reserved trial number,
+// resolving StrategyAuto per request so a batch can mix auto and
+// explicit strategies.
 func (m *Mechanism) releaseOne(req Request, trial int, revalidate bool) (Release, error) {
 	if revalidate {
 		if err := req.Validate(); err != nil {
 			return nil, err
 		}
 	}
-	return m.releaseWith(req, laplace.Stream(m.seed, trial))
+	req, dec, err := m.resolveAuto(req)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := m.releaseWith(req, laplace.Stream(m.seed, trial))
+	if err != nil {
+		return nil, err
+	}
+	stampDecision(rel, dec)
+	return rel, nil
 }

@@ -76,6 +76,7 @@ type LaplaceRelease struct {
 	counts []float64
 	plan   *plan.Plan
 	eps    float64
+	autoStamp
 }
 
 func newLaplaceRelease(noisy []float64, round bool, eps float64) *LaplaceRelease {
@@ -134,6 +135,7 @@ type UnattributedRelease struct {
 	counts []float64
 	plan   *plan.Plan
 	eps    float64
+	autoStamp
 }
 
 func newUnattributedRelease(noisy, inferred, final []float64, eps float64) *UnattributedRelease {
@@ -204,6 +206,7 @@ type UniversalRelease struct {
 
 	plan *plan.Plan
 	eps  float64
+	autoStamp
 }
 
 func newUniversalRelease(tree *htree.Tree, noisy, inferred, post []float64, eps float64) *UniversalRelease {
@@ -286,6 +289,7 @@ type WaveletRelease struct {
 	counts []float64
 	plan   *plan.Plan
 	eps    float64
+	autoStamp
 }
 
 func newWaveletRelease(counts []float64, eps float64, round bool, src *rand.Rand) (*WaveletRelease, error) {
@@ -337,6 +341,7 @@ type HierarchyReleaseResult struct {
 	counts []float64
 	plan   *plan.Plan
 	eps    float64
+	autoStamp
 }
 
 func newHierarchyReleaseResult(h *core.Hierarchy, noisy, inferred []float64, eps float64) *HierarchyReleaseResult {

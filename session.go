@@ -69,14 +69,27 @@ func (s *Session) Remaining() float64 { return s.acct.Remaining() }
 // requests and refused charges cost nothing; errors.Is(err,
 // ErrBudgetExceeded) identifies refusals. The charge is made before any
 // noise is drawn and is never refunded.
+//
+// A StrategyAuto request is resolved to its concrete strategy before the
+// charge, so the ledger label names the strategy actually minted and a
+// failed resolution costs nothing.
 func (s *Session) Release(req Request) (Release, error) {
+	req, dec, err := s.mech.resolveAuto(req)
+	if err != nil {
+		return nil, err
+	}
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	if err := s.acct.Spend("release:"+req.Strategy.String(), req.Epsilon); err != nil {
 		return nil, err
 	}
-	return s.mech.releaseWith(req, s.mech.nextStream())
+	rel, err := s.mech.releaseWith(req, s.mech.nextStream())
+	if err != nil {
+		return nil, err
+	}
+	stampDecision(rel, dec)
+	return rel, nil
 }
 
 // ReleaseBatch charges the whole batch atomically — the sum of all

@@ -1,0 +1,72 @@
+package dphist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWorkloadSketchDecode throws arbitrary payloads at the workload
+// sketch — the one request field an HTTP analyst controls end to end on
+// the auto-mint path. The invariants:
+//
+//   - Decoding a sketch and resolving a StrategyAuto request around it
+//     never panics, whatever the bytes: it either mints a valid release
+//     or returns an error.
+//   - Validate and Release agree: a sketch that validates must mint, and
+//     a sketch that fails validation must not.
+//   - Anything minted reports a concrete strategy and carries a decision
+//     whose winner matches it.
+func FuzzWorkloadSketchDecode(f *testing.F) {
+	f.Add([]byte(`{"preset":"points"}`))
+	f.Add([]byte(`{"preset":"count_of_counts"}`))
+	f.Add([]byte(`{"preset":"all_ranges"}`))
+	f.Add([]byte(`{"ranges":[{"lo":0,"hi":8,"weight":2},{"lo":2,"hi":5}]}`))
+	f.Add([]byte(`{"rects":[{"x0":0,"y0":0,"x1":2,"y1":2}]}`))
+	f.Add([]byte(`{"preset":"prefixes","ranges":[{"lo":0,"hi":1}],"rects":[{"x1":1,"y1":1}]}`))
+	f.Add([]byte(`{"preset":"nope"}`))
+	f.Add([]byte(`{"ranges":[{"lo":-1,"hi":99999}]}`))
+	f.Add([]byte(`{"ranges":[{"lo":0,"hi":1,"weight":-5}]}`))
+	f.Add([]byte(`{"rects":[{"x0":5,"y0":5,"x1":1,"y1":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+
+	m := MustNew(WithSeed(17))
+	counts := []float64{2, 0, 10, 2, 5, 5, 5, 5}
+	cells := [][]float64{{1, 2, 3, 4}, {0, 5, 0, 1}, {2, 2, 2, 2}, {9, 0, 0, 1}}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sketch WorkloadSketch
+		if err := json.Unmarshal(data, &sketch); err != nil {
+			return
+		}
+		req := Request{
+			Strategy: StrategyAuto,
+			Counts:   counts,
+			Cells:    cells,
+			Epsilon:  0.5,
+			Workload: &sketch,
+		}
+		valErr := req.Validate()
+		rel, err := m.Release(req)
+		if valErr != nil {
+			if err == nil {
+				t.Fatalf("sketch %s failed Validate (%v) but minted", data, valErr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("sketch %s validated but failed to mint: %v", data, err)
+		}
+		if !rel.Strategy().Valid() {
+			t.Fatalf("sketch %s minted strategy %v", data, rel.Strategy())
+		}
+		dec, ok := ReleaseDecision(rel)
+		if !ok {
+			t.Fatalf("sketch %s minted without a decision", data)
+		}
+		if dec.Strategy != rel.Strategy().String() {
+			t.Fatalf("sketch %s decision %q vs release %v", data, dec.Strategy, rel.Strategy())
+		}
+	})
+}

@@ -39,6 +39,15 @@ const (
 	numStrategies // sentinel; keep last
 )
 
+// StrategyAuto asks the mechanism to choose the strategy itself from the
+// request's Workload sketch (see WorkloadSketch): the advisor predicts
+// every candidate strategy's expected error and the request is resolved
+// to the predicted-best concrete strategy before any noise is drawn. It
+// is a resolution sentinel, not a release pipeline: Valid reports false,
+// it never appears in Strategies, release payloads, or store journals —
+// by the time anything is minted or persisted the strategy is concrete.
+const StrategyAuto Strategy = -1
+
 var strategyNames = [numStrategies]string{
 	StrategyUniversal:      "universal",
 	StrategyLaplace:        "laplace",
@@ -64,6 +73,9 @@ func (s Strategy) Valid() bool { return s >= 0 && s < numStrategies }
 
 // String returns the canonical wire name of the strategy.
 func (s Strategy) String() string {
+	if s == StrategyAuto {
+		return "auto"
+	}
 	if !s.Valid() {
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -72,8 +84,13 @@ func (s Strategy) String() string {
 
 // ParseStrategy maps a wire name back to its Strategy. It accepts the
 // canonical names from String plus the alias "degree" for
-// "degree_sequence".
+// "degree_sequence", and "auto" for the StrategyAuto resolution
+// sentinel (note Valid is false for the sentinel: it must be resolved,
+// never minted).
 func ParseStrategy(name string) (Strategy, error) {
+	if name == "auto" {
+		return StrategyAuto, nil
+	}
 	if name == "degree" {
 		return StrategyDegreeSequence, nil
 	}
@@ -86,9 +103,11 @@ func ParseStrategy(name string) (Strategy, error) {
 }
 
 // MarshalText encodes the strategy as its canonical name, so Strategy
-// fields serialize as strings in JSON and text formats.
+// fields serialize as strings in JSON and text formats. StrategyAuto
+// encodes as "auto" — useful for echoing requests — but release and
+// journal payloads only ever carry concrete strategies.
 func (s Strategy) MarshalText() ([]byte, error) {
-	if !s.Valid() {
+	if s != StrategyAuto && !s.Valid() {
 		return nil, fmt.Errorf("dphist: cannot encode invalid strategy %d", int(s))
 	}
 	return []byte(s.String()), nil
