@@ -1,0 +1,197 @@
+// Command dphist-loadgen drives a live dphist server with a mixed
+// query/mint/ingest workload and reports per-op-class latency
+// quantiles — the ground truth for how the serving hot path behaves
+// under concurrent HTTP traffic rather than in a single-goroutine
+// benchmark.
+//
+// Usage:
+//
+//	dphist-loadgen -url http://127.0.0.1:8080 [flags]
+//
+// Flags:
+//
+//	-url U          server base URL (default http://127.0.0.1:8080)
+//	-ns NS          namespace to drive (empty = default routes)
+//	-workers N      concurrent connections (default 8)
+//	-duration D     measured window (default 10s)
+//	-warmup D       traffic before measurement starts (default 2s)
+//	-qps F          total offered load cap; 0 = unthrottled, which
+//	                measures saturation throughput (default 0)
+//	-mix SPEC       op mix as class=weight pairs, e.g.
+//	                "query=0.9,mint=0.05,ingest=0.05" (default query=1)
+//	-batch N        ranges / rects / events per request (default 8)
+//	-zipf-s F       Zipf skew across targets, >1 (default 1.2)
+//	-zipf-v F       Zipf v parameter, >=1 (default 1)
+//	-correlation F  probability in [0,1] that consecutive ranges stay
+//	                near the last position (default 0.6)
+//	-mint-eps F     epsilon spent per mint op (default 0.001)
+//	-seed N         RNG seed for reproducible runs (default 1)
+//	-json           emit the report as JSON instead of a table
+//
+// Targets are discovered from GET /v1/releases; when the server holds
+// no releases, a seed release named "loadgen-seed" is minted first so
+// the query class has something to hit. Popularity across targets is
+// Zipfian — the first release takes the bulk of the traffic, like a
+// production hot key.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dphist/dphist/internal/loadgen"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "server base URL")
+		ns          = flag.String("ns", "", "namespace (empty = default routes)")
+		workers     = flag.Int("workers", 8, "concurrent connections")
+		duration    = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup      = flag.Duration("warmup", 2*time.Second, "warmup before measurement")
+		qps         = flag.Float64("qps", 0, "total offered QPS cap (0 = unthrottled)")
+		mix         = flag.String("mix", "query=1", "op mix, e.g. query=0.9,mint=0.05,ingest=0.05")
+		batch       = flag.Int("batch", 8, "specs per request")
+		zipfS       = flag.Float64("zipf-s", 1.2, "Zipf skew across targets (>1)")
+		zipfV       = flag.Float64("zipf-v", 1, "Zipf v parameter (>=1)")
+		correlation = flag.Float64("correlation", 0.6, "correlated-range probability [0,1]")
+		mintEps     = flag.Float64("mint-eps", 0.001, "epsilon per mint op")
+		seed        = flag.Uint64("seed", 1, "RNG seed")
+		asJSON      = flag.Bool("json", false, "emit JSON report")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		BaseURL:     *url,
+		Namespace:   *ns,
+		Workers:     *workers,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		QPS:         *qps,
+		Batch:       *batch,
+		ZipfS:       *zipfS,
+		ZipfV:       *zipfV,
+		Correlation: *correlation,
+		MintEpsilon: *mintEps,
+		Seed:        *seed,
+	}
+	if err := parseMix(*mix, &cfg); err != nil {
+		fatal(err)
+	}
+
+	targets, err := loadgen.Discover(nil, *url, *ns)
+	if err != nil {
+		fatal(fmt.Errorf("discover targets: %w", err))
+	}
+	if len(targets) == 0 && cfg.QueryWeight > 0 {
+		t, err := mintSeed(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("server holds no releases and seeding failed: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "no stored releases; minted %q (domain %d) to query\n", t.Name, t.Domain)
+		targets = []loadgen.Target{t}
+	}
+	cfg.Targets = targets
+
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printTable(rep, *qps)
+}
+
+// parseMix fills the op weights from "class=weight,..." syntax.
+func parseMix(spec string, cfg *loadgen.Config) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("mix: %q is not class=weight", part)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w < 0 {
+			return fmt.Errorf("mix: bad weight in %q", part)
+		}
+		switch k {
+		case "query":
+			cfg.QueryWeight = w
+		case "mint":
+			cfg.MintWeight = w
+		case "ingest":
+			cfg.IngestWeight = w
+		default:
+			return fmt.Errorf("mix: unknown op class %q (want query, mint, ingest)", k)
+		}
+	}
+	return nil
+}
+
+// mintSeed stores a release for the query class to hit when discovery
+// comes back empty.
+func mintSeed(cfg loadgen.Config) (loadgen.Target, error) {
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	route := base + "/v1/releases"
+	if cfg.Namespace != "" {
+		route = base + "/v1/ns/" + cfg.Namespace + "/releases"
+	}
+	body := fmt.Sprintf(`{"name":"loadgen-seed","strategy":"universal","epsilon":%g}`, cfg.MintEpsilon)
+	resp, err := http.Post(route, "application/json", strings.NewReader(body))
+	if err != nil {
+		return loadgen.Target{}, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Name   string `json:"name"`
+		Domain int    `json:"domain"`
+		Error  string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return loadgen.Target{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return loadgen.Target{}, fmt.Errorf("%s: %s", resp.Status, out.Error)
+	}
+	return loadgen.Target{Name: out.Name, Domain: out.Domain}, nil
+}
+
+func printTable(rep loadgen.Report, qpsCap float64) {
+	mode := "saturation (unthrottled)"
+	if qpsCap > 0 {
+		mode = fmt.Sprintf("paced at %g QPS offered", qpsCap)
+	}
+	fmt.Printf("%d workers, %s for %s: %d ops, %d errors, %.0f QPS achieved\n",
+		rep.Workers, mode, rep.Duration, rep.Ops, rep.Errors, rep.QPS)
+	fmt.Printf("%-8s %10s %8s %12s %12s %12s %12s %10s\n",
+		"op", "ops", "errors", "p50", "p99", "p99.9", "max", "qps")
+	for _, c := range rep.Classes {
+		fmt.Printf("%-8s %10d %8d %12s %12s %12s %12s %10.0f\n",
+			c.Op, c.Ops, c.Errors,
+			ms(c.P50Ns), ms(c.P99Ns), ms(c.P999Ns), ms(c.MaxNs), c.QPS)
+	}
+}
+
+func ms(ns int64) string {
+	return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dphist-loadgen:", err)
+	os.Exit(1)
+}

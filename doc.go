@@ -288,6 +288,30 @@
 // where a fixed release is served from, never how many times epsilon
 // is spent.
 //
+// # Serving performance
+//
+// The HTTP query hot path (POST /v1/query and /v1/query2d in
+// internal/server) allocates once per request at steady state: request
+// bodies land in pooled buffers, a hand-rolled streaming parser —
+// fuzz-proven equivalent to encoding/json on the request grammar,
+// including field-name folding, duplicate-key and null semantics,
+// string escapes, and integer range — fills pooled spec slices, batch
+// answers flow through Namespace.QueryInto into pooled result slices,
+// and the response is encoded with an append-based writer that matches
+// json.Encoder byte for byte. The one remaining allocation is the
+// Content-Type header write inside net/http.
+//
+// cmd/dphist-loadgen measures that path under production-shaped load:
+// a bounded worker pool over real sockets, Zipf popularity across
+// stored releases, correlated range endpoints, and a weighted
+// query/mint/ingest mix, reporting p50/p99/p99.9 per op class from
+// allocation-free log-linear histograms. Unthrottled (-qps 0) the
+// achieved QPS is the closed-loop saturation throughput and the
+// quantiles include queueing; paced (-qps N) they read service latency
+// at a fixed arrival rate. dphist-bench loadtest commits the same
+// measurements to BENCH_serving.json, where CI gates p99 and
+// saturation QPS against the committed baseline.
+//
 // Baselines from the paper are included for comparison: the
 // sort-and-round estimator S~r (UnattributedRelease.SortRoundBaseline)
 // and the no-inference tree H~ (UniversalRelease.RangeNoisy).

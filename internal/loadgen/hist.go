@@ -1,0 +1,118 @@
+// Package loadgen drives a live dphist server with a mixed
+// query/mint/ingest workload and reports per-op-class latency
+// quantiles. It exists to answer the question BENCH rows on in-process
+// handlers cannot: what does the serving path look like under
+// concurrent HTTP traffic with a realistic popularity skew?
+//
+// Recording is allocation-free: each worker owns a log-linear
+// histogram (Hist) per op class and recording a sample is two integer
+// ops and a slot increment. Histograms merge after the run, so workers
+// never share state during measurement.
+package loadgen
+
+import "math/bits"
+
+// histSubBits fixes the histogram's relative precision: each power of
+// two splits into 2^histSubBits sub-buckets, so any recorded value is
+// off by at most 1/2^histSubBits (~3%) of itself.
+const histSubBits = 5
+
+const histSubBuckets = 1 << histSubBits // 32
+
+// histBuckets covers every non-negative int64: values below
+// histSubBuckets are exact, every higher power of two contributes
+// histSubBuckets slots, and the top bucket absorbs overflow.
+const histBuckets = (64 - histSubBits) * histSubBuckets
+
+// Hist is a log-linear histogram of non-negative int64 samples
+// (latencies in nanoseconds, here). The zero value is ready to use.
+// Not safe for concurrent use — give each worker its own and Merge.
+type Hist struct {
+	counts [histBuckets]int64
+	total  int64
+	max    int64
+}
+
+// bucketIndex maps a sample to its slot. Values below histSubBuckets
+// map exactly; above, the sample keeps histSubBits significant bits.
+func bucketIndex(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	msb := bits.Len64(uint64(v)) - 1
+	shift := msb - histSubBits
+	// Sub-bucket in [histSubBuckets, 2*histSubBuckets); consecutive
+	// exponents tile consecutive index blocks.
+	return (msb-histSubBits)*histSubBuckets + int(v>>uint(shift))
+}
+
+// bucketValue returns the representative (midpoint) sample for a slot,
+// the inverse of bucketIndex up to the histogram's precision.
+func bucketValue(idx int) int64 {
+	if idx < 2*histSubBuckets {
+		return int64(idx)
+	}
+	exp := idx/histSubBuckets - 1
+	sub := int64(idx%histSubBuckets + histSubBuckets)
+	lo := sub << uint(exp)
+	return lo + (1 << uint(exp-1))
+}
+
+// Record adds one sample. Negative samples clamp to zero.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.total }
+
+// Max returns the largest recorded sample (exact, not bucketed).
+func (h *Hist) Max() int64 { return h.max }
+
+// Merge folds other's samples into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Quantile returns the sample value at quantile q in [0, 1], up to the
+// histogram's ~3% bucketing error. Zero samples reports 0.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			v := bucketValue(i)
+			if v > h.max {
+				return h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

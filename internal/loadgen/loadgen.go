@@ -1,0 +1,527 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op classes the generator drives and reports separately: answering
+// range queries dominates real traffic, minting spends budget, ingest
+// feeds the streaming pipeline.
+const (
+	OpQuery = iota
+	OpMint
+	OpIngest
+	numOps
+)
+
+var opNames = [numOps]string{OpQuery: "query", OpMint: "mint", OpIngest: "ingest"}
+
+// Target is one stored release to query. TwoD routes the target's
+// traffic to /v1/query2d with rect batches sized for Domain cells laid
+// out on a near-square grid (matching the server's 2-D mint).
+type Target struct {
+	Name   string `json:"name"`
+	Domain int    `json:"domain"`
+	TwoD   bool   `json:"two_d,omitempty"`
+}
+
+// MintStrategy weights one strategy in the mint mix.
+type MintStrategy struct {
+	Name   string
+	Weight float64
+}
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Namespace scopes all traffic; empty means the default routes.
+	Namespace string
+	// Targets are the releases to query. Required when Mix gives
+	// queries nonzero weight. Popularity across targets is Zipfian:
+	// target 0 is the hottest.
+	Targets []Target
+	// Workers is the number of concurrent connections (default 8).
+	Workers int
+	// Duration is the measured window (default 5s).
+	Duration time.Duration
+	// Warmup runs traffic before measurement starts (default 0).
+	Warmup time.Duration
+	// QPS caps total offered load across all workers; 0 means
+	// unthrottled (drive as fast as the server answers — the
+	// saturation configuration).
+	QPS float64
+	// QueryWeight, MintWeight, IngestWeight set the op mix. All zero
+	// defaults to queries only.
+	QueryWeight, MintWeight, IngestWeight float64
+	// Batch is the number of ranges (or rects, or events) per request
+	// (default 8).
+	Batch int
+	// ZipfS, ZipfV shape target popularity (defaults 1.2, 1). S must
+	// exceed 1 when set.
+	ZipfS, ZipfV float64
+	// Correlation in [0, 1] is the probability a query's ranges stay
+	// near the worker's last position instead of jumping uniformly —
+	// real analysts drill into a region, they don't sample the domain.
+	Correlation float64
+	// MintEpsilon is spent per mint op (default 0.001; keep it small
+	// or the mint class starves the budget mid-run).
+	MintEpsilon float64
+	// MintStrategies weights the strategy each mint op requests
+	// (default: universal 3, laplace 1, unattributed 1 — strategies
+	// every server answers; hierarchy needs a configured forest).
+	MintStrategies []MintStrategy
+	// IngestStream names the stream ingest ops post to (default
+	// "loadgen").
+	IngestStream string
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// Client overrides the HTTP client (default: pooled transport
+	// sized to Workers).
+	Client *http.Client
+}
+
+// OpReport is the per-class outcome of a run.
+type OpReport struct {
+	Op     string  `json:"op"`
+	Ops    int64   `json:"ops"`
+	Errors int64   `json:"errors"`
+	P50Ns  int64   `json:"p50_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	P999Ns int64   `json:"p999_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	QPS    float64 `json:"qps"`
+}
+
+// Report is the merged outcome of a run. QPS counts successful and
+// failed ops alike (offered load that completed); Errors is the sum of
+// non-2xx responses and transport failures.
+type Report struct {
+	Duration time.Duration `json:"duration_ns"`
+	Workers  int           `json:"workers"`
+	Ops      int64         `json:"ops"`
+	Errors   int64         `json:"errors"`
+	QPS      float64       `json:"qps"`
+	Classes  []OpReport    `json:"classes"`
+}
+
+// Class returns the report row for the named op class, or a zero row.
+func (r Report) Class(name string) OpReport {
+	for _, c := range r.Classes {
+		if c.Op == name {
+			return c
+		}
+	}
+	return OpReport{}
+}
+
+func (c *Config) setDefaults() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("loadgen: BaseURL is required")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Batch <= 0 {
+		c.Batch = 8
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("loadgen: ZipfS must exceed 1, got %v", c.ZipfS)
+	}
+	if c.ZipfV == 0 {
+		c.ZipfV = 1
+	}
+	if c.ZipfV < 1 {
+		return fmt.Errorf("loadgen: ZipfV must be at least 1, got %v", c.ZipfV)
+	}
+	if c.Correlation < 0 || c.Correlation > 1 {
+		return fmt.Errorf("loadgen: Correlation must be in [0, 1], got %v", c.Correlation)
+	}
+	if c.QueryWeight < 0 || c.MintWeight < 0 || c.IngestWeight < 0 {
+		return fmt.Errorf("loadgen: op weights must be non-negative")
+	}
+	if c.QueryWeight+c.MintWeight+c.IngestWeight == 0 {
+		c.QueryWeight = 1
+	}
+	if c.QueryWeight > 0 && len(c.Targets) == 0 {
+		return fmt.Errorf("loadgen: queries in the mix but no targets configured")
+	}
+	for _, t := range c.Targets {
+		if t.Domain <= 0 {
+			return fmt.Errorf("loadgen: target %q has domain %d", t.Name, t.Domain)
+		}
+	}
+	if c.MintEpsilon <= 0 {
+		c.MintEpsilon = 0.001
+	}
+	if len(c.MintStrategies) == 0 {
+		c.MintStrategies = []MintStrategy{
+			{Name: "universal", Weight: 3},
+			{Name: "laplace", Weight: 1},
+			{Name: "unattributed", Weight: 1},
+		}
+	}
+	if c.IngestStream == "" {
+		c.IngestStream = "loadgen"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Client == nil {
+		tr := &http.Transport{
+			MaxIdleConns:        c.Workers * 2,
+			MaxIdleConnsPerHost: c.Workers * 2,
+		}
+		c.Client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+	return nil
+}
+
+// route returns the URL for a server endpoint, honoring the namespace.
+func (c *Config) route(suffix string) string {
+	if c.Namespace == "" {
+		return c.BaseURL + "/v1/" + suffix
+	}
+	return c.BaseURL + "/v1/ns/" + c.Namespace + "/" + suffix
+}
+
+// worker carries one goroutine's private generator state; nothing here
+// is shared until the post-run merge.
+type worker struct {
+	cfg    *Config
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	body   []byte // request body scratch, reused every op
+	cursor int    // correlated-walk position within the hot target's domain
+	seq    int    // mint name counter
+
+	hists  [numOps]Hist
+	ops    [numOps]int64
+	errors [numOps]int64
+}
+
+// pickOp samples the op mix by cumulative weight.
+func (w *worker) pickOp() int {
+	c := w.cfg
+	total := c.QueryWeight + c.MintWeight + c.IngestWeight
+	r := w.rng.Float64() * total
+	if r < c.QueryWeight {
+		return OpQuery
+	}
+	if r < c.QueryWeight+c.MintWeight {
+		return OpMint
+	}
+	return OpIngest
+}
+
+// pickTarget samples release popularity: Zipf over the target list, so
+// target 0 takes the bulk of the traffic like a production hot key.
+func (w *worker) pickTarget() Target {
+	if w.zipf == nil {
+		return w.cfg.Targets[0]
+	}
+	i := int(w.zipf.Uint64())
+	if i >= len(w.cfg.Targets) {
+		i = len(w.cfg.Targets) - 1
+	}
+	return w.cfg.Targets[i]
+}
+
+// walk advances the correlated cursor: with probability Correlation
+// the next position is a short step from the last, otherwise a uniform
+// jump. The returned position is always in [0, domain).
+func (w *worker) walk(domain int) int {
+	if w.rng.Float64() < w.cfg.Correlation {
+		step := w.rng.IntN(domain/8+2) - domain/16
+		w.cursor += step
+	} else {
+		w.cursor = w.rng.IntN(domain)
+	}
+	if w.cursor < 0 {
+		w.cursor = 0
+	}
+	if w.cursor >= domain {
+		w.cursor = domain - 1
+	}
+	return w.cursor
+}
+
+// buildQuery writes a /v1/query (or /v1/query2d) body for the target
+// into the worker's scratch and returns the route suffix.
+func (w *worker) buildQuery(t Target) string {
+	b := append(w.body[:0], `{"name":`...)
+	b = strconv.AppendQuote(b, t.Name)
+	if t.TwoD {
+		side := 1
+		for side*side < t.Domain {
+			side++
+		}
+		b = append(b, `,"rects":[`...)
+		for i := 0; i < w.cfg.Batch; i++ {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			x := w.walk(side)
+			y := w.rng.IntN(side)
+			wd := w.rng.IntN(side-x) + 1
+			ht := w.rng.IntN(side-y) + 1
+			b = append(b, `{"x0":`...)
+			b = strconv.AppendInt(b, int64(x), 10)
+			b = append(b, `,"y0":`...)
+			b = strconv.AppendInt(b, int64(y), 10)
+			b = append(b, `,"x1":`...)
+			b = strconv.AppendInt(b, int64(x+wd), 10)
+			b = append(b, `,"y1":`...)
+			b = strconv.AppendInt(b, int64(y+ht), 10)
+			b = append(b, '}')
+		}
+		b = append(b, `]}`...)
+		w.body = b
+		return "query2d"
+	}
+	b = append(b, `,"ranges":[`...)
+	for i := 0; i < w.cfg.Batch; i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		lo := w.walk(t.Domain)
+		width := w.rng.IntN(t.Domain-lo) + 1
+		b = append(b, `{"lo":`...)
+		b = strconv.AppendInt(b, int64(lo), 10)
+		b = append(b, `,"hi":`...)
+		b = strconv.AppendInt(b, int64(lo+width), 10)
+		b = append(b, '}')
+	}
+	b = append(b, `]}`...)
+	w.body = b
+	return "query"
+}
+
+// buildMint writes a /v1/releases body: a uniquely named release with
+// a strategy drawn from the weighted mix.
+func (w *worker) buildMint(id int) string {
+	var total float64
+	for _, s := range w.cfg.MintStrategies {
+		total += s.Weight
+	}
+	r := w.rng.Float64() * total
+	strategy := w.cfg.MintStrategies[0].Name
+	for _, s := range w.cfg.MintStrategies {
+		if r < s.Weight {
+			strategy = s.Name
+			break
+		}
+		r -= s.Weight
+	}
+	w.seq++
+	b := append(w.body[:0], `{"name":"lg-`...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, '-')
+	b = strconv.AppendInt(b, int64(w.seq), 10)
+	b = append(b, `","strategy":`...)
+	b = strconv.AppendQuote(b, strategy)
+	b = append(b, `,"epsilon":`...)
+	b = strconv.AppendFloat(b, w.cfg.MintEpsilon, 'g', -1, 64)
+	b = append(b, '}')
+	w.body = b
+	return "releases"
+}
+
+// buildIngest writes a /v1/ingest body: Batch unit-weight events on
+// the configured stream, buckets following the correlated walk over
+// the hottest target's domain (or 64 when queries are off).
+func (w *worker) buildIngest() string {
+	domain := 64
+	if len(w.cfg.Targets) > 0 {
+		domain = w.cfg.Targets[0].Domain
+	}
+	b := append(w.body[:0], `{"events":[`...)
+	for i := 0; i < w.cfg.Batch; i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"stream":`...)
+		b = strconv.AppendQuote(b, w.cfg.IngestStream)
+		b = append(b, `,"bucket":`...)
+		b = strconv.AppendInt(b, int64(w.walk(domain)), 10)
+		b = append(b, '}')
+	}
+	b = append(b, `]}`...)
+	w.body = b
+	return "ingest"
+}
+
+// run drives ops until deadline, recording only samples measured after
+// warmupOver. Pacing: with a QPS cap each worker owns an equal slice
+// of the budget and sleeps to its schedule; an overloaded server slips
+// the schedule rather than queueing unbounded requests (closed-loop).
+func (w *worker) run(id int, warmupOver, deadline time.Time, interval time.Duration) {
+	next := time.Now()
+	for {
+		now := time.Now()
+		if now.After(deadline) {
+			return
+		}
+		if interval > 0 {
+			if wait := next.Sub(now); wait > 0 {
+				time.Sleep(wait)
+			}
+			next = next.Add(interval)
+			if behind := time.Until(next); behind < -interval {
+				next = time.Now() // schedule slipped; don't burst to catch up
+			}
+		}
+		op := w.pickOp()
+		var suffix string
+		switch op {
+		case OpQuery:
+			suffix = w.buildQuery(w.pickTarget())
+		case OpMint:
+			suffix = w.buildMint(id)
+		default:
+			suffix = w.buildIngest()
+		}
+		start := time.Now()
+		ok := w.post(w.cfg.route(suffix))
+		elapsed := time.Since(start)
+		if start.After(warmupOver) {
+			w.ops[op]++
+			if !ok {
+				w.errors[op]++
+			}
+			w.hists[op].Record(elapsed.Nanoseconds())
+		}
+	}
+}
+
+// post sends the scratch body and drains the response; any transport
+// error or non-2xx status counts as a failed op.
+func (w *worker) post(url string) bool {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(w.body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// Run executes the configured load against the server and reports
+// merged per-class quantiles. It is synchronous: warmup plus duration
+// of traffic, then the merge.
+func Run(cfg Config) (Report, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return Report{}, err
+	}
+	var interval time.Duration
+	if cfg.QPS > 0 {
+		perWorker := cfg.QPS / float64(cfg.Workers)
+		interval = time.Duration(float64(time.Second) / perWorker)
+	}
+	workers := make([]*worker, cfg.Workers)
+	start := time.Now()
+	warmupOver := start.Add(cfg.Warmup)
+	deadline := warmupOver.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := &worker{cfg: &cfg, rng: rand.New(rand.NewPCG(cfg.Seed, uint64(i)+1))}
+		if len(cfg.Targets) > 1 {
+			w.zipf = rand.NewZipf(w.rng, cfg.ZipfS, cfg.ZipfV, uint64(len(cfg.Targets)-1))
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w.run(id, warmupOver, deadline, interval)
+		}(i)
+	}
+	wg.Wait()
+
+	rep := Report{Duration: cfg.Duration, Workers: cfg.Workers}
+	for op := 0; op < numOps; op++ {
+		var h Hist
+		var ops, errs int64
+		for _, w := range workers {
+			h.Merge(&w.hists[op])
+			ops += w.ops[op]
+			errs += w.errors[op]
+		}
+		if ops == 0 {
+			continue
+		}
+		rep.Ops += ops
+		rep.Errors += errs
+		rep.Classes = append(rep.Classes, OpReport{
+			Op:     opNames[op],
+			Ops:    ops,
+			Errors: errs,
+			P50Ns:  h.Quantile(0.50),
+			P99Ns:  h.Quantile(0.99),
+			P999Ns: h.Quantile(0.999),
+			MaxNs:  h.Max(),
+			QPS:    float64(ops) / cfg.Duration.Seconds(),
+		})
+	}
+	rep.QPS = float64(rep.Ops) / cfg.Duration.Seconds()
+	return rep, nil
+}
+
+// Discover lists the server's stored releases and converts them to
+// query targets, flagging 2-D strategies by name. An empty result
+// means the caller should mint its own seed release.
+func Discover(client *http.Client, baseURL, namespace string) ([]Target, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	cfg := Config{BaseURL: baseURL, Namespace: namespace}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	resp, err := client.Get(cfg.route("releases"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("loadgen: list releases: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var list struct {
+		Releases []struct {
+			Name     string `json:"name"`
+			Domain   int    `json:"domain"`
+			Strategy string `json:"strategy"`
+		} `json:"releases"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, fmt.Errorf("loadgen: list releases: %w", err)
+	}
+	targets := make([]Target, 0, len(list.Releases))
+	for _, r := range list.Releases {
+		targets = append(targets, Target{
+			Name:   r.Name,
+			Domain: r.Domain,
+			TwoD:   strings.HasSuffix(r.Strategy, "2d"),
+		})
+	}
+	return targets, nil
+}

@@ -211,6 +211,81 @@ func (c *Cache[B]) Do(k Key, batch B, compute func() ([]float64, error)) ([]floa
 	return answers, nil
 }
 
+// DoInto is Do for buffer-reusing callers: answers are appended to dst
+// and the extended slice returned, so a serving loop holding a pooled
+// result buffer pays no allocation on a cache hit. compute receives an
+// empty slice with capacity for the batch and must return it extended
+// with the answers; the slice it returns is retained by the cache, so
+// compute must never return memory the caller will reuse. Single-flight
+// and error semantics match Do. On error dst is returned truncated to
+// its original length.
+func (c *Cache[B]) DoInto(dst []float64, k Key, batch B, compute func(dst []float64) ([]float64, error)) ([]float64, error) {
+	keep := len(dst)
+	sh := c.shardFor(k.Namespace, k.Name)
+	sh.mu.Lock()
+	if e, ok := sh.items[k]; ok && c.eq(e.batch, batch) {
+		sh.recency.MoveToFront(e.elem)
+		answers := e.answers
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		// Copy outside the shard lock; stored answer slices are immutable
+		// (see Do), so appending from one without the lock is safe.
+		return append(dst, answers...), nil
+	}
+	if f, ok := sh.flights[k]; ok {
+		if !c.eq(f.batch, batch) {
+			sh.mu.Unlock()
+			c.misses.Add(1)
+			out, err := compute(dst)
+			if err != nil {
+				return dst[:keep], err
+			}
+			return out, nil
+		}
+		sh.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return dst[:keep], f.err
+		}
+		c.hits.Add(1)
+		return append(dst, f.answers...), nil
+	}
+	f := &flight[B]{batch: batch, done: make(chan struct{})}
+	sh.flights[k] = f
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		f.err = errors.New("qcache: compute panicked")
+		close(f.done)
+		sh.mu.Lock()
+		delete(sh.flights, k)
+		sh.mu.Unlock()
+	}()
+	// Compute into a fresh owned slice, not dst: waiters read f.answers
+	// after done closes, which may be after the caller has already
+	// recycled dst. The owned slice is handed to the cache uncopied.
+	answers, err := compute(make([]float64, 0, k.Len))
+	finished = true
+	f.answers, f.err = answers, err
+	close(f.done)
+
+	sh.mu.Lock()
+	delete(sh.flights, k)
+	if err == nil {
+		c.storeLocked(sh, k, c.clone(batch), answers)
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		return dst[:keep], err
+	}
+	return append(dst, answers...), nil
+}
+
 // storeLocked inserts (replacing any colliding entry) and evicts the
 // shard's LRU entries until the cache-wide bound holds again. Evicting
 // locally keeps the bound exact without a global recency lock: the

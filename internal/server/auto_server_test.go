@@ -123,13 +123,14 @@ func TestSketchErrorStatusMapping(t *testing.T) {
 	if got := sketchErrorStatus(dphist.ErrBadSketch); got != http.StatusBadRequest {
 		t.Fatalf("ErrBadSketch -> %d", got)
 	}
+	var s Server
 	rec := httptest.NewRecorder()
-	writeReleaseError(rec, dphist.ErrDomainTooLarge)
+	s.writeReleaseError(rec, dphist.ErrDomainTooLarge)
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("writeReleaseError(ErrDomainTooLarge) = %d", rec.Code)
 	}
 	rec = httptest.NewRecorder()
-	writeReleaseError(rec, dphist.ErrBadSketch)
+	s.writeReleaseError(rec, dphist.ErrBadSketch)
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("writeReleaseError(ErrBadSketch) = %d", rec.Code)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Allocation-count assertions are meaningless under -race: the
+// instrumentation itself allocates per request.
+const raceEnabled = true

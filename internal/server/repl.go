@@ -63,7 +63,7 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, dphist.ErrNotReplicable) {
 			status = http.StatusNotFound
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		s.writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -82,7 +82,7 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
 	if err != nil || from == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "from must be a positive sequence number"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "from must be a positive sequence number"})
 		return
 	}
 	window := s.cfg.ReplPollWindow
@@ -111,7 +111,7 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 			case errors.Is(err, dphist.ErrNotReplicable):
 				status = http.StatusNotFound
 			}
-			writeJSON(w, status, errorResponse{Error: err.Error()})
+			s.writeJSON(w, status, errorResponse{Error: err.Error()})
 			return
 		}
 		if len(recs) > 0 {

@@ -38,9 +38,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"regexp"
@@ -159,9 +161,16 @@ type Server struct {
 	reqErrors  atomic.Int64
 	mintCount  atomic.Int64
 	queryCount atomic.Int64
+	// encodeErrors counts response bodies that failed to encode — every
+	// one was a silent half-success before writeJSON buffered its output.
+	encodeErrors atomic.Int64
 	// autoResolved counts successful "strategy": "auto" mints by the
 	// concrete strategy the advisor chose, indexed by dphist.Strategy.
 	autoResolved []atomic.Int64
+
+	// nsViews caches namespace handles for the query hot path; see
+	// nsView in wire.go. Only namespaces that exist are ever cached.
+	nsViews sync.Map
 }
 
 // New validates the configuration and returns a Server.
@@ -328,7 +337,7 @@ func (s *Server) nsHandler(fn func(http.ResponseWriter, *http.Request, string)) 
 	scoped = func(w http.ResponseWriter, r *http.Request) {
 		ns := r.PathValue("ns")
 		if ns == "." || ns == ".." || !namespacePattern.MatchString(ns) {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid namespace: must match " + namespacePattern.String() + " and not be a dot segment"})
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid namespace: must match " + namespacePattern.String() + " and not be a dot segment"})
 			return
 		}
 		fn(w, r, ns)
@@ -385,21 +394,29 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
+// recorderPool recycles statusRecorders: the middleware wraps every
+// request, so a per-request allocation here would put a floor under the
+// whole hot path.
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
 // countRequests is the ops middleware: total and error counts for
 // /v1/stats.
 func (s *Server) countRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.reqTotal.Add(1)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec := recorderPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.status = w, http.StatusOK
 		next.ServeHTTP(rec, r)
 		if rec.status >= 400 {
 			s.reqErrors.Add(1)
 		}
+		rec.ResponseWriter = nil
+		recorderPool.Put(rec)
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // namespaceStats is one namespace's slice of the /v1/stats payload.
@@ -453,6 +470,10 @@ type requestStats struct {
 	Errors         int64 `json:"errors"`
 	ReleasesMinted int64 `json:"releases_minted"`
 	RangeQueries   int64 `json:"range_queries"`
+	// EncodeErrors counts responses whose JSON encoding failed (the
+	// request was otherwise served); nonzero means a handler produced an
+	// unencodable value — a server bug worth an alert.
+	EncodeErrors int64 `json:"encode_errors,omitempty"`
 	// AutoResolved counts "strategy": "auto" mints by the concrete
 	// strategy the advisor picked; absent until the first resolution.
 	AutoResolved map[string]int64 `json:"auto_resolved,omitempty"`
@@ -488,6 +509,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Errors:         s.reqErrors.Load(),
 			ReleasesMinted: s.mintCount.Load(),
 			RangeQueries:   s.queryCount.Load(),
+			EncodeErrors:   s.encodeErrors.Load(),
 		},
 		Cache: cacheStats{
 			Enabled:  cs.Capacity > 0,
@@ -514,7 +536,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, ns := range names {
 		sess, err := s.session(ns)
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 			return
 		}
 		acct := sess.Accountant()
@@ -526,7 +548,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BudgetRemaining: acct.Remaining(),
 		})
 	}
-	writeJSON(w, http.StatusOK, stats)
+	s.writeJSON(w, http.StatusOK, stats)
 }
 
 // budgetResponse is the GET /v1/budget payload.
@@ -543,18 +565,18 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request, ns string)
 	// namespaces report the untouched default budget.
 	if ns != dphist.DefaultNamespace && !s.store.HasNamespace(ns) {
 		total := s.store.Budget()
-		writeJSON(w, http.StatusOK, budgetResponse{
+		s.writeJSON(w, http.StatusOK, budgetResponse{
 			Namespace: ns, Total: total, Spent: 0, Remaining: total,
 		})
 		return
 	}
 	sess, err := s.session(ns)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
 	acct := sess.Accountant()
-	writeJSON(w, http.StatusOK, budgetResponse{
+	s.writeJSON(w, http.StatusOK, budgetResponse{
 		Namespace: ns,
 		Total:     acct.Total(),
 		Spent:     acct.Spent(),
@@ -583,7 +605,7 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request, ns str
 	// release endpoints whenever at least one concrete strategy is.
 	names = append(names, dphist.StrategyAuto.String())
 	sort.Strings(names)
-	writeJSON(w, http.StatusOK, strategiesResponse{Strategies: names})
+	s.writeJSON(w, http.StatusOK, strategiesResponse{Strategies: names})
 }
 
 // releaseRequest is the POST /v1/release payload. "task" is accepted as
@@ -685,7 +707,7 @@ func sketchErrorStatus(err error) int {
 // is a routing problem (403 — mint on the primary), a bad workload
 // sketch (400) or a domain too large for exact prediction (422) the
 // request's, everything else the server's (500).
-func writeReleaseError(w http.ResponseWriter, err error) {
+func (s *Server) writeReleaseError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, dphist.ErrBudgetExceeded):
@@ -697,7 +719,7 @@ func writeReleaseError(w http.ResponseWriter, err error) {
 	case errors.Is(err, dphist.ErrBadSketch):
 		status = http.StatusBadRequest
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 // refuseOnFollower short-circuits a write route on a follower with 403.
@@ -707,7 +729,7 @@ func (s *Server) refuseOnFollower(w http.ResponseWriter) bool {
 	if !s.cfg.Follower {
 		return false
 	}
-	writeJSON(w, http.StatusForbidden, errorResponse{Error: "read-only follower: send writes to the primary"})
+	s.writeJSON(w, http.StatusForbidden, errorResponse{Error: "read-only follower: send writes to the primary"})
 	return true
 }
 
@@ -726,17 +748,17 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, ns string
 	}
 	var req releaseRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
 		return
 	}
 	request, _, status, msg := s.buildRequest(req.Strategy, req.Task, req.Epsilon, req.Workload)
 	if status != 0 {
-		writeJSON(w, status, errorResponse{Error: msg})
+		s.writeJSON(w, status, errorResponse{Error: msg})
 		return
 	}
 	sess, err := s.session(ns)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
 	// The session charges the budget after request validation (and auto
@@ -744,17 +766,17 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, ns string
 	// and a refused charge leaks nothing beyond the refusal itself.
 	release, err := sess.Release(request)
 	if err != nil {
-		writeReleaseError(w, err)
+		s.writeReleaseError(w, err)
 		return
 	}
 	s.mintCount.Add(1)
 	auto := s.noteAutoDecision(release)
 	raw, err := json.Marshal(release)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, releaseResponse{
+	s.writeJSON(w, http.StatusOK, releaseResponse{
 		Version:         dphist.WireVersion,
 		Strategy:        release.Strategy().String(),
 		Epsilon:         req.Epsilon,
@@ -817,36 +839,36 @@ func (s *Server) handleStoreRelease(w http.ResponseWriter, r *http.Request, ns s
 	}
 	var req storeReleaseRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
 		return
 	}
 	if req.Name == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
 		return
 	}
 	request, _, status, msg := s.buildRequest(req.Strategy, "", req.Epsilon, req.Workload)
 	if status != 0 {
-		writeJSON(w, status, errorResponse{Error: msg})
+		s.writeJSON(w, status, errorResponse{Error: msg})
 		return
 	}
 	sess, err := s.session(ns)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
 	release, entry, err := s.store.Namespace(ns).Mint(sess, req.Name, request)
 	if err != nil {
-		writeReleaseError(w, err)
+		s.writeReleaseError(w, err)
 		return
 	}
 	s.mintCount.Add(1)
 	auto := s.noteAutoDecision(release)
 	raw, err := json.Marshal(release)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, storeReleaseResponse{
+	s.writeJSON(w, http.StatusOK, storeReleaseResponse{
 		storedReleaseInfo: wireEntry(entry),
 		Release:           raw,
 		Auto:              auto,
@@ -865,7 +887,7 @@ func (s *Server) handleListReleases(w http.ResponseWriter, r *http.Request, ns s
 	for i, e := range entries {
 		out[i] = wireEntry(e)
 	}
-	writeJSON(w, http.StatusOK, listReleasesResponse{Releases: out})
+	s.writeJSON(w, http.StatusOK, listReleasesResponse{Releases: out})
 }
 
 // maxQueryRanges bounds one /v1/query batch; query answering is cheap
@@ -889,41 +911,34 @@ type queryResponse struct {
 	Answers   []float64 `json:"answers"`
 }
 
+// handleQuery is the serving hot path: pooled scratch end to end (body,
+// specs, answers, response bytes), the wire.go hand-rolled parser
+// instead of reflection, and Namespace.QueryInto appending into the
+// scratch's answer buffer. Steady state is ~1 amortized allocation per
+// request; TestServerQueryAllocs holds the line.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ns string) {
-	var req queryRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+	sc := queryScratchPool.Get().(*queryScratch)
+	defer queryScratchPool.Put(sc)
+	if !s.readBody(w, r, sc) {
 		return
 	}
-	if req.Name == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
-		return
-	}
-	if len(req.Ranges) > maxQueryRanges {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("batch of %d ranges exceeds limit %d", len(req.Ranges), maxQueryRanges)})
-		return
-	}
-	answers, entry, err := s.store.Namespace(ns).Query(req.Name, req.Ranges)
+	name, specs, err := parseQueryRequest(sc, maxQueryRanges)
 	if err != nil {
-		if errors.Is(err, dphist.ErrReleaseNotFound) {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if name == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
+		return
+	}
+	answers, entry, err := s.nsView(ns).QueryInto(sc.answers[:0], name, specs)
+	sc.answers = answers[:0]
+	if err != nil {
+		s.serveQueryError(w, err)
 		return
 	}
 	s.queryCount.Add(1)
-	if answers == nil {
-		answers = []float64{} // empty batch encodes as [], not null
-	}
-	writeJSON(w, http.StatusOK, queryResponse{
-		Namespace: entry.Namespace,
-		Name:      entry.Name,
-		Version:   entry.Version,
-		Strategy:  entry.Strategy.String(),
-		Answers:   answers,
-	})
+	s.writeQueryResponse(w, sc, entry, answers)
 }
 
 // query2DRequest is the POST /v1/query2d payload: a batch of half-open
@@ -942,43 +957,32 @@ type query2DResponse struct {
 	Answers   []float64 `json:"answers"`
 }
 
+// handleQuery2D mirrors handleQuery's pooled path for rectangle
+// batches. ErrNotRectangular and malformed specs are both the analyst's
+// request to fix, so every non-404 failure maps to 400.
 func (s *Server) handleQuery2D(w http.ResponseWriter, r *http.Request, ns string) {
-	var req query2DRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+	sc := queryScratchPool.Get().(*queryScratch)
+	defer queryScratchPool.Put(sc)
+	if !s.readBody(w, r, sc) {
 		return
 	}
-	if req.Name == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
-		return
-	}
-	if len(req.Rects) > maxQueryRanges {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("batch of %d rectangles exceeds limit %d", len(req.Rects), maxQueryRanges)})
-		return
-	}
-	answers, entry, err := s.store.Namespace(ns).QueryRects(req.Name, req.Rects)
+	name, rects, err := parseQuery2DRequest(sc, maxQueryRanges)
 	if err != nil {
-		if errors.Is(err, dphist.ErrReleaseNotFound) {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
-			return
-		}
-		// ErrNotRectangular and malformed specs are both the analyst's
-		// request to fix.
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if name == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
+		return
+	}
+	answers, entry, err := s.nsView(ns).QueryRectsInto(sc.answers[:0], name, rects)
+	sc.answers = answers[:0]
+	if err != nil {
+		s.serveQueryError(w, err)
 		return
 	}
 	s.queryCount.Add(1)
-	if answers == nil {
-		answers = []float64{} // empty batch encodes as [], not null
-	}
-	writeJSON(w, http.StatusOK, query2DResponse{
-		Namespace: entry.Namespace,
-		Name:      entry.Name,
-		Version:   entry.Version,
-		Strategy:  entry.Strategy.String(),
-		Answers:   answers,
-	})
+	s.writeQueryResponse(w, sc, entry, answers)
 }
 
 // maxIngestEvents bounds one POST /v1/ingest batch, mirroring
@@ -1003,12 +1007,12 @@ type ingestResponse struct {
 
 // writeIngestError maps pipeline failures: a closed pipeline is the
 // server shutting down (503), anything else is the caller's request.
-func writeIngestError(w http.ResponseWriter, err error) {
+func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	if errors.Is(err, ingest.ErrClosed) {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ns string) {
@@ -1016,29 +1020,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ns string)
 		return
 	}
 	if s.cfg.Ingester == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "streaming ingest not configured on this server"})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "streaming ingest not configured on this server"})
 		return
 	}
 	var req ingestRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
 		return
 	}
 	if len(req.Events) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "events is required"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "events is required"})
 		return
 	}
 	if len(req.Events) > maxIngestEvents {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("batch of %d events exceeds limit %d", len(req.Events), maxIngestEvents)})
 		return
 	}
 	accepted, err := s.cfg.Ingester.Ingest(ns, req.Events)
 	if err != nil {
-		writeIngestError(w, err)
+		s.writeIngestError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{
+	s.writeJSON(w, http.StatusOK, ingestResponse{
 		Namespace: ns,
 		Accepted:  accepted,
 		Dropped:   len(req.Events) - accepted,
@@ -1063,45 +1067,64 @@ type ingestLiveResponse struct {
 
 func (s *Server) handleIngestLive(w http.ResponseWriter, r *http.Request, ns string) {
 	if s.cfg.Ingester == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "streaming ingest not configured on this server"})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "streaming ingest not configured on this server"})
 		return
 	}
 	var req ingestLiveRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
 		return
 	}
 	if req.Stream == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "stream is required"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "stream is required"})
 		return
 	}
 	if len(req.Buckets) > maxQueryRanges {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("batch of %d buckets exceeds limit %d", len(req.Buckets), maxQueryRanges)})
 		return
 	}
 	counts, err := s.cfg.Ingester.LiveCounts(ns, req.Stream, req.Buckets)
 	if err != nil {
 		if errors.Is(err, ingest.ErrLiveDisabled) {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			s.writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 			return
 		}
-		writeIngestError(w, err)
+		s.writeIngestError(w, err)
 		return
 	}
 	s.queryCount.Add(1)
 	if counts == nil {
 		counts = []float64{} // empty batch encodes as [], not null
 	}
-	writeJSON(w, http.StatusOK, ingestLiveResponse{
+	s.writeJSON(w, http.StatusOK, ingestLiveResponse{
 		Namespace: ns,
 		Stream:    req.Stream,
 		Counts:    counts,
 	})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// jsonBufPool recycles encode buffers for writeJSON's cold paths.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON encodes v into a pooled buffer before touching the
+// response. Encoding first means a failure becomes a clean 500 plus an
+// encode_errors tick in /v1/stats — the previous
+// json.NewEncoder(w).Encode(v) swallowed the error after the status
+// line was already on the wire, leaving the client a truncated 200.
+// Cold paths only; the query hot path writes pre-encoded bytes.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	defer jsonBufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		s.encodeErrors.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = io.WriteString(w, "{\"error\":\"internal: response encoding failed\"}\n")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }

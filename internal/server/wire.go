@@ -1,0 +1,1116 @@
+// wire.go is the zero-allocation wire layer for the query hot path.
+//
+// POST /v1/query and /v1/query2d are the routes the serving tier exists
+// for: the in-memory plan engine answers a range in tens of
+// nanoseconds, so reflection-based encoding/json decode/encode and the
+// per-request slices it allocates dominated the served cost. This file
+// replaces that path with a pooled scratch struct carried through the
+// whole request — body bytes, decoded specs, answers, and the response
+// buffer all live in one sync.Pool entry — a hand-rolled streaming
+// parser for the two fixed request shapes, and an append-based response
+// writer built on strconv. The steady-state cost is ~1 amortized
+// allocation per request (enforced by TestServerQueryAllocs).
+//
+// The parser is not "close enough" JSON: FuzzQueryRequestParse holds it
+// to encoding/json's observable behavior on the request shapes —
+// case-insensitive field matching (bytes.EqualFold, as encoding/json
+// folds names), last-value-wins duplicate keys, null as a field no-op,
+// unknown fields skipped with full syntactic validation, encoding/json's
+// string unescaping (including lone-surrogate and invalid-UTF-8
+// replacement) and its strconv.ParseInt integer semantics. Where it is
+// stricter than a generic decoder it is stricter on purpose: a spec
+// batch larger than the route cap fails during parsing, before the
+// oversized tail is even scanned.
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"github.com/dphist/dphist"
+)
+
+// queryScratch is one pooled working set for a query request: every
+// buffer the hot path touches, reused across requests. Fields hold
+// their capacity between uses; slices are re-sliced to zero length, not
+// reallocated. A scratch is owned by exactly one request at a time, so
+// none of this needs locking.
+type queryScratch struct {
+	body    []byte             // raw request body
+	key     []byte             // decoded object key scratch
+	str     []byte             // decoded name scratch
+	specs   []dphist.RangeSpec // decoded /v1/query batch
+	rects   []dphist.RectSpec  // decoded /v1/query2d batch
+	answers []float64          // query results
+	out     []byte             // encoded response
+
+	// Interning memo for the release name: converting decoded name
+	// bytes to a string is the one unavoidable allocation in the hot
+	// path, and serving traffic re-queries a small set of names. Each
+	// scratch remembers the last name it interned; a repeat costs a
+	// byte comparison instead of an allocation.
+	lastNameBytes []byte
+	lastName      string
+}
+
+var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+// internName returns sc.str as a string, reusing the scratch's memoized
+// string when the bytes match the previous request's name.
+func (sc *queryScratch) internName() string {
+	if bytes.Equal(sc.str, sc.lastNameBytes) {
+		return sc.lastName
+	}
+	sc.lastName = string(sc.str)
+	sc.lastNameBytes = append(sc.lastNameBytes[:0], sc.str...)
+	return sc.lastName
+}
+
+// readBody reads the request body into the scratch's pooled buffer,
+// enforcing maxRequestBody. On failure it writes the error response and
+// returns false. The manual read loop exists because
+// http.MaxBytesReader allocates a wrapper per request.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, sc *queryScratch) bool {
+	buf := sc.body[:0]
+	if n := r.ContentLength; n > 0 {
+		if n > maxRequestBody {
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("malformed request: request body exceeds %d bytes", maxRequestBody)})
+			return false
+		}
+		if int64(cap(buf)) < n {
+			buf = make([]byte, 0, n)
+		}
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if len(buf) > maxRequestBody {
+			sc.body = buf
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("malformed request: request body exceeds %d bytes", maxRequestBody)})
+			return false
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sc.body = buf
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: "malformed request: reading body: " + err.Error()})
+			return false
+		}
+	}
+	sc.body = buf
+	return true
+}
+
+// maxNestingDepth mirrors encoding/json's scanner limit, so deeply
+// nested unknown fields fail here exactly where they fail there.
+const maxNestingDepth = 10000
+
+var errUnexpectedEnd = errors.New("unexpected end of request body")
+
+// wireParser is a cursor over one request body. Parse errors are the
+// cold path and may allocate freely.
+type wireParser struct {
+	data  []byte
+	pos   int
+	depth int
+}
+
+func (p *wireParser) errAt(msg string) error {
+	return fmt.Errorf("%s at offset %d", msg, p.pos)
+}
+
+func (p *wireParser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// literal consumes the exact bytes of lit ("true", "false", "null").
+func (p *wireParser) literal(lit string) error {
+	if len(p.data)-p.pos < len(lit) || string(p.data[p.pos:p.pos+len(lit)]) != lit {
+		return p.errAt("invalid literal")
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+// end verifies only whitespace remains, matching json.Unmarshal's
+// rejection of trailing data after the top-level value.
+func (p *wireParser) end() error {
+	p.skipSpace()
+	if p.pos != len(p.data) {
+		return p.errAt("unexpected data after top-level value")
+	}
+	return nil
+}
+
+// peekNull reports whether the next value is the null literal.
+func (p *wireParser) peekNull() bool {
+	return p.pos < len(p.data) && p.data[p.pos] == 'n'
+}
+
+// hex4 consumes 4 hex digits and returns their value.
+func (p *wireParser) hex4() (rune, error) {
+	if len(p.data)-p.pos < 4 {
+		return 0, errUnexpectedEnd
+	}
+	var v rune
+	for i := 0; i < 4; i++ {
+		c := p.data[p.pos]
+		switch {
+		case '0' <= c && c <= '9':
+			v = v<<4 | rune(c-'0')
+		case 'a' <= c && c <= 'f':
+			v = v<<4 | rune(c-'a'+10)
+		case 'A' <= c && c <= 'F':
+			v = v<<4 | rune(c-'A'+10)
+		default:
+			return 0, p.errAt("invalid \\u escape")
+		}
+		p.pos++
+	}
+	return v, nil
+}
+
+// peekU reads a \uXXXX sequence at b without consuming, returning
+// (value, 6) or (0, 0). Mirrors encoding/json's getu4 probe for the low
+// half of a surrogate pair.
+func peekU(b []byte) (rune, int) {
+	if len(b) < 6 || b[0] != '\\' || b[1] != 'u' {
+		return 0, 0
+	}
+	var v rune
+	for _, c := range b[2:6] {
+		switch {
+		case '0' <= c && c <= '9':
+			v = v<<4 | rune(c-'0')
+		case 'a' <= c && c <= 'f':
+			v = v<<4 | rune(c-'a'+10)
+		case 'A' <= c && c <= 'F':
+			v = v<<4 | rune(c-'A'+10)
+		default:
+			return 0, 0
+		}
+	}
+	return v, 6
+}
+
+// string decodes a JSON string into dst, matching encoding/json's
+// unquote: full escape set, surrogate pairs, lone surrogates and
+// invalid UTF-8 replaced with U+FFFD, control characters rejected.
+func (p *wireParser) string(dst []byte) ([]byte, error) {
+	if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+		return dst, p.errAt("expected string")
+	}
+	p.pos++
+	for {
+		if p.pos >= len(p.data) {
+			return dst, errUnexpectedEnd
+		}
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			return dst, nil
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.data) {
+				return dst, errUnexpectedEnd
+			}
+			switch e := p.data[p.pos]; e {
+			case '"', '\\', '/':
+				dst = append(dst, e)
+				p.pos++
+			case 'b':
+				dst = append(dst, '\b')
+				p.pos++
+			case 'f':
+				dst = append(dst, '\f')
+				p.pos++
+			case 'n':
+				dst = append(dst, '\n')
+				p.pos++
+			case 'r':
+				dst = append(dst, '\r')
+				p.pos++
+			case 't':
+				dst = append(dst, '\t')
+				p.pos++
+			case 'u':
+				p.pos++
+				r, err := p.hex4()
+				if err != nil {
+					return dst, err
+				}
+				if utf16.IsSurrogate(r) {
+					// A valid pair combines; anything else leaves U+FFFD
+					// for this half and reprocesses what follows, exactly
+					// as encoding/json's unquote does.
+					if r2, n := peekU(p.data[p.pos:]); n > 0 {
+						if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+							p.pos += n
+							dst = utf8.AppendRune(dst, dec)
+							continue
+						}
+					}
+					r = utf8.RuneError
+				}
+				dst = utf8.AppendRune(dst, r)
+			default:
+				return dst, p.errAt("invalid escape character in string")
+			}
+		case c < 0x20:
+			return dst, p.errAt("control character in string")
+		case c < utf8.RuneSelf:
+			dst = append(dst, c)
+			p.pos++
+		default:
+			r, size := utf8.DecodeRune(p.data[p.pos:])
+			p.pos += size
+			dst = utf8.AppendRune(dst, r) // invalid bytes become U+FFFD
+		}
+	}
+}
+
+// skipString validates a string without decoding it: escapes checked,
+// control characters rejected, raw bytes otherwise accepted (the
+// encoding/json scanner does not validate UTF-8 either).
+func (p *wireParser) skipString() error {
+	if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+		return p.errAt("expected string")
+	}
+	p.pos++
+	for {
+		if p.pos >= len(p.data) {
+			return errUnexpectedEnd
+		}
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			return nil
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.data) {
+				return errUnexpectedEnd
+			}
+			switch p.data[p.pos] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				p.pos++
+			case 'u':
+				p.pos++
+				if _, err := p.hex4(); err != nil {
+					return err
+				}
+			default:
+				return p.errAt("invalid escape character in string")
+			}
+		case c < 0x20:
+			return p.errAt("control character in string")
+		default:
+			p.pos++
+		}
+	}
+}
+
+// scanNumber validates a JSON number without converting it.
+func (p *wireParser) scanNumber() error {
+	if p.pos < len(p.data) && p.data[p.pos] == '-' {
+		p.pos++
+	}
+	switch {
+	case p.pos >= len(p.data):
+		return errUnexpectedEnd
+	case p.data[p.pos] == '0':
+		p.pos++
+	case '1' <= p.data[p.pos] && p.data[p.pos] <= '9':
+		for p.pos < len(p.data) && '0' <= p.data[p.pos] && p.data[p.pos] <= '9' {
+			p.pos++
+		}
+	default:
+		return p.errAt("invalid number")
+	}
+	if p.pos < len(p.data) && p.data[p.pos] == '.' {
+		p.pos++
+		if p.pos >= len(p.data) || p.data[p.pos] < '0' || p.data[p.pos] > '9' {
+			return p.errAt("invalid number")
+		}
+		for p.pos < len(p.data) && '0' <= p.data[p.pos] && p.data[p.pos] <= '9' {
+			p.pos++
+		}
+	}
+	if p.pos < len(p.data) && (p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.data) && (p.data[p.pos] == '+' || p.data[p.pos] == '-') {
+			p.pos++
+		}
+		if p.pos >= len(p.data) || p.data[p.pos] < '0' || p.data[p.pos] > '9' {
+			return p.errAt("invalid number")
+		}
+		for p.pos < len(p.data) && '0' <= p.data[p.pos] && p.data[p.pos] <= '9' {
+			p.pos++
+		}
+	}
+	return nil
+}
+
+// int parses a JSON integer with strconv.ParseInt semantics as
+// encoding/json applies them to an int field: no leading zeros beyond a
+// lone 0, no fraction or exponent, int64 range. Error labeling is the
+// caller's job (the error path may allocate; this path must not).
+func (p *wireParser) int() (int, error) {
+	neg := false
+	if p.pos < len(p.data) && p.data[p.pos] == '-' {
+		neg = true
+		p.pos++
+	}
+	if p.pos >= len(p.data) || p.data[p.pos] < '0' || p.data[p.pos] > '9' {
+		return 0, p.errAt("expected integer")
+	}
+	if p.data[p.pos] == '0' && p.pos+1 < len(p.data) && '0' <= p.data[p.pos+1] && p.data[p.pos+1] <= '9' {
+		return 0, p.errAt("invalid number literal")
+	}
+	var v uint64
+	for p.pos < len(p.data) && '0' <= p.data[p.pos] && p.data[p.pos] <= '9' {
+		if v > (math.MaxUint64-9)/10 {
+			return 0, p.errAt("integer overflow")
+		}
+		v = v*10 + uint64(p.data[p.pos]-'0')
+		p.pos++
+	}
+	if p.pos < len(p.data) && (p.data[p.pos] == '.' || p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		return 0, p.errAt("expected integer, got number")
+	}
+	bound := uint64(math.MaxInt64)
+	if neg {
+		bound++
+	}
+	if v > bound {
+		return 0, p.errAt("integer overflow")
+	}
+	if neg {
+		return int(-v), nil
+	}
+	return int(v), nil
+}
+
+// skipValue consumes and syntactically validates one value of any type,
+// tracking nesting depth — unknown fields get the same scrutiny
+// encoding/json's scanner gives them.
+func (p *wireParser) skipValue() error {
+	p.skipSpace()
+	if p.pos >= len(p.data) {
+		return errUnexpectedEnd
+	}
+	switch c := p.data[p.pos]; {
+	case c == '{':
+		p.pos++
+		p.depth++
+		if p.depth > maxNestingDepth {
+			return p.errAt("exceeded max nesting depth")
+		}
+		first := true
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.data) {
+				return errUnexpectedEnd
+			}
+			if p.data[p.pos] == '}' {
+				p.pos++
+				p.depth--
+				return nil
+			}
+			if !first {
+				if p.data[p.pos] != ',' {
+					return p.errAt("expected ',' or '}'")
+				}
+				p.pos++
+				p.skipSpace()
+			}
+			first = false
+			if err := p.skipString(); err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+				return p.errAt("expected ':'")
+			}
+			p.pos++
+			if err := p.skipValue(); err != nil {
+				return err
+			}
+		}
+	case c == '[':
+		p.pos++
+		p.depth++
+		if p.depth > maxNestingDepth {
+			return p.errAt("exceeded max nesting depth")
+		}
+		first := true
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.data) {
+				return errUnexpectedEnd
+			}
+			if p.data[p.pos] == ']' {
+				p.pos++
+				p.depth--
+				return nil
+			}
+			if !first {
+				if p.data[p.pos] != ',' {
+					return p.errAt("expected ',' or ']'")
+				}
+				p.pos++
+			}
+			first = false
+			if err := p.skipValue(); err != nil {
+				return err
+			}
+		}
+	case c == '"':
+		return p.skipString()
+	case c == 't':
+		return p.literal("true")
+	case c == 'f':
+		return p.literal("false")
+	case c == 'n':
+		return p.literal("null")
+	case c == '-' || ('0' <= c && c <= '9'):
+		return p.scanNumber()
+	default:
+		return p.errAt("unexpected character")
+	}
+}
+
+// key decodes the next object key into sc.key and consumes the
+// following colon.
+func (p *wireParser) key(sc *queryScratch) error {
+	k, err := p.string(sc.key[:0])
+	sc.key = k
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+		return p.errAt("expected ':'")
+	}
+	p.pos++
+	return nil
+}
+
+// parseQueryRequest decodes {"name": ..., "ranges": [{"lo":..,"hi":..},
+// ...]} from sc.body, appending specs into sc.specs. maxSpecs bounds the
+// batch during parsing. Returned name and specs alias the scratch's
+// pooled buffers.
+func parseQueryRequest(sc *queryScratch, maxSpecs int) (name string, specs []dphist.RangeSpec, err error) {
+	p := wireParser{data: sc.body}
+	sc.specs = sc.specs[:0]
+	sc.str = sc.str[:0]
+	hasName := false
+	var st specState
+
+	p.skipSpace()
+	if p.pos >= len(p.data) {
+		return "", nil, errUnexpectedEnd
+	}
+	if p.peekNull() {
+		if err := p.literal("null"); err != nil {
+			return "", nil, err
+		}
+		return "", nil, p.end()
+	}
+	if p.data[p.pos] != '{' {
+		return "", nil, p.errAt("expected request object")
+	}
+	p.pos++
+	p.depth++
+	first := true
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return "", nil, errUnexpectedEnd
+		}
+		if p.data[p.pos] == '}' {
+			p.pos++
+			break
+		}
+		if !first {
+			if p.data[p.pos] != ',' {
+				return "", nil, p.errAt("expected ',' or '}'")
+			}
+			p.pos++
+			p.skipSpace()
+		}
+		first = false
+		if err := p.key(sc); err != nil {
+			return "", nil, err
+		}
+		switch {
+		case bytes.EqualFold(sc.key, nameField):
+			p.skipSpace()
+			if p.peekNull() {
+				if err := p.literal("null"); err != nil {
+					return "", nil, err
+				}
+				continue // null leaves the previous value in place
+			}
+			sc.str, err = p.string(sc.str[:0])
+			if err != nil {
+				return "", nil, fmt.Errorf("name: %w", err)
+			}
+			hasName = true
+		case bytes.EqualFold(sc.key, rangesField):
+			if err := p.parseRangeSpecs(sc, maxSpecs, &st); err != nil {
+				return "", nil, err
+			}
+		default:
+			if err := p.skipValue(); err != nil {
+				return "", nil, err
+			}
+		}
+	}
+	p.depth--
+	if err := p.end(); err != nil {
+		return "", nil, err
+	}
+	if hasName {
+		name = sc.internName()
+	}
+	if !st.got {
+		return name, nil, nil
+	}
+	return name, sc.specs, nil
+}
+
+// specState tracks one request's spec-array decoding across duplicate
+// keys: got distinguishes "ranges present (possibly empty)" from
+// absent, hw is the high-water element count written this request —
+// the slots a later duplicate array may inherit from, mirroring
+// encoding/json's reuse of slice capacity it allocated earlier in the
+// same Unmarshal.
+type specState struct {
+	got bool
+	hw  int
+}
+
+var (
+	nameField   = []byte("name")
+	rangesField = []byte("ranges")
+	rectsField  = []byte("rects")
+	loField     = []byte("lo")
+	hiField     = []byte("hi")
+	x0Field     = []byte("x0")
+	y0Field     = []byte("y0")
+	x1Field     = []byte("x1")
+	y1Field     = []byte("y1")
+)
+
+// parseRangeSpecs decodes the "ranges" array value into sc.specs. A
+// null value is a no-op (previous value kept). On a duplicate key the
+// new array decodes over the previous one's elements — a slot's fields
+// survive unless the new element overwrites them — because that is what
+// encoding/json does when it re-decodes a field into an existing slice,
+// and FuzzQueryRequestParse holds this parser to that behavior.
+func (p *wireParser) parseRangeSpecs(sc *queryScratch, maxSpecs int, st *specState) error {
+	p.skipSpace()
+	if p.peekNull() {
+		// Unlike scalar fields, null decoded into a slice sets it to
+		// nil: discard everything an earlier duplicate key accumulated.
+		*st = specState{}
+		sc.specs = sc.specs[:0]
+		return p.literal("null")
+	}
+	if p.pos >= len(p.data) || p.data[p.pos] != '[' {
+		return p.errAt("ranges: expected array")
+	}
+	p.pos++
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return p.errAt("exceeded max nesting depth")
+	}
+	specs := sc.specs[:st.hw] // slots an earlier duplicate key wrote
+	st.got = true
+	n := 0
+	first := true
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return errUnexpectedEnd
+		}
+		if p.data[p.pos] == ']' {
+			p.pos++
+			p.depth--
+			if len(specs) > st.hw {
+				st.hw = len(specs)
+			}
+			sc.specs = specs[:n]
+			return nil
+		}
+		if !first {
+			if p.data[p.pos] != ',' {
+				return p.errAt("ranges: expected ',' or ']'")
+			}
+			p.pos++
+			p.skipSpace()
+		}
+		first = false
+		if n >= maxSpecs {
+			return fmt.Errorf("batch exceeds limit of %d ranges", maxSpecs)
+		}
+		var spec dphist.RangeSpec
+		if n < len(specs) {
+			spec = specs[n]
+		}
+		if err := p.parseRangeSpec(sc, n, &spec); err != nil {
+			return err
+		}
+		if n < len(specs) {
+			specs[n] = spec
+		} else {
+			specs = append(specs, spec)
+		}
+		n++
+	}
+}
+
+// parseRangeSpec decodes one {"lo":..,"hi":..} element (or null, the
+// zero spec). Errors name the element index — the 400 the analyst sees
+// points at the offending spec.
+func (p *wireParser) parseRangeSpec(sc *queryScratch, i int, spec *dphist.RangeSpec) error {
+	if p.peekNull() {
+		return p.literal("null")
+	}
+	if p.pos >= len(p.data) || p.data[p.pos] != '{' {
+		return p.errAt(fmt.Sprintf("ranges[%d]: expected object", i))
+	}
+	p.pos++
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return p.errAt("exceeded max nesting depth")
+	}
+	first := true
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return errUnexpectedEnd
+		}
+		if p.data[p.pos] == '}' {
+			p.pos++
+			p.depth--
+			return nil
+		}
+		if !first {
+			if p.data[p.pos] != ',' {
+				return p.errAt(fmt.Sprintf("ranges[%d]: expected ',' or '}'", i))
+			}
+			p.pos++
+			p.skipSpace()
+		}
+		first = false
+		if err := p.key(sc); err != nil {
+			return err
+		}
+		var dst *int
+		switch {
+		case bytes.EqualFold(sc.key, loField):
+			dst = &spec.Lo
+		case bytes.EqualFold(sc.key, hiField):
+			dst = &spec.Hi
+		default:
+			if err := p.skipValue(); err != nil {
+				return err
+			}
+			continue
+		}
+		p.skipSpace()
+		if p.peekNull() {
+			if err := p.literal("null"); err != nil {
+				return err
+			}
+			continue
+		}
+		v, err := p.int()
+		if err != nil {
+			return fmt.Errorf("ranges[%d].%s: %w", i, sc.key, err)
+		}
+		*dst = v
+	}
+}
+
+// parseQuery2DRequest is parseQueryRequest for {"name": ..., "rects":
+// [{"x0":..,"y0":..,"x1":..,"y1":..}, ...]}.
+func parseQuery2DRequest(sc *queryScratch, maxSpecs int) (name string, rects []dphist.RectSpec, err error) {
+	p := wireParser{data: sc.body}
+	sc.rects = sc.rects[:0]
+	sc.str = sc.str[:0]
+	hasName := false
+	var st specState
+
+	p.skipSpace()
+	if p.pos >= len(p.data) {
+		return "", nil, errUnexpectedEnd
+	}
+	if p.peekNull() {
+		if err := p.literal("null"); err != nil {
+			return "", nil, err
+		}
+		return "", nil, p.end()
+	}
+	if p.data[p.pos] != '{' {
+		return "", nil, p.errAt("expected request object")
+	}
+	p.pos++
+	p.depth++
+	first := true
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return "", nil, errUnexpectedEnd
+		}
+		if p.data[p.pos] == '}' {
+			p.pos++
+			break
+		}
+		if !first {
+			if p.data[p.pos] != ',' {
+				return "", nil, p.errAt("expected ',' or '}'")
+			}
+			p.pos++
+			p.skipSpace()
+		}
+		first = false
+		if err := p.key(sc); err != nil {
+			return "", nil, err
+		}
+		switch {
+		case bytes.EqualFold(sc.key, nameField):
+			p.skipSpace()
+			if p.peekNull() {
+				if err := p.literal("null"); err != nil {
+					return "", nil, err
+				}
+				continue
+			}
+			sc.str, err = p.string(sc.str[:0])
+			if err != nil {
+				return "", nil, fmt.Errorf("name: %w", err)
+			}
+			hasName = true
+		case bytes.EqualFold(sc.key, rectsField):
+			if err := p.parseRectSpecs(sc, maxSpecs, &st); err != nil {
+				return "", nil, err
+			}
+		default:
+			if err := p.skipValue(); err != nil {
+				return "", nil, err
+			}
+		}
+	}
+	p.depth--
+	if err := p.end(); err != nil {
+		return "", nil, err
+	}
+	if hasName {
+		name = sc.internName()
+	}
+	if !st.got {
+		return name, nil, nil
+	}
+	return name, sc.rects, nil
+}
+
+// parseRectSpecs mirrors parseRangeSpecs' duplicate-key inheritance;
+// see the comment there.
+func (p *wireParser) parseRectSpecs(sc *queryScratch, maxSpecs int, st *specState) error {
+	p.skipSpace()
+	if p.peekNull() {
+		*st = specState{}
+		sc.rects = sc.rects[:0]
+		return p.literal("null")
+	}
+	if p.pos >= len(p.data) || p.data[p.pos] != '[' {
+		return p.errAt("rects: expected array")
+	}
+	p.pos++
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return p.errAt("exceeded max nesting depth")
+	}
+	rects := sc.rects[:st.hw] // slots an earlier duplicate key wrote
+	st.got = true
+	n := 0
+	first := true
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return errUnexpectedEnd
+		}
+		if p.data[p.pos] == ']' {
+			p.pos++
+			p.depth--
+			if len(rects) > st.hw {
+				st.hw = len(rects)
+			}
+			sc.rects = rects[:n]
+			return nil
+		}
+		if !first {
+			if p.data[p.pos] != ',' {
+				return p.errAt("rects: expected ',' or ']'")
+			}
+			p.pos++
+			p.skipSpace()
+		}
+		first = false
+		if n >= maxSpecs {
+			return fmt.Errorf("batch exceeds limit of %d rectangles", maxSpecs)
+		}
+		var spec dphist.RectSpec
+		if n < len(rects) {
+			spec = rects[n]
+		}
+		if err := p.parseRectSpec(sc, n, &spec); err != nil {
+			return err
+		}
+		if n < len(rects) {
+			rects[n] = spec
+		} else {
+			rects = append(rects, spec)
+		}
+		n++
+	}
+}
+
+func (p *wireParser) parseRectSpec(sc *queryScratch, i int, spec *dphist.RectSpec) error {
+	if p.peekNull() {
+		return p.literal("null")
+	}
+	if p.pos >= len(p.data) || p.data[p.pos] != '{' {
+		return p.errAt(fmt.Sprintf("rects[%d]: expected object", i))
+	}
+	p.pos++
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return p.errAt("exceeded max nesting depth")
+	}
+	first := true
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return errUnexpectedEnd
+		}
+		if p.data[p.pos] == '}' {
+			p.pos++
+			p.depth--
+			return nil
+		}
+		if !first {
+			if p.data[p.pos] != ',' {
+				return p.errAt(fmt.Sprintf("rects[%d]: expected ',' or '}'", i))
+			}
+			p.pos++
+			p.skipSpace()
+		}
+		first = false
+		if err := p.key(sc); err != nil {
+			return err
+		}
+		var dst *int
+		switch {
+		case bytes.EqualFold(sc.key, x0Field):
+			dst = &spec.X0
+		case bytes.EqualFold(sc.key, y0Field):
+			dst = &spec.Y0
+		case bytes.EqualFold(sc.key, x1Field):
+			dst = &spec.X1
+		case bytes.EqualFold(sc.key, y1Field):
+			dst = &spec.Y1
+		default:
+			if err := p.skipValue(); err != nil {
+				return err
+			}
+			continue
+		}
+		p.skipSpace()
+		if p.peekNull() {
+			if err := p.literal("null"); err != nil {
+				return err
+			}
+			continue
+		}
+		v, err := p.int()
+		if err != nil {
+			return fmt.Errorf("rects[%d].%s: %w", i, sc.key, err)
+		}
+		*dst = v
+	}
+}
+
+// --- response encoding ---
+
+const hexDigits = "0123456789abcdef"
+
+// errUnsupportedFloat mirrors encoding/json's UnsupportedValueError for
+// NaN and infinities, which JSON cannot carry.
+var errUnsupportedFloat = errors.New("unsupported value: NaN or Inf answer")
+
+// appendJSONString appends s as a JSON string, byte-identical to
+// encoding/json's default encoder: HTML-relevant characters and
+// U+2028/U+2029 escaped, invalid UTF-8 replaced with U+FFFD.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f exactly as encoding/json's floatEncoder
+// does: shortest representation, 'f' format unless the magnitude calls
+// for 'e', with the exponent's leading zero trimmed.
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return b, errUnsupportedFloat
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+// appendQueryResponse appends the query/query2d success payload —
+// {"namespace":...,"name":...,"version":N,"strategy":...,"answers":[...]}
+// plus the trailing newline json.Encoder emits — so the wire bytes are
+// indistinguishable from the reflection path's.
+func appendQueryResponse(b []byte, entry dphist.StoreEntry, answers []float64) ([]byte, error) {
+	b = append(b, `{"namespace":`...)
+	b = appendJSONString(b, entry.Namespace)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, entry.Name)
+	b = append(b, `,"version":`...)
+	b = strconv.AppendInt(b, int64(entry.Version), 10)
+	b = append(b, `,"strategy":`...)
+	b = appendJSONString(b, entry.Strategy.String())
+	b = append(b, `,"answers":[`...)
+	var err error
+	for i, v := range answers {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if b, err = appendJSONFloat(b, v); err != nil {
+			return b, err
+		}
+	}
+	return append(b, ']', '}', '\n'), nil
+}
+
+// nsView returns the namespace handle for ns, cached so the hot path
+// does not allocate a view per request. Views are cached only for
+// namespaces that exist (or the default): a probe for an arbitrary name
+// must not grow server state, reads never create namespaces.
+func (s *Server) nsView(ns string) *dphist.Namespace {
+	if v, ok := s.nsViews.Load(ns); ok {
+		return v.(*dphist.Namespace)
+	}
+	v := s.store.Namespace(ns)
+	if ns == dphist.DefaultNamespace || s.store.HasNamespace(ns) {
+		s.nsViews.Store(ns, v)
+	}
+	return v
+}
+
+// serveQueryError maps a query failure onto the same statuses the
+// reflection path used: unknown release is 404, anything else about the
+// request (malformed spec, wrong dimensionality) is the analyst's 400.
+func (s *Server) serveQueryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, dphist.ErrReleaseNotFound) {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+// writeQueryResponse encodes into the scratch's pooled output buffer
+// and writes it. An unencodable answer (NaN/Inf) is a server-side fault:
+// counted, 500, nothing half-written.
+func (s *Server) writeQueryResponse(w http.ResponseWriter, sc *queryScratch, entry dphist.StoreEntry, answers []float64) {
+	out, err := appendQueryResponse(sc.out[:0], entry, answers)
+	sc.out = out
+	if err != nil {
+		s.encodeErrors.Add(1)
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "encoding response: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
+}

@@ -1,0 +1,587 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/dphist/dphist"
+)
+
+// --- parser equivalence with encoding/json ---
+
+// checkQueryParse holds parseQueryRequest to json.Unmarshal's observable
+// behavior on one input: same accept/reject verdict, and on accept the
+// same name and spec sequence.
+func checkQueryParse(t *testing.T, data []byte, maxSpecs int) {
+	t.Helper()
+	var want queryRequest
+	jerr := json.Unmarshal(data, &want)
+	sc := &queryScratch{body: append([]byte(nil), data...)}
+	name, specs, perr := parseQueryRequest(sc, maxSpecs)
+	if jerr != nil {
+		if perr == nil {
+			t.Fatalf("parser accepted %q which encoding/json rejects (%v)", data, jerr)
+		}
+		return
+	}
+	if perr != nil {
+		t.Fatalf("parser rejected %q which encoding/json accepts: %v", data, perr)
+	}
+	if name != want.Name {
+		t.Fatalf("parse %q: name %q, encoding/json got %q", data, name, want.Name)
+	}
+	if len(specs) != len(want.Ranges) {
+		t.Fatalf("parse %q: %d specs, encoding/json got %d", data, len(specs), len(want.Ranges))
+	}
+	for i := range specs {
+		if specs[i] != want.Ranges[i] {
+			t.Fatalf("parse %q: spec %d = %+v, encoding/json got %+v", data, i, specs[i], want.Ranges[i])
+		}
+	}
+}
+
+func checkQuery2DParse(t *testing.T, data []byte, maxSpecs int) {
+	t.Helper()
+	var want query2DRequest
+	jerr := json.Unmarshal(data, &want)
+	sc := &queryScratch{body: append([]byte(nil), data...)}
+	name, rects, perr := parseQuery2DRequest(sc, maxSpecs)
+	if jerr != nil {
+		if perr == nil {
+			t.Fatalf("2d parser accepted %q which encoding/json rejects (%v)", data, jerr)
+		}
+		return
+	}
+	if perr != nil {
+		t.Fatalf("2d parser rejected %q which encoding/json accepts: %v", data, perr)
+	}
+	if name != want.Name {
+		t.Fatalf("2d parse %q: name %q, encoding/json got %q", data, name, want.Name)
+	}
+	if len(rects) != len(want.Rects) {
+		t.Fatalf("2d parse %q: %d rects, encoding/json got %d", data, len(rects), len(want.Rects))
+	}
+	for i := range rects {
+		if rects[i] != want.Rects[i] {
+			t.Fatalf("2d parse %q: rect %d = %+v, encoding/json got %+v", data, i, rects[i], want.Rects[i])
+		}
+	}
+}
+
+// queryParseCorpus is the deterministic edge-case battery; the fuzz
+// target reuses it as its seed corpus.
+var queryParseCorpus = []string{
+	`{"name":"t","ranges":[{"lo":0,"hi":4}]}`,
+	`{"name":"t","ranges":[]}`,
+	`{"name":"t"}`,
+	`{"ranges":[{"lo":1,"hi":2}]}`,
+	`{}`,
+	`null`,
+	` { "name" : "t" , "ranges" : [ { "lo" : 1 , "hi" : 2 } ] } `,
+	// Case-insensitive field matching, as encoding/json folds names.
+	`{"NAME":"t","RANGES":[{"LO":1,"HI":2}]}`,
+	`{"Name":"t","Ranges":[{"Lo":1,"Hi":2}]}`,
+	// Duplicate keys: last value wins, null is a no-op, a shorter
+	// duplicate array inherits the longer one's slots on re-growth.
+	`{"name":"a","name":"b"}`,
+	`{"name":"a","name":null}`,
+	`{"ranges":[{"lo":5,"hi":9}],"ranges":[{"hi":1}]}`,
+	`{"ranges":[{"lo":5,"hi":9}],"ranges":[null]}`,
+	`{"ranges":[{"lo":1,"hi":2},{"lo":3,"hi":4}],"ranges":[{}],"ranges":[{},{}]}`,
+	`{"ranges":[{"lo":1,"hi":2}],"ranges":null}`,
+	`{"ranges":null}`,
+	`{"ranges":null,"ranges":[{"lo":1,"hi":2}]}`,
+	`{"ranges":[{"lo":1,"lo":2,"hi":3}]}`,
+	// Unknown fields are skipped with full syntactic validation.
+	`{"name":"t","extra":{"deep":[1,2,{"x":"y"}]},"ranges":[]}`,
+	`{"unknown":01}`,
+	`{"unknown":1.5e+30,"name":"t"}`,
+	`{"unknown":"𝄞"}`,
+	// String escapes: full set, surrogate pairs, lone surrogates,
+	// invalid UTF-8 replaced.
+	`{"name":"A\n\t\"\\\/\b\f\r"}`,
+	`{"name":"𝄞"}`,
+	`{"name":"\ud834"}`,
+	`{"name":"\ud834A"}`,
+	`{"name":"\udd1e\udd1e"}`,
+	"{\"name\":\"\xff\xfe\"}",
+	"{\"name\":\"caf\xc3\xa9\"}",
+	// Integer semantics: strconv.ParseInt as encoding/json applies it.
+	`{"ranges":[{"lo":-3,"hi":-1}]}`,
+	`{"ranges":[{"lo":0,"hi":9223372036854775807}]}`,
+	`{"ranges":[{"lo":-9223372036854775808,"hi":0}]}`,
+	`{"ranges":[{"lo":9223372036854775808}]}`,
+	`{"ranges":[{"lo":01}]}`,
+	`{"ranges":[{"lo":1.0}]}`,
+	`{"ranges":[{"lo":1e2}]}`,
+	`{"ranges":[{"lo":+1}]}`,
+	`{"ranges":[{"lo":-0}]}`,
+	`{"ranges":[{"lo":null,"hi":null}]}`,
+	// Wrong types and malformed bodies.
+	`{"name":5}`,
+	`{"name":["a"]}`,
+	`{"ranges":{"lo":1}}`,
+	`{"ranges":[[1,2]]}`,
+	`{"ranges":[true]}`,
+	`{"ranges":["x"]}`,
+	`true`,
+	`"str"`,
+	`42`,
+	`[]`,
+	``,
+	`   `,
+	`{`,
+	`{"name":"t"`,
+	`{"name":"t",}`,
+	`{"name":"t" "ranges":[]}`,
+	`{"name":}`,
+	`{"ranges":[{"lo":1,}]}`,
+	`{"ranges":[{"lo":1}]}extra`,
+	`{"name":"t"}{"name":"u"}`,
+	"{\"name\":\"a\x01b\"}",
+	`{"name":"\q"}`,
+	`{"name":"\u12"}`,
+	`{5:1}`,
+	`{"":1}`,
+}
+
+func TestQueryParseEquivalenceCorpus(t *testing.T) {
+	for _, in := range queryParseCorpus {
+		checkQueryParse(t, []byte(in), maxQueryRanges)
+		checkQuery2DParse(t, []byte(in), maxQueryRanges)
+	}
+	// Rect-shaped cases with all four corner fields.
+	for _, in := range []string{
+		`{"name":"g","rects":[{"x0":0,"y0":0,"x1":2,"y1":2}]}`,
+		`{"name":"g","rects":[{"X0":1,"Y1":3}]}`,
+		`{"rects":[{"x0":1,"x0":2}],"rects":[{}]}`,
+		`{"rects":[{"x0":"no"}]}`,
+		`{"rects":[null,{"y0":1}]}`,
+	} {
+		checkQuery2DParse(t, []byte(in), maxQueryRanges)
+	}
+}
+
+// FuzzQueryRequestParse is the acceptance bar for the hand-rolled
+// parser: on every input it must agree with encoding/json — accept the
+// same bodies, produce the same name and specs, reject the rest — and
+// never panic. The twoD flag exercises the rect-shaped twin.
+func FuzzQueryRequestParse(f *testing.F) {
+	for _, in := range queryParseCorpus {
+		f.Add([]byte(in), false)
+		f.Add([]byte(in), true)
+	}
+	f.Add([]byte(`{"name":"g","rects":[{"x0":0,"y0":0,"x1":2,"y1":2}]}`), true)
+	f.Fuzz(func(t *testing.T, data []byte, twoD bool) {
+		// The route cap is part of the handler, not the grammar; lift it
+		// so equivalence is judged against plain json.Unmarshal.
+		if twoD {
+			checkQuery2DParse(t, data, math.MaxInt)
+		} else {
+			checkQueryParse(t, data, math.MaxInt)
+		}
+	})
+}
+
+// --- response encoding equivalence ---
+
+func TestAppendQueryResponseMatchesEncodingJSON(t *testing.T) {
+	entries := []dphist.StoreEntry{
+		{Namespace: "default", Name: "traffic", Version: 3, Strategy: dphist.StrategyUniversal},
+		{Namespace: "geo.analytics", Name: "a<b>&  é\x80", Version: 0, Strategy: dphist.StrategyLaplace},
+	}
+	batches := [][]float64{
+		{},
+		{0, 1, -1, 2.5},
+		{1e21, -1e21, 9.5e20, 1e-6, 9.9e-7, -1e-7, 0.1, 1.0 / 3.0},
+		{math.MaxFloat64, math.SmallestNonzeroFloat64, -0.0},
+	}
+	for _, e := range entries {
+		for _, answers := range batches {
+			got, err := appendQueryResponse(nil, e, answers)
+			if err != nil {
+				t.Fatalf("appendQueryResponse(%v): %v", answers, err)
+			}
+			if answers == nil {
+				answers = []float64{}
+			}
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(queryResponse{
+				Namespace: e.Namespace,
+				Name:      e.Name,
+				Version:   e.Version,
+				Strategy:  e.Strategy.String(),
+				Answers:   answers,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != buf.String() {
+				t.Fatalf("wire bytes diverge from encoding/json:\n got %q\nwant %q", got, buf.String())
+			}
+		}
+	}
+	if _, err := appendQueryResponse(nil, entries[0], []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN answer encoded without error")
+	}
+	if _, err := appendQueryResponse(nil, entries[0], []float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf answer encoded without error")
+	}
+}
+
+// --- HTTP-level malformed requests: 400 with a spec index ---
+
+func TestQueryMalformedRequests(t *testing.T) {
+	ts := newTestServer(t, 2.0)
+	if resp, body := postJSON(t, ts, "/v1/releases",
+		`{"name":"t","strategy":"universal","epsilon":0.5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("mint: %d %s", resp.StatusCode, body)
+	}
+	cases := []struct {
+		name, body, wantSub string
+	}{
+		{"truncated body", `{"name":"t","ranges":[{"lo":0,`, "malformed request"},
+		{"truncated string", `{"name":"t`, "malformed request"},
+		{"wrong name type", `{"name":5,"ranges":[]}`, "malformed request"},
+		{"wrong ranges type", `{"name":"t","ranges":{"lo":1}}`, "expected array"},
+		{"wrong spec type", `{"name":"t","ranges":[42]}`, "ranges[0]"},
+		{"bad field type with index", `{"name":"t","ranges":[{"lo":0,"hi":4},{"lo":"x"}]}`, "ranges[1].lo"},
+		{"float in int field", `{"name":"t","ranges":[{"lo":0,"hi":1.5}]}`, "ranges[0].hi"},
+		{"trailing garbage", `{"name":"t","ranges":[]}extra`, "after top-level value"},
+		{"oversize batch", oversizeBatch(), "exceeds limit"},
+		{"semantically invalid spec index", `{"name":"t","ranges":[{"lo":0,"hi":4},{"lo":3,"hi":1}]}`, "query 1"},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts, "/v1/query", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+			continue
+		}
+		if !strings.Contains(string(body), tc.wantSub) {
+			t.Errorf("%s: body %q does not mention %q", tc.name, body, tc.wantSub)
+		}
+	}
+	// Duplicate keys are legal JSON: last value wins, like encoding/json.
+	resp, body := postJSON(t, ts, "/v1/query",
+		`{"name":"zzz","name":"t","ranges":[{"lo":9,"hi":9}],"ranges":[{"lo":0,"hi":8}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate keys: %d %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Name != "t" || len(qr.Answers) != 1 {
+		t.Fatalf("duplicate keys answered %+v", qr)
+	}
+}
+
+func oversizeBatch() string {
+	var b strings.Builder
+	b.WriteString(`{"name":"t","ranges":[`)
+	for i := 0; i <= maxQueryRanges; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"lo":0,"hi":1}`)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// --- pooled buffers must not alias across requests ---
+
+// TestQueryScratchNoAliasing replays the same request between other
+// requests with different shapes and asserts byte-identical responses:
+// if any pooled buffer leaked state between requests, the replay would
+// see it.
+func TestQueryScratchNoAliasing(t *testing.T) {
+	ts := newTestServer(t, 4.0)
+	for _, mint := range []string{
+		`{"name":"alpha","strategy":"universal","epsilon":0.5}`,
+		`{"name":"beta","strategy":"laplace","epsilon":0.5}`,
+	} {
+		if resp, body := postJSON(t, ts, "/v1/releases", mint); resp.StatusCode != http.StatusOK {
+			t.Fatalf("mint: %d %s", resp.StatusCode, body)
+		}
+	}
+	reqA := `{"name":"alpha","ranges":[{"lo":0,"hi":8},{"lo":2,"hi":4}]}`
+	_, first := postJSON(t, ts, "/v1/query", reqA)
+	baseline := string(first)
+	interleaved := []string{
+		`{"name":"beta","ranges":[{"lo":0,"hi":1},{"lo":1,"hi":2},{"lo":2,"hi":3},{"lo":3,"hi":8}]}`,
+		`{"name":"beta","ranges":[]}`,
+		`{"name":"alpha","ranges":[{"lo":7,"hi":8}]}`,
+		`{"name":"nosuch","ranges":[{"lo":0,"hi":1}]}`,
+		`{"name":"alpha","ranges":[{"lo":"bad"}]}`,
+	}
+	for i := 0; i < 3; i++ {
+		for _, other := range interleaved {
+			postJSON(t, ts, "/v1/query", other)
+		}
+		if _, replay := postJSON(t, ts, "/v1/query", reqA); string(replay) != baseline {
+			t.Fatalf("replayed response diverged after interleaved traffic:\n got %q\nwant %q", replay, baseline)
+		}
+	}
+}
+
+// --- concurrent query storm (run with -race) ---
+
+func TestConcurrentQueryStorm(t *testing.T) {
+	ts := newTestServer(t, 4.0)
+	if resp, body := postJSON(t, ts, "/v1/releases",
+		`{"name":"t","strategy":"universal","epsilon":0.5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("mint: %d %s", resp.StatusCode, body)
+	}
+	bodies := []struct {
+		payload string
+		status  int
+	}{
+		{`{"name":"t","ranges":[{"lo":0,"hi":8}]}`, http.StatusOK},
+		{`{"name":"t","ranges":[{"lo":1,"hi":2},{"lo":3,"hi":7}]}`, http.StatusOK},
+		{`{"name":"t","ranges":[]}`, http.StatusOK},
+		{`{"name":"missing","ranges":[{"lo":0,"hi":1}]}`, http.StatusNotFound},
+		{`{"name":"t","ranges":[{"lo":"x"}]}`, http.StatusBadRequest},
+		{`{"name":"t","ranges":[{"lo":5,"hi":2}]}`, http.StatusBadRequest},
+	}
+	const workers, perWorker = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tc := bodies[(w+i)%len(bodies)]
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(tc.payload))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != tc.status {
+					errs <- fmt.Errorf("payload %q: status %d, want %d", tc.payload, resp.StatusCode, tc.status)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// --- encode-failure accounting (satellite: writeJSON no longer silent) ---
+
+func TestWriteJSONEncodeFailureCounted(t *testing.T) {
+	var s Server
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, map[string]any{"bad": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("unencodable value got status %d, want 500", rec.Code)
+	}
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("error reply is not valid JSON: %q", rec.Body.String())
+	}
+	if got := s.encodeErrors.Load(); got != 1 {
+		t.Fatalf("encodeErrors = %d, want 1", got)
+	}
+}
+
+// --- allocation accounting: pooled path vs the reflection path ---
+
+// reflectionHandleQuery reconstructs the pre-wire.go hot path —
+// json.NewDecoder reflection decode, fresh slices, json.NewEncoder
+// response — as the comparison baseline for the ≥5x allocation
+// acceptance bar.
+func reflectionHandleQuery(s *Server, w http.ResponseWriter, r *http.Request, ns string) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if req.Name == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name is required"})
+		return
+	}
+	answers, entry, err := s.store.Namespace(ns).Query(req.Name, req.Ranges)
+	if err != nil {
+		s.serveQueryError(w, err)
+		return
+	}
+	if answers == nil {
+		answers = []float64{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(queryResponse{
+		Namespace: entry.Namespace,
+		Name:      entry.Name,
+		Version:   entry.Version,
+		Strategy:  entry.Strategy.String(),
+		Answers:   answers,
+	})
+}
+
+// nullResponseWriter discards the response; allocation runs must not
+// charge the handler for recorder bookkeeping.
+type nullResponseWriter struct {
+	h http.Header
+}
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 2)
+	}
+	return w.h
+}
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// replayBody is an in-place resettable request body.
+type replayBody struct {
+	data []byte
+	off  int
+}
+
+func (b *replayBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+func (b *replayBody) Close() error { return nil }
+
+// newQueryBenchServer builds a direct (no network) server with minted
+// 1-D and 2-D releases and returns its handler.
+func newQueryBenchServer(tb testing.TB) (*Server, http.Handler) {
+	tb.Helper()
+	counts := make([]float64, 256)
+	cells := make([][]float64, 16)
+	for i := range counts {
+		counts[i] = float64(i % 17)
+	}
+	for y := range cells {
+		cells[y] = counts[y*16 : y*16+16]
+	}
+	s, err := New(Config{Counts: counts, Cells: cells, Budget: 10, Seed: 7})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h := s.Handler()
+	for _, mint := range []string{
+		`{"name":"t","strategy":"universal","epsilon":0.5}`,
+		`{"name":"grid","strategy":"universal2d","epsilon":0.5}`,
+	} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/releases", strings.NewReader(mint))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			tb.Fatalf("mint: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	return s, h
+}
+
+func queryHTTPRequest(path, payload string) (*http.Request, *replayBody) {
+	body := &replayBody{data: []byte(payload)}
+	req := httptest.NewRequest(http.MethodPost, path, nil)
+	req.Body = body
+	req.ContentLength = int64(len(body.data))
+	return req, body
+}
+
+const benchQueryBody = `{"name":"t","ranges":[{"lo":0,"hi":256},{"lo":17,"hi":42},{"lo":3,"hi":200},{"lo":128,"hi":129}]}`
+const benchQuery2DBody = `{"name":"grid","rects":[{"x0":0,"y0":0,"x1":16,"y1":16},{"x0":2,"y0":3,"x1":9,"y1":11}]}`
+
+// TestServerQueryAllocs is the tentpole's acceptance gate: the pooled
+// hot path stays within ~1 amortized allocation per request (plus the
+// per-request header write every path pays) and beats the reflection
+// path by at least 5x.
+func TestServerQueryAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is meaningless under -short's first-run pools")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per request; counts are unrepresentative")
+	}
+	s, h := newQueryBenchServer(t)
+	req, body := queryHTTPRequest("/v1/query", benchQueryBody)
+	w := &nullResponseWriter{}
+	// Warm the pools and the name memo.
+	for i := 0; i < 8; i++ {
+		body.off = 0
+		h.ServeHTTP(w, req)
+	}
+	pooled := testing.AllocsPerRun(400, func() {
+		body.off = 0
+		h.ServeHTTP(w, req)
+	})
+
+	reflReq, reflBody := queryHTTPRequest("/v1/query", benchQueryBody)
+	reflW := &nullResponseWriter{}
+	refl := testing.AllocsPerRun(400, func() {
+		reflBody.off = 0
+		reflectionHandleQuery(s, reflW, reflReq, dphist.DefaultNamespace)
+	})
+
+	t.Logf("allocs/request: pooled=%.1f reflection=%.1f", pooled, refl)
+	// Budget: the Content-Type header set is ~1 alloc on every path;
+	// everything else is pooled. 2.5 leaves room for rare pool misses.
+	if pooled > 2.5 {
+		t.Errorf("pooled query path allocates %.1f/request, want <= 2.5", pooled)
+	}
+	if refl < 5*pooled {
+		t.Errorf("reflection path allocates %.1f/request vs pooled %.1f: less than the 5x the rework claims", refl, pooled)
+	}
+}
+
+func BenchmarkServerQueryHTTP(b *testing.B) {
+	_, h := newQueryBenchServer(b)
+	req, body := queryHTTPRequest("/v1/query", benchQueryBody)
+	w := &nullResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.off = 0
+		h.ServeHTTP(w, req)
+	}
+}
+
+func BenchmarkServerQuery2DHTTP(b *testing.B) {
+	_, h := newQueryBenchServer(b)
+	req, body := queryHTTPRequest("/v1/query2d", benchQuery2DBody)
+	w := &nullResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.off = 0
+		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServerQueryHTTPReflection is the pre-rework wire path, kept
+// runnable so the win stays measurable in CI output.
+func BenchmarkServerQueryHTTPReflection(b *testing.B) {
+	s, _ := newQueryBenchServer(b)
+	req, body := queryHTTPRequest("/v1/query", benchQueryBody)
+	w := &nullResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.off = 0
+		reflectionHandleQuery(s, w, req, dphist.DefaultNamespace)
+	}
+}

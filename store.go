@@ -460,6 +460,15 @@ func (n *Namespace) Query(name string, specs []RangeSpec) ([]float64, StoreEntry
 	return n.s.query(n.name, name, specs)
 }
 
+// QueryInto is Query appending into dst; buffer-reuse semantics follow
+// Store.QueryInto.
+func (n *Namespace) QueryInto(dst []float64, name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
+	if n.err != nil {
+		return dst, StoreEntry{}, n.err
+	}
+	return n.s.queryInto(dst, n.name, name, specs)
+}
+
 // QueryRects answers a batch of rectangle queries against the 2-D
 // release stored under name in this namespace; semantics follow
 // Store.QueryRects.
@@ -468,6 +477,15 @@ func (n *Namespace) QueryRects(name string, specs []RectSpec) ([]float64, StoreE
 		return nil, StoreEntry{}, n.err
 	}
 	return n.s.queryRects(n.name, name, specs)
+}
+
+// QueryRectsInto is QueryRects appending into dst; buffer-reuse
+// semantics follow Store.QueryInto.
+func (n *Namespace) QueryRectsInto(dst []float64, name string, specs []RectSpec) ([]float64, StoreEntry, error) {
+	if n.err != nil {
+		return dst, StoreEntry{}, n.err
+	}
+	return n.s.queryRectsInto(dst, n.name, name, specs)
 }
 
 // List returns the metadata of every live entry in this namespace,
@@ -585,6 +603,15 @@ func (s *Store) Query(name string, specs []RangeSpec) ([]float64, StoreEntry, er
 	return s.query(DefaultNamespace, name, specs)
 }
 
+// QueryInto is Query appending into dst, so a serving loop can reuse one
+// result buffer across batches and keep the steady-state allocation
+// count at zero — the answer cache appends hits straight into dst. dst
+// may be nil. On error dst is returned truncated to its original length,
+// never with a partial batch appended.
+func (s *Store) QueryInto(dst []float64, name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
+	return s.queryInto(dst, DefaultNamespace, name, specs)
+}
+
 // QueryRects answers a batch of rectangle queries against the 2-D
 // release stored under name in the default namespace, refreshing its
 // recency. It fails with ErrReleaseNotFound when the name holds no live
@@ -593,6 +620,12 @@ func (s *Store) Query(name string, specs []RangeSpec) ([]float64, StoreEntry, er
 // the release is read outside the store lock.
 func (s *Store) QueryRects(name string, specs []RectSpec) ([]float64, StoreEntry, error) {
 	return s.queryRects(DefaultNamespace, name, specs)
+}
+
+// QueryRectsInto is QueryRects appending into dst; buffer-reuse
+// semantics follow QueryInto.
+func (s *Store) QueryRectsInto(dst []float64, name string, specs []RectSpec) ([]float64, StoreEntry, error) {
+	return s.queryRectsInto(dst, DefaultNamespace, name, specs)
 }
 
 // List returns the metadata of every live entry in the default
@@ -734,56 +767,64 @@ func (s *Store) snapshotLive(k nsKey) (Release, *plan.Plan, StoreEntry, bool) {
 }
 
 func (s *Store) query(ns, name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
-	// Snapshot under the shard lock, answer outside it: a 100k-range
-	// batch must never block a concurrent Put on the same shard.
-	rel, pl, entry, ok := s.snapshotLive(nsKey{ns, name})
-	if !ok {
-		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
-	}
 	// Presize the answer buffer: the batch engine grows dst once for the
 	// whole batch, so handing it exact capacity makes the compute path a
 	// single allocation.
-	compute := func() ([]float64, error) {
-		return answerRangesInto(make([]float64, 0, len(specs)), pl, rel, specs)
+	return s.queryInto(make([]float64, 0, len(specs)), ns, name, specs)
+}
+
+func (s *Store) queryInto(dst []float64, ns, name string, specs []RangeSpec) ([]float64, StoreEntry, error) {
+	// Snapshot under the shard lock, answer outside it: a 100k-range
+	// batch must never block a concurrent Put on the same shard.
+	keep := len(dst)
+	rel, pl, entry, ok := s.snapshotLive(nsKey{ns, name})
+	if !ok {
+		return dst[:keep], StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
 	}
 	if c := s.rangeCache; c != nil {
-		answers, err := c.Do(qcache.Key{
+		answers, err := c.DoInto(dst, qcache.Key{
 			Namespace: ns, Name: name, Version: entry.Version,
 			Hash: hashRangeSpecs(specs), Len: len(specs),
-		}, specs, compute)
+		}, specs, func(owned []float64) ([]float64, error) {
+			return answerRangesInto(owned, pl, rel, specs)
+		})
 		if err != nil {
-			return nil, entry, err
+			return dst[:keep], entry, err
 		}
 		return answers, entry, nil
 	}
-	answers, err := compute()
+	answers, err := answerRangesInto(dst, pl, rel, specs)
 	if err != nil {
-		return nil, entry, err
+		return dst[:keep], entry, err
 	}
 	return answers, entry, nil
 }
 
 func (s *Store) queryRects(ns, name string, specs []RectSpec) ([]float64, StoreEntry, error) {
+	return s.queryRectsInto(make([]float64, 0, len(specs)), ns, name, specs)
+}
+
+func (s *Store) queryRectsInto(dst []float64, ns, name string, specs []RectSpec) ([]float64, StoreEntry, error) {
+	keep := len(dst)
 	rel, pl, entry, ok := s.snapshotLive(nsKey{ns, name})
 	if !ok {
-		return nil, StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
-	}
-	compute := func() ([]float64, error) {
-		return answerRectsInto(make([]float64, 0, len(specs)), pl, rel, specs)
+		return dst[:keep], StoreEntry{}, fmt.Errorf("%w: %q", ErrReleaseNotFound, name)
 	}
 	if c := s.rectCache; c != nil {
-		answers, err := c.Do(qcache.Key{
+		answers, err := c.DoInto(dst, qcache.Key{
 			Namespace: ns, Name: name, Version: entry.Version,
 			Hash: hashRectSpecs(specs), Len: len(specs),
-		}, specs, compute)
+		}, specs, func(owned []float64) ([]float64, error) {
+			return answerRectsInto(owned, pl, rel, specs)
+		})
 		if err != nil {
-			return nil, entry, err
+			return dst[:keep], entry, err
 		}
 		return answers, entry, nil
 	}
-	answers, err := compute()
+	answers, err := answerRectsInto(dst, pl, rel, specs)
 	if err != nil {
-		return nil, entry, err
+		return dst[:keep], entry, err
 	}
 	return answers, entry, nil
 }
